@@ -1,0 +1,189 @@
+// Command hacc is the array-comprehension compiler driver: it parses a
+// program in the paper's surface syntax, runs the subscript analysis
+// and scheduler, and reports (or executes) the result.
+//
+// Usage:
+//
+//	hacc report [-p n=100,m=20] [-in a=1:8,1:8] file.hac
+//	hacc run     [-p n=100] [-in a=1:8,1:8] [-seed 1] [-show k] file.hac
+//	hacc ir      [-p n=100] [-in …] file.hac
+//	hacc dot     [-p n=100] [-in …] file.hac
+//	hacc emit-go [-p n=100] [-in …] file.hac   # standalone Go source
+//
+// -p binds scalar parameters; -in declares the bounds of free input
+// arrays (filled with deterministic pseudo-random data for `run`).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+
+	"arraycomp/internal/analysis"
+	"arraycomp/internal/core"
+	"arraycomp/internal/gogen"
+	"arraycomp/internal/runtime"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "hacc:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("usage: hacc <report|run|ir|dot|emit-go> [flags] file.hac")
+	}
+	cmd := args[0]
+	fs := flag.NewFlagSet(cmd, flag.ContinueOnError)
+	paramsFlag := fs.String("p", "", "comma-separated parameter bindings, e.g. n=100,m=20")
+	inFlag := fs.String("in", "", "semicolon-separated input bounds, e.g. a=1:8,1:8;b=0:99")
+	seed := fs.Int64("seed", 1, "seed for generated input data (run)")
+	show := fs.Int64("show", 5, "how many leading elements to print (run)")
+	thunked := fs.Bool("thunked", false, "force the thunked baseline")
+	if err := fs.Parse(args[1:]); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("expected exactly one source file")
+	}
+	srcBytes, err := os.ReadFile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	params, err := parseParams(*paramsFlag)
+	if err != nil {
+		return err
+	}
+	inputBounds, err := parseInputs(*inFlag)
+	if err != nil {
+		return err
+	}
+	opts := core.Options{ForceThunked: *thunked, InputBounds: inputBounds}
+	prog, err := core.Compile(string(srcBytes), params, opts)
+	if err != nil {
+		return err
+	}
+	switch cmd {
+	case "report":
+		fmt.Print(prog.Report())
+		return nil
+	case "dot":
+		for _, name := range prog.Order {
+			fmt.Print(prog.Defs[name].Analysis.Graph.DOT(name))
+		}
+		return nil
+	case "ir":
+		for _, name := range prog.Order {
+			cd := prog.Defs[name]
+			if cd.Plan == nil {
+				fmt.Printf("-- %s: %s (no loop IR)\n", name, cd.Mode())
+				continue
+			}
+			fmt.Print(cd.Plan.Program.Dump())
+		}
+		return nil
+	case "emit-go":
+		for _, name := range prog.Order {
+			cd := prog.Defs[name]
+			if cd.Plan == nil {
+				return fmt.Errorf("%s compiled %s; only thunkless/in-place plans can be emitted as Go", name, cd.Mode())
+			}
+			src, err := gogen.EmitFile(cd.Plan.Program, "main", exportName(name))
+			if err != nil {
+				return err
+			}
+			fmt.Print(src)
+		}
+		return nil
+	case "run":
+		inputs := map[string]*runtime.Strict{}
+		rng := rand.New(rand.NewSource(*seed))
+		for name, b := range inputBounds {
+			a := runtime.NewStrict(runtime.Bounds{Lo: b.Lo, Hi: b.Hi})
+			for i := range a.Data {
+				a.Data[i] = rng.Float64()
+			}
+			inputs[name] = a
+		}
+		out, err := prog.Run(inputs)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("result %s %s\n", prog.Result, out.B)
+		n := out.B.Size()
+		if n > *show {
+			n = *show
+		}
+		for off := int64(0); off < n; off++ {
+			fmt.Printf("  %s%v = %g\n", prog.Result, out.B.Unlinear(off), out.Data[off])
+		}
+		return nil
+	}
+	return fmt.Errorf("unknown command %q", cmd)
+}
+
+// exportName capitalizes a definition name into an exported Go
+// identifier.
+func exportName(s string) string {
+	if s == "" {
+		return "Compiled"
+	}
+	return strings.ToUpper(s[:1]) + s[1:]
+}
+
+func parseParams(s string) (map[string]int64, error) {
+	out := map[string]int64{}
+	if s == "" {
+		return out, nil
+	}
+	for _, part := range strings.Split(s, ",") {
+		kv := strings.SplitN(strings.TrimSpace(part), "=", 2)
+		if len(kv) != 2 || kv[0] == "" {
+			return nil, fmt.Errorf("bad parameter binding %q", part)
+		}
+		v, err := strconv.ParseInt(kv[1], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad parameter value %q: %v", part, err)
+		}
+		out[kv[0]] = v
+	}
+	return out, nil
+}
+
+func parseInputs(s string) (map[string]analysis.ArrayBounds, error) {
+	out := map[string]analysis.ArrayBounds{}
+	if s == "" {
+		return out, nil
+	}
+	for _, part := range strings.Split(s, ";") {
+		kv := strings.SplitN(strings.TrimSpace(part), "=", 2)
+		if len(kv) != 2 {
+			return nil, fmt.Errorf("bad input declaration %q", part)
+		}
+		var b analysis.ArrayBounds
+		for _, dim := range strings.Split(kv[1], ",") {
+			lh := strings.SplitN(strings.TrimSpace(dim), ":", 2)
+			if len(lh) != 2 {
+				return nil, fmt.Errorf("bad bounds %q (want lo:hi)", dim)
+			}
+			lo, err := strconv.ParseInt(lh[0], 10, 64)
+			if err != nil {
+				return nil, err
+			}
+			hi, err := strconv.ParseInt(lh[1], 10, 64)
+			if err != nil {
+				return nil, err
+			}
+			b.Lo = append(b.Lo, lo)
+			b.Hi = append(b.Hi, hi)
+		}
+		out[kv[0]] = b
+	}
+	return out, nil
+}

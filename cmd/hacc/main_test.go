@@ -1,0 +1,106 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeTemp(t *testing.T, src string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "prog.hac")
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestParseParams(t *testing.T) {
+	p, err := parseParams("n=100,m=20")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p["n"] != 100 || p["m"] != 20 {
+		t.Errorf("params = %v", p)
+	}
+	if p, err := parseParams(""); err != nil || len(p) != 0 {
+		t.Error("empty params must parse")
+	}
+	for _, bad := range []string{"n", "n=x", "=5"} {
+		if _, err := parseParams(bad); err == nil {
+			t.Errorf("parseParams(%q) succeeded", bad)
+		}
+	}
+}
+
+func TestParseInputs(t *testing.T) {
+	in, err := parseInputs("a=1:8,1:8;b=0:99")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := in["a"]
+	if len(a.Lo) != 2 || a.Lo[0] != 1 || a.Hi[1] != 8 {
+		t.Errorf("a bounds = %+v", a)
+	}
+	b := in["b"]
+	if len(b.Lo) != 1 || b.Hi[0] != 99 {
+		t.Errorf("b bounds = %+v", b)
+	}
+	for _, bad := range []string{"a", "a=1", "a=1:", "a=x:2"} {
+		if _, err := parseInputs(bad); err == nil {
+			t.Errorf("parseInputs(%q) succeeded", bad)
+		}
+	}
+}
+
+func TestRunCommands(t *testing.T) {
+	path := writeTemp(t, `a = array (1,n) ([ 1 := 1.0 ] ++ [ i := a!(i-1) + 1.0 | i <- [2..n] ])`)
+	for _, cmd := range []string{"report", "ir", "dot", "run"} {
+		if err := run([]string{cmd, "-p", "n=5", path}); err != nil {
+			t.Errorf("hacc %s: %v", cmd, err)
+		}
+	}
+}
+
+func TestRunWithInputs(t *testing.T) {
+	path := writeTemp(t, `param n; a2 = bigupd a [ i := 2.0 * a!i | i <- [1..n] ]`)
+	if err := run([]string{"run", "-p", "n=4", "-in", "a=1:4", path}); err != nil {
+		t.Errorf("hacc run with inputs: %v", err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	path := writeTemp(t, `a = array (1,n) [ i := 1.0 | i <- [1..n] ]`)
+	cases := [][]string{
+		{},                                  // no args
+		{"bogus", "-p", "n=3", path},        // unknown command
+		{"report", path},                    // unbound parameter
+		{"report", "-p", "n=3"},             // missing file
+		{"report", "-p", "n=3", "/no/file"}, // unreadable file
+		{"report", "-p", "n=3", path, path}, // too many files
+	}
+	for _, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}
+
+func TestRunThunkedFlag(t *testing.T) {
+	path := writeTemp(t, `a = array (1,n) [ i := i*i | i <- [1..n] ]`)
+	if err := run([]string{"run", "-thunked", "-p", "n=4", path}); err != nil {
+		t.Errorf("hacc run -thunked: %v", err)
+	}
+}
+
+func TestEmitGoCommand(t *testing.T) {
+	path := writeTemp(t, `a = array (1,n) [ i := i*i | i <- [1..n] ]`)
+	if err := run([]string{"emit-go", "-p", "n=5", path}); err != nil {
+		t.Errorf("hacc emit-go: %v", err)
+	}
+	// Thunked programs cannot be emitted.
+	path2 := writeTemp(t, `a = array (1,n) [ i := a!i | i <- [1..n] ]`)
+	if err := run([]string{"emit-go", "-p", "n=5", path2}); err == nil {
+		t.Error("emit-go of a thunked plan must error")
+	}
+}

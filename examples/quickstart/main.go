@@ -1,0 +1,52 @@
+// Quickstart: compile and run two tiny array comprehensions — the
+// introduction's vector of squares and a first-order recurrence — and
+// peek at the compilation report to see which optimizations fired.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"arraycomp"
+)
+
+func main() {
+	// A monolithic array comprehension: every element defined at
+	// creation. The compiler proves there are no write collisions and
+	// no empties, finds no dependences, and emits a plain loop.
+	squares, err := arraycomp.Compile(
+		`sq = array (1,n) [ i := i*i | i <- [1..n] ]`,
+		arraycomp.Params{"n": 10}, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	out, err := squares.Run(nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print("squares: ")
+	for i := int64(1); i <= 10; i++ {
+		fmt.Printf("%g ", out.At(i))
+	}
+	fmt.Println()
+
+	// A recursive array: element i depends on element i−1. Subscript
+	// analysis finds the (<) flow dependence, schedules the loop
+	// forward, and compiles without thunks.
+	rec, err := arraycomp.Compile(
+		`a = array (1,n) ([ 1 := 1.0 ] ++ [ i := a!(i-1) * 2.0 | i <- [2..n] ])`,
+		arraycomp.Params{"n": 10}, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	out, err = rec.Run(nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("powers of two: a(10) = %g\n", out.At(10))
+
+	mode, _ := rec.Mode("a")
+	fmt.Printf("compiled mode: %s\n\n", mode)
+	fmt.Println("--- compilation report ---")
+	fmt.Print(rec.Report())
+}

@@ -1,0 +1,76 @@
+// SOR / Gauss-Seidel: the paper's section 9 northwest-to-southeast
+// wavefront. North and west neighbours read the NEW mesh (`a2`), south
+// and east the old (`a`): the flow and anti dependence directions all
+// agree with forward loops, so the compiler updates the mesh strictly
+// in place — no temporaries, no copies, no thunks — and Gauss-Seidel
+// converges roughly twice as fast as Jacobi on the same problem.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"arraycomp"
+)
+
+const gaussSeidel = `param n;
+a2 = bigupd a
+  [* [ (i,j) := 0.25 * (a2!(i-1,j) + a2!(i,j-1) + a!(i+1,j) + a!(i,j+1)) ]
+   | i <- [2..n-1], j <- [2..n-1] *]`
+
+const jacobi = `param n;
+a2 = bigupd a
+  [* [ (i,j) := 0.25 * (a!(i-1,j) + a!(i+1,j) + a!(i,j-1) + a!(i,j+1)) ]
+   | i <- [2..n-1], j <- [2..n-1] *]`
+
+func main() {
+	n := int64(24)
+	opts := &arraycomp.Options{Inputs: map[string]arraycomp.InputBounds{
+		"a": {Lo: []int64{1, 1}, Hi: []int64{n, n}},
+	}}
+	gs, err := arraycomp.Compile(gaussSeidel, arraycomp.Params{"n": n}, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	jc, err := arraycomp.Compile(jacobi, arraycomp.Params{"n": n}, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	gsMode, _ := gs.Mode("a2")
+	fmt.Printf("gauss-seidel compiled %s:\n", gsMode)
+	for _, note := range gs.Notes() {
+		fmt.Println("  ", note)
+	}
+
+	fmt.Printf("\nsweeps to reach residual 1e-4 on a %d×%d Laplace problem:\n", n, n)
+	fmt.Printf("  jacobi:       %d sweeps\n", sweeps(jc, n))
+	fmt.Printf("  gauss-seidel: %d sweeps\n", sweeps(gs, n))
+}
+
+func sweeps(prog *arraycomp.Program, n int64) int {
+	mesh := arraycomp.NewArray2(1, 1, n, n)
+	for j := int64(1); j <= n; j++ {
+		mesh.Set(100, 1, j)
+	}
+	prev := mesh
+	for sweep := 1; sweep <= 20000; sweep++ {
+		next, err := prog.Run(map[string]*arraycomp.Array{"a": prev})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if residual(prev, next) < 1e-4 {
+			return sweep
+		}
+		prev = next
+	}
+	return -1
+}
+
+func residual(a, b *arraycomp.Array) float64 {
+	var r float64
+	for i := range a.Data {
+		r = math.Max(r, math.Abs(a.Data[i]-b.Data[i]))
+	}
+	return r
+}

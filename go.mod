@@ -1,0 +1,3 @@
+module arraycomp
+
+go 1.24

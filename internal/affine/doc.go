@@ -1,0 +1,20 @@
+// Package affine extracts linear (affine) forms from subscript
+// expressions and normalizes loop nests, the front half of the paper's
+// subscript analysis (section 6).
+//
+// A subscript expression is usable by the dependence tests when it is
+// linear in the surrounding loop indices with all other quantities
+// (scalar parameters, literals) folding to integer constants:
+//
+//	f(i1..id) = a0 + Σ ak·ik
+//
+// The paper, like the imperative-compiler literature it adapts, assumes
+// normalized loops: every index runs over [1..M] with stride 1. Real
+// generators are arbitrary arithmetic sequences `[first, second ..
+// last]`; Nest.Normalize rewrites an affine form over source indices
+// into coefficients over the normalized indices.
+//
+// The analysis is performed with scalar parameters bound to concrete
+// values (the paper's "loop bounds statically known" assumption); the
+// compiler pipeline re-analyzes per parameter binding.
+package affine

@@ -1,0 +1,175 @@
+package affine
+
+import (
+	"errors"
+	"fmt"
+
+	"arraycomp/internal/lang"
+)
+
+// ErrNotStatic is wrapped by EvalInt errors: the expression depends on
+// something other than integer literals and bound scalar parameters.
+var ErrNotStatic = errors.New("affine: expression is not a static integer")
+
+// EvalInt evaluates a compile-time integer expression (array bounds,
+// generator endpoints) under the given parameter environment.
+func EvalInt(e lang.Expr, env map[string]int64) (int64, error) {
+	switch x := e.(type) {
+	case *lang.IntLit:
+		return x.Value, nil
+	case *lang.FloatLit:
+		return 0, fmt.Errorf("%w: float literal %s at %s", ErrNotStatic, x.Literal, x.Pos())
+	case *lang.Var:
+		if v, ok := env[x.Name]; ok {
+			return v, nil
+		}
+		return 0, fmt.Errorf("%w: unbound variable %q at %s", ErrNotStatic, x.Name, x.Pos())
+	case *lang.UnOp:
+		if x.Op != lang.OpNeg {
+			return 0, fmt.Errorf("%w: operator %s at %s", ErrNotStatic, x.Op, x.Pos())
+		}
+		v, err := EvalInt(x.X, env)
+		if err != nil {
+			return 0, err
+		}
+		return -v, nil
+	case *lang.BinOp:
+		l, err := EvalInt(x.L, env)
+		if err != nil {
+			return 0, err
+		}
+		r, err := EvalInt(x.R, env)
+		if err != nil {
+			return 0, err
+		}
+		switch x.Op {
+		case lang.OpAdd:
+			return l + r, nil
+		case lang.OpSub:
+			return l - r, nil
+		case lang.OpMul:
+			return l * r, nil
+		case lang.OpDiv:
+			if r == 0 {
+				return 0, fmt.Errorf("affine: division by zero at %s", x.Pos())
+			}
+			return l / r, nil
+		case lang.OpMod:
+			if r == 0 {
+				return 0, fmt.Errorf("affine: mod by zero at %s", x.Pos())
+			}
+			return l % r, nil
+		}
+		return 0, fmt.Errorf("%w: operator %s at %s", ErrNotStatic, x.Op, x.Pos())
+	case *lang.Call:
+		args := make([]int64, len(x.Args))
+		for i, a := range x.Args {
+			v, err := EvalInt(a, env)
+			if err != nil {
+				return 0, err
+			}
+			args[i] = v
+		}
+		switch x.Fn {
+		case "abs":
+			if len(args) == 1 {
+				if args[0] < 0 {
+					return -args[0], nil
+				}
+				return args[0], nil
+			}
+		case "min":
+			if len(args) == 2 {
+				if args[0] < args[1] {
+					return args[0], nil
+				}
+				return args[1], nil
+			}
+		case "max":
+			if len(args) == 2 {
+				if args[0] > args[1] {
+					return args[0], nil
+				}
+				return args[1], nil
+			}
+		}
+		return 0, fmt.Errorf("%w: call %s/%d at %s", ErrNotStatic, x.Fn, len(x.Args), x.Pos())
+	case *lang.Let:
+		inner := make(map[string]int64, len(env)+len(x.Binds))
+		for k, v := range env {
+			inner[k] = v
+		}
+		for _, b := range x.Binds {
+			v, err := EvalInt(b.Rhs, env)
+			if err != nil {
+				return 0, err
+			}
+			inner[b.Name] = v
+		}
+		return EvalInt(x.Body, inner)
+	case *lang.Cond:
+		c, err := EvalBool(x.C, env)
+		if err != nil {
+			return 0, err
+		}
+		if c {
+			return EvalInt(x.T, env)
+		}
+		return EvalInt(x.E, env)
+	}
+	return 0, fmt.Errorf("%w: %T", ErrNotStatic, e)
+}
+
+// EvalBool evaluates a compile-time boolean expression.
+func EvalBool(e lang.Expr, env map[string]int64) (bool, error) {
+	switch x := e.(type) {
+	case *lang.BinOp:
+		if x.Op.IsComparison() {
+			l, err := EvalInt(x.L, env)
+			if err != nil {
+				return false, err
+			}
+			r, err := EvalInt(x.R, env)
+			if err != nil {
+				return false, err
+			}
+			switch x.Op {
+			case lang.OpEq:
+				return l == r, nil
+			case lang.OpNe:
+				return l != r, nil
+			case lang.OpLt:
+				return l < r, nil
+			case lang.OpLe:
+				return l <= r, nil
+			case lang.OpGt:
+				return l > r, nil
+			case lang.OpGe:
+				return l >= r, nil
+			}
+		}
+		if x.Op.IsLogical() {
+			l, err := EvalBool(x.L, env)
+			if err != nil {
+				return false, err
+			}
+			r, err := EvalBool(x.R, env)
+			if err != nil {
+				return false, err
+			}
+			if x.Op == lang.OpAnd {
+				return l && r, nil
+			}
+			return l || r, nil
+		}
+	case *lang.UnOp:
+		if x.Op == lang.OpNot {
+			v, err := EvalBool(x.X, env)
+			if err != nil {
+				return false, err
+			}
+			return !v, nil
+		}
+	}
+	return false, fmt.Errorf("%w: not a static boolean: %T", ErrNotStatic, e)
+}

@@ -1,0 +1,248 @@
+package affine
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"arraycomp/internal/lang"
+)
+
+// ErrNotAffine is wrapped by FromExpr errors when a subscript is not
+// linear in the loop indices. Callers treat non-affine subscripts
+// pessimistically (assume a dependence with every other reference).
+var ErrNotAffine = errors.New("affine: subscript is not affine in the loop indices")
+
+// Form is a0 + Σ Coeff[v]·v over loop index variables v. Entries with
+// zero coefficient are never stored.
+type Form struct {
+	Const int64
+	Coeff map[string]int64
+}
+
+// Constant builds a constant form.
+func Constant(c int64) Form { return Form{Const: c} }
+
+// IndexVar builds the form 1·v.
+func IndexVar(v string) Form {
+	return Form{Coeff: map[string]int64{v: 1}}
+}
+
+// CoeffOf returns the coefficient of v (0 if absent).
+func (f Form) CoeffOf(v string) int64 { return f.Coeff[v] }
+
+// IsConstant reports whether no index variable appears.
+func (f Form) IsConstant() bool { return len(f.Coeff) == 0 }
+
+// Vars returns the index variables with nonzero coefficient, sorted.
+func (f Form) Vars() []string {
+	out := make([]string, 0, len(f.Coeff))
+	for v := range f.Coeff {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (f Form) clone() Form {
+	c := Form{Const: f.Const, Coeff: make(map[string]int64, len(f.Coeff))}
+	for k, v := range f.Coeff {
+		c.Coeff[k] = v
+	}
+	return c
+}
+
+func (f *Form) addTerm(v string, c int64) {
+	if c == 0 {
+		return
+	}
+	if f.Coeff == nil {
+		f.Coeff = map[string]int64{}
+	}
+	nc := f.Coeff[v] + c
+	if nc == 0 {
+		delete(f.Coeff, v)
+	} else {
+		f.Coeff[v] = nc
+	}
+}
+
+// Add returns f + g.
+func (f Form) Add(g Form) Form {
+	out := f.clone()
+	out.Const += g.Const
+	for v, c := range g.Coeff {
+		out.addTerm(v, c)
+	}
+	return out
+}
+
+// Sub returns f − g.
+func (f Form) Sub(g Form) Form {
+	out := f.clone()
+	out.Const -= g.Const
+	for v, c := range g.Coeff {
+		out.addTerm(v, -c)
+	}
+	return out
+}
+
+// Scale returns k·f.
+func (f Form) Scale(k int64) Form {
+	if k == 0 {
+		return Form{}
+	}
+	out := Form{Const: f.Const * k, Coeff: make(map[string]int64, len(f.Coeff))}
+	for v, c := range f.Coeff {
+		out.Coeff[v] = c * k
+	}
+	return out
+}
+
+// Eval evaluates the form at the given index values.
+func (f Form) Eval(idx map[string]int64) int64 {
+	out := f.Const
+	for v, c := range f.Coeff {
+		out += c * idx[v]
+	}
+	return out
+}
+
+// String renders e.g. "3 + 2·i − j".
+func (f Form) String() string {
+	var b strings.Builder
+	b.WriteString(strconv.FormatInt(f.Const, 10))
+	for _, v := range f.Vars() {
+		c := f.Coeff[v]
+		if c < 0 {
+			b.WriteString(" - ")
+			c = -c
+		} else {
+			b.WriteString(" + ")
+		}
+		if c != 1 {
+			fmt.Fprintf(&b, "%d*", c)
+		}
+		b.WriteString(v)
+	}
+	return b.String()
+}
+
+// Equal reports structural equality of forms.
+func (f Form) Equal(g Form) bool {
+	if f.Const != g.Const || len(f.Coeff) != len(g.Coeff) {
+		return false
+	}
+	for v, c := range f.Coeff {
+		if g.Coeff[v] != c {
+			return false
+		}
+	}
+	return true
+}
+
+// FromExpr extracts the affine form of a subscript expression. isIndex
+// says which variable names are loop indices; every other variable must
+// be bound in env (a scalar parameter). Let-bound names are handled by
+// extracting their right-hand sides as forms.
+func FromExpr(e lang.Expr, isIndex func(string) bool, env map[string]int64) (Form, error) {
+	return fromExpr(e, isIndex, env, nil)
+}
+
+func fromExpr(e lang.Expr, isIndex func(string) bool, env map[string]int64, lets map[string]lang.Expr) (Form, error) {
+	switch x := e.(type) {
+	case *lang.IntLit:
+		return Constant(x.Value), nil
+	case *lang.Var:
+		if rhs, ok := lets[x.Name]; ok {
+			// Lazy extraction: only referenced bindings need to be
+			// affine (a binding holding an array selection is fine as
+			// long as subscripts never mention it). Shadow the name to
+			// avoid self-recursion.
+			inner := make(map[string]lang.Expr, len(lets))
+			for k, v := range lets {
+				if k != x.Name {
+					inner[k] = v
+				}
+			}
+			return fromExpr(rhs, isIndex, env, inner)
+		}
+		if isIndex(x.Name) {
+			return IndexVar(x.Name), nil
+		}
+		if v, ok := env[x.Name]; ok {
+			return Constant(v), nil
+		}
+		return Form{}, fmt.Errorf("%w: unbound variable %q at %s", ErrNotAffine, x.Name, x.Pos())
+	case *lang.UnOp:
+		if x.Op != lang.OpNeg {
+			return Form{}, fmt.Errorf("%w: operator %s at %s", ErrNotAffine, x.Op, x.Pos())
+		}
+		f, err := fromExpr(x.X, isIndex, env, lets)
+		if err != nil {
+			return Form{}, err
+		}
+		return f.Scale(-1), nil
+	case *lang.BinOp:
+		l, lerr := fromExpr(x.L, isIndex, env, lets)
+		r, rerr := fromExpr(x.R, isIndex, env, lets)
+		switch x.Op {
+		case lang.OpAdd:
+			if lerr != nil {
+				return Form{}, lerr
+			}
+			if rerr != nil {
+				return Form{}, rerr
+			}
+			return l.Add(r), nil
+		case lang.OpSub:
+			if lerr != nil {
+				return Form{}, lerr
+			}
+			if rerr != nil {
+				return Form{}, rerr
+			}
+			return l.Sub(r), nil
+		case lang.OpMul:
+			if lerr != nil {
+				return Form{}, lerr
+			}
+			if rerr != nil {
+				return Form{}, rerr
+			}
+			// Linear only when at least one side is constant.
+			if l.IsConstant() {
+				return r.Scale(l.Const), nil
+			}
+			if r.IsConstant() {
+				return l.Scale(r.Const), nil
+			}
+			return Form{}, fmt.Errorf("%w: product of index expressions at %s", ErrNotAffine, x.Pos())
+		case lang.OpDiv, lang.OpMod:
+			// Affine only when both sides fold to constants.
+			if lerr == nil && rerr == nil && l.IsConstant() && r.IsConstant() {
+				if r.Const == 0 {
+					return Form{}, fmt.Errorf("affine: division by zero at %s", x.Pos())
+				}
+				if x.Op == lang.OpDiv {
+					return Constant(l.Const / r.Const), nil
+				}
+				return Constant(l.Const % r.Const), nil
+			}
+			return Form{}, fmt.Errorf("%w: %s of index expressions at %s", ErrNotAffine, x.Op, x.Pos())
+		}
+		return Form{}, fmt.Errorf("%w: operator %s at %s", ErrNotAffine, x.Op, x.Pos())
+	case *lang.Let:
+		inner := make(map[string]lang.Expr, len(lets)+len(x.Binds))
+		for k, v := range lets {
+			inner[k] = v
+		}
+		for _, b := range x.Binds {
+			inner[b.Name] = b.Rhs
+		}
+		return fromExpr(x.Body, isIndex, env, inner)
+	}
+	return Form{}, fmt.Errorf("%w: %T at %s", ErrNotAffine, e, e.Pos())
+}

@@ -1,0 +1,135 @@
+package affine
+
+import (
+	"fmt"
+
+	"arraycomp/internal/lang"
+)
+
+// Loop describes one generator of a nest in source terms: the index
+// variable runs first, first+stride, …, through last (inclusive when
+// hit exactly).
+type Loop struct {
+	Var    string
+	First  int64
+	Stride int64
+	Last   int64
+}
+
+// Trip returns the iteration count of the loop (0 when empty).
+func (l Loop) Trip() int64 {
+	if l.Stride == 0 {
+		return 0
+	}
+	span := l.Last - l.First
+	if l.Stride > 0 {
+		if span < 0 {
+			return 0
+		}
+		return span/l.Stride + 1
+	}
+	if span > 0 {
+		return 0
+	}
+	return span/l.Stride + 1
+}
+
+// ValueAt returns the source index value at normalized position
+// p ∈ [1..Trip].
+func (l Loop) ValueAt(p int64) int64 {
+	return l.First + (p-1)*l.Stride
+}
+
+// String renders the generator range.
+func (l Loop) String() string {
+	if l.Stride == 1 {
+		return fmt.Sprintf("%s <- [%d..%d]", l.Var, l.First, l.Last)
+	}
+	return fmt.Sprintf("%s <- [%d,%d..%d]", l.Var, l.First, l.First+l.Stride, l.Last)
+}
+
+// LoopFromGenerator evaluates a generator's endpoints under env and
+// returns the concrete Loop. The paper's normalization requirement
+// ("the surrounding loops can always be put in normalized form") is
+// realized here: any arithmetic-sequence generator is accepted.
+func LoopFromGenerator(g *lang.Generator, env map[string]int64) (Loop, error) {
+	first, err := EvalInt(g.First, env)
+	if err != nil {
+		return Loop{}, fmt.Errorf("generator %s first: %w", g.Var, err)
+	}
+	last, err := EvalInt(g.Last, env)
+	if err != nil {
+		return Loop{}, fmt.Errorf("generator %s last: %w", g.Var, err)
+	}
+	stride := int64(1)
+	if g.Second != nil {
+		second, err := EvalInt(g.Second, env)
+		if err != nil {
+			return Loop{}, fmt.Errorf("generator %s second: %w", g.Var, err)
+		}
+		stride = second - first
+		if stride == 0 {
+			return Loop{}, fmt.Errorf("generator %s has zero stride", g.Var)
+		}
+	}
+	return Loop{Var: g.Var, First: first, Stride: stride, Last: last}, nil
+}
+
+// Nest is a loop nest, outermost first.
+type Nest []Loop
+
+// Index returns the position of the loop binding v, or −1.
+func (n Nest) Index(v string) int {
+	for i, l := range n {
+		if l.Var == v {
+			return i
+		}
+	}
+	return -1
+}
+
+// Trips returns the per-loop iteration counts.
+func (n Nest) Trips() []int64 {
+	out := make([]int64, len(n))
+	for i, l := range n {
+		out[i] = l.Trip()
+	}
+	return out
+}
+
+// NormalizedRef is an affine subscript rewritten over the normalized
+// indices of a nest: value = Const + Σ Coeff[k]·p_k with p_k ∈
+// [1..n[k].Trip()]. Coefficients are positionally aligned with the
+// nest.
+type NormalizedRef struct {
+	Const int64
+	Coeff []int64
+}
+
+// Eval evaluates the normalized form at normalized positions.
+func (r NormalizedRef) Eval(pos []int64) int64 {
+	out := r.Const
+	for k, c := range r.Coeff {
+		out += c * pos[k]
+	}
+	return out
+}
+
+// Normalize rewrites a source-variable affine form over the nest's
+// normalized indices: substituting v = first + (p−1)·stride for each
+// loop variable v. Variables in f that are not bound by the nest are
+// an error (the caller should have folded parameters into constants).
+func (n Nest) Normalize(f Form) (NormalizedRef, error) {
+	out := NormalizedRef{Const: f.Const, Coeff: make([]int64, len(n))}
+	for v, c := range f.Coeff {
+		k := n.Index(v)
+		if k < 0 {
+			return NormalizedRef{}, fmt.Errorf("affine: variable %q is not bound by the loop nest", v)
+		}
+		l := n[k]
+		// c·v = c·(first − stride) + (c·stride)·p
+		out.Const += c * (l.First - l.Stride)
+		out.Coeff[k] += c * l.Stride
+	}
+	return out, nil
+}

@@ -1,0 +1,97 @@
+package analysis
+
+import (
+	"testing"
+
+	"arraycomp/internal/deptest"
+	"arraycomp/internal/parser"
+)
+
+// Ablation: starving the exact dependence test must only ever make the
+// analysis more conservative, never unsound — verdicts may degrade
+// from Definite/No to Possible/Maybe, and every edge found with the
+// full budget must still be found with none.
+
+func analyzeWithBudget(t *testing.T, src string, env map[string]int64, budget int) *Result {
+	t.Helper()
+	prog, err := parser.ParseProgram(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	def := prog.Defs[0]
+	bounds, err := EvalBounds(def, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Analyze(def, env, bounds, nil, Options{ExactBudget: budget})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestExactBudgetAblationEdgesMonotone(t *testing.T) {
+	srcs := []string{
+		`a = array (1,300)
+		  [* [3*i := 1.0] ++
+		     [3*i-1 := 0.5 * a!(3*(i-1))] ++
+		     [3*i-2 := 0.5 * a!(3*i)]
+		   | i <- [1..100] *]`,
+		`a = array ((1,1),(n,n))
+		  ([ (1,j) := 1.0 | j <- [1..n] ] ++
+		   [ (i,1) := 1.0 | i <- [2..n] ] ++
+		   [ (i,j) := a!(i-1,j) + a!(i,j-1) | i <- [2..n], j <- [2..n] ])`,
+	}
+	env := map[string]int64{"n": 16}
+	for _, src := range srcs {
+		full := analyzeWithBudget(t, src, env, deptest.DefaultExactBudget)
+		starved := analyzeWithBudget(t, src, env, 1)
+		// Every full-budget edge must appear in the starved graph (the
+		// exact test only ever REMOVES false positives; without it edges
+		// can only grow).
+		starvedSet := map[string]bool{}
+		for _, e := range starved.Graph.Edges {
+			starvedSet[e.String()] = true
+		}
+		for _, e := range full.Graph.Edges {
+			if !starvedSet[e.String()] {
+				t.Errorf("edge %s lost when exact test starved", e)
+			}
+		}
+		if len(starved.Graph.Edges) < len(full.Graph.Edges) {
+			t.Errorf("starved analysis has fewer edges (%d < %d)", len(starved.Graph.Edges), len(full.Graph.Edges))
+		}
+	}
+}
+
+func TestExactBudgetAblationVerdictsDegrade(t *testing.T) {
+	// Two clauses that definitely collide: the full budget proves Yes;
+	// the starved analysis may only weaken to Maybe, never to No.
+	src := `a = array (1,n) ([ 1 := 1.0 ] ++ [ 1 := 2.0 ] ++ [ i := 0.0 | i <- [2..n] ])`
+	env := map[string]int64{"n": 8}
+	full := analyzeWithBudget(t, src, env, deptest.DefaultExactBudget)
+	if full.Collision != Yes {
+		t.Fatalf("full budget: collision = %v, want yes", full.Collision)
+	}
+	starved := analyzeWithBudget(t, src, env, 1)
+	if starved.Collision == No {
+		t.Fatal("starved analysis must not prove absence of a real collision")
+	}
+	// Constant subscripts need no search, so even budget 1 stays exact
+	// here — both Yes and Maybe are sound; No would be a lie.
+}
+
+func TestExactBudgetAblationSafetyOnCollisionFree(t *testing.T) {
+	// The even/odd interleave is refuted by the GCD test alone, so the
+	// collision verdict must stay No even with no exact budget.
+	src := `a = array (1,2*n)
+	  ([ 2*i := 1.0 | i <- [1..n] ] ++ [ 2*i-1 := 2.0 | i <- [1..n] ])`
+	env := map[string]int64{"n": 20}
+	starved := analyzeWithBudget(t, src, env, 1)
+	if starved.Collision != No {
+		t.Errorf("GCD-refutable collision must stay no, got %v (%s)", starved.Collision, starved.CollisionDetail)
+	}
+	if !starved.NoEmpties {
+		t.Errorf("empties proof must survive starvation: %s", starved.EmptiesDetail)
+	}
+}

@@ -1,0 +1,290 @@
+package analysis
+
+import (
+	"fmt"
+
+	"arraycomp/internal/affine"
+	"arraycomp/internal/lang"
+)
+
+// TreeNode is a normalized comprehension-tree node: Append and
+// guard/let plumbing is dissolved, leaving loops (generator nodes) and
+// s/v clause leaves, each carrying the guards and bindings that scope
+// over it.
+type TreeNode struct {
+	// Loop is non-nil for loop nodes (with Gen the original generator).
+	Loop *affine.Loop
+	Gen  *lang.Generator
+	// Clause is non-nil for leaves.
+	Clause *FlatClause
+	// Children of a loop node, in source order.
+	Children []*TreeNode
+	// Guards that condition this node (dynamic ones only; statically
+	// true guards are dropped, statically false subtrees pruned).
+	Guards []lang.Expr
+	// Lets are comprehension-level bindings scoping over this subtree.
+	Lets []lang.Binding
+}
+
+// IsLoop reports whether the node is a loop node.
+func (n *TreeNode) IsLoop() bool { return n.Loop != nil }
+
+// FlatClause is one s/v clause with its full static context.
+type FlatClause struct {
+	ID     int
+	Clause *lang.Clause
+	// Nest is the enclosing loop nest, outermost first.
+	Nest affine.Nest
+	// NestNodes are the loop tree nodes of the nest; pointer equality
+	// identifies the loops two clauses actually share (same generator
+	// instance, not merely the same variable name).
+	NestNodes []*TreeNode
+	// Guards and Lets accumulated from the root to the clause.
+	Guards []lang.Expr
+	Lets   []lang.Binding
+	// WriteForms are the affine forms of the write subscripts (one per
+	// array dimension); WriteAffine reports whether every dimension is
+	// affine.
+	WriteForms  []affine.Form
+	WriteAffine bool
+	// Reads are the array references in the clause's value.
+	Reads []*ReadRef
+	// Instances is the product of enclosing trip counts (ignoring
+	// guards): the number of s/v pairs this clause contributes.
+	Instances int64
+	// Guarded reports whether any dynamic guard conditions the clause,
+	// which makes Instances an upper bound rather than exact.
+	Guarded bool
+	// Node is the clause's leaf in the normalized comprehension tree.
+	Node *TreeNode
+}
+
+// Label renders a short clause description for diagnostics.
+func (c *FlatClause) Label() string {
+	return fmt.Sprintf("clause%d@%s", c.ID, c.Clause.Pos())
+}
+
+// ReadRef is one array selection in a clause value.
+type ReadRef struct {
+	Clause *FlatClause
+	Ix     *lang.Index
+	// Forms are the affine subscript forms (per dimension) when Affine.
+	Forms  []affine.Form
+	Affine bool
+}
+
+// flattener builds the tree.
+type flattener struct {
+	env     map[string]int64
+	arrays  map[string]bool // names of arrays in scope (defs + inputs)
+	clauses []*FlatClause
+	diags   *[]string
+	errs    []error
+}
+
+func (f *flattener) errf(pos lang.Pos, format string, args ...any) {
+	f.errs = append(f.errs, fmt.Errorf("%s: %s", pos, fmt.Sprintf(format, args...)))
+}
+
+func (f *flattener) diag(format string, args ...any) {
+	*f.diags = append(*f.diags, fmt.Sprintf(format, args...))
+}
+
+// Flatten normalizes the comprehension tree of a definition under the
+// given parameter binding. It returns the top-level entity list (the
+// children of a virtual root) and the flattened clauses in source
+// order.
+func Flatten(def *lang.ArrayDef, env map[string]int64, arrays map[string]bool, diags *[]string) ([]*TreeNode, []*FlatClause, error) {
+	f := &flattener{env: env, arrays: arrays, diags: diags}
+	ctx := flattenCtx{}
+	roots := f.walk(def.Comp, ctx)
+	if len(f.errs) > 0 {
+		return nil, nil, f.errs[0]
+	}
+	// Extract subscript forms now that nests are known.
+	for _, cl := range f.clauses {
+		f.extractSubscripts(cl)
+	}
+	if len(f.errs) > 0 {
+		return nil, nil, f.errs[0]
+	}
+	return roots, f.clauses, nil
+}
+
+// flattenCtx is the accumulated context on the path from the root.
+type flattenCtx struct {
+	nest      affine.Nest
+	nestNodes []*TreeNode
+	guards    []lang.Expr
+	lets      []lang.Binding
+	// pendGuards/pendLets attach to the next concrete node produced.
+	pendGuards []lang.Expr
+	pendLets   []lang.Binding
+}
+
+func (c flattenCtx) withLoop(node *TreeNode) flattenCtx {
+	out := c
+	out.nest = append(append(affine.Nest(nil), c.nest...), *node.Loop)
+	out.nestNodes = append(append([]*TreeNode(nil), c.nestNodes...), node)
+	out.pendGuards = nil
+	out.pendLets = nil
+	return out
+}
+
+func (f *flattener) walk(n lang.CompNode, ctx flattenCtx) []*TreeNode {
+	switch x := n.(type) {
+	case *lang.Clause:
+		cl := &FlatClause{
+			ID:        len(f.clauses),
+			Clause:    x,
+			Nest:      append(affine.Nest(nil), ctx.nest...),
+			NestNodes: append([]*TreeNode(nil), ctx.nestNodes...),
+			Guards:    concatExprs(ctx.guards, ctx.pendGuards),
+			Lets:      concatBinds(ctx.lets, ctx.pendLets),
+		}
+		cl.Instances = 1
+		for _, l := range cl.Nest {
+			cl.Instances *= l.Trip()
+		}
+		cl.Guarded = len(cl.Guards) > 0
+		x.ID = cl.ID
+		f.clauses = append(f.clauses, cl)
+		node := &TreeNode{
+			Clause: cl,
+			Guards: ctx.pendGuards,
+			Lets:   ctx.pendLets,
+		}
+		cl.Node = node
+		return []*TreeNode{node}
+	case *lang.Generator:
+		loop, err := affine.LoopFromGenerator(x, f.env)
+		if err != nil {
+			f.errf(x.Pos(), "%v", err)
+			return nil
+		}
+		if loop.Trip() == 0 {
+			f.diag("generator %s is empty under this parameter binding; subtree dropped", loop)
+			return nil
+		}
+		node := &TreeNode{
+			Loop:   &loop,
+			Gen:    x,
+			Guards: ctx.pendGuards,
+			Lets:   ctx.pendLets,
+		}
+		inner := ctx.withLoop(node)
+		inner.guards = concatExprs(ctx.guards, ctx.pendGuards)
+		inner.lets = concatBinds(ctx.lets, ctx.pendLets)
+		node.Children = f.walk(x.Body, inner)
+		if node.Children == nil {
+			return nil
+		}
+		return []*TreeNode{node}
+	case *lang.Guard:
+		// Try static evaluation: guards over parameters fold away.
+		if v, err := affine.EvalBool(x.Cond, f.env); err == nil {
+			if !v {
+				f.diag("guard %s is statically false; subtree dropped", lang.ExprString(x.Cond))
+				return nil
+			}
+			return f.walk(x.Body, ctx)
+		}
+		if len(lang.ArrayRefs(x.Cond)) > 0 {
+			f.errf(x.Cond.Pos(), "guards may not select array elements: %s", lang.ExprString(x.Cond))
+			return nil
+		}
+		inner := ctx
+		inner.pendGuards = concatExprs(ctx.pendGuards, []lang.Expr{x.Cond})
+		return f.walk(x.Body, inner)
+	case *lang.Append:
+		var out []*TreeNode
+		for _, p := range x.Parts {
+			out = append(out, f.walk(p, ctx)...)
+		}
+		return out
+	case *lang.CompLet:
+		inner := ctx
+		inner.pendLets = concatBinds(ctx.pendLets, x.Binds)
+		return f.walk(x.Body, inner)
+	case nil:
+		return nil
+	}
+	f.errf(n.Pos(), "unknown comprehension node %T", n)
+	return nil
+}
+
+func concatExprs(a, b []lang.Expr) []lang.Expr {
+	if len(b) == 0 {
+		return a
+	}
+	out := make([]lang.Expr, 0, len(a)+len(b))
+	out = append(out, a...)
+	return append(out, b...)
+}
+
+func concatBinds(a, b []lang.Binding) []lang.Binding {
+	if len(b) == 0 {
+		return a
+	}
+	out := make([]lang.Binding, 0, len(a)+len(b))
+	out = append(out, a...)
+	return append(out, b...)
+}
+
+// wrapLets wraps an expression in the clause's accumulated bindings so
+// that affine extraction sees let-bound subscript aliases.
+func wrapLets(e lang.Expr, lets []lang.Binding) lang.Expr {
+	if len(lets) == 0 {
+		return e
+	}
+	return &lang.Let{Binds: lets, Body: lang.CloneExpr(e)}
+}
+
+// extractSubscripts computes affine forms for the clause's write
+// subscripts and for every array read in its value.
+func (f *flattener) extractSubscripts(cl *FlatClause) {
+	isIndex := func(v string) bool { return cl.Nest.Index(v) >= 0 }
+	valueLets := collectValueLets(cl)
+	cl.WriteAffine = true
+	for _, sub := range cl.Clause.Subs {
+		form, err := affine.FromExpr(wrapLets(sub, cl.Lets), isIndex, f.env)
+		if err != nil {
+			cl.WriteAffine = false
+			cl.WriteForms = nil
+			f.diag("%s: write subscript %s is not affine: %v", cl.Label(), lang.ExprString(sub), err)
+			break
+		}
+		cl.WriteForms = append(cl.WriteForms, form)
+	}
+	for _, ix := range lang.ArrayRefs(cl.Clause.Value) {
+		rr := &ReadRef{Clause: cl, Ix: ix, Affine: true}
+		for _, sub := range ix.Subs {
+			form, err := affine.FromExpr(wrapLets(sub, concatBinds(cl.Lets, valueLets)), isIndex, f.env)
+			if err != nil {
+				rr.Affine = false
+				rr.Forms = nil
+				f.diag("%s: read subscript %s!%s is not affine: %v", cl.Label(), ix.Array, lang.ExprString(sub), err)
+				break
+			}
+			rr.Forms = append(rr.Forms, form)
+		}
+		cl.Reads = append(cl.Reads, rr)
+	}
+}
+
+// collectValueLets gathers the expression-level let bindings that
+// enclose array references in the clause value, so subscripts like
+// `a!(d)` with `where d = i-1` are analyzable. Only top-level lets of
+// the value are considered (nested shadowing handled by FromExpr).
+func collectValueLets(cl *FlatClause) []lang.Binding {
+	var out []lang.Binding
+	e := cl.Clause.Value
+	for {
+		let, ok := e.(*lang.Let)
+		if !ok {
+			return out
+		}
+		out = append(out, let.Binds...)
+		e = let.Body
+	}
+}

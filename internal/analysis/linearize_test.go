@@ -1,0 +1,182 @@
+package analysis
+
+import (
+	"testing"
+
+	"arraycomp/internal/deptest"
+	"arraycomp/internal/parser"
+)
+
+// Linearization (§6's alternative to per-dimension ANDing) models
+// memory aliasing exactly for in-bounds references: it refutes
+// coupled-dimension false positives and confirms dependences without
+// the separability proviso.
+
+// transposedPair builds the write (i,j) / read (j,i) reference pair
+// over an n×n iteration space.
+func transposedPair(t *testing.T, n int64) (*Result, *FlatClause, *ReadRef) {
+	t.Helper()
+	prog, err := parser.ParseProgram(`param n;
+	a2 = bigupd a [* [ (i,j) := a!(j,i) ] | i <- [1..n], j <- [1..n] *]`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bounds := ArrayBounds{Lo: []int64{1, 1}, Hi: []int64{n, n}}
+	res, err := Analyze(prog.Defs[0], map[string]int64{"n": n}, bounds, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := res.Clauses[0]
+	return res, cl, cl.Reads[0]
+}
+
+func vectorsOf(deps []PairDep) map[string]deptest.Result {
+	out := map[string]deptest.Result{}
+	for _, d := range deps {
+		out[d.Dir.String()] = d.Verdict
+	}
+	return out
+}
+
+func TestLinearizationRefutesCoupledVectors(t *testing.T) {
+	n := int64(10)
+	res, cl, rd := transposedPair(t, n)
+	bounds := res.Bounds
+
+	plain, err := AnalyzePairOpts(rd.Forms, cl.WriteForms, cl, cl, PairOptions{Budget: deptest.DefaultExactBudget})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lin, err := AnalyzePairOpts(rd.Forms, cl.WriteForms, cl, cl, PairOptions{
+		Budget: deptest.DefaultExactBudget, Linearize: &bounds,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pv, lv := vectorsOf(plain), vectorsOf(lin)
+	// Memory aliasing of (j,i)-read with (i,j)-write requires the kill
+	// instance to be the transposed point: y = (x2, x1). Under (<,<)
+	// that needs x1 < y1 = x2 and x2 < y2 = x1 — a contradiction the
+	// per-dimension tests cannot see.
+	if _, kept := pv["(<,<)"]; !kept {
+		t.Fatalf("per-dimension analysis should keep (<,<): %v", pv)
+	}
+	if _, kept := lv["(<,<)"]; kept {
+		t.Errorf("linearization must refute (<,<): %v", lv)
+	}
+	if _, kept := lv["(>,>)"]; kept {
+		t.Errorf("linearization must refute (>,>): %v", lv)
+	}
+	// Everything linearization keeps must also be kept by the plain
+	// battery (it is refutation-only at the vector level).
+	for v := range lv {
+		if _, ok := pv[v]; !ok {
+			t.Errorf("linearized analysis invented vector %s", v)
+		}
+	}
+	if len(lv) >= len(pv) {
+		t.Errorf("linearization removed nothing: %d vs %d vectors", len(lv), len(pv))
+	}
+}
+
+func TestLinearizationUpgradesVerdict(t *testing.T) {
+	n := int64(10)
+	res, cl, rd := transposedPair(t, n)
+	bounds := res.Bounds
+	plain, err := AnalyzePairOpts(rd.Forms, cl.WriteForms, cl, cl, PairOptions{Budget: deptest.DefaultExactBudget})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lin, err := AnalyzePairOpts(rd.Forms, cl.WriteForms, cl, cl, PairOptions{
+		Budget: deptest.DefaultExactBudget, Linearize: &bounds,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pv, lv := vectorsOf(plain), vectorsOf(lin)
+	// The (=,=) self pair (the diagonal i=j) is a definite alias, but
+	// the transposed dimensions are not separable, so the per-dimension
+	// verdict must stay Possible; the linearized exact test proves it.
+	if pv["(=,=)"] == deptest.Definite {
+		t.Fatalf("per-dimension verdict for (=,=) should be capped at possible (not separable): %v", pv)
+	}
+	if lv["(=,=)"] != deptest.Definite {
+		t.Errorf("linearized verdict for (=,=) should be definite: %v", lv)
+	}
+}
+
+func TestLinearizationAblationEdgeCounts(t *testing.T) {
+	src := `param n;
+	a2 = bigupd a [* [ (i,j) := a!(j,i) ] | i <- [1..n], j <- [1..n] *]`
+	prog, err := parser.ParseProgram(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bounds := ArrayBounds{Lo: []int64{1, 1}, Hi: []int64{10, 10}}
+	env := map[string]int64{"n": 10}
+	with, err := Analyze(prog.Defs[0], env, bounds, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	without, err := Analyze(prog.Defs[0], env, bounds, nil, Options{NoLinearize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(with.Graph.Edges) >= len(without.Graph.Edges) {
+		t.Errorf("linearization should remove edges: %d with vs %d without",
+			len(with.Graph.Edges), len(without.Graph.Edges))
+	}
+	// Monotone: every edge kept with linearization exists without it.
+	have := map[string]bool{}
+	for _, e := range without.Graph.Edges {
+		have[e.String()] = true
+	}
+	for _, e := range with.Graph.Edges {
+		if !have[e.String()] {
+			t.Errorf("linearized analysis invented edge %s", e)
+		}
+	}
+}
+
+func TestLinearizedProblemMatchesOracle(t *testing.T) {
+	// The linearized equation must agree with direct offset comparison
+	// for in-bounds points.
+	res, cl, rd := transposedPair(t, 4)
+	probs, _, err := pairProblems(rd.Forms, cl.WriteForms, cl, cl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lin, ok := linearizedProblem(probs, &res.Bounds)
+	if !ok {
+		t.Fatal("linearization failed")
+	}
+	n := int64(4)
+	// Enumerate instances x (read) and y (write); check lin equation ⟺
+	// row-major offsets equal.
+	for x1 := int64(1); x1 <= n; x1++ {
+		for x2 := int64(1); x2 <= n; x2++ {
+			for y1 := int64(1); y1 <= n; y1++ {
+				for y2 := int64(1); y2 <= n; y2++ {
+					// Read subscript at x: (x2, x1); write at y: (y1, y2).
+					readOff := (x2-1)*n + (x1 - 1)
+					writeOff := (y1-1)*n + (y2 - 1)
+					var lhs int64 = lin.A0
+					var rhs int64 = lin.B0
+					xs := []int64{x1, x2, 0, 0}
+					ys := []int64{0, 0, y1, y2}
+					// Combined loop layout: shared prefix is the full
+					// 2-loop nest (same clause), so A acts on positions
+					// 0,1 and B on the same positions with y values.
+					lhs = lin.A0 + lin.A[0]*x1 + lin.A[1]*x2
+					rhs = lin.B0 + lin.B[0]*y1 + lin.B[1]*y2
+					_ = xs
+					_ = ys
+					if (lhs == rhs) != (readOff == writeOff) {
+						t.Fatalf("linearized equation disagrees at x=(%d,%d) y=(%d,%d): %d=%d vs %d=%d",
+							x1, x2, y1, y2, lhs, rhs, readOff, writeOff)
+					}
+				}
+			}
+		}
+	}
+}

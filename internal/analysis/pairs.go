@@ -1,0 +1,317 @@
+package analysis
+
+import (
+	"fmt"
+
+	"arraycomp/internal/affine"
+	"arraycomp/internal/deptest"
+)
+
+// PairDep is one possible dependence between a source reference and a
+// sink reference: a direction vector over their shared loops plus the
+// exactness of the finding.
+type PairDep struct {
+	// Dir is over the shared loops (common nest prefix), outermost
+	// first. Components may be '*' only when the pair was not
+	// analyzable and everything must be assumed.
+	Dir deptest.Vector
+	// Verdict is Definite when the exact test proved a dependence
+	// (and the subscripts are dimension-separable, so per-dimension
+	// definiteness composes), Possible/Unknown otherwise.
+	Verdict deptest.Result
+}
+
+// SharedLen returns the length of the common nest prefix of two
+// clauses — the loops they genuinely share (same generator node, not
+// merely the same variable name).
+func SharedLen(a, b *FlatClause) int {
+	n := 0
+	for n < len(a.NestNodes) && n < len(b.NestNodes) && a.NestNodes[n] == b.NestNodes[n] {
+		n++
+	}
+	return n
+}
+
+// pairProblems builds one deptest.Problem per subscript dimension for
+// a (source reference, sink reference) pair. The combined loop list is
+// [shared prefix | source-only | sink-only].
+func pairProblems(srcForms, sinkForms []affine.Form, src, sink *FlatClause) ([]deptest.Problem, int, error) {
+	if len(srcForms) != len(sinkForms) {
+		return nil, 0, fmt.Errorf("analysis: rank mismatch: %d vs %d subscripts", len(srcForms), len(sinkForms))
+	}
+	shared := SharedLen(src, sink)
+	srcOnly := len(src.Nest) - shared
+	sinkOnly := len(sink.Nest) - shared
+	total := shared + srcOnly + sinkOnly
+	bound := make([]int64, total)
+	sharedFlag := make([]bool, total)
+	for k := 0; k < shared; k++ {
+		bound[k] = src.Nest[k].Trip()
+		sharedFlag[k] = true
+	}
+	for k := 0; k < srcOnly; k++ {
+		bound[shared+k] = src.Nest[shared+k].Trip()
+	}
+	for k := 0; k < sinkOnly; k++ {
+		bound[shared+srcOnly+k] = sink.Nest[shared+k].Trip()
+	}
+	probs := make([]deptest.Problem, len(srcForms))
+	for d := range srcForms {
+		srcRef, err := src.Nest.Normalize(srcForms[d])
+		if err != nil {
+			return nil, 0, err
+		}
+		sinkRef, err := sink.Nest.Normalize(sinkForms[d])
+		if err != nil {
+			return nil, 0, err
+		}
+		a := make([]int64, total)
+		b := make([]int64, total)
+		for k := 0; k < shared; k++ {
+			a[k] = srcRef.Coeff[k]
+			b[k] = sinkRef.Coeff[k]
+		}
+		for k := 0; k < srcOnly; k++ {
+			a[shared+k] = srcRef.Coeff[shared+k]
+		}
+		for k := 0; k < sinkOnly; k++ {
+			b[shared+srcOnly+k] = sinkRef.Coeff[shared+k]
+		}
+		probs[d] = deptest.Problem{
+			A0: srcRef.Const, B0: sinkRef.Const,
+			A: a, B: b,
+			Bound:  bound,
+			Shared: sharedFlag,
+		}
+	}
+	return probs, shared, nil
+}
+
+// separable reports whether no combined loop position carries a
+// nonzero coefficient in more than one dimension, in which case
+// per-dimension Definite verdicts compose into a definite simultaneous
+// solution.
+func separable(probs []deptest.Problem) bool {
+	if len(probs) == 0 {
+		return true
+	}
+	used := make([]bool, probs[0].NumLoops())
+	for _, p := range probs {
+		for k := range p.A {
+			if p.A[k] != 0 || p.B[k] != 0 {
+				if used[k] {
+					return false
+				}
+				used[k] = true
+			}
+		}
+	}
+	return true
+}
+
+// PairOptions tunes one reference-pair analysis.
+type PairOptions struct {
+	// Budget bounds each exact test.
+	Budget int
+	// Linearize, when non-nil, additionally tests the row-major
+	// linearized subscript against these array bounds — the paper's
+	// §6 alternative to per-dimension ANDing. Sound only when both
+	// references are provably in bounds (out-of-range subscripts alias
+	// memory differently), which the caller must have established.
+	// Linearization both refutes coupled-dimension false positives and
+	// upgrades verdicts to Definite without the separability proviso.
+	Linearize *ArrayBounds
+}
+
+// linearizedProblem folds per-dimension problems into one over the
+// row-major offset: off = Σ_d mult_d·(sub_d − lo_d) with mult_d the
+// product of the extents of the faster-varying dimensions.
+func linearizedProblem(probs []deptest.Problem, b *ArrayBounds) (deptest.Problem, bool) {
+	if len(probs) != b.Rank() || len(probs) < 2 {
+		return deptest.Problem{}, false
+	}
+	mult := make([]int64, b.Rank())
+	m := int64(1)
+	for d := b.Rank() - 1; d >= 0; d-- {
+		mult[d] = m
+		e := b.Hi[d] - b.Lo[d] + 1
+		if e < 1 {
+			return deptest.Problem{}, false
+		}
+		m *= e
+	}
+	total := probs[0].NumLoops()
+	lin := deptest.Problem{
+		A:      make([]int64, total),
+		B:      make([]int64, total),
+		Bound:  probs[0].Bound,
+		Shared: probs[0].Shared,
+	}
+	for d, p := range probs {
+		lin.A0 += mult[d] * (p.A0 - b.Lo[d])
+		lin.B0 += mult[d] * (p.B0 - b.Lo[d])
+		for k := 0; k < total; k++ {
+			lin.A[k] += mult[d] * p.A[k]
+			lin.B[k] += mult[d] * p.B[k]
+		}
+	}
+	return lin, true
+}
+
+// AnalyzePair runs the full battery for a source/sink reference pair
+// and returns the surviving direction vectors over the shared loops.
+// Either side having nil forms (non-affine subscripts) yields the
+// fully pessimistic answer: a single '*…*' vector with Verdict
+// Possible.
+func AnalyzePair(srcForms, sinkForms []affine.Form, src, sink *FlatClause, budget int) ([]PairDep, error) {
+	return AnalyzePairOpts(srcForms, sinkForms, src, sink, PairOptions{Budget: budget})
+}
+
+// AnalyzePairOpts is AnalyzePair with options.
+func AnalyzePairOpts(srcForms, sinkForms []affine.Form, src, sink *FlatClause, opts PairOptions) ([]PairDep, error) {
+	budget := opts.Budget
+	shared := SharedLen(src, sink)
+	if srcForms == nil || sinkForms == nil {
+		return []PairDep{{Dir: deptest.AnyVector(shared), Verdict: deptest.Possible}}, nil
+	}
+	probs, shared, err := pairProblems(srcForms, sinkForms, src, sink)
+	if err != nil {
+		return nil, err
+	}
+	// Zero-dimension pair (rank 0 can't happen for real arrays, but a
+	// pair with no loops at all reduces to constant comparison).
+	total := 0
+	if len(probs) > 0 {
+		total = probs[0].NumLoops()
+	}
+	var lin *deptest.Problem
+	if opts.Linearize != nil {
+		if lp, ok := linearizedProblem(probs, opts.Linearize); ok {
+			lin = &lp
+		}
+	}
+	sep := separable(probs)
+	inexact := func(v deptest.Vector) (bool, error) {
+		for _, p := range probs {
+			ok, err := deptest.GCDTest(p, v)
+			if err != nil || !ok {
+				return false, err
+			}
+			ok, err = deptest.BanerjeeTest(p, v, true)
+			if err != nil || !ok {
+				return false, err
+			}
+		}
+		if lin != nil {
+			ok, err := deptest.GCDTest(*lin, v)
+			if err != nil || !ok {
+				return false, err
+			}
+			ok, err = deptest.BanerjeeTest(*lin, v, true)
+			if err != nil || !ok {
+				return false, err
+			}
+		}
+		return true, nil
+	}
+	var out []PairDep
+	seen := map[string]bool{}
+	var walk func(v deptest.Vector, from int) error
+	walk = func(v deptest.Vector, from int) error {
+		ok, err := inexact(v)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
+		split := -1
+		for k := from; k < shared; k++ {
+			if v[k] == deptest.DirAny {
+				split = k
+				break
+			}
+		}
+		if split < 0 {
+			// Leaf: confirm with the exact test per dimension.
+			verdict := deptest.Definite
+			for _, p := range probs {
+				res, err := deptest.ExactTest(p, v, budget)
+				if err != nil {
+					return err
+				}
+				if res == deptest.Impossible {
+					return nil // refuted exactly
+				}
+				if res != deptest.Definite {
+					verdict = deptest.Possible
+				}
+			}
+			if verdict == deptest.Definite && !sep {
+				verdict = deptest.Possible
+			}
+			if lin != nil {
+				// The linearized equation models memory aliasing
+				// exactly for in-bounds references: its exact test both
+				// refutes and confirms without the separability
+				// proviso.
+				res, err := deptest.ExactTest(*lin, v, budget)
+				if err != nil {
+					return err
+				}
+				switch res {
+				case deptest.Impossible:
+					return nil
+				case deptest.Definite:
+					verdict = deptest.Definite
+				}
+			}
+			// Guards only shrink the instance sets, so a dependence
+			// proved over the full ranges may not survive them: cap
+			// the verdict at Possible for guarded endpoints.
+			if verdict == deptest.Definite && (src.Guarded || sink.Guarded) {
+				verdict = deptest.Possible
+			}
+			dir := v[:shared].Clone()
+			if !seen[dir.String()] {
+				seen[dir.String()] = true
+				out = append(out, PairDep{Dir: dir, Verdict: verdict})
+			}
+			return nil
+		}
+		for _, d := range []deptest.Direction{deptest.DirLess, deptest.DirEqual, deptest.DirGreater} {
+			child := v.Clone()
+			child[split] = d
+			if err := walk(child, split+1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(deptest.AnyVector(total), 0); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// FormRange returns the inclusive range a subscript form can take over
+// the clause's full iteration space — the straight-line in-bounds
+// computation the paper performs "before entering any loops".
+func FormRange(form affine.Form, cl *FlatClause) (deptest.Interval, error) {
+	ref, err := cl.Nest.Normalize(form)
+	if err != nil {
+		return deptest.Interval{}, err
+	}
+	iv := deptest.Interval{Lo: ref.Const, Hi: ref.Const}
+	for k, c := range ref.Coeff {
+		m := cl.Nest[k].Trip()
+		if c >= 0 {
+			iv.Lo += c * 1
+			iv.Hi += c * m
+		} else {
+			iv.Lo += c * m
+			iv.Hi += c * 1
+		}
+	}
+	return iv, nil
+}

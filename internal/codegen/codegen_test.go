@@ -1,0 +1,355 @@
+package codegen
+
+import (
+	"strings"
+	"testing"
+
+	"arraycomp/internal/affine"
+	"arraycomp/internal/analysis"
+	"arraycomp/internal/lang"
+	"arraycomp/internal/loopir"
+	"arraycomp/internal/parser"
+	"arraycomp/internal/runtime"
+	"arraycomp/internal/schedule"
+)
+
+func analyzeSrc(t *testing.T, src string, env map[string]int64, srcBounds *analysis.ArrayBounds) *analysis.Result {
+	t.Helper()
+	prog, err := parser.ParseProgram(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	def := prog.Defs[0]
+	var bounds analysis.ArrayBounds
+	if def.Kind == lang.BigUpd {
+		if srcBounds == nil {
+			t.Fatal("bigupd test needs source bounds")
+		}
+		bounds = *srcBounds
+	} else {
+		bounds, err = analysis.EvalBounds(def, env)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := analysis.Analyze(def, env, bounds, nil, analysis.Options{})
+	if err != nil {
+		t.Fatalf("analyze: %v", err)
+	}
+	return res
+}
+
+func lower(t *testing.T, src string, env map[string]int64, srcBounds *analysis.ArrayBounds) *Plan {
+	t.Helper()
+	res := analyzeSrc(t, src, env, srcBounds)
+	sched, err := schedule.Build(res, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sched.Thunked && res.Def.Kind == lang.BigUpd {
+		sched, err = schedule.Build(res, schedule.KeepFlowOutput)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	plan, err := Lower(res, sched, nil)
+	if err != nil {
+		t.Fatalf("lower: %v", err)
+	}
+	return plan
+}
+
+func TestLowerSquaresProgramShape(t *testing.T) {
+	plan := lower(t, `a = array (1,n) [ i := i*i | i <- [1..n] ]`, map[string]int64{"n": 8}, nil)
+	dump := plan.Program.Dump()
+	for _, want := range []string{"do i = 1, 8, 1", "a[i] :="} {
+		if !strings.Contains(dump, want) {
+			t.Errorf("dump missing %q:\n%s", want, dump)
+		}
+	}
+	if strings.Contains(dump, "collision-checked") || strings.Contains(dump, "check-full") {
+		t.Errorf("checks must be elided:\n%s", dump)
+	}
+	out, err := plan.Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.At(5) != 25 {
+		t.Errorf("a(5) = %v", out.At(5))
+	}
+}
+
+func TestLowerBackwardLoopShape(t *testing.T) {
+	plan := lower(t, `a = array (1,n) ([ n := 1.0 ] ++ [ i := a!(i+1) | i <- [1..n-1] ])`,
+		map[string]int64{"n": 5}, nil)
+	dump := plan.Program.Dump()
+	if !strings.Contains(dump, "do i = 4, 1, -1") {
+		t.Errorf("backward loop not emitted:\n%s", dump)
+	}
+}
+
+func TestLowerStrideLoop(t *testing.T) {
+	// Stride-2 generator: loop steps by 2 over source values.
+	plan := lower(t, `a = array (1,10)
+	  ([ i := 1.0 | i <- [1,3..9] ] ++ [ i := 2.0 | i <- [2,4..10] ])`, nil, nil)
+	dump := plan.Program.Dump()
+	if !strings.Contains(dump, "do i = 1, 9, 2") || !strings.Contains(dump, "do i = 2, 10, 2") {
+		t.Errorf("stride loops wrong:\n%s", dump)
+	}
+	out, err := plan.Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.At(3) != 1 || out.At(4) != 2 {
+		t.Error("stride values wrong")
+	}
+	// Odd/even interleave is a provable permutation: no checks.
+	if plan.Checks.CollisionChecks != 0 || plan.Checks.EmptiesSweeps != 0 {
+		t.Errorf("checks = %+v", plan.Checks)
+	}
+}
+
+func TestLowerNegativeStrideGenerator(t *testing.T) {
+	plan := lower(t, `a = array (1,n) [ i := 1.0 * i | i <- [n,n-1..1] ]`, map[string]int64{"n": 6}, nil)
+	out, err := plan.Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(1); i <= 6; i++ {
+		if out.At(i) != float64(i) {
+			t.Errorf("a(%d) = %v", i, out.At(i))
+		}
+	}
+}
+
+func TestLowerGuardEmission(t *testing.T) {
+	plan := lower(t, `a = array (1,n)
+	  ([ i := 1.0 | i <- [1..n], i mod 2 == 0 ] ++
+	   [ i := 2.0 | i <- [1..n], i mod 2 == 1 ])`, map[string]int64{"n": 7}, nil)
+	dump := plan.Program.Dump()
+	if !strings.Contains(dump, "if (i % 2) == 0 then") {
+		t.Errorf("guard missing:\n%s", dump)
+	}
+	out, err := plan.Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.At(2) != 1 || out.At(3) != 2 {
+		t.Error("guarded values wrong")
+	}
+}
+
+func TestLowerLetInlining(t *testing.T) {
+	plan := lower(t, `a = array (1,n)
+	  [* (let h = n / 2 in [ i := if i <= h then 1.0 else 2.0 ]) | i <- [1..n] *]`,
+		map[string]int64{"n": 6}, nil)
+	out, err := plan.Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.At(3) != 1 || out.At(4) != 2 {
+		t.Errorf("let values wrong: %v %v", out.At(3), out.At(4))
+	}
+}
+
+func TestLowerWhereClauseValue(t *testing.T) {
+	plan := lower(t, `a = array (1,n)
+	  ([ 1 := 1.0 ] ++
+	   [ i := t + t where t = a!(i-1) | i <- [2..n] ])`, map[string]int64{"n": 5}, nil)
+	out, err := plan.Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.At(4) != 8 {
+		t.Errorf("a(4) = %v, want 8", out.At(4))
+	}
+}
+
+func TestLowerBuiltinsAndFloats(t *testing.T) {
+	plan := lower(t, `a = array (1,n) [ i := sqrt(1.0 * i * i) + min(0.5, 2.0) | i <- [1..n] ]`,
+		map[string]int64{"n": 4}, nil)
+	out, err := plan.Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.At(3) != 3.5 {
+		t.Errorf("a(3) = %v, want 3.5", out.At(3))
+	}
+}
+
+func TestLowerAccumFill(t *testing.T) {
+	res := analyzeSrc(t, `h = accumArray (+) 7.0 (1,4) [ 2 := 1.0 | i <- [1..3] ]`, nil, nil)
+	sched, err := schedule.Build(res, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := Lower(res, sched, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(plan.Program.Dump(), "fill h := 7") {
+		t.Errorf("fill missing:\n%s", plan.Program.Dump())
+	}
+	out, err := plan.Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.At(2) != 10 || out.At(1) != 7 {
+		t.Errorf("accum values: %v %v", out.At(2), out.At(1))
+	}
+}
+
+func TestLowerRejectsThunkedSchedule(t *testing.T) {
+	res := analyzeSrc(t, `a = array (1,n) [ i := a!i | i <- [1..n] ]`, map[string]int64{"n": 3}, nil)
+	sched, err := schedule.Build(res, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sched.Thunked {
+		t.Fatal("expected thunked schedule")
+	}
+	if _, err := Lower(res, sched, nil); err == nil {
+		t.Error("Lower must reject thunked schedules")
+	}
+}
+
+func TestLowerExternalArrayMissingBounds(t *testing.T) {
+	res := analyzeSrc(t, `c = array (1,n) [ i := b!i | i <- [1..n] ]`, map[string]int64{"n": 3}, nil)
+	sched, err := schedule.Build(res, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Lower(res, sched, nil); err == nil {
+		t.Error("unknown external bounds must fail lowering")
+	}
+}
+
+func TestThunkedMonolithicOracle(t *testing.T) {
+	res := analyzeSrc(t, `a = array (1,n)
+	  ([ 1 := 1.0 ] ++ [ i := a!(i-1) * 2.0 | i <- [2..n] ])`, map[string]int64{"n": 6}, nil)
+	out, err := NewThunkedPlan(res).Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.At(6) != 32 {
+		t.Errorf("a(6) = %v", out.At(6))
+	}
+}
+
+func TestThunkedBigupdPersistence(t *testing.T) {
+	b := analysis.ArrayBounds{Lo: []int64{1}, Hi: []int64{4}}
+	res := analyzeSrc(t, `param n; a2 = bigupd a [ i := a!i + 1.0 | i <- [1..n] ]`,
+		map[string]int64{"n": 4}, &b)
+	in := runtime.NewStrict(runtime.NewBounds1(1, 4))
+	in.Set(10, 2)
+	out, err := NewThunkedPlan(res).Run(map[string]*runtime.Strict{"a": in})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.At(2) != 11 || in.At(2) != 10 {
+		t.Error("thunked bigupd must be persistent")
+	}
+}
+
+func TestThunkedAccumSelfReadRejected(t *testing.T) {
+	res := analyzeSrc(t, `h = accumArray (+) 0.0 (1,4) [ i := h!1 | i <- [1..4] ]`, nil, nil)
+	if _, err := NewThunkedPlan(res).Run(nil); err == nil {
+		t.Error("self-reading accumArray must be rejected")
+	}
+}
+
+func TestTryLinearSimplification(t *testing.T) {
+	// (i + 1) * 2 - i  →  2 + i  (affine fast path)
+	e := &loopir.IBin{
+		Op: '-',
+		L: &loopir.IBin{Op: '*',
+			L: &loopir.IBin{Op: '+', L: &loopir.IVar{Name: "i"}, R: &loopir.IConst{Value: 1}},
+			R: &loopir.IConst{Value: 2}},
+		R: &loopir.IVar{Name: "i"},
+	}
+	lin, ok := tryLinear(e)
+	if !ok {
+		t.Fatal("expression is affine")
+	}
+	if got := loopir.IntExprString(lin); got != "2+i" {
+		t.Errorf("simplified = %q", got)
+	}
+	// i * i is not affine.
+	if _, ok := tryLinear(&loopir.IBin{Op: '*', L: &loopir.IVar{Name: "i"}, R: &loopir.IVar{Name: "i"}}); ok {
+		t.Error("i*i must not linearize")
+	}
+	// (i % 2) + i keeps the non-affine subtree but simplifies around it.
+	mixed := simplifyInt(&loopir.IBin{Op: '+',
+		L: &loopir.IBin{Op: '%', L: &loopir.IVar{Name: "i"}, R: &loopir.IConst{Value: 2}},
+		R: &loopir.IVar{Name: "i"}})
+	if _, isBin := mixed.(*loopir.IBin); !isBin {
+		t.Errorf("mixed expression should stay a tree, got %T", mixed)
+	}
+}
+
+func TestKillDelta(t *testing.T) {
+	b := analysis.ArrayBounds{Lo: []int64{1, 1}, Hi: []int64{10, 10}}
+	res := analyzeSrc(t, `param n;
+	a2 = bigupd a
+	  [* [ (i,j) := a!(i-1,j) + a!(i,j-2) + a!(j,i) ] | i <- [2..n-1], j <- [3..n-1] *]`,
+		map[string]int64{"n": 10}, &b)
+	cl := res.Clauses[0]
+	wantDeltas := []struct {
+		di, dj int64
+		ok     bool
+	}{
+		{-1, 0, true}, // a!(i-1,j)
+		{0, -2, true}, // a!(i,j-2)
+		{0, 0, false}, // a!(j,i): transposed, not a translation
+	}
+	for k, rd := range cl.Reads {
+		delta, ok := killDelta(rd, cl)
+		if ok != wantDeltas[k].ok {
+			t.Errorf("read %d: ok = %v, want %v", k, ok, wantDeltas[k].ok)
+			continue
+		}
+		if !ok {
+			continue
+		}
+		if delta["i"] != wantDeltas[k].di || delta["j"] != wantDeltas[k].dj {
+			t.Errorf("read %d: delta = %v", k, delta)
+		}
+	}
+}
+
+func TestExecOffset(t *testing.T) {
+	// Forward loop stride 1: delta −1 (killer at i−1) → executed 1 earlier.
+	l := affine.Loop{Var: "i", First: 1, Stride: 1, Last: 10}
+	if m, ok := execOffset(l, schedule.Forward, -1); !ok || m != 1 {
+		t.Errorf("fwd: m=%d ok=%v", m, ok)
+	}
+	// Forward, delta +1 → killer later (m = −1).
+	if m, _ := execOffset(l, schedule.Forward, 1); m != -1 {
+		t.Errorf("fwd later: m=%d", m)
+	}
+	// Backward: delta +1 → executed 1 earlier.
+	if m, _ := execOffset(l, schedule.Backward, 1); m != 1 {
+		t.Errorf("bwd: m=%d", m)
+	}
+	// Stride 2, delta −2 forward → 1 iteration earlier.
+	l2 := affine.Loop{Var: "i", First: 1, Stride: 2, Last: 9}
+	if m, _ := execOffset(l2, schedule.Forward, -2); m != 1 {
+		t.Errorf("stride2: m=%d", m)
+	}
+	// Non-divisible delta fails.
+	if _, ok := execOffset(l2, schedule.Forward, -1); ok {
+		t.Error("non-divisible delta must fail")
+	}
+}
+
+func TestLowerBoundsCheckOnUnprovableWrite(t *testing.T) {
+	// n+1 writes one past the end for i == n: compiled bounds check
+	// must fire at run time.
+	plan := lower(t, `a = array (1,n) [ i + 1 := 1.0 | i <- [1..n] ]`, map[string]int64{"n": 4}, nil)
+	if plan.Checks.BoundsChecks == 0 {
+		t.Fatal("bounds check must be compiled")
+	}
+	if _, err := plan.Run(nil); err == nil || !strings.Contains(err.Error(), "out of bounds") {
+		t.Errorf("want bounds error, got %v", err)
+	}
+}

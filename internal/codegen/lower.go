@@ -1,0 +1,461 @@
+package codegen
+
+import (
+	"fmt"
+
+	"arraycomp/internal/analysis"
+	"arraycomp/internal/lang"
+	"arraycomp/internal/loopir"
+	"arraycomp/internal/runtime"
+	"arraycomp/internal/schedule"
+)
+
+// CheckCounts tallies the runtime checks a lowering emitted — the
+// quantities the paper's optimizations exist to drive to zero.
+type CheckCounts struct {
+	CollisionChecks int
+	BoundsChecks    int
+	DefinedChecks   int
+	EmptiesSweeps   int
+}
+
+// Plan is a fully lowered, compiled, runnable array program.
+type Plan struct {
+	Program *loopir.Program
+	Exec    *loopir.Exec
+	// Checks counts emitted runtime checks.
+	Checks CheckCounts
+	// Notes records lowering decisions (tier choices, check elisions).
+	Notes []string
+	// InPlace reports that the plan updates its input array in place
+	// (bigupd with single-threaded scheduling).
+	InPlace bool
+}
+
+// Run executes the plan.
+func (p *Plan) Run(inputs map[string]*runtime.Strict) (*runtime.Strict, error) {
+	return p.Exec.RunResult(inputs)
+}
+
+// LowerOptions tunes lowering.
+type LowerOptions struct {
+	// Parallel emits dependence-free loop passes as parallel loops
+	// (the section 10 extension). Only the outermost eligible loop of
+	// a nest is sharded, and only when the plan uses no shared scalar
+	// state or definedness bitmaps.
+	Parallel bool
+}
+
+// lowerer carries lowering state.
+type lowerer struct {
+	res      *analysis.Result
+	sched    *schedule.Result
+	external map[string]analysis.ArrayBounds
+	opts     LowerOptions
+	// inParallel suppresses nested parallel marks.
+	inParallel bool
+	prog       *loopir.Program
+	plan       *Plan
+	// selfIR is the IR name of the array being built/updated.
+	selfIR string
+	// trackDefs / checkCollision / checkEmpties per the analysis.
+	trackDefs      bool
+	checkCollision bool
+	accum          runtime.CombineFunc
+	// hooks from node splitting.
+	hooks *splitHooks
+	// scalarSeq generates unique scalar names.
+	scalarSeq int
+}
+
+// splitHooks carries node-splitting insertions keyed by schedule
+// positions and clause IDs.
+type splitHooks struct {
+	// beforeLoop stmts run once before the keyed loop pass.
+	beforeLoop map[*schedule.Node][]loopir.Stmt
+	// instanceStart stmts run at the start of every instance of the
+	// keyed loop pass.
+	instanceStart map[*schedule.Node][]loopir.Stmt
+	// clauseSaves emits extra stores between rhs evaluation and the
+	// main write for the keyed clause: each entry is (dst array, dst
+	// subs, src VExpr) evaluated in clause scope.
+	clauseSaves map[int][]saveStmt
+	// clauseAfter stmts run after the keyed clause's write.
+	clauseAfter map[int][]loopir.Stmt
+	// readRepl / readTarget redirections for the expression translator.
+	readRepl   map[*lang.Index]loopir.VExpr
+	readTarget map[*lang.Index]string
+}
+
+// saveStmt stores rhs into either an array element or a scalar,
+// sequenced between a clause's rhs evaluation and its write.
+type saveStmt struct {
+	array  string // non-empty for array saves
+	subs   []loopir.IntExpr
+	scalar string // non-empty for scalar saves
+	rhs    loopir.VExpr
+}
+
+func (s saveStmt) stmt() loopir.Stmt {
+	if s.scalar != "" {
+		return &loopir.SetScalar{Name: s.scalar, Rhs: s.rhs}
+	}
+	return &loopir.Assign{Array: s.array, Subs: s.subs, Rhs: s.rhs}
+}
+
+func newSplitHooks() *splitHooks {
+	return &splitHooks{
+		beforeLoop:    map[*schedule.Node][]loopir.Stmt{},
+		instanceStart: map[*schedule.Node][]loopir.Stmt{},
+		clauseSaves:   map[int][]saveStmt{},
+		clauseAfter:   map[int][]loopir.Stmt{},
+		readRepl:      map[*lang.Index]loopir.VExpr{},
+		readTarget:    map[*lang.Index]string{},
+	}
+}
+
+func boundsToRuntime(b analysis.ArrayBounds) runtime.Bounds {
+	return runtime.Bounds{Lo: append([]int64(nil), b.Lo...), Hi: append([]int64(nil), b.Hi...)}
+}
+
+// Lower turns a scheduled analysis result into an executable plan.
+// external gives the bounds of arrays the definition reads. The
+// schedule must not be thunked (use NewThunkedPlan for that path).
+func Lower(res *analysis.Result, sched *schedule.Result, external map[string]analysis.ArrayBounds, opts ...LowerOptions) (*Plan, error) {
+	if sched.Thunked {
+		return nil, fmt.Errorf("codegen: schedule is thunked (%s); use the thunked evaluator", sched.Reason)
+	}
+	if res.Collision == analysis.Yes && res.Def.Kind == lang.Monolithic {
+		return nil, fmt.Errorf("codegen: %s", res.CollisionDetail)
+	}
+	var o LowerOptions
+	if len(opts) > 0 {
+		o = opts[0]
+	}
+	lw := &lowerer{
+		res:      res,
+		sched:    sched,
+		external: external,
+		opts:     o,
+		plan:     &Plan{},
+		hooks:    newSplitHooks(),
+	}
+	lw.prog = &loopir.Program{Name: res.Def.Name}
+	lw.plan.Program = lw.prog
+
+	// Declare arrays.
+	switch res.Def.Kind {
+	case lang.BigUpd:
+		lw.selfIR = res.Def.Source
+		lw.prog.Arrays = append(lw.prog.Arrays, loopir.ArrayDecl{
+			Name: lw.selfIR, B: boundsToRuntime(res.Bounds), Role: loopir.RoleInOut,
+		})
+		lw.plan.InPlace = true
+	default:
+		lw.selfIR = res.Def.Name
+		lw.trackDefs = res.Def.Kind == lang.Monolithic && (!res.NoEmpties || res.Collision == analysis.Maybe)
+		lw.checkCollision = res.Def.Kind == lang.Monolithic && res.Collision == analysis.Maybe
+		lw.prog.Arrays = append(lw.prog.Arrays, loopir.ArrayDecl{
+			Name: lw.selfIR, B: boundsToRuntime(res.Bounds), Role: loopir.RoleOut, TrackDefs: lw.trackDefs,
+		})
+	}
+	for name := range res.ExternalReads {
+		b, ok := external[name]
+		if !ok {
+			return nil, fmt.Errorf("codegen: no bounds known for external array %q", name)
+		}
+		lw.prog.Arrays = append(lw.prog.Arrays, loopir.ArrayDecl{
+			Name: name, B: boundsToRuntime(b), Role: loopir.RoleIn,
+		})
+	}
+
+	if res.Def.Kind == lang.Accumulated {
+		comb, ok := runtime.Combiner(res.Def.Accum.Combine)
+		if !ok {
+			return nil, fmt.Errorf("codegen: unknown combining function %q", res.Def.Accum.Combine)
+		}
+		lw.accum = comb
+		lw.prog.AccumOp = res.Def.Accum.Combine
+		init, err := lw.baseXlate().valueExpr(res.Def.Accum.Init)
+		if err != nil {
+			return nil, err
+		}
+		c, isConst := init.(*loopir.VConst)
+		if !isConst {
+			return nil, fmt.Errorf("codegen: accumArray default must be a constant")
+		}
+		if c.Value != 0 {
+			lw.prog.Stmts = append(lw.prog.Stmts, &loopir.Fill{Array: lw.selfIR, Value: c.Value})
+		}
+	}
+
+	// Node splitting for bigupd (may add temps, hooks, redirections).
+	if res.Def.Kind == lang.BigUpd {
+		if err := lw.planSplits(); err != nil {
+			return nil, err
+		}
+	}
+
+	stmts, err := lw.lowerNodes(lw.sched.Nodes, lw.baseXlate())
+	if err != nil {
+		return nil, err
+	}
+	lw.prog.Stmts = append(lw.prog.Stmts, stmts...)
+
+	if lw.trackDefs && !lw.res.NoEmpties {
+		lw.prog.Stmts = append(lw.prog.Stmts, &loopir.CheckFull{Array: lw.selfIR})
+		lw.plan.Checks.EmptiesSweeps++
+		lw.note("empties not excluded statically: definedness bitmap + final sweep compiled")
+	}
+	if lw.res.NoEmpties {
+		lw.note("empties excluded statically: no definedness checks")
+	}
+	if lw.res.Collision == analysis.No && res.Def.Kind == lang.Monolithic {
+		lw.note("write collisions excluded statically: no collision checks")
+	}
+
+	ex, err := loopir.Compile(lw.prog)
+	if err != nil {
+		return nil, err
+	}
+	lw.plan.Exec = ex
+	return lw.plan, nil
+}
+
+func (lw *lowerer) note(format string, args ...any) {
+	lw.plan.Notes = append(lw.plan.Notes, fmt.Sprintf(format, args...))
+}
+
+func (lw *lowerer) freshScalar(prefix string) string {
+	lw.scalarSeq++
+	name := fmt.Sprintf("%s$%d", prefix, lw.scalarSeq)
+	lw.prog.Scalars = append(lw.prog.Scalars, name)
+	return name
+}
+
+func (lw *lowerer) baseXlate() *xlate {
+	return &xlate{
+		env:       lw.res.Env,
+		indexVars: map[string]bool{},
+		arrayName: func(surface string) (string, error) {
+			if surface == lw.res.Def.Name || surface == lw.res.Def.Source {
+				return lw.selfIR, nil
+			}
+			if _, ok := lw.res.ExternalReads[surface]; ok {
+				return surface, nil
+			}
+			return "", fmt.Errorf("codegen: unknown array %q", surface)
+		},
+		refFlags: func(ix *lang.Index) (bool, bool) {
+			var rd *analysis.ReadRef
+			for _, cl := range lw.res.Clauses {
+				for _, r := range cl.Reads {
+					if r.Ix == ix {
+						rd = r
+					}
+				}
+			}
+			cb, cd := true, false
+			if rd != nil {
+				cb = !lw.res.ReadInBounds[rd]
+			}
+			if lw.trackDefs && (ix.Array == lw.res.Def.Name && lw.res.Def.Kind != lang.BigUpd) {
+				cd = true
+			}
+			if cb {
+				lw.plan.Checks.BoundsChecks++
+			}
+			if cd {
+				lw.plan.Checks.DefinedChecks++
+			}
+			return cb, cd
+		},
+		readRepl:   lw.hooks.readRepl,
+		readTarget: lw.hooks.readTarget,
+	}
+}
+
+func (x *xlate) withIndexVar(v string) *xlate {
+	out := *x
+	out.indexVars = make(map[string]bool, len(x.indexVars)+1)
+	for k := range x.indexVars {
+		out.indexVars[k] = true
+	}
+	out.indexVars[v] = true
+	return &out
+}
+
+// lowerNodes lowers an ordered node sequence in the given scope.
+func (lw *lowerer) lowerNodes(nodes []*schedule.Node, x *xlate) ([]loopir.Stmt, error) {
+	var out []loopir.Stmt
+	for _, n := range nodes {
+		stmts, err := lw.lowerNode(n, x)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, stmts...)
+	}
+	return out, nil
+}
+
+func (lw *lowerer) lowerNode(n *schedule.Node, x *xlate) ([]loopir.Stmt, error) {
+	if n.IsLoop() {
+		return lw.lowerLoop(n, x)
+	}
+	return lw.lowerClause(n.Clause, x)
+}
+
+func (lw *lowerer) lowerLoop(n *schedule.Node, x *xlate) ([]loopir.Stmt, error) {
+	l := n.Loop.Loop
+	parallel := lw.parallelEligible(n)
+	wasInParallel := lw.inParallel
+	if parallel {
+		lw.inParallel = true
+	}
+	inner := x.withIndexVar(l.Var).withLets(n.Loop.Lets)
+	body, err := lw.lowerNodes(n.Body, inner)
+	lw.inParallel = wasInParallel
+	if err != nil {
+		return nil, err
+	}
+	if pre := lw.hooks.instanceStart[n]; len(pre) > 0 {
+		body = append(append([]loopir.Stmt(nil), pre...), body...)
+	}
+	var from, to, step int64
+	last := l.ValueAt(l.Trip())
+	if n.Dir == schedule.Backward {
+		from, to, step = last, l.First, -l.Stride
+	} else {
+		from, to, step = l.First, last, l.Stride
+	}
+	if parallel {
+		lw.note("loop %s parallelized (no carried dependences)", l.Var)
+	}
+	stmt := loopir.Stmt(&loopir.Loop{Var: l.Var, From: from, To: to, Step: step, Parallel: parallel, Body: body})
+	// Guards on the loop node condition the whole loop.
+	stmt, err = lw.wrapGuards(n.Loop.Guards, x.withLets(n.Loop.Lets), stmt)
+	if err != nil {
+		return nil, err
+	}
+	out := append([]loopir.Stmt(nil), lw.hooks.beforeLoop[n]...)
+	return append(out, stmt), nil
+}
+
+// parallelEligible decides whether a schedule-parallel loop pass may
+// actually be emitted parallel: the plan must have no shared mutable
+// state beyond disjoint array elements — no definedness bitmaps (their
+// flag writes would race under possible collisions), no accumulation
+// into possibly-shared elements, no node-splitting hooks (their
+// carried scalars/buffers are sequential state) — and only the
+// outermost eligible loop of a nest is sharded.
+func (lw *lowerer) parallelEligible(n *schedule.Node) bool {
+	if !lw.opts.Parallel || !n.Parallel || lw.inParallel {
+		return false
+	}
+	if lw.trackDefs {
+		return false
+	}
+	if lw.accum != nil && lw.res.Collision != analysis.No {
+		return false
+	}
+	if len(lw.hooks.clauseSaves) > 0 || len(lw.hooks.instanceStart) > 0 ||
+		len(lw.hooks.beforeLoop) > 0 || len(lw.hooks.clauseAfter) > 0 {
+		return false
+	}
+	return true
+}
+
+func (lw *lowerer) wrapGuards(guards []lang.Expr, x *xlate, stmt loopir.Stmt) (loopir.Stmt, error) {
+	for i := len(guards) - 1; i >= 0; i-- {
+		cond, err := x.boolExpr(guards[i])
+		if err != nil {
+			return nil, err
+		}
+		stmt = &loopir.If{Cond: cond, Then: []loopir.Stmt{stmt}}
+	}
+	return stmt, nil
+}
+
+func (lw *lowerer) lowerClause(cl *analysis.FlatClause, x *xlate) ([]loopir.Stmt, error) {
+	cx := x.withLets(cl.Node.Lets)
+	subs, err := lw.writeSubs(cl, cx)
+	if err != nil {
+		return nil, err
+	}
+	rhs, err := cx.valueExpr(cl.Clause.Value)
+	if err != nil {
+		return nil, err
+	}
+	checkBounds := !lw.res.WriteInBounds[cl.ID]
+	if checkBounds {
+		lw.plan.Checks.BoundsChecks++
+	}
+	var stmts []loopir.Stmt
+	saves := lw.hooks.clauseSaves[cl.ID]
+	if len(saves) > 0 {
+		// Node-split sequencing: evaluate the rhs first, then save the
+		// old values the future reads need, then write.
+		tmp := lw.freshScalar("v")
+		stmts = append(stmts, &loopir.SetScalar{Name: tmp, Rhs: rhs})
+		for _, s := range saves {
+			stmts = append(stmts, s.stmt())
+		}
+		rhs = &loopir.VScalar{Name: tmp}
+	}
+	assign := &loopir.Assign{
+		Array:       lw.selfIR,
+		Subs:        subs,
+		Rhs:         rhs,
+		CheckBounds: checkBounds,
+	}
+	if lw.accum != nil {
+		assign.Accumulate = lw.accum
+	} else if lw.checkCollision {
+		assign.CheckCollision = true
+		lw.plan.Checks.CollisionChecks++
+	}
+	stmts = append(stmts, assign)
+	stmts = append(stmts, lw.hooks.clauseAfter[cl.ID]...)
+	// Clause-level guards.
+	if len(cl.Node.Guards) > 0 {
+		var conds []loopir.BExpr
+		for _, g := range cl.Node.Guards {
+			c, err := cx.boolExpr(g)
+			if err != nil {
+				return nil, err
+			}
+			conds = append(conds, c)
+		}
+		cond := conds[0]
+		for _, c := range conds[1:] {
+			cond = &loopir.BAnd{L: cond, R: c}
+		}
+		return []loopir.Stmt{&loopir.If{Cond: cond, Then: stmts}}, nil
+	}
+	return stmts, nil
+}
+
+// writeSubs translates a clause's write subscripts, using the affine
+// fast path when available.
+func (lw *lowerer) writeSubs(cl *analysis.FlatClause, x *xlate) ([]loopir.IntExpr, error) {
+	if cl.WriteAffine {
+		subs := make([]loopir.IntExpr, len(cl.WriteForms))
+		for d, form := range cl.WriteForms {
+			lin := &loopir.ILin{Const: form.Const}
+			for _, v := range form.Vars() {
+				lin.Terms = append(lin.Terms, loopir.ITerm{Var: v, Coeff: form.CoeffOf(v)})
+			}
+			subs[d] = lin
+		}
+		return subs, nil
+	}
+	subs := make([]loopir.IntExpr, len(cl.Clause.Subs))
+	for d, s := range cl.Clause.Subs {
+		se, err := x.intExpr(s)
+		if err != nil {
+			return nil, err
+		}
+		subs[d] = se
+	}
+	return subs, nil
+}

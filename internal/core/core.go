@@ -1,0 +1,488 @@
+// Package core is the compiler pipeline of the reproduction: parse →
+// flatten/normalize → subscript analysis → dependence graph → static
+// scheduling → code generation, per array definition, with definitions
+// ordered by their array-level dependences and mutually recursive
+// groups falling back to thunked evaluation.
+//
+// A Program is compiled against one binding of its scalar parameters
+// (the paper's statically-known loop bounds) and can then be run any
+// number of times over different input arrays.
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"arraycomp/internal/analysis"
+	"arraycomp/internal/codegen"
+	"arraycomp/internal/depgraph"
+	"arraycomp/internal/lang"
+	"arraycomp/internal/parser"
+	"arraycomp/internal/runtime"
+	"arraycomp/internal/schedule"
+)
+
+// Options tunes compilation.
+type Options struct {
+	// ExactBudget bounds each exact dependence test (0 = default).
+	ExactBudget int
+	// ForceThunked skips scheduling and compiles every definition with
+	// the general thunked representation (the naive baseline; used for
+	// ablation benchmarks).
+	ForceThunked bool
+	// Parallel emits dependence-free loops as parallel loops sharded
+	// across CPUs (the paper's section 10 extension).
+	Parallel bool
+	// InputBounds declares the bounds of free input arrays (arrays read
+	// but not defined by the program), required to compile reads of
+	// them.
+	InputBounds map[string]analysis.ArrayBounds
+}
+
+// CompiledDef is the compilation artifact of one definition.
+type CompiledDef struct {
+	Def      *lang.ArrayDef
+	Analysis *analysis.Result
+	Schedule *schedule.Result
+	// Plan is the thunkless compiled plan, nil when Thunked is used.
+	Plan *codegen.Plan
+	// Thunked is the fallback evaluator, nil when Plan is used.
+	Thunked *codegen.ThunkedPlan
+	// GroupIdx ≥ 0 marks membership in a mutually recursive group
+	// evaluated together (Plan and Thunked are both nil then).
+	GroupIdx int
+	// CloneSource: this in-place plan's source array is live afterwards
+	// and must be cloned before running.
+	CloneSource bool
+}
+
+// Mode describes how the definition was compiled.
+func (d *CompiledDef) Mode() string {
+	switch {
+	case d.GroupIdx >= 0:
+		return "thunked-group"
+	case d.Plan != nil && d.Plan.InPlace:
+		return "in-place"
+	case d.Plan != nil:
+		return "thunkless"
+	default:
+		return "thunked"
+	}
+}
+
+// Program is a compiled program.
+type Program struct {
+	Source *lang.Program
+	Env    map[string]int64
+	// Steps is the evaluation order: single definitions and recursive
+	// groups interleaved.
+	Defs map[string]*CompiledDef
+	// Order lists definition names in evaluation order.
+	Order []string
+	// Groups holds the mutually recursive groups (by analysis results).
+	Groups [][]*analysis.Result
+	Result string
+	Notes  []string
+}
+
+// Compile parses and compiles source under the given parameter binding.
+func Compile(src string, params map[string]int64, opts Options) (*Program, error) {
+	prog, err := parser.ParseProgram(src)
+	if err != nil {
+		return nil, err
+	}
+	return CompileProgram(prog, params, opts)
+}
+
+// CompileProgram compiles an already parsed program.
+func CompileProgram(source *lang.Program, params map[string]int64, opts Options) (*Program, error) {
+	env := map[string]int64{}
+	for k, v := range params {
+		env[k] = v
+	}
+	for _, q := range source.Params {
+		if _, ok := env[q.Name]; !ok {
+			return nil, fmt.Errorf("core: parameter %q not bound", q.Name)
+		}
+	}
+	p := &Program{
+		Source: source,
+		Env:    env,
+		Defs:   map[string]*CompiledDef{},
+		Result: source.Result,
+	}
+	if source.Def(source.Result) == nil {
+		return nil, fmt.Errorf("core: result array %q is not defined", source.Result)
+	}
+
+	// Resolve bounds for every definition (bigupd inherits its
+	// source's bounds), then order definitions.
+	bounds := map[string]analysis.ArrayBounds{}
+	for name, b := range opts.InputBounds {
+		bounds[name] = b
+	}
+	// Non-bigupd bounds first; bigupd may chain through other bigupds.
+	for _, def := range source.Defs {
+		if def.Kind != lang.BigUpd {
+			b, err := analysis.EvalBounds(def, env)
+			if err != nil {
+				return nil, err
+			}
+			bounds[def.Name] = b
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, def := range source.Defs {
+			if def.Kind != lang.BigUpd {
+				continue
+			}
+			if _, done := bounds[def.Name]; done {
+				continue
+			}
+			if b, ok := bounds[def.Source]; ok {
+				bounds[def.Name] = b
+				changed = true
+			}
+		}
+	}
+	for _, def := range source.Defs {
+		if _, ok := bounds[def.Name]; !ok {
+			return nil, fmt.Errorf("core: cannot resolve bounds of %s (bigupd source %q unknown — declare it via InputBounds)", def.Name, def.Source)
+		}
+	}
+
+	// Analyze every definition.
+	results := map[string]*analysis.Result{}
+	aOpts := analysis.Options{ExactBudget: opts.ExactBudget}
+	for _, def := range source.Defs {
+		external := map[string]analysis.ArrayBounds{}
+		for name, b := range bounds {
+			if name != def.Name {
+				external[name] = b
+			}
+		}
+		res, err := analysis.Analyze(def, env, bounds[def.Name], external, aOpts)
+		if err != nil {
+			return nil, fmt.Errorf("core: %s: %w", def.Name, err)
+		}
+		results[def.Name] = res
+	}
+
+	// Definition-level dependence graph and evaluation order.
+	order, groups, err := orderDefs(source, results)
+	if err != nil {
+		return nil, err
+	}
+	// Dead-definition elimination: a binding the result does not
+	// (transitively) need is never evaluated — the natural operational
+	// reading of a non-strict letrec.
+	live := liveDefs(source, results)
+	var pruned []string
+	for _, name := range order {
+		if live[name] {
+			pruned = append(pruned, name)
+		} else {
+			p.note("%s: not needed by %s; dropped (dead binding)", name, source.Result)
+		}
+	}
+	order = pruned
+	var liveGroups [][]*analysis.Result
+	for _, g := range groups {
+		if live[g[0].Def.Name] {
+			liveGroups = append(liveGroups, g)
+		}
+	}
+	groups = liveGroups
+	p.Order = order
+	p.Groups = groups
+
+	grouped := map[string]int{}
+	for gi, g := range groups {
+		for _, res := range g {
+			grouped[res.Def.Name] = gi
+		}
+	}
+
+	// Liveness: does any later definition read this array?
+	lastReader := map[string]int{}
+	for pos, name := range order {
+		res := results[name]
+		for ext := range res.ExternalReads {
+			lastReader[ext] = pos
+		}
+		if res.Def.Kind == lang.BigUpd {
+			lastReader[res.Def.Source] = pos
+		}
+	}
+
+	for pos, name := range order {
+		def := source.Def(name)
+		res := results[name]
+		cd := &CompiledDef{Def: def, Analysis: res, GroupIdx: -1}
+		p.Defs[name] = cd
+		if gi, ok := grouped[name]; ok {
+			cd.GroupIdx = gi
+			p.note("%s: mutually recursive with its group; thunked group evaluation", name)
+			continue
+		}
+		external := map[string]analysis.ArrayBounds{}
+		for n, b := range bounds {
+			if n != name {
+				external[n] = b
+			}
+		}
+		if opts.ForceThunked {
+			cd.Thunked = codegen.NewThunkedPlan(res)
+			p.note("%s: thunked (forced)", name)
+			continue
+		}
+		if !def.Strict {
+			// A plain letrec gives no strict-context guarantee: the
+			// caller may tie a hidden recursive knot through this array
+			// (the paper's `letrec a = g (f a)` example), so thunkless
+			// compilation is unsafe. This is exactly why the paper
+			// introduces letrec*.
+			cd.Thunked = codegen.NewThunkedPlan(res)
+			p.note("%s: non-strict binding (plain letrec): thunked; use letrec* for thunkless compilation", name)
+			continue
+		}
+		sched, err := schedule.Build(res, nil)
+		if err != nil {
+			return nil, fmt.Errorf("core: %s: %w", name, err)
+		}
+		if sched.Thunked && def.Kind == lang.BigUpd {
+			// Relax the anti edges; node splitting repairs the
+			// violated ones during lowering.
+			relaxed, err := schedule.Build(res, schedule.KeepFlowOutput)
+			if err != nil {
+				return nil, fmt.Errorf("core: %s: %w", name, err)
+			}
+			if !relaxed.Thunked {
+				p.note("%s: anti-dependence cycle broken by node splitting (%s)", name, sched.Reason)
+				sched = relaxed
+			}
+		}
+		cd.Schedule = sched
+		if sched.Thunked {
+			cd.Thunked = codegen.NewThunkedPlan(res)
+			p.note("%s: thunked fallback: %s", name, sched.Reason)
+			continue
+		}
+		plan, err := codegen.Lower(res, sched, external, codegen.LowerOptions{Parallel: opts.Parallel})
+		if err != nil {
+			return nil, fmt.Errorf("core: %s: %w", name, err)
+		}
+		cd.Plan = plan
+		if plan.InPlace {
+			// The in-place plan destroys its source; clone when the
+			// source is still live afterwards (or is the program
+			// result under a different name).
+			src := def.Source
+			if lr, ok := lastReader[src]; ok && lr > pos {
+				cd.CloneSource = true
+				p.note("%s: source %s live after the update; defensive clone inserted", name, src)
+			}
+			if source.Def(src) == nil {
+				// Caller-owned input: never destroy it.
+				cd.CloneSource = true
+			}
+		}
+		for _, n := range plan.Notes {
+			p.note("%s: %s", name, n)
+		}
+	}
+	return p, nil
+}
+
+func (p *Program) note(format string, args ...any) {
+	p.Notes = append(p.Notes, fmt.Sprintf(format, args...))
+}
+
+// orderDefs topologically orders definitions by array-level reads;
+// strongly connected groups are returned separately and positioned at
+// their first member.
+func orderDefs(source *lang.Program, results map[string]*analysis.Result) ([]string, [][]*analysis.Result, error) {
+	idx := map[string]int{}
+	for i, def := range source.Defs {
+		idx[def.Name] = i
+	}
+	g := depgraph.New(len(source.Defs))
+	for i, def := range source.Defs {
+		res := results[def.Name]
+		deps := map[string]bool{}
+		for ext := range res.ExternalReads {
+			deps[ext] = true
+		}
+		if def.Kind == lang.BigUpd {
+			deps[def.Source] = true
+			// Reads of the defined name inside a bigupd are internal.
+			delete(deps, def.Name)
+		}
+		for dep := range deps {
+			if j, ok := idx[dep]; ok {
+				g.AddEdge(j, i, depgraph.Flow, nil)
+			}
+		}
+	}
+	comps, _ := g.SCCs()
+	var groups [][]*analysis.Result
+	quotient, qComps := g.Quotient()
+	qOrder, err := quotient.TopoSort(nil)
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: internal: definition quotient cyclic: %w", err)
+	}
+	_ = comps
+	var order []string
+	for _, q := range qOrder {
+		members := qComps[q]
+		sort.Ints(members)
+		if len(members) == 1 && !selfLoop(g, members[0]) {
+			order = append(order, source.Defs[members[0]].Name)
+			continue
+		}
+		var group []*analysis.Result
+		for _, m := range members {
+			name := source.Defs[m].Name
+			group = append(group, results[name])
+			order = append(order, name)
+		}
+		groups = append(groups, group)
+	}
+	return order, groups, nil
+}
+
+// liveDefs returns the definitions transitively needed by the result.
+func liveDefs(source *lang.Program, results map[string]*analysis.Result) map[string]bool {
+	live := map[string]bool{}
+	var mark func(name string)
+	mark = func(name string) {
+		if live[name] || source.Def(name) == nil {
+			return
+		}
+		live[name] = true
+		res := results[name]
+		for ext := range res.ExternalReads {
+			mark(ext)
+		}
+		if res.Def.Kind == lang.BigUpd {
+			mark(res.Def.Source)
+		}
+	}
+	mark(source.Result)
+	return live
+}
+
+func selfLoop(g *depgraph.Graph, v int) bool {
+	for _, e := range g.Edges {
+		if e.Src == v && e.Dst == v {
+			return true
+		}
+	}
+	return false
+}
+
+// Run executes the program over the given input arrays and returns the
+// result array. Inputs are never mutated (in-place plans run on clones
+// when their source is caller-owned or still live).
+func (p *Program) Run(inputs map[string]*runtime.Strict) (*runtime.Strict, error) {
+	store := map[string]*runtime.Strict{}
+	for k, v := range inputs {
+		store[k] = v
+	}
+	ranGroup := map[int]bool{}
+	for _, name := range p.Order {
+		cd := p.Defs[name]
+		switch {
+		case cd.GroupIdx >= 0:
+			if ranGroup[cd.GroupIdx] {
+				continue
+			}
+			ranGroup[cd.GroupIdx] = true
+			outs, err := codegen.RunThunkedGroup(p.Groups[cd.GroupIdx], store)
+			if err != nil {
+				return nil, err
+			}
+			for n, a := range outs {
+				store[n] = a
+			}
+		case cd.Thunked != nil:
+			out, err := cd.Thunked.Run(store)
+			if err != nil {
+				return nil, err
+			}
+			store[name] = out
+		default:
+			runIn := store
+			if cd.Plan.InPlace {
+				src, ok := store[cd.Def.Source]
+				if !ok {
+					return nil, fmt.Errorf("core: missing input array %q", cd.Def.Source)
+				}
+				if cd.CloneSource {
+					src = src.Clone()
+				}
+				runIn = map[string]*runtime.Strict{}
+				for k, v := range store {
+					runIn[k] = v
+				}
+				runIn[cd.Def.Source] = src
+			}
+			out, err := cd.Plan.Run(runIn)
+			if err != nil {
+				return nil, err
+			}
+			store[name] = out
+		}
+	}
+	res, ok := store[p.Result]
+	if !ok {
+		return nil, fmt.Errorf("core: result array %q was not produced", p.Result)
+	}
+	return res, nil
+}
+
+// Report renders a human-readable compilation report: per definition
+// the dependence graph, verdicts, schedule, and emitted checks.
+func (p *Program) Report() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "program: result %s, parameters %v\n", p.Result, p.Env)
+	for _, name := range p.Order {
+		cd := p.Defs[name]
+		res := cd.Analysis
+		fmt.Fprintf(&b, "\n== %s (%s, %s) ==\n", name, cd.Def.Kind, cd.Mode())
+		b.WriteString(res.Graph.String())
+		fmt.Fprintf(&b, "collision: %s", res.Collision)
+		if res.CollisionDetail != "" {
+			fmt.Fprintf(&b, " (%s)", res.CollisionDetail)
+		}
+		b.WriteByte('\n')
+		if res.Def.Kind == lang.Monolithic {
+			if res.NoEmpties {
+				b.WriteString("empties: excluded\n")
+			} else {
+				fmt.Fprintf(&b, "empties: possible (%s)\n", res.EmptiesDetail)
+			}
+		}
+		if cd.Schedule != nil {
+			b.WriteString("schedule:\n")
+			for _, line := range strings.Split(strings.TrimRight(cd.Schedule.Dump(), "\n"), "\n") {
+				fmt.Fprintf(&b, "  %s\n", line)
+			}
+		}
+		if cd.Plan != nil {
+			fmt.Fprintf(&b, "checks: %+v\n", cd.Plan.Checks)
+			for _, n := range cd.Plan.Notes {
+				fmt.Fprintf(&b, "note: %s\n", n)
+			}
+		}
+	}
+	if len(p.Notes) > 0 {
+		b.WriteString("\nnotes:\n")
+		for _, n := range p.Notes {
+			fmt.Fprintf(&b, "  %s\n", n)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,310 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"arraycomp/internal/analysis"
+	"arraycomp/internal/runtime"
+)
+
+// This file stress-tests the full pipeline with randomized program
+// families, always differentially against the thunked reference
+// semantics.
+
+// TestRandom2DStencilDifferential: monolithic 2-D recurrences with
+// random neighbour offsets drawn from the causal (already-computed)
+// half-space for a forward/forward scan — and mirrored variants that
+// force other loop directions.
+func TestRandom2DStencilDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 40; trial++ {
+		n := int64(5 + rng.Intn(12))
+		// Choose a causal neighbour: (di,dj) lexicographically negative.
+		var di, dj int64
+		for di == 0 && dj == 0 {
+			di = int64(rng.Intn(2))
+			dj = int64(rng.Intn(3) - 1)
+			if di == 0 && dj > 0 {
+				dj = -dj
+			}
+		}
+		// Mirror to exercise backward loops half the time.
+		if rng.Intn(2) == 0 {
+			di, dj = -di, -dj
+		}
+		// Spell the offsets with explicit signs ("i - 1" / "i + 1"):
+		// naive "i-%d" with a negative offset would print "i--1",
+		// which lexes as a line comment.
+		offset := func(v string, d int64) string {
+			switch {
+			case d > 0:
+				return fmt.Sprintf("%s - %d", v, d)
+			case d < 0:
+				return fmt.Sprintf("%s + %d", v, -d)
+			}
+			return v
+		}
+		oi, oj := offset("i", di), offset("j", dj)
+		src := fmt.Sprintf(`param n;
+	a = array ((1,1),(n,n))
+	  [* [ (i,j) := if %s < 1 || %s > n || %s < 1 || %s > n
+	               then 1.0
+	               else a!(%s, %s) + 1.0 ]
+	   | i <- [1..n], j <- [1..n] *]`, oi, oi, oj, oj, oi, oj)
+		params := map[string]int64{"n": n}
+		p := compile(t, src, params, Options{})
+		got, err := p.Run(nil)
+		if err != nil {
+			t.Fatalf("trial %d (di=%d dj=%d): %v\n%s", trial, di, dj, err, p.Report())
+		}
+		pt := compile(t, src, params, Options{ForceThunked: true})
+		want, err := pt.Run(nil)
+		if err != nil {
+			t.Fatalf("trial %d thunked: %v", trial, err)
+		}
+		if !got.EqualWithin(want, 1e-9) {
+			t.Fatalf("trial %d (di=%d dj=%d): differs\n%s", trial, di, dj, p.Report())
+		}
+	}
+}
+
+// TestRandomBandProgramsDifferential: multi-clause band partitions
+// with cross-band reads at random offsets.
+func TestRandomBandProgramsDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 40; trial++ {
+		n := int64(6 + rng.Intn(20))
+		off := int64(rng.Intn(3))
+		src := fmt.Sprintf(`param n;
+	a = array (1,3*n)
+	  [* [ i := 1.0 * i ] ++
+	     [ n + i := if i + %d > n then 0.5 else a!(i + %d) * 2.0 ] ++
+	     [ 2*n + i := a!(n + i) + a!i ]
+	   | i <- [1..n] *]`, off, off)
+		params := map[string]int64{"n": n}
+		p := compile(t, src, params, Options{})
+		got, err := p.Run(nil)
+		if err != nil {
+			t.Fatalf("trial %d: %v\n%s", trial, err, p.Report())
+		}
+		pt := compile(t, src, params, Options{ForceThunked: true})
+		want, err := pt.Run(nil)
+		if err != nil {
+			t.Fatalf("trial %d thunked: %v", trial, err)
+		}
+		if !got.EqualWithin(want, 1e-9) {
+			t.Fatalf("trial %d: differs (off=%d)\n%s", trial, off, p.Report())
+		}
+	}
+}
+
+// TestRandomStrideGenerators: random strides and directions in
+// generators, including partial interleaves.
+func TestRandomStrideGenerators(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 30; trial++ {
+		k := int64(2 + rng.Intn(3)) // stride
+		n := k * int64(3+rng.Intn(10))
+		// k interleaved comprehensions covering residues 1..k.
+		src := `a = array (1,n) (`
+		for r := int64(1); r <= k; r++ {
+			if r > 1 {
+				src += " ++ "
+			}
+			src += fmt.Sprintf("[ i := %d.0 | i <- [%d,%d..n] ]", r, r, r+k)
+		}
+		src += ")"
+		params := map[string]int64{"n": n}
+		p := compile(t, src, params, Options{})
+		cd := p.Defs["a"]
+		if cd.Plan == nil {
+			t.Fatalf("trial %d: no plan\n%s", trial, p.Report())
+		}
+		// The residue interleave is a provable permutation: no checks.
+		if c := cd.Plan.Checks; c.CollisionChecks+c.EmptiesSweeps != 0 {
+			t.Errorf("trial %d (k=%d, n=%d): checks not elided: %+v", trial, k, n, c)
+		}
+		got, err := p.Run(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := int64(1); i <= n; i++ {
+			want := float64((i-1)%k + 1)
+			if got.At(i) != want {
+				t.Fatalf("trial %d: a(%d) = %v, want %v", trial, i, got.At(i), want)
+			}
+		}
+	}
+}
+
+// TestRandomAccumDifferential: random accumulated arrays with
+// commutative and non-commutative combiners.
+func TestRandomAccumDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	combiners := []string{"(+)", "(*)", "max", "min", "right", "left"}
+	for trial := 0; trial < 30; trial++ {
+		comb := combiners[rng.Intn(len(combiners))]
+		n := int64(10 + rng.Intn(50))
+		buckets := int64(3 + rng.Intn(8))
+		src := fmt.Sprintf(`h = accumArray %s 1.0 (0,%d)
+	  ([ (i * 7) mod %d := 1.0 + 1.0 / i | i <- [1..n] ] ++
+	   [ (i * 3) mod %d := 2.0 - 1.0 / i | i <- [1..n] ])`,
+			comb, buckets-1, buckets, buckets)
+		params := map[string]int64{"n": n}
+		p := compile(t, src, params, Options{})
+		got, err := p.Run(nil)
+		if err != nil {
+			t.Fatalf("trial %d (%s): %v\n%s", trial, comb, err, p.Report())
+		}
+		pt := compile(t, src, params, Options{ForceThunked: true})
+		want, err := pt.Run(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.EqualWithin(want, 1e-9) {
+			t.Fatalf("trial %d (%s): compiled and thunked accumArray differ\n%s", trial, comb, p.Report())
+		}
+	}
+}
+
+// TestRandomMultiClauseBigupd: bigupds with several clauses touching
+// disjoint or overlapping rows.
+func TestRandomMultiClauseBigupd(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 30; trial++ {
+		n := int64(6 + rng.Intn(8))
+		r1 := int64(1 + rng.Intn(int(n)))
+		r2 := int64(1 + rng.Intn(int(n)))
+		src := `param n, r1, r2;
+	a2 = bigupd a
+	  [* [ (r1,j) := a!(r2,j) + 1.0 ] ++ [ (r2,j) := a!(r1,j) * 2.0 ] | j <- [1..n] *]`
+		params := map[string]int64{"n": n, "r1": r1, "r2": r2}
+		opts := Options{InputBounds: map[string]analysis.ArrayBounds{"a": matBounds(n, n)}}
+		in := makeMatrix(n, n, func(i, j int64) float64 { return float64(rng.Intn(50)) })
+		p := compile(t, src, params, opts)
+		got, err := p.Run(map[string]*runtime.Strict{"a": in})
+		if err != nil {
+			t.Fatalf("trial %d (r1=%d r2=%d): %v\n%s", trial, r1, r2, err, p.Report())
+		}
+		pt := compile(t, src, params, Options{ForceThunked: true, InputBounds: opts.InputBounds})
+		want, err := pt.Run(map[string]*runtime.Strict{"a": in})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.EqualWithin(want, 1e-9) {
+			t.Fatalf("trial %d (r1=%d r2=%d): differs\n%s", trial, r1, r2, p.Report())
+		}
+	}
+}
+
+// TestRandomLetrecChains: chains of definitions reading each other at
+// random offsets, exercising definition ordering.
+func TestRandomLetrecChains(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for trial := 0; trial < 20; trial++ {
+		n := int64(8 + rng.Intn(20))
+		shift := int64(rng.Intn(3))
+		src := fmt.Sprintf(`param n;
+	letrec*
+	  c = array (1,n) [ i := b!i + a!i | i <- [1..n] ];
+	  a = array (1,n) [ i := 1.0 * i | i <- [1..n] ];
+	  b = array (1,n) [ i := if i + %d > n then 0.0 else a!(i + %d) | i <- [1..n] ];
+	in c`, shift, shift)
+		params := map[string]int64{"n": n}
+		p := compile(t, src, params, Options{})
+		// Order must put a before b before c despite source order.
+		pos := map[string]int{}
+		for i, name := range p.Order {
+			pos[name] = i
+		}
+		if !(pos["a"] < pos["b"] && pos["b"] < pos["c"]) {
+			t.Fatalf("trial %d: order %v", trial, p.Order)
+		}
+		got, err := p.Run(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pt := compile(t, src, params, Options{ForceThunked: true})
+		want, err := pt.Run(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.EqualWithin(want, 1e-9) {
+			t.Fatalf("trial %d: differs", trial)
+		}
+	}
+}
+
+// TestDeepNestSchedulable: 3-level nests still schedule and agree.
+func TestDeepNestSchedulable(t *testing.T) {
+	src := `param n;
+	a = array ((1,1,1),(n,n,n))
+	  [* [ (i,j,k) := if k == 1 then 1.0 else a!(i,j,k-1) + 0.5 ]
+	   | i <- [1..n], j <- [1..n], k <- [1..n] *]`
+	params := map[string]int64{"n": 5}
+	p := compile(t, src, params, Options{})
+	if p.Defs["a"].Mode() != "thunkless" {
+		t.Fatalf("3-D nest must schedule:\n%s", p.Report())
+	}
+	got, err := p.Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.At(2, 3, 4) != 2.5 {
+		t.Errorf("a(2,3,4) = %v, want 2.5", got.At(2, 3, 4))
+	}
+}
+
+// TestEmptyGeneratorProgram: a program whose generator is empty under
+// the binding must drop the subtree and report empties.
+func TestEmptyGeneratorProgram(t *testing.T) {
+	src := `a = array (1,n) ([ i := 1.0 | i <- [1..n] ] ++ [ i := 2.0 | i <- [2..1] ])`
+	p := compile(t, src, map[string]int64{"n": 3}, Options{})
+	out, err := p.Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.At(2) != 1 {
+		t.Errorf("a(2) = %v", out.At(2))
+	}
+}
+
+// TestSingleElementLoops: trip-1 loops must not confuse direction
+// scheduling.
+func TestSingleElementLoops(t *testing.T) {
+	src := `a = array (1,1) [ i := 42.0 | i <- [1..1] ]`
+	p := compile(t, src, nil, Options{})
+	out, err := p.Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.At(1) != 42 {
+		t.Error("trip-1 loop broken")
+	}
+}
+
+// TestLargeNInternalConsistency runs a bigger wavefront to shake out
+// any bounds arithmetic issues at scale.
+func TestLargeNInternalConsistency(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	src := `a = array ((1,1),(n,n))
+	  ([ (1,j) := 1.0 | j <- [1..n] ] ++
+	   [ (i,1) := 1.0 | i <- [2..n] ] ++
+	   [ (i,j) := 0.5 * a!(i-1,j) + 0.5 * a!(i,j-1) | i <- [2..n], j <- [2..n] ])`
+	p := compile(t, src, map[string]int64{"n": 200}, Options{})
+	out, err := p.Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every interior element is an average of cells that start at 1 on
+	// the border: all values must be exactly 1.
+	for off := int64(0); off < out.B.Size(); off++ {
+		if out.Data[off] != 1 {
+			t.Fatalf("element %v = %v, want 1", out.B.Unlinear(off), out.Data[off])
+		}
+	}
+}

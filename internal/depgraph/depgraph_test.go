@@ -1,0 +1,366 @@
+package depgraph
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"arraycomp/internal/deptest"
+)
+
+func dir(t *testing.T, s string) deptest.Vector {
+	t.Helper()
+	v, err := deptest.ParseVector(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func TestKindStrings(t *testing.T) {
+	if Flow.String() != "flow" || Anti.String() != "anti" || Output.String() != "output" {
+		t.Error("Kind strings wrong")
+	}
+}
+
+func TestSCCsSimple(t *testing.T) {
+	// 0 -> 1 -> 2 -> 1, 2 -> 3 : components {0}, {1,2}, {3}.
+	g := New(4)
+	g.AddEdge(0, 1, Flow, nil)
+	g.AddEdge(1, 2, Flow, nil)
+	g.AddEdge(2, 1, Flow, nil)
+	g.AddEdge(2, 3, Flow, nil)
+	comps, compOf := g.SCCs()
+	if len(comps) != 3 {
+		t.Fatalf("components = %v", comps)
+	}
+	if compOf[1] != compOf[2] {
+		t.Error("1 and 2 must share a component")
+	}
+	if compOf[0] == compOf[1] || compOf[3] == compOf[1] {
+		t.Error("0 and 3 must be singletons")
+	}
+	// Reverse topological order: {3} before {1,2} before {0}.
+	if !(compOf[3] < compOf[1] && compOf[1] < compOf[0]) {
+		t.Errorf("reverse topological order violated: compOf = %v", compOf)
+	}
+}
+
+func TestSCCsMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 300; trial++ {
+		n := 1 + rng.Intn(8)
+		g := New(n)
+		for e := 0; e < rng.Intn(2*n+1); e++ {
+			g.AddEdge(rng.Intn(n), rng.Intn(n), Flow, nil)
+		}
+		_, compOf := g.SCCs()
+		// Brute-force mutual reachability.
+		reach := make([][]bool, n)
+		for v := 0; v < n; v++ {
+			seen := g.Reachable([]int{v}, nil)
+			reach[v] = seen
+		}
+		for u := 0; u < n; u++ {
+			for v := 0; v < n; v++ {
+				mutual := reach[u][v] && reach[v][u]
+				if mutual != (compOf[u] == compOf[v]) {
+					t.Fatalf("SCC mismatch n=%d u=%d v=%d: mutual=%v compOf=%v\n%s", n, u, v, mutual, compOf, g)
+				}
+			}
+		}
+	}
+}
+
+func TestIsCyclic(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1, Flow, nil)
+	g.AddEdge(1, 2, Flow, nil)
+	if g.IsCyclic() {
+		t.Error("chain must be acyclic")
+	}
+	g.AddEdge(2, 0, Flow, nil)
+	if !g.IsCyclic() {
+		t.Error("cycle not detected")
+	}
+	selfLoop := New(1)
+	selfLoop.AddEdge(0, 0, Flow, dir(t, "(<)"))
+	if !selfLoop.IsCyclic() {
+		t.Error("self-loop must be cyclic")
+	}
+}
+
+func TestQuotient(t *testing.T) {
+	// 0 <-> 1 (cycle), 1 -> 2.
+	g := New(3)
+	g.Label(0, "A")
+	g.Label(1, "B")
+	g.Label(2, "C")
+	g.AddEdge(0, 1, Flow, dir(t, "(<)"))
+	g.AddEdge(1, 0, Flow, dir(t, "(<)"))
+	g.AddEdge(1, 2, Flow, dir(t, "(=)"))
+	q, comps := g.Quotient()
+	if q.N != 2 {
+		t.Fatalf("quotient has %d vertices", q.N)
+	}
+	if q.IsCyclic() {
+		t.Error("quotient must be a DAG")
+	}
+	if len(q.Edges) != 1 || q.Edges[0].Kind != Flow {
+		t.Errorf("quotient edges = %v", q.Edges)
+	}
+	total := 0
+	for _, c := range comps {
+		total += len(c)
+	}
+	if total != 3 {
+		t.Errorf("components cover %d vertices", total)
+	}
+	// Labels are aggregated.
+	found := false
+	for _, l := range q.Labels {
+		if strings.Contains(l, "A") && strings.Contains(l, "B") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("quotient labels = %v", q.Labels)
+	}
+}
+
+func TestTopoSortDeterministic(t *testing.T) {
+	g := New(4)
+	g.AddEdge(3, 1, Flow, nil)
+	g.AddEdge(3, 0, Flow, nil)
+	g.AddEdge(1, 2, Flow, nil)
+	g.AddEdge(0, 2, Flow, nil)
+	order, err := g.TopoSort(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{3, 0, 1, 2}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestTopoSortCycleError(t *testing.T) {
+	g := New(2)
+	g.AddEdge(0, 1, Flow, nil)
+	g.AddEdge(1, 0, Flow, nil)
+	if _, err := g.TopoSort(nil); err == nil {
+		t.Error("cycle must be an error")
+	}
+}
+
+func TestTopoSortWithFilter(t *testing.T) {
+	g := New(2)
+	g.AddEdge(0, 1, Flow, dir(t, "(=)"))
+	g.AddEdge(1, 0, Flow, dir(t, "(<)"))
+	// Considering only (=) edges the graph is acyclic.
+	keepEq := func(e Edge) bool { return e.Dir.LeadingDirection() == deptest.DirEqual }
+	order, err := g.TopoSort(keepEq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if order[0] != 0 || order[1] != 1 {
+		t.Errorf("order = %v", order)
+	}
+}
+
+func TestTopoSortIsValidOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	for trial := 0; trial < 200; trial++ {
+		n := 2 + rng.Intn(10)
+		g := New(n)
+		// Random DAG: edges only low -> high vertex numbers, then shuffle labels via a permutation.
+		perm := rng.Perm(n)
+		for e := 0; e < rng.Intn(3*n); e++ {
+			u := rng.Intn(n - 1)
+			v := u + 1 + rng.Intn(n-u-1)
+			g.AddEdge(perm[u], perm[v], Flow, nil)
+		}
+		order, err := g.TopoSort(nil)
+		if err != nil {
+			t.Fatalf("unexpected cycle: %v", err)
+		}
+		posOf := make([]int, n)
+		for i, v := range order {
+			posOf[v] = i
+		}
+		for _, e := range g.Edges {
+			if posOf[e.Src] >= posOf[e.Dst] {
+				t.Fatalf("edge %v violated by order %v", e, order)
+			}
+		}
+	}
+}
+
+func TestRootsAndReachable(t *testing.T) {
+	g := New(4)
+	g.AddEdge(0, 1, Flow, nil)
+	g.AddEdge(2, 1, Flow, nil)
+	g.AddEdge(1, 3, Flow, nil)
+	roots := g.Roots(nil)
+	if len(roots) != 2 || roots[0] != 0 || roots[1] != 2 {
+		t.Errorf("roots = %v", roots)
+	}
+	seen := g.Reachable([]int{0}, nil)
+	if !seen[0] || !seen[1] || !seen[3] || seen[2] {
+		t.Errorf("reachable = %v", seen)
+	}
+}
+
+func TestSubgraph(t *testing.T) {
+	g := New(4)
+	g.Label(0, "A")
+	g.Label(2, "C")
+	g.AddEdge(0, 2, Flow, dir(t, "(=,<)"))
+	g.AddEdge(0, 1, Flow, nil)
+	g.AddEdge(1, 2, Flow, nil)
+	sub, orig := g.Subgraph([]int{0, 2})
+	if sub.N != 2 || len(sub.Edges) != 1 {
+		t.Fatalf("sub = %+v", sub)
+	}
+	if sub.Edges[0].Src != 0 || sub.Edges[0].Dst != 1 {
+		t.Errorf("edge remap wrong: %v", sub.Edges[0])
+	}
+	if orig[1] != 2 || sub.LabelOf(1) != "C" {
+		t.Errorf("mapping/labels wrong: %v, %s", orig, sub.LabelOf(1))
+	}
+}
+
+// notReadyOracle: a node is not-ready iff it is reachable from the
+// destination of some blocking edge (in a DAG where every node is
+// reachable from a root, this matches the paper's definition).
+func notReadyOracle(g *Graph, blocking func(Edge) bool) []bool {
+	var seeds []int
+	for _, e := range g.Edges {
+		if blocking(e) {
+			seeds = append(seeds, e.Dst)
+		}
+	}
+	reach := g.Reachable(seeds, nil)
+	ready := make([]bool, g.N)
+	for v := range ready {
+		ready[v] = !reach[v]
+	}
+	return ready
+}
+
+func TestMarkNotReadyPaperExample(t *testing.T) {
+	// Section 8.1.2 example: A→B(<), B→C(>), A→C(=). For a forward
+	// pass, (>) blocks: C is not-ready (reached via B→C), A and B ready.
+	g := New(3)
+	g.AddEdge(0, 1, Flow, dir(t, "(<)"))
+	g.AddEdge(1, 2, Flow, dir(t, "(>)"))
+	g.AddEdge(0, 2, Flow, dir(t, "(=)"))
+	blocking := func(e Edge) bool { return e.Dir.LeadingDirection() == deptest.DirGreater }
+	ready := g.MarkNotReady(nil, blocking)
+	if !ready[0] || !ready[1] || ready[2] {
+		t.Errorf("ready = %v, want [true true false]", ready)
+	}
+}
+
+func TestMarkNotReadyRevisitDowngrade(t *testing.T) {
+	// Diamond where one path is clean and the other blocking, and the
+	// blocking path is explored second: 0→1 clean, 1→3 clean, 0→2
+	// blocking, 2→3 clean. 3 must be downgraded to not-ready even
+	// though first reached ready.
+	g := New(4)
+	g.AddEdge(0, 1, Flow, dir(t, "(<)"))
+	g.AddEdge(1, 3, Flow, dir(t, "(<)"))
+	g.AddEdge(0, 2, Flow, dir(t, "(>)"))
+	g.AddEdge(2, 3, Flow, dir(t, "(<)"))
+	blocking := func(e Edge) bool { return e.Dir.LeadingDirection() == deptest.DirGreater }
+	ready := g.MarkNotReady(nil, blocking)
+	if !ready[0] || !ready[1] || ready[2] || ready[3] {
+		t.Errorf("ready = %v, want [true true false false]", ready)
+	}
+}
+
+func TestMarkNotReadyMatchesOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 500; trial++ {
+		n := 2 + rng.Intn(9)
+		g := New(n)
+		perm := rng.Perm(n)
+		for e := 0; e < rng.Intn(3*n); e++ {
+			u := rng.Intn(n - 1)
+			v := u + 1 + rng.Intn(n-u-1)
+			d := "(<)"
+			if rng.Intn(3) == 0 {
+				d = "(>)"
+			}
+			vec, _ := deptest.ParseVector(d)
+			g.AddEdge(perm[u], perm[v], Flow, vec)
+		}
+		blocking := func(e Edge) bool { return e.Dir.LeadingDirection() == deptest.DirGreater }
+		got := g.MarkNotReady(nil, blocking)
+		want := notReadyOracle(g, blocking)
+		for v := range got {
+			if got[v] != want[v] {
+				t.Fatalf("MarkNotReady mismatch at %d: got %v want %v\n%s", v, got, want, g)
+			}
+		}
+	}
+}
+
+func TestFilterAndInDegrees(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1, Flow, dir(t, "(<)"))
+	g.AddEdge(1, 2, Anti, dir(t, "(=)"))
+	flows := g.Filter(func(e Edge) bool { return e.Kind == Flow })
+	if len(flows.Edges) != 1 {
+		t.Errorf("filter kept %d edges", len(flows.Edges))
+	}
+	in := g.InDegrees(nil)
+	if in[0] != 0 || in[1] != 1 || in[2] != 1 {
+		t.Errorf("in-degrees = %v", in)
+	}
+}
+
+func TestStringAndDOT(t *testing.T) {
+	g := New(2)
+	g.Label(0, "clause1")
+	g.Label(1, "clause2")
+	g.AddEdge(0, 1, Anti, dir(t, "(=,<)"))
+	s := g.String()
+	if !strings.Contains(s, "clause1 -> clause2 anti (=,<)") {
+		t.Errorf("String = %q", s)
+	}
+	d := g.DOT("test")
+	for _, want := range []string{"digraph", "clause1", "style=dashed", "(=,<)"} {
+		if !strings.Contains(d, want) {
+			t.Errorf("DOT missing %q:\n%s", want, d)
+		}
+	}
+}
+
+func TestSuccs(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1, Flow, nil)
+	g.AddEdge(0, 2, Anti, nil)
+	g.AddEdge(2, 1, Flow, nil)
+	succs := g.Succs()
+	if len(succs[0]) != 2 || len(succs[2]) != 1 || len(succs[1]) != 0 {
+		t.Errorf("Succs = %v", succs)
+	}
+	// Entries index into g.Edges.
+	if g.Edges[succs[2][0]].Dst != 1 {
+		t.Error("Succs must index the edge list")
+	}
+}
+
+func TestLabelOfFallback(t *testing.T) {
+	g := New(2)
+	if g.LabelOf(1) != "#1" {
+		t.Errorf("LabelOf fallback = %q", g.LabelOf(1))
+	}
+	g.Label(1, "x")
+	if g.LabelOf(1) != "x" || g.LabelOf(0) != "#0" {
+		t.Error("LabelOf mixed")
+	}
+}

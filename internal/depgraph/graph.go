@@ -1,0 +1,223 @@
+// Package depgraph implements the labeled dependence graphs of the
+// paper's sections 5 and 8: vertices are s/v clauses (or, during
+// nested-loop scheduling, collapsed inner-loop entities), and edges
+// carry a dependence kind (flow, anti, output) plus a direction vector
+// over the loops shared by source and sink.
+//
+// The package provides the graph algorithms the paper's schedulers
+// need: Tarjan strongly connected components, the quotient DAG,
+// topological sorting, reachability, and the modified depth-first
+// search of section 8.1.3 that marks nodes 'not-ready' for a loop pass.
+package depgraph
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"arraycomp/internal/deptest"
+)
+
+// Kind classifies a dependence edge.
+type Kind uint8
+
+const (
+	// Flow (true) dependence: the source writes a value the sink reads.
+	// Scheduling must compute sources before sinks to avoid thunks.
+	Flow Kind = iota
+	// Anti dependence: the source reads a value the sink overwrites.
+	// Scheduling must compute sources before sinks to avoid copying.
+	Anti
+	// Output dependence: source and sink write the same element. For
+	// plain monolithic arrays this is a write collision (an error); for
+	// accumulated arrays with non-commutative combiners it is an
+	// ordering constraint.
+	Output
+)
+
+// String names the kind with the paper's notation (δ, δ̄, δ°).
+func (k Kind) String() string {
+	switch k {
+	case Flow:
+		return "flow"
+	case Anti:
+		return "anti"
+	case Output:
+		return "output"
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// Edge is a labeled dependence edge Src → Dst.
+type Edge struct {
+	Src, Dst int
+	Kind     Kind
+	// Dir is the direction vector over the loops shared by source and
+	// sink, outermost first. Empty for dependences whose endpoints
+	// share no loop (the paper's "()" label).
+	Dir deptest.Vector
+}
+
+// String renders e.g. "1->2 flow (<)".
+func (e Edge) String() string {
+	return fmt.Sprintf("%d->%d %s %s", e.Src, e.Dst, e.Kind, e.Dir)
+}
+
+// Graph is a dependence graph over vertices 0..N-1.
+type Graph struct {
+	N      int
+	Edges  []Edge
+	Labels []string // optional, for diagnostics; len 0 or N
+}
+
+// New returns an empty graph over n vertices.
+func New(n int) *Graph { return &Graph{N: n} }
+
+// Label sets a diagnostic label for vertex v.
+func (g *Graph) Label(v int, label string) {
+	if g.Labels == nil {
+		g.Labels = make([]string, g.N)
+	}
+	g.Labels[v] = label
+}
+
+// LabelOf returns the label of v, or its number.
+func (g *Graph) LabelOf(v int) string {
+	if g.Labels != nil && g.Labels[v] != "" {
+		return g.Labels[v]
+	}
+	return fmt.Sprintf("#%d", v)
+}
+
+// AddEdge appends a labeled edge.
+func (g *Graph) AddEdge(src, dst int, kind Kind, dir deptest.Vector) {
+	g.Edges = append(g.Edges, Edge{Src: src, Dst: dst, Kind: kind, Dir: dir})
+}
+
+// Succs returns the adjacency list (by edge index) of each vertex.
+func (g *Graph) Succs() [][]int {
+	out := make([][]int, g.N)
+	for i, e := range g.Edges {
+		out[e.Src] = append(out[e.Src], i)
+	}
+	return out
+}
+
+// InDegrees returns the number of incoming edges per vertex, counting
+// only edges satisfying keep (nil keeps all).
+func (g *Graph) InDegrees(keep func(Edge) bool) []int {
+	in := make([]int, g.N)
+	for _, e := range g.Edges {
+		if keep == nil || keep(e) {
+			in[e.Dst]++
+		}
+	}
+	return in
+}
+
+// Filter returns a new graph with the same vertices and only the edges
+// satisfying keep.
+func (g *Graph) Filter(keep func(Edge) bool) *Graph {
+	out := &Graph{N: g.N, Labels: g.Labels}
+	for _, e := range g.Edges {
+		if keep(e) {
+			out.Edges = append(out.Edges, e)
+		}
+	}
+	return out
+}
+
+// Subgraph returns the induced subgraph on the given vertices, along
+// with the mapping newIndex[i] = oldVertex. Edges to or from vertices
+// outside the set are dropped (exactly the paper's rule for building an
+// inner loop's dependence subgraph).
+func (g *Graph) Subgraph(vertices []int) (*Graph, []int) {
+	idx := make(map[int]int, len(vertices))
+	for i, v := range vertices {
+		idx[v] = i
+	}
+	out := New(len(vertices))
+	if g.Labels != nil {
+		out.Labels = make([]string, len(vertices))
+		for i, v := range vertices {
+			out.Labels[i] = g.Labels[v]
+		}
+	}
+	for _, e := range g.Edges {
+		s, okS := idx[e.Src]
+		d, okD := idx[e.Dst]
+		if okS && okD {
+			out.Edges = append(out.Edges, Edge{Src: s, Dst: d, Kind: e.Kind, Dir: e.Dir})
+		}
+	}
+	return out, append([]int(nil), vertices...)
+}
+
+// String renders a stable multi-line description.
+func (g *Graph) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "graph: %d vertices, %d edges\n", g.N, len(g.Edges))
+	edges := append([]Edge(nil), g.Edges...)
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].Src != edges[j].Src {
+			return edges[i].Src < edges[j].Src
+		}
+		if edges[i].Dst != edges[j].Dst {
+			return edges[i].Dst < edges[j].Dst
+		}
+		return edges[i].String() < edges[j].String()
+	})
+	for _, e := range edges {
+		fmt.Fprintf(&b, "  %s -> %s %s %s\n", g.LabelOf(e.Src), g.LabelOf(e.Dst), e.Kind, e.Dir)
+	}
+	return b.String()
+}
+
+// DOT renders the graph in Graphviz dot syntax for visualization.
+func (g *Graph) DOT(name string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", name)
+	for v := 0; v < g.N; v++ {
+		fmt.Fprintf(&b, "  n%d [label=%q];\n", v, g.LabelOf(v))
+	}
+	for _, e := range g.Edges {
+		style := "solid"
+		switch e.Kind {
+		case Anti:
+			style = "dashed"
+		case Output:
+			style = "dotted"
+		}
+		fmt.Fprintf(&b, "  n%d -> n%d [label=%q, style=%s];\n", e.Src, e.Dst, e.Dir.String(), style)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// Reachable returns the set of vertices reachable from the seeds
+// (including the seeds), following edges that satisfy keep (nil keeps
+// all).
+func (g *Graph) Reachable(seeds []int, keep func(Edge) bool) []bool {
+	succs := make([][]int, g.N)
+	for _, e := range g.Edges {
+		if keep == nil || keep(e) {
+			succs[e.Src] = append(succs[e.Src], e.Dst)
+		}
+	}
+	seen := make([]bool, g.N)
+	stack := append([]int(nil), seeds...)
+	for _, s := range seeds {
+		seen[s] = true
+	}
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, w := range succs[v] {
+			if !seen[w] {
+				seen[w] = true
+				stack = append(stack, w)
+			}
+		}
+	}
+	return seen
+}

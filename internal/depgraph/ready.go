@@ -1,0 +1,60 @@
+package depgraph
+
+// The paper's section 8.1.3 'not-ready' marking: when scheduling a loop
+// pass in one direction, a node must be deferred to a later pass if it
+// is reachable from any root of the DAG via a path containing at least
+// one edge that disagrees with the pass direction (a (>) edge for a
+// forward pass). The algorithm is a modified depth-first search that
+// may revisit a node once, when a previously 'ready' node is reached
+// again via a 'not-ready' path; its worst case matches DFS,
+// O(max(|V|, |E|)).
+
+// MarkNotReady runs the modified DFS over the DAG formed by the edges
+// satisfying keep (nil keeps all), with blocking identifying the edges
+// that disagree with the intended pass direction. It returns ready[v]
+// per vertex. The graph restricted to keep must be acyclic; behaviour
+// on cyclic inputs is undefined (the scheduler classifies cyclic graphs
+// before calling this).
+func (g *Graph) MarkNotReady(keep, blocking func(Edge) bool) (ready []bool) {
+	type succ struct {
+		dst      int
+		blocking bool
+	}
+	succs := make([][]succ, g.N)
+	for _, e := range g.Edges {
+		if keep != nil && !keep(e) {
+			continue
+		}
+		succs[e.Src] = append(succs[e.Src], succ{dst: e.Dst, blocking: blocking(e)})
+	}
+	visited := make([]bool, g.N)
+	ready = make([]bool, g.N)
+	for i := range ready {
+		ready[i] = true
+	}
+	// visit walks from v with s = "the path from the current root to v
+	// contains no blocking edge".
+	var visit func(v int, s bool)
+	visit = func(v int, s bool) {
+		switch {
+		case !visited[v]:
+			visited[v] = true
+			ready[v] = s
+		case !s && ready[v]:
+			// Revisit: a node first reached 'ready' is now reached via a
+			// 'not-ready' path; it and its ready descendants must be
+			// remarked.
+			ready[v] = false
+		default:
+			// Already visited and no new information: backtrack.
+			return
+		}
+		for _, w := range succs[v] {
+			visit(w.dst, s && !w.blocking)
+		}
+	}
+	for _, r := range g.Roots(keep) {
+		visit(r, true)
+	}
+	return ready
+}

@@ -1,0 +1,145 @@
+package depgraph
+
+// Tarjan strongly connected components. The paper classifies a
+// dependence graph's schedulability by its SCCs (section 8.1.2): a
+// graph is cyclic iff some SCC has more than one vertex or a self-loop;
+// an SCC containing both (<) and (>) loop-carried edges contains a
+// cycle with both, which defeats static scheduling.
+
+// SCCs returns the strongly connected components of g in reverse
+// topological order (every edge between components goes from a later
+// component to an earlier one in the returned slice), plus compOf
+// mapping each vertex to its component index.
+func (g *Graph) SCCs() (comps [][]int, compOf []int) {
+	succs := make([][]int, g.N)
+	for _, e := range g.Edges {
+		succs[e.Src] = append(succs[e.Src], e.Dst)
+	}
+	const unvisited = -1
+	index := make([]int, g.N)
+	low := make([]int, g.N)
+	onStack := make([]bool, g.N)
+	compOf = make([]int, g.N)
+	for i := range index {
+		index[i] = unvisited
+		compOf[i] = unvisited
+	}
+	var (
+		counter int
+		stack   []int
+	)
+	// Iterative Tarjan to avoid deep recursion on long clause chains.
+	type frame struct {
+		v    int
+		next int
+	}
+	for start := 0; start < g.N; start++ {
+		if index[start] != unvisited {
+			continue
+		}
+		frames := []frame{{v: start}}
+		index[start] = counter
+		low[start] = counter
+		counter++
+		stack = append(stack, start)
+		onStack[start] = true
+		for len(frames) > 0 {
+			f := &frames[len(frames)-1]
+			if f.next < len(succs[f.v]) {
+				w := succs[f.v][f.next]
+				f.next++
+				if index[w] == unvisited {
+					index[w] = counter
+					low[w] = counter
+					counter++
+					stack = append(stack, w)
+					onStack[w] = true
+					frames = append(frames, frame{v: w})
+				} else if onStack[w] {
+					if index[w] < low[f.v] {
+						low[f.v] = index[w]
+					}
+				}
+				continue
+			}
+			// Post-order for f.v.
+			if low[f.v] == index[f.v] {
+				var comp []int
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					compOf[w] = len(comps)
+					comp = append(comp, w)
+					if w == f.v {
+						break
+					}
+				}
+				comps = append(comps, comp)
+			}
+			frames = frames[:len(frames)-1]
+			if len(frames) > 0 {
+				parent := &frames[len(frames)-1]
+				if low[f.v] < low[parent.v] {
+					low[parent.v] = low[f.v]
+				}
+			}
+		}
+	}
+	return comps, compOf
+}
+
+// IsCyclic reports whether g contains a cycle: an SCC with more than
+// one vertex, or a self-loop.
+func (g *Graph) IsCyclic() bool {
+	for _, e := range g.Edges {
+		if e.Src == e.Dst {
+			return true
+		}
+	}
+	comps, _ := g.SCCs()
+	for _, c := range comps {
+		if len(c) > 1 {
+			return true
+		}
+	}
+	return false
+}
+
+// Quotient collapses each SCC to a single vertex and drops edges
+// internal to a component, returning the quotient DAG plus the
+// component list (quotient vertex i corresponds to comps[i]). Parallel
+// edges between components are kept (their labels matter to the
+// scheduler).
+func (g *Graph) Quotient() (*Graph, [][]int) {
+	comps, compOf := g.SCCs()
+	q := New(len(comps))
+	if g.Labels != nil {
+		q.Labels = make([]string, len(comps))
+		for i, c := range comps {
+			parts := make([]string, len(c))
+			for j, v := range c {
+				parts[j] = g.LabelOf(v)
+			}
+			q.Labels[i] = "{" + join(parts, ",") + "}"
+		}
+	}
+	for _, e := range g.Edges {
+		cs, cd := compOf[e.Src], compOf[e.Dst]
+		if cs != cd {
+			q.Edges = append(q.Edges, Edge{Src: cs, Dst: cd, Kind: e.Kind, Dir: e.Dir})
+		}
+	}
+	return q, comps
+}
+
+func join(parts []string, sep string) string {
+	out := ""
+	for i, p := range parts {
+		if i > 0 {
+			out += sep
+		}
+		out += p
+	}
+	return out
+}

@@ -1,0 +1,62 @@
+package depgraph
+
+import "fmt"
+
+// TopoSort returns a topological order of g's vertices considering
+// only edges that satisfy keep (nil keeps all). Ties are broken by
+// vertex number, so the order is deterministic. Returns an error if
+// the considered edges form a cycle.
+func (g *Graph) TopoSort(keep func(Edge) bool) ([]int, error) {
+	in := g.InDegrees(keep)
+	succs := make([][]int, g.N)
+	for _, e := range g.Edges {
+		if keep == nil || keep(e) {
+			succs[e.Src] = append(succs[e.Src], e.Dst)
+		}
+	}
+	// Kahn's algorithm with an ordered frontier (smallest vertex first)
+	// for determinism.
+	var frontier []int
+	for v := 0; v < g.N; v++ {
+		if in[v] == 0 {
+			frontier = append(frontier, v)
+		}
+	}
+	var order []int
+	for len(frontier) > 0 {
+		// Pop the smallest.
+		best := 0
+		for i := 1; i < len(frontier); i++ {
+			if frontier[i] < frontier[best] {
+				best = i
+			}
+		}
+		v := frontier[best]
+		frontier[best] = frontier[len(frontier)-1]
+		frontier = frontier[:len(frontier)-1]
+		order = append(order, v)
+		for _, w := range succs[v] {
+			in[w]--
+			if in[w] == 0 {
+				frontier = append(frontier, w)
+			}
+		}
+	}
+	if len(order) != g.N {
+		return nil, fmt.Errorf("depgraph: graph is cyclic (%d of %d vertices ordered)", len(order), g.N)
+	}
+	return order, nil
+}
+
+// Roots returns the vertices with in-degree zero over the edges
+// satisfying keep (nil keeps all).
+func (g *Graph) Roots(keep func(Edge) bool) []int {
+	in := g.InDegrees(keep)
+	var roots []int
+	for v := 0; v < g.N; v++ {
+		if in[v] == 0 {
+			roots = append(roots, v)
+		}
+	}
+	return roots
+}

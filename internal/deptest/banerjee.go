@@ -1,0 +1,170 @@
+package deptest
+
+// The Banerjee inequality test (the paper's second inexact test,
+// derived from Theorem 2, the bounded-rational-solution test).
+//
+// Write h(x, y) = f(x) − g(y) = (a0 − b0) + Σ (a_k·x_k − b_k·y_k).
+// Bound each loop-k term according to the direction constraint placed
+// on that loop, sum the per-term bounds, and declare a dependence
+// impossible when the resulting interval [min_R h, max_R h] does not
+// bracket zero, i.e. when the dependence equation h = 0 has no rational
+// solution in R.
+//
+// Two bound computations are provided:
+//
+//   - TermBoundsClassical: the closed-form positive/negative-part
+//     formulas of Banerjee's thesis as presented (for functional
+//     arrays) in the paper's section 6. For the < and > classes these
+//     relax the triangular region to a rectangle, so they may be
+//     slightly wider than tight.
+//
+//   - TermBoundsExact: exact per-term bounds obtained by evaluating the
+//     bilinear-free (linear) term at the vertices of the constrained
+//     region, which is a lattice polytope with integral vertices.
+//
+// Both are valid necessary tests; the exact bounds dominate (are
+// contained in) the classical ones, a relationship checked by the
+// property tests.
+
+// Interval is an inclusive integer interval [Lo, Hi].
+type Interval struct {
+	Lo, Hi int64
+}
+
+// Contains reports whether t lies in the interval.
+func (iv Interval) Contains(t int64) bool { return iv.Lo <= t && t <= iv.Hi }
+
+// Add sums two intervals elementwise (Minkowski sum).
+func (iv Interval) Add(o Interval) Interval {
+	return Interval{iv.Lo + o.Lo, iv.Hi + o.Hi}
+}
+
+// TermBoundsClassical bounds a·x − b·y for x, y ∈ [1..m] under
+// direction constraint d using the closed-form positive/negative-part
+// formulas. m must be ≥ 1, and ≥ 2 for the strict directions (callers
+// handle the empty-region case separately).
+func TermBoundsClassical(a, b, m int64, d Direction) Interval {
+	switch d {
+	case DirAny:
+		// Paper's lemma for k ∈ Q*:
+		//   (a−b) − (a⁻+b⁺)(M−1) ≤ a·x − b·y ≤ (a−b) + (a⁺+b⁻)(M−1)
+		return Interval{
+			Lo: (a - b) - (NegPart(a)+PosPart(b))*(m-1),
+			Hi: (a - b) + (PosPart(a)+NegPart(b))*(m-1),
+		}
+	case DirEqual:
+		// x = y: term is (a−b)·x over x ∈ [1..M].
+		t := a - b
+		return Interval{
+			Lo: t - NegPart(t)*(m-1),
+			Hi: t + PosPart(t)*(m-1),
+		}
+	case DirLess:
+		// x < y: substitute y = x + δ with x ∈ [1..M−1], δ ∈ [1..M−1]
+		// (rectangular relaxation of the triangle x + δ ≤ M):
+		//   a·x − b·y = (a−b)·x − b·δ.
+		t := a - b
+		return Interval{
+			Lo: t - NegPart(t)*(m-2) - b - PosPart(b)*(m-2),
+			Hi: t + PosPart(t)*(m-2) - b + NegPart(b)*(m-2),
+		}
+	case DirGreater:
+		// x > y: substitute x = y + δ with y ∈ [1..M−1], δ ∈ [1..M−1]:
+		//   a·x − b·y = (a−b)·y + a·δ.
+		t := a - b
+		return Interval{
+			Lo: t - NegPart(t)*(m-2) + a - NegPart(a)*(m-2),
+			Hi: t + PosPart(t)*(m-2) + a + PosPart(a)*(m-2),
+		}
+	}
+	panic("deptest: unknown direction")
+}
+
+// TermBoundsExact bounds a·x − b·y for x, y ∈ [1..m] under direction
+// constraint d exactly, by evaluating the linear form at the vertices
+// of the constrained region. m must be ≥ 1, and ≥ 2 for the strict
+// directions.
+func TermBoundsExact(a, b, m int64, d Direction) Interval {
+	eval := func(x, y int64) int64 { return a*x - b*y }
+	switch d {
+	case DirAny:
+		// Rectangle [1..m]×[1..m]; vertices (1,1),(1,m),(m,1),(m,m).
+		vals := []int64{eval(1, 1), eval(1, m), eval(m, 1), eval(m, m)}
+		return Interval{minAll(vals...), maxAll(vals...)}
+	case DirEqual:
+		// Segment x=y ∈ [1..m]; vertices at x=1 and x=m.
+		vals := []int64{eval(1, 1), eval(m, m)}
+		return Interval{minAll(vals...), maxAll(vals...)}
+	case DirLess:
+		// Triangle 1 ≤ x, x+1 ≤ y ≤ m; vertices (1,2),(1,m),(m−1,m).
+		vals := []int64{eval(1, 2), eval(1, m), eval(m-1, m)}
+		return Interval{minAll(vals...), maxAll(vals...)}
+	case DirGreater:
+		// Triangle 1 ≤ y, y+1 ≤ x ≤ m; vertices (2,1),(m,1),(m,m−1).
+		vals := []int64{eval(2, 1), eval(m, 1), eval(m, m-1)}
+		return Interval{minAll(vals...), maxAll(vals...)}
+	}
+	panic("deptest: unknown direction")
+}
+
+// TermBoundsUnshared bounds the contribution of a loop that surrounds
+// only one of the two references (the paper's unshared-loop lemma). If
+// the source side is surrounded (coefficient a, bound m on x) the term
+// is a·x; if the sink side, −b·y. Callers encode "not surrounded" as a
+// zero coefficient, so this is simply the shared DirAny bound — kept as
+// a named function to mirror the paper's lemma and for direct testing.
+func TermBoundsUnshared(a, b, m int64) Interval {
+	return TermBoundsExact(a, b, m, DirAny)
+}
+
+// BanerjeeBounds computes [min_R h, max_R h] − delta offset excluded —
+// i.e. the achievable range of Σ a_k·x_k − Σ b_k·y_k under direction
+// vector v, using the classical formulas for shared loops and the
+// unshared-loop lemma elsewhere. It does not include the constant
+// a0 − b0.
+func BanerjeeBounds(p Problem, v Vector, exact bool) (Interval, error) {
+	if err := p.Validate(); err != nil {
+		return Interval{}, err
+	}
+	if err := p.checkVector(v); err != nil {
+		return Interval{}, err
+	}
+	var total Interval
+	for k := range p.A {
+		d := v[k]
+		if !p.Shared[k] {
+			d = DirAny // unshared loops carry no direction constraint
+		}
+		var tb Interval
+		if exact {
+			tb = TermBoundsExact(p.A[k], p.B[k], p.Bound[k], d)
+		} else {
+			tb = TermBoundsClassical(p.A[k], p.B[k], p.Bound[k], d)
+		}
+		total = total.Add(tb)
+	}
+	return total, nil
+}
+
+// BanerjeeTest runs the Banerjee inequality test under direction vector
+// v: a dependence is possible only if the bounds on h = f − g bracket
+// zero, i.e. the bounds on Σ a_k x_k − b_k y_k bracket b0 − a0. When
+// exact is true, the per-term vertex bounds are used instead of the
+// classical formulas (a strictly sharper, still merely necessary,
+// test).
+func BanerjeeTest(p Problem, v Vector, exact bool) (possible bool, err error) {
+	if err := p.Validate(); err != nil {
+		return false, err
+	}
+	if err := p.checkVector(v); err != nil {
+		return false, err
+	}
+	if p.regionEmpty(v) {
+		return false, nil
+	}
+	iv, err := BanerjeeBounds(p, v, exact)
+	if err != nil {
+		return false, err
+	}
+	return iv.Contains(p.Delta()), nil
+}

@@ -1,0 +1,205 @@
+package deptest
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestTermBoundsExactMatchesOracle: the vertex evaluation must equal
+// brute-force min/max for every direction class.
+func TestTermBoundsExactMatchesOracle(t *testing.T) {
+	for _, d := range []Direction{DirAny, DirLess, DirEqual, DirGreater} {
+		for a := int64(-4); a <= 4; a++ {
+			for b := int64(-4); b <= 4; b++ {
+				for m := int64(1); m <= 6; m++ {
+					if (d == DirLess || d == DirGreater) && m < 2 {
+						continue // empty region, callers pre-check
+					}
+					want, nonEmpty := bruteForceTermBounds(a, b, m, d)
+					if !nonEmpty {
+						continue
+					}
+					got := TermBoundsExact(a, b, m, d)
+					if got != want {
+						t.Fatalf("TermBoundsExact(a=%d b=%d m=%d %v) = %+v, want %+v", a, b, m, d, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestTermBoundsClassicalContainsExact: the classical formulas are a
+// relaxation; their interval must contain the exact interval.
+func TestTermBoundsClassicalContainsExact(t *testing.T) {
+	f := func(a8, b8 int8, mRaw uint8, dRaw uint8) bool {
+		d := Direction(dRaw % 4)
+		m := int64(mRaw%16) + 1
+		if (d == DirLess || d == DirGreater) && m < 2 {
+			return true
+		}
+		a, b := int64(a8), int64(b8)
+		exact := TermBoundsExact(a, b, m, d)
+		classical := TermBoundsClassical(a, b, m, d)
+		return classical.Lo <= exact.Lo && exact.Hi <= classical.Hi
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTermBoundsClassicalExactForLooseDirections: for * and = the
+// classical formulas are tight (no relaxation is involved).
+func TestTermBoundsClassicalExactForLooseDirections(t *testing.T) {
+	for _, d := range []Direction{DirAny, DirEqual} {
+		for a := int64(-5); a <= 5; a++ {
+			for b := int64(-5); b <= 5; b++ {
+				for m := int64(1); m <= 7; m++ {
+					if got, want := TermBoundsClassical(a, b, m, d), TermBoundsExact(a, b, m, d); got != want {
+						t.Fatalf("classical %v bounds not tight: a=%d b=%d m=%d got %+v want %+v", d, a, b, m, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestTermBoundsUnsharedLemma(t *testing.T) {
+	// Loop surrounds only the source: term a·x, x ∈ [1..M]. Encoded as
+	// b = 0; the lemma's bounds are a − a⁻(M−1) ≤ a·x ≤ a + a⁺(M−1).
+	for a := int64(-5); a <= 5; a++ {
+		for m := int64(1); m <= 7; m++ {
+			got := TermBoundsUnshared(a, 0, m)
+			want := Interval{a - NegPart(a)*(m-1), a + PosPart(a)*(m-1)}
+			if got != want {
+				t.Fatalf("unshared source bounds a=%d m=%d: got %+v want %+v", a, m, got, want)
+			}
+		}
+	}
+	// Loop surrounds only the sink: term −b·y.
+	for b := int64(-5); b <= 5; b++ {
+		for m := int64(1); m <= 7; m++ {
+			got := TermBoundsUnshared(0, b, m)
+			want := Interval{-b - PosPart(b)*(m-1), -b + NegPart(b)*(m-1)}
+			if got != want {
+				t.Fatalf("unshared sink bounds b=%d m=%d: got %+v want %+v", b, m, got, want)
+			}
+		}
+	}
+}
+
+func TestBanerjeeRefutesOutOfRange(t *testing.T) {
+	// a!(i) vs a!(j + 50) over i, j ∈ [1..10]: max of x − y is 9, the
+	// needed difference is 50 ⇒ impossible.
+	p := NewProblem(0, []int64{1}, 50, []int64{1}, []int64{10})
+	if ok, _ := BanerjeeTest(p, AnyVector(1), false); ok {
+		t.Error("Banerjee must refute i vs j+50 over [1..10]")
+	}
+}
+
+func TestBanerjeeDirectional(t *testing.T) {
+	// The wavefront flow dependence: write a!(i), read a!(i−1). Source
+	// (write) instance x, sink (read) instance y satisfy x = y − 1, so
+	// only (<) admits a dependence.
+	p := NewProblem(0, []int64{1}, -1, []int64{1}, []int64{100})
+	for _, c := range []struct {
+		dir  string
+		want bool
+	}{
+		{"(<)", true},
+		{"(=)", false},
+		{"(>)", false},
+		{"(*)", true},
+	} {
+		ok, err := BanerjeeTest(p, mustVector(t, c.dir), false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok != c.want {
+			t.Errorf("Banerjee %s for write a!i / read a!(i−1): got %v, want %v", c.dir, ok, c.want)
+		}
+	}
+}
+
+func TestBanerjeeEmptyRegion(t *testing.T) {
+	// Single-iteration loop cannot carry a (<) dependence.
+	p := NewProblem(0, []int64{1}, 0, []int64{1}, []int64{1})
+	if ok, _ := BanerjeeTest(p, mustVector(t, "(<)"), false); ok {
+		t.Error("(<) over a single-iteration loop must be refuted")
+	}
+	if ok, _ := BanerjeeTest(p, mustVector(t, "(=)"), false); !ok {
+		t.Error("(=) over a single-iteration loop with equal subscripts must be possible")
+	}
+}
+
+// TestBanerjeeSoundness: Banerjee (both forms) must never refute a
+// dependence the oracle finds.
+func TestBanerjeeSoundness(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	dirs := []Direction{DirAny, DirLess, DirEqual, DirGreater}
+	for trial := 0; trial < 3000; trial++ {
+		d := 1 + rng.Intn(2)
+		a := make([]int64, d)
+		b := make([]int64, d)
+		m := make([]int64, d)
+		v := make(Vector, d)
+		for k := 0; k < d; k++ {
+			a[k] = int64(rng.Intn(9) - 4)
+			b[k] = int64(rng.Intn(9) - 4)
+			m[k] = int64(1 + rng.Intn(5))
+			v[k] = dirs[rng.Intn(len(dirs))]
+		}
+		p := NewProblem(int64(rng.Intn(11)-5), a, int64(rng.Intn(11)-5), b, m)
+		real := bruteForceDependence(p, v)
+		for _, exact := range []bool{false, true} {
+			ok, err := BanerjeeTest(p, v, exact)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if real && !ok {
+				t.Fatalf("Banerjee(exact=%v) refuted a real dependence: %+v %v", exact, p, v)
+			}
+		}
+	}
+}
+
+// TestBanerjeeExactSharperThanClassical: whenever the exact-bounds form
+// says "possible", so must the classical form (exact ⊆ classical).
+func TestBanerjeeExactSharperThanClassical(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	dirs := []Direction{DirAny, DirLess, DirEqual, DirGreater}
+	for trial := 0; trial < 3000; trial++ {
+		d := 1 + rng.Intn(3)
+		a := make([]int64, d)
+		b := make([]int64, d)
+		m := make([]int64, d)
+		v := make(Vector, d)
+		for k := 0; k < d; k++ {
+			a[k] = int64(rng.Intn(13) - 6)
+			b[k] = int64(rng.Intn(13) - 6)
+			m[k] = int64(1 + rng.Intn(9))
+			v[k] = dirs[rng.Intn(len(dirs))]
+		}
+		p := NewProblem(int64(rng.Intn(21)-10), a, int64(rng.Intn(21)-10), b, m)
+		sharp, _ := BanerjeeTest(p, v, true)
+		loose, _ := BanerjeeTest(p, v, false)
+		if sharp && !loose {
+			t.Fatalf("exact-bounds Banerjee allowed what classical refuted: %+v %v", p, v)
+		}
+	}
+}
+
+func TestIntervalHelpers(t *testing.T) {
+	iv := Interval{-2, 5}
+	if !iv.Contains(0) || !iv.Contains(-2) || !iv.Contains(5) {
+		t.Error("Contains endpoints/interior failed")
+	}
+	if iv.Contains(-3) || iv.Contains(6) {
+		t.Error("Contains out of range failed")
+	}
+	sum := iv.Add(Interval{1, 2})
+	if sum != (Interval{-1, 7}) {
+		t.Errorf("Add = %+v", sum)
+	}
+}

@@ -1,0 +1,230 @@
+package deptest
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Direction is a per-loop constraint on the relative positions of the
+// source instance x and the sink instance y of a potential dependence.
+// The paper writes these as the components of a direction vector, e.g.
+// (=, <, >, *).
+type Direction uint8
+
+const (
+	// DirAny places no constraint on x vs y (written *).
+	DirAny Direction = iota
+	// DirLess constrains x < y: the source instance is "earlier" in the
+	// loop's index range than the sink instance.
+	DirLess
+	// DirEqual constrains x = y: source and sink occur in the same loop
+	// instance.
+	DirEqual
+	// DirGreater constrains x > y: the source instance is "later" than
+	// the sink instance.
+	DirGreater
+)
+
+// String renders the direction with the paper's glyphs.
+func (d Direction) String() string {
+	switch d {
+	case DirAny:
+		return "*"
+	case DirLess:
+		return "<"
+	case DirEqual:
+		return "="
+	case DirGreater:
+		return ">"
+	}
+	return fmt.Sprintf("Direction(%d)", uint8(d))
+}
+
+// Refinements returns the strict refinements of d. DirAny refines to
+// {<, =, >}; the specific directions have no further refinement.
+func (d Direction) Refinements() []Direction {
+	if d == DirAny {
+		return []Direction{DirLess, DirEqual, DirGreater}
+	}
+	return nil
+}
+
+// Admits reports whether a concrete relation between instances x and y
+// satisfies the constraint d.
+func (d Direction) Admits(x, y int64) bool {
+	switch d {
+	case DirAny:
+		return true
+	case DirLess:
+		return x < y
+	case DirEqual:
+		return x == y
+	case DirGreater:
+		return x > y
+	}
+	return false
+}
+
+// Reverse returns the direction seen from the opposite endpoint: if the
+// source-to-sink constraint is x < y, then sink-to-source it is y > x.
+// DirAny and DirEqual are self-reverse.
+func (d Direction) Reverse() Direction {
+	switch d {
+	case DirLess:
+		return DirGreater
+	case DirGreater:
+		return DirLess
+	}
+	return d
+}
+
+// Vector is a direction vector: one Direction per shared loop,
+// outermost first.
+type Vector []Direction
+
+// AnyVector returns the unconstrained vector (*, *, ..., *) of length d.
+func AnyVector(d int) Vector {
+	v := make(Vector, d)
+	return v // zero value of Direction is DirAny
+}
+
+// EqualVector returns (=, =, ..., =) of length d.
+func EqualVector(d int) Vector {
+	v := make(Vector, d)
+	for i := range v {
+		v[i] = DirEqual
+	}
+	return v
+}
+
+// String renders the vector as the paper writes it, e.g. "(=,<,*)".
+// The empty vector renders as "()", the label the paper uses for
+// dependences whose endpoints share no loop.
+func (v Vector) String() string {
+	parts := make([]string, len(v))
+	for i, d := range v {
+		parts[i] = d.String()
+	}
+	return "(" + strings.Join(parts, ",") + ")"
+}
+
+// ParseVector parses the textual form produced by String, e.g. "(=,<)".
+func ParseVector(s string) (Vector, error) {
+	s = strings.TrimSpace(s)
+	if !strings.HasPrefix(s, "(") || !strings.HasSuffix(s, ")") {
+		return nil, fmt.Errorf("deptest: direction vector %q must be parenthesized", s)
+	}
+	inner := strings.TrimSpace(s[1 : len(s)-1])
+	if inner == "" {
+		return Vector{}, nil
+	}
+	parts := strings.Split(inner, ",")
+	v := make(Vector, len(parts))
+	for i, p := range parts {
+		switch strings.TrimSpace(p) {
+		case "*":
+			v[i] = DirAny
+		case "<":
+			v[i] = DirLess
+		case "=":
+			v[i] = DirEqual
+		case ">":
+			v[i] = DirGreater
+		default:
+			return nil, fmt.Errorf("deptest: bad direction %q in vector %q", p, s)
+		}
+	}
+	return v, nil
+}
+
+// Clone returns an independent copy of v.
+func (v Vector) Clone() Vector {
+	c := make(Vector, len(v))
+	copy(c, v)
+	return c
+}
+
+// Reverse returns the vector as seen from the opposite endpoint
+// (every component reversed).
+func (v Vector) Reverse() Vector {
+	c := make(Vector, len(v))
+	for i, d := range v {
+		c[i] = d.Reverse()
+	}
+	return c
+}
+
+// IsFullyRefined reports whether no component is DirAny.
+func (v Vector) IsFullyRefined() bool {
+	for _, d := range v {
+		if d == DirAny {
+			return false
+		}
+	}
+	return true
+}
+
+// Admits reports whether concrete source instances xs and sink
+// instances ys satisfy every component constraint.
+func (v Vector) Admits(xs, ys []int64) bool {
+	for i, d := range v {
+		if !d.Admits(xs[i], ys[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// LeadingDirection returns the first (outermost) component that is not
+// DirEqual, or DirEqual if all components are "=" or the vector is
+// empty. This identifies the loop level that carries the dependence:
+// a vector (=,<,…) is loop-independent at the outer level and carried
+// at the second level.
+func (v Vector) LeadingDirection() Direction {
+	for _, d := range v {
+		if d != DirEqual {
+			return d
+		}
+	}
+	return DirEqual
+}
+
+// CarriedLevel returns the 0-based loop level carrying the dependence
+// (the first non-"=" component), or −1 for a loop-independent
+// dependence (all "=" or empty). Components that are DirAny count as
+// carrying, since they admit non-equal instances.
+func (v Vector) CarriedLevel() int {
+	for i, d := range v {
+		if d != DirEqual {
+			return i
+		}
+	}
+	return -1
+}
+
+// Equal reports componentwise equality.
+func (v Vector) Equal(o Vector) bool {
+	if len(v) != len(o) {
+		return false
+	}
+	for i := range v {
+		if v[i] != o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Plausible reports whether the vector could label a dependence in a
+// sequential elementwise reading at all; it is used to discard the
+// self-dependence vector (=,…,=) between a reference pair from the
+// same clause when source and sink are the same access. All other
+// vectors are plausible.
+func (v Vector) SelfEqual() bool {
+	for _, d := range v {
+		if d != DirEqual {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,148 @@
+package deptest
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDirectionString(t *testing.T) {
+	cases := map[Direction]string{
+		DirAny: "*", DirLess: "<", DirEqual: "=", DirGreater: ">",
+	}
+	for d, want := range cases {
+		if got := d.String(); got != want {
+			t.Errorf("%v.String() = %q, want %q", uint8(d), got, want)
+		}
+	}
+}
+
+func TestDirectionAdmits(t *testing.T) {
+	type probe struct {
+		x, y int64
+		want map[Direction]bool
+	}
+	probes := []probe{
+		{1, 2, map[Direction]bool{DirAny: true, DirLess: true, DirEqual: false, DirGreater: false}},
+		{2, 2, map[Direction]bool{DirAny: true, DirLess: false, DirEqual: true, DirGreater: false}},
+		{3, 2, map[Direction]bool{DirAny: true, DirLess: false, DirEqual: false, DirGreater: true}},
+	}
+	for _, p := range probes {
+		for d, want := range p.want {
+			if got := d.Admits(p.x, p.y); got != want {
+				t.Errorf("%v.Admits(%d, %d) = %v, want %v", d, p.x, p.y, got, want)
+			}
+		}
+	}
+}
+
+func TestDirectionReverse(t *testing.T) {
+	if DirLess.Reverse() != DirGreater || DirGreater.Reverse() != DirLess {
+		t.Error("strict directions must swap under Reverse")
+	}
+	if DirEqual.Reverse() != DirEqual || DirAny.Reverse() != DirAny {
+		t.Error("= and * must be self-reverse")
+	}
+	// Reverse is an involution and agrees with swapping arguments of Admits.
+	f := func(dRaw uint8, x, y int8) bool {
+		d := Direction(dRaw % 4)
+		if d.Reverse().Reverse() != d {
+			return false
+		}
+		return d.Admits(int64(x), int64(y)) == d.Reverse().Admits(int64(y), int64(x))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVectorRoundTrip(t *testing.T) {
+	cases := []string{"()", "(=)", "(<)", "(>)", "(*)", "(=,<)", "(<,>)", "(=,<,>,*)"}
+	for _, s := range cases {
+		v, err := ParseVector(s)
+		if err != nil {
+			t.Fatalf("ParseVector(%q): %v", s, err)
+		}
+		if got := v.String(); got != s {
+			t.Errorf("round trip %q -> %q", s, got)
+		}
+	}
+}
+
+func TestParseVectorErrors(t *testing.T) {
+	for _, s := range []string{"", "=,<", "(?)", "(=,)", "(<,>"} {
+		if _, err := ParseVector(s); err == nil {
+			t.Errorf("ParseVector(%q) succeeded, want error", s)
+		}
+	}
+}
+
+func TestVectorLeadingAndCarried(t *testing.T) {
+	cases := []struct {
+		s       string
+		leading Direction
+		level   int
+	}{
+		{"()", DirEqual, -1},
+		{"(=,=)", DirEqual, -1},
+		{"(<)", DirLess, 0},
+		{"(=,<)", DirLess, 1},
+		{"(=,>)", DirGreater, 1},
+		{"(>,<)", DirGreater, 0},
+		{"(=,*,<)", DirAny, 1},
+	}
+	for _, c := range cases {
+		v, err := ParseVector(c.s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := v.LeadingDirection(); got != c.leading {
+			t.Errorf("%s.LeadingDirection() = %v, want %v", c.s, got, c.leading)
+		}
+		if got := v.CarriedLevel(); got != c.level {
+			t.Errorf("%s.CarriedLevel() = %d, want %d", c.s, got, c.level)
+		}
+	}
+}
+
+func TestVectorSelfEqual(t *testing.T) {
+	mustParse := func(s string) Vector {
+		v, err := ParseVector(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v
+	}
+	if !mustParse("(=,=)").SelfEqual() || !mustParse("()").SelfEqual() {
+		t.Error("all-= vectors must be SelfEqual")
+	}
+	if mustParse("(=,<)").SelfEqual() || mustParse("(*)").SelfEqual() {
+		t.Error("vectors with non-= components must not be SelfEqual")
+	}
+}
+
+func TestVectorReverseAdmits(t *testing.T) {
+	v, _ := ParseVector("(=,<,>)")
+	xs := []int64{3, 1, 5}
+	ys := []int64{3, 2, 4}
+	if !v.Admits(xs, ys) {
+		t.Fatal("vector should admit the probe instances")
+	}
+	if !v.Reverse().Admits(ys, xs) {
+		t.Fatal("reversed vector must admit swapped instances")
+	}
+}
+
+func TestAnyAndEqualVectors(t *testing.T) {
+	if got := AnyVector(3).String(); got != "(*,*,*)" {
+		t.Errorf("AnyVector(3) = %s", got)
+	}
+	if got := EqualVector(2).String(); got != "(=,=)" {
+		t.Errorf("EqualVector(2) = %s", got)
+	}
+	if AnyVector(2).IsFullyRefined() {
+		t.Error("AnyVector must not be fully refined")
+	}
+	if !EqualVector(2).IsFullyRefined() {
+		t.Error("EqualVector must be fully refined")
+	}
+}

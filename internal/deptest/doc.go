@@ -1,0 +1,33 @@
+// Package deptest implements the number-theoretic subscript-analysis
+// tests of Anderson & Hudak, "Compilation of Haskell Array Comprehensions
+// for Scientific Computing" (PLDI 1990), section 6.
+//
+// Given two linear (affine) subscript expressions
+//
+//	f(x1..xd) = a0 + Σ ak·xk
+//	g(y1..yd) = b0 + Σ bk·yk
+//
+// over d normalized loops (each index ranging over [1..Mk]), a dependence
+// between the two array references exists iff the dependence equation
+//
+//	f(x1..xd) − g(y1..yd) = 0
+//
+// has an integer solution within the region of interest R, possibly
+// further constrained per loop by a direction (x=y, x<y, x>y, or
+// unconstrained). The package provides:
+//
+//   - the GCD test (Theorem 1: any-integer-solution, necessary only),
+//   - the Banerjee inequality test (Theorem 2: bounded-rational-solution,
+//     necessary only), in both the classical positive/negative-part
+//     formula form and an exact per-term vertex form,
+//   - an exact bounded-integer-solution test (closed form for a single
+//     loop, branch-and-bound for nests),
+//   - the direction-vector refinement search tree that discovers which
+//     direction vectors admit a dependence.
+//
+// All tests answer the same question — "can these two references touch
+// the same element under these constraints?" — and are used by higher
+// layers to detect write collisions (output dependences), schedule
+// thunkless evaluation (flow dependences), and schedule in-place updates
+// (anti-dependences).
+package deptest

@@ -1,0 +1,282 @@
+package deptest
+
+// The exact bounded-integer-solution test: decide whether the
+// dependence equation Σ a_k·x_k − Σ b_k·y_k = b0 − a0 has an integer
+// solution with 1 ≤ x_k, y_k ≤ M_k satisfying the direction vector.
+// This is the paper's "if and only if" definition of dependence. The
+// cost is exponential in the nesting depth, so the solver takes a node
+// budget: for one loop a closed form (linear diophantine + interval
+// intersection) answers in O(1); deeper nests branch loop by loop and
+// solve the innermost loop in closed form, pruning with exact interval
+// arithmetic on the remaining terms.
+
+// Result is a three-valued test outcome. Inexact tests only ever say
+// Impossible or Possible; the exact test can say Definite ("a
+// dependence certainly exists"), Impossible, or Unknown (budget
+// exhausted).
+type Result uint8
+
+const (
+	// Impossible: no dependence can exist under the given constraints.
+	Impossible Result = iota
+	// Possible: a dependence may exist (inexact test satisfied).
+	Possible
+	// Definite: a dependence certainly exists (exact test found a
+	// solution).
+	Definite
+	// Unknown: the exact solver exhausted its budget before deciding.
+	Unknown
+)
+
+// String renders the result.
+func (r Result) String() string {
+	switch r {
+	case Impossible:
+		return "impossible"
+	case Possible:
+		return "possible"
+	case Definite:
+		return "definite"
+	case Unknown:
+		return "unknown"
+	}
+	return "Result(?)"
+}
+
+// CanDepend reports whether the result leaves a dependence on the
+// table (everything but Impossible). Pessimistic analyses must treat
+// Possible and Unknown as dependences.
+func (r Result) CanDepend() bool { return r != Impossible }
+
+// DefaultExactBudget is the default node budget for ExactTest. It is
+// ample for the 1–2 level nests the paper recommends exact testing on.
+const DefaultExactBudget = 1 << 20
+
+// tRange is a possibly-empty integer interval used for the free
+// parameter of a diophantine solution family.
+type tRange struct {
+	lo, hi int64
+	empty  bool
+}
+
+func fullRange() tRange { return tRange{lo: minInt64, hi: maxInt64} }
+
+const (
+	minInt64 = -1 << 62 // headroom to avoid overflow in interval math
+	maxInt64 = 1<<62 - 1
+)
+
+func (r tRange) isEmpty() bool { return r.empty || r.lo > r.hi }
+
+// constrain intersects r with the solutions of coeff·t ⋈ rhs where ⋈ is
+// ≤ (le=true) or ≥ (le=false).
+func (r tRange) constrainLE(coeff, rhs int64) tRange {
+	if r.isEmpty() {
+		return r
+	}
+	switch {
+	case coeff == 0:
+		if 0 <= rhs {
+			return r
+		}
+		return tRange{empty: true}
+	case coeff > 0:
+		r.hi = minI64(r.hi, FloorDiv(rhs, coeff))
+	default:
+		r.lo = maxI64(r.lo, CeilDiv(rhs, coeff))
+	}
+	return r
+}
+
+func (r tRange) constrainGE(coeff, rhs int64) tRange {
+	// coeff·t ≥ rhs  ⇔  −coeff·t ≤ −rhs
+	return r.constrainLE(-coeff, -rhs)
+}
+
+// solveSingleLoop decides exactly whether a·x − b·y = c has an integer
+// solution with x, y ∈ [1..m] under direction d. O(1).
+func solveSingleLoop(a, b, c, m int64, d Direction) bool {
+	if (d == DirLess || d == DirGreater) && m < 2 {
+		return false
+	}
+	if d == DirEqual {
+		// (a−b)·x = c, x ∈ [1..m].
+		t := a - b
+		if t == 0 {
+			return c == 0
+		}
+		if c%t != 0 {
+			return false
+		}
+		x := c / t
+		return 1 <= x && x <= m
+	}
+	g, u, v := ExtGCD(a, -b) // a·u + (−b)·v = g
+	if g == 0 {
+		// a = b = 0: equation is 0 = c for any x, y in the region.
+		return c == 0
+	}
+	if c%g != 0 {
+		return false
+	}
+	// Particular solution: x0 = u·(c/g), y0 = v·(c/g).
+	// General: x = x0 + (b/g)·t, y = y0 + (a/g)·t   (since a·(b/g) − b·(a/g) = 0).
+	q := c / g
+	x0, y0 := u*q, v*q
+	sx, sy := b/g, a/g
+	r := fullRange()
+	// 1 ≤ x0 + sx·t ≤ m
+	r = r.constrainGE(sx, 1-x0)
+	r = r.constrainLE(sx, m-x0)
+	// 1 ≤ y0 + sy·t ≤ m
+	r = r.constrainGE(sy, 1-y0)
+	r = r.constrainLE(sy, m-y0)
+	switch d {
+	case DirLess: // x ≤ y − 1: (x0−y0) + (sx−sy)·t ≤ −1
+		r = r.constrainLE(sx-sy, -1-(x0-y0))
+	case DirGreater: // x ≥ y + 1
+		r = r.constrainGE(sx-sy, 1-(x0-y0))
+	}
+	return !r.isEmpty()
+}
+
+// exactSolver carries the recursion state for ExactTest.
+type exactSolver struct {
+	p       Problem
+	v       Vector
+	budget  int
+	suffix  []Interval // suffix[k] = exact achievable range of terms k.. (inclusive)
+	timeout bool
+}
+
+func (s *exactSolver) spend() bool {
+	s.budget--
+	if s.budget < 0 {
+		s.timeout = true
+		return false
+	}
+	return true
+}
+
+// solve decides whether terms k.. can make exactly `target`.
+func (s *exactSolver) solve(k int, target int64) bool {
+	if s.timeout {
+		return false
+	}
+	d := s.p.NumLoops()
+	if k == d {
+		return target == 0
+	}
+	if !s.suffix[k].Contains(target) {
+		return false
+	}
+	a, b, m := s.p.A[k], s.p.B[k], s.p.Bound[k]
+	dir := s.v[k]
+	if !s.p.Shared[k] {
+		dir = DirAny
+	}
+	if k == d-1 {
+		if !s.spend() {
+			return false
+		}
+		return solveSingleLoop(a, b, target, m, dir)
+	}
+	rest := s.suffix[k+1]
+	// need(term) = target − term must lie in rest for any hope.
+	termFeasible := func(term int64) bool { return rest.Contains(target - term) }
+	switch dir {
+	case DirEqual:
+		for z := int64(1); z <= m; z++ {
+			if !s.spend() {
+				return false
+			}
+			term := (a - b) * z
+			if termFeasible(term) && s.solve(k+1, target-term) {
+				return true
+			}
+		}
+	case DirAny:
+		for x := int64(1); x <= m; x++ {
+			for y := int64(1); y <= m; y++ {
+				if !s.spend() {
+					return false
+				}
+				term := a*x - b*y
+				if termFeasible(term) && s.solve(k+1, target-term) {
+					return true
+				}
+			}
+		}
+	case DirLess:
+		for x := int64(1); x < m; x++ {
+			for y := x + 1; y <= m; y++ {
+				if !s.spend() {
+					return false
+				}
+				term := a*x - b*y
+				if termFeasible(term) && s.solve(k+1, target-term) {
+					return true
+				}
+			}
+		}
+	case DirGreater:
+		for y := int64(1); y < m; y++ {
+			for x := y + 1; x <= m; x++ {
+				if !s.spend() {
+					return false
+				}
+				term := a*x - b*y
+				if termFeasible(term) && s.solve(k+1, target-term) {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// ExactTest decides the bounded integer solution test under direction
+// vector v with the given node budget (use DefaultExactBudget when in
+// doubt). It returns Definite, Impossible, or Unknown.
+func ExactTest(p Problem, v Vector, budget int) (Result, error) {
+	if err := p.Validate(); err != nil {
+		return Unknown, err
+	}
+	if err := p.checkVector(v); err != nil {
+		return Unknown, err
+	}
+	if p.regionEmpty(v) {
+		return Impossible, nil
+	}
+	// Cheap refutations first, exactly as the paper prescribes.
+	if ok, _ := GCDTest(p, v); !ok {
+		return Impossible, nil
+	}
+	if ok, _ := BanerjeeTest(p, v, true); !ok {
+		return Impossible, nil
+	}
+	d := p.NumLoops()
+	if d == 0 {
+		if p.Delta() == 0 {
+			return Definite, nil
+		}
+		return Impossible, nil
+	}
+	s := &exactSolver{p: p, v: v, budget: budget, suffix: make([]Interval, d+1)}
+	for k := d - 1; k >= 0; k-- {
+		dir := v[k]
+		if !p.Shared[k] {
+			dir = DirAny
+		}
+		tb := TermBoundsExact(p.A[k], p.B[k], p.Bound[k], dir)
+		s.suffix[k] = tb.Add(s.suffix[k+1])
+	}
+	found := s.solve(0, p.Delta())
+	if s.timeout {
+		return Unknown, nil
+	}
+	if found {
+		return Definite, nil
+	}
+	return Impossible, nil
+}

@@ -1,0 +1,157 @@
+package deptest
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestSolveSingleLoopClosedForm(t *testing.T) {
+	// Cross-check the closed form against brute force over a dense grid.
+	for a := int64(-5); a <= 5; a++ {
+		for b := int64(-5); b <= 5; b++ {
+			for c := int64(-12); c <= 12; c++ {
+				for m := int64(1); m <= 6; m++ {
+					for _, d := range []Direction{DirAny, DirLess, DirEqual, DirGreater} {
+						want := false
+						for x := int64(1); x <= m; x++ {
+							for y := int64(1); y <= m; y++ {
+								if d.Admits(x, y) && a*x-b*y == c {
+									want = true
+								}
+							}
+						}
+						if got := solveSingleLoop(a, b, c, m, d); got != want {
+							t.Fatalf("solveSingleLoop(a=%d b=%d c=%d m=%d %v) = %v, want %v", a, b, c, m, d, got, want)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestExactTestMatchesOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	dirs := []Direction{DirAny, DirLess, DirEqual, DirGreater}
+	for trial := 0; trial < 2500; trial++ {
+		d := 1 + rng.Intn(3)
+		a := make([]int64, d)
+		b := make([]int64, d)
+		m := make([]int64, d)
+		v := make(Vector, d)
+		for k := 0; k < d; k++ {
+			a[k] = int64(rng.Intn(9) - 4)
+			b[k] = int64(rng.Intn(9) - 4)
+			m[k] = int64(1 + rng.Intn(5))
+			v[k] = dirs[rng.Intn(len(dirs))]
+		}
+		p := NewProblem(int64(rng.Intn(13)-6), a, int64(rng.Intn(13)-6), b, m)
+		want := bruteForceDependence(p, v)
+		got, err := ExactTest(p, v, DefaultExactBudget)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got == Unknown {
+			t.Fatalf("exact test ran out of budget on a tiny problem: %+v %v", p, v)
+		}
+		if (got == Definite) != want {
+			t.Fatalf("ExactTest(%+v, %v) = %v, oracle says %v", p, v, got, want)
+		}
+	}
+}
+
+func TestExactTestLargeBoundsSingleLoop(t *testing.T) {
+	// Closed form must handle big bounds in O(1): 3x − 5y = 1 over
+	// [1..10^9] has solutions (e.g. x=2, y=1).
+	p := NewProblem(0, []int64{3}, -1, []int64{5}, []int64{1_000_000_000})
+	res, err := ExactTest(p, AnyVector(1), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res != Definite {
+		t.Errorf("3x − 5y = 1 over huge range: got %v, want definite", res)
+	}
+	// 3x − 6y = 1 has no integer solutions at all.
+	p = NewProblem(0, []int64{3}, -1, []int64{6}, []int64{1_000_000_000})
+	if res, _ := ExactTest(p, AnyVector(1), 100); res != Impossible {
+		t.Errorf("3x − 6y = 1: got %v, want impossible", res)
+	}
+}
+
+func TestExactTestBudgetExhaustion(t *testing.T) {
+	// A 3-deep nest with gcd-compatible coefficients forces real
+	// enumeration; with budget 1 the solver must give up, not lie.
+	p := NewProblem(0, []int64{1, 1, 1}, 0, []int64{1, 1, 1}, []int64{50, 50, 50})
+	v := Vector{DirAny, DirAny, DirAny}
+	res, err := ExactTest(p, v, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Budget 1 may or may not suffice depending on pruning; the
+	// contract is only that the answer is one of the three honest
+	// outcomes and never a wrong refutation. i=j=k trivially solves
+	// this system, so Impossible would be a lie.
+	if res == Impossible {
+		t.Errorf("budget-starved exact test returned a wrong refutation")
+	}
+}
+
+func TestExactTestZeroLoops(t *testing.T) {
+	p := NewProblem(7, nil, 7, nil, nil)
+	if res, _ := ExactTest(p, Vector{}, 10); res != Definite {
+		t.Error("matching constant subscripts must be a definite dependence")
+	}
+	p = NewProblem(7, nil, 8, nil, nil)
+	if res, _ := ExactTest(p, Vector{}, 10); res != Impossible {
+		t.Error("distinct constant subscripts must be impossible")
+	}
+}
+
+func TestExactTestPaperExample1(t *testing.T) {
+	// Paper section 5, example 1: clauses write 3i, 3i−1, 3i−2 and
+	// clause 2 reads a!(3(i−1)) = 3i−3, clause 3 reads a!(3i).
+	// Flow edge 1→2: write 3x vs read 3y−3 ⇒ 3x = 3y−3 ⇒ x = y−1,
+	// i.e. only direction (<) admits a dependence.
+	p := NewProblem(0, []int64{3}, -3, []int64{3}, []int64{100})
+	if res, _ := ExactTest(p, mustVector(t, "(<)"), DefaultExactBudget); res != Definite {
+		t.Error("edge 1→2 must be definite under (<)")
+	}
+	for _, dir := range []string{"(=)", "(>)"} {
+		if res, _ := ExactTest(p, mustVector(t, dir), DefaultExactBudget); res != Impossible {
+			t.Errorf("edge 1→2 must be impossible under %s", dir)
+		}
+	}
+	// Flow edge 1→3: write 3x vs read 3y ⇒ x = y ⇒ only (=).
+	p = NewProblem(0, []int64{3}, 0, []int64{3}, []int64{100})
+	if res, _ := ExactTest(p, mustVector(t, "(=)"), DefaultExactBudget); res != Definite {
+		t.Error("edge 1→3 must be definite under (=)")
+	}
+	for _, dir := range []string{"(<)", "(>)"} {
+		if res, _ := ExactTest(p, mustVector(t, dir), DefaultExactBudget); res != Impossible {
+			t.Errorf("edge 1→3 must be impossible under %s", dir)
+		}
+	}
+	// No dependence at all between the 3i−1 clause writes and the 3i
+	// clause writes (output-dependence question): 3x−1 = 3y never.
+	p = NewProblem(-1, []int64{3}, 0, []int64{3}, []int64{100})
+	if res, _ := ExactTest(p, AnyVector(1), DefaultExactBudget); res != Impossible {
+		t.Error("writes at 3i−1 and 3j can never collide")
+	}
+}
+
+func TestResultStringsAndCanDepend(t *testing.T) {
+	if Impossible.CanDepend() {
+		t.Error("Impossible.CanDepend() must be false")
+	}
+	for _, r := range []Result{Possible, Definite, Unknown} {
+		if !r.CanDepend() {
+			t.Errorf("%v.CanDepend() must be true", r)
+		}
+	}
+	want := map[Result]string{Impossible: "impossible", Possible: "possible", Definite: "definite", Unknown: "unknown"}
+	for r, s := range want {
+		if r.String() != s {
+			t.Errorf("%d.String() = %q, want %q", r, r.String(), s)
+		}
+	}
+}

@@ -1,0 +1,41 @@
+package deptest
+
+// GCDTest is the paper's first inexact test (derived from Theorem 1,
+// the any-integer-solution test): a dependence can exist under
+// direction vector v only if
+//
+//	gcd(…, a_j − b_j, …, a_k, …, b_k, …) | b_0 − a_0
+//
+// where j ranges over Q= (loops constrained to x=y, whose two instance
+// variables collapse into one with coefficient a_j − b_j) and k ranges
+// over Q< ∪ Q> ∪ Q* (loops whose instances stay independent,
+// contributing both coefficients).
+//
+// It returns true when a dependence is *possible* (the test cannot
+// refute it) and false when a dependence is *impossible*. The loop
+// bounds are ignored entirely — that is exactly the information this
+// test gives up relative to the exact test.
+func GCDTest(p Problem, v Vector) (possible bool, err error) {
+	if err := p.Validate(); err != nil {
+		return false, err
+	}
+	if err := p.checkVector(v); err != nil {
+		return false, err
+	}
+	var g int64
+	for k := range p.A {
+		if v[k] == DirEqual {
+			g = GCD(g, p.A[k]-p.B[k])
+		} else {
+			g = GCD(g, p.A[k])
+			g = GCD(g, p.B[k])
+		}
+	}
+	return Divides(g, p.Delta()), nil
+}
+
+// GCDTestAny runs the GCD test with no direction constraints, the
+// starting point of the refinement hierarchy.
+func GCDTestAny(p Problem) (bool, error) {
+	return GCDTest(p, AnyVector(p.NumLoops()))
+}

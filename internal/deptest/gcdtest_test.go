@@ -1,0 +1,123 @@
+package deptest
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func mustVector(t *testing.T, s string) Vector {
+	t.Helper()
+	v, err := ParseVector(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func TestGCDTestClassic(t *testing.T) {
+	// a!(2i) vs a!(2j+1): even vs odd subscripts can never collide.
+	p := NewProblem(0, []int64{2}, 1, []int64{2}, []int64{100})
+	ok, err := GCDTestAny(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("GCD test must refute dependence between 2i and 2j+1")
+	}
+
+	// a!(2i) vs a!(2j): possible (gcd 2 divides 0).
+	p = NewProblem(0, []int64{2}, 0, []int64{2}, []int64{100})
+	if ok, _ := GCDTestAny(p); !ok {
+		t.Error("GCD test must allow dependence between 2i and 2j")
+	}
+
+	// a!(3i) vs a!(3j+1): impossible.
+	p = NewProblem(0, []int64{3}, 1, []int64{3}, []int64{100})
+	if ok, _ := GCDTestAny(p); ok {
+		t.Error("GCD test must refute dependence between 3i and 3j+1")
+	}
+}
+
+func TestGCDTestIgnoresBounds(t *testing.T) {
+	// a!(i) vs a!(j+1000) with i,j ∈ [1..10]: clearly impossible, but
+	// the GCD test cannot see bounds (gcd 1 divides everything).
+	p := NewProblem(0, []int64{1}, 1000, []int64{1}, []int64{10})
+	if ok, _ := GCDTestAny(p); !ok {
+		t.Error("GCD test should (wrongly but by design) allow the out-of-range dependence")
+	}
+	// ...while the Banerjee test refutes it.
+	if ok, _ := BanerjeeTest(p, AnyVector(1), false); ok {
+		t.Error("Banerjee test must refute the out-of-range dependence")
+	}
+}
+
+func TestGCDTestDirectionEqual(t *testing.T) {
+	// Under (=) the instance variables collapse: a!(2i) vs a!(2i+1)
+	// within the same instance needs (2−2)x = 1, impossible; under (*)
+	// it needs gcd(2,2)=2 | 1, also impossible.
+	p := NewProblem(0, []int64{2}, 1, []int64{2}, []int64{50})
+	if ok, _ := GCDTest(p, mustVector(t, "(=)")); ok {
+		t.Error("(=) collision between 2i and 2i+1 must be refuted")
+	}
+	// a!(3i) vs a!(i): under (=) needs (3−1)x = 0 ⇒ x=0 out of range,
+	// but the GCD test only checks divisibility: 2 | 0 holds, so it
+	// must answer "possible". (The exact test refines this; see below.)
+	p = NewProblem(0, []int64{3}, 0, []int64{1}, []int64{50})
+	if ok, _ := GCDTest(p, mustVector(t, "(=)")); !ok {
+		t.Error("GCD (=) test is divisibility-only and must allow 3i vs i")
+	}
+	res, err := ExactTest(p, mustVector(t, "(=)"), DefaultExactBudget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res != Impossible {
+		t.Errorf("exact (=) test for 3i vs i: got %v, want impossible (x=0 is out of range)", res)
+	}
+}
+
+func TestGCDTestEmptyCoefficients(t *testing.T) {
+	// Zero-loop problem: dependence iff constants match.
+	p := NewProblem(5, nil, 5, nil, nil)
+	if ok, _ := GCDTestAny(p); !ok {
+		t.Error("constant subscripts 5 and 5 must depend")
+	}
+	p = NewProblem(5, nil, 6, nil, nil)
+	if ok, _ := GCDTestAny(p); ok {
+		t.Error("constant subscripts 5 and 6 must not depend")
+	}
+}
+
+func TestGCDTestVectorArity(t *testing.T) {
+	p := NewProblem(0, []int64{1, 2}, 0, []int64{1, 2}, []int64{10, 10})
+	if _, err := GCDTest(p, mustVector(t, "(=)")); err == nil {
+		t.Error("arity mismatch must be an error")
+	}
+}
+
+// TestGCDTestSoundness: the GCD test must never refute a dependence the
+// brute-force oracle finds (it is a necessary condition).
+func TestGCDTestSoundness(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	dirs := []Direction{DirAny, DirLess, DirEqual, DirGreater}
+	for trial := 0; trial < 2000; trial++ {
+		d := 1 + rng.Intn(2)
+		a := make([]int64, d)
+		b := make([]int64, d)
+		m := make([]int64, d)
+		v := make(Vector, d)
+		for k := 0; k < d; k++ {
+			a[k] = int64(rng.Intn(9) - 4)
+			b[k] = int64(rng.Intn(9) - 4)
+			m[k] = int64(1 + rng.Intn(5))
+			v[k] = dirs[rng.Intn(len(dirs))]
+		}
+		p := NewProblem(int64(rng.Intn(11)-5), a, int64(rng.Intn(11)-5), b, m)
+		ok, err := GCDTest(p, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bruteForceDependence(p, v) && !ok {
+			t.Fatalf("GCD test refuted a real dependence: %+v %v", p, v)
+		}
+	}
+}

@@ -1,0 +1,125 @@
+package deptest
+
+// Basic integer number theory used by the dependence tests.
+
+// Abs returns the absolute value of t.
+func Abs(t int64) int64 {
+	if t < 0 {
+		return -t
+	}
+	return t
+}
+
+// GCD returns the greatest common divisor of a and b, always non-negative.
+// GCD(0, 0) is 0 by convention, so that "g divides c" degenerates to
+// "c == 0" exactly as required by the GCD test over an empty coefficient
+// set.
+func GCD(a, b int64) int64 {
+	a, b = Abs(a), Abs(b)
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// GCDAll returns the gcd of all values, 0 for an empty list.
+func GCDAll(vals ...int64) int64 {
+	var g int64
+	for _, v := range vals {
+		g = GCD(g, v)
+	}
+	return g
+}
+
+// ExtGCD returns (g, u, v) with g = gcd(a, b) ≥ 0 and a·u + b·v = g.
+func ExtGCD(a, b int64) (g, u, v int64) {
+	// Iterative extended Euclid on the signed values, fixing sign at the end.
+	oldR, r := a, b
+	oldS, s := int64(1), int64(0)
+	oldT, t := int64(0), int64(1)
+	for r != 0 {
+		q := oldR / r
+		oldR, r = r, oldR-q*r
+		oldS, s = s, oldS-q*s
+		oldT, t = t, oldT-q*t
+	}
+	if oldR < 0 {
+		oldR, oldS, oldT = -oldR, -oldS, -oldT
+	}
+	return oldR, oldS, oldT
+}
+
+// Divides reports whether g divides c, with the convention that 0
+// divides only 0.
+func Divides(g, c int64) bool {
+	if g == 0 {
+		return c == 0
+	}
+	return c%g == 0
+}
+
+// PosPart returns t⁺ = max(t, 0), the positive part of t as defined in
+// Banerjee's thesis and used throughout the paper's section 6.
+func PosPart(t int64) int64 {
+	if t > 0 {
+		return t
+	}
+	return 0
+}
+
+// NegPart returns t⁻ = max(−t, 0), the negative part of t. Note that
+// t = t⁺ − t⁻ and |t| = t⁺ + t⁻.
+func NegPart(t int64) int64 {
+	if t < 0 {
+		return -t
+	}
+	return 0
+}
+
+// FloorDiv returns ⌊a/b⌋ for b ≠ 0 (division rounding toward −∞).
+func FloorDiv(a, b int64) int64 {
+	q := a / b
+	if (a%b != 0) && ((a < 0) != (b < 0)) {
+		q--
+	}
+	return q
+}
+
+// CeilDiv returns ⌈a/b⌉ for b ≠ 0 (division rounding toward +∞).
+func CeilDiv(a, b int64) int64 {
+	q := a / b
+	if (a%b != 0) && ((a < 0) == (b < 0)) {
+		q++
+	}
+	return q
+}
+
+func minI64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minAll(vals ...int64) int64 {
+	m := vals[0]
+	for _, v := range vals[1:] {
+		m = minI64(m, v)
+	}
+	return m
+}
+
+func maxAll(vals ...int64) int64 {
+	m := vals[0]
+	for _, v := range vals[1:] {
+		m = maxI64(m, v)
+	}
+	return m
+}

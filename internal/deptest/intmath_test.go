@@ -1,0 +1,138 @@
+package deptest
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestGCDBasics(t *testing.T) {
+	cases := []struct{ a, b, want int64 }{
+		{0, 0, 0},
+		{0, 5, 5},
+		{5, 0, 5},
+		{12, 18, 6},
+		{-12, 18, 6},
+		{12, -18, 6},
+		{-12, -18, 6},
+		{7, 13, 1},
+		{1, 1000000, 1},
+	}
+	for _, c := range cases {
+		if got := GCD(c.a, c.b); got != c.want {
+			t.Errorf("GCD(%d, %d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestGCDAll(t *testing.T) {
+	if got := GCDAll(); got != 0 {
+		t.Errorf("GCDAll() = %d, want 0", got)
+	}
+	if got := GCDAll(6, 9, 15); got != 3 {
+		t.Errorf("GCDAll(6,9,15) = %d, want 3", got)
+	}
+	if got := GCDAll(0, 0, 4); got != 4 {
+		t.Errorf("GCDAll(0,0,4) = %d, want 4", got)
+	}
+}
+
+func TestExtGCDIdentity(t *testing.T) {
+	f := func(a, b int32) bool {
+		g, u, v := ExtGCD(int64(a), int64(b))
+		if g != GCD(int64(a), int64(b)) {
+			return false
+		}
+		return int64(a)*u+int64(b)*v == g
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDivides(t *testing.T) {
+	cases := []struct {
+		g, c int64
+		want bool
+	}{
+		{0, 0, true},
+		{0, 1, false},
+		{3, 9, true},
+		{3, 10, false},
+		{3, -9, true},
+		{-0, 0, true},
+		{1, 12345, true},
+	}
+	for _, c := range cases {
+		if got := Divides(c.g, c.c); got != c.want {
+			t.Errorf("Divides(%d, %d) = %v, want %v", c.g, c.c, got, c.want)
+		}
+	}
+}
+
+func TestPosNegParts(t *testing.T) {
+	f := func(t32 int32) bool {
+		v := int64(t32)
+		pp, np := PosPart(v), NegPart(v)
+		if pp < 0 || np < 0 {
+			return false
+		}
+		// t = t⁺ − t⁻ and |t| = t⁺ + t⁻, the identities the Banerjee
+		// derivation relies on.
+		return pp-np == v && pp+np == Abs(v)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFloorCeilDiv(t *testing.T) {
+	cases := []struct{ a, b, floor, ceil int64 }{
+		{7, 2, 3, 4},
+		{-7, 2, -4, -3},
+		{7, -2, -4, -3},
+		{-7, -2, 3, 4},
+		{6, 3, 2, 2},
+		{-6, 3, -2, -2},
+		{0, 5, 0, 0},
+	}
+	for _, c := range cases {
+		if got := FloorDiv(c.a, c.b); got != c.floor {
+			t.Errorf("FloorDiv(%d, %d) = %d, want %d", c.a, c.b, got, c.floor)
+		}
+		if got := CeilDiv(c.a, c.b); got != c.ceil {
+			t.Errorf("CeilDiv(%d, %d) = %d, want %d", c.a, c.b, got, c.ceil)
+		}
+	}
+}
+
+func TestFloorCeilDivProperty(t *testing.T) {
+	f := func(a int32, b int32) bool {
+		if b == 0 {
+			return true
+		}
+		A, B := int64(a), int64(b)
+		fd := FloorDiv(A, B)
+		cd := CeilDiv(A, B)
+		// Floor remainder r = A − fd·B lies in [0, |B|) with the sign
+		// of B; ceil remainder lies in (−|B|, 0] with the sign of −B.
+		rf := A - fd*B
+		rc := A - cd*B
+		if Abs(rf) >= Abs(B) || Abs(rc) >= Abs(B) {
+			return false
+		}
+		if rf != 0 && (rf < 0) != (B < 0) {
+			return false
+		}
+		if rc != 0 && (rc < 0) == (B < 0) {
+			return false
+		}
+		// Floor and ceil differ by exactly 0 (exact division) or 1.
+		if rf == 0 {
+			return fd == cd
+		}
+		return cd == fd+1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

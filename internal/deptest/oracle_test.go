@@ -1,0 +1,63 @@
+package deptest
+
+// Brute-force oracle used to validate every test in this package: it
+// enumerates all (x, y) assignments within the region (feasible only
+// for tiny bounds) and checks the dependence equation directly.
+
+// bruteForceDependence exhaustively decides whether the dependence
+// equation has an integer solution in the constrained region.
+func bruteForceDependence(p Problem, v Vector) bool {
+	d := p.NumLoops()
+	xs := make([]int64, d)
+	ys := make([]int64, d)
+	var rec func(k int) bool
+	rec = func(k int) bool {
+		if k == d {
+			var h int64
+			for i := 0; i < d; i++ {
+				h += p.A[i]*xs[i] - p.B[i]*ys[i]
+			}
+			return h == p.Delta()
+		}
+		dir := v[k]
+		if !p.Shared[k] {
+			dir = DirAny
+		}
+		for x := int64(1); x <= p.Bound[k]; x++ {
+			for y := int64(1); y <= p.Bound[k]; y++ {
+				if !dir.Admits(x, y) {
+					continue
+				}
+				xs[k], ys[k] = x, y
+				if rec(k + 1) {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	return rec(0)
+}
+
+// bruteForceTermBounds computes the exact min/max of a·x − b·y over the
+// constrained region by enumeration.
+func bruteForceTermBounds(a, b, m int64, d Direction) (Interval, bool) {
+	first := true
+	var iv Interval
+	for x := int64(1); x <= m; x++ {
+		for y := int64(1); y <= m; y++ {
+			if !d.Admits(x, y) {
+				continue
+			}
+			t := a*x - b*y
+			if first {
+				iv = Interval{t, t}
+				first = false
+			} else {
+				iv.Lo = minI64(iv.Lo, t)
+				iv.Hi = maxI64(iv.Hi, t)
+			}
+		}
+	}
+	return iv, !first
+}

@@ -1,0 +1,94 @@
+package deptest
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Problem is one single-dimension dependence question between a source
+// reference with subscript f(x) = A0 + Σ A[k]·x[k] and a sink reference
+// with subscript g(y) = B0 + Σ B[k]·y[k], over NumLoops() normalized
+// loops. Loop k runs over [1..Bound[k]] (the paper's M_k).
+//
+// Loops that surround only one of the two references (the "unshared
+// loops" of the paper's final lemma in section 6) are modeled with a
+// zero coefficient on the side they do not surround and Shared[k] =
+// false; direction constraints are meaningful only for shared loops.
+//
+// Multi-dimensional subscripts are handled one dimension at a time and
+// combined by the caller (a dependence requires every dimension to
+// admit a solution under the same direction vector); see package
+// analysis.
+type Problem struct {
+	A0, B0 int64
+	A, B   []int64
+	Bound  []int64
+	Shared []bool
+}
+
+// NewProblem builds a Problem over d fully shared loops with bounds m.
+func NewProblem(a0 int64, a []int64, b0 int64, b []int64, m []int64) Problem {
+	d := len(a)
+	shared := make([]bool, d)
+	for i := range shared {
+		shared[i] = true
+	}
+	return Problem{A0: a0, A: a, B0: b0, B: b, Bound: m, Shared: shared}
+}
+
+// NumLoops returns the number of loops in the problem.
+func (p Problem) NumLoops() int { return len(p.A) }
+
+// Validate checks structural consistency.
+func (p Problem) Validate() error {
+	d := len(p.A)
+	if len(p.B) != d || len(p.Bound) != d || len(p.Shared) != d {
+		return fmt.Errorf("deptest: inconsistent problem arity: |A|=%d |B|=%d |Bound|=%d |Shared|=%d",
+			len(p.A), len(p.B), len(p.Bound), len(p.Shared))
+	}
+	for k, m := range p.Bound {
+		if m < 1 {
+			return fmt.Errorf("deptest: loop %d has bound %d < 1 (loops must be normalized and non-empty)", k, m)
+		}
+	}
+	for k := range p.A {
+		if !p.Shared[k] && p.A[k] != 0 && p.B[k] != 0 {
+			return fmt.Errorf("deptest: loop %d marked unshared but has coefficients on both sides", k)
+		}
+	}
+	return nil
+}
+
+// ErrVectorArity is returned when a direction vector's length does not
+// match the problem's loop count.
+var ErrVectorArity = errors.New("deptest: direction vector length does not match problem loop count")
+
+// checkVector validates v against p and rejects direction constraints
+// on unshared loops (the relative order of instances of an unshared
+// loop is meaningless).
+func (p Problem) checkVector(v Vector) error {
+	if len(v) != p.NumLoops() {
+		return fmt.Errorf("%w: vector %v, loops %d", ErrVectorArity, v, p.NumLoops())
+	}
+	for k, d := range v {
+		if d != DirAny && !p.Shared[k] {
+			return fmt.Errorf("deptest: direction %v constrains unshared loop %d", v, k)
+		}
+	}
+	return nil
+}
+
+// Delta returns the constant term B0 − A0 of the dependence equation
+// Σ A[k]x[k] − Σ B[k]y[k] = B0 − A0.
+func (p Problem) Delta() int64 { return p.B0 - p.A0 }
+
+// regionEmpty reports whether the constrained region is empty for some
+// loop — e.g. constraint x<y over a loop with a single iteration.
+func (p Problem) regionEmpty(v Vector) bool {
+	for k, d := range v {
+		if (d == DirLess || d == DirGreater) && p.Bound[k] < 2 {
+			return true
+		}
+	}
+	return false
+}

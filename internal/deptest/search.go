@@ -1,0 +1,122 @@
+package deptest
+
+// The direction-vector refinement search tree (the approach the paper
+// attributes to Burke & Cytron). Start from the unconstrained vector
+// (*,…,*); if a test refutes a dependence there, it is refuted for
+// every refinement and the whole subtree is pruned. Otherwise split the
+// leftmost '*' into '<', '=', '>' and recurse. The leaves that survive
+// are the direction vectors under which a dependence remains possible.
+//
+// In the common scientific-code cases the tree collapses after one or
+// two probes, giving the O(n)-or-even-O(1) behaviour the paper cites;
+// in the worst case it degenerates to the O(3^n) exhaustive battery.
+
+// Tester is a dependence test: it reports whether a dependence is
+// possible under the given direction vector.
+type Tester func(p Problem, v Vector) (bool, error)
+
+// BanerjeeTester adapts BanerjeeTest to the Tester shape.
+func BanerjeeTester(exact bool) Tester {
+	return func(p Problem, v Vector) (bool, error) {
+		return BanerjeeTest(p, v, exact)
+	}
+}
+
+// CombinedTester refutes with the GCD test first and the Banerjee
+// (exact-bounds) test second — the battery the paper recommends.
+func CombinedTester() Tester {
+	return func(p Problem, v Vector) (bool, error) {
+		ok, err := GCDTest(p, v)
+		if err != nil || !ok {
+			return false, err
+		}
+		return BanerjeeTest(p, v, true)
+	}
+}
+
+// SearchStats reports the work done by a refinement search.
+type SearchStats struct {
+	Probes int // number of Tester invocations
+	Pruned int // number of interior nodes whose subtree was pruned
+}
+
+// RefineDirections returns every fully refined direction vector under
+// which `test` cannot refute a dependence, using the hierarchical
+// search tree. Components for unshared loops are left as '*' (they can
+// carry no constraint) and count as refined.
+func RefineDirections(p Problem, test Tester) ([]Vector, SearchStats, error) {
+	var (
+		out   []Vector
+		stats SearchStats
+	)
+	if err := p.Validate(); err != nil {
+		return nil, stats, err
+	}
+	var walk func(v Vector, from int) error
+	walk = func(v Vector, from int) error {
+		stats.Probes++
+		ok, err := test(p, v)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			stats.Pruned++
+			return nil
+		}
+		// Find the next refinable component.
+		split := -1
+		for k := from; k < len(v); k++ {
+			if v[k] == DirAny && p.Shared[k] {
+				split = k
+				break
+			}
+		}
+		if split < 0 {
+			out = append(out, v.Clone())
+			return nil
+		}
+		for _, d := range []Direction{DirLess, DirEqual, DirGreater} {
+			child := v.Clone()
+			child[split] = d
+			if err := walk(child, split+1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(AnyVector(p.NumLoops()), 0); err != nil {
+		return nil, stats, err
+	}
+	return out, stats, nil
+}
+
+// RefineDirectionsExact refines with the inexact battery and then
+// confirms each surviving leaf with the exact test under the given
+// budget. It returns, per leaf, the exact verdict (Definite,
+// Impossible, or Unknown when the budget ran out — callers must treat
+// Unknown pessimistically as a possible dependence).
+type RefinedDirection struct {
+	Vector  Vector
+	Verdict Result
+}
+
+// RefineDirectionsExact runs RefineDirections with CombinedTester and
+// upgrades each surviving vector with an exact verdict.
+func RefineDirectionsExact(p Problem, budget int) ([]RefinedDirection, SearchStats, error) {
+	leaves, stats, err := RefineDirections(p, CombinedTester())
+	if err != nil {
+		return nil, stats, err
+	}
+	out := make([]RefinedDirection, 0, len(leaves))
+	for _, v := range leaves {
+		res, err := ExactTest(p, v, budget)
+		if err != nil {
+			return nil, stats, err
+		}
+		if res == Impossible {
+			continue // the exact test refuted what the inexact battery allowed
+		}
+		out = append(out, RefinedDirection{Vector: v, Verdict: res})
+	}
+	return out, stats, nil
+}

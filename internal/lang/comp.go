@@ -1,0 +1,73 @@
+package lang
+
+// CompNode is a node of a nested list comprehension expression tree
+// (paper section 3.1). Each node denotes a list of subscript/value
+// pairs; generators replicate their body across an index range, append
+// nodes concatenate alternatives, guards filter, lets bind common
+// subexpressions, and clauses are the leaves.
+type CompNode interface {
+	compNode()
+	Pos() Pos
+}
+
+// Clause is an s/v clause: the singleton list [ subs := value ]. It
+// plays the role of an assignment statement in an imperative DO loop.
+type Clause struct {
+	Subs   []Expr // one subscript expression per array dimension
+	Value  Expr
+	Assign Pos
+	// ID is assigned during analysis; 0 until then. Clauses are the
+	// vertices of dependence graphs.
+	ID int
+}
+
+// Generator is `[* body | var <- [first, second .. last] *]`: one
+// instance of body per index value, appended in index order. When
+// Second is nil the stride is 1 (the common `[lo..hi]` form).
+type Generator struct {
+	Var    string
+	First  Expr
+	Second Expr // nil for stride 1
+	Last   Expr
+	Body   CompNode
+	VarPos Pos
+}
+
+// Guard is `[* body | cond *]`: body if cond holds, else the empty list.
+type Guard struct {
+	Cond Expr
+	Body CompNode
+}
+
+// Append concatenates the part lists with ++.
+type Append struct {
+	Parts   []CompNode
+	PlusPos Pos
+}
+
+// CompLet is `let binds in body` at comprehension level: the bindings
+// scope over every clause of body (the paper's shared common
+// subexpression `where v = E3`).
+type CompLet struct {
+	Binds  []Binding
+	Body   CompNode
+	LetPos Pos
+}
+
+func (*Clause) compNode()    {}
+func (*Generator) compNode() {}
+func (*Guard) compNode()     {}
+func (*Append) compNode()    {}
+func (*CompLet) compNode()   {}
+
+// Pos implementations.
+func (n *Clause) Pos() Pos    { return n.Assign }
+func (n *Generator) Pos() Pos { return n.VarPos }
+func (n *Guard) Pos() Pos     { return n.Cond.Pos() }
+func (n *Append) Pos() Pos {
+	if len(n.Parts) > 0 {
+		return n.Parts[0].Pos()
+	}
+	return n.PlusPos
+}
+func (n *CompLet) Pos() Pos { return n.LetPos }

@@ -1,0 +1,12 @@
+// Package lang defines the abstract syntax of the array-comprehension
+// language the paper compiles: a small Haskell-like expression language
+// plus nested list comprehensions ([* … *] brackets), monolithic array
+// expressions (`array bounds svpairs`), accumulated arrays, recursive
+// bindings in a strict context (letrec*), and semi-monolithic updates
+// (bigupd).
+//
+// Go has no algebraic data types, so the AST follows the interface +
+// type-switch idiom used by go/ast: Expr and CompNode are closed
+// interfaces (an unexported marker method), and consumers dispatch with
+// type switches.
+package lang

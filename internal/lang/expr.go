@@ -1,0 +1,191 @@
+package lang
+
+import "fmt"
+
+// Expr is the interface implemented by every expression node.
+type Expr interface {
+	exprNode()
+	// Pos returns the position of the node's leftmost token.
+	Pos() Pos
+}
+
+// Op is a binary or unary operator.
+type Op uint8
+
+// Binary and unary operators of the expression language.
+const (
+	OpAdd Op = iota // +
+	OpSub           // -
+	OpMul           // *
+	OpDiv           // /
+	OpMod           // `mod`
+	OpNeg           // unary -
+	OpEq            // ==
+	OpNe            // /=
+	OpLt            // <
+	OpLe            // <=
+	OpGt            // >
+	OpGe            // >=
+	OpAnd           // &&
+	OpOr            // ||
+	OpNot           // not
+)
+
+// String renders the operator's concrete syntax.
+func (o Op) String() string {
+	switch o {
+	case OpAdd:
+		return "+"
+	case OpSub:
+		return "-"
+	case OpMul:
+		return "*"
+	case OpDiv:
+		return "/"
+	case OpMod:
+		return "mod"
+	case OpNeg:
+		return "-"
+	case OpEq:
+		return "=="
+	case OpNe:
+		return "/="
+	case OpLt:
+		return "<"
+	case OpLe:
+		return "<="
+	case OpGt:
+		return ">"
+	case OpGe:
+		return ">="
+	case OpAnd:
+		return "&&"
+	case OpOr:
+		return "||"
+	case OpNot:
+		return "not"
+	}
+	return fmt.Sprintf("Op(%d)", uint8(o))
+}
+
+// IsComparison reports whether the operator yields a boolean from two
+// numbers.
+func (o Op) IsComparison() bool {
+	switch o {
+	case OpEq, OpNe, OpLt, OpLe, OpGt, OpGe:
+		return true
+	}
+	return false
+}
+
+// IsLogical reports whether the operator combines booleans.
+func (o Op) IsLogical() bool { return o == OpAnd || o == OpOr || o == OpNot }
+
+// Var is a variable reference: a loop index, a scalar parameter, a
+// let-bound name, or an array name in non-subscript position.
+type Var struct {
+	Name    string
+	NamePos Pos
+}
+
+// IntLit is an integer literal.
+type IntLit struct {
+	Value   int64
+	LitPos  Pos
+	Literal string // original spelling, "" if synthesized
+}
+
+// FloatLit is a floating-point literal.
+type FloatLit struct {
+	Value   float64
+	LitPos  Pos
+	Literal string
+}
+
+// BinOp is a binary operation L Op R.
+type BinOp struct {
+	Op   Op
+	L, R Expr
+}
+
+// UnOp is a unary operation (negation or logical not).
+type UnOp struct {
+	Op    Op
+	X     Expr
+	OpPos Pos
+}
+
+// Index is an array element selection a!(s1, …, sd). One subscript per
+// array dimension.
+type Index struct {
+	Array string // array name
+	Subs  []Expr
+	Bang  Pos
+}
+
+// Call is a call to a builtin scalar function (abs, min, max, sqrt, …).
+type Call struct {
+	Fn    string
+	Args  []Expr
+	FnPos Pos
+}
+
+// Cond is a conditional expression `if c then t else e`.
+type Cond struct {
+	If      Pos
+	C, T, E Expr
+}
+
+// Binding is one name = expr binding in a let/where.
+type Binding struct {
+	Name string
+	Rhs  Expr
+	Pos  Pos
+}
+
+// Let is `let binds in body` (or the equivalent `body where binds`).
+type Let struct {
+	LetPos Pos
+	Binds  []Binding
+	Body   Expr
+}
+
+func (*Var) exprNode()      {}
+func (*IntLit) exprNode()   {}
+func (*FloatLit) exprNode() {}
+func (*BinOp) exprNode()    {}
+func (*UnOp) exprNode()     {}
+func (*Index) exprNode()    {}
+func (*Call) exprNode()     {}
+func (*Cond) exprNode()     {}
+func (*Let) exprNode()      {}
+
+// Pos implementations.
+func (e *Var) Pos() Pos      { return e.NamePos }
+func (e *IntLit) Pos() Pos   { return e.LitPos }
+func (e *FloatLit) Pos() Pos { return e.LitPos }
+func (e *BinOp) Pos() Pos    { return e.L.Pos() }
+func (e *UnOp) Pos() Pos     { return e.OpPos }
+func (e *Index) Pos() Pos    { return e.Bang }
+func (e *Call) Pos() Pos     { return e.FnPos }
+func (e *Cond) Pos() Pos     { return e.If }
+func (e *Let) Pos() Pos      { return e.LetPos }
+
+// Num returns an IntLit with no position, a convenience for
+// synthesized subscript arithmetic.
+func Num(v int64) *IntLit { return &IntLit{Value: v} }
+
+// Name returns a positionless Var.
+func Name(s string) *Var { return &Var{Name: s} }
+
+// Add, Sub, Mul are convenience constructors for synthesized arithmetic.
+func Add(l, r Expr) *BinOp { return &BinOp{Op: OpAdd, L: l, R: r} }
+
+// Sub builds l − r.
+func Sub(l, r Expr) *BinOp { return &BinOp{Op: OpSub, L: l, R: r} }
+
+// Mul builds l × r.
+func Mul(l, r Expr) *BinOp { return &BinOp{Op: OpMul, L: l, R: r} }
+
+// At builds the selection array!(subs…).
+func At(array string, subs ...Expr) *Index { return &Index{Array: array, Subs: subs} }

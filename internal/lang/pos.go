@@ -1,0 +1,20 @@
+package lang
+
+import "fmt"
+
+// Pos is a source position (1-based line and column). The zero Pos
+// means "no position" (synthesized nodes).
+type Pos struct {
+	Line, Col int
+}
+
+// IsValid reports whether the position refers to actual source text.
+func (p Pos) IsValid() bool { return p.Line > 0 }
+
+// String renders "line:col" or "-" for the zero position.
+func (p Pos) String() string {
+	if !p.IsValid() {
+		return "-"
+	}
+	return fmt.Sprintf("%d:%d", p.Line, p.Col)
+}

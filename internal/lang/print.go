@@ -1,0 +1,308 @@
+package lang
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// precedence levels, loosest first.
+const (
+	precOr = iota + 1
+	precAnd
+	precCmp
+	precAdd
+	precMul
+	precUnary
+	precAtom
+)
+
+func opPrec(o Op) int {
+	switch o {
+	case OpOr:
+		return precOr
+	case OpAnd:
+		return precAnd
+	case OpEq, OpNe, OpLt, OpLe, OpGt, OpGe:
+		return precCmp
+	case OpAdd, OpSub:
+		return precAdd
+	case OpMul, OpDiv, OpMod:
+		return precMul
+	}
+	return precUnary
+}
+
+// ExprString renders e in the concrete syntax accepted by the parser.
+func ExprString(e Expr) string {
+	var b strings.Builder
+	writeExpr(&b, e, 0)
+	return b.String()
+}
+
+func writeExpr(b *strings.Builder, e Expr, outer int) {
+	switch x := e.(type) {
+	case nil:
+		b.WriteString("<nil>")
+	case *Var:
+		b.WriteString(x.Name)
+	case *IntLit:
+		if x.Literal != "" {
+			b.WriteString(x.Literal)
+		} else {
+			b.WriteString(strconv.FormatInt(x.Value, 10))
+		}
+	case *FloatLit:
+		if x.Literal != "" {
+			b.WriteString(x.Literal)
+		} else {
+			b.WriteString(strconv.FormatFloat(x.Value, 'g', -1, 64))
+		}
+	case *BinOp:
+		p := opPrec(x.Op)
+		if p < outer {
+			b.WriteByte('(')
+		}
+		writeExpr(b, x.L, p)
+		if x.Op == OpMod {
+			b.WriteString(" mod ")
+		} else {
+			fmt.Fprintf(b, " %s ", x.Op)
+		}
+		writeExpr(b, x.R, p+1)
+		if p < outer {
+			b.WriteByte(')')
+		}
+	case *UnOp:
+		if precUnary < outer {
+			b.WriteByte('(')
+		}
+		if x.Op == OpNot {
+			b.WriteString("not ")
+		} else {
+			b.WriteByte('-')
+		}
+		writeExpr(b, x.X, precUnary)
+		if precUnary < outer {
+			b.WriteByte(')')
+		}
+	case *Index:
+		b.WriteString(x.Array)
+		b.WriteByte('!')
+		if len(x.Subs) == 1 {
+			// a!i for simple subscripts, a!(i+1) otherwise.
+			if isAtom(x.Subs[0]) {
+				writeExpr(b, x.Subs[0], precAtom)
+				return
+			}
+		}
+		b.WriteByte('(')
+		for i, s := range x.Subs {
+			if i > 0 {
+				b.WriteString(",")
+			}
+			writeExpr(b, s, 0)
+		}
+		b.WriteByte(')')
+	case *Call:
+		b.WriteString(x.Fn)
+		b.WriteByte('(')
+		for i, a := range x.Args {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			writeExpr(b, a, 0)
+		}
+		b.WriteByte(')')
+	case *Cond:
+		if outer > 0 {
+			b.WriteByte('(')
+		}
+		b.WriteString("if ")
+		writeExpr(b, x.C, 0)
+		b.WriteString(" then ")
+		writeExpr(b, x.T, 0)
+		b.WriteString(" else ")
+		writeExpr(b, x.E, 0)
+		if outer > 0 {
+			b.WriteByte(')')
+		}
+	case *Let:
+		if outer > 0 {
+			b.WriteByte('(')
+		}
+		b.WriteString("let ")
+		for i, bd := range x.Binds {
+			if i > 0 {
+				b.WriteString("; ")
+			}
+			b.WriteString(bd.Name)
+			b.WriteString(" = ")
+			writeExpr(b, bd.Rhs, 0)
+		}
+		b.WriteString(" in ")
+		writeExpr(b, x.Body, 0)
+		if outer > 0 {
+			b.WriteByte(')')
+		}
+	default:
+		fmt.Fprintf(b, "<?expr %T>", e)
+	}
+}
+
+func isAtom(e Expr) bool {
+	switch e.(type) {
+	case *Var, *IntLit, *FloatLit:
+		return true
+	}
+	return false
+}
+
+// CompString renders a comprehension tree in concrete syntax.
+func CompString(n CompNode) string {
+	var b strings.Builder
+	writeComp(&b, n)
+	return b.String()
+}
+
+func writeComp(b *strings.Builder, n CompNode) {
+	switch x := n.(type) {
+	case nil:
+		b.WriteString("<nil>")
+	case *Clause:
+		b.WriteString("[ ")
+		if len(x.Subs) == 1 {
+			writeExpr(b, x.Subs[0], precAtom)
+		} else {
+			b.WriteByte('(')
+			for i, s := range x.Subs {
+				if i > 0 {
+					b.WriteString(",")
+				}
+				writeExpr(b, s, 0)
+			}
+			b.WriteByte(')')
+		}
+		b.WriteString(" := ")
+		writeExpr(b, x.Value, 0)
+		b.WriteString(" ]")
+	case *Generator:
+		b.WriteString("[* ")
+		writeComp(b, x.Body)
+		b.WriteString(" | ")
+		b.WriteString(x.Var)
+		b.WriteString(" <- [")
+		writeExpr(b, x.First, 0)
+		if x.Second != nil {
+			b.WriteString(",")
+			writeExpr(b, x.Second, 0)
+		}
+		b.WriteString("..")
+		writeExpr(b, x.Last, 0)
+		b.WriteString("] *]")
+	case *Guard:
+		b.WriteString("[* ")
+		writeComp(b, x.Body)
+		b.WriteString(" | ")
+		writeExpr(b, x.Cond, 0)
+		b.WriteString(" *]")
+	case *Append:
+		b.WriteByte('(')
+		for i, p := range x.Parts {
+			if i > 0 {
+				b.WriteString(" ++ ")
+			}
+			writeComp(b, p)
+		}
+		b.WriteByte(')')
+	case *CompLet:
+		b.WriteString("(let ")
+		for i, bd := range x.Binds {
+			if i > 0 {
+				b.WriteString("; ")
+			}
+			b.WriteString(bd.Name)
+			b.WriteString(" = ")
+			writeExpr(b, bd.Rhs, 0)
+		}
+		b.WriteString(" in ")
+		writeComp(b, x.Body)
+		b.WriteByte(')')
+	default:
+		fmt.Fprintf(b, "<?comp %T>", n)
+	}
+}
+
+// DefString renders an array definition.
+func DefString(d *ArrayDef) string {
+	var b strings.Builder
+	b.WriteString(d.Name)
+	b.WriteString(" = ")
+	switch d.Kind {
+	case Monolithic:
+		b.WriteString("array ")
+	case Accumulated:
+		fmt.Fprintf(&b, "accumArray %s ", d.Accum.Combine)
+		writeExpr(&b, d.Accum.Init, precAtom)
+		b.WriteByte(' ')
+	case BigUpd:
+		fmt.Fprintf(&b, "bigupd %s ", d.Source)
+	}
+	if d.Kind != BigUpd {
+		writeBounds(&b, d.Bounds)
+		b.WriteByte(' ')
+	}
+	writeComp(&b, d.Comp)
+	return b.String()
+}
+
+func writeBounds(b *strings.Builder, bounds []Bound) {
+	if len(bounds) == 1 {
+		b.WriteByte('(')
+		writeExpr(b, bounds[0].Lo, 0)
+		b.WriteString(",")
+		writeExpr(b, bounds[0].Hi, 0)
+		b.WriteByte(')')
+		return
+	}
+	b.WriteString("((")
+	for i, bd := range bounds {
+		if i > 0 {
+			b.WriteString(",")
+		}
+		writeExpr(b, bd.Lo, 0)
+	}
+	b.WriteString("),(")
+	for i, bd := range bounds {
+		if i > 0 {
+			b.WriteString(",")
+		}
+		writeExpr(b, bd.Hi, 0)
+	}
+	b.WriteString("))")
+}
+
+// ProgramString renders a whole program.
+func ProgramString(p *Program) string {
+	var b strings.Builder
+	if len(p.Params) > 0 {
+		b.WriteString("param ")
+		for i, q := range p.Params {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(q.Name)
+		}
+		b.WriteString(";\n")
+	}
+	b.WriteString("letrec*\n")
+	for _, d := range p.Defs {
+		b.WriteString("  ")
+		b.WriteString(DefString(d))
+		b.WriteString(";\n")
+	}
+	b.WriteString("in ")
+	b.WriteString(p.Result)
+	b.WriteString("\n")
+	return b.String()
+}

@@ -1,0 +1,103 @@
+package lang
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCompString(t *testing.T) {
+	comp := &Generator{
+		Var: "i", First: Num(1), Last: Name("n"),
+		Body: &Append{Parts: []CompNode{
+			&Clause{Subs: []Expr{Name("i")}, Value: &FloatLit{Value: 1, Literal: "1.0"}},
+			&Guard{
+				Cond: &BinOp{Op: OpEq, L: &BinOp{Op: OpMod, L: Name("i"), R: Num(2)}, R: Num(0)},
+				Body: &Clause{Subs: []Expr{Add(Name("i"), Num(1))}, Value: Num(2)},
+			},
+			&CompLet{
+				Binds: []Binding{{Name: "v", Rhs: Mul(Name("i"), Num(3))}},
+				Body:  &Clause{Subs: []Expr{Name("i"), Name("i")}, Value: Name("v")},
+			},
+		}},
+	}
+	got := CompString(comp)
+	for _, want := range []string{
+		"[* (",
+		"[ i := 1.0 ]",
+		"[* [ (i + 1) := 2 ] | i mod 2 == 0 *]",
+		"[ (i + 1) := 2 ]",
+		"(let v = i * 3 in [ (i,i) := v ])",
+		"| i <- [1..n] *]",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("CompString missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestCompStringStrideGenerator(t *testing.T) {
+	comp := &Generator{
+		Var: "i", First: Num(2), Second: Num(4), Last: Name("n"),
+		Body: &Clause{Subs: []Expr{Name("i")}, Value: Num(0)},
+	}
+	if got := CompString(comp); !strings.Contains(got, "i <- [2,4..n]") {
+		t.Errorf("stride generator rendering: %s", got)
+	}
+}
+
+func TestDefString(t *testing.T) {
+	def := &ArrayDef{
+		Name: "h", Kind: Accumulated,
+		Accum:  &AccumSpec{Combine: "+", Init: &FloatLit{Value: 0, Literal: "0.0"}},
+		Bounds: []Bound{{Lo: Num(0), Hi: Num(9)}},
+		Comp:   &Clause{Subs: []Expr{Num(1)}, Value: Num(1)},
+	}
+	got := DefString(def)
+	if !strings.Contains(got, "h = accumArray + 0.0 (0,9)") {
+		t.Errorf("DefString = %q", got)
+	}
+	upd := &ArrayDef{
+		Name: "a2", Kind: BigUpd, Source: "a",
+		Comp: &Clause{Subs: []Expr{Num(1)}, Value: Num(1)},
+	}
+	if got := DefString(upd); !strings.Contains(got, "a2 = bigupd a") {
+		t.Errorf("DefString = %q", got)
+	}
+}
+
+func TestDefStringMultiDimBounds(t *testing.T) {
+	def := &ArrayDef{
+		Name: "a", Kind: Monolithic,
+		Bounds: []Bound{{Lo: Num(1), Hi: Name("m")}, {Lo: Num(1), Hi: Name("n")}},
+		Comp:   &Clause{Subs: []Expr{Name("i"), Name("j")}, Value: Num(0)},
+	}
+	if got := DefString(def); !strings.Contains(got, "((1,1),(m,n))") {
+		t.Errorf("DefString = %q", got)
+	}
+}
+
+func TestHasParam(t *testing.T) {
+	p := &Program{Params: []Param{{Name: "n"}}}
+	if !p.HasParam("n") || p.HasParam("m") {
+		t.Error("HasParam wrong")
+	}
+}
+
+func TestCloneAndSubstCoverAllNodes(t *testing.T) {
+	e := &Cond{
+		C: &BinOp{Op: OpLt, L: Name("i"), R: Name("n")},
+		T: &Call{Fn: "min", Args: []Expr{Name("i"), &UnOp{Op: OpNeg, X: Num(3)}}},
+		E: &FloatLit{Value: 2.5, Literal: "2.5"},
+	}
+	if ExprString(CloneExpr(e)) != ExprString(e) {
+		t.Error("CloneExpr of cond/call/unop not faithful")
+	}
+	s := SubstVar(e, "i", Num(7))
+	if !strings.Contains(ExprString(s), "7 < n") || !strings.Contains(ExprString(s), "min(7, -3)") {
+		t.Errorf("SubstVar = %s", ExprString(s))
+	}
+	// Substitution into guards/lets of unrelated names is identity.
+	if ExprString(SubstVar(e, "zzz", Num(1))) != ExprString(e) {
+		t.Error("SubstVar of absent name must be identity")
+	}
+}

@@ -1,0 +1,118 @@
+package lang
+
+import "fmt"
+
+// DefKind distinguishes the three array-producing forms the paper
+// compiles.
+type DefKind uint8
+
+const (
+	// Monolithic is `array bounds svpairs`: every element defined at
+	// creation, exactly once.
+	Monolithic DefKind = iota
+	// Accumulated is `accumArray f z bounds svpairs`: zero or more
+	// definitions per element, combined with f starting from z.
+	Accumulated
+	// BigUpd is `bigupd old svpairs`: a semi-monolithic update of an
+	// existing array (fold of upd over the pairs).
+	BigUpd
+)
+
+// String names the kind.
+func (k DefKind) String() string {
+	switch k {
+	case Monolithic:
+		return "array"
+	case Accumulated:
+		return "accumArray"
+	case BigUpd:
+		return "bigupd"
+	}
+	return fmt.Sprintf("DefKind(%d)", uint8(k))
+}
+
+// Bound is one dimension's bounds pair (Lo, Hi), inclusive on both
+// ends as in Haskell's `array (l,u)`.
+type Bound struct {
+	Lo, Hi Expr
+}
+
+// AccumSpec carries the extra operands of an accumulated array.
+type AccumSpec struct {
+	// Combine is the combining function applied as combine(old, new).
+	// Recognized names: "+", "*", "max", "min", "right" (keep newest),
+	// "left" (keep oldest). Commutativity/associativity of the choice
+	// decides whether s/v pair order may be changed (paper section 7).
+	Combine string
+	// Init is the default element value for elements receiving no
+	// definitions.
+	Init Expr
+}
+
+// Commutative reports whether the combining function is known
+// associative and commutative, in which case reordering s/v pairs is
+// semantics-preserving.
+func (a *AccumSpec) Commutative() bool {
+	switch a.Combine {
+	case "+", "*", "max", "min":
+		return true
+	}
+	return false
+}
+
+// ArrayDef is one array binding: name = array/accumArray/bigupd form.
+type ArrayDef struct {
+	Name   string
+	Kind   DefKind
+	Bounds []Bound
+	Comp   CompNode
+	// Source is the array being updated, for BigUpd only.
+	Source string
+	// Accum is non-nil for Accumulated only.
+	Accum *AccumSpec
+	// Strict records that the binding came from a letrec* (evaluated in
+	// a strict context: every element demanded before the array is
+	// used). Bindings from plain letrec keep non-strict semantics and
+	// compile to thunks unless analysis proves strictness another way.
+	Strict bool
+	DefPos Pos
+}
+
+// Rank returns the number of dimensions.
+func (d *ArrayDef) Rank() int { return len(d.Bounds) }
+
+// Param is a scalar integer parameter of a program (array extents such
+// as n, m are the common case).
+type Param struct {
+	Name string
+	Pos  Pos
+}
+
+// Program is a compilation unit: scalar parameters, a set of
+// (potentially mutually recursive) array definitions, and the name of
+// the result array.
+type Program struct {
+	Params []Param
+	Defs   []*ArrayDef
+	Result string
+}
+
+// Def returns the definition of the named array, or nil.
+func (p *Program) Def(name string) *ArrayDef {
+	for _, d := range p.Defs {
+		if d.Name == name {
+			return d
+		}
+	}
+	return nil
+}
+
+// HasParam reports whether name is a declared scalar parameter.
+func (p *Program) HasParam(name string) bool {
+	for _, q := range p.Params {
+		if q.Name == name {
+			return true
+		}
+	}
+	return false
+}

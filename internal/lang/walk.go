@@ -1,0 +1,223 @@
+package lang
+
+// InspectExpr walks e depth-first, calling f for every node. If f
+// returns false for a node its children are skipped.
+func InspectExpr(e Expr, f func(Expr) bool) {
+	if e == nil || !f(e) {
+		return
+	}
+	switch x := e.(type) {
+	case *Var, *IntLit, *FloatLit:
+	case *BinOp:
+		InspectExpr(x.L, f)
+		InspectExpr(x.R, f)
+	case *UnOp:
+		InspectExpr(x.X, f)
+	case *Index:
+		for _, s := range x.Subs {
+			InspectExpr(s, f)
+		}
+	case *Call:
+		for _, a := range x.Args {
+			InspectExpr(a, f)
+		}
+	case *Cond:
+		InspectExpr(x.C, f)
+		InspectExpr(x.T, f)
+		InspectExpr(x.E, f)
+	case *Let:
+		for _, b := range x.Binds {
+			InspectExpr(b.Rhs, f)
+		}
+		InspectExpr(x.Body, f)
+	}
+}
+
+// InspectComp walks a comprehension tree depth-first, calling f for
+// every comprehension node. If f returns false the node's children are
+// skipped. Expressions inside nodes are not entered; use InspectExpr on
+// them explicitly where needed.
+func InspectComp(n CompNode, f func(CompNode) bool) {
+	if n == nil || !f(n) {
+		return
+	}
+	switch x := n.(type) {
+	case *Clause:
+	case *Generator:
+		InspectComp(x.Body, f)
+	case *Guard:
+		InspectComp(x.Body, f)
+	case *Append:
+		for _, p := range x.Parts {
+			InspectComp(p, f)
+		}
+	case *CompLet:
+		InspectComp(x.Body, f)
+	}
+}
+
+// Clauses collects every s/v clause of the tree in left-to-right
+// (source) order.
+func Clauses(n CompNode) []*Clause {
+	var out []*Clause
+	InspectComp(n, func(c CompNode) bool {
+		if cl, ok := c.(*Clause); ok {
+			out = append(out, cl)
+		}
+		return true
+	})
+	return out
+}
+
+// ArrayRefs collects every Index expression in e, in evaluation order.
+func ArrayRefs(e Expr) []*Index {
+	var out []*Index
+	InspectExpr(e, func(x Expr) bool {
+		if ix, ok := x.(*Index); ok {
+			out = append(out, ix)
+		}
+		return true
+	})
+	return out
+}
+
+// FreeVars returns the set of variable names appearing free in e,
+// treating let-bound names as bound in their bodies. Array names in
+// Index nodes are not included (they live in a separate namespace).
+func FreeVars(e Expr) map[string]bool {
+	free := map[string]bool{}
+	var walk func(e Expr, bound map[string]bool)
+	walk = func(e Expr, bound map[string]bool) {
+		switch x := e.(type) {
+		case nil:
+		case *Var:
+			if !bound[x.Name] {
+				free[x.Name] = true
+			}
+		case *IntLit, *FloatLit:
+		case *BinOp:
+			walk(x.L, bound)
+			walk(x.R, bound)
+		case *UnOp:
+			walk(x.X, bound)
+		case *Index:
+			for _, s := range x.Subs {
+				walk(s, bound)
+			}
+		case *Call:
+			for _, a := range x.Args {
+				walk(a, bound)
+			}
+		case *Cond:
+			walk(x.C, bound)
+			walk(x.T, bound)
+			walk(x.E, bound)
+		case *Let:
+			// Non-recursive let: rhs sees the outer scope.
+			for _, b := range x.Binds {
+				walk(b.Rhs, bound)
+			}
+			inner := map[string]bool{}
+			for k := range bound {
+				inner[k] = true
+			}
+			for _, b := range x.Binds {
+				inner[b.Name] = true
+			}
+			walk(x.Body, inner)
+		}
+	}
+	walk(e, map[string]bool{})
+	return free
+}
+
+// CloneExpr returns a deep copy of e.
+func CloneExpr(e Expr) Expr {
+	switch x := e.(type) {
+	case nil:
+		return nil
+	case *Var:
+		c := *x
+		return &c
+	case *IntLit:
+		c := *x
+		return &c
+	case *FloatLit:
+		c := *x
+		return &c
+	case *BinOp:
+		return &BinOp{Op: x.Op, L: CloneExpr(x.L), R: CloneExpr(x.R)}
+	case *UnOp:
+		return &UnOp{Op: x.Op, X: CloneExpr(x.X), OpPos: x.OpPos}
+	case *Index:
+		subs := make([]Expr, len(x.Subs))
+		for i, s := range x.Subs {
+			subs[i] = CloneExpr(s)
+		}
+		return &Index{Array: x.Array, Subs: subs, Bang: x.Bang}
+	case *Call:
+		args := make([]Expr, len(x.Args))
+		for i, a := range x.Args {
+			args[i] = CloneExpr(a)
+		}
+		return &Call{Fn: x.Fn, Args: args, FnPos: x.FnPos}
+	case *Cond:
+		return &Cond{If: x.If, C: CloneExpr(x.C), T: CloneExpr(x.T), E: CloneExpr(x.E)}
+	case *Let:
+		binds := make([]Binding, len(x.Binds))
+		for i, b := range x.Binds {
+			binds[i] = Binding{Name: b.Name, Rhs: CloneExpr(b.Rhs), Pos: b.Pos}
+		}
+		return &Let{LetPos: x.LetPos, Binds: binds, Body: CloneExpr(x.Body)}
+	}
+	panic("lang: CloneExpr: unknown node")
+}
+
+// SubstVar returns e with every free occurrence of name replaced by a
+// deep copy of repl. Let-bound shadowing is respected.
+func SubstVar(e Expr, name string, repl Expr) Expr {
+	switch x := e.(type) {
+	case nil:
+		return nil
+	case *Var:
+		if x.Name == name {
+			return CloneExpr(repl)
+		}
+		return x
+	case *IntLit, *FloatLit:
+		return x
+	case *BinOp:
+		return &BinOp{Op: x.Op, L: SubstVar(x.L, name, repl), R: SubstVar(x.R, name, repl)}
+	case *UnOp:
+		return &UnOp{Op: x.Op, X: SubstVar(x.X, name, repl), OpPos: x.OpPos}
+	case *Index:
+		subs := make([]Expr, len(x.Subs))
+		for i, s := range x.Subs {
+			subs[i] = SubstVar(s, name, repl)
+		}
+		return &Index{Array: x.Array, Subs: subs, Bang: x.Bang}
+	case *Call:
+		args := make([]Expr, len(x.Args))
+		for i, a := range x.Args {
+			args[i] = SubstVar(a, name, repl)
+		}
+		return &Call{Fn: x.Fn, Args: args, FnPos: x.FnPos}
+	case *Cond:
+		return &Cond{If: x.If, C: SubstVar(x.C, name, repl), T: SubstVar(x.T, name, repl), E: SubstVar(x.E, name, repl)}
+	case *Let:
+		binds := make([]Binding, len(x.Binds))
+		shadowed := false
+		for i, b := range x.Binds {
+			binds[i] = Binding{Name: b.Name, Rhs: SubstVar(b.Rhs, name, repl), Pos: b.Pos}
+			if b.Name == name {
+				shadowed = true
+			}
+		}
+		body := x.Body
+		if !shadowed {
+			body = SubstVar(body, name, repl)
+		}
+		return &Let{LetPos: x.LetPos, Binds: binds, Body: body}
+	}
+	panic("lang: SubstVar: unknown node")
+}

@@ -1,0 +1,169 @@
+package lang
+
+import (
+	"testing"
+)
+
+// buildSample returns a!(i-1) + let t = b!j in t * k
+func buildSample() Expr {
+	return Add(
+		At("a", Sub(Name("i"), Num(1))),
+		&Let{
+			Binds: []Binding{{Name: "t", Rhs: At("b", Name("j"))}},
+			Body:  Mul(Name("t"), Name("k")),
+		},
+	)
+}
+
+func TestInspectExprVisitsAll(t *testing.T) {
+	var kinds []string
+	InspectExpr(buildSample(), func(e Expr) bool {
+		switch e.(type) {
+		case *Index:
+			kinds = append(kinds, "index")
+		case *Var:
+			kinds = append(kinds, "var")
+		case *Let:
+			kinds = append(kinds, "let")
+		}
+		return true
+	})
+	indexCount, letCount := 0, 0
+	for _, k := range kinds {
+		switch k {
+		case "index":
+			indexCount++
+		case "let":
+			letCount++
+		}
+	}
+	if indexCount != 2 || letCount != 1 {
+		t.Errorf("visited %v", kinds)
+	}
+}
+
+func TestInspectExprPrune(t *testing.T) {
+	count := 0
+	InspectExpr(buildSample(), func(e Expr) bool {
+		count++
+		_, isLet := e.(*Let)
+		return !isLet // skip let subtree
+	})
+	// Root BinOp, Index a, its Sub, i, 1, Let = 6 nodes.
+	if count != 6 {
+		t.Errorf("visited %d nodes, want 6", count)
+	}
+}
+
+func TestFreeVars(t *testing.T) {
+	fv := FreeVars(buildSample())
+	for _, want := range []string{"i", "j", "k"} {
+		if !fv[want] {
+			t.Errorf("missing free var %q in %v", want, fv)
+		}
+	}
+	if fv["t"] {
+		t.Error("let-bound t must not be free")
+	}
+	if fv["a"] || fv["b"] {
+		t.Error("array names must not be reported as free scalars")
+	}
+}
+
+func TestFreeVarsShadowing(t *testing.T) {
+	// let i = k in i + j : i bound, k free (in rhs), j free.
+	e := &Let{
+		Binds: []Binding{{Name: "i", Rhs: Name("k")}},
+		Body:  Add(Name("i"), Name("j")),
+	}
+	fv := FreeVars(e)
+	if fv["i"] || !fv["j"] || !fv["k"] {
+		t.Errorf("fv = %v", fv)
+	}
+}
+
+func TestArrayRefs(t *testing.T) {
+	refs := ArrayRefs(buildSample())
+	if len(refs) != 2 || refs[0].Array != "a" || refs[1].Array != "b" {
+		t.Errorf("refs = %+v", refs)
+	}
+}
+
+func TestCloneExprIsDeep(t *testing.T) {
+	orig := buildSample().(*BinOp)
+	cl := CloneExpr(orig).(*BinOp)
+	if ExprString(orig) != ExprString(cl) {
+		t.Fatal("clone must print identically")
+	}
+	// Mutating the clone must not affect the original.
+	cl.L.(*Index).Subs[0] = Num(99)
+	if ExprString(orig) == ExprString(cl) {
+		t.Error("clone shares structure with original")
+	}
+}
+
+func TestSubstVar(t *testing.T) {
+	e := Add(Name("i"), At("a", Name("i")))
+	got := ExprString(SubstVar(e, "i", Add(Name("j"), Num(1))))
+	want := "j + 1 + a!(j + 1)"
+	if got != want {
+		t.Errorf("SubstVar = %q, want %q", got, want)
+	}
+}
+
+func TestSubstVarRespectsShadowing(t *testing.T) {
+	// let i = i in i : outer i in rhs substituted, body i untouched.
+	e := &Let{
+		Binds: []Binding{{Name: "i", Rhs: Name("i")}},
+		Body:  Name("i"),
+	}
+	got := ExprString(SubstVar(e, "i", Num(7)))
+	want := "let i = 7 in i"
+	if got != want {
+		t.Errorf("SubstVar = %q, want %q", got, want)
+	}
+}
+
+func TestClausesOrder(t *testing.T) {
+	comp := &Generator{
+		Var: "i", First: Num(1), Last: Name("n"),
+		Body: &Append{Parts: []CompNode{
+			&Clause{Subs: []Expr{Name("i")}, Value: Num(1)},
+			&Guard{Cond: Num(1), Body: &Clause{Subs: []Expr{Name("i")}, Value: Num(2)}},
+			&CompLet{Body: &Clause{Subs: []Expr{Name("i")}, Value: Num(3)}},
+		}},
+	}
+	cls := Clauses(comp)
+	if len(cls) != 3 {
+		t.Fatalf("clauses = %d, want 3", len(cls))
+	}
+	for i, want := range []int64{1, 2, 3} {
+		if cls[i].Value.(*IntLit).Value != want {
+			t.Errorf("clause %d value = %v", i, cls[i].Value)
+		}
+	}
+}
+
+func TestOpPredicates(t *testing.T) {
+	if !OpLt.IsComparison() || OpAdd.IsComparison() {
+		t.Error("IsComparison wrong")
+	}
+	if !OpAnd.IsLogical() || OpMul.IsLogical() {
+		t.Error("IsLogical wrong")
+	}
+}
+
+func TestDefKindStrings(t *testing.T) {
+	if Monolithic.String() != "array" || Accumulated.String() != "accumArray" || BigUpd.String() != "bigupd" {
+		t.Error("DefKind strings wrong")
+	}
+}
+
+func TestPosString(t *testing.T) {
+	if (Pos{}).String() != "-" || (Pos{3, 7}).String() != "3:7" {
+		t.Error("Pos.String wrong")
+	}
+	if (Pos{}).IsValid() || !(Pos{1, 1}).IsValid() {
+		t.Error("Pos.IsValid wrong")
+	}
+}

@@ -1,0 +1,295 @@
+// Package loopir defines the imperative loop-nest intermediate
+// representation that the paper's scheduler targets — DO loops with an
+// explicit direction, element assignments, scalar and array
+// temporaries, and optional runtime checks — together with an executor
+// that compiles the IR to Go closures and runs it over strict float64
+// arrays.
+//
+// By the time a program reaches this IR, every scalar parameter has
+// been folded to a constant (the analysis is performed per parameter
+// binding), so loop bounds, strides and subscript coefficients are all
+// concrete integers. The only runtime variables are the loop indices
+// and declared float temporaries.
+package loopir
+
+import (
+	"fmt"
+
+	"arraycomp/internal/runtime"
+)
+
+// Role says how an array participates in a compiled program.
+type Role uint8
+
+const (
+	// RoleIn is an input array supplied by the caller (read-only).
+	RoleIn Role = iota
+	// RoleOut is the result array, allocated (or, for in-place updates,
+	// aliased to an input) by the executor.
+	RoleOut
+	// RoleTemp is a scratch array introduced by node splitting.
+	RoleTemp
+	// RoleInOut is an input array updated in place and returned (the
+	// single-threaded bigupd case).
+	RoleInOut
+)
+
+// String names the role.
+func (r Role) String() string {
+	switch r {
+	case RoleIn:
+		return "in"
+	case RoleOut:
+		return "out"
+	case RoleTemp:
+		return "temp"
+	case RoleInOut:
+		return "inout"
+	}
+	return fmt.Sprintf("Role(%d)", uint8(r))
+}
+
+// ArrayDecl declares an array used by a program.
+type ArrayDecl struct {
+	Name string
+	B    runtime.Bounds
+	Role Role
+	// TrackDefs requests a definedness bitmap for this array, used when
+	// collision or empties checks could not be discharged statically.
+	TrackDefs bool
+}
+
+// Program is a compiled-form imperative program: declarations plus a
+// statement list.
+type Program struct {
+	Name    string
+	Arrays  []ArrayDecl
+	Scalars []string // float scalar temporaries (node splitting)
+	// AccumOp names the combining function when Assign.Accumulate is
+	// used ("+", "*", "max", "min", "right", "left"); source-level
+	// back ends need the name, the interpreter uses the closure.
+	AccumOp string
+	Stmts   []Stmt
+}
+
+// Decl returns the declaration of the named array, or nil.
+func (p *Program) Decl(name string) *ArrayDecl {
+	for i := range p.Arrays {
+		if p.Arrays[i].Name == name {
+			return &p.Arrays[i]
+		}
+	}
+	return nil
+}
+
+// --- statements ---
+
+// Stmt is an IR statement.
+type Stmt interface{ stmtNode() }
+
+// Loop is a DO loop: Var runs From, From+Step, … while it has not
+// passed To (Step may be negative — the scheduled loop direction).
+type Loop struct {
+	Var  string
+	From int64
+	To   int64
+	Step int64
+	// Parallel marks a loop whose instances carry no dependences and
+	// may execute concurrently (the paper's section 10 extension).
+	// The executor shards the iteration space across workers when the
+	// trip count warrants it; the code generator only sets this when
+	// the body touches no shared mutable state besides disjoint array
+	// elements.
+	Parallel bool
+	Body     []Stmt
+}
+
+// If executes Then or Else depending on Cond.
+type If struct {
+	Cond BExpr
+	Then []Stmt
+	Else []Stmt
+}
+
+// Assign stores Rhs into Array at the subscript tuple.
+type Assign struct {
+	Array string
+	Subs  []IntExpr
+	Rhs   VExpr
+	// CheckBounds compiles a range check (out of range ⇒ runtime error).
+	// When false the compiler proved the subscripts in range and the
+	// store goes straight to the linear offset.
+	CheckBounds bool
+	// CheckCollision compiles a definedness test against the array's
+	// bitmap (second write ⇒ runtime error). Requires TrackDefs.
+	CheckCollision bool
+	// Accumulate, when non-nil, folds Rhs into the element with this
+	// combining function instead of storing it (accumArray).
+	Accumulate runtime.CombineFunc
+}
+
+// SetScalar assigns a float scalar temporary.
+type SetScalar struct {
+	Name string
+	Rhs  VExpr
+}
+
+// CopyArray copies Src's contents into Dst (bounds must match).
+type CopyArray struct {
+	Dst, Src string
+}
+
+// CheckFull verifies that every element of the array's definedness
+// bitmap is set (the runtime empties check). Requires TrackDefs.
+type CheckFull struct {
+	Array string
+}
+
+// Fail raises a runtime error unconditionally; compiled for writes the
+// exact test proved to always collide.
+type Fail struct {
+	Msg string
+}
+
+// Fill sets every element of the array to a constant (accumArray
+// initialization).
+type Fill struct {
+	Array string
+	Value float64
+}
+
+func (*Loop) stmtNode()      {}
+func (*If) stmtNode()        {}
+func (*Assign) stmtNode()    {}
+func (*SetScalar) stmtNode() {}
+func (*CopyArray) stmtNode() {}
+func (*CheckFull) stmtNode() {}
+func (*Fail) stmtNode()      {}
+func (*Fill) stmtNode()      {}
+
+// --- integer expressions (subscripts, guard operands) ---
+
+// IntExpr is an integer expression over loop variables.
+type IntExpr interface{ intExprNode() }
+
+// ILin is the affine fast path: Const + Σ Coeff·var.
+type ILin struct {
+	Const int64
+	Terms []ITerm
+}
+
+// ITerm is one linear term.
+type ITerm struct {
+	Var   string
+	Coeff int64
+}
+
+// IVar reads a loop variable.
+type IVar struct{ Name string }
+
+// IConst is an integer literal.
+type IConst struct{ Value int64 }
+
+// IBin is a non-affine integer operation (div, mod, or arithmetic that
+// did not fold).
+type IBin struct {
+	Op   byte // '+', '-', '*', '/', '%'
+	L, R IntExpr
+}
+
+func (*ILin) intExprNode()   {}
+func (*IVar) intExprNode()   {}
+func (*IConst) intExprNode() {}
+func (*IBin) intExprNode()   {}
+
+// --- float value expressions ---
+
+// VExpr is a float64-valued expression.
+type VExpr interface{ vexprNode() }
+
+// VConst is a float literal.
+type VConst struct{ Value float64 }
+
+// VFromInt converts an integer expression to float (e.g. `i*i` as an
+// element value).
+type VFromInt struct{ X IntExpr }
+
+// VScalar reads a float scalar temporary.
+type VScalar struct{ Name string }
+
+// ARef reads Array at the subscript tuple. CheckDefined additionally
+// consults the array's definedness bitmap (reading an empty is an
+// error); CheckBounds range-checks.
+type ARef struct {
+	Array        string
+	Subs         []IntExpr
+	CheckBounds  bool
+	CheckDefined bool
+}
+
+// VBin is a float binary operation.
+type VBin struct {
+	Op   byte // '+', '-', '*', '/'
+	L, R VExpr
+}
+
+// VNeg negates.
+type VNeg struct{ X VExpr }
+
+// VCall invokes a builtin scalar function (abs, min, max, sqrt, exp,
+// log, sin, cos, pow).
+type VCall struct {
+	Fn   string
+	Args []VExpr
+}
+
+// VCond selects between two values.
+type VCond struct {
+	C    BExpr
+	T, E VExpr
+}
+
+func (*VConst) vexprNode()   {}
+func (*VFromInt) vexprNode() {}
+func (*VScalar) vexprNode()  {}
+func (*ARef) vexprNode()     {}
+func (*VBin) vexprNode()     {}
+func (*VNeg) vexprNode()     {}
+func (*VCall) vexprNode()    {}
+func (*VCond) vexprNode()    {}
+
+// --- boolean expressions ---
+
+// BExpr is a boolean expression (guards, conditionals).
+type BExpr interface{ bexprNode() }
+
+// BCmpInt compares two integer expressions.
+type BCmpInt struct {
+	Op   string // "==", "/=", "<", "<=", ">", ">="
+	L, R IntExpr
+}
+
+// BCmpFloat compares two float expressions.
+type BCmpFloat struct {
+	Op   string
+	L, R VExpr
+}
+
+// BAnd, BOr, BNot combine booleans.
+type BAnd struct{ L, R BExpr }
+
+// BOr is disjunction.
+type BOr struct{ L, R BExpr }
+
+// BNot is negation.
+type BNot struct{ X BExpr }
+
+// BConst is a boolean literal (folded guards).
+type BConst struct{ Value bool }
+
+func (*BCmpInt) bexprNode()   {}
+func (*BCmpFloat) bexprNode() {}
+func (*BAnd) bexprNode()      {}
+func (*BOr) bexprNode()       {}
+func (*BNot) bexprNode()      {}
+func (*BConst) bexprNode()    {}

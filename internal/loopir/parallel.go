@@ -1,0 +1,126 @@
+package loopir
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Parallel execution of dependence-free loops (the paper's section 10
+// extension). The scheduler guarantees the loop carries no dependences
+// and the code generator guarantees the body's only shared state is
+// disjoint array elements, so instances may run concurrently; each
+// worker gets its own frame (loop variables and scalars are
+// thread-local, array storage and definedness bitmaps are shared).
+
+// Sharding thresholds: a loop is worth parallelizing when it has
+// enough instances to split across workers AND enough total work (trip
+// × statically-estimated body cost) to amortize goroutine startup.
+const (
+	minParallelTrip = 64
+	minParallelWork = 1 << 15
+)
+
+// estimateWork statically estimates a statement list's cost in
+// abstract operations; nested loops multiply by their trip counts.
+func estimateWork(stmts []Stmt) int64 {
+	var total int64
+	for _, s := range stmts {
+		switch x := s.(type) {
+		case *Loop:
+			trip := tripCount(x.From, x.To, x.Step)
+			total += 1 + trip*estimateWork(x.Body)
+		case *If:
+			thenW := estimateWork(x.Then)
+			elseW := estimateWork(x.Else)
+			if elseW > thenW {
+				thenW = elseW
+			}
+			total += 1 + thenW
+		default:
+			total++
+		}
+	}
+	return total
+}
+
+func tripCount(from, to, step int64) int64 {
+	if step > 0 {
+		if to < from {
+			return 0
+		}
+		return (to-from)/step + 1
+	}
+	if to > from {
+		return 0
+	}
+	return (from-to)/(-step) + 1
+}
+
+// cloneFrame gives a worker its own register file over the shared
+// arrays.
+func cloneFrame(f *frame) *frame {
+	out := &frame{
+		ints:   make([]int64, len(f.ints)),
+		floats: make([]float64, len(f.floats)),
+		arrays: f.arrays,
+		defs:   f.defs,
+	}
+	copy(out.ints, f.ints)
+	copy(out.floats, f.floats)
+	return out
+}
+
+// compileParallelLoop shards [0..trip) across workers. Runtime errors
+// (panics carrying *ExecError) inside workers are captured and
+// re-raised on the caller's goroutine after all workers finish.
+func compileParallelLoop(slot int, from, step, trip int64, body []stmtFn) stmtFn {
+	workers := int64(runtime.GOMAXPROCS(0))
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > trip {
+		workers = trip
+	}
+	return func(f *frame) {
+		var wg sync.WaitGroup
+		var mu sync.Mutex
+		var firstErr *ExecError
+		chunk := (trip + workers - 1) / workers
+		for w := int64(0); w < workers; w++ {
+			lo := w * chunk
+			hi := lo + chunk
+			if hi > trip {
+				hi = trip
+			}
+			if lo >= hi {
+				break
+			}
+			wg.Add(1)
+			go func(lo, hi int64) {
+				defer wg.Done()
+				defer func() {
+					if r := recover(); r != nil {
+						if ee, ok := r.(*ExecError); ok {
+							mu.Lock()
+							if firstErr == nil {
+								firstErr = ee
+							}
+							mu.Unlock()
+							return
+						}
+						panic(r)
+					}
+				}()
+				wf := cloneFrame(f)
+				for t := lo; t < hi; t++ {
+					wf.ints[slot] = from + t*step
+					runAll(body, wf)
+				}
+			}(lo, hi)
+		}
+		wg.Wait()
+		if firstErr != nil {
+			panic(firstErr)
+		}
+	}
+}

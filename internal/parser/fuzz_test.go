@@ -1,0 +1,99 @@
+package parser
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// Robustness: the parser must return errors, never panic, on arbitrary
+// garbage and on randomly truncated/mutated valid programs.
+
+var seedPrograms = []string{
+	`a = array (1,n) [ i := i*i | i <- [1..n] ]`,
+	`letrec* a = array ((1,1),(n,n))
+	    ([ (1,j) := 1.0 | j <- [1..n] ] ++
+	     [ (i,j) := a!(i-1,j) + a!(i,j-1) | i <- [2..n], j <- [2..n] ])
+	in a`,
+	`param m, n; a2 = bigupd a [* [ (m,j) := a!(n,j) ] | j <- [1..n] *]`,
+	`h = accumArray (+) 0.0 (0,9) [ i mod 10 := 1.0 | i <- [1..n] ]`,
+	`a = array (1,n) [ i := t where t = a!(i-1) | i <- [2..n] ]`,
+}
+
+func TestParserNeverPanicsOnTruncations(t *testing.T) {
+	for _, src := range seedPrograms {
+		for cut := 0; cut <= len(src); cut++ {
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						t.Fatalf("panic on truncation at %d of %q: %v", cut, src, r)
+					}
+				}()
+				_, _ = ParseProgram(src[:cut])
+			}()
+		}
+	}
+}
+
+func TestParserNeverPanicsOnMutations(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	alphabet := []byte(`abn ij09+-*/=<>!|,;()[]{}.:#@$'"` + "\t\n")
+	for _, src := range seedPrograms {
+		for trial := 0; trial < 200; trial++ {
+			b := []byte(src)
+			for k := 0; k < 1+rng.Intn(4); k++ {
+				pos := rng.Intn(len(b))
+				switch rng.Intn(3) {
+				case 0:
+					b[pos] = alphabet[rng.Intn(len(alphabet))]
+				case 1:
+					b = append(b[:pos], b[pos+1:]...)
+				default:
+					b = append(b[:pos], append([]byte{alphabet[rng.Intn(len(alphabet))]}, b[pos:]...)...)
+				}
+			}
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						t.Fatalf("panic on mutated input %q: %v", b, r)
+					}
+				}()
+				_, _ = ParseProgram(string(b))
+			}()
+		}
+	}
+}
+
+func TestParserNeverPanicsOnGarbage(t *testing.T) {
+	rng := rand.New(rand.NewSource(78))
+	for trial := 0; trial < 500; trial++ {
+		n := rng.Intn(120)
+		b := make([]byte, n)
+		for i := range b {
+			b[i] = byte(rng.Intn(256))
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("panic on garbage %q: %v", b, r)
+				}
+			}()
+			_, _ = ParseProgram(string(b))
+		}()
+	}
+}
+
+func TestParserErrorQuality(t *testing.T) {
+	// Errors must carry positions and name what was expected or found.
+	_, err := ParseProgram("a = array (1,n)\n[ i := | i <- [1..n] ]")
+	if err == nil {
+		t.Fatal("want error")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "2:") {
+		t.Errorf("error lacks position: %q", msg)
+	}
+	if !strings.Contains(msg, "expected") && !strings.Contains(msg, "found") {
+		t.Errorf("error lacks expectation: %q", msg)
+	}
+}

@@ -1,0 +1,265 @@
+package parser
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// Error is a parse or lex error with a source position.
+type Error struct {
+	Line, Col int
+	Msg       string
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("%d:%d: %s", e.Line, e.Col, e.Msg)
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	line int
+	col  int
+	err  *Error
+}
+
+func newLexer(src string) *lexer {
+	return &lexer{src: src, line: 1, col: 1}
+}
+
+func (l *lexer) fail(line, col int, format string, args ...any) {
+	if l.err == nil {
+		l.err = &Error{Line: line, Col: col, Msg: fmt.Sprintf(format, args...)}
+	}
+}
+
+func (l *lexer) peekByte() byte {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos]
+}
+
+func (l *lexer) peekByteAt(off int) byte {
+	if l.pos+off >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos+off]
+}
+
+func (l *lexer) advance() byte {
+	c := l.src[l.pos]
+	l.pos++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || unicode.IsLetter(rune(c))
+}
+
+func isIdentPart(c byte) bool {
+	return c == '_' || c == '\'' || unicode.IsLetter(rune(c)) || unicode.IsDigit(rune(c))
+}
+
+func isDigit(c byte) bool { return '0' <= c && c <= '9' }
+
+// skipBlanks consumes whitespace and comments (-- to end of line and
+// {- ... -} blocks, which may nest).
+func (l *lexer) skipBlanks() {
+	for l.pos < len(l.src) {
+		c := l.peekByte()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.advance()
+		case c == '-' && l.peekByteAt(1) == '-':
+			for l.pos < len(l.src) && l.peekByte() != '\n' {
+				l.advance()
+			}
+		case c == '{' && l.peekByteAt(1) == '-':
+			line, col := l.line, l.col
+			depth := 0
+			for l.pos < len(l.src) {
+				if l.peekByte() == '{' && l.peekByteAt(1) == '-' {
+					depth++
+					l.advance()
+					l.advance()
+				} else if l.peekByte() == '-' && l.peekByteAt(1) == '}' {
+					depth--
+					l.advance()
+					l.advance()
+					if depth == 0 {
+						break
+					}
+				} else {
+					l.advance()
+				}
+			}
+			if depth != 0 {
+				l.fail(line, col, "unterminated block comment")
+				return
+			}
+		default:
+			return
+		}
+	}
+}
+
+// next scans the next token.
+func (l *lexer) next() token {
+	l.skipBlanks()
+	line, col := l.line, l.col
+	mk := func(k kind, text string) token {
+		return token{kind: k, text: text, line: line, col: col}
+	}
+	if l.pos >= len(l.src) || l.err != nil {
+		return mk(tEOF, "")
+	}
+	c := l.peekByte()
+	switch {
+	case isDigit(c):
+		start := l.pos
+		for l.pos < len(l.src) && isDigit(l.peekByte()) {
+			l.advance()
+		}
+		// A '.' continues a float only when followed by a digit; "1.."
+		// is INT DOTDOT.
+		isFloat := false
+		if l.peekByte() == '.' && isDigit(l.peekByteAt(1)) {
+			isFloat = true
+			l.advance()
+			for l.pos < len(l.src) && isDigit(l.peekByte()) {
+				l.advance()
+			}
+		}
+		if l.peekByte() == 'e' || l.peekByte() == 'E' {
+			save := l.pos
+			j := l.pos + 1
+			if j < len(l.src) && (l.src[j] == '+' || l.src[j] == '-') {
+				j++
+			}
+			if j < len(l.src) && isDigit(l.src[j]) {
+				isFloat = true
+				for l.pos < j {
+					l.advance()
+				}
+				for l.pos < len(l.src) && isDigit(l.peekByte()) {
+					l.advance()
+				}
+			} else {
+				l.pos = save
+			}
+		}
+		text := l.src[start:l.pos]
+		if isFloat {
+			return mk(tFloat, text)
+		}
+		return mk(tInt, text)
+	case isIdentStart(c):
+		start := l.pos
+		for l.pos < len(l.src) && isIdentPart(l.peekByte()) {
+			l.advance()
+		}
+		text := l.src[start:l.pos]
+		if text == "letrec" && l.peekByte() == '*' {
+			l.advance()
+			return mk(tKwLetrecStar, "letrec*")
+		}
+		if k, ok := keywords[text]; ok {
+			return mk(k, text)
+		}
+		return mk(tIdent, text)
+	}
+	two := func(k kind, s string) token {
+		l.advance()
+		l.advance()
+		return mk(k, s)
+	}
+	one := func(k kind) token {
+		l.advance()
+		return mk(k, string(c))
+	}
+	rest := l.src[l.pos:]
+	switch {
+	case strings.HasPrefix(rest, "[*"):
+		return two(tLBrackStar, "[*")
+	case strings.HasPrefix(rest, "*]"):
+		return two(tStarRBrack, "*]")
+	case strings.HasPrefix(rest, ":="):
+		return two(tAssignSV, ":=")
+	case strings.HasPrefix(rest, "<-"):
+		return two(tArrow, "<-")
+	case strings.HasPrefix(rest, ".."):
+		return two(tDotDot, "..")
+	case strings.HasPrefix(rest, "++"):
+		return two(tPlusPlus, "++")
+	case strings.HasPrefix(rest, "=="):
+		return two(tEq, "==")
+	case strings.HasPrefix(rest, "/="):
+		return two(tNe, "/=")
+	case strings.HasPrefix(rest, "<="):
+		return two(tLe, "<=")
+	case strings.HasPrefix(rest, ">="):
+		return two(tGe, ">=")
+	case strings.HasPrefix(rest, "&&"):
+		return two(tAndAnd, "&&")
+	case strings.HasPrefix(rest, "||"):
+		return two(tOrOr, "||")
+	}
+	switch c {
+	case '(':
+		return one(tLParen)
+	case ')':
+		return one(tRParen)
+	case '[':
+		return one(tLBrack)
+	case ']':
+		return one(tRBrack)
+	case ',':
+		return one(tComma)
+	case ';':
+		return one(tSemi)
+	case '!':
+		return one(tBang)
+	case '|':
+		return one(tBar)
+	case '+':
+		return one(tPlus)
+	case '-':
+		return one(tMinus)
+	case '*':
+		return one(tStar)
+	case '/':
+		return one(tSlash)
+	case '<':
+		return one(tLt)
+	case '>':
+		return one(tGt)
+	case '=':
+		return one(tEquals)
+	}
+	l.fail(line, col, "unexpected character %q", string(c))
+	return mk(tEOF, "")
+}
+
+// lexAll tokenizes the whole input.
+func lexAll(src string) ([]token, *Error) {
+	l := newLexer(src)
+	var toks []token
+	for {
+		t := l.next()
+		if l.err != nil {
+			return nil, l.err
+		}
+		toks = append(toks, t)
+		if t.kind == tEOF {
+			return toks, nil
+		}
+	}
+}

@@ -1,0 +1,712 @@
+// Package parser turns the paper's concrete array-comprehension syntax
+// into lang ASTs. The grammar covers the fragment the paper uses:
+//
+//	program  = {"param" idents ";"} ("letrec*"|"letrec") def {";" def} [";"] "in" ident
+//	         | def
+//	def      = ident "=" rhs
+//	rhs      = "array" bounds comp
+//	         | "accumArray" combiner atom bounds comp
+//	         | "bigupd" ident comp
+//	comp     = catom {"++" catom}
+//	catom    = "[*" comp "|" quals "*]"
+//	         | "[" svpair ("|" quals "]" | {"," svpair} "]")
+//	         | "(" comp ")" ["where" binds]
+//	         | "let" binds "in" comp
+//	qual     = ident "<-" "[" expr ["," expr] ".." expr "]"  |  expr
+//	svpair   = subs ":=" expr ["where" binds]
+//
+// Expressions have Haskell-like precedence: || < && < comparisons <
+// additive < multiplicative < unary < postfix (!).
+package parser
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+
+	"arraycomp/internal/lang"
+)
+
+type parser struct {
+	toks []token
+	i    int
+}
+
+// bail aborts the parse with a positioned error; recovered at the API
+// boundary (the panic/recover-within-a-package idiom).
+func (p *parser) bail(t token, format string, args ...any) {
+	panic(&Error{Line: t.line, Col: t.col, Msg: fmt.Sprintf(format, args...)})
+}
+
+func (p *parser) peek() token { return p.toks[p.i] }
+func (p *parser) peekAt(k int) token {
+	if p.i+k >= len(p.toks) {
+		return p.toks[len(p.toks)-1] // EOF
+	}
+	return p.toks[p.i+k]
+}
+
+func (p *parser) next() token {
+	t := p.toks[p.i]
+	if t.kind != tEOF {
+		p.i++
+	}
+	return t
+}
+
+func (p *parser) got(k kind) bool {
+	if p.peek().kind == k {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(k kind) token {
+	t := p.peek()
+	if t.kind != k {
+		p.bail(t, "expected %s, found %s", k, t)
+	}
+	return p.next()
+}
+
+func pos(t token) lang.Pos { return lang.Pos{Line: t.line, Col: t.col} }
+
+// recoverError converts a bail panic into an error return.
+func recoverError(err *error) {
+	if r := recover(); r != nil {
+		if pe, ok := r.(*Error); ok {
+			*err = pe
+			return
+		}
+		panic(r)
+	}
+}
+
+// ParseProgram parses a complete program. Scalar parameters may be
+// declared with `param n, m;`; any undeclared free scalar variable is
+// inferred as a parameter.
+func ParseProgram(src string) (prog *lang.Program, err error) {
+	defer recoverError(&err)
+	toks, lerr := lexAll(src)
+	if lerr != nil {
+		return nil, lerr
+	}
+	p := &parser{toks: toks}
+	prog = p.parseProgram()
+	p.expect(tEOF)
+	inferParams(prog)
+	return prog, nil
+}
+
+// ParseDef parses a single array definition (`name = array … …`).
+func ParseDef(src string) (def *lang.ArrayDef, err error) {
+	defer recoverError(&err)
+	toks, lerr := lexAll(src)
+	if lerr != nil {
+		return nil, lerr
+	}
+	p := &parser{toks: toks}
+	def = p.parseDef()
+	p.expect(tEOF)
+	return def, nil
+}
+
+// ParseExpr parses a single expression.
+func ParseExpr(src string) (e lang.Expr, err error) {
+	defer recoverError(&err)
+	toks, lerr := lexAll(src)
+	if lerr != nil {
+		return nil, lerr
+	}
+	p := &parser{toks: toks}
+	e = p.parseExpr()
+	p.expect(tEOF)
+	return e, nil
+}
+
+// ParseComp parses a comprehension tree.
+func ParseComp(src string) (c lang.CompNode, err error) {
+	defer recoverError(&err)
+	toks, lerr := lexAll(src)
+	if lerr != nil {
+		return nil, lerr
+	}
+	p := &parser{toks: toks}
+	c = p.parseComp()
+	p.expect(tEOF)
+	return c, nil
+}
+
+func (p *parser) parseProgram() *lang.Program {
+	prog := &lang.Program{}
+	for p.peek().kind == tKwParam {
+		p.next()
+		for {
+			t := p.expect(tIdent)
+			prog.Params = append(prog.Params, lang.Param{Name: t.text, Pos: pos(t)})
+			if !p.got(tComma) {
+				break
+			}
+		}
+		p.expect(tSemi)
+	}
+	switch p.peek().kind {
+	case tKwLetrecStar, tKwLetrec:
+		strict := p.next().kind == tKwLetrecStar
+		for {
+			d := p.parseDef()
+			d.Strict = strict
+			prog.Defs = append(prog.Defs, d)
+			if !p.got(tSemi) {
+				break
+			}
+			if p.peek().kind == tKwIn {
+				break
+			}
+		}
+		p.expect(tKwIn)
+		prog.Result = p.expect(tIdent).text
+	case tIdent:
+		d := p.parseDef()
+		d.Strict = true // a standalone definition is compiled for a strict context
+		prog.Defs = append(prog.Defs, d)
+		prog.Result = d.Name
+	default:
+		p.bail(p.peek(), "expected 'letrec*', 'letrec', 'param' or a definition, found %s", p.peek())
+	}
+	return prog
+}
+
+func (p *parser) parseDef() *lang.ArrayDef {
+	nameTok := p.expect(tIdent)
+	p.expect(tEquals)
+	d := &lang.ArrayDef{Name: nameTok.text, DefPos: pos(nameTok)}
+	switch p.peek().kind {
+	case tKwArray:
+		p.next()
+		d.Kind = lang.Monolithic
+		d.Bounds = p.parseBounds()
+		d.Comp = p.parseComp()
+	case tKwAccumArray:
+		p.next()
+		d.Kind = lang.Accumulated
+		d.Accum = &lang.AccumSpec{}
+		d.Accum.Combine = p.parseCombiner()
+		d.Accum.Init = p.parseAtom()
+		d.Bounds = p.parseBounds()
+		d.Comp = p.parseComp()
+	case tKwBigupd:
+		p.next()
+		d.Kind = lang.BigUpd
+		d.Source = p.expect(tIdent).text
+		d.Comp = p.parseComp()
+	default:
+		p.bail(p.peek(), "expected 'array', 'accumArray' or 'bigupd', found %s", p.peek())
+	}
+	return d
+}
+
+// parseCombiner accepts `(+)`, `(*)`, `max`, `min`, `left`, `right`.
+func (p *parser) parseCombiner() string {
+	t := p.peek()
+	if p.got(tLParen) {
+		op := p.next()
+		var name string
+		switch op.kind {
+		case tPlus:
+			name = "+"
+		case tStar:
+			name = "*"
+		default:
+			p.bail(op, "expected '+' or '*' combining operator")
+		}
+		p.expect(tRParen)
+		return name
+	}
+	id := p.expect(tIdent)
+	switch id.text {
+	case "max", "min", "left", "right":
+		return id.text
+	}
+	p.bail(t, "unknown combining function %q (want (+), (*), max, min, left, right)", id.text)
+	return ""
+}
+
+// parseBounds parses `(lo,hi)` for 1-D or `((l1,…,lk),(u1,…,uk))` for k-D.
+func (p *parser) parseBounds() []lang.Bound {
+	open := p.expect(tLParen)
+	if p.peek().kind == tLParen {
+		// Multi-dimensional: tuple of lows, tuple of highs.
+		los := p.parseExprTuple()
+		p.expect(tComma)
+		his := p.parseExprTuple()
+		p.expect(tRParen)
+		if len(los) != len(his) {
+			p.bail(open, "bounds tuples have mismatched arity: %d lows vs %d highs", len(los), len(his))
+		}
+		bounds := make([]lang.Bound, len(los))
+		for i := range los {
+			bounds[i] = lang.Bound{Lo: los[i], Hi: his[i]}
+		}
+		return bounds
+	}
+	lo := p.parseExpr()
+	p.expect(tComma)
+	hi := p.parseExpr()
+	p.expect(tRParen)
+	return []lang.Bound{{Lo: lo, Hi: hi}}
+}
+
+// parseExprTuple parses "(" expr {"," expr} ")".
+func (p *parser) parseExprTuple() []lang.Expr {
+	p.expect(tLParen)
+	var out []lang.Expr
+	out = append(out, p.parseExpr())
+	for p.got(tComma) {
+		out = append(out, p.parseExpr())
+	}
+	p.expect(tRParen)
+	return out
+}
+
+// --- comprehensions ---
+
+func (p *parser) parseComp() lang.CompNode {
+	first := p.parseCompAtom()
+	if p.peek().kind != tPlusPlus {
+		return first
+	}
+	app := &lang.Append{Parts: []lang.CompNode{first}}
+	for p.got(tPlusPlus) {
+		app.Parts = append(app.Parts, p.parseCompAtom())
+	}
+	return app
+}
+
+func (p *parser) parseCompAtom() lang.CompNode {
+	t := p.peek()
+	switch t.kind {
+	case tLBrackStar:
+		p.next()
+		body := p.parseComp()
+		p.expect(tBar)
+		quals := p.parseQuals()
+		p.expect(tStarRBrack)
+		return wrapQuals(body, quals)
+	case tLBrack:
+		p.next()
+		cl := p.parseClause()
+		switch p.peek().kind {
+		case tBar:
+			p.next()
+			quals := p.parseQuals()
+			p.expect(tRBrack)
+			return wrapQuals(cl, quals)
+		case tComma:
+			parts := []lang.CompNode{cl}
+			for p.got(tComma) {
+				parts = append(parts, p.parseClause())
+			}
+			p.expect(tRBrack)
+			return &lang.Append{Parts: parts}
+		default:
+			p.expect(tRBrack)
+			return cl
+		}
+	case tLParen:
+		p.next()
+		c := p.parseComp()
+		p.expect(tRParen)
+		if p.peek().kind == tKwWhere {
+			w := p.next()
+			binds := p.parseBinds()
+			return &lang.CompLet{Binds: binds, Body: c, LetPos: pos(w)}
+		}
+		return c
+	case tKwLet:
+		lt := p.next()
+		binds := p.parseBinds()
+		p.expect(tKwIn)
+		body := p.parseComp()
+		return &lang.CompLet{Binds: binds, Body: body, LetPos: pos(lt)}
+	}
+	p.bail(t, "expected a comprehension, found %s", t)
+	return nil
+}
+
+// qual is one generator or guard.
+type qual struct {
+	isGen  bool
+	v      string
+	vPos   lang.Pos
+	first  lang.Expr
+	second lang.Expr
+	last   lang.Expr
+	guard  lang.Expr
+}
+
+func (p *parser) parseQuals() []qual {
+	var out []qual
+	for {
+		out = append(out, p.parseQual())
+		if !p.got(tComma) {
+			return out
+		}
+	}
+}
+
+func (p *parser) parseQual() qual {
+	// Generator: ident <- [first[,second]..last]
+	if p.peek().kind == tIdent && p.peekAt(1).kind == tArrow {
+		v := p.next()
+		p.next() // <-
+		p.expect(tLBrack)
+		q := qual{isGen: true, v: v.text, vPos: pos(v)}
+		q.first = p.parseExpr()
+		if p.got(tComma) {
+			q.second = p.parseExpr()
+		}
+		p.expect(tDotDot)
+		q.last = p.parseExpr()
+		p.expect(tRBrack)
+		return q
+	}
+	return qual{guard: p.parseExpr()}
+}
+
+// wrapQuals nests body inside the qualifiers, first qualifier
+// outermost, exactly as the TE translation prescribes.
+func wrapQuals(body lang.CompNode, quals []qual) lang.CompNode {
+	for i := len(quals) - 1; i >= 0; i-- {
+		q := quals[i]
+		if q.isGen {
+			body = &lang.Generator{
+				Var: q.v, VarPos: q.vPos,
+				First: q.first, Second: q.second, Last: q.last,
+				Body: body,
+			}
+		} else {
+			body = &lang.Guard{Cond: q.guard, Body: body}
+		}
+	}
+	return body
+}
+
+// parseClause parses `subs := value [where binds]`.
+func (p *parser) parseClause() *lang.Clause {
+	subs := p.parseSubscriptTuple()
+	asg := p.expect(tAssignSV)
+	val := p.parseExpr()
+	if p.peek().kind == tKwWhere {
+		w := p.next()
+		binds := p.parseBinds()
+		val = &lang.Let{LetPos: pos(w), Binds: binds, Body: val}
+	}
+	return &lang.Clause{Subs: subs, Value: val, Assign: pos(asg)}
+}
+
+// parseSubscriptTuple parses either a bare expression (1-D subscript)
+// or a parenthesized comma tuple (k-D subscript). `(e)` is the 1-D
+// parenthesized case.
+func (p *parser) parseSubscriptTuple() []lang.Expr {
+	if p.peek().kind == tLParen {
+		save := p.i
+		p.next()
+		first := p.parseExpr()
+		if p.got(tComma) {
+			subs := []lang.Expr{first}
+			subs = append(subs, p.parseExpr())
+			for p.got(tComma) {
+				subs = append(subs, p.parseExpr())
+			}
+			p.expect(tRParen)
+			return subs
+		}
+		p.expect(tRParen)
+		// Parenthesized scalar subscript — but it may be followed by
+		// operators (e.g. `(i+1)*2 := …`), so re-parse from the save
+		// point as a full expression.
+		if isClauseEnd(p.peek().kind) {
+			return []lang.Expr{first}
+		}
+		p.i = save
+	}
+	return []lang.Expr{p.parseExpr()}
+}
+
+func isClauseEnd(k kind) bool {
+	return k == tAssignSV
+}
+
+// parseBinds parses `ident = expr {; ident = expr}` stopping before a
+// `;` that does not introduce another binding.
+func (p *parser) parseBinds() []lang.Binding {
+	var out []lang.Binding
+	for {
+		id := p.expect(tIdent)
+		p.expect(tEquals)
+		rhs := p.parseExpr()
+		out = append(out, lang.Binding{Name: id.text, Rhs: rhs, Pos: pos(id)})
+		if p.peek().kind == tSemi && p.peekAt(1).kind == tIdent && p.peekAt(2).kind == tEquals {
+			p.next()
+			continue
+		}
+		return out
+	}
+}
+
+// --- expressions ---
+
+func (p *parser) parseExpr() lang.Expr {
+	switch p.peek().kind {
+	case tKwIf:
+		t := p.next()
+		c := p.parseExpr()
+		p.expect(tKwThen)
+		th := p.parseExpr()
+		p.expect(tKwElse)
+		el := p.parseExpr()
+		return &lang.Cond{If: pos(t), C: c, T: th, E: el}
+	case tKwLet:
+		t := p.next()
+		binds := p.parseBinds()
+		p.expect(tKwIn)
+		body := p.parseExpr()
+		return &lang.Let{LetPos: pos(t), Binds: binds, Body: body}
+	}
+	return p.parseOr()
+}
+
+func (p *parser) parseOr() lang.Expr {
+	e := p.parseAnd()
+	for p.peek().kind == tOrOr {
+		p.next()
+		e = &lang.BinOp{Op: lang.OpOr, L: e, R: p.parseAnd()}
+	}
+	return e
+}
+
+func (p *parser) parseAnd() lang.Expr {
+	e := p.parseCmp()
+	for p.peek().kind == tAndAnd {
+		p.next()
+		e = &lang.BinOp{Op: lang.OpAnd, L: e, R: p.parseCmp()}
+	}
+	return e
+}
+
+func (p *parser) parseCmp() lang.Expr {
+	e := p.parseAdd()
+	var op lang.Op
+	switch p.peek().kind {
+	case tEq:
+		op = lang.OpEq
+	case tNe:
+		op = lang.OpNe
+	case tLt:
+		op = lang.OpLt
+	case tLe:
+		op = lang.OpLe
+	case tGt:
+		op = lang.OpGt
+	case tGe:
+		op = lang.OpGe
+	default:
+		return e
+	}
+	p.next()
+	return &lang.BinOp{Op: op, L: e, R: p.parseAdd()}
+}
+
+func (p *parser) parseAdd() lang.Expr {
+	e := p.parseMul()
+	for {
+		switch p.peek().kind {
+		case tPlus:
+			p.next()
+			e = &lang.BinOp{Op: lang.OpAdd, L: e, R: p.parseMul()}
+		case tMinus:
+			p.next()
+			e = &lang.BinOp{Op: lang.OpSub, L: e, R: p.parseMul()}
+		default:
+			return e
+		}
+	}
+}
+
+func (p *parser) parseMul() lang.Expr {
+	e := p.parseUnary()
+	for {
+		switch p.peek().kind {
+		case tStar:
+			p.next()
+			e = &lang.BinOp{Op: lang.OpMul, L: e, R: p.parseUnary()}
+		case tSlash:
+			p.next()
+			e = &lang.BinOp{Op: lang.OpDiv, L: e, R: p.parseUnary()}
+		case tKwMod:
+			p.next()
+			e = &lang.BinOp{Op: lang.OpMod, L: e, R: p.parseUnary()}
+		default:
+			return e
+		}
+	}
+}
+
+func (p *parser) parseUnary() lang.Expr {
+	switch p.peek().kind {
+	case tMinus:
+		t := p.next()
+		return &lang.UnOp{Op: lang.OpNeg, X: p.parseUnary(), OpPos: pos(t)}
+	case tKwNot:
+		t := p.next()
+		return &lang.UnOp{Op: lang.OpNot, X: p.parseUnary(), OpPos: pos(t)}
+	}
+	return p.parsePostfix()
+}
+
+func (p *parser) parsePostfix() lang.Expr {
+	e := p.parseAtom()
+	for p.peek().kind == tBang {
+		v, ok := e.(*lang.Var)
+		if !ok {
+			p.bail(p.peek(), "'!' selection requires an array name on the left")
+		}
+		bang := p.next()
+		subs := p.parseIndexSubscripts()
+		e = &lang.Index{Array: v.Name, Subs: subs, Bang: pos(bang)}
+	}
+	return e
+}
+
+// parseIndexSubscripts parses the subscript(s) after '!': either an
+// atom (a!i, a!3) or a parenthesized tuple (a!(i-1,j)).
+func (p *parser) parseIndexSubscripts() []lang.Expr {
+	if p.peek().kind == tLParen {
+		return p.parseExprTuple()
+	}
+	return []lang.Expr{p.parseAtom()}
+}
+
+func (p *parser) parseAtom() lang.Expr {
+	t := p.peek()
+	switch t.kind {
+	case tInt:
+		p.next()
+		v, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			p.bail(t, "bad integer literal %q: %v", t.text, err)
+		}
+		return &lang.IntLit{Value: v, LitPos: pos(t), Literal: t.text}
+	case tFloat:
+		p.next()
+		v, err := strconv.ParseFloat(t.text, 64)
+		if err != nil {
+			p.bail(t, "bad float literal %q: %v", t.text, err)
+		}
+		return &lang.FloatLit{Value: v, LitPos: pos(t), Literal: t.text}
+	case tIdent:
+		p.next()
+		if p.peek().kind == tLParen {
+			args := p.parseExprTuple()
+			return &lang.Call{Fn: t.text, Args: args, FnPos: pos(t)}
+		}
+		return &lang.Var{Name: t.text, NamePos: pos(t)}
+	case tLParen:
+		p.next()
+		e := p.parseExpr()
+		p.expect(tRParen)
+		return e
+	case tKwIf, tKwLet:
+		return p.parseExpr()
+	}
+	p.bail(t, "expected an expression, found %s", t)
+	return nil
+}
+
+// inferParams adds any free scalar variable of the program that is not
+// an array name, declared parameter, generator index, or let binding to
+// the parameter list (sorted for determinism).
+func inferParams(prog *lang.Program) {
+	arrays := map[string]bool{}
+	for _, d := range prog.Defs {
+		arrays[d.Name] = true
+	}
+	declared := map[string]bool{}
+	for _, q := range prog.Params {
+		declared[q.Name] = true
+	}
+	freeScalars := map[string]bool{}
+	noteExpr := func(e lang.Expr, bound map[string]bool) {
+		for name := range lang.FreeVars(e) {
+			if !arrays[name] && !bound[name] {
+				freeScalars[name] = true
+			}
+		}
+	}
+	var walkComp func(n lang.CompNode, bound map[string]bool)
+	walkComp = func(n lang.CompNode, bound map[string]bool) {
+		switch x := n.(type) {
+		case nil:
+		case *lang.Clause:
+			for _, s := range x.Subs {
+				noteExpr(s, bound)
+			}
+			noteExpr(x.Value, bound)
+		case *lang.Generator:
+			noteExpr(x.First, bound)
+			if x.Second != nil {
+				noteExpr(x.Second, bound)
+			}
+			noteExpr(x.Last, bound)
+			inner := copySet(bound)
+			inner[x.Var] = true
+			walkComp(x.Body, inner)
+		case *lang.Guard:
+			noteExpr(x.Cond, bound)
+			walkComp(x.Body, bound)
+		case *lang.Append:
+			for _, part := range x.Parts {
+				walkComp(part, bound)
+			}
+		case *lang.CompLet:
+			for _, b := range x.Binds {
+				noteExpr(b.Rhs, bound)
+			}
+			inner := copySet(bound)
+			for _, b := range x.Binds {
+				inner[b.Name] = true
+			}
+			walkComp(x.Body, inner)
+		}
+	}
+	for _, d := range prog.Defs {
+		for _, b := range d.Bounds {
+			noteExpr(b.Lo, nil)
+			noteExpr(b.Hi, nil)
+		}
+		if d.Accum != nil {
+			noteExpr(d.Accum.Init, nil)
+		}
+		walkComp(d.Comp, map[string]bool{})
+	}
+	var names []string
+	for name := range freeScalars {
+		if !declared[name] {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		prog.Params = append(prog.Params, lang.Param{Name: name})
+	}
+}
+
+func copySet(s map[string]bool) map[string]bool {
+	out := make(map[string]bool, len(s)+1)
+	for k := range s {
+		out[k] = true
+	}
+	return out
+}

@@ -1,0 +1,385 @@
+package parser
+
+import (
+	"strings"
+	"testing"
+
+	"arraycomp/internal/lang"
+)
+
+func mustExpr(t *testing.T, src string) lang.Expr {
+	t.Helper()
+	e, err := ParseExpr(src)
+	if err != nil {
+		t.Fatalf("ParseExpr(%q): %v", src, err)
+	}
+	return e
+}
+
+func TestParseExprPrecedence(t *testing.T) {
+	cases := []struct{ src, want string }{
+		{"1 + 2 * 3", "1 + 2 * 3"},
+		{"(1 + 2) * 3", "(1 + 2) * 3"},
+		{"a!i + a!(i-1)", "a!i + a!(i - 1)"},
+		{"-x * y", "-x * y"},
+		{"a!(i-1,j) + a!(i,j-1)", "a!(i - 1,j) + a!(i,j - 1)"},
+		{"i mod 2 == 0", "i mod 2 == 0"},
+		{"x < y && y < z || w == 0", "x < y && y < z || w == 0"},
+		{"if i == 1 then 1.0 else u!(i-1)", "if i == 1 then 1.0 else u!(i - 1)"},
+		{"let t = a!i in t * t", "let t = a!i in t * t"},
+		{"min(x, y) + max(x, y)", "min(x, y) + max(x, y)"},
+		{"not (x < y)", "not (x < y)"},
+	}
+	for _, c := range cases {
+		got := lang.ExprString(mustExpr(t, c.src))
+		if got != c.want {
+			t.Errorf("ParseExpr(%q) prints %q, want %q", c.src, got, c.want)
+		}
+	}
+}
+
+func TestParseExprRoundTrip(t *testing.T) {
+	// Printing then reparsing must be a fixed point.
+	srcs := []string{
+		"a!(3 * i - 1) + b!(2 * j)",
+		"if x <= 0 then -x else x",
+		"let s = a!i + a!(i + 1); d = a!i - a!(i + 1) in s * d",
+		"u!(i,j) * (1 - omega) + omega * w",
+	}
+	for _, src := range srcs {
+		once := lang.ExprString(mustExpr(t, src))
+		twice := lang.ExprString(mustExpr(t, once))
+		if once != twice {
+			t.Errorf("print/parse not a fixed point: %q -> %q -> %q", src, once, twice)
+		}
+	}
+}
+
+func TestParseExprErrors(t *testing.T) {
+	for _, src := range []string{
+		"", "1 +", "(1", "a!", "if x then y", "let x = in y", "1 ? 2", "3!(i)",
+	} {
+		if _, err := ParseExpr(src); err == nil {
+			t.Errorf("ParseExpr(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestParseErrorHasPosition(t *testing.T) {
+	_, err := ParseExpr("1 +\n  *")
+	if err == nil {
+		t.Fatal("want error")
+	}
+	if !strings.Contains(err.Error(), "2:") {
+		t.Errorf("error %q should mention line 2", err)
+	}
+}
+
+func TestParseSimpleComprehension(t *testing.T) {
+	c, err := ParseComp("[ i := i*i | i <- [1..n] ]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, ok := c.(*lang.Generator)
+	if !ok {
+		t.Fatalf("want Generator, got %T", c)
+	}
+	if gen.Var != "i" || gen.Second != nil {
+		t.Errorf("generator = %+v", gen)
+	}
+	cl, ok := gen.Body.(*lang.Clause)
+	if !ok {
+		t.Fatalf("generator body: want Clause, got %T", gen.Body)
+	}
+	if len(cl.Subs) != 1 {
+		t.Errorf("clause subs = %d, want 1", len(cl.Subs))
+	}
+}
+
+func TestParseStrideGenerator(t *testing.T) {
+	c, err := ParseComp("[ i := 0.0 | i <- [n, n-2 .. 1] ]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := c.(*lang.Generator)
+	if gen.Second == nil {
+		t.Fatal("stride generator must record its second element")
+	}
+	if lang.ExprString(gen.Second) != "n - 2" {
+		t.Errorf("second = %q", lang.ExprString(gen.Second))
+	}
+}
+
+func TestParseGuard(t *testing.T) {
+	c, err := ParseComp("[ i := 1.0 | i <- [1..n], i mod 2 == 0 ]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := c.(*lang.Generator)
+	g, ok := gen.Body.(*lang.Guard)
+	if !ok {
+		t.Fatalf("want Guard inside Generator, got %T", gen.Body)
+	}
+	if _, ok := g.Body.(*lang.Clause); !ok {
+		t.Fatalf("guard body: want Clause, got %T", g.Body)
+	}
+}
+
+func TestParseMultiClauseList(t *testing.T) {
+	c, err := ParseComp("[ 1 := 1.0, 2 := 2.0, 3 := 3.0 ]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	app, ok := c.(*lang.Append)
+	if !ok {
+		t.Fatalf("want Append of clauses, got %T", c)
+	}
+	if len(app.Parts) != 3 {
+		t.Errorf("parts = %d, want 3", len(app.Parts))
+	}
+}
+
+func TestParseNestedComprehension(t *testing.T) {
+	// The paper's section 5 example 1 shape.
+	src := `[* [3*i := 1.0] ++
+	          [3*i-1 := a!(3*(i-1))] ++
+	          [3*i-2 := a!(3*i)]
+	        | i <- [1..100] *]`
+	c, err := ParseComp(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, ok := c.(*lang.Generator)
+	if !ok {
+		t.Fatalf("want Generator, got %T", c)
+	}
+	app, ok := gen.Body.(*lang.Append)
+	if !ok {
+		t.Fatalf("want Append, got %T", gen.Body)
+	}
+	if len(app.Parts) != 3 {
+		t.Fatalf("append parts = %d, want 3", len(app.Parts))
+	}
+	if got := len(lang.Clauses(c)); got != 3 {
+		t.Errorf("clauses = %d, want 3", got)
+	}
+}
+
+func TestParseWhereOnClause(t *testing.T) {
+	c, err := ParseComp("[ i := t + t where t = a!i | i <- [1..n] ]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := lang.Clauses(c)[0]
+	let, ok := cl.Value.(*lang.Let)
+	if !ok {
+		t.Fatalf("where must desugar to Let, got %T", cl.Value)
+	}
+	if len(let.Binds) != 1 || let.Binds[0].Name != "t" {
+		t.Errorf("binds = %+v", let.Binds)
+	}
+}
+
+func TestParseCompLetAndWhere(t *testing.T) {
+	c, err := ParseComp("[* (let v = i*2 in [ i := v ]) | i <- [1..n] *]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := c.(*lang.Generator)
+	if _, ok := gen.Body.(*lang.CompLet); !ok {
+		t.Fatalf("want CompLet, got %T", gen.Body)
+	}
+	// Postfix where on a parenthesized comprehension.
+	c2, err := ParseComp("[* ([ i := v ]) where v = i*2 | i <- [1..n] *]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen2 := c2.(*lang.Generator)
+	if _, ok := gen2.Body.(*lang.CompLet); !ok {
+		t.Fatalf("want CompLet from where, got %T", gen2.Body)
+	}
+}
+
+func TestParseWavefrontProgram(t *testing.T) {
+	src := `
+	-- the paper's section 3 wavefront recurrence
+	letrec* a = array ((1,1),(n,n))
+	    ([ (1,j) := 1.0 | j <- [1..n] ] ++
+	     [ (i,1) := 1.0 | i <- [2..n] ] ++
+	     [ (i,j) := a!(i-1,j) + a!(i,j-1) + a!(i-1,j-1)
+	       | i <- [2..n], j <- [2..n] ])
+	in a`
+	prog, err := ParseProgram(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Defs) != 1 || prog.Result != "a" {
+		t.Fatalf("prog = %+v", prog)
+	}
+	d := prog.Defs[0]
+	if !d.Strict {
+		t.Error("letrec* binding must be strict")
+	}
+	if d.Rank() != 2 {
+		t.Errorf("rank = %d, want 2", d.Rank())
+	}
+	if got := len(lang.Clauses(d.Comp)); got != 3 {
+		t.Errorf("clauses = %d, want 3", got)
+	}
+	// n must be inferred as a parameter.
+	if len(prog.Params) != 1 || prog.Params[0].Name != "n" {
+		t.Errorf("params = %+v, want [n]", prog.Params)
+	}
+}
+
+func TestParseProgramShorthand(t *testing.T) {
+	prog, err := ParseProgram("sq = array (1,n) [ i := i*i | i <- [1..n] ]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.Result != "sq" || !prog.Defs[0].Strict {
+		t.Errorf("prog = %+v", prog)
+	}
+}
+
+func TestParseLetrecNonStrict(t *testing.T) {
+	prog, err := ParseProgram("letrec a = array (1,n) [ i := 1.0 | i <- [1..n] ] in a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.Defs[0].Strict {
+		t.Error("plain letrec binding must be non-strict")
+	}
+}
+
+func TestParseAccumArray(t *testing.T) {
+	prog, err := ParseProgram(`h = accumArray (+) 0.0 (1,10)
+	   [ x!i mod 10 + 1 := 1.0 | i <- [1..n] ]`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := prog.Defs[0]
+	if d.Kind != lang.Accumulated {
+		t.Fatalf("kind = %v", d.Kind)
+	}
+	if d.Accum.Combine != "+" || !d.Accum.Commutative() {
+		t.Errorf("accum = %+v", d.Accum)
+	}
+}
+
+func TestParseAccumArrayNonCommutative(t *testing.T) {
+	prog, err := ParseProgram(`h = accumArray right 0.0 (1,10) [ i := 1.0 | i <- [1..n] ]`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.Defs[0].Accum.Commutative() {
+		t.Error("'right' must not be commutative")
+	}
+}
+
+func TestParseBigupd(t *testing.T) {
+	src := `
+	param m, n, i, k;
+	letrec* a2 = bigupd a
+	    ([ (i,j) := a!(k,j) | j <- [1..n] ] ++
+	     [ (k,j) := a!(i,j) | j <- [1..n] ])
+	in a2`
+	prog, err := ParseProgram(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := prog.Defs[0]
+	if d.Kind != lang.BigUpd || d.Source != "a" {
+		t.Fatalf("def = %+v", d)
+	}
+	// a is free but is an array, not a scalar param; declared params
+	// stay in order, no duplicates added.
+	for _, q := range prog.Params {
+		if q.Name == "a" || q.Name == "a2" || q.Name == "j" {
+			t.Errorf("wrongly inferred parameter %q", q.Name)
+		}
+	}
+}
+
+func TestParseMultiDefProgram(t *testing.T) {
+	src := `
+	letrec*
+	  b = array (1,n) [ i := 2.0 * i | i <- [1..n] ];
+	  c = array (1,n) [ i := b!i + 1.0 | i <- [1..n] ];
+	in c`
+	prog, err := ParseProgram(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Defs) != 2 || prog.Result != "c" {
+		t.Fatalf("prog = %v", lang.ProgramString(prog))
+	}
+	if prog.Def("b") == nil || prog.Def("c") == nil || prog.Def("zzz") != nil {
+		t.Error("Def lookup broken")
+	}
+}
+
+func TestParseParenthesizedScalarSubscript(t *testing.T) {
+	c, err := ParseComp("[ (i+1) := 1.0 | i <- [1..n] ]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := lang.Clauses(c)[0]
+	if len(cl.Subs) != 1 {
+		t.Fatalf("subs = %d, want 1", len(cl.Subs))
+	}
+	if got := lang.ExprString(cl.Subs[0]); got != "i + 1" {
+		t.Errorf("sub = %q", got)
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	src := `-- line comment
+	{- block {- nested -} comment -}
+	sq = array (1,n) [ i := i*i | i <- [1..n] ] -- trailing`
+	if _, err := ParseProgram(src); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseUnterminatedBlockComment(t *testing.T) {
+	if _, err := ParseProgram("{- oops"); err == nil {
+		t.Error("unterminated block comment must error")
+	}
+}
+
+func TestParseDefErrors(t *testing.T) {
+	for _, src := range []string{
+		"a = array",
+		"a = array (1,n)",
+		"a = accumArray bogus 0 (1,n) [ i := 1 | i <- [1..n] ]",
+		"a = array ((1,1),(n)) [ (i,j) := 1 | i <- [1..n], j <- [1..n] ]",
+		"a = bigupd [ i := 1 | i <- [1..n] ]",
+	} {
+		if _, err := ParseDef(src); err == nil {
+			t.Errorf("ParseDef(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestProgramStringRoundTrip(t *testing.T) {
+	src := `
+	letrec* a = array ((1,1),(n,n))
+	    ([ (1,j) := 1.0 | j <- [1..n] ] ++
+	     [ (i,1) := 1.0 | i <- [2..n] ] ++
+	     [ (i,j) := a!(i-1,j) + a!(i,j-1) + a!(i-1,j-1)
+	       | i <- [2..n], j <- [2..n] ])
+	in a`
+	prog, err := ParseProgram(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	printed := lang.ProgramString(prog)
+	prog2, err := ParseProgram(printed)
+	if err != nil {
+		t.Fatalf("reparse of %q: %v", printed, err)
+	}
+	if lang.ProgramString(prog2) != printed {
+		t.Errorf("print/parse not a fixed point:\n%s\nvs\n%s", printed, lang.ProgramString(prog2))
+	}
+}

@@ -1,0 +1,102 @@
+package parser
+
+import "fmt"
+
+// kind enumerates the lexical token kinds of the surface syntax.
+type kind uint8
+
+const (
+	tEOF kind = iota
+	tInt
+	tFloat
+	tIdent
+	// punctuation
+	tLParen     // (
+	tRParen     // )
+	tLBrack     // [
+	tRBrack     // ]
+	tLBrackStar // [*
+	tStarRBrack // *]
+	tComma      // ,
+	tSemi       // ;
+	tBang       // !
+	tAssignSV   // :=
+	tArrow      // <-
+	tDotDot     // ..
+	tPlusPlus   // ++
+	tBar        // |
+	// operators
+	tPlus   // +
+	tMinus  // -
+	tStar   // *
+	tSlash  // /
+	tEq     // ==
+	tNe     // /=
+	tLt     // <
+	tLe     // <=
+	tGt     // >
+	tGe     // >=
+	tAndAnd // &&
+	tOrOr   // ||
+	tEquals // =  (binding)
+	// keywords
+	tKwParam
+	tKwLetrec     // letrec
+	tKwLetrecStar // letrec*
+	tKwLet
+	tKwIn
+	tKwWhere
+	tKwIf
+	tKwThen
+	tKwElse
+	tKwArray
+	tKwAccumArray
+	tKwBigupd
+	tKwMod
+	tKwNot
+)
+
+var kindNames = map[kind]string{
+	tEOF: "end of input", tInt: "integer", tFloat: "float", tIdent: "identifier",
+	tLParen: "'('", tRParen: "')'", tLBrack: "'['", tRBrack: "']'",
+	tLBrackStar: "'[*'", tStarRBrack: "'*]'", tComma: "','", tSemi: "';'",
+	tBang: "'!'", tAssignSV: "':='", tArrow: "'<-'", tDotDot: "'..'",
+	tPlusPlus: "'++'", tBar: "'|'", tPlus: "'+'", tMinus: "'-'", tStar: "'*'",
+	tSlash: "'/'", tEq: "'=='", tNe: "'/='", tLt: "'<'", tLe: "'<='",
+	tGt: "'>'", tGe: "'>='", tAndAnd: "'&&'", tOrOr: "'||'", tEquals: "'='",
+	tKwParam: "'param'", tKwLetrec: "'letrec'", tKwLetrecStar: "'letrec*'",
+	tKwLet: "'let'", tKwIn: "'in'", tKwWhere: "'where'", tKwIf: "'if'",
+	tKwThen: "'then'", tKwElse: "'else'", tKwArray: "'array'",
+	tKwAccumArray: "'accumArray'", tKwBigupd: "'bigupd'", tKwMod: "'mod'",
+	tKwNot: "'not'",
+}
+
+func (k kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+var keywords = map[string]kind{
+	"param": tKwParam, "letrec": tKwLetrec, "let": tKwLet, "in": tKwIn,
+	"where": tKwWhere, "if": tKwIf, "then": tKwThen, "else": tKwElse,
+	"array": tKwArray, "accumArray": tKwAccumArray, "bigupd": tKwBigupd,
+	"mod": tKwMod, "not": tKwNot,
+}
+
+// token is one lexical token.
+type token struct {
+	kind kind
+	text string
+	line int
+	col  int
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tInt, tFloat, tIdent:
+		return fmt.Sprintf("%s %q", t.kind, t.text)
+	}
+	return t.kind.String()
+}

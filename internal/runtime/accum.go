@@ -1,0 +1,85 @@
+package runtime
+
+import "fmt"
+
+// CombineFunc combines an element's current value with a newly supplied
+// one; it is applied as combine(old, new).
+type CombineFunc func(old, new float64) float64
+
+// Combiner looks up a named combining function. The names match the
+// surface syntax (lang.AccumSpec.Combine).
+func Combiner(name string) (CombineFunc, bool) {
+	switch name {
+	case "+":
+		return func(old, new float64) float64 { return old + new }, true
+	case "*":
+		return func(old, new float64) float64 { return old * new }, true
+	case "max":
+		return func(old, new float64) float64 {
+			if new > old {
+				return new
+			}
+			return old
+		}, true
+	case "min":
+		return func(old, new float64) float64 {
+			if new < old {
+				return new
+			}
+			return old
+		}, true
+	case "right":
+		return func(_, new float64) float64 { return new }, true
+	case "left":
+		return func(old, _ float64) float64 { return old }, true
+	}
+	return nil, false
+}
+
+// Accum is Haskell's accumArray: elements may receive zero or more
+// definitions; each is folded in with the combining function, starting
+// from the default value.
+type Accum struct {
+	B       Bounds
+	combine CombineFunc
+	data    []float64
+	hits    []int64
+}
+
+// NewAccum builds an accumulated array with every element at init.
+func NewAccum(b Bounds, combine CombineFunc, init float64) *Accum {
+	n := b.Size()
+	data := make([]float64, n)
+	for i := range data {
+		data[i] = init
+	}
+	return &Accum{B: b, combine: combine, data: data, hits: make([]int64, n)}
+}
+
+// Add folds one subscript/value pair into the array. Out-of-bounds
+// subscripts are an error, matching Haskell's accumArray.
+func (a *Accum) Add(subs []int64, v float64) error {
+	off, err := a.B.LinearChecked(subs)
+	if err != nil {
+		return fmt.Errorf("accumArray: %w", err)
+	}
+	a.data[off] = a.combine(a.data[off], v)
+	a.hits[off]++
+	return nil
+}
+
+// Hits returns how many definitions the element has received.
+func (a *Accum) Hits(subs ...int64) int64 {
+	off, err := a.B.LinearChecked(subs)
+	if err != nil {
+		return 0
+	}
+	return a.hits[off]
+}
+
+// Freeze returns the accumulated contents as a strict array.
+func (a *Accum) Freeze() *Strict {
+	out := NewStrict(a.B)
+	copy(out.Data, a.data)
+	return out
+}

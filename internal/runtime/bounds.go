@@ -1,0 +1,114 @@
+package runtime
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Bounds describes the index space of an array: per-dimension inclusive
+// lower and upper bounds, as in Haskell's `array ((l1,…),(u1,…))`.
+type Bounds struct {
+	Lo, Hi []int64
+}
+
+// NewBounds1 builds 1-D bounds.
+func NewBounds1(lo, hi int64) Bounds {
+	return Bounds{Lo: []int64{lo}, Hi: []int64{hi}}
+}
+
+// NewBounds2 builds 2-D bounds.
+func NewBounds2(lo1, lo2, hi1, hi2 int64) Bounds {
+	return Bounds{Lo: []int64{lo1, lo2}, Hi: []int64{hi1, hi2}}
+}
+
+// Rank returns the number of dimensions.
+func (b Bounds) Rank() int { return len(b.Lo) }
+
+// Extent returns the size of dimension d (0 when empty).
+func (b Bounds) Extent(d int) int64 {
+	e := b.Hi[d] - b.Lo[d] + 1
+	if e < 0 {
+		return 0
+	}
+	return e
+}
+
+// Size returns the total element count.
+func (b Bounds) Size() int64 {
+	if b.Rank() == 0 {
+		return 0
+	}
+	size := int64(1)
+	for d := range b.Lo {
+		size *= b.Extent(d)
+	}
+	return size
+}
+
+// InRange reports whether the subscript tuple lies within bounds.
+func (b Bounds) InRange(subs []int64) bool {
+	if len(subs) != b.Rank() {
+		return false
+	}
+	for d, s := range subs {
+		if s < b.Lo[d] || s > b.Hi[d] {
+			return false
+		}
+	}
+	return true
+}
+
+// Linear converts a subscript tuple to a row-major linear offset.
+// The tuple must be in range; see LinearChecked for the safe variant.
+func (b Bounds) Linear(subs []int64) int64 {
+	var off int64
+	for d, s := range subs {
+		off = off*b.Extent(d) + (s - b.Lo[d])
+	}
+	return off
+}
+
+// LinearChecked converts with a range check.
+func (b Bounds) LinearChecked(subs []int64) (int64, error) {
+	if !b.InRange(subs) {
+		return 0, fmt.Errorf("runtime: subscript %v out of bounds %s", subs, b)
+	}
+	return b.Linear(subs), nil
+}
+
+// Unlinear converts a linear offset back to a subscript tuple.
+func (b Bounds) Unlinear(off int64) []int64 {
+	subs := make([]int64, b.Rank())
+	for d := b.Rank() - 1; d >= 0; d-- {
+		e := b.Extent(d)
+		subs[d] = b.Lo[d] + off%e
+		off /= e
+	}
+	return subs
+}
+
+// Equal reports equality of bounds.
+func (b Bounds) Equal(o Bounds) bool {
+	if b.Rank() != o.Rank() {
+		return false
+	}
+	for d := range b.Lo {
+		if b.Lo[d] != o.Lo[d] || b.Hi[d] != o.Hi[d] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders "(1,n)" / "((1,1),(m,n))" style bounds.
+func (b Bounds) String() string {
+	if b.Rank() == 1 {
+		return fmt.Sprintf("(%d,%d)", b.Lo[0], b.Hi[0])
+	}
+	var lo, hi []string
+	for d := range b.Lo {
+		lo = append(lo, fmt.Sprint(b.Lo[d]))
+		hi = append(hi, fmt.Sprint(b.Hi[d]))
+	}
+	return fmt.Sprintf("((%s),(%s))", strings.Join(lo, ","), strings.Join(hi, ","))
+}

@@ -1,0 +1,21 @@
+// Package runtime provides the array representations the paper
+// discusses, both the expensive general ones and the cheap specialized
+// ones that subscript analysis unlocks:
+//
+//   - NonStrict: the fully general non-strict monolithic array whose
+//     elements are thunks forced on demand, with black-hole detection
+//     for circular element dependences (an element whose value is ⊥).
+//     This is the representation a compiler must fall back to when it
+//     cannot find a safe static schedule.
+//   - Strict: a flat float64 vector with constant-time access — the
+//     representation thunkless compiled code uses, and the baseline
+//     imperative arrays are measured by.
+//   - Accum: Haskell's accumArray (zero or more definitions per
+//     element combined by a function, with a default).
+//   - Version (trailer) arrays and reference-counted arrays: the
+//     classic run-time schemes for incremental update the paper's
+//     section 9 contrasts with compile-time scheduled in-place update.
+//
+// Bounds follow Haskell's `array (l,u)` convention: inclusive on both
+// ends, any rank, row-major linearization.
+package runtime

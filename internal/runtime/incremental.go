@@ -1,0 +1,227 @@
+package runtime
+
+// Incremental-array runtime schemes (paper section 9). These are the
+// run-time fallbacks the paper contrasts with compile-time scheduling:
+// naive copying, trailers, and reference counting. All present the
+// same persistent interface: Upd returns the updated array value
+// without (observably) changing the old one.
+
+// CopyArray is the naive persistent array: every update copies the
+// whole store. Semantically bulletproof, operationally the worst case
+// the paper's analysis eliminates.
+type CopyArray struct {
+	B    Bounds
+	data []float64
+}
+
+// NewCopyArray builds a copying array from a strict array (shared
+// nothing).
+func NewCopyArray(s *Strict) *CopyArray {
+	data := make([]float64, len(s.Data))
+	copy(data, s.Data)
+	return &CopyArray{B: s.B, data: data}
+}
+
+// At reads an element.
+func (a *CopyArray) At(subs ...int64) float64 {
+	off, err := a.B.LinearChecked(subs)
+	if err != nil {
+		panic(err)
+	}
+	return a.data[off]
+}
+
+// Upd returns a new array with one element replaced; O(n) copy.
+func (a *CopyArray) Upd(v float64, subs ...int64) *CopyArray {
+	off, err := a.B.LinearChecked(subs)
+	if err != nil {
+		panic(err)
+	}
+	data := make([]float64, len(a.data))
+	copy(data, a.data)
+	data[off] = v
+	return &CopyArray{B: a.B, data: data}
+}
+
+// Freeze snapshots to a strict array.
+func (a *CopyArray) Freeze() *Strict {
+	out := NewStrict(a.B)
+	copy(out.Data, a.data)
+	return out
+}
+
+// --- trailer (version-list) arrays ---
+
+// trailerStore is the shared mutable master owned by the newest version.
+type trailerStore struct {
+	b    Bounds
+	data []float64
+}
+
+// trailEntry shadows one element for an older version.
+type trailEntry struct {
+	off  int64
+	old  float64
+	next *VersionArray // the version this entry rolls forward to
+}
+
+// VersionArray is a trailer array version handle. The newest version
+// reads the master directly (O(1)); older versions chase their trail
+// toward the master, paying for the updates made since. Updating the
+// newest version is O(1); updating an older version rebuilds a fresh
+// master (O(n)).
+type VersionArray struct {
+	store *trailerStore
+	trail *trailEntry // nil for the newest version
+}
+
+// NewVersionArray builds a trailer array from a strict array.
+func NewVersionArray(s *Strict) *VersionArray {
+	data := make([]float64, len(s.Data))
+	copy(data, s.Data)
+	return &VersionArray{store: &trailerStore{b: s.B, data: data}}
+}
+
+// Bounds returns the array bounds.
+func (a *VersionArray) Bounds() Bounds { return a.store.b }
+
+// Current reports whether this handle is the newest version.
+func (a *VersionArray) Current() bool { return a.trail == nil }
+
+// At reads an element, chasing the trail if this is an old version.
+func (a *VersionArray) At(subs ...int64) float64 {
+	off, err := a.store.b.LinearChecked(subs)
+	if err != nil {
+		panic(err)
+	}
+	for v := a; ; {
+		if v.trail == nil {
+			return v.store.data[off]
+		}
+		if v.trail.off == off {
+			return v.trail.old
+		}
+		v = v.trail.next
+	}
+}
+
+// Upd returns the updated array. On the newest version this is O(1):
+// the old value moves into a trail entry on the receiver and the new
+// handle takes over the master. On an older version the visible
+// contents are copied out first.
+func (a *VersionArray) Upd(v float64, subs ...int64) *VersionArray {
+	off, err := a.store.b.LinearChecked(subs)
+	if err != nil {
+		panic(err)
+	}
+	if a.trail == nil {
+		next := &VersionArray{store: a.store}
+		a.trail = &trailEntry{off: off, old: a.store.data[off], next: next}
+		a.store.data[off] = v
+		return next
+	}
+	// Old version: rebuild.
+	fresh := a.Freeze()
+	out := NewVersionArray(fresh)
+	out.store.data[off] = v
+	return out
+}
+
+// Freeze snapshots this version's contents to a strict array.
+func (a *VersionArray) Freeze() *Strict {
+	out := NewStrict(a.store.b)
+	for off := int64(0); off < a.store.b.Size(); off++ {
+		out.Data[off] = a.atLinear(off)
+	}
+	return out
+}
+
+func (a *VersionArray) atLinear(off int64) float64 {
+	for v := a; ; {
+		if v.trail == nil {
+			return v.store.data[off]
+		}
+		if v.trail.off == off {
+			return v.trail.old
+		}
+		v = v.trail.next
+	}
+}
+
+// TrailLength returns how many trail entries this version must chase
+// to reach the master — a measure of how stale the handle is.
+func (a *VersionArray) TrailLength() int {
+	n := 0
+	for v := a; v.trail != nil; v = v.trail.next {
+		n++
+	}
+	return n
+}
+
+// --- reference-counted arrays ---
+
+// RCArray updates in place when it holds the only reference, copying
+// otherwise — the run-time single-threadedness check the paper's
+// compile-time analysis replaces.
+type RCArray struct {
+	B    Bounds
+	data []float64
+	refs *int
+}
+
+// NewRCArray builds a reference-counted array (refcount 1).
+func NewRCArray(s *Strict) *RCArray {
+	data := make([]float64, len(s.Data))
+	copy(data, s.Data)
+	one := 1
+	return &RCArray{B: s.B, data: data, refs: &one}
+}
+
+// Retain registers another reference to the same storage.
+func (a *RCArray) Retain() *RCArray {
+	*a.refs++
+	return &RCArray{B: a.B, data: a.data, refs: a.refs}
+}
+
+// Release drops this handle's reference.
+func (a *RCArray) Release() {
+	*a.refs--
+}
+
+// Refs returns the current reference count.
+func (a *RCArray) Refs() int { return *a.refs }
+
+// At reads an element.
+func (a *RCArray) At(subs ...int64) float64 {
+	off, err := a.B.LinearChecked(subs)
+	if err != nil {
+		panic(err)
+	}
+	return a.data[off]
+}
+
+// Upd returns the updated array: in place when single-threaded
+// (refcount 1), a copy otherwise.
+func (a *RCArray) Upd(v float64, subs ...int64) *RCArray {
+	off, err := a.B.LinearChecked(subs)
+	if err != nil {
+		panic(err)
+	}
+	if *a.refs == 1 {
+		a.data[off] = v
+		return a
+	}
+	data := make([]float64, len(a.data))
+	copy(data, a.data)
+	data[off] = v
+	*a.refs--
+	one := 1
+	return &RCArray{B: a.B, data: data, refs: &one}
+}
+
+// Freeze snapshots to a strict array.
+func (a *RCArray) Freeze() *Strict {
+	out := NewStrict(a.B)
+	copy(out.Data, a.data)
+	return out
+}

@@ -1,0 +1,142 @@
+package runtime
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Cell evaluation states of a non-strict array element.
+const (
+	cellEmpty      uint8 = iota // no definition: the element is an "empty"
+	cellThunk                   // defined but not yet evaluated
+	cellInProgress              // being evaluated: re-entry means ⊥ (black hole)
+	cellValue                   // evaluated
+)
+
+// Errors reported by non-strict array operations.
+var (
+	// ErrBlackHole: an element's value depends on itself — the element
+	// is ⊥ and, in a strict context, so is the whole array.
+	ErrBlackHole = errors.New("runtime: <<loop>> element depends on itself (⊥)")
+	// ErrEmpty: an element with no definition was demanded.
+	ErrEmpty = errors.New("runtime: undefined array element (empty)")
+	// ErrCollision: a monolithic array element received two definitions.
+	ErrCollision = errors.New("runtime: write collision (element defined twice)")
+)
+
+// Thunk is a delayed element computation. It may force other elements
+// of the same (or another) array, and reports their errors upward.
+type Thunk func() (float64, error)
+
+// NonStrict is the general representation of a non-strict monolithic
+// array: every element is a thunk evaluated on demand, memoized after
+// the first force, with black-hole detection for circular dependences.
+// This is the representation the paper's compiler falls back to when no
+// safe static schedule exists, and the baseline its thunkless code is
+// measured against.
+type NonStrict struct {
+	B      Bounds
+	state  []uint8
+	value  []float64
+	thunks []Thunk
+}
+
+// NewNonStrict allocates an array of empties.
+func NewNonStrict(b Bounds) *NonStrict {
+	n := b.Size()
+	return &NonStrict{
+		B:      b,
+		state:  make([]uint8, n),
+		value:  make([]float64, n),
+		thunks: make([]Thunk, n),
+	}
+}
+
+// Define installs the thunk for one subscript/value pair. Defining an
+// element twice is a write collision.
+func (a *NonStrict) Define(subs []int64, t Thunk) error {
+	off, err := a.B.LinearChecked(subs)
+	if err != nil {
+		return err
+	}
+	return a.DefineLinear(off, t)
+}
+
+// DefineLinear installs a thunk by linear offset.
+func (a *NonStrict) DefineLinear(off int64, t Thunk) error {
+	if a.state[off] != cellEmpty {
+		return fmt.Errorf("%w: offset %d (subscript %v)", ErrCollision, off, a.B.Unlinear(off))
+	}
+	a.state[off] = cellThunk
+	a.thunks[off] = t
+	return nil
+}
+
+// At forces and returns the element at the subscript tuple.
+func (a *NonStrict) At(subs ...int64) (float64, error) {
+	off, err := a.B.LinearChecked(subs)
+	if err != nil {
+		return 0, err
+	}
+	return a.AtLinear(off)
+}
+
+// AtLinear forces and returns the element at a linear offset,
+// memoizing the result and detecting black holes.
+func (a *NonStrict) AtLinear(off int64) (float64, error) {
+	switch a.state[off] {
+	case cellValue:
+		return a.value[off], nil
+	case cellEmpty:
+		return 0, fmt.Errorf("%w: subscript %v", ErrEmpty, a.B.Unlinear(off))
+	case cellInProgress:
+		return 0, fmt.Errorf("%w: subscript %v", ErrBlackHole, a.B.Unlinear(off))
+	}
+	a.state[off] = cellInProgress
+	v, err := a.thunks[off]()
+	if err != nil {
+		// Leave the black hole in place: the element is ⊥.
+		return 0, err
+	}
+	a.state[off] = cellValue
+	a.value[off] = v
+	a.thunks[off] = nil // allow the closure to be collected
+	return v, nil
+}
+
+// Defined reports whether the element has a definition (evaluated or not).
+func (a *NonStrict) Defined(subs ...int64) bool {
+	off, err := a.B.LinearChecked(subs)
+	if err != nil {
+		return false
+	}
+	return a.state[off] != cellEmpty
+}
+
+// ForceElements is the paper's force-elements: demand every element,
+// returning the strictified array. If any element is ⊥ (black hole) or
+// an empty, the whole result is ⊥, reported as an error.
+func (a *NonStrict) ForceElements() (*Strict, error) {
+	out := NewStrict(a.B)
+	for off := int64(0); off < a.B.Size(); off++ {
+		v, err := a.AtLinear(off)
+		if err != nil {
+			return nil, err
+		}
+		out.Data[off] = v
+	}
+	return out, nil
+}
+
+// DefinedCount returns how many elements have definitions, used by the
+// straight-line empties check (count == size together with no
+// collisions and in-bounds writes ⇒ subscripts form a permutation).
+func (a *NonStrict) DefinedCount() int64 {
+	var n int64
+	for _, s := range a.state {
+		if s != cellEmpty {
+			n++
+		}
+	}
+	return n
+}

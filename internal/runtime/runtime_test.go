@@ -1,0 +1,383 @@
+package runtime
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBoundsBasics(t *testing.T) {
+	b := NewBounds2(1, 1, 3, 4)
+	if b.Rank() != 2 || b.Size() != 12 {
+		t.Fatalf("bounds = %+v size %d", b, b.Size())
+	}
+	if !b.InRange([]int64{1, 1}) || !b.InRange([]int64{3, 4}) {
+		t.Error("corners must be in range")
+	}
+	for _, bad := range [][]int64{{0, 1}, {1, 0}, {4, 1}, {1, 5}, {1}, {1, 1, 1}} {
+		if b.InRange(bad) {
+			t.Errorf("%v should be out of range", bad)
+		}
+	}
+	if b.String() != "((1,1),(3,4))" {
+		t.Errorf("String = %q", b.String())
+	}
+	if NewBounds1(1, 10).String() != "(1,10)" {
+		t.Error("1-D String wrong")
+	}
+}
+
+func TestBoundsEmpty(t *testing.T) {
+	b := NewBounds1(5, 4)
+	if b.Size() != 0 {
+		t.Errorf("empty bounds size = %d", b.Size())
+	}
+	if (Bounds{}).Size() != 0 {
+		t.Error("rank-0 bounds must have size 0")
+	}
+}
+
+func TestBoundsLinearRoundTrip(t *testing.T) {
+	f := func(lo1, lo2 int8, e1, e2 uint8) bool {
+		b := NewBounds2(int64(lo1), int64(lo2), int64(lo1)+int64(e1%7), int64(lo2)+int64(e2%7))
+		for off := int64(0); off < b.Size(); off++ {
+			subs := b.Unlinear(off)
+			if !b.InRange(subs) {
+				return false
+			}
+			if b.Linear(subs) != off {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBoundsLinearIsRowMajorAndDense(t *testing.T) {
+	b := NewBounds2(1, 1, 3, 4)
+	seen := map[int64]bool{}
+	last := int64(-1)
+	for i := int64(1); i <= 3; i++ {
+		for j := int64(1); j <= 4; j++ {
+			off := b.Linear([]int64{i, j})
+			if off != last+1 {
+				t.Fatalf("row-major order violated at (%d,%d): off %d after %d", i, j, off, last)
+			}
+			last = off
+			seen[off] = true
+		}
+	}
+	if int64(len(seen)) != b.Size() {
+		t.Error("linearization is not dense")
+	}
+}
+
+func TestBoundsLinearChecked(t *testing.T) {
+	b := NewBounds1(1, 5)
+	if _, err := b.LinearChecked([]int64{0}); err == nil {
+		t.Error("out-of-range must error")
+	}
+	off, err := b.LinearChecked([]int64{3})
+	if err != nil || off != 2 {
+		t.Errorf("off = %d err %v", off, err)
+	}
+}
+
+func TestStrictBasics(t *testing.T) {
+	a := NewStrict(NewBounds2(1, 1, 2, 2))
+	a.Set(3.5, 2, 1)
+	if a.At(2, 1) != 3.5 || a.At(1, 1) != 0 {
+		t.Error("Set/At broken")
+	}
+	c := a.Clone()
+	c.Set(9, 1, 1)
+	if a.At(1, 1) == 9 {
+		t.Error("Clone shares storage")
+	}
+	if !a.EqualWithin(a, 0) {
+		t.Error("EqualWithin reflexivity")
+	}
+	if a.EqualWithin(c, 0.5) {
+		t.Error("EqualWithin must see the difference")
+	}
+	if !a.EqualWithin(c, 10) {
+		t.Error("EqualWithin tolerance ignored")
+	}
+}
+
+func TestStrictPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("At out of range must panic")
+		}
+	}()
+	NewStrict(NewBounds1(1, 3)).At(4)
+}
+
+func TestNonStrictForwardChain(t *testing.T) {
+	// a!1 = 1; a!i = a!(i−1) + 1 — forces recursively regardless of
+	// definition order.
+	n := int64(50)
+	a := NewNonStrict(NewBounds1(1, n))
+	// Define in reverse order to prove order irrelevance.
+	for i := n; i >= 1; i-- {
+		i := i
+		var th Thunk
+		if i == 1 {
+			th = func() (float64, error) { return 1, nil }
+		} else {
+			th = func() (float64, error) {
+				v, err := a.At(i - 1)
+				return v + 1, err
+			}
+		}
+		if err := a.Define([]int64{i}, th); err != nil {
+			t.Fatal(err)
+		}
+	}
+	v, err := a.At(n)
+	if err != nil || v != float64(n) {
+		t.Fatalf("a!%d = %v, %v", n, v, err)
+	}
+	s, err := a.ForceElements()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.At(25) != 25 {
+		t.Error("forced contents wrong")
+	}
+}
+
+func TestNonStrictBlackHole(t *testing.T) {
+	a := NewNonStrict(NewBounds1(1, 2))
+	_ = a.Define([]int64{1}, func() (float64, error) { return a.At(2) })
+	_ = a.Define([]int64{2}, func() (float64, error) { return a.At(1) })
+	_, err := a.At(1)
+	if !errors.Is(err, ErrBlackHole) {
+		t.Errorf("want ErrBlackHole, got %v", err)
+	}
+	// force-elements must propagate ⊥.
+	if _, err := a.ForceElements(); !errors.Is(err, ErrBlackHole) {
+		t.Errorf("ForceElements: want ErrBlackHole, got %v", err)
+	}
+}
+
+func TestNonStrictEmpty(t *testing.T) {
+	a := NewNonStrict(NewBounds1(1, 3))
+	_ = a.Define([]int64{1}, func() (float64, error) { return 1, nil })
+	if _, err := a.At(2); !errors.Is(err, ErrEmpty) {
+		t.Errorf("want ErrEmpty, got %v", err)
+	}
+	if a.DefinedCount() != 1 {
+		t.Errorf("DefinedCount = %d", a.DefinedCount())
+	}
+	if !a.Defined(1) || a.Defined(2) || a.Defined(99) {
+		t.Error("Defined wrong")
+	}
+}
+
+func TestNonStrictCollision(t *testing.T) {
+	a := NewNonStrict(NewBounds1(1, 3))
+	one := func() (float64, error) { return 1, nil }
+	if err := a.Define([]int64{2}, one); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Define([]int64{2}, one); !errors.Is(err, ErrCollision) {
+		t.Errorf("want ErrCollision, got %v", err)
+	}
+}
+
+func TestNonStrictMemoization(t *testing.T) {
+	count := 0
+	a := NewNonStrict(NewBounds1(1, 1))
+	_ = a.Define([]int64{1}, func() (float64, error) { count++; return 7, nil })
+	for k := 0; k < 5; k++ {
+		if v, err := a.At(1); v != 7 || err != nil {
+			t.Fatal("At broken")
+		}
+	}
+	if count != 1 {
+		t.Errorf("thunk ran %d times, want 1", count)
+	}
+}
+
+func TestNonStrictPartialDemandToleratesBottom(t *testing.T) {
+	// Non-strict semantics: an unrelated ⊥ element does not poison
+	// elements that don't depend on it.
+	a := NewNonStrict(NewBounds1(1, 2))
+	_ = a.Define([]int64{1}, func() (float64, error) { return a.At(1) }) // self-loop ⊥
+	_ = a.Define([]int64{2}, func() (float64, error) { return 42, nil })
+	if v, err := a.At(2); err != nil || v != 42 {
+		t.Fatalf("independent element poisoned: %v %v", v, err)
+	}
+	if _, err := a.At(1); !errors.Is(err, ErrBlackHole) {
+		t.Error("self-loop must be a black hole")
+	}
+}
+
+func TestAccumArray(t *testing.T) {
+	plus, ok := Combiner("+")
+	if !ok {
+		t.Fatal("no + combiner")
+	}
+	// Histogram: the paper's canonical accumArray example.
+	a := NewAccum(NewBounds1(0, 4), plus, 0)
+	for _, v := range []int64{1, 3, 1, 1, 4} {
+		if err := a.Add([]int64{v}, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := a.Freeze()
+	want := []float64{0, 3, 0, 1, 1}
+	for i, w := range want {
+		if got := s.At(int64(i)); got != w {
+			t.Errorf("hist[%d] = %v, want %v", i, got, w)
+		}
+	}
+	if a.Hits(1) != 3 || a.Hits(0) != 0 {
+		t.Error("Hits wrong")
+	}
+	if err := a.Add([]int64{99}, 1); err == nil {
+		t.Error("out-of-bounds accumArray add must error")
+	}
+}
+
+func TestCombinerTable(t *testing.T) {
+	cases := []struct {
+		name     string
+		old, new float64
+		want     float64
+	}{
+		{"+", 2, 3, 5},
+		{"*", 2, 3, 6},
+		{"max", 2, 3, 3},
+		{"min", 2, 3, 2},
+		{"right", 2, 3, 3},
+		{"left", 2, 3, 2},
+	}
+	for _, c := range cases {
+		f, ok := Combiner(c.name)
+		if !ok {
+			t.Errorf("no combiner %q", c.name)
+			continue
+		}
+		if got := f(c.old, c.new); got != c.want {
+			t.Errorf("%s(%v, %v) = %v, want %v", c.name, c.old, c.new, got, c.want)
+		}
+	}
+	if _, ok := Combiner("bogus"); ok {
+		t.Error("bogus combiner must not resolve")
+	}
+}
+
+func makeSeq(n int64) *Strict {
+	s := NewStrict(NewBounds1(1, n))
+	for i := int64(1); i <= n; i++ {
+		s.Set(float64(i), i)
+	}
+	return s
+}
+
+func TestCopyArrayPersistence(t *testing.T) {
+	a := NewCopyArray(makeSeq(5))
+	b := a.Upd(99, 3)
+	if a.At(3) != 3 || b.At(3) != 99 {
+		t.Error("copy array not persistent")
+	}
+	if b.Freeze().At(1) != 1 {
+		t.Error("Freeze wrong")
+	}
+}
+
+func TestVersionArraySemantics(t *testing.T) {
+	v0 := NewVersionArray(makeSeq(5))
+	v1 := v0.Upd(100, 1)
+	v2 := v1.Upd(200, 2)
+	// All three versions observable, newest is O(1).
+	if v0.At(1) != 1 || v0.At(2) != 2 {
+		t.Error("v0 corrupted")
+	}
+	if v1.At(1) != 100 || v1.At(2) != 2 {
+		t.Error("v1 wrong")
+	}
+	if v2.At(1) != 100 || v2.At(2) != 200 {
+		t.Error("v2 wrong")
+	}
+	if !v2.Current() || v0.Current() || v1.Current() {
+		t.Error("currency flags wrong")
+	}
+	if v0.TrailLength() != 2 || v2.TrailLength() != 0 {
+		t.Errorf("trail lengths: v0=%d v2=%d", v0.TrailLength(), v2.TrailLength())
+	}
+	// Updating a stale version forks a fresh master.
+	v0b := v0.Upd(7, 5)
+	if v0b.At(5) != 7 || v0b.At(1) != 1 {
+		t.Error("stale update fork wrong")
+	}
+	if v2.At(5) != 5 {
+		t.Error("fork disturbed the main line")
+	}
+}
+
+func TestVersionArrayMatchesCopyOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	n := int64(12)
+	va := NewVersionArray(makeSeq(n))
+	ca := NewCopyArray(makeSeq(n))
+	versionsV := []*VersionArray{va}
+	versionsC := []*CopyArray{ca}
+	for step := 0; step < 200; step++ {
+		pick := rng.Intn(len(versionsV))
+		idx := int64(1 + rng.Intn(int(n)))
+		val := float64(rng.Intn(1000))
+		versionsV = append(versionsV, versionsV[pick].Upd(val, idx))
+		versionsC = append(versionsC, versionsC[pick].Upd(val, idx))
+		// Spot-check a random existing version.
+		q := rng.Intn(len(versionsV))
+		at := int64(1 + rng.Intn(int(n)))
+		if got, want := versionsV[q].At(at), versionsC[q].At(at); got != want {
+			t.Fatalf("step %d: version %d At(%d) = %v, want %v", step, q, at, got, want)
+		}
+	}
+	// Full comparison at the end.
+	for q := range versionsV {
+		if !versionsV[q].Freeze().EqualWithin(versionsC[q].Freeze(), 0) {
+			t.Fatalf("version %d diverged", q)
+		}
+	}
+}
+
+func TestRCArrayInPlaceVsCopy(t *testing.T) {
+	a := NewRCArray(makeSeq(5))
+	if a.Refs() != 1 {
+		t.Fatal("fresh refcount must be 1")
+	}
+	// Single reference: update in place (same handle back).
+	b := a.Upd(99, 1)
+	if b != a {
+		t.Error("single-threaded update must be in place")
+	}
+	// Shared: update must copy.
+	c := b.Retain()
+	if b.Refs() != 2 {
+		t.Fatalf("refs = %d", b.Refs())
+	}
+	d := c.Upd(55, 2)
+	if d == c {
+		t.Error("shared update must copy")
+	}
+	if b.At(2) == 55 {
+		t.Error("shared update leaked into the other reference")
+	}
+	if d.At(2) != 55 || d.Refs() != 1 {
+		t.Error("copied array wrong")
+	}
+	if b.Refs() != 1 {
+		t.Errorf("donor refcount not decremented: %d", b.Refs())
+	}
+	b.Release()
+}

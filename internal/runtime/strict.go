@@ -1,0 +1,67 @@
+package runtime
+
+import "fmt"
+
+// Strict is a fully evaluated array: flat float64 storage with
+// constant-time access, the target representation of thunkless
+// compilation and the "Fortran array" baseline.
+type Strict struct {
+	B    Bounds
+	Data []float64
+}
+
+// NewStrict allocates a zero-filled strict array.
+func NewStrict(b Bounds) *Strict {
+	return &Strict{B: b, Data: make([]float64, b.Size())}
+}
+
+// At returns the element at the subscript tuple (range-checked).
+func (a *Strict) At(subs ...int64) float64 {
+	off, err := a.B.LinearChecked(subs)
+	if err != nil {
+		panic(err)
+	}
+	return a.Data[off]
+}
+
+// Set stores the element at the subscript tuple (range-checked).
+func (a *Strict) Set(v float64, subs ...int64) {
+	off, err := a.B.LinearChecked(subs)
+	if err != nil {
+		panic(err)
+	}
+	a.Data[off] = v
+}
+
+// AtLinear returns the element at a row-major offset with no check —
+// the constant-time path compiled loops use.
+func (a *Strict) AtLinear(off int64) float64 { return a.Data[off] }
+
+// SetLinear stores at a row-major offset with no check.
+func (a *Strict) SetLinear(off int64, v float64) { a.Data[off] = v }
+
+// Clone returns an independent copy.
+func (a *Strict) Clone() *Strict {
+	out := NewStrict(a.B)
+	copy(out.Data, a.Data)
+	return out
+}
+
+// EqualWithin reports elementwise equality within eps.
+func (a *Strict) EqualWithin(o *Strict, eps float64) bool {
+	if !a.B.Equal(o.B) || len(a.Data) != len(o.Data) {
+		return false
+	}
+	for i := range a.Data {
+		d := a.Data[i] - o.Data[i]
+		if d < -eps || d > eps {
+			return false
+		}
+	}
+	return true
+}
+
+// String summarizes the array.
+func (a *Strict) String() string {
+	return fmt.Sprintf("array %s [%d elements]", a.B, len(a.Data))
+}

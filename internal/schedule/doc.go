@@ -1,0 +1,23 @@
+// Package schedule implements the static scheduling algorithms of the
+// paper's section 8: given the labeled dependence graph of an array
+// comprehension, it chooses loop directions, orders s/v clauses within
+// loop instances, and splits loops into consecutive passes so that
+// every dependence source is computed before its sink — the condition
+// for compiling the array without thunks.
+//
+// The scheduler recurses over the normalized comprehension tree. At
+// each loop level it treats nested inner loops as single entities,
+// classifies the level's dependence edges into loop-carried ('<'/'>',
+// constraining the loop direction) and loop-independent ('=' or '()',
+// constraining entity order within an instance), collapses strongly
+// connected components, and applies the paper's multi-pass static
+// scheduling algorithm (section 8.1.3) built on the modified-DFS
+// 'not-ready' marking. Edges whose leading component is '=' are
+// stripped and pushed down to the inner level (section 8.2.3).
+//
+// When a cycle defeats static scheduling — a cycle containing both '<'
+// and '>' carried edges, or a loop-independent '='/'()' cycle — the
+// scheduler reports a thunk fallback (or, for cycles containing an
+// anti-dependence edge, leaves node splitting to the code generator,
+// section 9).
+package schedule

@@ -1,0 +1,59 @@
+package schedule
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Dump renders the schedule as an indented outline for diagnostics and
+// golden tests, e.g.:
+//
+//	do i forward [1..100]
+//	  clause0
+//	  clause1
+func (r *Result) Dump() string {
+	var b strings.Builder
+	if r.Thunked {
+		fmt.Fprintf(&b, "thunked: %s\n", r.Reason)
+		return b.String()
+	}
+	writeNodes(&b, r.Nodes, 0)
+	return b.String()
+}
+
+func writeNodes(b *strings.Builder, nodes []*Node, depth int) {
+	for _, n := range nodes {
+		for i := 0; i < depth; i++ {
+			b.WriteString("  ")
+		}
+		if n.IsLoop() {
+			l := n.Loop.Loop
+			par := ""
+			if n.Parallel {
+				par = " parallel"
+			}
+			fmt.Fprintf(b, "do %s %s%s [%d..%d step %d]\n", l.Var, n.Dir, par, l.First, l.Last, l.Stride)
+			writeNodes(b, n.Body, depth+1)
+			continue
+		}
+		fmt.Fprintf(b, "%s\n", n.Clause.Label())
+	}
+}
+
+// Clauses returns every clause in the schedule in execution order of a
+// single traversal (loop bodies flattened depth-first).
+func (r *Result) Clauses() []*Node {
+	var out []*Node
+	var walk func(ns []*Node)
+	walk = func(ns []*Node) {
+		for _, n := range ns {
+			if n.IsLoop() {
+				walk(n.Body)
+			} else {
+				out = append(out, n)
+			}
+		}
+	}
+	walk(r.Nodes)
+	return out
+}
