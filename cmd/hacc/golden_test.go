@@ -1,0 +1,79 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"arraycomp/internal/workloads"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// TestGolden snapshots the CLI's textual output for the paper's two
+// section 5 examples: the compilation report, the loop IR dump, and
+// the dependence-graph DOT rendering. Any schedule or lowering change
+// that alters these surfaces shows up as a reviewable diff; run
+// `go test ./cmd/hacc -run TestGolden -update` to accept it.
+func TestGolden(t *testing.T) {
+	e1 := writeTemp(t, workloads.Example1Src)
+	e2 := writeTemp(t, workloads.Example2Src)
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"example1-report", []string{"report", "-p", "n=4", e1}},
+		{"example1-ir", []string{"ir", "-p", "n=4", e1}},
+		{"example1-dot", []string{"dot", "-p", "n=4", e1}},
+		{"example2-report", []string{"report", "-p", "n=3,m=4", e2}},
+		{"example2-ir", []string{"ir", "-p", "n=3,m=4", e2}},
+		{"example2-dot", []string{"dot", "-p", "n=3,m=4", e2}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := run(tc.args, &buf); err != nil {
+				t.Fatalf("hacc %s: %v", strings.Join(tc.args, " "), err)
+			}
+			golden := filepath.Join("testdata", tc.name+".golden")
+			if *update {
+				if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("missing golden file (run with -update to create): %v", err)
+			}
+			if !bytes.Equal(buf.Bytes(), want) {
+				t.Errorf("output differs from %s:\n--- got ---\n%s\n--- want ---\n%s",
+					golden, buf.String(), want)
+			}
+		})
+	}
+}
+
+// TestFuzzSmoke exercises the fuzz subcommand end to end (interpreter
+// backends only; the gogen leg is covered by the oracle tests).
+func TestFuzzSmoke(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"fuzz", "-n", "10", "-seed", "1", "-nogogen"}, &buf); err != nil {
+		t.Fatalf("hacc fuzz: %v\n%s", err, buf.String())
+	}
+	out := buf.String()
+	for _, want := range []string{"programs: 10", "thunked", "full", "nolinearize", "forcechecks", "failures: 0"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("fuzz summary missing %q:\n%s", want, out)
+		}
+	}
+	if err := run([]string{"fuzz", "-n", "0"}, &buf); err == nil {
+		t.Error("fuzz -n 0 must error")
+	}
+	if err := run([]string{"fuzz", "extra-arg"}, &buf); err == nil {
+		t.Error("fuzz with a file argument must error")
+	}
+}

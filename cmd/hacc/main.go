@@ -9,14 +9,18 @@
 //	hacc ir      [-p n=100] [-in …] file.hac
 //	hacc dot     [-p n=100] [-in …] file.hac
 //	hacc emit-go [-p n=100] [-in …] file.hac   # standalone Go source
+//	hacc fuzz    [-n 100] [-seed 1] [-nogogen]  # differential fuzzing
 //
 // -p binds scalar parameters; -in declares the bounds of free input
 // arrays (filled with deterministic pseudo-random data for `run`).
+// `fuzz` generates random programs and cross-checks every backend
+// against the thunked reference, shrink-reporting any divergence.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
 	"os"
 	"strconv"
@@ -24,30 +28,40 @@ import (
 
 	"arraycomp/internal/analysis"
 	"arraycomp/internal/core"
+	"arraycomp/internal/gencomp"
 	"arraycomp/internal/gogen"
+	"arraycomp/internal/oracle"
 	"arraycomp/internal/runtime"
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "hacc:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+func run(args []string, w io.Writer) error {
 	if len(args) < 1 {
-		return fmt.Errorf("usage: hacc <report|run|ir|dot|emit-go> [flags] file.hac")
+		return fmt.Errorf("usage: hacc <report|run|ir|dot|emit-go|fuzz> [flags] [file.hac]")
 	}
 	cmd := args[0]
 	fs := flag.NewFlagSet(cmd, flag.ContinueOnError)
 	paramsFlag := fs.String("p", "", "comma-separated parameter bindings, e.g. n=100,m=20")
 	inFlag := fs.String("in", "", "semicolon-separated input bounds, e.g. a=1:8,1:8;b=0:99")
-	seed := fs.Int64("seed", 1, "seed for generated input data (run)")
+	seed := fs.Int64("seed", 1, "seed for generated input data (run) or first program seed (fuzz)")
 	show := fs.Int64("show", 5, "how many leading elements to print (run)")
 	thunked := fs.Bool("thunked", false, "force the thunked baseline")
+	fuzzN := fs.Int("n", 100, "number of programs to generate (fuzz)")
+	noGogen := fs.Bool("nogogen", false, "skip the emitted-Go backend (fuzz)")
 	if err := fs.Parse(args[1:]); err != nil {
 		return err
+	}
+	if cmd == "fuzz" {
+		if fs.NArg() != 0 {
+			return fmt.Errorf("fuzz takes no source file")
+		}
+		return runFuzz(*fuzzN, *seed, !*noGogen, w)
 	}
 	if fs.NArg() != 1 {
 		return fmt.Errorf("expected exactly one source file")
@@ -71,21 +85,21 @@ func run(args []string) error {
 	}
 	switch cmd {
 	case "report":
-		fmt.Print(prog.Report())
+		fmt.Fprint(w, prog.Report())
 		return nil
 	case "dot":
 		for _, name := range prog.Order {
-			fmt.Print(prog.Defs[name].Analysis.Graph.DOT(name))
+			fmt.Fprint(w, prog.Defs[name].Analysis.Graph.DOT(name))
 		}
 		return nil
 	case "ir":
 		for _, name := range prog.Order {
 			cd := prog.Defs[name]
 			if cd.Plan == nil {
-				fmt.Printf("-- %s: %s (no loop IR)\n", name, cd.Mode())
+				fmt.Fprintf(w, "-- %s: %s (no loop IR)\n", name, cd.Mode())
 				continue
 			}
-			fmt.Print(cd.Plan.Program.Dump())
+			fmt.Fprint(w, cd.Plan.Program.Dump())
 		}
 		return nil
 	case "emit-go":
@@ -98,7 +112,7 @@ func run(args []string) error {
 			if err != nil {
 				return err
 			}
-			fmt.Print(src)
+			fmt.Fprint(w, src)
 		}
 		return nil
 	case "run":
@@ -115,17 +129,58 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
-		fmt.Printf("result %s %s\n", prog.Result, out.B)
+		fmt.Fprintf(w, "result %s %s\n", prog.Result, out.B)
 		n := out.B.Size()
 		if n > *show {
 			n = *show
 		}
 		for off := int64(0); off < n; off++ {
-			fmt.Printf("  %s%v = %g\n", prog.Result, out.B.Unlinear(off), out.Data[off])
+			fmt.Fprintf(w, "  %s%v = %g\n", prog.Result, out.B.Unlinear(off), out.Data[off])
 		}
 		return nil
 	}
 	return fmt.Errorf("unknown command %q", cmd)
+}
+
+// runFuzz is the differential-fuzzing entry point: n generated
+// programs, every Options ablation cross-checked against the thunked
+// reference (and, unless -nogogen, against emitted Go run out of
+// process). Failures are minimized by the structural shrinker and
+// printed in the corpus file format, ready to be checked into
+// internal/oracle/testdata/.
+func runFuzz(n int, seed int64, withGogen bool, w io.Writer) error {
+	if n <= 0 {
+		return fmt.Errorf("fuzz: -n must be positive")
+	}
+	seeds := make([]uint64, n)
+	for i := range seeds {
+		seeds[i] = uint64(seed) + uint64(i)
+	}
+	s := oracle.RunSeeds(seeds, gencomp.Config{}, withGogen)
+	fmt.Fprint(w, s)
+	if len(s.Failures) == 0 {
+		return nil
+	}
+	const maxReports = 3
+	for i, c := range s.Failures {
+		if i >= maxReports {
+			fmt.Fprintf(w, "\n… and %d more failing seeds\n", len(s.Failures)-maxReports)
+			break
+		}
+		min := oracle.ShrinkFailure(c)
+		fmt.Fprintf(w, "\nseed %d diverges; minimized reproducer:\n", c.Seed)
+		fmt.Fprint(w, oracle.CorpusString(min.Program))
+		report := min
+		if !report.Failed() {
+			// The gogen-only part of the failure is not re-checked by
+			// the shrinker's inner loop; fall back to the original.
+			report = c
+		}
+		for _, m := range report.Mismatches {
+			fmt.Fprintf(w, "  %s: %s\n", m.Backend, m.Detail)
+		}
+	}
+	return fmt.Errorf("fuzz: %d of %d programs diverged", len(s.Failures), n)
 }
 
 // exportName capitalizes a definition name into an exported Go

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"io"
 	"os"
 	"path/filepath"
 	"testing"
@@ -56,7 +57,7 @@ func TestParseInputs(t *testing.T) {
 func TestRunCommands(t *testing.T) {
 	path := writeTemp(t, `a = array (1,n) ([ 1 := 1.0 ] ++ [ i := a!(i-1) + 1.0 | i <- [2..n] ])`)
 	for _, cmd := range []string{"report", "ir", "dot", "run"} {
-		if err := run([]string{cmd, "-p", "n=5", path}); err != nil {
+		if err := run([]string{cmd, "-p", "n=5", path}, io.Discard); err != nil {
 			t.Errorf("hacc %s: %v", cmd, err)
 		}
 	}
@@ -64,7 +65,7 @@ func TestRunCommands(t *testing.T) {
 
 func TestRunWithInputs(t *testing.T) {
 	path := writeTemp(t, `param n; a2 = bigupd a [ i := 2.0 * a!i | i <- [1..n] ]`)
-	if err := run([]string{"run", "-p", "n=4", "-in", "a=1:4", path}); err != nil {
+	if err := run([]string{"run", "-p", "n=4", "-in", "a=1:4", path}, io.Discard); err != nil {
 		t.Errorf("hacc run with inputs: %v", err)
 	}
 }
@@ -80,7 +81,7 @@ func TestRunErrors(t *testing.T) {
 		{"report", "-p", "n=3", path, path}, // too many files
 	}
 	for _, args := range cases {
-		if err := run(args); err == nil {
+		if err := run(args, io.Discard); err == nil {
 			t.Errorf("run(%v) succeeded, want error", args)
 		}
 	}
@@ -88,19 +89,19 @@ func TestRunErrors(t *testing.T) {
 
 func TestRunThunkedFlag(t *testing.T) {
 	path := writeTemp(t, `a = array (1,n) [ i := i*i | i <- [1..n] ]`)
-	if err := run([]string{"run", "-thunked", "-p", "n=4", path}); err != nil {
+	if err := run([]string{"run", "-thunked", "-p", "n=4", path}, io.Discard); err != nil {
 		t.Errorf("hacc run -thunked: %v", err)
 	}
 }
 
 func TestEmitGoCommand(t *testing.T) {
 	path := writeTemp(t, `a = array (1,n) [ i := i*i | i <- [1..n] ]`)
-	if err := run([]string{"emit-go", "-p", "n=5", path}); err != nil {
+	if err := run([]string{"emit-go", "-p", "n=5", path}, io.Discard); err != nil {
 		t.Errorf("hacc emit-go: %v", err)
 	}
 	// Thunked programs cannot be emitted.
 	path2 := writeTemp(t, `a = array (1,n) [ i := a!i | i <- [1..n] ]`)
-	if err := run([]string{"emit-go", "-p", "n=5", path2}); err == nil {
+	if err := run([]string{"emit-go", "-p", "n=5", path2}, io.Discard); err == nil {
 		t.Error("emit-go of a thunked plan must error")
 	}
 }

@@ -141,6 +141,12 @@ func simplifyInt(e loopir.IntExpr) loopir.IntExpr {
 		}
 		return e
 	}
+	if len(lin.Terms) == 0 {
+		// A term-less linear form is just a constant; keep it as one so
+		// constant-position checks (accumArray defaults, trip counts)
+		// recognize it.
+		return &loopir.IConst{Value: lin.Const}
+	}
 	return lin
 }
 

@@ -44,6 +44,11 @@ type LowerOptions struct {
 	// a nest is sharded, and only when the plan uses no shared scalar
 	// state or definedness bitmaps.
 	Parallel bool
+	// ForceChecks keeps collision, definedness, bounds, and empties
+	// checks in the plan even when the analysis proved them redundant
+	// (differential-testing ablation: on programs the reference
+	// semantics accepts, the forced checks must never fire).
+	ForceChecks bool
 }
 
 // lowerer carries lowering state.
@@ -153,8 +158,8 @@ func Lower(res *analysis.Result, sched *schedule.Result, external map[string]ana
 		lw.plan.InPlace = true
 	default:
 		lw.selfIR = res.Def.Name
-		lw.trackDefs = res.Def.Kind == lang.Monolithic && (!res.NoEmpties || res.Collision == analysis.Maybe)
-		lw.checkCollision = res.Def.Kind == lang.Monolithic && res.Collision == analysis.Maybe
+		lw.trackDefs = res.Def.Kind == lang.Monolithic && (!res.NoEmpties || res.Collision == analysis.Maybe || o.ForceChecks)
+		lw.checkCollision = res.Def.Kind == lang.Monolithic && (res.Collision == analysis.Maybe || o.ForceChecks)
 		lw.prog.Arrays = append(lw.prog.Arrays, loopir.ArrayDecl{
 			Name: lw.selfIR, B: boundsToRuntime(res.Bounds), Role: loopir.RoleOut, TrackDefs: lw.trackDefs,
 		})
@@ -202,15 +207,19 @@ func Lower(res *analysis.Result, sched *schedule.Result, external map[string]ana
 	}
 	lw.prog.Stmts = append(lw.prog.Stmts, stmts...)
 
-	if lw.trackDefs && !lw.res.NoEmpties {
+	if lw.trackDefs && (!lw.res.NoEmpties || o.ForceChecks) {
 		lw.prog.Stmts = append(lw.prog.Stmts, &loopir.CheckFull{Array: lw.selfIR})
 		lw.plan.Checks.EmptiesSweeps++
-		lw.note("empties not excluded statically: definedness bitmap + final sweep compiled")
+		if lw.res.NoEmpties {
+			lw.note("empties excluded statically but checks forced: bitmap + sweep compiled")
+		} else {
+			lw.note("empties not excluded statically: definedness bitmap + final sweep compiled")
+		}
 	}
-	if lw.res.NoEmpties {
+	if lw.res.NoEmpties && !o.ForceChecks {
 		lw.note("empties excluded statically: no definedness checks")
 	}
-	if lw.res.Collision == analysis.No && res.Def.Kind == lang.Monolithic {
+	if lw.res.Collision == analysis.No && res.Def.Kind == lang.Monolithic && !o.ForceChecks {
 		lw.note("write collisions excluded statically: no collision checks")
 	}
 
@@ -257,7 +266,7 @@ func (lw *lowerer) baseXlate() *xlate {
 			}
 			cb, cd := true, false
 			if rd != nil {
-				cb = !lw.res.ReadInBounds[rd]
+				cb = !lw.res.ReadInBounds[rd] || lw.opts.ForceChecks
 			}
 			if lw.trackDefs && (ix.Array == lw.res.Def.Name && lw.res.Def.Kind != lang.BigUpd) {
 				cd = true
@@ -386,7 +395,7 @@ func (lw *lowerer) lowerClause(cl *analysis.FlatClause, x *xlate) ([]loopir.Stmt
 	if err != nil {
 		return nil, err
 	}
-	checkBounds := !lw.res.WriteInBounds[cl.ID]
+	checkBounds := !lw.res.WriteInBounds[cl.ID] || lw.opts.ForceChecks
 	if checkBounds {
 		lw.plan.Checks.BoundsChecks++
 	}

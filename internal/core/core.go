@@ -34,6 +34,15 @@ type Options struct {
 	// Parallel emits dependence-free loops as parallel loops sharded
 	// across CPUs (the paper's section 10 extension).
 	Parallel bool
+	// NoLinearize disables the §6 linearization refinement for
+	// multi-dimensional subscripts (ablation).
+	NoLinearize bool
+	// ForceChecks keeps every runtime check (collision, definedness,
+	// bounds, final empties sweep) in compiled plans even when the
+	// analysis proved them redundant. Used by the differential-testing
+	// oracle: for a correct compiler the forced checks must never fire
+	// on programs the reference semantics accepts.
+	ForceChecks bool
 	// InputBounds declares the bounds of free input arrays (arrays read
 	// but not defined by the program), required to compile reads of
 	// them.
@@ -155,7 +164,7 @@ func CompileProgram(source *lang.Program, params map[string]int64, opts Options)
 
 	// Analyze every definition.
 	results := map[string]*analysis.Result{}
-	aOpts := analysis.Options{ExactBudget: opts.ExactBudget}
+	aOpts := analysis.Options{ExactBudget: opts.ExactBudget, NoLinearize: opts.NoLinearize}
 	for _, def := range source.Defs {
 		external := map[string]analysis.ArrayBounds{}
 		for name, b := range bounds {
@@ -270,7 +279,7 @@ func CompileProgram(source *lang.Program, params map[string]int64, opts Options)
 			p.note("%s: thunked fallback: %s", name, sched.Reason)
 			continue
 		}
-		plan, err := codegen.Lower(res, sched, external, codegen.LowerOptions{Parallel: opts.Parallel})
+		plan, err := codegen.Lower(res, sched, external, codegen.LowerOptions{Parallel: opts.Parallel, ForceChecks: opts.ForceChecks})
 		if err != nil {
 			return nil, fmt.Errorf("core: %s: %w", name, err)
 		}

@@ -1,0 +1,123 @@
+package core
+
+import (
+	"testing"
+
+	"arraycomp/internal/analysis"
+	"arraycomp/internal/runtime"
+)
+
+// TestStrideGenerators drives negative-stride and empty-range
+// generators through the whole pipeline (parse → analysis → schedule →
+// loop IR → interpreter) and cross-checks each against the thunked
+// reference. The affine layer normalizes `[hi,hi-1..lo]` into a
+// downward loop and `[1..0]`-style ranges into zero trips; these
+// tables pin both behaviors element by element.
+func TestStrideGenerators(t *testing.T) {
+	n := map[string]int64{"n": 6}
+	tests := []struct {
+		name string
+		src  string
+		// want maps subscript -> expected value; subscripts not listed
+		// are not checked (the cover is still validated by compilation).
+		want map[int64]float64
+	}{
+		{
+			name: "descending full cover",
+			src:  `a = array (1,n) [* [ i := 2*i ] | i <- [n,n-1..1] *]`,
+			want: map[int64]float64{1: 2, 3: 6, 6: 12},
+		},
+		{
+			name: "descending permuted target",
+			src:  `a = array (1,n) [* [ n+1-i := 10*i ] | i <- [n,n-1..1] *]`,
+			want: map[int64]float64{1: 60, 6: 10},
+		},
+		{
+			name: "backward recurrence via negative stride",
+			src: `a = array (1,n) ([ n := 1 ] ++
+			        [* [ i := a!(i+1) + 1 ] | i <- [n-1,n-2..1] *])`,
+			want: map[int64]float64{6: 1, 5: 2, 1: 6},
+		},
+		{
+			name: "stride 2 interleave",
+			src: `a = array (1,n) ([* [ i := 1 ] | i <- [1,3..n] *] ++
+			        [* [ i := 2 ] | i <- [2,4..n] *])`,
+			want: map[int64]float64{1: 1, 2: 2, 5: 1, 6: 2},
+		},
+		{
+			name: "negative stride 2 interleave",
+			src: `a = array (1,n) ([* [ i := 1 ] | i <- [n-1,n-3..1] *] ++
+			        [* [ i := 2 ] | i <- [n,n-2..1] *])`,
+			want: map[int64]float64{1: 1, 2: 2, 5: 1, 6: 2},
+		},
+		{
+			name: "empty ascending range contributes nothing",
+			src: `a = array (0,n) ([* [ i := i ] | i <- [0..n] *] ++
+			        [* [ j := 99 ] | j <- [1..0] *])`,
+			want: map[int64]float64{0: 0, 6: 6},
+		},
+		{
+			name: "empty descending range contributes nothing",
+			src: `a = array (0,n) ([* [ i := i ] | i <- [0..n] *] ++
+			        [* [ j := 99 ] | j <- [0,-1..5] *])`,
+			want: map[int64]float64{0: 0, 5: 5},
+		},
+		{
+			name: "empty stride-2 range contributes nothing",
+			src: `a = array (0,n) ([* [ i := i ] | i <- [0..n] *] ++
+			        [* [ j := 99 ] | j <- [2,4..1] *])`,
+			want: map[int64]float64{2: 2, 4: 4},
+		},
+		{
+			name: "whole array from empty range plus scalar clause",
+			src:  `a = array (1,1) ([ 1 := 7 ] ++ [* [ j := 0 ] | j <- [1..0] *])`,
+			want: map[int64]float64{1: 7},
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			out := runBoth(t, tt.src, n, Options{}, nil)
+			for sub, want := range tt.want {
+				if got := out.At(sub); got != want {
+					t.Errorf("a[%d] = %v, want %v", sub, got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestEmptyRangeWholeDefinition pins the degenerate case where the
+// only generator is empty: every element is then undefined, which the
+// final empties sweep (or the thunked runtime's ⊥) must report.
+func TestEmptyRangeWholeDefinition(t *testing.T) {
+	src := `a = array (1,n) [* [ i := 1 ] | i <- [1..0] *]`
+	for _, opts := range []Options{{}, {ForceThunked: true}} {
+		p, err := Compile(src, map[string]int64{"n": 3}, opts)
+		if err != nil {
+			// A compile-time empties rejection is equally acceptable.
+			continue
+		}
+		if _, err := p.Run(nil); err == nil {
+			t.Errorf("opts %+v: all-empty cover ran without error", opts)
+		}
+	}
+}
+
+// TestNegativeStrideDescendingBounds checks a descending-range read of
+// an input array (stride normalization on the read side, not just the
+// write side).
+func TestNegativeStrideDescendingBounds(t *testing.T) {
+	src := `a = array (0,n) [* [ i := u!(n-i) ] | i <- [n,n-1..0] *]`
+	u := runtime.NewStrict(runtime.NewBounds1(0, 6))
+	for i := range u.Data {
+		u.Data[i] = float64(i*i + 1)
+	}
+	bounds := map[string]analysis.ArrayBounds{"u": {Lo: []int64{0}, Hi: []int64{6}}}
+	inputs := map[string]*runtime.Strict{"u": u}
+	out := runBoth(t, src, map[string]int64{"n": 6}, Options{InputBounds: bounds}, inputs)
+	for i := int64(0); i <= 6; i++ {
+		if out.At(i) != u.At(6-i) {
+			t.Errorf("a[%d] = %v, want u[%d] = %v", i, out.At(i), 6-i, u.At(6-i))
+		}
+	}
+}

@@ -1,0 +1,108 @@
+package gencomp
+
+import (
+	"strings"
+	"testing"
+
+	"arraycomp/internal/core"
+	"arraycomp/internal/lang"
+	"arraycomp/internal/parser"
+)
+
+func TestDeterministic(t *testing.T) {
+	for seed := uint64(0); seed < 50; seed++ {
+		a := Generate(seed, Config{})
+		b := Generate(seed, Config{})
+		if a.Source != b.Source {
+			t.Fatalf("seed %d: two generations differ:\n%s\n----\n%s", seed, a.Source, b.Source)
+		}
+		if a.Params["n"] != b.Params["n"] {
+			t.Fatalf("seed %d: params differ", seed)
+		}
+	}
+}
+
+// TestRoundTrip checks that every generated program's source re-parses
+// to a program that prints identically: the generator only emits
+// concrete syntax the parser accepts, which is what lets the oracle
+// shrink by re-parsing.
+func TestRoundTrip(t *testing.T) {
+	n := 300
+	if testing.Short() {
+		n = 120
+	}
+	for seed := uint64(0); seed < uint64(n); seed++ {
+		p := Generate(seed, Config{})
+		reparsed, err := parser.ParseProgram(p.Source)
+		if err != nil {
+			t.Fatalf("seed %d: generated source does not parse: %v\n%s", seed, err, p.Source)
+		}
+		again := lang.ProgramString(reparsed)
+		if again != p.Source {
+			t.Errorf("seed %d: print/parse/print not a fixpoint:\n%s\n----\n%s", seed, p.Source, again)
+		}
+	}
+}
+
+// TestCompileSmoke compiles a batch of generated programs and checks
+// the corpus has useful variety: most programs compile, some schedule
+// thunkless, some need thunks, and all three definition kinds appear.
+func TestCompileSmoke(t *testing.T) {
+	n := 200
+	if testing.Short() {
+		n = 100
+	}
+	var compiled, failed, thunked, planned int
+	kinds := map[lang.DefKind]int{}
+	for seed := uint64(0); seed < uint64(n); seed++ {
+		p := Generate(seed, Config{})
+		for _, def := range p.Prog.Defs {
+			kinds[def.Kind]++
+		}
+		prog, err := core.CompileProgram(p.Prog, p.Params, core.Options{InputBounds: p.Inputs})
+		if err != nil {
+			failed++
+			continue
+		}
+		compiled++
+		for _, d := range prog.Defs {
+			if d.Plan != nil {
+				planned++
+			} else {
+				thunked++
+			}
+		}
+	}
+	if compiled < n/2 {
+		t.Errorf("only %d/%d generated programs compile", compiled, n)
+	}
+	if planned == 0 || thunked == 0 {
+		t.Errorf("corpus lacks scheduling variety: planned=%d thunked=%d", planned, thunked)
+	}
+	for _, k := range []lang.DefKind{lang.Monolithic, lang.Accumulated, lang.BigUpd} {
+		if kinds[k] == 0 {
+			t.Errorf("corpus never generated kind %v", k)
+		}
+	}
+	t.Logf("compiled=%d failed=%d planned-defs=%d thunked-defs=%d kinds=%v",
+		compiled, failed, planned, thunked, kinds)
+}
+
+// TestErrorWeightZero checks the clean-program knob: with ErrorWeight
+// disabled the corpus should compile at a much higher rate.
+func TestErrorWeightZero(t *testing.T) {
+	var failed int
+	const n = 100
+	for seed := uint64(0); seed < n; seed++ {
+		p := Generate(seed, Config{ErrorWeight: -1})
+		if strings.TrimSpace(p.Source) == "" {
+			t.Fatalf("seed %d: empty source", seed)
+		}
+		if _, err := core.CompileProgram(p.Prog, p.Params, core.Options{InputBounds: p.Inputs}); err != nil {
+			failed++
+		}
+	}
+	if failed > n/4 {
+		t.Errorf("clean corpus: %d/%d fail to compile", failed, n)
+	}
+}

@@ -242,7 +242,12 @@ func DefString(d *ArrayDef) string {
 	case Monolithic:
 		b.WriteString("array ")
 	case Accumulated:
-		fmt.Fprintf(&b, "accumArray %s ", d.Accum.Combine)
+		comb := d.Accum.Combine
+		if comb == "+" || comb == "*" {
+			// Operator combiners parse back only in section form.
+			comb = "(" + comb + ")"
+		}
+		fmt.Fprintf(&b, "accumArray %s ", comb)
 		writeExpr(&b, d.Accum.Init, precAtom)
 		b.WriteByte(' ')
 	case BigUpd:

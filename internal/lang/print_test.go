@@ -53,7 +53,7 @@ func TestDefString(t *testing.T) {
 		Comp:   &Clause{Subs: []Expr{Num(1)}, Value: Num(1)},
 	}
 	got := DefString(def)
-	if !strings.Contains(got, "h = accumArray + 0.0 (0,9)") {
+	if !strings.Contains(got, "h = accumArray (+) 0.0 (0,9)") {
 		t.Errorf("DefString = %q", got)
 	}
 	upd := &ArrayDef{

@@ -1,0 +1,140 @@
+package oracle
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"arraycomp/internal/analysis"
+	"arraycomp/internal/gencomp"
+	"arraycomp/internal/parser"
+)
+
+// LoadCorpusFile reads a checked-in regression program. The file is
+// ordinary concrete syntax plus `--` header comments that carry the
+// harness metadata the seed alone would otherwise provide:
+//
+//	-- param n = 4
+//	-- input u : 0..6
+//	-- input w : 0..5 x 0..5
+//	param n;
+//	letrec* ... in a
+//
+// Every program the fuzzer ever minimizes gets checked into
+// internal/oracle/testdata/ in this format and replayed by
+// TestOracleSeedCorpus forever after.
+func LoadCorpusFile(path string) (*gencomp.Program, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	src := string(raw)
+	p := &gencomp.Program{
+		Seed:   1,
+		Source: src,
+		Params: map[string]int64{},
+		Inputs: map[string]analysis.ArrayBounds{},
+	}
+	for _, line := range strings.Split(src, "\n") {
+		line = strings.TrimSpace(line)
+		if !strings.HasPrefix(line, "--") {
+			continue
+		}
+		rest := strings.TrimSpace(strings.TrimPrefix(line, "--"))
+		switch {
+		case strings.HasPrefix(rest, "seed"):
+			if v, err := strconv.ParseUint(afterEq(rest), 10, 64); err == nil {
+				p.Seed = v
+			}
+		case strings.HasPrefix(rest, "param"):
+			fields := strings.Fields(strings.TrimPrefix(rest, "param"))
+			// "n = 4"
+			if len(fields) == 3 && fields[1] == "=" {
+				v, err := strconv.ParseInt(fields[2], 10, 64)
+				if err != nil {
+					return nil, fmt.Errorf("%s: bad param line %q", path, line)
+				}
+				p.Params[fields[0]] = v
+			}
+		case strings.HasPrefix(rest, "input"):
+			// "u : 0..6" or "w : 0..5 x 0..5"
+			name, b, err := parseInputDecl(strings.TrimPrefix(rest, "input"))
+			if err != nil {
+				return nil, fmt.Errorf("%s: %v", path, err)
+			}
+			p.Inputs[name] = b
+		}
+	}
+	prog, err := parser.ParseProgram(src)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	p.Prog = prog
+	return p, nil
+}
+
+// CorpusString renders a program in the corpus file format, ready to
+// be checked into internal/oracle/testdata/ and replayed by
+// TestOracleSeedCorpus (the inverse of LoadCorpusFile).
+func CorpusString(p *gencomp.Program) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "-- seed = %d\n", p.Seed)
+	params := make([]string, 0, len(p.Params))
+	for name := range p.Params {
+		params = append(params, name)
+	}
+	sort.Strings(params)
+	for _, name := range params {
+		fmt.Fprintf(&b, "-- param %s = %d\n", name, p.Params[name])
+	}
+	inputs := make([]string, 0, len(p.Inputs))
+	for name := range p.Inputs {
+		inputs = append(inputs, name)
+	}
+	sort.Strings(inputs)
+	for _, name := range inputs {
+		bd := p.Inputs[name]
+		dims := make([]string, len(bd.Lo))
+		for d := range bd.Lo {
+			dims[d] = fmt.Sprintf("%d..%d", bd.Lo[d], bd.Hi[d])
+		}
+		fmt.Fprintf(&b, "-- input %s : %s\n", name, strings.Join(dims, " x "))
+	}
+	b.WriteString(p.Source)
+	if !strings.HasSuffix(p.Source, "\n") {
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func afterEq(s string) string {
+	if i := strings.IndexByte(s, '='); i >= 0 {
+		return strings.TrimSpace(s[i+1:])
+	}
+	return ""
+}
+
+func parseInputDecl(s string) (string, analysis.ArrayBounds, error) {
+	name, spec, ok := strings.Cut(s, ":")
+	if !ok {
+		return "", analysis.ArrayBounds{}, fmt.Errorf("bad input line %q", s)
+	}
+	name = strings.TrimSpace(name)
+	var b analysis.ArrayBounds
+	for _, dim := range strings.Split(spec, "x") {
+		loS, hiS, ok := strings.Cut(strings.TrimSpace(dim), "..")
+		if !ok {
+			return "", analysis.ArrayBounds{}, fmt.Errorf("bad input range %q", dim)
+		}
+		lo, err1 := strconv.ParseInt(strings.TrimSpace(loS), 10, 64)
+		hi, err2 := strconv.ParseInt(strings.TrimSpace(hiS), 10, 64)
+		if err1 != nil || err2 != nil {
+			return "", analysis.ArrayBounds{}, fmt.Errorf("bad input range %q", dim)
+		}
+		b.Lo = append(b.Lo, lo)
+		b.Hi = append(b.Hi, hi)
+	}
+	return name, b, nil
+}

@@ -1,0 +1,373 @@
+// Package oracle is the differential-testing harness: it compiles one
+// program under a matrix of Options ablations and executes it on three
+// backends — the non-strict thunked runtime (the reference semantics),
+// the loop-IR closure interpreter, and gogen-emitted Go built and run
+// out of process — then asserts that every execution agrees, element
+// by element, including agreement on errors (⊥, collision, empties,
+// bounds).
+//
+// The contract being checked is the paper's central claim: dependence
+// analysis, check elision, thunkless scheduling and node splitting are
+// semantics-preserving refinements of the naive thunked evaluator. Any
+// divergence between an optimized configuration and the ForceThunked
+// reference is a compiler bug by definition.
+package oracle
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"arraycomp/internal/analysis"
+	"arraycomp/internal/core"
+	"arraycomp/internal/gencomp"
+	"arraycomp/internal/lang"
+	"arraycomp/internal/runtime"
+)
+
+// Outcome is the observable result of one compile+run: either an error
+// (compile-time rejection or runtime ⊥/collision/empties/bounds) or a
+// result array. Two outcomes agree when they error together or succeed
+// with element-wise equal arrays — the oracle deliberately does not
+// require error *messages* to match across backends.
+type Outcome struct {
+	// Err is the error text; empty means success.
+	Err string
+	// CompileTime marks Err as a compile-time rejection.
+	CompileTime bool
+	// Value is the result array when Err is empty.
+	Value *runtime.Strict
+}
+
+// OK reports success.
+func (o Outcome) OK() bool { return o.Err == "" }
+
+func (o Outcome) String() string {
+	if o.OK() {
+		return fmt.Sprintf("ok %d elements", len(o.Value.Data))
+	}
+	stage := "runtime"
+	if o.CompileTime {
+		stage = "compile"
+	}
+	return fmt.Sprintf("%s error: %s", stage, o.Err)
+}
+
+// Ablation is one compiler configuration under test.
+type Ablation struct {
+	Name string
+	Opts core.Options
+}
+
+// RefAblation names the reference configuration: every definition
+// evaluated by the non-strict thunked runtime, no scheduling, no check
+// elision. Its outcome defines correct behavior.
+const RefAblation = "thunked"
+
+// Ablations returns the configuration matrix. The thunked entry is the
+// reference; the rest must reproduce its observable behavior exactly.
+func Ablations() []Ablation {
+	return []Ablation{
+		{RefAblation, core.Options{ForceThunked: true}},
+		{"full", core.Options{}},
+		{"nolinearize", core.Options{NoLinearize: true}},
+		{"forcechecks", core.Options{ForceChecks: true}},
+	}
+}
+
+// Mismatch records one disagreement with the reference outcome.
+type Mismatch struct {
+	// Backend is "interp:<ablation>" or "gogen".
+	Backend string
+	Detail  string
+}
+
+// Case is the full oracle result for one program.
+type Case struct {
+	Seed    uint64
+	Program *gencomp.Program
+	// Ref is the reference (thunked) outcome.
+	Ref Outcome
+	// ByAblation maps ablation name to its interpreter outcome.
+	ByAblation map[string]Outcome
+	// Mismatches lists every disagreement found (empty = all agree).
+	Mismatches []Mismatch
+	// GogenEligible: every live definition compiled to a loop-IR plan
+	// under the full configuration, so the case can run as emitted Go.
+	GogenEligible bool
+	// GogenRan/GogenOutcome are filled by RunGogenBatch.
+	GogenRan     bool
+	GogenOutcome Outcome
+
+	// fullProg retains the full-configuration compile for gogen
+	// emission.
+	fullProg *core.Program
+}
+
+// Failed reports whether any backend disagreed with the reference.
+func (c *Case) Failed() bool { return len(c.Mismatches) > 0 }
+
+// FillInputs builds the deterministic input arrays for a program: each
+// declared input is filled from a linear congruential generator seeded
+// by the program seed and the array's position in name order. Values
+// are dyadic rationals in [0,1) with 16-bit significands, so sums and
+// power-of-two products stay exact in float64 and element-wise
+// comparison across backends can be bitwise.
+func FillInputs(p *gencomp.Program) map[string]*runtime.Strict {
+	names := make([]string, 0, len(p.Inputs))
+	for n := range p.Inputs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := map[string]*runtime.Strict{}
+	for i, n := range names {
+		b := p.Inputs[n]
+		a := runtime.NewStrict(runtime.Bounds{Lo: b.Lo, Hi: b.Hi})
+		lcgFill(a.Data, inputSeed(p.Seed, i))
+		out[n] = a
+	}
+	return out
+}
+
+// inputSeed derives the LCG seed for the i-th input (in name order).
+func inputSeed(progSeed uint64, i int) uint64 {
+	return progSeed*0x9E3779B97F4A7C15 + uint64(i+1)*0xBF58476D1CE4E5B9
+}
+
+// lcgFill fills data with dyadic rationals in [0,1).
+func lcgFill(data []float64, seed uint64) {
+	x := seed
+	for i := range data {
+		x = x*6364136223846793005 + 1442695040888963407
+		data[i] = float64((x>>33)&0xFFFF) / 65536.0
+	}
+}
+
+// RunCase compiles and runs one program under every ablation and
+// cross-checks the interpreter outcomes against the thunked reference.
+// The gogen backend is batched separately (RunGogenBatch) because it
+// shells out to the Go toolchain.
+func RunCase(p *gencomp.Program) *Case {
+	c := &Case{Seed: p.Seed, Program: p, ByAblation: map[string]Outcome{}}
+	inputs := FillInputs(p)
+	for _, ab := range Ablations() {
+		opts := ab.Opts
+		opts.InputBounds = p.Inputs
+		c.ByAblation[ab.Name] = runOnce(p, opts, inputs, ab.Name == "full", c)
+	}
+	c.Ref = c.ByAblation[RefAblation]
+	for _, ab := range Ablations() {
+		if ab.Name == RefAblation {
+			continue
+		}
+		if ok, detail := Agree(c.Ref, c.ByAblation[ab.Name]); !ok {
+			c.Mismatches = append(c.Mismatches, Mismatch{
+				Backend: "interp:" + ab.Name,
+				Detail:  detail,
+			})
+		}
+	}
+	return c
+}
+
+// runOnce compiles and runs one configuration, converting panics and
+// errors into Outcomes. keepFull retains the compiled program on c for
+// later gogen emission.
+func runOnce(p *gencomp.Program, opts core.Options, inputs map[string]*runtime.Strict, keepFull bool, c *Case) (out Outcome) {
+	defer func() {
+		if r := recover(); r != nil {
+			out = Outcome{Err: fmt.Sprintf("panic: %v", r)}
+		}
+	}()
+	prog, err := core.CompileProgram(p.Prog, p.Params, opts)
+	if err != nil {
+		return Outcome{Err: err.Error(), CompileTime: true}
+	}
+	if keepFull {
+		c.fullProg = prog
+		c.GogenEligible = gogenEligible(prog)
+	}
+	// Run on private clones: in-place plans may legitimately write
+	// into arrays the harness reuses for the next configuration.
+	run := map[string]*runtime.Strict{}
+	for k, v := range inputs {
+		run[k] = v.Clone()
+	}
+	res, err := prog.Run(run)
+	if err != nil {
+		return Outcome{Err: err.Error()}
+	}
+	return Outcome{Value: res}
+}
+
+// gogenEligible reports that every definition the program retained
+// compiled to a loop-IR plan (thunked and group definitions cannot be
+// emitted as Go loops).
+func gogenEligible(prog *core.Program) bool {
+	for _, name := range prog.Order {
+		if prog.Defs[name].Plan == nil {
+			return false
+		}
+	}
+	return len(prog.Order) > 0
+}
+
+// Agree compares an outcome against the reference. Success must match
+// success, and successful values must agree element-wise: bitwise
+// equal, or within 1e-9 relative tolerance (NaN matches NaN, and
+// infinities must match exactly). Error text is not compared — the
+// three backends phrase the same ⊥/collision differently.
+func Agree(ref, got Outcome) (bool, string) {
+	if ref.OK() != got.OK() {
+		return false, fmt.Sprintf("reference %s, backend %s", ref, got)
+	}
+	if !ref.OK() {
+		return true, ""
+	}
+	a, b := ref.Value, got.Value
+	if !a.B.Equal(b.B) {
+		return false, fmt.Sprintf("bounds differ: %v vs %v", a.B, b.B)
+	}
+	for i := range a.Data {
+		if !floatsAgree(a.Data[i], b.Data[i]) {
+			return false, fmt.Sprintf("element %d differs: %v vs %v", i, a.Data[i], b.Data[i])
+		}
+	}
+	return true, ""
+}
+
+func floatsAgree(a, b float64) bool {
+	if a == b {
+		return true
+	}
+	if math.IsNaN(a) && math.IsNaN(b) {
+		return true
+	}
+	if math.IsInf(a, 0) || math.IsInf(b, 0) {
+		return false // non-equal infinities (or inf vs finite)
+	}
+	tol := 1e-9 * math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+	return math.Abs(a-b) <= tol
+}
+
+// Summary aggregates a corpus run for reporting.
+type Summary struct {
+	Programs int
+	// PerAblation maps ablation name to ok/err counts (outcomes, not
+	// verdicts: a clean both-error agreement counts under Err).
+	PerAblation map[string]*AblationStats
+	// GogenEligible / GogenRan / GogenAgreed count the emitted-Go leg.
+	GogenEligible int
+	GogenRan      int
+	GogenAgreed   int
+	// Failures lists every case with at least one mismatch.
+	Failures []*Case
+}
+
+// AblationStats counts one configuration's outcomes across the corpus.
+type AblationStats struct {
+	OK, Err, Mismatch int
+}
+
+// RunSeeds runs the oracle over a seed range. When withGogen is set the
+// gogen-eligible cases are additionally emitted as one Go program and
+// cross-checked via `go run` (a single toolchain invocation for the
+// whole corpus).
+func RunSeeds(seeds []uint64, cfg gencomp.Config, withGogen bool) *Summary {
+	s := &Summary{PerAblation: map[string]*AblationStats{}}
+	for _, ab := range Ablations() {
+		s.PerAblation[ab.Name] = &AblationStats{}
+	}
+	var cases []*Case
+	for _, seed := range seeds {
+		c := RunCase(gencomp.Generate(seed, cfg))
+		cases = append(cases, c)
+		s.Programs++
+		for name, out := range c.ByAblation {
+			st := s.PerAblation[name]
+			if out.OK() {
+				st.OK++
+			} else {
+				st.Err++
+			}
+		}
+		for _, m := range c.Mismatches {
+			if st, ok := s.PerAblation[strings.TrimPrefix(m.Backend, "interp:")]; ok {
+				st.Mismatch++
+			}
+		}
+	}
+	if withGogen {
+		RunGogenBatch(cases)
+	}
+	for _, c := range cases {
+		if c.GogenEligible {
+			s.GogenEligible++
+		}
+		if c.GogenRan {
+			s.GogenRan++
+			agreed := true
+			for _, m := range c.Mismatches {
+				if m.Backend == "gogen" {
+					agreed = false
+				}
+			}
+			if agreed {
+				s.GogenAgreed++
+			}
+		}
+		if c.Failed() {
+			s.Failures = append(s.Failures, c)
+		}
+	}
+	return s
+}
+
+// String renders the per-ablation summary table.
+func (s *Summary) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "programs: %d\n", s.Programs)
+	for _, ab := range Ablations() {
+		st := s.PerAblation[ab.Name]
+		role := ""
+		if ab.Name == RefAblation {
+			role = "  (reference)"
+		}
+		fmt.Fprintf(&b, "  %-12s ok %4d  err %4d  mismatch %d%s\n",
+			ab.Name, st.OK, st.Err, st.Mismatch, role)
+	}
+	fmt.Fprintf(&b, "  %-12s eligible %d  ran %d  agreed %d\n",
+		"gogen", s.GogenEligible, s.GogenRan, s.GogenAgreed)
+	fmt.Fprintf(&b, "failures: %d\n", len(s.Failures))
+	return b.String()
+}
+
+// boundsOf evaluates a definition's concrete bounds the way the
+// generator does (bigupd inherits its source's bounds). Used by the
+// shrinker when a dropped definition becomes a free input.
+func boundsOf(p *gencomp.Program, name string) (analysis.ArrayBounds, bool) {
+	def := p.Prog.Def(name)
+	if def == nil {
+		b, ok := p.Inputs[name]
+		return b, ok
+	}
+	seen := map[string]bool{}
+	for def.Kind == lang.BigUpd {
+		if seen[def.Name] {
+			return analysis.ArrayBounds{}, false
+		}
+		seen[def.Name] = true
+		src := p.Prog.Def(def.Source)
+		if src == nil {
+			b, ok := p.Inputs[def.Source]
+			return b, ok
+		}
+		def = src
+	}
+	b, err := analysis.EvalBounds(def, p.Params)
+	if err != nil {
+		return analysis.ArrayBounds{}, false
+	}
+	return b, true
+}

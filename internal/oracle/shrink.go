@@ -1,0 +1,234 @@
+package oracle
+
+import (
+	"arraycomp/internal/analysis"
+	"arraycomp/internal/gencomp"
+	"arraycomp/internal/lang"
+	"arraycomp/internal/parser"
+)
+
+// Property reports whether a candidate program still exhibits the
+// failure being minimized (typically "some backend disagrees with the
+// reference").
+type Property func(p *gencomp.Program) bool
+
+// Shrink greedily minimizes a failing program while Property holds:
+// whole definitions are dropped (their name becomes a free input so
+// later reads stay compilable), ++ alternatives are reduced to single
+// parts, and guards are stripped. Each accepted step restarts the
+// scan, and the search is bounded, so Shrink always terminates with a
+// program at least as small as the input and still failing.
+func Shrink(p *gencomp.Program, prop Property) *gencomp.Program {
+	const maxSteps = 400
+	steps := 0
+	cur := p
+	for {
+		accepted := false
+		for _, cand := range candidates(cur) {
+			steps++
+			if steps > maxSteps {
+				return cur
+			}
+			if prop(cand) {
+				cur = cand
+				accepted = true
+				break
+			}
+		}
+		if !accepted {
+			return cur
+		}
+	}
+}
+
+// candidates enumerates one-step reductions, smallest-result first.
+func candidates(p *gencomp.Program) []*gencomp.Program {
+	var out []*gencomp.Program
+
+	// Drop a non-result definition, promoting it to a free input so
+	// remaining reads of it still compile (the harness fills inputs
+	// deterministically, so the property stays reproducible).
+	for i := range p.Prog.Defs {
+		name := p.Prog.Defs[i].Name
+		if name == p.Prog.Result || len(p.Prog.Defs) == 1 {
+			continue
+		}
+		b, ok := boundsOf(p, name)
+		if !ok {
+			continue
+		}
+		c := cloneProgram(p)
+		c.Prog.Defs = append(c.Prog.Defs[:i:i], c.Prog.Defs[i+1:]...)
+		c.Inputs[name] = b
+		if finish(c) {
+			out = append(out, c)
+		}
+	}
+
+	// Reduce a ++ to one of its parts.
+	for d := range p.Prog.Defs {
+		nAppends := countNodes(p.Prog.Defs[d].Comp, isAppend)
+		for ai := 0; ai < nAppends; ai++ {
+			parts := appendArity(p.Prog.Defs[d].Comp, ai)
+			for pi := 0; pi < parts; pi++ {
+				c := cloneProgram(p)
+				seen := 0
+				c.Prog.Defs[d].Comp = transformComp(c.Prog.Defs[d].Comp, func(n lang.CompNode) lang.CompNode {
+					app, ok := n.(*lang.Append)
+					if !ok {
+						return n
+					}
+					if seen != ai {
+						seen++
+						return n
+					}
+					seen++
+					return app.Parts[pi]
+				})
+				if finish(c) {
+					out = append(out, c)
+				}
+			}
+		}
+	}
+
+	// Strip a guard.
+	for d := range p.Prog.Defs {
+		nGuards := countNodes(p.Prog.Defs[d].Comp, isGuard)
+		for gi := 0; gi < nGuards; gi++ {
+			c := cloneProgram(p)
+			seen := 0
+			c.Prog.Defs[d].Comp = transformComp(c.Prog.Defs[d].Comp, func(n lang.CompNode) lang.CompNode {
+				g, ok := n.(*lang.Guard)
+				if !ok {
+					return n
+				}
+				if seen != gi {
+					seen++
+					return n
+				}
+				seen++
+				return g.Body
+			})
+			if finish(c) {
+				out = append(out, c)
+			}
+		}
+	}
+	return out
+}
+
+// cloneProgram deep-copies via the concrete syntax: printing and
+// re-parsing is the one copy path guaranteed to stay in sync with the
+// AST (gencomp's round-trip test enforces the fixpoint).
+func cloneProgram(p *gencomp.Program) *gencomp.Program {
+	prog, err := parser.ParseProgram(p.Source)
+	if err != nil {
+		// Source came from ProgramString, so this cannot happen for
+		// generator output; fall back to the original on corruption.
+		return p
+	}
+	params := make(map[string]int64, len(p.Params))
+	for k, v := range p.Params {
+		params[k] = v
+	}
+	inputs := make(map[string]analysis.ArrayBounds, len(p.Inputs))
+	for k, v := range p.Inputs {
+		inputs[k] = v
+	}
+	return &gencomp.Program{Seed: p.Seed, Prog: prog, Params: params, Inputs: inputs}
+}
+
+// finish re-renders the candidate's source and validates it still
+// parses (a reduction that breaks concrete syntax is discarded).
+func finish(c *gencomp.Program) bool {
+	c.Source = lang.ProgramString(c.Prog)
+	_, err := parser.ParseProgram(c.Source)
+	return err == nil
+}
+
+// transformComp rewrites a comprehension tree top-down.
+func transformComp(n lang.CompNode, f func(lang.CompNode) lang.CompNode) lang.CompNode {
+	n = f(n)
+	switch x := n.(type) {
+	case *lang.Generator:
+		x.Body = transformComp(x.Body, f)
+	case *lang.Guard:
+		x.Body = transformComp(x.Body, f)
+	case *lang.Append:
+		for i := range x.Parts {
+			x.Parts[i] = transformComp(x.Parts[i], f)
+		}
+	case *lang.CompLet:
+		x.Body = transformComp(x.Body, f)
+	}
+	return n
+}
+
+func isAppend(n lang.CompNode) bool { _, ok := n.(*lang.Append); return ok }
+func isGuard(n lang.CompNode) bool  { _, ok := n.(*lang.Guard); return ok }
+
+// countNodes counts nodes matching pred in pre-order.
+func countNodes(n lang.CompNode, pred func(lang.CompNode) bool) int {
+	count := 0
+	var walk func(lang.CompNode)
+	walk = func(n lang.CompNode) {
+		if pred(n) {
+			count++
+		}
+		switch x := n.(type) {
+		case *lang.Generator:
+			walk(x.Body)
+		case *lang.Guard:
+			walk(x.Body)
+		case *lang.Append:
+			for _, p := range x.Parts {
+				walk(p)
+			}
+		case *lang.CompLet:
+			walk(x.Body)
+		}
+	}
+	walk(n)
+	return count
+}
+
+// appendArity returns the part count of the idx-th Append in pre-order.
+func appendArity(n lang.CompNode, idx int) int {
+	arity := 0
+	seen := 0
+	var walk func(lang.CompNode)
+	walk = func(n lang.CompNode) {
+		if app, ok := n.(*lang.Append); ok {
+			if seen == idx {
+				arity = len(app.Parts)
+			}
+			seen++
+		}
+		switch x := n.(type) {
+		case *lang.Generator:
+			walk(x.Body)
+		case *lang.Guard:
+			walk(x.Body)
+		case *lang.Append:
+			for _, p := range x.Parts {
+				walk(p)
+			}
+		case *lang.CompLet:
+			walk(x.Body)
+		}
+	}
+	walk(n)
+	return arity
+}
+
+// ShrinkFailure minimizes a failing case with the standard property:
+// "RunCase still reports a mismatch" (interpreter ablations only; the
+// gogen leg is excluded from the inner loop to avoid one toolchain
+// invocation per candidate). Returns the minimized case.
+func ShrinkFailure(c *Case) *Case {
+	small := Shrink(c.Program, func(p *gencomp.Program) bool {
+		return RunCase(p).Failed()
+	})
+	return RunCase(small)
+}

@@ -1,0 +1,39 @@
+package parser
+
+import (
+	"testing"
+
+	"arraycomp/internal/lang"
+)
+
+// FuzzParserNoPanic is the native fuzz target behind the deterministic
+// truncation/mutation tests in fuzz_test.go: the parser must return an
+// error, never panic, on arbitrary bytes — and anything it does accept
+// must survive a print/re-parse round trip (the property the oracle's
+// shrinker depends on).
+//
+// Run with: go test ./internal/parser -fuzz FuzzParserNoPanic
+func FuzzParserNoPanic(f *testing.F) {
+	for _, src := range seedPrograms {
+		f.Add(src)
+	}
+	f.Add("")
+	f.Add("param ;;")
+	f.Add("a = array (1,n) [* [* | *] *]")
+	f.Add("a = accumArray (*) 1 (0,1) [ 0 := 1 ]")
+	f.Add("{- {- nested -} comment -} a = array (1,1) [ 1 := 1 ]")
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := ParseProgram(src) // must not panic
+		if err != nil {
+			return
+		}
+		printed := lang.ProgramString(prog)
+		again, err := ParseProgram(printed)
+		if err != nil {
+			t.Fatalf("printed form of accepted input does not re-parse: %v\ninput: %q\nprinted: %q", err, src, printed)
+		}
+		if lang.ProgramString(again) != printed {
+			t.Fatalf("print/parse/print not a fixpoint\ninput: %q\nprinted: %q", src, printed)
+		}
+	})
+}
