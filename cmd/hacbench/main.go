@@ -8,9 +8,19 @@
 //	hacbench            # run every experiment
 //	hacbench e3 e8 e11  # run a subset
 //	hacbench -quick     # smaller sizes / shorter timing
+//
+// -json FILE merges machine-readable timings (label → ns/op and
+// allocs/op) into FILE, keeping entries from earlier runs; -noopt
+// disables the loop-IR optimizer and prefixes the labels with "noopt/"
+// instead of "opt/", so two runs produce a pre/post comparison in one
+// file:
+//
+//	hacbench -json BENCH.json -noopt e3 e9 e10 e11
+//	hacbench -json BENCH.json        e3 e9 e10 e11
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -28,7 +38,19 @@ import (
 	"arraycomp/internal/workloads"
 )
 
-var quick = flag.Bool("quick", false, "smaller sizes for a fast smoke run")
+var (
+	quick    = flag.Bool("quick", false, "smaller sizes for a fast smoke run")
+	noopt    = flag.Bool("noopt", false, "disable the loop-IR optimizer (pre/post comparisons)")
+	jsonPath = flag.String("json", "", "merge machine-readable results into FILE")
+)
+
+// benchResult is one -json entry.
+type benchResult struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+var jsonResults = map[string]benchResult{}
 
 func main() {
 	flag.Parse()
@@ -46,6 +68,27 @@ func main() {
 			exp.run()
 		}
 	}
+	writeJSON()
+}
+
+// writeJSON merges this run's results into -json FILE (earlier entries
+// under other labels survive, so an opt and a noopt run accumulate).
+func writeJSON() {
+	if *jsonPath == "" {
+		return
+	}
+	merged := map[string]benchResult{}
+	if data, err := os.ReadFile(*jsonPath); err == nil {
+		if err := json.Unmarshal(data, &merged); err != nil {
+			die(fmt.Errorf("existing %s is not a result file: %v", *jsonPath, err))
+		}
+	}
+	for k, v := range jsonResults {
+		merged[k] = v
+	}
+	data, err := json.MarshalIndent(merged, "", "  ")
+	die(err)
+	die(os.WriteFile(*jsonPath, append(data, '\n'), 0o644))
 }
 
 type experiment struct {
@@ -57,12 +100,20 @@ type experiment struct {
 
 func bench(label string, f func()) float64 {
 	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			f()
 		}
 	})
 	ns := float64(r.T.Nanoseconds()) / float64(r.N)
 	fmt.Printf("  %-34s %14.0f ns/op\n", label, ns)
+	if *jsonPath != "" {
+		prefix := "opt/"
+		if *noopt {
+			prefix = "noopt/"
+		}
+		jsonResults[prefix+label] = benchResult{NsPerOp: ns, AllocsPerOp: r.AllocsPerOp()}
+	}
 	return ns
 }
 
@@ -74,7 +125,7 @@ func die(err error) {
 }
 
 func compileW(src string, params map[string]int64, inputs map[string]*runtime.Strict, thunked bool) *core.Program {
-	opts := core.Options{ForceThunked: thunked, InputBounds: map[string]analysis.ArrayBounds{}}
+	opts := core.Options{ForceThunked: thunked, NoOptimize: *noopt, InputBounds: map[string]analysis.ArrayBounds{}}
 	for name, a := range inputs {
 		opts.InputBounds[name] = analysis.ArrayBounds{Lo: a.B.Lo, Hi: a.B.Hi}
 	}
@@ -345,6 +396,7 @@ var experiments = []experiment{
 			mk := func(parallel bool) *core.Program {
 				opts := core.Options{
 					Parallel:    parallel,
+					NoOptimize:  *noopt,
 					InputBounds: map[string]analysis.ArrayBounds{"b": {Lo: []int64{1, 1}, Hi: []int64{n, n}}},
 				}
 				p, err := core.Compile(workloads.JacobiMonolithicSrc, params, opts)

@@ -21,6 +21,7 @@ var update = flag.Bool("update", false, "rewrite golden files")
 func TestGolden(t *testing.T) {
 	e1 := writeTemp(t, workloads.Example1Src)
 	e2 := writeTemp(t, workloads.Example2Src)
+	wf := writeTemp(t, workloads.WavefrontSrc)
 	cases := []struct {
 		name string
 		args []string
@@ -31,6 +32,14 @@ func TestGolden(t *testing.T) {
 		{"example2-report", []string{"report", "-p", "n=3,m=4", e2}},
 		{"example2-ir", []string{"ir", "-p", "n=3,m=4", e2}},
 		{"example2-dot", []string{"dot", "-p", "n=3,m=4", e2}},
+		// The -O variants snapshot the optimizer's output (fusion,
+		// hoisting, strength-reduced subscripts) on the same programs
+		// plus the wavefront recurrence; the unadorned `ir` goldens
+		// above pin the raw lowering, so a diff here that leaves them
+		// untouched is an optimizer change, not a scheduler change.
+		{"example1-ir-opt", []string{"ir", "-O", "-p", "n=4", e1}},
+		{"example2-ir-opt", []string{"ir", "-O", "-p", "n=3,m=4", e2}},
+		{"wavefront-ir-opt", []string{"ir", "-O", "-p", "n=4", wf}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -65,7 +74,7 @@ func TestFuzzSmoke(t *testing.T) {
 		t.Fatalf("hacc fuzz: %v\n%s", err, buf.String())
 	}
 	out := buf.String()
-	for _, want := range []string{"programs: 10", "thunked", "full", "nolinearize", "forcechecks", "failures: 0"} {
+	for _, want := range []string{"programs: 10", "thunked", "full", "nolinearize", "forcechecks", "noopt", "failures: 0"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("fuzz summary missing %q:\n%s", want, out)
 		}

@@ -4,15 +4,19 @@
 //
 // Usage:
 //
-//	hacc report [-p n=100,m=20] [-in a=1:8,1:8] file.hac
+//	hacc report [-p n=100,m=20] [-in a=1:8,1:8] [-O] file.hac
 //	hacc run     [-p n=100] [-in a=1:8,1:8] [-seed 1] [-show k] file.hac
-//	hacc ir      [-p n=100] [-in …] file.hac
+//	hacc ir      [-p n=100] [-in …] [-O] file.hac
 //	hacc dot     [-p n=100] [-in …] file.hac
-//	hacc emit-go [-p n=100] [-in …] file.hac   # standalone Go source
+//	hacc emit-go [-p n=100] [-in …] [-O] file.hac   # standalone Go source
 //	hacc fuzz    [-n 100] [-seed 1] [-nogogen]  # differential fuzzing
 //
 // -p binds scalar parameters; -in declares the bounds of free input
 // arrays (filled with deterministic pseudo-random data for `run`).
+// For the inspection commands (report, ir, emit-go) the loop-IR
+// optimizer is off by default so the output shows the scheduler's raw
+// lowering; -O turns it on (`hacc ir -O` prints the fused /
+// strength-reduced nest). `run` always executes the optimized plan.
 // `fuzz` generates random programs and cross-checks every backend
 // against the thunked reference, shrink-reporting any divergence.
 package main
@@ -52,6 +56,7 @@ func run(args []string, w io.Writer) error {
 	seed := fs.Int64("seed", 1, "seed for generated input data (run) or first program seed (fuzz)")
 	show := fs.Int64("show", 5, "how many leading elements to print (run)")
 	thunked := fs.Bool("thunked", false, "force the thunked baseline")
+	optimize := fs.Bool("O", false, "run the loop-IR optimizer before report/ir/emit-go output")
 	fuzzN := fs.Int("n", 100, "number of programs to generate (fuzz)")
 	noGogen := fs.Bool("nogogen", false, "skip the emitted-Go backend (fuzz)")
 	if err := fs.Parse(args[1:]); err != nil {
@@ -79,6 +84,11 @@ func run(args []string, w io.Writer) error {
 		return err
 	}
 	opts := core.Options{ForceThunked: *thunked, InputBounds: inputBounds}
+	// Inspection commands show the raw lowering unless -O; execution
+	// always optimizes.
+	if cmd != "run" {
+		opts.NoOptimize = !*optimize
+	}
 	prog, err := core.Compile(string(srcBytes), params, opts)
 	if err != nil {
 		return err

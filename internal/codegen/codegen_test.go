@@ -52,7 +52,9 @@ func lower(t *testing.T, src string, env map[string]int64, srcBounds *analysis.A
 			t.Fatal(err)
 		}
 	}
-	plan, err := Lower(res, sched, nil)
+	// The shape tests inspect the scheduler's raw lowering, so keep the
+	// loop-IR optimizer out of the way.
+	plan, err := Lower(res, sched, nil, LowerOptions{NoOptimize: true})
 	if err != nil {
 		t.Fatalf("lower: %v", err)
 	}

@@ -49,6 +49,11 @@ type LowerOptions struct {
 	// (differential-testing ablation: on programs the reference
 	// semantics accepts, the forced checks must never fire).
 	ForceChecks bool
+	// NoOptimize skips the loop-IR optimizer (fusion, invariant
+	// hoisting, strength reduction): the lowered nest compiles and
+	// emits exactly as built. Used as an oracle ablation arm and to
+	// show the unoptimized IR (`hacc ir` without -O).
+	NoOptimize bool
 }
 
 // lowerer carries lowering state.
@@ -221,6 +226,12 @@ func Lower(res *analysis.Result, sched *schedule.Result, external map[string]ana
 	}
 	if lw.res.Collision == analysis.No && res.Def.Kind == lang.Monolithic && !o.ForceChecks {
 		lw.note("write collisions excluded statically: no collision checks")
+	}
+
+	if !o.NoOptimize {
+		if st := loopir.Optimize(lw.prog); st.Changed() {
+			lw.note("optimizer: %s", st)
+		}
 	}
 
 	ex, err := loopir.Compile(lw.prog)

@@ -43,6 +43,12 @@ type Options struct {
 	// oracle: for a correct compiler the forced checks must never fire
 	// on programs the reference semantics accepts.
 	ForceChecks bool
+	// NoOptimize skips the loop-IR optimizer (fusion, invariant
+	// hoisting, strength-reduced subscripts, interpreter fast paths
+	// keyed on the optimized shapes). Compiled plans then execute the
+	// lowered nest exactly as the scheduler built it — the oracle's
+	// ablation arm for cross-checking optimized vs unoptimized runs.
+	NoOptimize bool
 	// InputBounds declares the bounds of free input arrays (arrays read
 	// but not defined by the program), required to compile reads of
 	// them.
@@ -279,7 +285,7 @@ func CompileProgram(source *lang.Program, params map[string]int64, opts Options)
 			p.note("%s: thunked fallback: %s", name, sched.Reason)
 			continue
 		}
-		plan, err := codegen.Lower(res, sched, external, codegen.LowerOptions{Parallel: opts.Parallel, ForceChecks: opts.ForceChecks})
+		plan, err := codegen.Lower(res, sched, external, codegen.LowerOptions{Parallel: opts.Parallel, ForceChecks: opts.ForceChecks, NoOptimize: opts.NoOptimize})
 		if err != nil {
 			return nil, fmt.Errorf("core: %s: %w", name, err)
 		}

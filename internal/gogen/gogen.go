@@ -181,11 +181,29 @@ func (e *emitter) emitStmt(s loopir.Stmt) {
 		if x.Parallel {
 			par = " // parallelizable: no carried dependences"
 		}
+		if len(x.Inds) > 0 {
+			// Strength-reduced offsets: registers start at their row base
+			// and advance by a constant stride per iteration.
+			e.line("{")
+			e.depth++
+			for _, ind := range x.Inds {
+				e.line("%s := %s", goName(ind.Name), e.intExpr(ind.Init))
+			}
+		}
 		e.line("for %s := int64(%d); %s %s %d; %s {%s", v, x.From, v, cmp, x.To, next, par)
 		e.depth++
 		e.emitStmts(x.Body)
+		for _, ind := range x.Inds {
+			if ind.Step != 0 {
+				e.line("%s += %d", goName(ind.Name), ind.Step)
+			}
+		}
 		e.depth--
 		e.line("}")
+		if len(x.Inds) > 0 {
+			e.depth--
+			e.line("}")
+		}
 	case *loopir.If:
 		cond := e.boolExpr(x.Cond)
 		e.line("if %s {", cond)
@@ -231,12 +249,17 @@ func (e *emitter) emitStmt(s loopir.Stmt) {
 }
 
 // offsetExpr renders the row-major offset of an array access; when
-// checked, bounds guards are emitted first.
-func (e *emitter) offsetExpr(arr string, subs []loopir.IntExpr, checked bool) string {
+// checked, bounds guards are emitted first. A strength-reduced offset
+// (off non-nil, unchecked) replaces the subscript arithmetic with its
+// induction-register form.
+func (e *emitter) offsetExpr(arr string, subs []loopir.IntExpr, off loopir.IntExpr, checked bool) string {
 	d := e.decl[arr]
 	if d == nil {
 		e.fail("unknown array %q", arr)
 		return "0"
+	}
+	if off != nil && !checked {
+		return e.intExpr(off)
 	}
 	b := d.B
 	subExprs := make([]string, len(subs))
@@ -258,17 +281,17 @@ func (e *emitter) offsetExpr(arr string, subs []loopir.IntExpr, checked bool) st
 		}
 	}
 	// off = ((s0-lo0)*e1 + (s1-lo1))*e2 + …
-	off := fmt.Sprintf("(%s - %d)", subExprs[0], b.Lo[0])
+	expr := fmt.Sprintf("(%s - %d)", subExprs[0], b.Lo[0])
 	for dim := 1; dim < len(subExprs); dim++ {
-		off = fmt.Sprintf("(%s*%d + (%s - %d))", off, b.Extent(dim), subExprs[dim], b.Lo[dim])
+		expr = fmt.Sprintf("(%s*%d + (%s - %d))", expr, b.Extent(dim), subExprs[dim], b.Lo[dim])
 	}
-	return off
+	return expr
 }
 
 func (e *emitter) emitAssign(x *loopir.Assign) {
 	rhs := e.valueExpr(x.Rhs)
 	off := e.fresh("o")
-	e.line("%s := %s", off, e.offsetExpr(x.Array, x.Subs, x.CheckBounds))
+	e.line("%s := %s", off, e.offsetExpr(x.Array, x.Subs, x.Off, x.CheckBounds))
 	id := e.ident[x.Array]
 	switch {
 	case x.Accumulate != nil:
@@ -377,7 +400,7 @@ func (e *emitter) valueExpr(x loopir.VExpr) string {
 	case *loopir.ARef:
 		if n.CheckDefined {
 			off := e.fresh("o")
-			e.line("%s := %s", off, e.offsetExpr(n.Array, n.Subs, n.CheckBounds))
+			e.line("%s := %s", off, e.offsetExpr(n.Array, n.Subs, n.Off, n.CheckBounds))
 			id := e.ident[n.Array]
 			e.line("if !%sDefs[%s] {", id, off)
 			e.depth++
@@ -386,7 +409,7 @@ func (e *emitter) valueExpr(x loopir.VExpr) string {
 			e.line("}")
 			return fmt.Sprintf("%s[%s]", id, off)
 		}
-		return fmt.Sprintf("%s[%s]", e.ident[n.Array], e.offsetExpr(n.Array, n.Subs, n.CheckBounds))
+		return fmt.Sprintf("%s[%s]", e.ident[n.Array], e.offsetExpr(n.Array, n.Subs, n.Off, n.CheckBounds))
 	case *loopir.VBin:
 		return fmt.Sprintf("(%s %c %s)", e.valueExpr(n.L), n.Op, e.valueExpr(n.R))
 	case *loopir.VNeg:
@@ -679,6 +702,15 @@ func (e *emitter) emitParallelLoop(x *loopir.Loop) {
 	e.line("for t := lo; t < hi; t++ {")
 	e.depth++
 	e.line("%s := int64(%d) + t*int64(%d)", v, x.From, x.Step)
+	e.line("_ = %s // may be fully strength-reduced away", v)
+	for _, ind := range x.Inds {
+		// Rebind per iteration: shards cannot carry the register.
+		if ind.Step != 0 {
+			e.line("%s := %s + t*int64(%d)", goName(ind.Name), e.intExpr(ind.Init), ind.Step)
+		} else {
+			e.line("%s := %s", goName(ind.Name), e.intExpr(ind.Init))
+		}
+	}
 	e.emitStmts(x.Body)
 	e.depth--
 	e.line("}")

@@ -107,6 +107,12 @@ func (c *compiler) collectLoopVars(stmts []Stmt) {
 			if _, ok := c.intSlots[x.Var]; !ok {
 				c.intSlots[x.Var] = len(c.intSlots)
 			}
+			for _, ind := range x.Inds {
+				if _, dup := c.intSlots[ind.Name]; dup {
+					c.fail("duplicate induction register %q", ind.Name)
+				}
+				c.intSlots[ind.Name] = len(c.intSlots)
+			}
 			c.collectLoopVars(x.Body)
 		case *If:
 			c.collectLoopVars(x.Then)
@@ -133,15 +139,37 @@ func (c *compiler) compileStmt(s Stmt) stmtFn {
 	switch x := s.(type) {
 	case *Loop:
 		slot := c.intSlots[x.Var]
-		body := c.compileStmts(x.Body)
 		from, to, step := x.From, x.To, x.Step
 		if step == 0 {
 			c.fail("loop over %q has zero step", x.Var)
 		}
-		if x.Parallel {
-			trip := tripCount(from, to, step)
-			if trip >= minParallelTrip && trip*estimateWork(x.Body) >= minParallelWork {
-				return compileParallelLoop(slot, from, step, trip, body)
+		trip := tripCount(from, to, step)
+		inds := make([]cInd, len(x.Inds))
+		for i, ind := range x.Inds {
+			inds[i] = cInd{slot: c.intSlots[ind.Name], init: c.compileInt(ind.Init), step: ind.Step}
+		}
+		if x.Parallel && trip >= minParallelTrip &&
+			satMul(trip, estimateWork(x.Body)) >= minParallelWork {
+			body := c.compileStmts(x.Body)
+			return compileParallelLoop(slot, from, step, trip, inds, body)
+		}
+		if fn := c.compileFastLoop(x, slot, inds); fn != nil {
+			return fn
+		}
+		body := c.compileStmts(x.Body)
+		if len(inds) > 0 {
+			return func(f *frame) {
+				for i := range inds {
+					f.ints[inds[i].slot] = inds[i].init(f)
+				}
+				for v, n := from, trip; n > 0; n-- {
+					f.ints[slot] = v
+					runAll(body, f)
+					v += step
+					for i := range inds {
+						f.ints[inds[i].slot] += inds[i].step
+					}
+				}
 			}
 		}
 		if step > 0 {
@@ -228,12 +256,17 @@ func (c *compiler) arraySlot(name string) int {
 }
 
 // compileOffset builds the linear-offset computation for an array
-// access: checked (range test) or raw row-major arithmetic.
-func (c *compiler) compileOffset(arrName string, subs []IntExpr, checked bool) (int, intFn) {
+// access: checked (range test), strength-reduced (the optimizer's
+// precomputed linear offset over induction registers), or raw
+// row-major arithmetic.
+func (c *compiler) compileOffset(arrName string, subs []IntExpr, off IntExpr, checked bool) (int, intFn) {
 	slot := c.arraySlot(arrName)
 	b := c.prog.Arrays[slot].B
 	if len(subs) != b.Rank() {
 		c.fail("array %q: %d subscripts for rank %d", arrName, len(subs), b.Rank())
+	}
+	if off != nil && !checked {
+		return slot, c.compileInt(off)
 	}
 	subFns := make([]intFn, len(subs))
 	for i, s := range subs {
@@ -274,7 +307,7 @@ func (c *compiler) compileOffset(arrName string, subs []IntExpr, checked bool) (
 }
 
 func (c *compiler) compileAssign(x *Assign) stmtFn {
-	slot, offFn := c.compileOffset(x.Array, x.Subs, x.CheckBounds)
+	slot, offFn := c.compileOffset(x.Array, x.Subs, x.Off, x.CheckBounds)
 	decl := c.prog.Arrays[slot]
 	if decl.Role == RoleIn {
 		c.fail("assignment to input array %q", x.Array)
@@ -423,7 +456,7 @@ func (c *compiler) compileFloat(e VExpr) floatFn {
 		}
 		return func(f *frame) float64 { return f.floats[slot] }
 	case *ARef:
-		slot, offFn := c.compileOffset(x.Array, x.Subs, x.CheckBounds)
+		slot, offFn := c.compileOffset(x.Array, x.Subs, x.Off, x.CheckBounds)
 		if x.CheckDefined {
 			if !c.prog.Arrays[slot].TrackDefs {
 				c.fail("CheckDefined read of %q requires TrackDefs", x.Array)

@@ -1,0 +1,84 @@
+package loopir
+
+// Interpreter specialization for strength-reduced loops. Most of the
+// win from strength reduction comes from the generic closure path
+// itself: an offset-form access (Assign.Off / ARef.Off) compiles to a
+// single register load plus constant add instead of re-evaluating the
+// subscript polynomial, which is what makes stencil reads and writes
+// at constant deltas cheap (see compileOffset). One shape deserves
+// more: a loop whose whole body is `dst@{r1} := src@{r2}` with both
+// registers advancing by one is a unit-stride row copy, and lowering
+// it to builtin copy turns the per-element interpreter loop into a
+// single memmove. That shape is exactly what node splitting's row
+// buffering produces (Jacobi's `rowbuf[j] := a[i-1,j]` pass).
+//
+// An earlier revision compiled arbitrary straight-line bodies to
+// postfix tapes run by a small stack VM; measurement showed the
+// dispatch overhead made it strictly slower than the closure tree on
+// every workload, so only the copy specialization survives.
+
+// compileFastLoop recognizes the unit-stride copy shape and returns a
+// specialized executor, or nil when the loop needs the generic path.
+// inds are the loop's compiled induction registers, in x.Inds order.
+func (c *compiler) compileFastLoop(x *Loop, slot int, inds []cInd) stmtFn {
+	if len(x.Body) != 1 {
+		return nil
+	}
+	a, ok := x.Body[0].(*Assign)
+	if !ok || a.CheckBounds || a.CheckCollision || a.Accumulate != nil || a.Off == nil {
+		return nil
+	}
+	src, ok := a.Rhs.(*ARef)
+	if !ok || src.CheckBounds || src.CheckDefined || src.Off == nil || src.Array == a.Array {
+		return nil
+	}
+	dstSlot, ok := c.arraySlots[a.Array]
+	if !ok {
+		return nil
+	}
+	srcSlot, ok := c.arraySlots[src.Array]
+	if !ok {
+		return nil
+	}
+	// Definedness tracking needs the per-element path.
+	if c.prog.Arrays[dstSlot].TrackDefs {
+		return nil
+	}
+	dInit, dOff, ok := unitStrideOff(x, inds, a.Off)
+	if !ok {
+		return nil
+	}
+	sInit, sOff, ok := unitStrideOff(x, inds, src.Off)
+	if !ok {
+		return nil
+	}
+	trip := tripCount(x.From, x.To, x.Step)
+	if trip <= 0 {
+		return nil
+	}
+	return func(f *frame) {
+		do := dInit(f) + dOff
+		so := sInit(f) + sOff
+		copy(f.arrays[dstSlot].Data[do:do+trip], f.arrays[srcSlot].Data[so:so+trip])
+	}
+}
+
+// unitStrideOff matches an offset expression of the form
+// const + 1·reg where reg is one of the loop's induction registers
+// advancing by exactly one per iteration, returning the register's
+// compiled init and the constant.
+func unitStrideOff(x *Loop, inds []cInd, off IntExpr) (init intFn, d int64, ok bool) {
+	lin, isLin := off.(*ILin)
+	if !isLin || len(lin.Terms) != 1 || lin.Terms[0].Coeff != 1 {
+		return nil, 0, false
+	}
+	for i, ind := range x.Inds {
+		if ind.Name == lin.Terms[0].Var {
+			if ind.Step != 1 {
+				return nil, 0, false
+			}
+			return inds[i].init, lin.Const, true
+		}
+	}
+	return nil, 0, false
+}

@@ -101,7 +101,23 @@ type Loop struct {
 	// the body touches no shared mutable state besides disjoint array
 	// elements.
 	Parallel bool
-	Body     []Stmt
+	// Inds are induction registers introduced by the optimizer's
+	// strength-reduction pass: each is set to Init at loop entry and
+	// advanced by Step after every iteration, incrementally maintaining
+	// the row-major offset of the affine accesses that reference it
+	// (via Assign.Off / ARef.Off).
+	Inds []Ind
+	Body []Stmt
+}
+
+// Ind is one induction register of a strength-reduced loop. Init is an
+// integer expression over the enclosing loop variables (the "row base"
+// for inner loops of multi-dimensional nests), evaluated once per loop
+// entry; Step is the constant per-iteration advance.
+type Ind struct {
+	Name string
+	Init IntExpr
+	Step int64
 }
 
 // If executes Then or Else depending on Cond.
@@ -126,6 +142,12 @@ type Assign struct {
 	// Accumulate, when non-nil, folds Rhs into the element with this
 	// combining function instead of storing it (accumArray).
 	Accumulate runtime.CombineFunc
+	// Off, when non-nil, is the strength-reduced row-major offset of the
+	// store — an affine form over induction registers (Loop.Inds) that
+	// replaces the per-element subscript flattening. Only ever set by
+	// the optimizer on accesses with CheckBounds == false; Subs are
+	// retained for diagnostics and dependence reasoning.
+	Off IntExpr
 }
 
 // SetScalar assigns a float scalar temporary.
@@ -225,6 +247,9 @@ type ARef struct {
 	Subs         []IntExpr
 	CheckBounds  bool
 	CheckDefined bool
+	// Off mirrors Assign.Off: the strength-reduced linear offset of the
+	// read, set by the optimizer only when CheckBounds is false.
+	Off IntExpr
 }
 
 // VBin is a float binary operation.

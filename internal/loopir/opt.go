@@ -1,0 +1,1417 @@
+package loopir
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// The loop-IR optimizer: rewrites a lowered Program in place, between
+// codegen lowering and compilation/emission. Four passes, applied
+// bottom-up per nesting level:
+//
+//  1. dead-loop elimination — zero-trip and empty loops are deleted;
+//  2. loop fusion — adjacent loops with identical headers merge into
+//     one pass when a conservative per-dimension dependence test over
+//     the (fully concrete) iteration spaces proves the interleaved
+//     order preserves every cross-body dependence;
+//  3. invariant hoisting — whole-loop unswitching of invariant guards
+//     (including splitting invariant conjuncts off a BAnd), hoisting of
+//     invariant scalar bindings, and extraction of maximal invariant
+//     float subexpressions into fresh scalars computed once before the
+//     loop;
+//  4. strength reduction — every unchecked affine access has its
+//     row-major offset polynomial flattened to Const + Σ Coeff·var and
+//     replaced by an induction register (Loop.Inds) initialized at
+//     loop entry (the precomputed "row base" for inner loops of 2-D
+//     nests) and advanced by a constant stride per iteration; accesses
+//     whose offsets differ only by a constant share one register.
+//
+// Everything here is licensed by properties the earlier phases already
+// established: loop bounds, strides and subscript coefficients are
+// concrete integers (compilation is per parameter binding), so legality
+// reduces to integer interval/divisibility arithmetic — no symbolic
+// dependence machinery is needed at this level. The optimizer never
+// touches bounds-checked accesses (those keep the subscript path so
+// error messages still report source-level subscripts).
+
+// OptStats reports what the optimizer did, for plan notes and tests.
+type OptStats struct {
+	DeadLoops       int // zero-trip or emptied loops removed
+	FusedLoops      int // adjacent loop pairs merged
+	Unswitched      int // loops whose invariant guard moved outside
+	HoistedScalars  int // invariant scalar bindings moved before a loop
+	HoistedExprs    int // invariant subexpressions extracted to scalars
+	ReducedAccesses int // accesses rewritten to offset form
+	IndRegisters    int // induction registers introduced
+}
+
+// Changed reports whether any rewrite fired.
+func (s *OptStats) Changed() bool {
+	return s.DeadLoops+s.FusedLoops+s.Unswitched+s.HoistedScalars+
+		s.HoistedExprs+s.ReducedAccesses+s.IndRegisters > 0
+}
+
+// String summarizes the non-zero counters.
+func (s *OptStats) String() string {
+	var parts []string
+	add := func(n int, what string) {
+		if n > 0 {
+			parts = append(parts, fmt.Sprintf("%d %s", n, what))
+		}
+	}
+	add(s.DeadLoops, "dead loops removed")
+	add(s.FusedLoops, "loops fused")
+	add(s.Unswitched, "loops unswitched")
+	add(s.HoistedScalars, "scalar bindings hoisted")
+	add(s.HoistedExprs, "invariant exprs hoisted")
+	add(s.ReducedAccesses, "accesses strength-reduced")
+	add(s.IndRegisters, "induction registers")
+	if len(parts) == 0 {
+		return "no rewrites applied"
+	}
+	return strings.Join(parts, ", ")
+}
+
+// Optimize rewrites the program in place and reports what it did.
+func Optimize(p *Program) *OptStats {
+	o := &optimizer{prog: p, stats: &OptStats{}, names: map[string]bool{}}
+	for _, s := range p.Scalars {
+		o.names[s] = true
+	}
+	p.Stmts = o.optStmts(p.Stmts, map[string]loopRange{})
+	return o.stats
+}
+
+type optimizer struct {
+	prog   *Program
+	stats  *OptStats
+	names  map[string]bool // taken scalar/register names
+	indSeq int
+	hSeq   int
+}
+
+// loopRange is a concrete iteration range: the loop variable visits
+// from, from+step, … and stays within [min(from,last), max(from,last)].
+type loopRange struct{ from, to, step int64 }
+
+func (r loopRange) trip() int64 { return tripCount(r.from, r.to, r.step) }
+
+// valueBounds returns the smallest/largest value the variable takes.
+func (r loopRange) valueBounds() (lo, hi int64) {
+	last := r.from + (r.trip()-1)*r.step
+	if r.step > 0 {
+		return r.from, last
+	}
+	return last, r.from
+}
+
+func copyEnv(env map[string]loopRange) map[string]loopRange {
+	out := make(map[string]loopRange, len(env)+1)
+	for k, v := range env {
+		out[k] = v
+	}
+	return out
+}
+
+// optStmts optimizes one nesting level: children first (so inner loops
+// are fully optimized before their parents are examined), then hoisting
+// and unswitching per loop, then fusion of adjacent loops, and finally
+// strength reduction of each loop's direct body.
+func (o *optimizer) optStmts(list []Stmt, env map[string]loopRange) []Stmt {
+	var out []Stmt
+	for _, s := range list {
+		switch x := s.(type) {
+		case *Loop:
+			if tripCount(x.From, x.To, x.Step) == 0 {
+				o.stats.DeadLoops++
+				continue
+			}
+			inner := copyEnv(env)
+			inner[x.Var] = loopRange{x.From, x.To, x.Step}
+			x.Body = o.optStmts(x.Body, inner)
+			if len(x.Body) == 0 {
+				o.stats.DeadLoops++
+				continue
+			}
+			pre, repl := o.hoistFromLoop(x, env)
+			out = append(out, pre...)
+			out = append(out, repl...)
+		case *If:
+			x.Then = o.optStmts(x.Then, env)
+			x.Else = o.optStmts(x.Else, env)
+			out = append(out, x)
+		default:
+			out = append(out, s)
+		}
+	}
+	out = o.fuseAdjacent(out, env)
+	for _, s := range out {
+		o.reduceIn(s, env)
+	}
+	return out
+}
+
+// reduceIn strength-reduces loops at this level, including loops that
+// unswitching just wrapped in an If. It does not descend into loop
+// bodies — nested loops were reduced while their own level was
+// processed (Off-bearing accesses are skipped anyway, so a second visit
+// is a no-op).
+func (o *optimizer) reduceIn(s Stmt, env map[string]loopRange) {
+	switch x := s.(type) {
+	case *Loop:
+		o.strengthReduce(x, env)
+	case *If:
+		for _, t := range x.Then {
+			o.reduceIn(t, env)
+		}
+		for _, t := range x.Else {
+			o.reduceIn(t, env)
+		}
+	}
+}
+
+// fresh returns an unused name with the given prefix and registers it.
+func (o *optimizer) fresh(prefix string, seq *int) string {
+	for {
+		*seq++
+		name := fmt.Sprintf("%s$%d", prefix, *seq)
+		if !o.names[name] {
+			o.names[name] = true
+			return name
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Linear forms and expression walks
+// ---------------------------------------------------------------------------
+
+// linForm is an affine integer form: c + Σ t[var]·var.
+type linForm struct {
+	c int64
+	t map[string]int64
+}
+
+func (f *linForm) clone() *linForm {
+	out := &linForm{c: f.c, t: make(map[string]int64, len(f.t))}
+	for k, v := range f.t {
+		out.t[k] = v
+	}
+	return out
+}
+
+func (f *linForm) addTerm(name string, coeff int64) {
+	if coeff == 0 {
+		return
+	}
+	f.t[name] += coeff
+	if f.t[name] == 0 {
+		delete(f.t, name)
+	}
+}
+
+// scale multiplies the form by a constant.
+func (f *linForm) scale(k int64) {
+	f.c *= k
+	for name := range f.t {
+		f.t[name] *= k
+		if f.t[name] == 0 {
+			delete(f.t, name)
+		}
+	}
+}
+
+// vars returns the form's variables in sorted order.
+func (f *linForm) vars() []string {
+	out := make([]string, 0, len(f.t))
+	for name := range f.t {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// intLin converts an integer expression to a linear form, or nil when
+// the expression is not affine (division, modulus, variable products).
+func intLin(e IntExpr) *linForm {
+	switch x := e.(type) {
+	case *IConst:
+		return &linForm{c: x.Value, t: map[string]int64{}}
+	case *IVar:
+		return &linForm{t: map[string]int64{x.Name: 1}}
+	case *ILin:
+		f := &linForm{c: x.Const, t: map[string]int64{}}
+		for _, t := range x.Terms {
+			f.addTerm(t.Var, t.Coeff)
+		}
+		return f
+	case *IBin:
+		l := intLin(x.L)
+		r := intLin(x.R)
+		if l == nil || r == nil {
+			return nil
+		}
+		switch x.Op {
+		case '+':
+			l.c += r.c
+			for name, c := range r.t {
+				l.addTerm(name, c)
+			}
+			return l
+		case '-':
+			l.c -= r.c
+			for name, c := range r.t {
+				l.addTerm(name, -c)
+			}
+			return l
+		case '*':
+			if len(r.t) == 0 {
+				l.scale(r.c)
+				return l
+			}
+			if len(l.t) == 0 {
+				r.scale(l.c)
+				return r
+			}
+		}
+		return nil
+	}
+	return nil
+}
+
+// toILin renders a linear form back to an IntExpr with sorted terms.
+func (f *linForm) toILin() IntExpr {
+	lin := &ILin{Const: f.c}
+	for _, name := range f.vars() {
+		lin.Terms = append(lin.Terms, ITerm{Var: name, Coeff: f.t[name]})
+	}
+	return lin
+}
+
+// intVars adds every variable mentioned by an integer expression.
+func intVars(e IntExpr, out map[string]bool) {
+	switch x := e.(type) {
+	case *IVar:
+		out[x.Name] = true
+	case *ILin:
+		for _, t := range x.Terms {
+			out[t.Var] = true
+		}
+	case *IBin:
+		intVars(x.L, out)
+		intVars(x.R, out)
+	}
+}
+
+// intHasDiv reports whether evaluating the expression can fail
+// (integer division or modulus by zero).
+func intHasDiv(e IntExpr) bool {
+	if x, ok := e.(*IBin); ok {
+		if x.Op == '/' || x.Op == '%' {
+			return true
+		}
+		return intHasDiv(x.L) || intHasDiv(x.R)
+	}
+	return false
+}
+
+// exprInfo accumulates what a float expression touches.
+type exprInfo struct {
+	vars       map[string]bool // integer variables read
+	scalars    map[string]bool // float scalars read
+	arrays     map[string]bool // arrays read
+	anyChecked bool            // contains a bounds- or defined-checked read
+}
+
+func newExprInfo() *exprInfo {
+	return &exprInfo{vars: map[string]bool{}, scalars: map[string]bool{}, arrays: map[string]bool{}}
+}
+
+func (in *exprInfo) walkV(e VExpr) {
+	switch x := e.(type) {
+	case *VConst:
+	case *VFromInt:
+		intVars(x.X, in.vars)
+	case *VScalar:
+		in.scalars[x.Name] = true
+	case *ARef:
+		in.arrays[x.Array] = true
+		if x.CheckBounds || x.CheckDefined {
+			in.anyChecked = true
+		}
+		for _, s := range x.Subs {
+			intVars(s, in.vars)
+		}
+		if x.Off != nil {
+			intVars(x.Off, in.vars)
+		}
+	case *VBin:
+		in.walkV(x.L)
+		in.walkV(x.R)
+	case *VNeg:
+		in.walkV(x.X)
+	case *VCall:
+		for _, a := range x.Args {
+			in.walkV(a)
+		}
+	case *VCond:
+		in.walkB(x.C)
+		in.walkV(x.T)
+		in.walkV(x.E)
+	}
+}
+
+func (in *exprInfo) walkB(e BExpr) {
+	switch x := e.(type) {
+	case *BCmpInt:
+		intVars(x.L, in.vars)
+		intVars(x.R, in.vars)
+	case *BCmpFloat:
+		in.walkV(x.L)
+		in.walkV(x.R)
+	case *BAnd:
+		in.walkB(x.L)
+		in.walkB(x.R)
+	case *BOr:
+		in.walkB(x.L)
+		in.walkB(x.R)
+	case *BNot:
+		in.walkB(x.X)
+	}
+}
+
+// stmtEffects summarizes a statement list's writes and bindings.
+type stmtEffects struct {
+	arraysWritten  map[string]bool
+	scalarsWritten map[string]bool
+	boundVars      map[string]bool
+}
+
+func collectEffects(stmts []Stmt, eff *stmtEffects) {
+	for _, s := range stmts {
+		switch x := s.(type) {
+		case *Loop:
+			eff.boundVars[x.Var] = true
+			for _, ind := range x.Inds {
+				eff.boundVars[ind.Name] = true
+			}
+			collectEffects(x.Body, eff)
+		case *If:
+			collectEffects(x.Then, eff)
+			collectEffects(x.Else, eff)
+		case *Assign:
+			eff.arraysWritten[x.Array] = true
+		case *SetScalar:
+			eff.scalarsWritten[x.Name] = true
+		case *CopyArray:
+			eff.arraysWritten[x.Dst] = true
+		case *Fill:
+			eff.arraysWritten[x.Array] = true
+		case *CheckFull, *Fail:
+		}
+	}
+}
+
+// mentionsScalar reports whether the statement list reads or writes the
+// scalar anywhere.
+func mentionsScalar(stmts []Stmt, name string) bool {
+	found := false
+	var inExpr func(e VExpr)
+	inExpr = func(e VExpr) {
+		if found {
+			return
+		}
+		info := newExprInfo()
+		info.walkV(e)
+		if info.scalars[name] {
+			found = true
+		}
+	}
+	var walk func(list []Stmt)
+	walk = func(list []Stmt) {
+		for _, s := range list {
+			if found {
+				return
+			}
+			switch x := s.(type) {
+			case *Loop:
+				walk(x.Body)
+			case *If:
+				info := newExprInfo()
+				info.walkB(x.Cond)
+				if info.scalars[name] {
+					found = true
+					return
+				}
+				walk(x.Then)
+				walk(x.Else)
+			case *Assign:
+				inExpr(x.Rhs)
+			case *SetScalar:
+				if x.Name == name {
+					found = true
+					return
+				}
+				inExpr(x.Rhs)
+			}
+		}
+	}
+	walk(stmts)
+	return found
+}
+
+// ---------------------------------------------------------------------------
+// Pass: invariant hoisting and unswitching
+// ---------------------------------------------------------------------------
+
+// hoistFromLoop lifts loop-invariant work out of L. It returns the
+// statements to run once before the loop plus the replacement for the
+// loop itself (an If wrapping it after unswitching, or the loop
+// unchanged). The loop's trip count is known ≥ 1 here (zero-trip loops
+// were deleted), which is what makes moving iteration-1 work before the
+// loop header sound.
+func (o *optimizer) hoistFromLoop(L *Loop, env map[string]loopRange) (pre []Stmt, out []Stmt) {
+	eff := &stmtEffects{
+		arraysWritten:  map[string]bool{},
+		scalarsWritten: map[string]bool{},
+		boundVars:      map[string]bool{L.Var: true},
+	}
+	collectEffects(L.Body, eff)
+
+	// Invariant scalar bindings: a SetScalar whose right-hand side only
+	// reads state the loop never writes computes the same value every
+	// iteration; move it before the loop when no earlier statement in
+	// the body could observe the scalar's pre-loop value.
+	var kept []Stmt
+	prefixMentions := func(name string) bool {
+		return mentionsScalar(kept, name)
+	}
+	writesOf := func(name string) int {
+		n := 0
+		var count func(list []Stmt)
+		count = func(list []Stmt) {
+			for _, s := range list {
+				switch x := s.(type) {
+				case *Loop:
+					count(x.Body)
+				case *If:
+					count(x.Then)
+					count(x.Else)
+				case *SetScalar:
+					if x.Name == name {
+						n++
+					}
+				}
+			}
+		}
+		count(L.Body)
+		return n
+	}
+	for _, s := range L.Body {
+		ss, isSet := s.(*SetScalar)
+		if !isSet || !o.exprInvariant(ss.Rhs, eff) || writesOf(ss.Name) != 1 || prefixMentions(ss.Name) {
+			kept = append(kept, s)
+			continue
+		}
+		pre = append(pre, ss)
+		o.stats.HoistedScalars++
+	}
+	L.Body = kept
+
+	// Maximal invariant subexpressions of unconditionally executed
+	// right-hand sides become fresh scalars bound once before the loop.
+	for _, s := range L.Body {
+		switch x := s.(type) {
+		case *Assign:
+			x.Rhs = o.hoistSubexprs(x.Rhs, eff, &pre)
+		case *SetScalar:
+			x.Rhs = o.hoistSubexprs(x.Rhs, eff, &pre)
+		}
+	}
+
+	out = []Stmt{L}
+	if repl := o.unswitch(L, eff); repl != nil {
+		out = []Stmt{repl}
+	}
+	return pre, out
+}
+
+// exprInvariant reports whether the float expression is loop-invariant:
+// it mentions no variable bound by the loop and reads no array or
+// scalar the loop writes.
+func (o *optimizer) exprInvariant(e VExpr, eff *stmtEffects) bool {
+	info := newExprInfo()
+	info.walkV(e)
+	for v := range info.vars {
+		if eff.boundVars[v] {
+			return false
+		}
+	}
+	for s := range info.scalars {
+		if eff.scalarsWritten[s] {
+			return false
+		}
+	}
+	for a := range info.arrays {
+		if eff.arraysWritten[a] {
+			return false
+		}
+	}
+	return true
+}
+
+// hoistSubexprs replaces maximal invariant non-trivial subexpressions
+// of e with fresh scalars, appending their bindings to *pre. Only
+// unconditionally evaluated positions are rewritten (VCond branches are
+// left alone — hoisting them could evaluate an expression the original
+// program never ran).
+func (o *optimizer) hoistSubexprs(e VExpr, eff *stmtEffects, pre *[]Stmt) VExpr {
+	switch e.(type) {
+	case *VBin, *VNeg, *VCall:
+		if o.exprInvariant(e, eff) {
+			name := o.fresh("h", &o.hSeq)
+			o.prog.Scalars = append(o.prog.Scalars, name)
+			*pre = append(*pre, &SetScalar{Name: name, Rhs: e})
+			o.stats.HoistedExprs++
+			return &VScalar{Name: name}
+		}
+	}
+	switch x := e.(type) {
+	case *VBin:
+		x.L = o.hoistSubexprs(x.L, eff, pre)
+		x.R = o.hoistSubexprs(x.R, eff, pre)
+	case *VNeg:
+		x.X = o.hoistSubexprs(x.X, eff, pre)
+	case *VCall:
+		for i, a := range x.Args {
+			x.Args[i] = o.hoistSubexprs(a, eff, pre)
+		}
+	}
+	return e
+}
+
+// boolInvariant reports whether the condition is invariant in the
+// loop: no variable bound by the loop, and no read of an array or
+// scalar the loop writes (float comparisons go through exprInvariant
+// for that check).
+func (o *optimizer) boolInvariant(e BExpr, eff *stmtEffects) bool {
+	switch x := e.(type) {
+	case *BConst:
+		return true
+	case *BCmpInt:
+		vars := map[string]bool{}
+		intVars(x.L, vars)
+		intVars(x.R, vars)
+		for v := range vars {
+			if eff.boundVars[v] {
+				return false
+			}
+		}
+		return true
+	case *BCmpFloat:
+		return o.exprInvariant(x.L, eff) && o.exprInvariant(x.R, eff)
+	case *BAnd:
+		return o.boolInvariant(x.L, eff) && o.boolInvariant(x.R, eff)
+	case *BOr:
+		return o.boolInvariant(x.L, eff) && o.boolInvariant(x.R, eff)
+	case *BNot:
+		return o.boolInvariant(x.X, eff)
+	}
+	return false
+}
+
+// boolCanFail reports whether evaluating the condition can raise a
+// runtime error: integer division/modulus by zero, or a bounds- or
+// definedness-checked array read. Float division is total (IEEE).
+func boolCanFail(e BExpr) bool {
+	switch x := e.(type) {
+	case *BCmpInt:
+		return intHasDiv(x.L) || intHasDiv(x.R)
+	case *BCmpFloat:
+		return vexprCanFail(x.L) || vexprCanFail(x.R)
+	case *BAnd:
+		return boolCanFail(x.L) || boolCanFail(x.R)
+	case *BOr:
+		return boolCanFail(x.L) || boolCanFail(x.R)
+	case *BNot:
+		return boolCanFail(x.X)
+	}
+	return false
+}
+
+// vexprCanFail reports whether evaluating the float expression can
+// raise a runtime error (an embedded integer division, or a checked
+// array read whose check could fire).
+func vexprCanFail(e VExpr) bool {
+	switch x := e.(type) {
+	case *VFromInt:
+		return intHasDiv(x.X)
+	case *ARef:
+		if x.CheckBounds || x.CheckDefined {
+			return true
+		}
+		for _, s := range x.Subs {
+			if intHasDiv(s) {
+				return true
+			}
+		}
+		return x.Off != nil && intHasDiv(x.Off)
+	case *VBin:
+		return vexprCanFail(x.L) || vexprCanFail(x.R)
+	case *VNeg:
+		return vexprCanFail(x.X)
+	case *VCall:
+		for _, a := range x.Args {
+			if vexprCanFail(a) {
+				return true
+			}
+		}
+	case *VCond:
+		return boolCanFail(x.C) || vexprCanFail(x.T) || vexprCanFail(x.E)
+	}
+	return false
+}
+
+// unswitch moves an invariant guard out of a loop whose body is a
+// single If. Three shapes:
+//
+//	do v { if inv then T else E }   ⇒  if inv then do v {T} else do v {E}
+//	do v { if inv then T }          ⇒  if inv then do v {T}
+//	do v { if inv && var then T }   ⇒  if inv then do v { if var then T }
+//
+// The whole-condition forms are sound even when the condition can fail
+// (divide by zero): the If is the body's only statement, so iteration 1
+// would have evaluated the condition first anyway, and trip ≥ 1. The
+// conjunct-splitting form additionally requires the hoisted conjuncts
+// to be total, because && short-circuits: the original loop might never
+// have evaluated them.
+func (o *optimizer) unswitch(L *Loop, eff *stmtEffects) Stmt {
+	if len(L.Body) != 1 {
+		return nil
+	}
+	fi, ok := L.Body[0].(*If)
+	if !ok {
+		return nil
+	}
+	if o.boolInvariant(fi.Cond, eff) {
+		o.stats.Unswitched++
+		if len(fi.Else) == 0 {
+			L.Body = fi.Then
+			return &If{Cond: fi.Cond, Then: []Stmt{L}}
+		}
+		elseLoop := &Loop{Var: L.Var, From: L.From, To: L.To, Step: L.Step, Parallel: L.Parallel, Body: fi.Else}
+		L.Body = fi.Then
+		return &If{Cond: fi.Cond, Then: []Stmt{L}, Else: []Stmt{elseLoop}}
+	}
+	if len(fi.Else) != 0 {
+		return nil
+	}
+	// Split invariant conjuncts off a conjunction guard.
+	conj := flattenAnd(fi.Cond)
+	var inv, variant []BExpr
+	for _, c := range conj {
+		if o.boolInvariant(c, eff) && !boolCanFail(c) {
+			inv = append(inv, c)
+		} else {
+			variant = append(variant, c)
+		}
+	}
+	if len(inv) == 0 || len(variant) == 0 {
+		return nil
+	}
+	o.stats.Unswitched++
+	fi.Cond = andAll(variant)
+	return &If{Cond: andAll(inv), Then: []Stmt{L}}
+}
+
+func flattenAnd(e BExpr) []BExpr {
+	if x, ok := e.(*BAnd); ok {
+		return append(flattenAnd(x.L), flattenAnd(x.R)...)
+	}
+	return []BExpr{e}
+}
+
+func andAll(cs []BExpr) BExpr {
+	e := cs[0]
+	for _, c := range cs[1:] {
+		e = &BAnd{L: e, R: c}
+	}
+	return e
+}
+
+// ---------------------------------------------------------------------------
+// Pass: loop fusion
+// ---------------------------------------------------------------------------
+
+// fuseAdjacent merges runs of adjacent loops with identical headers
+// when the dependence test permits.
+func (o *optimizer) fuseAdjacent(list []Stmt, env map[string]loopRange) []Stmt {
+	var out []Stmt
+	for _, s := range list {
+		cur, isLoop := s.(*Loop)
+		if isLoop && len(out) > 0 {
+			if prev, ok := out[len(out)-1].(*Loop); ok {
+				if fused := o.fuse(prev, cur, env); fused != nil {
+					out[len(out)-1] = fused
+					o.stats.FusedLoops++
+					continue
+				}
+			}
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// fuse merges l2 into l1 when both run the same iteration space in the
+// same direction and interleaving the bodies preserves every cross-body
+// dependence. Returns nil when fusion is not provably legal.
+//
+// Legality: the original order runs all of l1 before any of l2, so a
+// dependence from l2's instance at v₂ to l1's instance at v₁ is
+// preserved by fusion only when v₁ does not come after v₂ in iteration
+// order. For each conflicting access pair the test below either proves
+// the instances never touch the same element (interval disjointness or
+// non-divisible distance over the concrete ranges) or pins the distance
+// v₁−v₂ to a constant d and requires d·sign(step) ≤ 0 — i.e. the l1
+// instance writing/reading the shared element runs no later than the l2
+// instance, exactly as in the unfused order.
+func (o *optimizer) fuse(l1, l2 *Loop, env map[string]loopRange) *Loop {
+	if l1.From != l2.From || l1.To != l2.To || l1.Step != l2.Step {
+		return nil // different ranges or directions
+	}
+	if len(l1.Inds) > 0 || len(l2.Inds) > 0 {
+		return nil // already strength-reduced (not at this level; be safe)
+	}
+	body2 := l2.Body
+	if l2.Var != l1.Var {
+		if stmtsMentionVar(body2, l1.Var) {
+			return nil // renaming would capture
+		}
+		body2 = renameVar(body2, l2.Var, l1.Var)
+	}
+	r := loopRange{l1.From, l1.To, l1.Step}
+	a1 := collectAccesses(l1.Body)
+	a2 := collectAccesses(body2)
+	if a1.barrier || a2.barrier {
+		return nil
+	}
+	// Scalar temporaries are loop-local pipelines; sharing any between
+	// the bodies (in any read/write combination) is a dependence we do
+	// not analyze — reject.
+	for s := range a1.scalarW {
+		if a2.scalarR[s] || a2.scalarW[s] {
+			return nil
+		}
+	}
+	for s := range a1.scalarR {
+		if a2.scalarW[s] {
+			return nil
+		}
+	}
+	sameIterOnly := true
+	for i := range a1.arr {
+		for j := range a2.arr {
+			safe, carried := pairSafe(&a1.arr[i], &a2.arr[j], l1.Var, r, env)
+			if !safe {
+				return nil
+			}
+			if carried {
+				sameIterOnly = false
+			}
+		}
+	}
+	return &Loop{
+		Var:  l1.Var,
+		From: l1.From, To: l1.To, Step: l1.Step,
+		Parallel: l1.Parallel && l2.Parallel && sameIterOnly,
+		Body:     append(l1.Body, body2...),
+	}
+}
+
+// access is one array touch with per-dimension affine subscript forms
+// (nil entries are non-affine) and the ranges of variables bound inside
+// the body it came from (those vary independently between the two
+// bodies; everything else is shared).
+type access struct {
+	array string
+	subs  []*linForm
+	write bool
+	whole bool // Fill/CopyArray: touches every element
+	inner map[string]loopRange
+}
+
+type accessSet struct {
+	arr              []access
+	scalarR, scalarW map[string]bool
+	barrier          bool
+}
+
+func collectAccesses(stmts []Stmt) *accessSet {
+	out := &accessSet{scalarR: map[string]bool{}, scalarW: map[string]bool{}}
+	collectAccStmts(stmts, map[string]loopRange{}, out)
+	return out
+}
+
+func collectAccStmts(stmts []Stmt, bound map[string]loopRange, out *accessSet) {
+	addExpr := func(e VExpr) { collectAccExpr(e, bound, out) }
+	for _, s := range stmts {
+		switch x := s.(type) {
+		case *Loop:
+			b := copyEnv(bound)
+			b[x.Var] = loopRange{x.From, x.To, x.Step}
+			collectAccStmts(x.Body, b, out)
+		case *If:
+			collectAccBool(x.Cond, bound, out)
+			collectAccStmts(x.Then, bound, out)
+			collectAccStmts(x.Else, bound, out)
+		case *Assign:
+			out.arr = append(out.arr, makeAccess(x.Array, x.Subs, true, bound))
+			addExpr(x.Rhs)
+		case *SetScalar:
+			out.scalarW[x.Name] = true
+			addExpr(x.Rhs)
+		case *CopyArray:
+			out.arr = append(out.arr,
+				access{array: x.Dst, write: true, whole: true},
+				access{array: x.Src, whole: true})
+		case *Fill:
+			out.arr = append(out.arr, access{array: x.Array, write: true, whole: true})
+		case *CheckFull, *Fail:
+			out.barrier = true
+		}
+	}
+}
+
+func collectAccExpr(e VExpr, bound map[string]loopRange, out *accessSet) {
+	switch x := e.(type) {
+	case *VScalar:
+		out.scalarR[x.Name] = true
+	case *ARef:
+		out.arr = append(out.arr, makeAccess(x.Array, x.Subs, false, bound))
+	case *VBin:
+		collectAccExpr(x.L, bound, out)
+		collectAccExpr(x.R, bound, out)
+	case *VNeg:
+		collectAccExpr(x.X, bound, out)
+	case *VCall:
+		for _, a := range x.Args {
+			collectAccExpr(a, bound, out)
+		}
+	case *VCond:
+		collectAccBool(x.C, bound, out)
+		collectAccExpr(x.T, bound, out)
+		collectAccExpr(x.E, bound, out)
+	}
+}
+
+func collectAccBool(e BExpr, bound map[string]loopRange, out *accessSet) {
+	switch x := e.(type) {
+	case *BCmpFloat:
+		collectAccExpr(x.L, bound, out)
+		collectAccExpr(x.R, bound, out)
+	case *BAnd:
+		collectAccBool(x.L, bound, out)
+		collectAccBool(x.R, bound, out)
+	case *BOr:
+		collectAccBool(x.L, bound, out)
+		collectAccBool(x.R, bound, out)
+	case *BNot:
+		collectAccBool(x.X, bound, out)
+	}
+}
+
+func makeAccess(arr string, subs []IntExpr, write bool, bound map[string]loopRange) access {
+	a := access{array: arr, write: write, inner: copyEnv(bound)}
+	a.subs = make([]*linForm, len(subs))
+	for i, s := range subs {
+		a.subs[i] = intLin(s)
+	}
+	return a
+}
+
+// pairSafe decides whether the cross-body access pair is compatible
+// with fusion over loop variable v with range r. carried reports a
+// proven dependence at distance ≠ 0 (which forbids keeping the fused
+// loop parallel).
+func pairSafe(x1, x2 *access, v string, r loopRange, env map[string]loopRange) (safe, carried bool) {
+	if !x1.write && !x2.write {
+		return true, false
+	}
+	if x1.array != x2.array {
+		return true, false
+	}
+	if x1.whole || x2.whole || len(x1.subs) != len(x2.subs) {
+		return false, false
+	}
+	// Per dimension: either prove the subscripts never coincide, or pin
+	// the iteration distance v1−v2 to a constant.
+	var dist int64
+	haveDist := false
+	for d := range x1.subs {
+		f1, f2 := x1.subs[d], x2.subs[d]
+		if f1 == nil || f2 == nil {
+			continue // non-affine: no information from this dimension
+		}
+		res := dimAnalyze(f1, f2, x1.inner, x2.inner, v, r, env)
+		switch res.kind {
+		case dimDisjoint:
+			return true, false
+		case dimExact:
+			if haveDist && dist != res.d {
+				return true, false // inconsistent constraints: no common element
+			}
+			haveDist, dist = true, res.d
+		}
+	}
+	if !haveDist {
+		return false, false // nothing proven: assume the worst
+	}
+	// dist = v1 − v2 in value space; feasible only at step multiples
+	// within the range span.
+	lo, hi := r.valueBounds()
+	span := hi - lo
+	if dist%r.step != 0 || dist > span || dist < -span {
+		return true, false
+	}
+	iterDist := dist / r.step // t1 − t2 in iteration order
+	if iterDist > 0 {
+		return false, false // l1's instance would now run after l2's
+	}
+	return true, iterDist != 0
+}
+
+type dimResult struct {
+	kind int // dimUnknown, dimDisjoint, dimExact
+	d    int64
+}
+
+const (
+	dimUnknown = iota
+	dimDisjoint
+	dimExact
+)
+
+// dimAnalyze compares the affine subscripts of the two accesses in one
+// dimension. Variables bound inside either body range independently;
+// the fused loop variable v ranges independently on each side (v1, v2);
+// every other variable is an enclosing loop variable holding the same
+// value for both. Returns dimDisjoint when f1 = f2 has no solution over
+// the concrete ranges, dimExact when any solution forces v1 − v2 = d.
+func dimAnalyze(f1, f2 *linForm, in1, in2 map[string]loopRange, v string, r loopRange, env map[string]loopRange) dimResult {
+	// Interval of f1 − f2 and the structural facts needed for an exact
+	// distance: coefficient of v on each side, presence of independent
+	// (inner) terms, non-cancelling shared terms.
+	a1, a2 := f1.t[v], f2.t[v]
+	lo := float64(f1.c - f2.c)
+	hi := lo
+	addRange := func(coeff int64, rng loopRange, known bool) {
+		if coeff == 0 {
+			return
+		}
+		if !known {
+			lo, hi = math.Inf(-1), math.Inf(1)
+			return
+		}
+		vlo, vhi := rng.valueBounds()
+		x1 := float64(coeff) * float64(vlo)
+		x2 := float64(coeff) * float64(vhi)
+		if x1 > x2 {
+			x1, x2 = x2, x1
+		}
+		lo += x1
+		hi += x2
+	}
+	exact := true
+	shared := map[string]int64{}
+	handleSide := func(f *linForm, in map[string]loopRange, sign int64) {
+		for name, coeff := range f.t {
+			if name == v {
+				continue
+			}
+			if rng, isInner := in[name]; isInner {
+				addRange(sign*coeff, rng, true)
+				exact = false // independent term: distance not pinned
+				continue
+			}
+			shared[name] += sign * coeff
+		}
+	}
+	handleSide(f1, in1, 1)
+	handleSide(f2, in2, -1)
+	for name, net := range shared {
+		rng, known := env[name]
+		addRange(net, rng, known)
+		if net != 0 {
+			exact = false
+		}
+	}
+	// v contributions: a1·v1 − a2·v2 with v1, v2 independent over r.
+	addRange(a1, r, true)
+	addRange(-a2, r, true)
+	if lo > 0 || hi < 0 {
+		return dimResult{kind: dimDisjoint}
+	}
+	if exact && a1 == a2 && a1 != 0 {
+		// a·v1 + c1 = a·v2 + c2  ⇒  v1 − v2 = (c2 − c1)/a.
+		num := f2.c - f1.c
+		if num%a1 != 0 {
+			return dimResult{kind: dimDisjoint}
+		}
+		return dimResult{kind: dimExact, d: num / a1}
+	}
+	return dimResult{kind: dimUnknown}
+}
+
+// stmtsMentionVar reports whether the variable name occurs anywhere in
+// the statements (as a binder or in any expression).
+func stmtsMentionVar(stmts []Stmt, name string) bool {
+	found := false
+	check := func(vars map[string]bool) {
+		if vars[name] {
+			found = true
+		}
+	}
+	var walkI func(e IntExpr)
+	walkI = func(e IntExpr) {
+		vars := map[string]bool{}
+		intVars(e, vars)
+		check(vars)
+	}
+	var walkV func(e VExpr)
+	walkV = func(e VExpr) {
+		info := newExprInfo()
+		info.walkV(e)
+		check(info.vars)
+	}
+	var walk func(list []Stmt)
+	walk = func(list []Stmt) {
+		for _, s := range list {
+			if found {
+				return
+			}
+			switch x := s.(type) {
+			case *Loop:
+				if x.Var == name {
+					found = true
+					return
+				}
+				for _, ind := range x.Inds {
+					if ind.Name == name {
+						found = true
+						return
+					}
+					walkI(ind.Init)
+				}
+				walk(x.Body)
+			case *If:
+				info := newExprInfo()
+				info.walkB(x.Cond)
+				check(info.vars)
+				walk(x.Then)
+				walk(x.Else)
+			case *Assign:
+				for _, sub := range x.Subs {
+					walkI(sub)
+				}
+				if x.Off != nil {
+					walkI(x.Off)
+				}
+				walkV(x.Rhs)
+			case *SetScalar:
+				walkV(x.Rhs)
+			}
+		}
+	}
+	walk(stmts)
+	return found
+}
+
+// renameVar returns the statements with every free occurrence of the
+// integer variable from replaced by to. Callers must ensure the
+// statements neither bind from nor mention to.
+func renameVar(stmts []Stmt, from, to string) []Stmt {
+	out := make([]Stmt, len(stmts))
+	for i, s := range stmts {
+		out[i] = renameStmt(s, from, to)
+	}
+	return out
+}
+
+func renameStmt(s Stmt, from, to string) Stmt {
+	switch x := s.(type) {
+	case *Loop:
+		cp := *x
+		cp.Inds = make([]Ind, len(x.Inds))
+		for i, ind := range x.Inds {
+			cp.Inds[i] = Ind{Name: ind.Name, Init: renameInt(ind.Init, from, to), Step: ind.Step}
+		}
+		cp.Body = renameVar(x.Body, from, to)
+		return &cp
+	case *If:
+		cp := *x
+		cp.Cond = renameBool(x.Cond, from, to)
+		cp.Then = renameVar(x.Then, from, to)
+		cp.Else = renameVar(x.Else, from, to)
+		return &cp
+	case *Assign:
+		cp := *x
+		cp.Subs = make([]IntExpr, len(x.Subs))
+		for i, sub := range x.Subs {
+			cp.Subs[i] = renameInt(sub, from, to)
+		}
+		if x.Off != nil {
+			cp.Off = renameInt(x.Off, from, to)
+		}
+		cp.Rhs = renameV(x.Rhs, from, to)
+		return &cp
+	case *SetScalar:
+		cp := *x
+		cp.Rhs = renameV(x.Rhs, from, to)
+		return &cp
+	default:
+		return s
+	}
+}
+
+func renameInt(e IntExpr, from, to string) IntExpr {
+	switch x := e.(type) {
+	case *IVar:
+		if x.Name == from {
+			return &IVar{Name: to}
+		}
+		return x
+	case *ILin:
+		cp := &ILin{Const: x.Const, Terms: make([]ITerm, len(x.Terms))}
+		for i, t := range x.Terms {
+			if t.Var == from {
+				t.Var = to
+			}
+			cp.Terms[i] = t
+		}
+		return cp
+	case *IBin:
+		return &IBin{Op: x.Op, L: renameInt(x.L, from, to), R: renameInt(x.R, from, to)}
+	default:
+		return e
+	}
+}
+
+func renameV(e VExpr, from, to string) VExpr {
+	switch x := e.(type) {
+	case *VFromInt:
+		return &VFromInt{X: renameInt(x.X, from, to)}
+	case *ARef:
+		cp := *x
+		cp.Subs = make([]IntExpr, len(x.Subs))
+		for i, sub := range x.Subs {
+			cp.Subs[i] = renameInt(sub, from, to)
+		}
+		if x.Off != nil {
+			cp.Off = renameInt(x.Off, from, to)
+		}
+		return &cp
+	case *VBin:
+		return &VBin{Op: x.Op, L: renameV(x.L, from, to), R: renameV(x.R, from, to)}
+	case *VNeg:
+		return &VNeg{X: renameV(x.X, from, to)}
+	case *VCall:
+		cp := &VCall{Fn: x.Fn, Args: make([]VExpr, len(x.Args))}
+		for i, a := range x.Args {
+			cp.Args[i] = renameV(a, from, to)
+		}
+		return cp
+	case *VCond:
+		return &VCond{C: renameBool(x.C, from, to), T: renameV(x.T, from, to), E: renameV(x.E, from, to)}
+	default:
+		return e
+	}
+}
+
+func renameBool(e BExpr, from, to string) BExpr {
+	switch x := e.(type) {
+	case *BCmpInt:
+		return &BCmpInt{Op: x.Op, L: renameInt(x.L, from, to), R: renameInt(x.R, from, to)}
+	case *BCmpFloat:
+		return &BCmpFloat{Op: x.Op, L: renameV(x.L, from, to), R: renameV(x.R, from, to)}
+	case *BAnd:
+		return &BAnd{L: renameBool(x.L, from, to), R: renameBool(x.R, from, to)}
+	case *BOr:
+		return &BOr{L: renameBool(x.L, from, to), R: renameBool(x.R, from, to)}
+	case *BNot:
+		return &BNot{X: renameBool(x.X, from, to)}
+	default:
+		return e
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Pass: strength reduction
+// ---------------------------------------------------------------------------
+
+// accessSite is one rewritable array access in a loop's direct body.
+type accessSite struct {
+	form   *linForm // flattened row-major offset
+	setOff func(IntExpr)
+}
+
+// strengthReduce rewrites the affine unchecked accesses of L's direct
+// body (statements not nested in an inner loop) to incrementally
+// maintained offsets. For each distinct variable-coefficient signature
+// it allocates one induction register; accesses differing only in the
+// constant share it through a constant delta. The register's Init is an
+// affine form over enclosing loop variables — for the inner loop of a
+// row-major 2-D nest this is precisely the precomputed row base.
+func (o *optimizer) strengthReduce(L *Loop, env map[string]loopRange) {
+	sites := o.collectSites(L.Body)
+	if len(sites) == 0 {
+		return
+	}
+	type group struct {
+		base *linForm
+		name string
+	}
+	groups := map[string]*group{}
+	var order []string
+	for _, site := range sites {
+		vs := site.form.vars()
+		sigParts := make([]string, len(vs))
+		for i, name := range vs {
+			sigParts[i] = fmt.Sprintf("%s*%d", name, site.form.t[name])
+		}
+		sig := strings.Join(sigParts, "|")
+		if len(vs) == 0 {
+			// Fully constant offset: no register needed.
+			site.setOff(&ILin{Const: site.form.c})
+			o.stats.ReducedAccesses++
+			continue
+		}
+		g := groups[sig]
+		if g == nil {
+			g = &group{base: site.form}
+			groups[sig] = g
+			order = append(order, sig)
+		}
+		delta := site.form.c - g.base.c
+		if g.name == "" {
+			g.name = o.fresh("o", &o.indSeq)
+		}
+		off := &ILin{Const: delta, Terms: []ITerm{{Var: g.name, Coeff: 1}}}
+		site.setOff(off)
+		o.stats.ReducedAccesses++
+	}
+	for _, sig := range order {
+		g := groups[sig]
+		a := g.base.t[L.Var]
+		init := g.base.clone()
+		delete(init.t, L.Var)
+		init.c += a * L.From
+		L.Inds = append(L.Inds, Ind{Name: g.name, Init: init.toILin(), Step: a * L.Step})
+		o.stats.IndRegisters++
+	}
+}
+
+// collectSites gathers the rewritable accesses of the loop's direct
+// body: unchecked, all-affine subscripts over known variables, Off not
+// already set. If branches (and VCond arms) are included — the offset
+// arithmetic is pure, so maintaining it for an access that does not
+// execute is harmless — but nested loops are not (their accesses are
+// reduced against their own header).
+func (o *optimizer) collectSites(stmts []Stmt) []accessSite {
+	var sites []accessSite
+	var walkStmts func(list []Stmt)
+	var walkV func(e VExpr)
+	addARef := func(x *ARef) {
+		if x.CheckBounds || x.Off != nil {
+			return
+		}
+		if form := o.offsetForm(x.Array, x.Subs); form != nil {
+			sites = append(sites, accessSite{form: form, setOff: func(e IntExpr) { x.Off = e }})
+		}
+	}
+	var walkB func(e BExpr)
+	walkB = func(e BExpr) {
+		switch x := e.(type) {
+		case *BCmpFloat:
+			walkV(x.L)
+			walkV(x.R)
+		case *BAnd:
+			walkB(x.L)
+			walkB(x.R)
+		case *BOr:
+			walkB(x.L)
+			walkB(x.R)
+		case *BNot:
+			walkB(x.X)
+		}
+	}
+	walkV = func(e VExpr) {
+		switch x := e.(type) {
+		case *ARef:
+			addARef(x)
+		case *VBin:
+			walkV(x.L)
+			walkV(x.R)
+		case *VNeg:
+			walkV(x.X)
+		case *VCall:
+			for _, a := range x.Args {
+				walkV(a)
+			}
+		case *VCond:
+			walkB(x.C)
+			walkV(x.T)
+			walkV(x.E)
+		}
+	}
+	walkStmts = func(list []Stmt) {
+		for _, s := range list {
+			switch x := s.(type) {
+			case *Loop:
+				// inner loops handle their own accesses
+			case *If:
+				walkB(x.Cond)
+				walkStmts(x.Then)
+				walkStmts(x.Else)
+			case *Assign:
+				if !x.CheckBounds && x.Off == nil {
+					if form := o.offsetForm(x.Array, x.Subs); form != nil {
+						xa := x
+						sites = append(sites, accessSite{form: form, setOff: func(e IntExpr) { xa.Off = e }})
+					}
+				}
+				walkV(x.Rhs)
+			case *SetScalar:
+				walkV(x.Rhs)
+			}
+		}
+	}
+	walkStmts(stmts)
+	return sites
+}
+
+// offsetForm flattens an access's subscripts to the row-major linear
+// offset form, or nil when any subscript is non-affine or the access
+// does not match its declaration.
+func (o *optimizer) offsetForm(arr string, subs []IntExpr) *linForm {
+	d := o.prog.Decl(arr)
+	if d == nil || len(subs) != d.B.Rank() {
+		return nil
+	}
+	total := &linForm{t: map[string]int64{}}
+	for dim, s := range subs {
+		f := intLin(s)
+		if f == nil {
+			return nil
+		}
+		// total = total·extent + (f − lo)
+		total.scale(d.B.Extent(dim))
+		total.c += f.c - d.B.Lo[dim]
+		for name, coeff := range f.t {
+			total.addTerm(name, coeff)
+		}
+	}
+	return total
+}

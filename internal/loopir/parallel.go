@@ -20,24 +20,50 @@ const (
 	minParallelWork = 1 << 15
 )
 
+// workSaturated caps the work estimate: deeply nested loops with huge
+// trip counts would overflow int64 under naive trip × body-cost
+// multiplication, and an overflowed (negative) estimate would wrongly
+// disqualify exactly the loops most worth parallelizing. Any estimate
+// at the cap already clears every threshold, so precision beyond it is
+// irrelevant.
+const workSaturated = int64(1) << 50
+
+func satAdd(a, b int64) int64 {
+	if a > workSaturated-b {
+		return workSaturated
+	}
+	return a + b
+}
+
+func satMul(a, b int64) int64 {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	if a > workSaturated/b {
+		return workSaturated
+	}
+	return a * b
+}
+
 // estimateWork statically estimates a statement list's cost in
 // abstract operations; nested loops multiply by their trip counts.
+// The estimate saturates at workSaturated instead of overflowing.
 func estimateWork(stmts []Stmt) int64 {
 	var total int64
 	for _, s := range stmts {
 		switch x := s.(type) {
 		case *Loop:
 			trip := tripCount(x.From, x.To, x.Step)
-			total += 1 + trip*estimateWork(x.Body)
+			total = satAdd(total, satAdd(1, satMul(trip, estimateWork(x.Body))))
 		case *If:
 			thenW := estimateWork(x.Then)
 			elseW := estimateWork(x.Else)
 			if elseW > thenW {
 				thenW = elseW
 			}
-			total += 1 + thenW
+			total = satAdd(total, satAdd(1, thenW))
 		default:
-			total++
+			total = satAdd(total, 1)
 		}
 	}
 	return total
@@ -70,10 +96,20 @@ func cloneFrame(f *frame) *frame {
 	return out
 }
 
+// cInd is a compiled induction register: an entry-time base value and
+// a constant per-iteration step. Sequential loops advance the slot in
+// place; parallel workers rebind it per iteration as base + t·step so
+// sharding needs no sequential carry.
+type cInd struct {
+	slot int
+	init intFn
+	step int64
+}
+
 // compileParallelLoop shards [0..trip) across workers. Runtime errors
 // (panics carrying *ExecError) inside workers are captured and
 // re-raised on the caller's goroutine after all workers finish.
-func compileParallelLoop(slot int, from, step, trip int64, body []stmtFn) stmtFn {
+func compileParallelLoop(slot int, from, step, trip int64, inds []cInd, body []stmtFn) stmtFn {
 	workers := int64(runtime.GOMAXPROCS(0))
 	if workers < 1 {
 		workers = 1
@@ -85,6 +121,10 @@ func compileParallelLoop(slot int, from, step, trip int64, body []stmtFn) stmtFn
 		var wg sync.WaitGroup
 		var mu sync.Mutex
 		var firstErr *ExecError
+		bases := make([]int64, len(inds))
+		for i := range inds {
+			bases[i] = inds[i].init(f)
+		}
 		chunk := (trip + workers - 1) / workers
 		for w := int64(0); w < workers; w++ {
 			lo := w * chunk
@@ -114,6 +154,9 @@ func compileParallelLoop(slot int, from, step, trip int64, body []stmtFn) stmtFn
 				wf := cloneFrame(f)
 				for t := lo; t < hi; t++ {
 					wf.ints[slot] = from + t*step
+					for i := range inds {
+						wf.ints[inds[i].slot] = bases[i] + t*inds[i].step
+					}
 					runAll(body, wf)
 				}
 			}(lo, hi)

@@ -48,6 +48,10 @@ func writeStmt(b *strings.Builder, s Stmt, depth int) {
 			dir += ", parallel"
 		}
 		fmt.Fprintf(b, "do %s = %d, %d, %d  -- %s\n", x.Var, x.From, x.To, x.Step, dir)
+		for _, ind := range x.Inds {
+			indent(b, depth+1)
+			fmt.Fprintf(b, "ind %s = %s step %d\n", ind.Name, IntExprString(ind.Init), ind.Step)
+		}
 		writeStmts(b, x.Body, depth+1)
 	case *If:
 		fmt.Fprintf(b, "if %s then\n", BExprString(x.Cond))
@@ -58,7 +62,7 @@ func writeStmt(b *strings.Builder, s Stmt, depth int) {
 			writeStmts(b, x.Else, depth+1)
 		}
 	case *Assign:
-		fmt.Fprintf(b, "%s[%s] %s %s", x.Array, subsString(x.Subs), assignOp(x), VExprString(x.Rhs))
+		fmt.Fprintf(b, "%s[%s]%s %s %s", x.Array, subsString(x.Subs), offString(x.Off), assignOp(x), VExprString(x.Rhs))
 		var notes []string
 		if x.CheckBounds {
 			notes = append(notes, "bounds-checked")
@@ -90,6 +94,15 @@ func assignOp(x *Assign) string {
 		return "accum:="
 	}
 	return ":="
+}
+
+// offString renders a strength-reduced offset annotation ("@{o$1+2}"),
+// or nothing when the access still uses plain subscript arithmetic.
+func offString(off IntExpr) string {
+	if off == nil {
+		return ""
+	}
+	return fmt.Sprintf("@{%s}", IntExprString(off))
 }
 
 func subsString(subs []IntExpr) string {
@@ -150,7 +163,7 @@ func VExprString(e VExpr) string {
 	case *VScalar:
 		return x.Name
 	case *ARef:
-		s := fmt.Sprintf("%s[%s]", x.Array, subsString(x.Subs))
+		s := fmt.Sprintf("%s[%s]%s", x.Array, subsString(x.Subs), offString(x.Off))
 		if x.CheckDefined {
 			s += "?"
 		}

@@ -73,6 +73,10 @@ func Ablations() []Ablation {
 		{"full", core.Options{}},
 		{"nolinearize", core.Options{NoLinearize: true}},
 		{"forcechecks", core.Options{ForceChecks: true}},
+		// noopt executes the lowered nest with the loop-IR optimizer
+		// disabled, so every fuzzed program cross-checks optimized
+		// (full) against unoptimized execution element-wise.
+		{"noopt", core.Options{NoOptimize: true}},
 	}
 }
 
