@@ -1,5 +1,5 @@
 // Command hacbench regenerates the experiment tables of EXPERIMENTS.md:
-// for every experiment (E1–E14) it runs the relevant workloads through
+// for every experiment (E1–E16) it runs the relevant workloads through
 // the compiled pipeline and the baselines and prints one table row per
 // variant, including the qualitative expectation the paper states.
 //
@@ -24,6 +24,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	goruntime "runtime"
 	"sort"
 	"strings"
 	"testing"
@@ -42,12 +43,15 @@ var (
 	quick    = flag.Bool("quick", false, "smaller sizes for a fast smoke run")
 	noopt    = flag.Bool("noopt", false, "disable the loop-IR optimizer (pre/post comparisons)")
 	jsonPath = flag.String("json", "", "merge machine-readable results into FILE")
+	workersF = flag.Int("workers", 0, "bench parallel arms at this worker count only (0 = 1, 2 and NumCPU)")
 )
 
-// benchResult is one -json entry.
+// benchResult is one -json entry. Workers is 0 for sequential runs and
+// the pool size for parallel arms.
 type benchResult struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
+	Workers     int     `json:"workers,omitempty"`
 }
 
 var jsonResults = map[string]benchResult{}
@@ -99,6 +103,11 @@ type experiment struct {
 }
 
 func bench(label string, f func()) float64 {
+	return benchW(label, 0, f)
+}
+
+// benchW records a parallel arm's worker count in the -json output.
+func benchW(label string, workers int, f func()) float64 {
 	r := testing.Benchmark(func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
@@ -112,9 +121,22 @@ func bench(label string, f func()) float64 {
 		if *noopt {
 			prefix = "noopt/"
 		}
-		jsonResults[prefix+label] = benchResult{NsPerOp: ns, AllocsPerOp: r.AllocsPerOp()}
+		jsonResults[prefix+label] = benchResult{NsPerOp: ns, AllocsPerOp: r.AllocsPerOp(), Workers: workers}
 	}
 	return ns
+}
+
+// workerCounts returns the pool sizes the parallel arms measure:
+// -workers pins a single count, otherwise 1, 2 and NumCPU (deduped).
+func workerCounts() []int {
+	if *workersF > 0 {
+		return []int{*workersF}
+	}
+	counts := []int{1, 2}
+	if ncpu := goruntime.NumCPU(); ncpu > 2 {
+		counts = append(counts, ncpu)
+	}
+	return counts
 }
 
 func die(err error) {
@@ -408,6 +430,66 @@ var experiments = []experiment{
 			s := bench("sequential", func() { runP(ps, inputs) })
 			p := bench("parallel", func() { runP(pp, inputs) })
 			fmt.Printf("  sequential/parallel = %s (GOMAXPROCS-bound)\n", ratio(s, p))
+		},
+	}, {
+		id: "e16", title: "parallel engine v2: doacross/wavefront/tiling schedules",
+		expect: "wavefront nests and chains scale with workers on multi-CPU hosts; parity at 1 worker",
+		run: func() {
+			type kernel struct {
+				name, src, def string
+				n              int64
+				inputs         map[string]*runtime.Strict
+				scratch        func() map[string]*runtime.Strict
+			}
+			sorN := size(256, 48)
+			sorIn := workloads.Mesh(sorN, 9)
+			l23N := size(128, 32)
+			l23In := workloads.Livermore23Inputs(l23N)
+			l23Scratch := func() map[string]*runtime.Strict {
+				s := map[string]*runtime.Strict{}
+				for k, v := range l23In {
+					s[k] = v
+				}
+				s["za"] = l23In["za"].Clone()
+				return s
+			}
+			kernels := []kernel{
+				{"SOR", workloads.SORSrc, "a2", sorN,
+					map[string]*runtime.Strict{"a": sorIn},
+					func() map[string]*runtime.Strict { return map[string]*runtime.Strict{"a": sorIn.Clone()} }},
+				{"Livermore23", workloads.Livermore23Src, "za2", l23N, l23In, l23Scratch},
+				{"wavefront", workloads.WavefrontSrc, "a", size(256, 64), nil,
+					func() map[string]*runtime.Strict { return nil }},
+				{"recurrence", workloads.RecurrenceSrc, "a", size(100000, 10000), nil,
+					func() map[string]*runtime.Strict { return nil }},
+			}
+			for _, k := range kernels {
+				params := map[string]int64{"n": k.n}
+				mkOpts := func(parallel bool, workers int) core.Options {
+					opts := core.Options{
+						Parallel: parallel, Workers: workers, NoOptimize: *noopt,
+						InputBounds: map[string]analysis.ArrayBounds{},
+					}
+					for name, a := range k.inputs {
+						opts.InputBounds[name] = analysis.ArrayBounds{Lo: a.B.Lo, Hi: a.B.Hi}
+					}
+					return opts
+				}
+				ps, err := core.Compile(k.src, params, mkOpts(false, 0))
+				die(err)
+				seqPlan := ps.Defs[k.def].Plan
+				scratch := k.scratch()
+				s := bench(k.name+" seq", func() { _, err := seqPlan.Run(scratch); die(err) })
+				for _, w := range workerCounts() {
+					pp, err := core.Compile(k.src, params, mkOpts(true, w))
+					die(err)
+					plan := pp.Defs[k.def].Plan
+					pscratch := k.scratch()
+					p := benchW(fmt.Sprintf("%s par w=%d", k.name, w), w,
+						func() { _, err := plan.Run(pscratch); die(err) })
+					fmt.Printf("    seq/par(w=%d) = %s\n", w, ratio(s, p))
+				}
+			}
 		},
 	},
 }

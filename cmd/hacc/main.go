@@ -5,7 +5,7 @@
 // Usage:
 //
 //	hacc report [-p n=100,m=20] [-in a=1:8,1:8] [-O] file.hac
-//	hacc run     [-p n=100] [-in a=1:8,1:8] [-seed 1] [-show k] file.hac
+//	hacc run     [-p n=100] [-in a=1:8,1:8] [-seed 1] [-show k] [-parallel] [-workers k] file.hac
 //	hacc ir      [-p n=100] [-in …] [-O] file.hac
 //	hacc dot     [-p n=100] [-in …] file.hac
 //	hacc emit-go [-p n=100] [-in …] [-O] file.hac   # standalone Go source
@@ -57,6 +57,8 @@ func run(args []string, w io.Writer) error {
 	show := fs.Int64("show", 5, "how many leading elements to print (run)")
 	thunked := fs.Bool("thunked", false, "force the thunked baseline")
 	optimize := fs.Bool("O", false, "run the loop-IR optimizer before report/ir/emit-go output")
+	parallel := fs.Bool("parallel", false, "enable parallel scheduling (shard/doacross/wavefront/tiling)")
+	workers := fs.Int("workers", 0, "parallel worker count; 0 = GOMAXPROCS at run time (needs -parallel)")
 	fuzzN := fs.Int("n", 100, "number of programs to generate (fuzz)")
 	noGogen := fs.Bool("nogogen", false, "skip the emitted-Go backend (fuzz)")
 	if err := fs.Parse(args[1:]); err != nil {
@@ -83,7 +85,7 @@ func run(args []string, w io.Writer) error {
 	if err != nil {
 		return err
 	}
-	opts := core.Options{ForceThunked: *thunked, InputBounds: inputBounds}
+	opts := core.Options{ForceThunked: *thunked, Parallel: *parallel, Workers: *workers, InputBounds: inputBounds}
 	// Inspection commands show the raw lowering unless -O; execution
 	// always optimizes.
 	if cmd != "run" {

@@ -54,6 +54,10 @@ type LowerOptions struct {
 	// emits exactly as built. Used as an oracle ablation arm and to
 	// show the unoptimized IR (`hacc ir` without -O).
 	NoOptimize bool
+	// Workers fixes the parallel worker budget of the compiled
+	// executable. 0 means decide per run (GOMAXPROCS); 1 forces
+	// sequential execution even of parallel-scheduled loops.
+	Workers int
 }
 
 // lowerer carries lowering state.
@@ -238,6 +242,7 @@ func Lower(res *analysis.Result, sched *schedule.Result, external map[string]ana
 	if err != nil {
 		return nil, err
 	}
+	ex.SetWorkers(o.Workers)
 	lw.plan.Exec = ex
 	return lw.plan, nil
 }
@@ -328,8 +333,9 @@ func (lw *lowerer) lowerNode(n *schedule.Node, x *xlate) ([]loopir.Stmt, error) 
 func (lw *lowerer) lowerLoop(n *schedule.Node, x *xlate) ([]loopir.Stmt, error) {
 	l := n.Loop.Loop
 	parallel := lw.parallelEligible(n)
+	doacross := !parallel && lw.doacrossEligible(n)
 	wasInParallel := lw.inParallel
-	if parallel {
+	if parallel || doacross {
 		lw.inParallel = true
 	}
 	inner := x.withIndexVar(l.Var).withLets(n.Loop.Lets)
@@ -350,8 +356,10 @@ func (lw *lowerer) lowerLoop(n *schedule.Node, x *xlate) ([]loopir.Stmt, error) 
 	}
 	if parallel {
 		lw.note("loop %s parallelized (no carried dependences)", l.Var)
+	} else if doacross {
+		lw.note("loop %s is doacross-eligible (carried dependences follow the pass direction)", l.Var)
 	}
-	stmt := loopir.Stmt(&loopir.Loop{Var: l.Var, From: from, To: to, Step: step, Parallel: parallel, Body: body})
+	stmt := loopir.Stmt(&loopir.Loop{Var: l.Var, From: from, To: to, Step: step, Parallel: parallel, Doacross: doacross, Body: body})
 	// Guards on the loop node condition the whole loop.
 	stmt, err = lw.wrapGuards(n.Loop.Guards, x.withLets(n.Loop.Lets), stmt)
 	if err != nil {
@@ -372,6 +380,24 @@ func (lw *lowerer) parallelEligible(n *schedule.Node) bool {
 	if !lw.opts.Parallel || !n.Parallel || lw.inParallel {
 		return false
 	}
+	return lw.parSafeState()
+}
+
+// doacrossEligible mirrors parallelEligible for loops the scheduler
+// marked Doacross: the carried dependences all follow the pass
+// direction, so the optimizer's planning pass may still find a legal
+// pipelined schedule (wavefront, chains) after checking the concrete
+// distances. The same shared-state restrictions apply.
+func (lw *lowerer) doacrossEligible(n *schedule.Node) bool {
+	if !lw.opts.Parallel || !n.Doacross || lw.inParallel {
+		return false
+	}
+	return lw.parSafeState()
+}
+
+// parSafeState reports that the plan has no shared mutable state beyond
+// disjoint array elements.
+func (lw *lowerer) parSafeState() bool {
 	if lw.trackDefs {
 		return false
 	}

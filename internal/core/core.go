@@ -32,8 +32,14 @@ type Options struct {
 	// ablation benchmarks).
 	ForceThunked bool
 	// Parallel emits dependence-free loops as parallel loops sharded
-	// across CPUs (the paper's section 10 extension).
+	// across CPUs (the paper's section 10 extension), and lets the
+	// optimizer attach doacross schedules (wavefront bands, residue
+	// chains) to loops with regular carried dependences.
 	Parallel bool
+	// Workers fixes the parallel worker budget of compiled plans. 0
+	// reads GOMAXPROCS at each run; 1 forces sequential execution.
+	// Ignored unless Parallel is set.
+	Workers int
 	// NoLinearize disables the §6 linearization refinement for
 	// multi-dimensional subscripts (ablation).
 	NoLinearize bool
@@ -285,7 +291,7 @@ func CompileProgram(source *lang.Program, params map[string]int64, opts Options)
 			p.note("%s: thunked fallback: %s", name, sched.Reason)
 			continue
 		}
-		plan, err := codegen.Lower(res, sched, external, codegen.LowerOptions{Parallel: opts.Parallel, ForceChecks: opts.ForceChecks, NoOptimize: opts.NoOptimize})
+		plan, err := codegen.Lower(res, sched, external, codegen.LowerOptions{Parallel: opts.Parallel, ForceChecks: opts.ForceChecks, NoOptimize: opts.NoOptimize, Workers: opts.Workers})
 		if err != nil {
 			return nil, fmt.Errorf("core: %s: %w", name, err)
 		}

@@ -168,7 +168,7 @@ func TestReportGolden(t *testing.T) {
 		"flow (=)",
 		"collision: no",
 		"empties: excluded",
-		"do i forward [1..2 step 1]",
+		"do i forward doacross [1..2 step 1]",
 		"checks: {CollisionChecks:0 BoundsChecks:",
 	} {
 		if !strings.Contains(got, want) {

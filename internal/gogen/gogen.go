@@ -164,11 +164,16 @@ func (e *emitter) emitStmts(stmts []loopir.Stmt) {
 func (e *emitter) emitStmt(s loopir.Stmt) {
 	switch x := s.(type) {
 	case *loopir.Loop:
-		// Dependence-free loops shard across CPUs when the body has no
-		// error paths (a `return err` inside a goroutine closure would
-		// not compile; the scheduler already guarantees disjoint
-		// writes).
-		if x.Parallel && !hasErrorPaths(x.Body) {
+		// Scheduled loops take their planned parallel shape when the body
+		// has no error paths (a `return err` inside a goroutine closure
+		// would not compile; the planner already guarantees the writes
+		// are race-free under the schedule).
+		if x.Par != nil && !hasErrorPaths(x.Body) && e.emitScheduledLoop(x) {
+			return
+		}
+		// Dependence-free loops without a concrete schedule still shard
+		// across CPUs.
+		if x.Parallel && x.Par == nil && !hasErrorPaths(x.Body) {
 			e.emitParallelLoop(x)
 			return
 		}
@@ -531,6 +536,12 @@ func EmitBenchHarness(p *loopir.Program, iters int) (string, error) {
 	b.WriteString("// Code generated by arraycomp (gogen). DO NOT EDIT.\npackage main\n\nimport (\n\t\"fmt\"\n\t\"os\"\n\t\"time\"\n")
 	if strings.Contains(fn, "math.") {
 		b.WriteString("\t\"math\"\n")
+	}
+	if strings.Contains(fn, "runtime.GOMAXPROCS") {
+		b.WriteString("\t\"runtime\"\n")
+	}
+	if strings.Contains(fn, "sync.WaitGroup") {
+		b.WriteString("\t\"sync\"\n")
 	}
 	b.WriteString(")\n\n")
 	b.WriteString(fn)

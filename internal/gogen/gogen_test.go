@@ -108,6 +108,12 @@ func emitHarness(t *testing.T, dir string, prog *core.Program, def string) (para
 	if strings.Contains(fn, "math.") {
 		b.WriteString("\t\"math\"\n")
 	}
+	if strings.Contains(fn, "runtime.GOMAXPROCS") {
+		b.WriteString("\t\"runtime\"\n")
+	}
+	if strings.Contains(fn, "sync.WaitGroup") {
+		b.WriteString("\t\"sync\"\n")
+	}
 	b.WriteString(")\n\n")
 	b.WriteString(fn)
 	b.WriteString(`

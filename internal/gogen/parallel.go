@@ -1,0 +1,243 @@
+package gogen
+
+import (
+	"arraycomp/internal/loopir"
+)
+
+// Emission of planned parallel schedules (loopir.ParSchedule). Each
+// shape is rendered inline — generated functions stay self-contained —
+// and mirrors the interpreter's executors in internal/loopir/parallel.go:
+//
+//   - ParShard:     contiguous chunks, one goroutine per worker
+//   - ParChains:    g independent residue-class chains of a constant-
+//     distance recurrence, one goroutine per chain
+//   - ParTile:      cache tiles handed out block-cyclically; the planner
+//     guarantees tiles touch disjoint data (row bands when only
+//     inner-carried dependences exist)
+//   - ParWavefront: anti-diagonal bands of tiles with a WaitGroup
+//     barrier between diagonals; per-row prefix statements run in the
+//     column-0 tile, so full row order is preserved
+//
+// Bodies with runtime checks never reach these shapes (the caller gates
+// on hasErrorPaths): a `return err` inside a goroutine closure would
+// not compile.
+
+// emitScheduledLoop renders x under its attached schedule. Returns
+// false when the schedule's shape cannot be matched (the caller then
+// falls back to sequential emission).
+func (e *emitter) emitScheduledLoop(x *loopir.Loop) bool {
+	switch x.Par.Kind {
+	case loopir.ParShard:
+		e.emitParallelLoop(x)
+		return true
+	case loopir.ParChains:
+		if x.Par.Chains < 2 {
+			return false
+		}
+		e.emitChainsLoop(x)
+		return true
+	case loopir.ParTile, loopir.ParWavefront:
+		return e.emitTiledNest(x)
+	}
+	return false
+}
+
+// emitChainsLoop runs the residue classes i ≡ r (mod g) of a
+// constant-distance recurrence concurrently; every dependence chain
+// lies inside one class.
+func (e *emitter) emitChainsLoop(x *loopir.Loop) {
+	v := goName(x.Var)
+	g := int64(x.Par.Chains)
+	trip := (x.To-x.From)/x.Step + 1 // planner schedules step 1 only
+	if trip < 1 {
+		return
+	}
+	e.line("{ // doacross loop over %s: %d independent dependence chains", v, g)
+	e.depth++
+	e.line("var wg sync.WaitGroup")
+	e.line("for r := int64(0); r < %d; r++ {", g)
+	e.depth++
+	e.line("wg.Add(1)")
+	e.line("go func(r int64) {")
+	e.depth++
+	e.line("defer wg.Done()")
+	e.line("for t := r; t < %d; t += %d {", trip, g)
+	e.depth++
+	e.line("%s := int64(%d) + t*int64(%d)", v, x.From, x.Step)
+	e.line("_ = %s // may be fully strength-reduced away", v)
+	for _, ind := range x.Inds {
+		// Chains visit iterations out of order: rebase the register
+		// from its row ordinal instead of carrying it.
+		if ind.Step != 0 {
+			e.line("%s := %s + t*int64(%d)", goName(ind.Name), e.intExpr(ind.Init), ind.Step)
+		} else {
+			e.line("%s := %s", goName(ind.Name), e.intExpr(ind.Init))
+		}
+	}
+	e.emitStmts(x.Body)
+	e.depth--
+	e.line("}")
+	e.depth--
+	e.line("}(r)")
+	e.depth--
+	e.line("}")
+	e.line("wg.Wait()")
+	e.depth--
+	e.line("}")
+}
+
+// emitTiledNest renders a 2-D nest under a tile or wavefront schedule.
+// The nest shape is the planner's: any per-row prefix assignments
+// followed by a step-1 inner loop, both loops step 1.
+func (e *emitter) emitTiledNest(x *loopir.Loop) bool {
+	if x.Step != 1 || len(x.Body) == 0 {
+		return false
+	}
+	inner, ok := x.Body[len(x.Body)-1].(*loopir.Loop)
+	if !ok || inner.Step != 1 {
+		return false
+	}
+	prefix := x.Body[:len(x.Body)-1]
+	for _, s := range prefix {
+		if _, ok := s.(*loopir.Assign); !ok {
+			return false
+		}
+	}
+	ni := x.To - x.From + 1
+	nj := inner.To - inner.From + 1
+	tI, tJ := x.Par.TileI, x.Par.TileJ
+	if ni < 1 || nj < 1 || tI < 1 || tJ < 1 {
+		return false
+	}
+	nti := (ni + tI - 1) / tI
+	ntj := (nj + tJ - 1) / tJ
+	iv, jv := goName(x.Var), goName(inner.Var)
+	wavefront := x.Par.Kind == loopir.ParWavefront
+
+	// runTile renders the body of one (bi, bj) tile: the tile's rows in
+	// order, each row running its prefix first (column-0 tiles only)
+	// and then the row's slice of inner iterations.
+	runTile := func() {
+		e.line("iLo := int64(%d) + bi*%d", x.From, tI)
+		e.line("iHi := iLo + %d - 1", tI)
+		e.line("if iHi > %d {", x.To)
+		e.depth++
+		e.line("iHi = %d", x.To)
+		e.depth--
+		e.line("}")
+		e.line("jLo := int64(%d) + bj*%d", inner.From, tJ)
+		e.line("jHi := jLo + %d - 1", tJ)
+		e.line("if jHi > %d {", inner.To)
+		e.depth++
+		e.line("jHi = %d", inner.To)
+		e.depth--
+		e.line("}")
+		e.line("for %s := iLo; %s <= iHi; %s++ {", iv, iv, iv)
+		e.depth++
+		for _, ind := range x.Inds {
+			// Rows run out of order across tiles: rebase outer registers
+			// from the row ordinal.
+			if ind.Step != 0 {
+				e.line("%s := %s + (%s-int64(%d))*int64(%d)", goName(ind.Name), e.intExpr(ind.Init), iv, x.From, ind.Step)
+			} else {
+				e.line("%s := %s", goName(ind.Name), e.intExpr(ind.Init))
+			}
+			e.line("_ = %s", goName(ind.Name))
+		}
+		if len(prefix) > 0 {
+			e.line("if bj == 0 { // per-row prefix runs with the row's first tile")
+			e.depth++
+			e.emitStmts(prefix)
+			e.depth--
+			e.line("}")
+		}
+		for _, ind := range inner.Inds {
+			if ind.Step != 0 {
+				e.line("%s := %s + (jLo-int64(%d))*int64(%d)", goName(ind.Name), e.intExpr(ind.Init), inner.From, ind.Step)
+			} else {
+				e.line("%s := %s", goName(ind.Name), e.intExpr(ind.Init))
+			}
+		}
+		e.line("for %s := jLo; %s <= jHi; %s++ {", jv, jv, jv)
+		e.depth++
+		e.emitStmts(inner.Body)
+		for _, ind := range inner.Inds {
+			if ind.Step != 0 {
+				e.line("%s += %d", goName(ind.Name), ind.Step)
+			}
+		}
+		e.depth--
+		e.line("}")
+		e.depth--
+		e.line("}")
+	}
+
+	if wavefront {
+		e.line("{ // wavefront nest over %s,%s: %dx%d tiles, anti-diagonal bands", iv, jv, tI, tJ)
+		e.depth++
+		e.line("nti, ntj := int64(%d), int64(%d)", nti, ntj)
+		e.line("for d := int64(0); d < nti+ntj-1; d++ {")
+		e.depth++
+		e.line("biLo, biHi := d-ntj+1, d")
+		e.line("if biLo < 0 {")
+		e.depth++
+		e.line("biLo = 0")
+		e.depth--
+		e.line("}")
+		e.line("if biHi > nti-1 {")
+		e.depth++
+		e.line("biHi = nti - 1")
+		e.depth--
+		e.line("}")
+		e.line("var wg sync.WaitGroup")
+		e.line("for bi := biLo; bi <= biHi; bi++ {")
+		e.depth++
+		e.line("wg.Add(1)")
+		e.line("go func(bi int64) {")
+		e.depth++
+		e.line("defer wg.Done()")
+		e.line("bj := d - bi")
+		runTile()
+		e.depth--
+		e.line("}(bi)")
+		e.depth--
+		e.line("}")
+		e.line("wg.Wait()")
+		e.depth--
+		e.line("}")
+		e.depth--
+		e.line("}")
+		return true
+	}
+
+	e.line("{ // tiled nest over %s,%s: %dx%d tiles, no cross-tile dependences", iv, jv, tI, tJ)
+	e.depth++
+	e.line("nt := int64(%d)", nti*ntj)
+	e.line("workers := int64(runtime.GOMAXPROCS(0))")
+	e.line("if workers > nt {")
+	e.depth++
+	e.line("workers = nt")
+	e.depth--
+	e.line("}")
+	e.line("var wg sync.WaitGroup")
+	e.line("for w := int64(0); w < workers; w++ {")
+	e.depth++
+	e.line("wg.Add(1)")
+	e.line("go func(w int64) {")
+	e.depth++
+	e.line("defer wg.Done()")
+	e.line("for t := w; t < nt; t += workers {")
+	e.depth++
+	e.line("bi, bj := t/int64(%d), t%%int64(%d)", ntj, ntj)
+	runTile()
+	e.depth--
+	e.line("}")
+	e.depth--
+	e.line("}(w)")
+	e.depth--
+	e.line("}")
+	e.line("wg.Wait()")
+	e.depth--
+	e.line("}")
+	return true
+}

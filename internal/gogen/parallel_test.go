@@ -1,0 +1,182 @@
+package gogen
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"arraycomp/internal/analysis"
+	"arraycomp/internal/core"
+	"arraycomp/internal/runtime"
+	"arraycomp/internal/workloads"
+)
+
+func checkGofmt(t *testing.T, name, src string) {
+	t.Helper()
+	if _, err := exec.LookPath("gofmt"); err != nil {
+		t.Skip("gofmt not available")
+	}
+	path := filepath.Join(t.TempDir(), "gen.go")
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if out, err := exec.Command("gofmt", "-e", "-l", path).CombinedOutput(); err != nil {
+		t.Fatalf("%s: gofmt: %v\n%s\nsource:\n%s", name, err, out, src)
+	}
+}
+
+// Chains3Src is a third-order recurrence: three independent dependence
+// chains (residue classes mod 3).
+const chains3Src = `param n;
+a = array (1,n)
+  ([ i := 1.0 * i | i <- [1..3] ] ++
+   [ i := 0.5 * a!(i-3) + 1.0 | i <- [4..n] ])`
+
+// parDifferential compiles src with the Parallel option, checks the
+// emitted function carries the expected schedule shape, and runs the
+// generated code against the interpreter on identical inputs.
+func parDifferential(t *testing.T, src string, params map[string]int64, inputDims map[string][]int64, def string, wantShapes ...string) {
+	t.Helper()
+	inputBounds := map[string]analysis.ArrayBounds{}
+	for name, dims := range inputDims {
+		lo := make([]int64, len(dims))
+		for i := range lo {
+			lo[i] = 1
+		}
+		inputBounds[name] = analysis.ArrayBounds{Lo: lo, Hi: dims}
+	}
+	prog, err := core.Compile(src, params, core.Options{Parallel: true, InputBounds: inputBounds})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fn, fnParams, results, err := EmitFunc(prog.Defs[def].Plan.Program, "Compiled")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range wantShapes {
+		if !strings.Contains(fn, want) {
+			t.Fatalf("emitted function missing %q:\n%s", want, fn)
+		}
+	}
+	if testing.Short() {
+		t.Skip("short mode: skipping go-run differential")
+	}
+	dir := t.TempDir()
+	emitHarness(t, dir, prog, def)
+	got := runGenerated(t, dir)
+	if len(got) != len(results) {
+		t.Fatalf("harness printed %d checksums, want %d", len(got), len(results))
+	}
+	plan := prog.Defs[def].Plan
+	inputs := map[string]*runtime.Strict{}
+	for i, name := range fnParams {
+		d := plan.Program.Decl(name)
+		a := runtime.NewStrict(d.B)
+		lcgFill(a.Data, uint64(1000+i))
+		inputs[name] = a
+	}
+	outs, err := plan.Exec.Run(inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, name := range results {
+		want := checksum(outs[name].Data)
+		diff := got[i] - want
+		if diff < -1e-9 || diff > 1e-9 {
+			t.Errorf("result %s: generated %v, interpreter %v", name, got[i], want)
+		}
+	}
+}
+
+// TestGeneratedWavefrontSchedule: SOR's doacross nest must emit the
+// anti-diagonal tile shape and still match the interpreter exactly.
+func TestGeneratedWavefrontSchedule(t *testing.T) {
+	n := int64(128)
+	parDifferential(t, workloads.SORSrc, workloads.ParamsFor("sor", n),
+		map[string][]int64{"a": {n, n}}, "a2",
+		"wavefront nest", "sync.WaitGroup")
+}
+
+// TestGeneratedTileSchedule: the dependence-free Jacobi interior tiles
+// without barriers.
+func TestGeneratedTileSchedule(t *testing.T) {
+	n := int64(80)
+	parDifferential(t, workloads.JacobiMonolithicSrc, workloads.ParamsFor("jacobimono", n),
+		map[string][]int64{"b": {n, n}}, "a",
+		"tiled nest", "runtime.GOMAXPROCS")
+}
+
+// TestGeneratedChainsSchedule: a distance-3 recurrence runs as three
+// goroutine chains.
+func TestGeneratedChainsSchedule(t *testing.T) {
+	n := int64(8192)
+	parDifferential(t, chains3Src, map[string]int64{"n": n}, nil, "a",
+		"independent dependence chains")
+}
+
+// TestForcedChecksSuppressParallelEmission pins the hasErrorPaths ×
+// optimizer interplay: with runtime checks forced on, every loop body
+// carries error paths and the emitter must fall back to sequential
+// loops even though the plans still carry parallel schedules. With the
+// optimizer eliminating the checks (the default), the same program
+// takes the goroutine shapes.
+func TestForcedChecksSuppressParallelEmission(t *testing.T) {
+	n := int64(80)
+	bounds := map[string]analysis.ArrayBounds{"b": {Lo: []int64{1, 1}, Hi: []int64{n, n}}}
+	params := workloads.ParamsFor("jacobimono", n)
+
+	checked, err := core.Compile(workloads.JacobiMonolithicSrc, params,
+		core.Options{Parallel: true, ForceChecks: true, InputBounds: bounds})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fn, _, _, err := EmitFunc(checked.Defs["a"].Plan.Program, "Compiled")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(fn, "go func") || strings.Contains(fn, "sync.WaitGroup") {
+		t.Fatalf("check-carrying bodies must emit sequentially:\n%s", fn)
+	}
+
+	clean, err := core.Compile(workloads.JacobiMonolithicSrc, params,
+		core.Options{Parallel: true, InputBounds: bounds})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fn, _, _, err = EmitFunc(clean.Defs["a"].Plan.Program, "Compiled")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(fn, "go func") {
+		t.Fatalf("check-eliminated bodies must take the parallel path:\n%s", fn)
+	}
+}
+
+// TestGeneratedParallelGofmtClean: every scheduled shape must emit
+// syntactically valid Go.
+func TestGeneratedParallelGofmtClean(t *testing.T) {
+	n := int64(128)
+	for _, c := range []struct {
+		name, src, def string
+		params         map[string]int64
+		bounds         map[string]analysis.ArrayBounds
+	}{
+		{"sor", workloads.SORSrc, "a2", workloads.ParamsFor("sor", n),
+			map[string]analysis.ArrayBounds{"a": {Lo: []int64{1, 1}, Hi: []int64{n, n}}}},
+		{"chains", chains3Src, "a", map[string]int64{"n": 8192}, nil},
+		{"jacobimono", workloads.JacobiMonolithicSrc, "a", workloads.ParamsFor("jacobimono", 80),
+			map[string]analysis.ArrayBounds{"b": {Lo: []int64{1, 1}, Hi: []int64{80, 80}}}},
+	} {
+		prog, err := core.Compile(c.src, c.params, core.Options{Parallel: true, InputBounds: c.bounds})
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		src, err := EmitFile(prog.Defs[c.def].Plan.Program, "gen", "F")
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		checkGofmt(t, c.name, src)
+	}
+}

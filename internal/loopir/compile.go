@@ -24,6 +24,9 @@ type frame struct {
 	floats []float64
 	arrays []*runtime.Strict
 	defs   [][]bool
+	// workers is the parallel worker budget for this run, resolved at
+	// Run time from Exec.SetWorkers (0 means GOMAXPROCS then).
+	workers int
 }
 
 type (
@@ -39,6 +42,9 @@ type compiler struct {
 	intSlots   map[string]int
 	floatSlots map[string]int
 	arraySlots map[string]int
+	// fp recycles per-worker frames across this program's parallel loop
+	// executions; its New is bound once slot counts are final.
+	fp *framePool
 }
 
 func (c *compiler) fail(format string, args ...any) {
@@ -57,6 +63,7 @@ type Exec struct {
 	intSlots   map[string]int
 	floatSlots map[string]int
 	arraySlots map[string]int
+	workers    int
 }
 
 // Compile translates the program to closures. It validates names and
@@ -76,6 +83,7 @@ func Compile(p *Program) (ex *Exec, err error) {
 		intSlots:   map[string]int{},
 		floatSlots: map[string]int{},
 		arraySlots: map[string]int{},
+		fp:         &framePool{},
 	}
 	for i, d := range p.Arrays {
 		if _, dup := c.arraySlots[d.Name]; dup {
@@ -90,6 +98,10 @@ func Compile(p *Program) (ex *Exec, err error) {
 		c.floatSlots[s] = i
 	}
 	c.collectLoopVars(p.Stmts)
+	nInts, nFloats := len(c.intSlots), len(c.floatSlots)
+	c.fp.p.New = func() any {
+		return &frame{ints: make([]int64, nInts), floats: make([]float64, nFloats)}
+	}
 	fns := c.compileStmts(p.Stmts)
 	return &Exec{
 		prog:       p,
@@ -139,53 +151,40 @@ func (c *compiler) compileStmt(s Stmt) stmtFn {
 	switch x := s.(type) {
 	case *Loop:
 		slot := c.intSlots[x.Var]
-		from, to, step := x.From, x.To, x.Step
-		if step == 0 {
+		if x.Step == 0 {
 			c.fail("loop over %q has zero step", x.Var)
 		}
-		trip := tripCount(from, to, step)
+		trip := tripCount(x.From, x.To, x.Step)
 		inds := make([]cInd, len(x.Inds))
 		for i, ind := range x.Inds {
 			inds[i] = cInd{slot: c.intSlots[ind.Name], init: c.compileInt(ind.Init), step: ind.Step}
 		}
-		if x.Parallel && trip >= minParallelTrip &&
-			satMul(trip, estimateWork(x.Body)) >= minParallelWork {
-			body := c.compileStmts(x.Body)
-			return compileParallelLoop(slot, from, step, trip, inds, body)
-		}
-		if fn := c.compileFastLoop(x, slot, inds); fn != nil {
-			return fn
-		}
-		body := c.compileStmts(x.Body)
-		if len(inds) > 0 {
-			return func(f *frame) {
-				for i := range inds {
-					f.ints[inds[i].slot] = inds[i].init(f)
-				}
-				for v, n := from, trip; n > 0; n-- {
-					f.ints[slot] = v
-					runAll(body, f)
-					v += step
-					for i := range inds {
-						f.ints[inds[i].slot] += inds[i].step
-					}
+		if x.Par != nil {
+			seq := c.compileSeqLoop(x, slot, inds)
+			var par stmtFn
+			switch x.Par.Kind {
+			case ParShard:
+				par = c.compileShardLoop(x, slot, x.From, x.Step, trip, inds, seq)
+			case ParTile, ParWavefront:
+				par = c.compileTiledNest(x, slot, x.From, trip, inds, seq)
+			case ParChains:
+				if x.Par.Chains >= 2 {
+					par = c.compileChainsLoop(x, slot, x.From, x.Step, trip, inds, seq)
 				}
 			}
-		}
-		if step > 0 {
-			return func(f *frame) {
-				for v := from; v <= to; v += step {
-					f.ints[slot] = v
-					runAll(body, f)
-				}
+			if par != nil {
+				return par
 			}
+			return seq
 		}
-		return func(f *frame) {
-			for v := from; v >= to; v += step {
-				f.ints[slot] = v
-				runAll(body, f)
-			}
+		// Legacy gate: a dependence-free loop the planner did not
+		// schedule (NoOptimize, or a nest shape it does not model)
+		// still shards when the work warrants it.
+		if x.Parallel && parWorthwhile(trip, estimateWork(x.Body)) {
+			seq := c.compileSeqLoop(x, slot, inds)
+			return c.compileShardLoop(x, slot, x.From, x.Step, trip, inds, seq)
 		}
+		return c.compileSeqLoop(x, slot, inds)
 	case *If:
 		cond := c.compileBool(x.Cond)
 		then := c.compileStmts(x.Then)
@@ -245,6 +244,48 @@ func (c *compiler) compileStmt(s Stmt) stmtFn {
 	}
 	c.fail("unknown statement %T", s)
 	return nil
+}
+
+// compileSeqLoop compiles a loop's plain sequential execution — the
+// specialized fast path when the body shape allows it, otherwise the
+// generic direction-aware loop. Parallel executors also use this as
+// their single-worker fallback.
+func (c *compiler) compileSeqLoop(x *Loop, slot int, inds []cInd) stmtFn {
+	from, to, step := x.From, x.To, x.Step
+	trip := tripCount(from, to, step)
+	if fn := c.compileFastLoop(x, slot, inds); fn != nil {
+		return fn
+	}
+	body := c.compileStmts(x.Body)
+	if len(inds) > 0 {
+		return func(f *frame) {
+			for i := range inds {
+				f.ints[inds[i].slot] = inds[i].init(f)
+			}
+			for v, n := from, trip; n > 0; n-- {
+				f.ints[slot] = v
+				runAll(body, f)
+				v += step
+				for i := range inds {
+					f.ints[inds[i].slot] += inds[i].step
+				}
+			}
+		}
+	}
+	if step > 0 {
+		return func(f *frame) {
+			for v := from; v <= to; v += step {
+				f.ints[slot] = v
+				runAll(body, f)
+			}
+		}
+	}
+	return func(f *frame) {
+		for v := from; v >= to; v += step {
+			f.ints[slot] = v
+			runAll(body, f)
+		}
+	}
 }
 
 func (c *compiler) arraySlot(name string) int {

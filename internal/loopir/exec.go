@@ -2,9 +2,20 @@ package loopir
 
 import (
 	"fmt"
+	goruntime "runtime"
 
 	"arraycomp/internal/runtime"
 )
+
+// SetWorkers fixes the parallel worker budget for subsequent runs of
+// this executable. n <= 0 restores the default: GOMAXPROCS at the time
+// each run starts. n == 1 forces sequential execution.
+func (ex *Exec) SetWorkers(n int) {
+	if n < 0 {
+		n = 0
+	}
+	ex.workers = n
+}
 
 // Run executes the compiled program. inputs supplies every RoleIn and
 // RoleInOut array (bounds must match the declarations); RoleOut and
@@ -15,10 +26,14 @@ import (
 // analysis has proven the old version dead).
 func (ex *Exec) Run(inputs map[string]*runtime.Strict) (map[string]*runtime.Strict, error) {
 	f := &frame{
-		ints:   make([]int64, len(ex.intSlots)),
-		floats: make([]float64, len(ex.floatSlots)),
-		arrays: make([]*runtime.Strict, len(ex.prog.Arrays)),
-		defs:   make([][]bool, len(ex.prog.Arrays)),
+		ints:    make([]int64, len(ex.intSlots)),
+		floats:  make([]float64, len(ex.floatSlots)),
+		arrays:  make([]*runtime.Strict, len(ex.prog.Arrays)),
+		defs:    make([][]bool, len(ex.prog.Arrays)),
+		workers: ex.workers,
+	}
+	if f.workers <= 0 {
+		f.workers = goruntime.GOMAXPROCS(0)
 	}
 	for i, d := range ex.prog.Arrays {
 		switch d.Role {

@@ -101,6 +101,20 @@ type Loop struct {
 	// the body touches no shared mutable state besides disjoint array
 	// elements.
 	Parallel bool
+	// Doacross marks a loop that carries dependences but whose pass
+	// direction is consistent with them: the optimizer may still find a
+	// doacross schedule (wavefront bands over 2-D nests, residue-class
+	// chains for 1-D constant-distance recurrences) after verifying the
+	// concrete dependence distances. The flag alone never changes
+	// execution — only a Par schedule attached by the optimizer does.
+	Doacross bool
+	// Par is the concrete parallel schedule chosen by the optimizer's
+	// planning pass. It is only ever set after the distance-vector
+	// legality analysis and the trip/work cost model both pass; the
+	// executor and the Go emitter consume it. Nil means sequential
+	// execution (or, for Parallel loops compiled without the optimizer,
+	// the legacy sharding gate).
+	Par *ParSchedule
 	// Inds are induction registers introduced by the optimizer's
 	// strength-reduction pass: each is set to Init at loop entry and
 	// advanced by Step after every iteration, incrementally maintaining
@@ -108,6 +122,66 @@ type Loop struct {
 	// (via Assign.Off / ARef.Off).
 	Inds []Ind
 	Body []Stmt
+}
+
+// ParKind selects a parallel execution shape.
+type ParKind uint8
+
+const (
+	// ParShard splits a dependence-free loop into contiguous chunks,
+	// one per worker.
+	ParShard ParKind = iota + 1
+	// ParTile decomposes a dependence-free 2-D nest into TileI×TileJ
+	// cache tiles executed block-cyclically across workers with no
+	// synchronization.
+	ParTile
+	// ParWavefront executes the TileI×TileJ tiles of a 2-D nest whose
+	// carried distance vectors are all component-wise non-negative
+	// along anti-diagonals: tiles on one diagonal run concurrently,
+	// diagonals are separated by barriers.
+	ParWavefront
+	// ParChains splits a 1-D loop whose carried distances share a gcd
+	// g ≥ 2 into g independent residue-class chains.
+	ParChains
+)
+
+// String names the schedule kind.
+func (k ParKind) String() string {
+	switch k {
+	case ParShard:
+		return "shard"
+	case ParTile:
+		return "tile"
+	case ParWavefront:
+		return "wavefront"
+	case ParChains:
+		return "chains"
+	}
+	return fmt.Sprintf("ParKind(%d)", uint8(k))
+}
+
+// ParSchedule is the optimizer-chosen parallel schedule of a loop (see
+// Loop.Par). For ParTile and ParWavefront the loop must be a 2-D nest:
+// the annotated outer loop, optional prefix statements (executed once
+// per outer iteration, before the row's first tile column), and the
+// inner loop as the last body statement.
+type ParSchedule struct {
+	Kind ParKind
+	// TileI, TileJ are the cache tile extents (ParTile, ParWavefront).
+	TileI, TileJ int64
+	// Chains is the residue-class count g (ParChains).
+	Chains int64
+}
+
+// String renders the schedule for dumps.
+func (s *ParSchedule) String() string {
+	switch s.Kind {
+	case ParTile, ParWavefront:
+		return fmt.Sprintf("%s %dx%d", s.Kind, s.TileI, s.TileJ)
+	case ParChains:
+		return fmt.Sprintf("%s %d", s.Kind, s.Chains)
+	}
+	return s.Kind.String()
 }
 
 // Ind is one induction register of a strength-reduced loop. Init is an

@@ -45,12 +45,13 @@ type OptStats struct {
 	HoistedExprs    int // invariant subexpressions extracted to scalars
 	ReducedAccesses int // accesses rewritten to offset form
 	IndRegisters    int // induction registers introduced
+	ParSchedules    int // loops given parallel schedules
 }
 
 // Changed reports whether any rewrite fired.
 func (s *OptStats) Changed() bool {
 	return s.DeadLoops+s.FusedLoops+s.Unswitched+s.HoistedScalars+
-		s.HoistedExprs+s.ReducedAccesses+s.IndRegisters > 0
+		s.HoistedExprs+s.ReducedAccesses+s.IndRegisters+s.ParSchedules > 0
 }
 
 // String summarizes the non-zero counters.
@@ -68,6 +69,7 @@ func (s *OptStats) String() string {
 	add(s.HoistedExprs, "invariant exprs hoisted")
 	add(s.ReducedAccesses, "accesses strength-reduced")
 	add(s.IndRegisters, "induction registers")
+	add(s.ParSchedules, "parallel schedules")
 	if len(parts) == 0 {
 		return "no rewrites applied"
 	}
@@ -81,6 +83,7 @@ func Optimize(p *Program) *OptStats {
 		o.names[s] = true
 	}
 	p.Stmts = o.optStmts(p.Stmts, map[string]loopRange{})
+	o.planParallel(p.Stmts)
 	return o.stats
 }
 
@@ -823,10 +826,16 @@ func (o *optimizer) fuse(l1, l2 *Loop, env map[string]loopRange) *Loop {
 			}
 		}
 	}
+	parallel := l1.Parallel && l2.Parallel && sameIterOnly
 	return &Loop{
 		Var:  l1.Var,
 		From: l1.From, To: l1.To, Step: l1.Step,
-		Parallel: l1.Parallel && l2.Parallel && sameIterOnly,
+		Parallel: parallel,
+		// Both halves individually tolerate concurrency (parallel or
+		// doacross) and fusion proved the interleaving legal: keep the
+		// fused loop a doacross candidate — the planning pass re-derives
+		// the concrete distances before scheduling anything.
+		Doacross: !parallel && (l1.Parallel || l1.Doacross) && (l2.Parallel || l2.Doacross),
 		Body:     append(l1.Body, body2...),
 	}
 }

@@ -1,24 +1,20 @@
 package loopir
 
-import (
-	"runtime"
-	"sync"
-)
-
-// Parallel execution of dependence-free loops (the paper's section 10
-// extension). The scheduler guarantees the loop carries no dependences
-// and the code generator guarantees the body's only shared state is
-// disjoint array elements, so instances may run concurrently; each
-// worker gets its own frame (loop variables and scalars are
-// thread-local, array storage and definedness bitmaps are shared).
-
-// Sharding thresholds: a loop is worth parallelizing when it has
-// enough instances to split across workers AND enough total work (trip
-// × statically-estimated body cost) to amortize goroutine startup.
-const (
-	minParallelTrip = 64
-	minParallelWork = 1 << 15
-)
+// Parallel execution of scheduled loops (the paper's section 10
+// extension, grown into a doacross engine). The scheduler guarantees
+// which dependences a loop carries; the optimizer's planning pass (see
+// plan.go) verifies the concrete distance vectors and attaches a
+// ParSchedule; this file compiles those schedules to closures over the
+// persistent worker pool (see pool.go). Each worker gets its own
+// register frame from the Exec's frame pool — loop variables and
+// scalars are thread-local, array storage and definedness bitmaps are
+// shared.
+//
+// Every parallel executor reads the worker count from the frame at run
+// time (Exec.SetWorkers / GOMAXPROCS), falls back to the sequential
+// closure when only one worker is available, and reports the runtime
+// error of the lowest iteration in the loop's sequential order, so a
+// parallel run fails exactly like the sequential one would.
 
 // workSaturated caps the work estimate: deeply nested loops with huge
 // trip counts would overflow int64 under naive trip × body-cost
@@ -46,8 +42,10 @@ func satMul(a, b int64) int64 {
 }
 
 // estimateWork statically estimates a statement list's cost in
-// abstract operations; nested loops multiply by their trip counts.
-// The estimate saturates at workSaturated instead of overflowing.
+// abstract operations: expression nodes count individually (an array
+// access costs more than a scalar read), nested loops multiply by
+// their trip counts. The estimate saturates at workSaturated instead
+// of overflowing.
 func estimateWork(stmts []Stmt) int64 {
 	var total int64
 	for _, s := range stmts {
@@ -62,11 +60,42 @@ func estimateWork(stmts []Stmt) int64 {
 				thenW = elseW
 			}
 			total = satAdd(total, satAdd(1, thenW))
+		case *Assign:
+			total = satAdd(total, satAdd(2, vexprWork(x.Rhs)))
+		case *SetScalar:
+			total = satAdd(total, satAdd(1, vexprWork(x.Rhs)))
 		default:
 			total = satAdd(total, 1)
 		}
 	}
 	return total
+}
+
+// vexprWork counts the operations of a value expression.
+func vexprWork(e VExpr) int64 {
+	switch x := e.(type) {
+	case *ARef:
+		return 2 // offset + load
+	case *VFromInt:
+		return 2
+	case *VBin:
+		return satAdd(1, satAdd(vexprWork(x.L), vexprWork(x.R)))
+	case *VNeg:
+		return satAdd(1, vexprWork(x.X))
+	case *VCall:
+		t := int64(4)
+		for _, a := range x.Args {
+			t = satAdd(t, vexprWork(a))
+		}
+		return t
+	case *VCond:
+		w := vexprWork(x.T)
+		if e := vexprWork(x.E); e > w {
+			w = e
+		}
+		return satAdd(2, w)
+	}
+	return 1
 }
 
 func tripCount(from, to, step int64) int64 {
@@ -82,88 +111,301 @@ func tripCount(from, to, step int64) int64 {
 	return (from-to)/(-step) + 1
 }
 
-// cloneFrame gives a worker its own register file over the shared
-// arrays.
-func cloneFrame(f *frame) *frame {
-	out := &frame{
-		ints:   make([]int64, len(f.ints)),
-		floats: make([]float64, len(f.floats)),
-		arrays: f.arrays,
-		defs:   f.defs,
-	}
-	copy(out.ints, f.ints)
-	copy(out.floats, f.floats)
-	return out
-}
-
 // cInd is a compiled induction register: an entry-time base value and
 // a constant per-iteration step. Sequential loops advance the slot in
 // place; parallel workers rebind it per iteration as base + t·step so
-// sharding needs no sequential carry.
+// no sequential carry is needed.
 type cInd struct {
 	slot int
 	init intFn
 	step int64
 }
 
-// compileParallelLoop shards [0..trip) across workers. Runtime errors
-// (panics carrying *ExecError) inside workers are captured and
-// re-raised on the caller's goroutine after all workers finish.
-func compileParallelLoop(slot int, from, step, trip int64, inds []cInd, body []stmtFn) stmtFn {
-	workers := int64(runtime.GOMAXPROCS(0))
-	if workers < 1 {
-		workers = 1
+// workersFor resolves the effective cohort size for this run: the
+// frame's worker count (set from Options.Workers or GOMAXPROCS when the
+// run started) capped by the schedulable parallelism.
+func workersFor(f *frame, limit int64) int {
+	w := f.workers
+	if w < 1 {
+		w = 1
 	}
-	if workers > trip {
-		workers = trip
+	if int64(w) > limit {
+		w = int(limit)
 	}
+	return w
+}
+
+// compileShardLoop splits a dependence-free loop's [0..trip) iteration
+// space into one contiguous chunk per worker. seq is the sequential
+// fallback used when the run has a single worker.
+func (c *compiler) compileShardLoop(x *Loop, slot int, from, step, trip int64, inds []cInd, seq stmtFn) stmtFn {
+	body := c.compileStmts(x.Body)
+	fp := c.fp
 	return func(f *frame) {
-		var wg sync.WaitGroup
-		var mu sync.Mutex
-		var firstErr *ExecError
+		w := workersFor(f, trip)
+		if w <= 1 {
+			seq(f)
+			return
+		}
 		bases := make([]int64, len(inds))
 		for i := range inds {
 			bases[i] = inds[i].init(f)
 		}
-		chunk := (trip + workers - 1) / workers
-		for w := int64(0); w < workers; w++ {
-			lo := w * chunk
+		chunk := (trip + int64(w) - 1) / int64(w)
+		errs := make([]parError, w)
+		runParallel(w, func(wi int) {
+			lo := int64(wi) * chunk
 			hi := lo + chunk
 			if hi > trip {
 				hi = trip
 			}
 			if lo >= hi {
-				break
+				return
 			}
-			wg.Add(1)
-			go func(lo, hi int64) {
-				defer wg.Done()
-				defer func() {
-					if r := recover(); r != nil {
-						if ee, ok := r.(*ExecError); ok {
-							mu.Lock()
-							if firstErr == nil {
-								firstErr = ee
-							}
-							mu.Unlock()
-							return
-						}
+			wf := fp.get(f)
+			defer fp.put(wf)
+			var t int64
+			defer func() {
+				if r := recover(); r != nil {
+					ee, ok := r.(*ExecError)
+					if !ok {
 						panic(r)
 					}
-				}()
-				wf := cloneFrame(f)
-				for t := lo; t < hi; t++ {
-					wf.ints[slot] = from + t*step
-					for i := range inds {
-						wf.ints[inds[i].slot] = bases[i] + t*inds[i].step
-					}
-					runAll(body, wf)
+					// The rest of this chunk is skipped; its
+					// iterations all follow t, so t is the chunk's
+					// first failure.
+					errs[wi].record(t, ee)
 				}
-			}(lo, hi)
+			}()
+			for t = lo; t < hi; t++ {
+				wf.ints[slot] = from + t*step
+				for i := range inds {
+					wf.ints[inds[i].slot] = bases[i] + t*inds[i].step
+				}
+				runAll(body, wf)
+			}
+		})
+		raiseMin(errs)
+	}
+}
+
+// compileChainsLoop runs the g residue-class chains of a 1-D
+// constant-distance recurrence concurrently: all carried distances are
+// multiples of g, so iterations t and t' only depend on each other when
+// t ≡ t' (mod g), and each chain is executed in order by one worker.
+func (c *compiler) compileChainsLoop(x *Loop, slot int, from, step, trip int64, inds []cInd, seq stmtFn) stmtFn {
+	g := x.Par.Chains
+	body := c.compileStmts(x.Body)
+	fp := c.fp
+	return func(f *frame) {
+		w := workersFor(f, g)
+		if w <= 1 {
+			seq(f)
+			return
 		}
-		wg.Wait()
-		if firstErr != nil {
-			panic(firstErr)
+		bases := make([]int64, len(inds))
+		for i := range inds {
+			bases[i] = inds[i].init(f)
 		}
+		errs := make([]parError, w)
+		runParallel(w, func(wi int) {
+			wf := fp.get(f)
+			defer fp.put(wf)
+			for r := int64(wi); r < g; r += int64(w) {
+				// A failure ends its chain (later links read the
+				// failed element) but other chains are independent and
+				// keep running, so the globally first failure is
+				// always reached and recorded.
+				func() {
+					var t int64
+					defer func() {
+						if r := recover(); r != nil {
+							ee, ok := r.(*ExecError)
+							if !ok {
+								panic(r)
+							}
+							errs[wi].record(t, ee)
+						}
+					}()
+					for t = r; t < trip; t += g {
+						wf.ints[slot] = from + t*step
+						for i := range inds {
+							wf.ints[inds[i].slot] = bases[i] + t*inds[i].step
+						}
+						runAll(body, wf)
+					}
+				}()
+			}
+		})
+		raiseMin(errs)
+	}
+}
+
+// tiledNest is the compiled form of a 2-D nest scheduled as cache
+// tiles: the outer loop, optional per-row prefix statements, and the
+// inner loop whose body is the tile kernel. Both loops step by +1.
+type tiledNest struct {
+	fp        *framePool
+	oSlot     int
+	oFrom, ni int64
+	oInds     []cInd
+	prefix    []stmtFn
+	iSlot     int
+	iFrom, nj int64
+	iInds     []cInd
+	body      []stmtFn
+	tI, tJ    int64
+}
+
+// runTile executes tile (bi,bj) on the worker frame wf: rows in order,
+// the row prefix first when the tile is in column 0, then the row's
+// inner chunk. Runtime failures are recorded (tagged with the
+// iteration's rank in sequential order) and end the tile; later tiles
+// of the same worker still run, which guarantees the globally first
+// failure is reached regardless of tile-to-worker assignment.
+func (tn *tiledNest) runTile(wf *frame, bi, bj int64, oBases []int64, perr *parError) {
+	iLo := tn.oFrom + bi*tn.tI
+	iHi := iLo + tn.tI
+	if last := tn.oFrom + tn.ni; iHi > last {
+		iHi = last
+	}
+	jLo := tn.iFrom + bj*tn.tJ
+	jHi := jLo + tn.tJ
+	if last := tn.iFrom + tn.nj; jHi > last {
+		jHi = last
+	}
+	var i, j int64
+	inPrefix := false
+	defer func() {
+		if r := recover(); r != nil {
+			ee, ok := r.(*ExecError)
+			if !ok {
+				panic(r)
+			}
+			// Rank iterations so a row's prefix sorts after the
+			// previous row's last point and before the row's own
+			// points.
+			rank := (i - tn.oFrom) * (tn.nj + 1)
+			if !inPrefix {
+				rank += 1 + (j - tn.iFrom)
+			}
+			perr.record(rank, ee)
+		}
+	}()
+	for i = iLo; i < iHi; i++ {
+		wf.ints[tn.oSlot] = i
+		for r := range tn.oInds {
+			wf.ints[tn.oInds[r].slot] = oBases[r] + (i-tn.oFrom)*tn.oInds[r].step
+		}
+		if bj == 0 && len(tn.prefix) > 0 {
+			inPrefix = true
+			runAll(tn.prefix, wf)
+			inPrefix = false
+		}
+		for r := range tn.iInds {
+			wf.ints[tn.iInds[r].slot] = tn.iInds[r].init(wf) + (jLo-tn.iFrom)*tn.iInds[r].step
+		}
+		for j = jLo; j < jHi; j++ {
+			wf.ints[tn.iSlot] = j
+			runAll(tn.body, wf)
+			for r := range tn.iInds {
+				wf.ints[tn.iInds[r].slot] += tn.iInds[r].step
+			}
+		}
+	}
+}
+
+// compileTiledNest compiles a ParTile or ParWavefront schedule. ParTile
+// tiles are fully independent and distributed block-cyclically;
+// ParWavefront walks tile anti-diagonals with a cohort barrier between
+// diagonals, so every carried dependence (component-wise non-negative
+// by the planner's legality check) crosses a completed diagonal.
+// Returns nil when the nest shape is not the one the planner scheduled
+// (defensive — the caller then falls back to sequential execution).
+func (c *compiler) compileTiledNest(x *Loop, slot int, from, trip int64, inds []cInd, seq stmtFn) stmtFn {
+	if x.Step != 1 || len(x.Body) == 0 {
+		return nil
+	}
+	inner, ok := x.Body[len(x.Body)-1].(*Loop)
+	if !ok || inner.Step != 1 {
+		return nil
+	}
+	sched := x.Par
+	if sched.TileI < 1 || sched.TileJ < 1 {
+		return nil
+	}
+	iSlot := c.intSlots[inner.Var]
+	iTrip := tripCount(inner.From, inner.To, inner.Step)
+	iInds := make([]cInd, len(inner.Inds))
+	for i, ind := range inner.Inds {
+		iInds[i] = cInd{slot: c.intSlots[ind.Name], init: c.compileInt(ind.Init), step: ind.Step}
+	}
+	tn := &tiledNest{
+		fp:     c.fp,
+		oSlot:  slot,
+		oFrom:  from,
+		ni:     trip,
+		oInds:  inds,
+		prefix: c.compileStmts(x.Body[:len(x.Body)-1]),
+		iSlot:  iSlot,
+		iFrom:  inner.From,
+		nj:     iTrip,
+		iInds:  iInds,
+		body:   c.compileStmts(inner.Body),
+		tI:     sched.TileI,
+		tJ:     sched.TileJ,
+	}
+	nti := (trip + tn.tI - 1) / tn.tI
+	ntj := (iTrip + tn.tJ - 1) / tn.tJ
+	wavefront := sched.Kind == ParWavefront
+	maxPar := nti * ntj
+	if wavefront {
+		maxPar = nti
+		if ntj < nti {
+			maxPar = ntj
+		}
+	}
+	return func(f *frame) {
+		w := workersFor(f, maxPar)
+		if w <= 1 || trip == 0 || iTrip == 0 {
+			seq(f)
+			return
+		}
+		oBases := make([]int64, len(inds))
+		for i := range inds {
+			oBases[i] = inds[i].init(f)
+		}
+		errs := make([]parError, w)
+		if wavefront {
+			bar := newBarrier(w)
+			runParallel(w, func(wi int) {
+				wf := tn.fp.get(f)
+				defer tn.fp.put(wf)
+				for d := int64(0); d < nti+ntj-1; d++ {
+					biLo := d - (ntj - 1)
+					if biLo < 0 {
+						biLo = 0
+					}
+					biHi := d
+					if biHi > nti-1 {
+						biHi = nti - 1
+					}
+					for bi := biLo + int64(wi); bi <= biHi; bi += int64(w) {
+						tn.runTile(wf, bi, d-bi, oBases, &errs[wi])
+					}
+					bar.await()
+				}
+			})
+		} else {
+			total := nti * ntj
+			runParallel(w, func(wi int) {
+				wf := tn.fp.get(f)
+				defer tn.fp.put(wf)
+				for tid := int64(wi); tid < total; tid += int64(w) {
+					tn.runTile(wf, tid/ntj, tid%ntj, oBases, &errs[wi])
+				}
+			})
+		}
+		raiseMin(errs)
 	}
 }

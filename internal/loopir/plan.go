@@ -1,0 +1,663 @@
+package loopir
+
+import (
+	"runtime"
+)
+
+// Parallel planning: the optimizer's last pass walks the optimized
+// statement tree and attaches a concrete ParSchedule to loops the
+// scheduler marked Parallel (no carried dependences at that level) or
+// Doacross (carried dependences consistent with the pass direction).
+//
+// The scheduler's verdicts are per-level and symbolic; this pass
+// re-derives the *concrete distance vectors* of every dependence inside
+// the candidate nest — bounds, strides and subscript coefficients are
+// all integers by now — and picks the strongest legal schedule:
+//
+//   - no carried conflicts at all      → ParTile (2-D) / ParShard (1-D)
+//   - all distances component-wise ≥ 0 → ParWavefront (anti-diagonal
+//     bands of cache tiles, barrier between diagonals)
+//   - 1-D distances with gcd g ≥ 2     → ParChains (g independent
+//     residue-class chains)
+//   - anything else                    → sequential
+//
+// A schedule is only attached when the trip/work cost model says the
+// parallel dispatch (and, for wavefronts, the barriers) will pay for
+// itself.
+
+// --- cost model ---
+
+// The model charges abstract work units (the same currency as
+// estimateWork) for engine overheads: handing a closure to a pool
+// worker, and one barrier phase of a wavefront cohort. A schedule is
+// worthwhile when the loop's total work covers the overhead of a
+// typical cohort by parPayoff, so small or cheap loops stay sequential
+// no matter how parallel they look.
+const (
+	parDispatchWork = 1 << 10 // per-worker handoff
+	parBarrierWork  = 1 << 9  // per barrier phase, per worker
+	parPayoff       = 8       // required work : overhead ratio
+	parCohortEst    = 4       // overhead is charged for this many workers
+)
+
+// parWorthwhile decides plain sharding (and chains): total work must
+// dwarf the dispatch overhead of a small cohort.
+func parWorthwhile(trip, bodyWork int64) bool {
+	if trip < 2 {
+		return false
+	}
+	return satMul(trip, bodyWork) >= parPayoff*parCohortEst*parDispatchWork
+}
+
+// tileWorthwhile decides tiled schedules; wavefronts additionally pay
+// one barrier per tile anti-diagonal.
+func tileWorthwhile(ni, nj, bodyWork, tI, tJ int64, wavefront bool) bool {
+	nti := (ni + tI - 1) / tI
+	ntj := (nj + tJ - 1) / tJ
+	if nti*ntj < 2 {
+		return false
+	}
+	overhead := int64(parCohortEst) * parDispatchWork
+	if wavefront {
+		if nti < 2 && ntj < 2 {
+			return false
+		}
+		overhead = satAdd(overhead, satMul(nti+ntj-1, parCohortEst*parBarrierWork))
+	}
+	total := satMul(satMul(ni, nj), bodyWork)
+	return total >= satMul(parPayoff, overhead)
+}
+
+// chooseTile picks the cache tile extents for an ni×nj nest: roughly
+// 2·workers tiles along each dimension so every anti-diagonal keeps the
+// cohort busy, clamped so a tile stays big enough to amortize its
+// dispatch and small enough to live in cache.
+func chooseTile(ni, nj int64) (tI, tJ int64) {
+	est := int64(runtime.GOMAXPROCS(0))
+	if est < 1 {
+		est = 1
+	}
+	pick := func(n int64) int64 {
+		t := n / (2 * est)
+		if t < 8 {
+			t = 8
+		}
+		if t > 64 {
+			t = 64
+		}
+		if t > n {
+			t = n
+		}
+		return t
+	}
+	return pick(ni), pick(nj)
+}
+
+// --- planning walk ---
+
+// planParallel is invoked by Optimize after all other rewrites.
+func (o *optimizer) planParallel(stmts []Stmt) {
+	for _, s := range stmts {
+		switch x := s.(type) {
+		case *Loop:
+			o.planLoop(x)
+		case *If:
+			o.planParallel(x.Then)
+			o.planParallel(x.Else)
+		}
+	}
+}
+
+func (o *optimizer) planLoop(l *Loop) {
+	if (l.Parallel || l.Doacross) && o.assignPar(l) {
+		o.stats.ParSchedules++
+		return // the schedule consumes the whole nest
+	}
+	o.planParallel(l.Body)
+}
+
+// assignPar analyzes a candidate loop and attaches the strongest legal,
+// worthwhile schedule. Returns false to fall through to inner loops.
+func (o *optimizer) assignPar(l *Loop) bool {
+	trip := tripCount(l.From, l.To, l.Step)
+	if trip < 2 {
+		return false
+	}
+	if inner := nest2D(l); inner != nil {
+		return o.assignPar2D(l, inner)
+	}
+	if hasLoop(l.Body) {
+		return false // deeper nests: only the 2-D shape is scheduled
+	}
+	return o.assignPar1D(l, trip)
+}
+
+// nest2D matches the tiled-schedule shape: the last body statement is
+// an inner loop and everything before it is a per-row prefix of plain
+// assignments. Both loops must step by +1.
+func nest2D(l *Loop) *Loop {
+	if l.Step != 1 || len(l.Body) == 0 {
+		return nil
+	}
+	inner, ok := l.Body[len(l.Body)-1].(*Loop)
+	if !ok || inner.Step != 1 {
+		return nil
+	}
+	for _, s := range l.Body[:len(l.Body)-1] {
+		if _, ok := s.(*Assign); !ok {
+			return nil
+		}
+	}
+	if hasLoop(inner.Body) {
+		return nil
+	}
+	return inner
+}
+
+func hasLoop(stmts []Stmt) bool {
+	for _, s := range stmts {
+		switch x := s.(type) {
+		case *Loop:
+			return true
+		case *If:
+			if hasLoop(x.Then) || hasLoop(x.Else) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func (o *optimizer) assignPar2D(l, inner *Loop) bool {
+	ni := tripCount(l.From, l.To, l.Step)
+	nj := tripCount(inner.From, inner.To, inner.Step)
+	if ni < 1 || nj < 2 {
+		return false
+	}
+	pre, okPre := o.collectParAccesses(l.Body[:len(l.Body)-1])
+	body, okBody := o.collectParAccesses(inner.Body)
+	if !okPre || !okBody {
+		return false
+	}
+	// Prefix subscripts may only involve the outer variable.
+	for _, a := range pre {
+		for _, f := range a.subs {
+			if _, uses := f.t[inner.Var]; uses {
+				return false
+			}
+		}
+	}
+	dists, ok := pairDistances(append(pre, body...), l.Var, inner.Var,
+		loopRange{l.From, l.To, 1}, loopRange{inner.From, inner.To, 1}, len(pre))
+	if !ok {
+		return false
+	}
+	carried, rowIndep, nonneg := false, true, true
+	for _, d := range dists {
+		if d.di == 0 && d.dj == 0 && !d.prefix && !d.prePre {
+			continue // loop-independent; statement order within a point holds
+		}
+		carried = true
+		if d.prePre {
+			// Cross-row prefix conflict: only the wavefront preserves
+			// full row order, in either direction.
+			rowIndep = false
+			continue
+		}
+		if d.prefix {
+			// Prefix dependences are directional (prefix first within
+			// its row): a conflict with an earlier row's body breaks
+			// every tiled schedule.
+			if d.di < 0 {
+				nonneg = false
+			}
+			if d.di != 0 {
+				rowIndep = false
+			}
+			continue
+		}
+		if d.di < 0 || (d.di == 0 && d.dj < 0) {
+			d.di, d.dj = -d.di, -d.dj
+		}
+		if d.di != 0 {
+			rowIndep = false
+		}
+		if d.di < 0 || d.dj < 0 {
+			nonneg = false
+		}
+	}
+	work := estimateWork(inner.Body)
+	tI, tJ := chooseTile(ni, nj)
+	switch {
+	case !carried:
+		// Dependence-free: cache-tiled, no synchronization.
+		if !tileWorthwhile(ni, nj, work, tI, tJ, false) {
+			return false
+		}
+		l.Par = &ParSchedule{Kind: ParTile, TileI: tI, TileJ: tJ}
+		return true
+	case rowIndep:
+		// Only inner-carried dependences: rows are independent, so
+		// full-width row bands need no synchronization and keep each
+		// row's sequential order.
+		if !tileWorthwhile(ni, nj, work, tI, nj, false) {
+			return false
+		}
+		l.Par = &ParSchedule{Kind: ParTile, TileI: tI, TileJ: nj}
+		return true
+	case nonneg:
+		// Regular carried dependences, all pointing right/down: tiles
+		// on one anti-diagonal are independent, diagonals synchronize
+		// through a barrier. A prefix conflict with the same or a later
+		// row is fine (the column-0 tile of a row band runs before all
+		// its other tiles).
+		if !tileWorthwhile(ni, nj, work, tI, tJ, true) {
+			return false
+		}
+		l.Par = &ParSchedule{Kind: ParWavefront, TileI: tI, TileJ: tJ}
+		return true
+	}
+	return false
+}
+
+func (o *optimizer) assignPar1D(l *Loop, trip int64) bool {
+	work := estimateWork(l.Body)
+	if !parWorthwhile(trip, work) {
+		return false
+	}
+	if l.Parallel {
+		l.Par = &ParSchedule{Kind: ParShard}
+		return true
+	}
+	// Doacross: constant-distance 1-D recurrence. All subscripts must
+	// step uniformly with the loop so the distances are well defined.
+	if l.Step != 1 {
+		return false
+	}
+	acc, okAcc := o.collectParAccesses(l.Body)
+	if !okAcc {
+		return false
+	}
+	var g int64
+	for i := range acc {
+		for j := i; j < len(acc); j++ {
+			if !acc[i].write && !acc[j].write {
+				continue
+			}
+			d, kind := dist1D(&acc[i], &acc[j], l.Var, trip)
+			switch kind {
+			case distNone:
+				continue
+			case distUnknown:
+				return false
+			}
+			if d < 0 {
+				d = -d
+			}
+			if d != 0 {
+				g = gcd(g, d)
+			}
+		}
+	}
+	switch {
+	case g == 0:
+		// No carried conflicts after all: plain sharding is legal.
+		l.Par = &ParSchedule{Kind: ParShard}
+	case g >= 2:
+		l.Par = &ParSchedule{Kind: ParChains, Chains: g}
+	default:
+		return false
+	}
+	return true
+}
+
+func gcd(a, b int64) int64 {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	if a < 0 {
+		return -a
+	}
+	return a
+}
+
+// --- access collection ---
+
+// parAccess is one array access inside a candidate nest, with affine
+// subscripts. prefix marks accesses from the per-row prefix statements.
+type parAccess struct {
+	arr    string
+	write  bool
+	prefix bool
+	subs   []*linForm
+}
+
+// collectParAccesses gathers every array access under stmts; the bool
+// is false when the statements are not schedulable: anything other
+// than pure assignments and guards, accumulation, definedness-tracked
+// arrays, or non-affine subscripts disqualifies the nest.
+func (o *optimizer) collectParAccesses(stmts []Stmt) ([]parAccess, bool) {
+	var out []parAccess
+	ok := true
+	var walkV func(e VExpr)
+	var walkB func(e BExpr)
+	addAccess := func(arr string, subs []IntExpr, write bool) {
+		d := o.prog.Decl(arr)
+		if d == nil || d.TrackDefs || len(subs) != d.B.Rank() {
+			ok = false
+			return
+		}
+		a := parAccess{arr: arr, write: write, subs: make([]*linForm, len(subs))}
+		for i, s := range subs {
+			f := intLin(s)
+			if f == nil {
+				ok = false
+				return
+			}
+			a.subs[i] = f
+		}
+		out = append(out, a)
+	}
+	walkV = func(e VExpr) {
+		switch x := e.(type) {
+		case *ARef:
+			if x.CheckDefined {
+				ok = false
+				return
+			}
+			addAccess(x.Array, x.Subs, false)
+		case *VBin:
+			walkV(x.L)
+			walkV(x.R)
+		case *VNeg:
+			walkV(x.X)
+		case *VCall:
+			for _, a := range x.Args {
+				walkV(a)
+			}
+		case *VCond:
+			walkB(x.C)
+			walkV(x.T)
+			walkV(x.E)
+		}
+	}
+	walkB = func(e BExpr) {
+		switch x := e.(type) {
+		case *BCmpFloat:
+			walkV(x.L)
+			walkV(x.R)
+		case *BCmpInt:
+		case *BAnd:
+			walkB(x.L)
+			walkB(x.R)
+		case *BOr:
+			walkB(x.L)
+			walkB(x.R)
+		case *BNot:
+			walkB(x.X)
+		}
+	}
+	var walkS func(list []Stmt)
+	walkS = func(list []Stmt) {
+		for _, s := range list {
+			switch x := s.(type) {
+			case *Assign:
+				if x.Accumulate != nil || x.CheckCollision {
+					ok = false
+					return
+				}
+				addAccess(x.Array, x.Subs, true)
+				walkV(x.Rhs)
+			case *If:
+				walkB(x.Cond)
+				walkS(x.Then)
+				walkS(x.Else)
+			default:
+				ok = false
+				return
+			}
+		}
+	}
+	walkS(stmts)
+	if !ok {
+		return nil, false
+	}
+	return out, true
+}
+
+// --- distance extraction ---
+
+// parDist is one dependence distance. For prefix conflicts di is the
+// inner-statement row minus the prefix row; dj is meaningless then.
+// prePre marks a cross-row conflict between two prefix statements —
+// legal only under schedules that preserve row order.
+type parDist struct {
+	di, dj int64
+	prefix bool
+	prePre bool
+}
+
+// pairDistances computes the distance vector of every conflicting
+// access pair over the (outerVar, innerVar) iteration space. The first
+// nPre accesses are per-row prefix accesses. Returns ok=false when any
+// pair's distance cannot be pinned to a unique constant vector — the
+// uniform-dependence requirement of the tiled schedules.
+func pairDistances(acc []parAccess, outerVar, innerVar string, ri, rj loopRange, nPre int) ([]parDist, bool) {
+	for i := 0; i < nPre; i++ {
+		acc[i].prefix = true
+	}
+	var out []parDist
+	for i := range acc {
+		for j := i; j < len(acc); j++ {
+			a, b := &acc[i], &acc[j]
+			if a.arr != b.arr || (!a.write && !b.write) {
+				continue
+			}
+			if a.prefix && b.prefix {
+				// Prefix statements of one row always keep their order,
+				// but across rows only the wavefront preserves row order
+				// (its column-0 tiles sit on distinct, increasing
+				// diagonals). Flag any possible cross-row conflict so the
+				// unordered schedules are ruled out.
+				d1, kind := dist1D(a, b, outerVar, ri.trip())
+				if kind == distNone || (kind == distExact && d1 == 0) {
+					continue
+				}
+				out = append(out, parDist{di: d1, prePre: true})
+				continue
+			}
+			if b.prefix {
+				a, b = b, a
+			}
+			d, kind := dist2D(a, b, outerVar, innerVar, ri, rj)
+			switch kind {
+			case distNone:
+				continue
+			case distUnknown:
+				return nil, false
+			}
+			d.prefix = a.prefix
+			out = append(out, d)
+		}
+	}
+	return out, true
+}
+
+type distKind uint8
+
+const (
+	distNone    distKind = iota // the accesses never conflict
+	distExact                   // unique constant distance vector
+	distUnknown                 // conflicts exist but distances vary
+)
+
+// parCon is one per-dimension conflict constraint: ai·di + aj·dj = rhs.
+type parCon struct{ ai, aj, rhs int64 }
+
+// dist2D solves, per dimension, ai·di + aj·dj = Δc for the unique
+// distance (di,dj) = (iteration of b − iteration of a). Subscript
+// coefficients must agree between the two accesses (uniform
+// dependences); terms over enclosing loop variables must cancel. When a
+// is a prefix access its inner-variable coefficient is zero and the
+// second unknown is the absolute inner position of the conflict,
+// range-checked instead of distance-checked.
+func dist2D(a, b *parAccess, outerVar, innerVar string, ri, rj loopRange) (parDist, distKind) {
+	ni, nj := ri.trip(), rj.trip()
+	var cons []parCon
+	for k := range a.subs {
+		fa, fb := a.subs[k], b.subs[k]
+		ai := fb.t[outerVar]
+		aj := fb.t[innerVar]
+		if fa.t[outerVar] != ai || (!a.prefix && fa.t[innerVar] != aj) {
+			return parDist{}, distUnknown
+		}
+		// Every other variable (enclosing loops) must contribute
+		// identically to both sides.
+		for v, c := range fa.t {
+			if v != outerVar && v != innerVar && fb.t[v] != c {
+				return parDist{}, distUnknown
+			}
+		}
+		for v, c := range fb.t {
+			if v != outerVar && v != innerVar && fa.t[v] != c {
+				return parDist{}, distUnknown
+			}
+		}
+		rhs := fa.c - fb.c
+		if ai == 0 && aj == 0 {
+			if rhs != 0 {
+				return parDist{}, distNone
+			}
+			continue
+		}
+		cons = append(cons, parCon{ai, aj, rhs})
+	}
+	if a.prefix {
+		return solvePrefix(cons, ri, rj)
+	}
+	if len(cons) == 0 {
+		// A constant element touched by every iteration pair: distances
+		// take every value.
+		return parDist{}, distUnknown
+	}
+	// Solve the first two independent constraints, verify the rest.
+	var di, dj int64
+	solved := false
+	for x := 0; x < len(cons) && !solved; x++ {
+		for y := x + 1; y < len(cons) && !solved; y++ {
+			det := cons[x].ai*cons[y].aj - cons[y].ai*cons[x].aj
+			if det == 0 {
+				continue
+			}
+			pi := cons[x].rhs*cons[y].aj - cons[y].rhs*cons[x].aj
+			pj := cons[x].ai*cons[y].rhs - cons[y].ai*cons[x].rhs
+			if pi%det != 0 || pj%det != 0 {
+				return parDist{}, distNone
+			}
+			di, dj = pi/det, pj/det
+			solved = true
+		}
+	}
+	if !solved {
+		// All constraints parallel: a whole line of distances solves
+		// the system, so the dependence is not uniform.
+		return parDist{}, distUnknown
+	}
+	for _, c := range cons {
+		if c.ai*di+c.aj*dj != c.rhs {
+			return parDist{}, distNone
+		}
+	}
+	if di <= -ni || di >= ni || dj <= -nj || dj >= nj {
+		return parDist{}, distNone // unreachable within this nest
+	}
+	return parDist{di: di, dj: dj}, distExact
+}
+
+// solvePrefix resolves a prefix-vs-body conflict: the unknowns are the
+// row distance di and the absolute inner variable value j* at which the
+// body access touches the prefix element.
+func solvePrefix(cons []parCon, ri, rj loopRange) (parDist, distKind) {
+	ni := ri.trip()
+	var di, jstar int64
+	haveI, haveJ := false, false
+	for _, c := range cons {
+		switch {
+		case c.ai != 0 && c.aj == 0:
+			if c.rhs%c.ai != 0 {
+				return parDist{}, distNone
+			}
+			v := c.rhs / c.ai
+			if haveI && v != di {
+				return parDist{}, distNone
+			}
+			di, haveI = v, true
+		case c.ai == 0 && c.aj != 0:
+			if c.rhs%c.aj != 0 {
+				return parDist{}, distNone
+			}
+			v := c.rhs / c.aj
+			if haveJ && v != jstar {
+				return parDist{}, distNone
+			}
+			jstar, haveJ = v, true
+		default: // mixed constraint: di and j* trade off, not uniform
+			return parDist{}, distUnknown
+		}
+	}
+	if !haveI || !haveJ {
+		return parDist{}, distUnknown
+	}
+	if jstar < rj.from || jstar > rj.to {
+		return parDist{}, distNone // conflict column outside the nest
+	}
+	if di <= -ni || di >= ni {
+		return parDist{}, distNone
+	}
+	return parDist{di: di}, distExact
+}
+
+// dist1D is the one-variable analogue: a·d = Δc across every dimension.
+func dist1D(a, b *parAccess, loopVar string, trip int64) (int64, distKind) {
+	var d int64
+	have := false
+	for k := range a.subs {
+		fa, fb := a.subs[k], b.subs[k]
+		av := fb.t[loopVar]
+		if fa.t[loopVar] != av {
+			return 0, distUnknown
+		}
+		for v, c := range fa.t {
+			if v != loopVar && fb.t[v] != c {
+				return 0, distUnknown
+			}
+		}
+		for v, c := range fb.t {
+			if v != loopVar && fa.t[v] != c {
+				return 0, distUnknown
+			}
+		}
+		rhs := fa.c - fb.c
+		if av == 0 {
+			if rhs != 0 {
+				return 0, distNone
+			}
+			continue
+		}
+		if rhs%av != 0 {
+			return 0, distNone
+		}
+		v := rhs / av
+		if have && v != d {
+			return 0, distNone
+		}
+		d, have = v, true
+	}
+	if !have {
+		return 0, distUnknown
+	}
+	if d <= -trip || d >= trip {
+		return 0, distNone
+	}
+	return d, distExact
+}

@@ -46,6 +46,11 @@ func writeStmt(b *strings.Builder, s Stmt, depth int) {
 		}
 		if x.Parallel {
 			dir += ", parallel"
+		} else if x.Doacross {
+			dir += ", doacross"
+		}
+		if x.Par != nil {
+			dir += " [" + x.Par.String() + "]"
 		}
 		fmt.Fprintf(b, "do %s = %d, %d, %d  -- %s\n", x.Var, x.From, x.To, x.Step, dir)
 		for _, ind := range x.Inds {

@@ -77,6 +77,10 @@ func Ablations() []Ablation {
 		// disabled, so every fuzzed program cross-checks optimized
 		// (full) against unoptimized execution element-wise.
 		{"noopt", core.Options{NoOptimize: true}},
+		// parallel runs the doacross/wavefront/tile schedules with a
+		// forced multi-worker pool; results (and error messages) must be
+		// indistinguishable from sequential execution.
+		{"parallel", core.Options{Parallel: true, Workers: 4}},
 	}
 }
 

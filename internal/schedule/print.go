@@ -31,6 +31,8 @@ func writeNodes(b *strings.Builder, nodes []*Node, depth int) {
 			par := ""
 			if n.Parallel {
 				par = " parallel"
+			} else if n.Doacross {
+				par = " doacross"
 			}
 			fmt.Fprintf(b, "do %s %s%s [%d..%d step %d]\n", l.Var, n.Dir, par, l.First, l.Last, l.Stride)
 			writeNodes(b, n.Body, depth+1)

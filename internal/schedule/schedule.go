@@ -44,6 +44,13 @@ type Node struct {
 	// loop-carried dependences"; the same information identifies
 	// parallel outer loops).
 	Parallel bool
+	// Doacross reports that dependences ARE carried at this loop level,
+	// but every one of them points in the scheduled direction: the pass
+	// admits pipelined (doacross) execution if concrete dependence
+	// distances permit — wavefront bands over 2-D nests, residue-class
+	// chains for constant-distance recurrences. Mutually exclusive with
+	// Parallel.
+	Doacross bool
 	// Body is the ordered contents of a loop pass.
 	Body []*Node
 }
@@ -351,13 +358,21 @@ func (s *scheduler) level(entities []*analysis.TreeNode, edges []clauseEdge, p i
 			inPass[e] = true
 		}
 		parallel := true
+		doacross := true
+		consistent := deptest.DirLess
+		if bestDir == Backward {
+			consistent = deptest.DirGreater
+		}
 		for _, e := range lvl {
 			if e.carried != deptest.DirEqual && inPass[e.src] && inPass[e.dst] {
 				parallel = false
-				break
+				if e.carried != consistent {
+					doacross = false
+				}
 			}
 		}
-		passNodes, err := s.expand(entities, passEntities, passDown, p, bestDir, parallel)
+		doacross = doacross && !parallel
+		passNodes, err := s.expand(entities, passEntities, passDown, p, bestDir, parallel, doacross)
 		if err != nil {
 			return nil, err
 		}
@@ -427,7 +442,7 @@ func topoWithin(g *depgraph.Graph, vertices []int) ([]int, error) {
 // leaves directly, loop entities via recursive scheduling of their
 // children (which may split them into several consecutive nodes), all
 // wrapped into a single pass of the surrounding loop when p ≥ 0.
-func (s *scheduler) expand(entities []*analysis.TreeNode, ordered []int, passDown map[int][]clauseEdge, p int, dir Direction, parallel bool) ([]*Node, error) {
+func (s *scheduler) expand(entities []*analysis.TreeNode, ordered []int, passDown map[int][]clauseEdge, p int, dir Direction, parallel, doacross bool) ([]*Node, error) {
 	var body []*Node
 	for _, ei := range ordered {
 		ent := entities[ei]
@@ -452,7 +467,7 @@ func (s *scheduler) expand(entities []*analysis.TreeNode, ordered []int, passDow
 		return nil, fmt.Errorf("schedule: cannot recover surrounding loop at position %d", p)
 	}
 	s.out.LoopPasses++
-	return []*Node{{Loop: loopNode, Dir: dir, Parallel: parallel, Body: body}}, nil
+	return []*Node{{Loop: loopNode, Dir: dir, Parallel: parallel, Doacross: doacross, Body: body}}, nil
 }
 
 // nestPosOf returns the nest position of a loop entity (how many loops
