@@ -1,0 +1,66 @@
+// Command benchdiff is the CI bench-regression gate: it compares a
+// fresh hacbench -json run against a committed baseline and exits
+// nonzero if any gated label's ns/op regressed beyond the threshold.
+//
+//	benchdiff -base BENCH_2.json -new /tmp/bench.json -max-regress 25
+//
+// Baseline arms that exist to be slow (thunked, hand-written, naive,
+// trailer, list variants) are skipped by default; -skip overrides the
+// substring list and -all gates everything. Output ends with one
+// machine-readable summary line — BENCH-OK on success, BENCH-FAIL
+// after one BENCH-REGRESS / BENCH-MISSING line per offender — so CI
+// logs can be grepped without parsing tables.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"arraycomp/internal/benchcmp"
+)
+
+func main() {
+	var (
+		basePath   = flag.String("base", "BENCH_2.json", "committed baseline result file")
+		newPath    = flag.String("new", "", "fresh hacbench -json result file (required)")
+		maxRegress = flag.Float64("max-regress", 25, "max allowed ns/op regression, percent")
+		skipList   = flag.String("skip", strings.Join(benchcmp.DefaultSkip, ","),
+			"comma-separated label substrings excluded from gating")
+		all   = flag.Bool("all", false, "gate every label, including baseline arms")
+		quiet = flag.Bool("quiet", false, "suppress the per-label table")
+	)
+	flag.Parse()
+	if *newPath == "" {
+		fmt.Fprintln(os.Stderr, "benchdiff: -new is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	base, err := benchcmp.Load(*basePath)
+	if err != nil {
+		die(err)
+	}
+	fresh, err := benchcmp.Load(*newPath)
+	if err != nil {
+		die(err)
+	}
+	var skip func(string) bool
+	if !*all {
+		skip = benchcmp.Skipper(strings.Split(*skipList, ","))
+	}
+	rep := benchcmp.Compare(base, fresh, *maxRegress, skip)
+	if !*quiet {
+		fmt.Printf("benchdiff: %s vs %s (wall: +%.0f%%)\n", *basePath, *newPath, *maxRegress)
+		rep.WriteTable(os.Stdout)
+	}
+	rep.WriteMachine(os.Stdout)
+	if !rep.OK() {
+		os.Exit(1)
+	}
+}
+
+func die(err error) {
+	fmt.Fprintln(os.Stderr, "benchdiff:", err)
+	os.Exit(1)
+}

@@ -1,5 +1,5 @@
 // Command hacbench regenerates the experiment tables of EXPERIMENTS.md:
-// for every experiment (E1–E16) it runs the relevant workloads through
+// for every experiment (E1–E17) it runs the relevant workloads through
 // the compiled pipeline and the baselines and prints one table row per
 // variant, including the qualitative expectation the paper states.
 //
@@ -17,6 +17,11 @@
 //
 //	hacbench -json BENCH.json -noopt e3 e9 e10 e11
 //	hacbench -json BENCH.json        e3 e9 e10 e11
+//
+// -baseline FILE gates the run against a committed result file (the CI
+// bench-regression wall): after benching, every gated label must be
+// within -maxregress percent of the baseline ns/op or hacbench prints
+// BENCH-REGRESS lines and exits nonzero.
 package main
 
 import (
@@ -30,6 +35,8 @@ import (
 	"testing"
 
 	"arraycomp/internal/analysis"
+	"arraycomp/internal/benchcmp"
+	"arraycomp/internal/cache"
 	"arraycomp/internal/core"
 	"arraycomp/internal/depgraph"
 	"arraycomp/internal/deptest"
@@ -40,21 +47,15 @@ import (
 )
 
 var (
-	quick    = flag.Bool("quick", false, "smaller sizes for a fast smoke run")
-	noopt    = flag.Bool("noopt", false, "disable the loop-IR optimizer (pre/post comparisons)")
-	jsonPath = flag.String("json", "", "merge machine-readable results into FILE")
-	workersF = flag.Int("workers", 0, "bench parallel arms at this worker count only (0 = 1, 2 and NumCPU)")
+	quick      = flag.Bool("quick", false, "smaller sizes for a fast smoke run")
+	noopt      = flag.Bool("noopt", false, "disable the loop-IR optimizer (pre/post comparisons)")
+	jsonPath   = flag.String("json", "", "merge machine-readable results into FILE")
+	workersF   = flag.Int("workers", 0, "bench parallel arms at this worker count only (0 = 1, 2 and NumCPU)")
+	baseline   = flag.String("baseline", "", "gate this run against a committed result FILE")
+	maxRegress = flag.Float64("maxregress", 25, "with -baseline: max allowed ns/op regression, percent")
 )
 
-// benchResult is one -json entry. Workers is 0 for sequential runs and
-// the pool size for parallel arms.
-type benchResult struct {
-	NsPerOp     float64 `json:"ns_per_op"`
-	AllocsPerOp int64   `json:"allocs_per_op"`
-	Workers     int     `json:"workers,omitempty"`
-}
-
-var jsonResults = map[string]benchResult{}
+var jsonResults = map[string]benchcmp.Result{}
 
 func main() {
 	flag.Parse()
@@ -73,6 +74,25 @@ func main() {
 		}
 	}
 	writeJSON()
+	gateBaseline()
+}
+
+// gateBaseline enforces the bench-regression wall in-process: compare
+// this run's results against -baseline and exit nonzero on any gated
+// regression, using the same engine as cmd/benchdiff.
+func gateBaseline() {
+	if *baseline == "" {
+		return
+	}
+	base, err := benchcmp.Load(*baseline)
+	die(err)
+	rep := benchcmp.Compare(base, jsonResults, *maxRegress, benchcmp.Skipper(benchcmp.DefaultSkip))
+	fmt.Printf("\n### baseline gate vs %s (wall: +%.0f%%)\n", *baseline, *maxRegress)
+	rep.WriteTable(os.Stdout)
+	rep.WriteMachine(os.Stdout)
+	if !rep.OK() {
+		os.Exit(1)
+	}
 }
 
 // writeJSON merges this run's results into -json FILE (earlier entries
@@ -81,7 +101,7 @@ func writeJSON() {
 	if *jsonPath == "" {
 		return
 	}
-	merged := map[string]benchResult{}
+	merged := map[string]benchcmp.Result{}
 	if data, err := os.ReadFile(*jsonPath); err == nil {
 		if err := json.Unmarshal(data, &merged); err != nil {
 			die(fmt.Errorf("existing %s is not a result file: %v", *jsonPath, err))
@@ -116,12 +136,12 @@ func benchW(label string, workers int, f func()) float64 {
 	})
 	ns := float64(r.T.Nanoseconds()) / float64(r.N)
 	fmt.Printf("  %-34s %14.0f ns/op\n", label, ns)
-	if *jsonPath != "" {
+	if *jsonPath != "" || *baseline != "" {
 		prefix := "opt/"
 		if *noopt {
 			prefix = "noopt/"
 		}
-		jsonResults[prefix+label] = benchResult{NsPerOp: ns, AllocsPerOp: r.AllocsPerOp(), Workers: workers}
+		jsonResults[prefix+label] = benchcmp.Result{NsPerOp: ns, AllocsPerOp: r.AllocsPerOp(), Workers: workers}
 	}
 	return ns
 }
@@ -490,6 +510,37 @@ var experiments = []experiment{
 					fmt.Printf("    seq/par(w=%d) = %s\n", w, ratio(s, p))
 				}
 			}
+		},
+	}, {
+		id: "e17", title: "plan cache: cached vs cold compile-and-run",
+		expect: "warm requests skip parse/analyze/lower; cached ≈ run-only, ≪ cold",
+		run: func() {
+			n := size(96, 32)
+			params := map[string]int64{"n": n}
+			src := workloads.WavefrontSrc
+			cold := bench(fmt.Sprintf("cold compile+run n=%d", n), func() {
+				p, err := core.Compile(src, params, core.Options{NoOptimize: *noopt})
+				die(err)
+				_, err = p.Run(nil)
+				die(err)
+			})
+			compileOnly := bench(fmt.Sprintf("compile only n=%d", n), func() {
+				_, err := core.Compile(src, params, core.Options{NoOptimize: *noopt})
+				die(err)
+			})
+			c := cache.New(64, 0)
+			warm := bench(fmt.Sprintf("cached compile+run n=%d", n), func() {
+				e, _, err := c.GetOrCompile(src, params, core.Options{NoOptimize: *noopt})
+				die(err)
+				_, err = e.Program.Run(nil)
+				die(err)
+			})
+			pre, err := core.Compile(src, params, core.Options{NoOptimize: *noopt})
+			die(err)
+			runOnly := bench(fmt.Sprintf("run only n=%d", n), func() { runP(pre, nil) })
+			fmt.Printf("  cold/cached = %s, cached/run-only = %s, compile share of cold = %.0f%%\n",
+				ratio(cold, warm), ratio(warm, runOnly), 100*compileOnly/cold)
+			fmt.Printf("  cache stats: %s\n", c.Stats())
 		},
 	},
 }

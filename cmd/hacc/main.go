@@ -4,8 +4,8 @@
 //
 // Usage:
 //
-//	hacc report [-p n=100,m=20] [-in a=1:8,1:8] [-O] file.hac
-//	hacc run     [-p n=100] [-in a=1:8,1:8] [-seed 1] [-show k] [-parallel] [-workers k] file.hac
+//	hacc report [-p n=100,m=20] [-in a=1:8,1:8] [-O] [-explain] file.hac
+//	hacc run     [-p n=100] [-in a=1:8,1:8] [-seed 1] [-show k] [-parallel] [-workers k] [-explain] file.hac
 //	hacc ir      [-p n=100] [-in …] [-O] file.hac
 //	hacc dot     [-p n=100] [-in …] file.hac
 //	hacc emit-go [-p n=100] [-in …] [-O] file.hac   # standalone Go source
@@ -27,6 +27,7 @@ import (
 	"io"
 	"math/rand"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -57,6 +58,7 @@ func run(args []string, w io.Writer) error {
 	show := fs.Int64("show", 5, "how many leading elements to print (run)")
 	thunked := fs.Bool("thunked", false, "force the thunked baseline")
 	optimize := fs.Bool("O", false, "run the loop-IR optimizer before report/ir/emit-go output")
+	explain := fs.Bool("explain", false, "print the compile report (per-phase timings, optimization counters) before the command output")
 	parallel := fs.Bool("parallel", false, "enable parallel scheduling (shard/doacross/wavefront/tiling)")
 	workers := fs.Int("workers", 0, "parallel worker count; 0 = GOMAXPROCS at run time (needs -parallel)")
 	fuzzN := fs.Int("n", 100, "number of programs to generate (fuzz)")
@@ -94,6 +96,11 @@ func run(args []string, w io.Writer) error {
 	prog, err := core.Compile(string(srcBytes), params, opts)
 	if err != nil {
 		return err
+	}
+	if *explain {
+		// The same instrumentation layer the haccd service exposes via
+		// GET /metrics: phase timings plus optimization counters.
+		fmt.Fprint(w, prog.Stats.String())
 	}
 	switch cmd {
 	case "report":
@@ -171,7 +178,22 @@ func runFuzz(n int, seed int64, withGogen bool, w io.Writer) error {
 	s := oracle.RunSeeds(seeds, gencomp.Config{}, withGogen)
 	fmt.Fprint(w, s)
 	if len(s.Failures) == 0 {
+		fmt.Fprintf(w, "FUZZ-OK programs=%d\n", s.Programs)
 		return nil
+	}
+	// One machine-readable line per divergence, so CI steps fail on a
+	// grep-able contract (and the exit status) rather than log shape.
+	for _, c := range s.Failures {
+		backends := map[string]bool{}
+		for _, m := range c.Mismatches {
+			backends[m.Backend] = true
+		}
+		names := make([]string, 0, len(backends))
+		for b := range backends {
+			names = append(names, b)
+		}
+		sort.Strings(names)
+		fmt.Fprintf(w, "FUZZ-FAIL seed=%d backends=%s\n", c.Seed, strings.Join(names, ","))
 	}
 	const maxReports = 3
 	for i, c := range s.Failures {

@@ -1,0 +1,85 @@
+// Command haccd is the compile-and-run service: an HTTP daemon that
+// compiles array-comprehension programs through a content-addressed
+// plan cache and executes them on the process-wide warm worker pool,
+// exposing per-phase compile metrics and cache counters.
+//
+// Endpoints:
+//
+//	POST /compile  {"source": "...", "params": {"n": 256}, "options": {...}}
+//	POST /eval     compile request + {"inputs": {...}, "seed": 1}
+//	GET  /metrics  Prometheus text exposition
+//	GET  /healthz  liveness
+//
+// The serving argument is the paper's: every proof and schedule is
+// computed at compile time, so the service pays analysis once per
+// distinct (source, params, options) and then serves evaluations from
+// the cached thunkless plan — `POST /eval` on a warm cache runs no
+// parse, analysis, or lowering at all.
+//
+// Operational guards: per-request timeout, a concurrency limiter,
+// request body caps, and graceful drain on SIGTERM/SIGINT.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":8347", "listen address")
+		cacheEntries = flag.Int("cache-entries", 1024, "max cached plans (0 = unbounded)")
+		cacheMB      = flag.Int64("cache-mb", 256, "max cached plan bytes, in MiB (0 = unbounded)")
+		timeout      = flag.Duration("timeout", 30*time.Second, "per-request timeout")
+		maxBodyMB    = flag.Int64("max-body-mb", 16, "request body cap, in MiB")
+		concurrency  = flag.Int("concurrency", 256, "max concurrently served requests")
+		drain        = flag.Duration("drain", 30*time.Second, "graceful shutdown budget after SIGTERM")
+	)
+	flag.Parse()
+
+	cfg := defaultConfig()
+	cfg.cacheEntries = *cacheEntries
+	cfg.cacheBytes = *cacheMB << 20
+	cfg.timeout = *timeout
+	cfg.maxBody = *maxBodyMB << 20
+	cfg.concurrency = *concurrency
+
+	s := newServer(cfg)
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           s.handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	log.Printf("haccd listening on %s (cache: %d entries / %d MiB, concurrency %d)",
+		*addr, cfg.cacheEntries, *cacheMB, cfg.concurrency)
+
+	select {
+	case err := <-errc:
+		log.Fatalf("haccd: %v", err)
+	case <-ctx.Done():
+		// Graceful drain: stop accepting, let in-flight requests
+		// finish within the drain budget, then force-close.
+		stop()
+		log.Printf("haccd: signal received; draining for up to %s", *drain)
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+			log.Printf("haccd: drain incomplete: %v", err)
+			httpSrv.Close()
+		}
+		st := s.cache.Stats()
+		fmt.Printf("haccd: final cache stats: %s\n", st)
+	}
+}

@@ -1,0 +1,373 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"net/http"
+	"time"
+
+	"arraycomp/internal/analysis"
+	"arraycomp/internal/cache"
+	"arraycomp/internal/core"
+	"arraycomp/internal/metrics"
+	"arraycomp/internal/runtime"
+)
+
+// config tunes the service.
+type config struct {
+	cacheEntries int
+	cacheBytes   int64
+	maxBody      int64
+	concurrency  int
+	timeout      time.Duration
+}
+
+func defaultConfig() config {
+	return config{
+		cacheEntries: 1024,
+		cacheBytes:   256 << 20,
+		maxBody:      16 << 20,
+		concurrency:  256,
+		timeout:      30 * time.Second,
+	}
+}
+
+// server is the haccd HTTP service: compile-through-cache plus
+// execution on the process-wide warm worker pool, instrumented end to
+// end. One server owns one plan cache and one metric registry.
+type server struct {
+	cfg   config
+	cache *cache.Cache
+	reg   *metrics.Registry
+	sem   chan struct{} // concurrency limiter; buffered to cfg.concurrency
+
+	reqTotal     *metrics.CounterVec   // by handler
+	reqErrors    *metrics.CounterVec   // by handler
+	reqSeconds   *metrics.HistogramVec // by handler
+	phaseSeconds *metrics.HistogramVec // compile phases, observed on misses only
+	evalSeconds  *metrics.Histogram    // pure plan execution time
+	optTotal     *metrics.CounterVec   // optimization counters, by kind
+	schedTotal   *metrics.CounterVec   // compiled loop schedules, by kind
+}
+
+func newServer(cfg config) *server {
+	s := &server{
+		cfg:   cfg,
+		cache: cache.New(cfg.cacheEntries, cfg.cacheBytes),
+		reg:   metrics.NewRegistry(),
+		sem:   make(chan struct{}, cfg.concurrency),
+	}
+	s.reqTotal = s.reg.NewCounterVec("haccd_requests_total", "Requests served, by handler.", "handler")
+	s.reqErrors = s.reg.NewCounterVec("haccd_request_errors_total", "Requests that failed, by handler.", "handler")
+	s.reqSeconds = s.reg.NewHistogramVec("haccd_request_seconds", "End-to-end request latency, by handler.", "handler", nil)
+	s.phaseSeconds = s.reg.NewHistogramVec("haccd_compile_phase_seconds",
+		"Compile time per phase, observed only when a request actually compiles (cache misses).", "phase", nil)
+	s.evalSeconds = s.reg.NewHistogramM("haccd_eval_run_seconds", "Pure plan execution time of /eval requests.", nil)
+	s.optTotal = s.reg.NewCounterVec("haccd_opt_total",
+		"Optimizations performed by compiles this process ran, by kind.", "kind")
+	s.schedTotal = s.reg.NewCounterVec("haccd_schedules_total",
+		"Loops compiled, by execution shape (sequential/shard/tile/wavefront/chains).", "kind")
+	s.reg.NewCounterFunc("haccd_cache_hits_total", "Plan cache hits.", func() uint64 { return s.cache.Stats().Hits })
+	s.reg.NewCounterFunc("haccd_cache_misses_total", "Plan cache misses (compiles).", func() uint64 { return s.cache.Stats().Misses })
+	s.reg.NewCounterFunc("haccd_cache_evictions_total", "Plan cache LRU evictions.", func() uint64 { return s.cache.Stats().Evictions })
+	s.reg.NewGaugeFunc("haccd_cache_entries", "Plans currently cached.", func() float64 { return float64(s.cache.Stats().Entries) })
+	s.reg.NewGaugeFunc("haccd_cache_bytes", "Charged bytes currently cached.", func() float64 { return float64(s.cache.Stats().Bytes) })
+	s.reg.NewGaugeFunc("haccd_inflight_requests", "Requests currently holding a concurrency slot.", func() float64 { return float64(len(s.sem)) })
+	return s
+}
+
+// handler builds the routed, limited, timeout-wrapped handler chain.
+func (s *server) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.Handle("/compile", s.instrument("compile", s.handleCompile))
+	mux.Handle("/eval", s.instrument("eval", s.handleEval))
+	// The timeout wrapper bounds every response, including queueing
+	// time spent waiting for a concurrency slot.
+	return http.TimeoutHandler(mux, s.cfg.timeout, `{"error":"request timed out"}`)
+}
+
+// instrument wraps a JSON handler with the concurrency limiter, the
+// body-size cap, and per-handler metrics.
+func (s *server) instrument(name string, fn func(w http.ResponseWriter, r *http.Request) (int, error)) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			s.reqErrors.With(name).Inc()
+			httpError(w, http.StatusMethodNotAllowed, fmt.Errorf("use POST"))
+			return
+		}
+		select {
+		case s.sem <- struct{}{}:
+			defer func() { <-s.sem }()
+		case <-r.Context().Done():
+			s.reqErrors.With(name).Inc()
+			httpError(w, http.StatusServiceUnavailable, fmt.Errorf("server at concurrency limit"))
+			return
+		}
+		t0 := time.Now()
+		r.Body = http.MaxBytesReader(w, r.Body, s.cfg.maxBody)
+		code, err := fn(w, r)
+		s.reqSeconds.With(name).Observe(time.Since(t0).Seconds())
+		s.reqTotal.With(name).Inc()
+		if err != nil {
+			s.reqErrors.With(name).Inc()
+			httpError(w, code, err)
+		}
+	})
+}
+
+func httpError(w http.ResponseWriter, code int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.reg.WritePrometheus(w)
+}
+
+// --- request/response shapes ---
+
+// boundsJSON is one array's bounds: lo/hi per dimension.
+type boundsJSON struct {
+	Lo []int64 `json:"lo"`
+	Hi []int64 `json:"hi"`
+}
+
+// optionsJSON mirrors the semantically relevant core.Options.
+type optionsJSON struct {
+	Parallel     bool                  `json:"parallel,omitempty"`
+	Workers      int                   `json:"workers,omitempty"`
+	ForceThunked bool                  `json:"force_thunked,omitempty"`
+	NoOptimize   bool                  `json:"no_optimize,omitempty"`
+	NoLinearize  bool                  `json:"no_linearize,omitempty"`
+	InputBounds  map[string]boundsJSON `json:"input_bounds,omitempty"`
+}
+
+func (o optionsJSON) coreOptions() core.Options {
+	opts := core.Options{
+		Parallel:     o.Parallel,
+		Workers:      o.Workers,
+		ForceThunked: o.ForceThunked,
+		NoOptimize:   o.NoOptimize,
+		NoLinearize:  o.NoLinearize,
+	}
+	if len(o.InputBounds) > 0 {
+		opts.InputBounds = map[string]analysis.ArrayBounds{}
+		for name, b := range o.InputBounds {
+			opts.InputBounds[name] = cache.InputBoundsOf(b.Lo, b.Hi)
+		}
+	}
+	return opts
+}
+
+// compileRequest is the body of POST /compile (and the compile part
+// of POST /eval).
+type compileRequest struct {
+	Source  string           `json:"source"`
+	Params  map[string]int64 `json:"params"`
+	Options optionsJSON      `json:"options"`
+}
+
+// arrayJSON carries an input or result array.
+type arrayJSON struct {
+	Lo   []int64   `json:"lo"`
+	Hi   []int64   `json:"hi"`
+	Data []float64 `json:"data"`
+}
+
+// evalRequest is the body of POST /eval. Inputs may be given
+// explicitly; any input array declared in options.input_bounds but
+// not listed is filled with deterministic pseudo-random data derived
+// from Seed and the array name.
+type evalRequest struct {
+	compileRequest
+	Inputs map[string]arrayJSON `json:"inputs,omitempty"`
+	Seed   int64                `json:"seed,omitempty"`
+}
+
+// reportJSON is the compile-time record attached to the cached plan.
+type reportJSON struct {
+	PhasesNs map[string]int64  `json:"phases_ns"`
+	Counters metrics.Counters  `json:"counters"`
+	Modes    map[string]string `json:"modes"`
+	Notes    []string          `json:"notes,omitempty"`
+}
+
+// compileResponse answers POST /compile. CompileNs and PhasesNs are
+// the compile cost paid by THIS request: zero / absent on a cache
+// hit, where parse/analyze/lower never run.
+type compileResponse struct {
+	Key       string           `json:"key"`
+	Cache     string           `json:"cache"` // "hit" | "miss"
+	CompileNs int64            `json:"compile_ns"`
+	PhasesNs  map[string]int64 `json:"phases_ns,omitempty"`
+	Report    reportJSON       `json:"report"`
+}
+
+// evalResponse answers POST /eval.
+type evalResponse struct {
+	compileResponse
+	Result arrayJSON `json:"result"`
+	EvalNs int64     `json:"eval_ns"`
+}
+
+// --- handlers ---
+
+// compileThrough serves the compile part of both endpoints: cache
+// lookup with singleflight fill, recording phase metrics only when
+// this request actually compiled.
+func (s *server) compileThrough(req compileRequest) (*cache.Entry, compileResponse, int, error) {
+	if req.Source == "" {
+		return nil, compileResponse{}, http.StatusBadRequest, fmt.Errorf("missing source")
+	}
+	entry, hit, err := s.cache.GetOrCompile(req.Source, req.Params, req.Options.coreOptions())
+	if err != nil {
+		return nil, compileResponse{}, http.StatusUnprocessableEntity, err
+	}
+	resp := compileResponse{Key: entry.Key, Cache: "miss", Report: reportOf(entry)}
+	if hit {
+		// Warm path: no compile phase ran for this request; record
+		// nothing in the phase histograms and report zero cost.
+		resp.Cache = "hit"
+		return entry, resp, 0, nil
+	}
+	resp.CompileNs = entry.Report.Total().Nanoseconds()
+	resp.PhasesNs = map[string]int64{}
+	for ph, d := range entry.Report.Phases {
+		resp.PhasesNs[ph] = d.Nanoseconds()
+		s.phaseSeconds.With(ph).Observe(d.Seconds())
+	}
+	s.recordOptCounters(entry.Report.Counters)
+	return entry, resp, 0, nil
+}
+
+// recordOptCounters folds one compilation's optimization counters into
+// the process-wide metric families.
+func (s *server) recordOptCounters(c metrics.Counters) {
+	s.optTotal.With("collision_checks_elided").Add(uint64(c.CollisionChecksElided))
+	s.optTotal.With("empties_checks_elided").Add(uint64(c.EmptiesChecksElided))
+	s.optTotal.With("thunks_avoided").Add(uint64(c.ThunksAvoided))
+	s.optTotal.With("thunked_defs").Add(uint64(c.ThunkedDefs))
+	s.optTotal.With("loops_fused").Add(uint64(c.LoopsFused))
+	for kind, n := range c.SchedulesByKind {
+		s.schedTotal.With(kind).Add(uint64(n))
+	}
+}
+
+func reportOf(e *cache.Entry) reportJSON {
+	rj := reportJSON{
+		PhasesNs: map[string]int64{},
+		Counters: e.Report.Counters,
+		Modes:    map[string]string{},
+		Notes:    e.Program.Notes,
+	}
+	for ph, d := range e.Report.Phases {
+		rj.PhasesNs[ph] = d.Nanoseconds()
+	}
+	for name, cd := range e.Program.Defs {
+		rj.Modes[name] = cd.Mode()
+	}
+	return rj
+}
+
+func (s *server) handleCompile(w http.ResponseWriter, r *http.Request) (int, error) {
+	var req compileRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		return decodeErrorStatus(err), fmt.Errorf("bad request body: %w", err)
+	}
+	_, resp, code, err := s.compileThrough(req)
+	if err != nil {
+		return code, err
+	}
+	return 0, writeJSON(w, resp)
+}
+
+func (s *server) handleEval(w http.ResponseWriter, r *http.Request) (int, error) {
+	var req evalRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		return decodeErrorStatus(err), fmt.Errorf("bad request body: %w", err)
+	}
+	entry, cresp, code, err := s.compileThrough(req.compileRequest)
+	if err != nil {
+		return code, err
+	}
+	inputs, err := buildInputs(req)
+	if err != nil {
+		return http.StatusBadRequest, err
+	}
+	t0 := time.Now()
+	out, err := entry.Program.Run(inputs)
+	evalNs := time.Since(t0)
+	if err != nil {
+		return http.StatusUnprocessableEntity, err
+	}
+	s.evalSeconds.Observe(evalNs.Seconds())
+	return 0, writeJSON(w, evalResponse{
+		compileResponse: cresp,
+		Result:          arrayJSON{Lo: out.B.Lo, Hi: out.B.Hi, Data: out.Data},
+		EvalNs:          evalNs.Nanoseconds(),
+	})
+}
+
+// buildInputs materializes the run's input arrays: explicit data
+// first, then deterministic pseudo-random fill (seeded per array
+// name) for every declared input without explicit data — the same
+// convention as `hacc run -seed`.
+func buildInputs(req evalRequest) (map[string]*runtime.Strict, error) {
+	inputs := map[string]*runtime.Strict{}
+	for name, a := range req.Inputs {
+		b := runtime.Bounds{Lo: a.Lo, Hi: a.Hi}
+		if got, want := int64(len(a.Data)), b.Size(); got != want {
+			return nil, fmt.Errorf("input %q: %d data elements for bounds of size %d", name, got, want)
+		}
+		arr := runtime.NewStrict(b)
+		copy(arr.Data, a.Data)
+		inputs[name] = arr
+	}
+	for name, b := range req.Options.InputBounds {
+		if _, ok := inputs[name]; ok {
+			continue
+		}
+		arr := runtime.NewStrict(runtime.Bounds{Lo: b.Lo, Hi: b.Hi})
+		rng := rand.New(rand.NewSource(req.Seed ^ nameSeed(name)))
+		for i := range arr.Data {
+			arr.Data[i] = rng.Float64()
+		}
+		inputs[name] = arr
+	}
+	return inputs, nil
+}
+
+// nameSeed derives a per-array seed component so generated inputs are
+// independent of map iteration order.
+func nameSeed(name string) int64 {
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	return int64(h.Sum64())
+}
+
+func writeJSON(w http.ResponseWriter, v any) error {
+	w.Header().Set("Content-Type", "application/json")
+	return json.NewEncoder(w).Encode(v)
+}
+
+// decodeErrorStatus maps body-decode failures: an over-cap body
+// surfaces as 413, everything else as 400.
+func decodeErrorStatus(err error) int {
+	var tooLarge *http.MaxBytesError
+	if errors.As(err, &tooLarge) {
+		return http.StatusRequestEntityTooLarge
+	}
+	return http.StatusBadRequest
+}

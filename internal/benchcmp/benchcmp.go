@@ -1,0 +1,149 @@
+// Package benchcmp compares two hacbench -json result files and
+// reports per-label regressions. It is the shared engine behind the
+// benchdiff CLI and hacbench's -baseline flag: both enforce the CI
+// bench-regression wall (compiled-path ns/op must not regress more
+// than a threshold against the committed baseline).
+package benchcmp
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+)
+
+// Result is one benchmark entry: the machine-readable form hacbench
+// writes under each label. Workers is 0 for sequential arms.
+type Result struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	Workers     int     `json:"workers,omitempty"`
+}
+
+// Load reads a hacbench -json result file.
+func Load(path string) (map[string]Result, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	m := map[string]Result{}
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("benchcmp: %s is not a result file: %w", path, err)
+	}
+	return m, nil
+}
+
+// DefaultSkip matches the baseline arms the regression wall ignores:
+// thunked, hand-written, and naive variants exist to be slow — only
+// the compiled path is gated.
+var DefaultSkip = []string{"thunked", "hand", "naive", "trailer", "cons list", "slice list"}
+
+// Skipper returns a label predicate that is true when any of the
+// substrings occurs in the label (case-insensitive).
+func Skipper(substrings []string) func(string) bool {
+	lowered := make([]string, len(substrings))
+	for i, s := range substrings {
+		lowered[i] = strings.ToLower(strings.TrimSpace(s))
+	}
+	return func(label string) bool {
+		l := strings.ToLower(label)
+		for _, s := range lowered {
+			if s != "" && strings.Contains(l, s) {
+				return true
+			}
+		}
+		return false
+	}
+}
+
+// Delta is one compared label.
+type Delta struct {
+	Label  string
+	BaseNs float64
+	NewNs  float64
+}
+
+// Ratio is new/base; > 1 means the new run is slower.
+func (d Delta) Ratio() float64 { return d.NewNs / d.BaseNs }
+
+// Report is the outcome of comparing a new run against a baseline.
+type Report struct {
+	MaxRegressPct float64  // threshold used, e.g. 25
+	Compared      []Delta  // every gated label present in both files
+	Regressions   []Delta  // subset over the threshold, worst first
+	Missing       []string // gated labels in the baseline absent from the new run
+	Skipped       []string // labels excluded from gating
+}
+
+// OK reports whether the run passed the wall: no regressions and no
+// gated baseline labels missing from the new run.
+func (r *Report) OK() bool { return len(r.Regressions) == 0 && len(r.Missing) == 0 }
+
+// Compare gates newRun against base: every non-skipped baseline label
+// must be present and within maxRegressPct percent of the baseline
+// ns/op. Labels only in newRun are ignored (new experiments don't
+// break old walls).
+func Compare(base, newRun map[string]Result, maxRegressPct float64, skip func(string) bool) *Report {
+	rep := &Report{MaxRegressPct: maxRegressPct}
+	labels := make([]string, 0, len(base))
+	for l := range base {
+		labels = append(labels, l)
+	}
+	sort.Strings(labels)
+	limit := 1 + maxRegressPct/100
+	for _, l := range labels {
+		if skip != nil && skip(l) {
+			rep.Skipped = append(rep.Skipped, l)
+			continue
+		}
+		nr, ok := newRun[l]
+		if !ok {
+			rep.Missing = append(rep.Missing, l)
+			continue
+		}
+		d := Delta{Label: l, BaseNs: base[l].NsPerOp, NewNs: nr.NsPerOp}
+		rep.Compared = append(rep.Compared, d)
+		if d.BaseNs > 0 && d.Ratio() > limit {
+			rep.Regressions = append(rep.Regressions, d)
+		}
+	}
+	sort.Slice(rep.Regressions, func(i, j int) bool {
+		return rep.Regressions[i].Ratio() > rep.Regressions[j].Ratio()
+	})
+	return rep
+}
+
+// WriteMachine emits the machine-readable contract CI greps for: one
+// BENCH-REGRESS line per offending label, BENCH-MISSING for absent
+// labels, then a BENCH-OK or BENCH-FAIL summary line.
+func (r *Report) WriteMachine(w io.Writer) {
+	for _, d := range r.Regressions {
+		fmt.Fprintf(w, "BENCH-REGRESS label=%q base_ns=%.0f new_ns=%.0f ratio=%.3f max_ratio=%.3f\n",
+			d.Label, d.BaseNs, d.NewNs, d.Ratio(), 1+r.MaxRegressPct/100)
+	}
+	for _, l := range r.Missing {
+		fmt.Fprintf(w, "BENCH-MISSING label=%q\n", l)
+	}
+	if r.OK() {
+		fmt.Fprintf(w, "BENCH-OK compared=%d skipped=%d max_regress_pct=%.0f\n",
+			len(r.Compared), len(r.Skipped), r.MaxRegressPct)
+	} else {
+		fmt.Fprintf(w, "BENCH-FAIL regressions=%d missing=%d compared=%d\n",
+			len(r.Regressions), len(r.Missing), len(r.Compared))
+	}
+}
+
+// WriteTable renders a human-oriented comparison of every compared
+// label, flagging the ones over the threshold.
+func (r *Report) WriteTable(w io.Writer) {
+	for _, d := range r.Compared {
+		flag := ""
+		if d.BaseNs > 0 && d.Ratio() > 1+r.MaxRegressPct/100 {
+			flag = "  <-- REGRESSION"
+		}
+		fmt.Fprintf(w, "  %-36s %12.0f -> %12.0f ns/op  (%.2fx)%s\n",
+			d.Label, d.BaseNs, d.NewNs, d.Ratio(), flag)
+	}
+}

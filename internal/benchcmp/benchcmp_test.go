@@ -1,0 +1,111 @@
+package benchcmp
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestCompareFlagsOnlyOverThreshold(t *testing.T) {
+	base := map[string]Result{
+		"opt/compiled n=256": {NsPerOp: 1000},
+		"opt/SOR seq":        {NsPerOp: 2000},
+		"opt/fast path":      {NsPerOp: 500},
+	}
+	newRun := map[string]Result{
+		"opt/compiled n=256": {NsPerOp: 1240}, // +24%: under the wall
+		"opt/SOR seq":        {NsPerOp: 2600}, // +30%: over
+		"opt/fast path":      {NsPerOp: 400},  // improvement
+	}
+	rep := Compare(base, newRun, 25, nil)
+	if len(rep.Compared) != 3 {
+		t.Fatalf("compared %d labels, want 3", len(rep.Compared))
+	}
+	if len(rep.Regressions) != 1 || rep.Regressions[0].Label != "opt/SOR seq" {
+		t.Fatalf("regressions = %+v, want exactly opt/SOR seq", rep.Regressions)
+	}
+	if rep.OK() {
+		t.Fatal("report with a regression must not be OK")
+	}
+}
+
+func TestCompareSkipsBaselineArms(t *testing.T) {
+	base := map[string]Result{
+		"opt/compiled n=256":           {NsPerOp: 1000},
+		"opt/thunked  n=256":           {NsPerOp: 9000},
+		"opt/handwritten n=256":        {NsPerOp: 800},
+		"opt/naive per-update copying": {NsPerOp: 5000},
+	}
+	newRun := map[string]Result{
+		"opt/compiled n=256":    {NsPerOp: 1000},
+		"opt/thunked  n=256":    {NsPerOp: 90000}, // 10x slower but not gated
+		"opt/handwritten n=256": {NsPerOp: 8000},
+	}
+	rep := Compare(base, newRun, 25, Skipper(DefaultSkip))
+	if !rep.OK() {
+		t.Fatalf("baseline arms must be skipped: %+v", rep.Regressions)
+	}
+	if len(rep.Skipped) != 3 {
+		t.Fatalf("skipped = %v, want the 3 baseline arms", rep.Skipped)
+	}
+}
+
+func TestCompareMissingLabelFails(t *testing.T) {
+	base := map[string]Result{"opt/compiled n=256": {NsPerOp: 1000}}
+	rep := Compare(base, map[string]Result{}, 25, nil)
+	if rep.OK() || len(rep.Missing) != 1 {
+		t.Fatalf("missing gated label must fail the wall: %+v", rep)
+	}
+}
+
+func TestWriteMachineContract(t *testing.T) {
+	base := map[string]Result{
+		"opt/a": {NsPerOp: 1000},
+		"opt/b": {NsPerOp: 1000},
+	}
+	newRun := map[string]Result{
+		"opt/a": {NsPerOp: 2000},
+		"opt/b": {NsPerOp: 1000},
+	}
+	var buf bytes.Buffer
+	Compare(base, newRun, 25, nil).WriteMachine(&buf)
+	out := buf.String()
+	if !strings.Contains(out, `BENCH-REGRESS label="opt/a" base_ns=1000 new_ns=2000 ratio=2.000`) {
+		t.Errorf("missing BENCH-REGRESS line:\n%s", out)
+	}
+	if !strings.Contains(out, "BENCH-FAIL regressions=1") {
+		t.Errorf("missing BENCH-FAIL summary:\n%s", out)
+	}
+	buf.Reset()
+	Compare(base, map[string]Result{"opt/a": {NsPerOp: 1000}, "opt/b": {NsPerOp: 1000}}, 25, nil).WriteMachine(&buf)
+	if !strings.Contains(buf.String(), "BENCH-OK compared=2") {
+		t.Errorf("missing BENCH-OK summary:\n%s", buf.String())
+	}
+}
+
+func TestLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bench.json")
+	if err := os.WriteFile(path, []byte(`{"opt/a": {"ns_per_op": 123.5, "allocs_per_op": 7, "workers": 2}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	m, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := m["opt/a"]
+	if r.NsPerOp != 123.5 || r.AllocsPerOp != 7 || r.Workers != 2 {
+		t.Fatalf("loaded %+v", r)
+	}
+	if _, err := Load(filepath.Join(dir, "absent.json")); err == nil {
+		t.Fatal("loading a missing file must error")
+	}
+	if err := os.WriteFile(path, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path); err == nil {
+		t.Fatal("loading junk must error")
+	}
+}

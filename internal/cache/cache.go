@@ -1,0 +1,283 @@
+// Package cache is the content-addressed compiled-plan cache of the
+// serving layer: everything the paper buys — collision-freeness
+// proofs, thunkless schedules, doacross plans — is computed at compile
+// time, so a service pays the analysis once per distinct (source,
+// parameters, options) triple and reuses the compiled Program across
+// millions of evaluations.
+//
+// The cache is keyed by a SHA-256 of a canonical serialization of the
+// compilation request, bounded by both an entry count and a byte
+// budget with LRU eviction, and uses singleflight admission: N
+// concurrent requests for the same missing key run one compile, the
+// other N-1 block and share the result. Cached Programs are immutable
+// after compilation and safe for concurrent Run (the executor
+// allocates per-run frames), so one entry may serve any number of
+// simultaneous evaluations.
+package cache
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"sync"
+
+	"arraycomp/internal/analysis"
+	"arraycomp/internal/core"
+	"arraycomp/internal/metrics"
+)
+
+// Entry is one cached compilation artifact.
+type Entry struct {
+	// Key is the content address (hex SHA-256).
+	Key string
+	// Program is the compiled program, shared by every hit.
+	Program *core.Program
+	// Report is the compile-time instrumentation record. On a cache
+	// hit no compile phase runs, so the serving layer must NOT charge
+	// these timings again — they describe the original compilation.
+	Report *metrics.CompileReport
+	// Bytes is the entry's charged size.
+	Bytes int64
+}
+
+// Stats is a point-in-time snapshot of the cache counters.
+type Stats struct {
+	Hits      uint64
+	Misses    uint64
+	Evictions uint64
+	Entries   int
+	Bytes     int64
+}
+
+// flight is one in-progress compile other callers wait on.
+type flight struct {
+	done chan struct{}
+	e    *Entry
+	err  error
+}
+
+// Cache is a bounded LRU of compiled programs. The zero value is not
+// usable; construct with New.
+type Cache struct {
+	maxEntries int
+	maxBytes   int64
+
+	mu       sync.Mutex
+	ll       *list.List // front = most recently used; values are *Entry
+	byKey    map[string]*list.Element
+	inflight map[string]*flight
+	bytes    int64
+
+	hits, misses, evictions uint64
+
+	// compile is swappable for tests (singleflight, eviction order).
+	compile func(src string, params map[string]int64, opts core.Options) (*core.Program, error)
+}
+
+// New builds a cache bounded to maxEntries entries and maxBytes total
+// charged bytes (either may be 0 for "unbounded" in that dimension).
+func New(maxEntries int, maxBytes int64) *Cache {
+	return &Cache{
+		maxEntries: maxEntries,
+		maxBytes:   maxBytes,
+		ll:         list.New(),
+		byKey:      map[string]*list.Element{},
+		inflight:   map[string]*flight{},
+		compile:    core.Compile,
+	}
+}
+
+// Key computes the content address of a compilation request: a
+// SHA-256 over a canonical serialization of the source text, the
+// parameter binding, and every semantically relevant core.Option.
+// Two requests share a compiled plan iff their keys are equal.
+func Key(src string, params map[string]int64, opts core.Options) string {
+	h := sha256.New()
+	writeStr := func(s string) {
+		var n [8]byte
+		binary.LittleEndian.PutUint64(n[:], uint64(len(s)))
+		h.Write(n[:])
+		h.Write([]byte(s))
+	}
+	writeInt := func(v int64) {
+		var n [8]byte
+		binary.LittleEndian.PutUint64(n[:], uint64(v))
+		h.Write(n[:])
+	}
+	writeStr(src)
+	names := make([]string, 0, len(params))
+	for k := range params {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	writeInt(int64(len(names)))
+	for _, k := range names {
+		writeStr(k)
+		writeInt(params[k])
+	}
+	writeInt(int64(opts.ExactBudget))
+	writeInt(boolInt(opts.ForceThunked))
+	writeInt(boolInt(opts.Parallel))
+	writeInt(int64(opts.Workers))
+	writeInt(boolInt(opts.NoLinearize))
+	writeInt(boolInt(opts.ForceChecks))
+	writeInt(boolInt(opts.NoOptimize))
+	arrays := make([]string, 0, len(opts.InputBounds))
+	for k := range opts.InputBounds {
+		arrays = append(arrays, k)
+	}
+	sort.Strings(arrays)
+	writeInt(int64(len(arrays)))
+	for _, k := range arrays {
+		writeStr(k)
+		b := opts.InputBounds[k]
+		writeInt(int64(len(b.Lo)))
+		for d := range b.Lo {
+			writeInt(b.Lo[d])
+			writeInt(b.Hi[d])
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+func boolInt(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// entryBytes charges an entry for its source text plus a fixed
+// overhead per compiled definition — a deliberately simple,
+// deterministic stand-in for deep plan sizing, so the byte cap is an
+// enforceable contract rather than an estimate that drifts with
+// executor internals.
+const (
+	entryBaseBytes = 1 << 10 // fixed per-entry overhead
+	defBytes       = 1 << 9  // per compiled definition
+)
+
+func entryBytes(src string, prog *core.Program) int64 {
+	return entryBaseBytes + int64(len(src)) + defBytes*int64(len(prog.Defs))
+}
+
+// GetOrCompile returns the compiled program for the request,
+// compiling (at most once per key, however many callers race) on a
+// miss. The boolean reports whether the call was served from cache.
+func (c *Cache) GetOrCompile(src string, params map[string]int64, opts core.Options) (*Entry, bool, error) {
+	key := Key(src, params, opts)
+	c.mu.Lock()
+	if el, ok := c.byKey[key]; ok {
+		c.ll.MoveToFront(el)
+		c.hits++
+		e := el.Value.(*Entry)
+		c.mu.Unlock()
+		return e, true, nil
+	}
+	if fl, ok := c.inflight[key]; ok {
+		// Singleflight wait: someone else is compiling this key.
+		c.mu.Unlock()
+		<-fl.done
+		if fl.err != nil {
+			return nil, false, fl.err
+		}
+		// Served without compiling: count as a hit. (The entry may
+		// have been evicted already under a tiny byte cap; the
+		// flight result is still valid to use.)
+		c.mu.Lock()
+		c.hits++
+		if el, ok := c.byKey[key]; ok {
+			c.ll.MoveToFront(el)
+		}
+		c.mu.Unlock()
+		return fl.e, true, nil
+	}
+	fl := &flight{done: make(chan struct{})}
+	c.inflight[key] = fl
+	c.misses++
+	c.mu.Unlock()
+
+	prog, err := c.compile(src, params, opts)
+	if err != nil {
+		fl.err = err
+		c.finishFlight(key, fl)
+		return nil, false, err
+	}
+	e := &Entry{Key: key, Program: prog, Report: prog.Stats, Bytes: entryBytes(src, prog)}
+	fl.e = e
+	c.finishFlight(key, fl)
+	return e, false, nil
+}
+
+// finishFlight publishes a flight's result, inserting successful
+// entries (unless oversized) and evicting LRU victims over budget.
+func (c *Cache) finishFlight(key string, fl *flight) {
+	c.mu.Lock()
+	delete(c.inflight, key)
+	if fl.err == nil && (c.maxBytes == 0 || fl.e.Bytes <= c.maxBytes) {
+		// Admission: an entry alone larger than the whole byte budget
+		// is never cached (it would evict everything and thrash).
+		el := c.ll.PushFront(fl.e)
+		c.byKey[key] = el
+		c.bytes += fl.e.Bytes
+		c.evictLocked()
+	}
+	c.mu.Unlock()
+	close(fl.done)
+}
+
+// evictLocked removes least-recently-used entries until both caps
+// hold. Callers hold c.mu.
+func (c *Cache) evictLocked() {
+	for (c.maxEntries > 0 && c.ll.Len() > c.maxEntries) ||
+		(c.maxBytes > 0 && c.bytes > c.maxBytes) {
+		el := c.ll.Back()
+		if el == nil {
+			return
+		}
+		e := c.ll.Remove(el).(*Entry)
+		delete(c.byKey, e.Key)
+		c.bytes -= e.Bytes
+		c.evictions++
+	}
+}
+
+// Stats snapshots the counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+		Entries:   c.ll.Len(),
+		Bytes:     c.bytes,
+	}
+}
+
+// Keys returns the cached keys in LRU order, most recent first
+// (tests and debugging).
+func (c *Cache) Keys() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]string, 0, c.ll.Len())
+	for el := c.ll.Front(); el != nil; el = el.Next() {
+		out = append(out, el.Value.(*Entry).Key)
+	}
+	return out
+}
+
+// String renders the stats for logs.
+func (s Stats) String() string {
+	return fmt.Sprintf("hits=%d misses=%d evictions=%d entries=%d bytes=%d",
+		s.Hits, s.Misses, s.Evictions, s.Entries, s.Bytes)
+}
+
+// InputBoundsOf is a convenience for callers building Options from
+// runtime arrays: it converts bounds pairs into the analysis form.
+func InputBoundsOf(lo, hi []int64) analysis.ArrayBounds {
+	return analysis.ArrayBounds{Lo: append([]int64(nil), lo...), Hi: append([]int64(nil), hi...)}
+}

@@ -1,0 +1,240 @@
+package cache
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"arraycomp/internal/analysis"
+	"arraycomp/internal/core"
+)
+
+const wavefrontSrc = `a = array ((1,1),(n,n))
+  ([ (1,j) := 1.0 | j <- [1..n] ] ++
+   [ (i,1) := 1.0 | i <- [2..n] ] ++
+   [ (i,j) := a!(i-1,j) + a!(i,j-1) | i <- [2..n], j <- [2..n] ])`
+
+func src(i int) string {
+	return fmt.Sprintf(`a = array (1,n) [ j := j*%d | j <- [1..n] ]`, i+1)
+}
+
+func TestKeyDistinguishesRequests(t *testing.T) {
+	base := Key(wavefrontSrc, map[string]int64{"n": 8}, core.Options{})
+	cases := map[string]string{
+		"source":  Key(wavefrontSrc+" ", map[string]int64{"n": 8}, core.Options{}),
+		"params":  Key(wavefrontSrc, map[string]int64{"n": 9}, core.Options{}),
+		"options": Key(wavefrontSrc, map[string]int64{"n": 8}, core.Options{Parallel: true}),
+		"workers": Key(wavefrontSrc, map[string]int64{"n": 8}, core.Options{Parallel: true, Workers: 2}),
+		"bounds": Key(wavefrontSrc, map[string]int64{"n": 8}, core.Options{
+			InputBounds: map[string]analysis.ArrayBounds{"b": {Lo: []int64{1}, Hi: []int64{8}}},
+		}),
+	}
+	for what, k := range cases {
+		if k == base {
+			t.Errorf("changing %s did not change the key", what)
+		}
+	}
+	// And the key is stable across map iteration orders.
+	again := Key(wavefrontSrc, map[string]int64{"n": 8}, core.Options{})
+	if again != base {
+		t.Errorf("key not deterministic: %s vs %s", again, base)
+	}
+}
+
+func TestLRUEvictionOrder(t *testing.T) {
+	c := New(3, 0)
+	params := map[string]int64{"n": 16}
+	get := func(i int) string {
+		e, _, err := c.GetOrCompile(src(i), params, core.Options{})
+		if err != nil {
+			t.Fatalf("compile %d: %v", i, err)
+		}
+		return e.Key
+	}
+	k0, k1, k2 := get(0), get(1), get(2)
+	get(0)       // touch 0: order now 0,2,1
+	k3 := get(3) // evicts 1 (least recently used)
+	if st := c.Stats(); st.Evictions != 1 || st.Entries != 3 {
+		t.Fatalf("stats = %+v, want 1 eviction, 3 entries", st)
+	}
+	keys := c.Keys()
+	want := []string{k3, k0, k2}
+	for i := range want {
+		if keys[i] != want[i] {
+			t.Fatalf("LRU order = %v, want %v (k1=%s evicted)", keys, want, k1)
+		}
+	}
+	// 1 must now be a miss again.
+	_, hit, err := c.GetOrCompile(src(1), params, core.Options{})
+	if err != nil || hit {
+		t.Fatalf("re-fetch of evicted entry: hit=%v err=%v, want cold miss", hit, err)
+	}
+}
+
+func TestByteCapEnforced(t *testing.T) {
+	params := map[string]int64{"n": 16}
+	// Find one entry's charge, then allow just under three of them.
+	probe := New(0, 0)
+	e, _, err := probe.GetOrCompile(src(0), params, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	capBytes := 3*e.Bytes - 1
+	c := New(0, capBytes)
+	for i := 0; i < 6; i++ {
+		if _, _, err := c.GetOrCompile(src(i), params, core.Options{}); err != nil {
+			t.Fatal(err)
+		}
+		if st := c.Stats(); st.Bytes > capBytes {
+			t.Fatalf("after insert %d: bytes %d exceed cap %d", i, st.Bytes, capBytes)
+		}
+	}
+	st := c.Stats()
+	if st.Entries != 2 || st.Evictions != 4 {
+		t.Fatalf("stats = %+v, want 2 entries and 4 evictions under byte cap", st)
+	}
+}
+
+func TestOversizedEntryNotCached(t *testing.T) {
+	c := New(0, 16) // far below any entry's charge
+	params := map[string]int64{"n": 16}
+	if _, _, err := c.GetOrCompile(src(0), params, core.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if st := c.Stats(); st.Entries != 0 || st.Bytes != 0 {
+		t.Fatalf("oversized entry was cached: %+v", st)
+	}
+}
+
+// 100 concurrent identical requests must compile exactly once and all
+// receive the same Program.
+func TestSingleflight(t *testing.T) {
+	c := New(8, 0)
+	var compiles atomic.Int64
+	inner := c.compile
+	c.compile = func(s string, p map[string]int64, o core.Options) (*core.Program, error) {
+		compiles.Add(1)
+		time.Sleep(20 * time.Millisecond) // widen the race window
+		return inner(s, p, o)
+	}
+	const n = 100
+	params := map[string]int64{"n": 32}
+	var wg sync.WaitGroup
+	progs := make([]*core.Program, n)
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			e, _, err := c.GetOrCompile(wavefrontSrc, params, core.Options{})
+			if err == nil {
+				progs[i] = e.Program
+			}
+			errs[i] = err
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+	}
+	if got := compiles.Load(); got != 1 {
+		t.Fatalf("compiled %d times under 100 concurrent identical requests, want 1", got)
+	}
+	for i := 1; i < n; i++ {
+		if progs[i] != progs[0] {
+			t.Fatalf("request %d got a different Program pointer", i)
+		}
+	}
+	st := c.Stats()
+	if st.Misses != 1 || st.Hits != n-1 {
+		t.Fatalf("stats = %+v, want 1 miss and %d hits", st, n-1)
+	}
+}
+
+// A compile error is returned to every waiter and never cached.
+func TestErrorNotCached(t *testing.T) {
+	c := New(8, 0)
+	bad := `a = array (1,n) [ i := b!i | i <- [1..n] ]` // b undeclared
+	for i := 0; i < 2; i++ {
+		if _, _, err := c.GetOrCompile(bad, map[string]int64{"n": 4}, core.Options{}); err == nil {
+			t.Fatalf("attempt %d: expected compile error", i)
+		}
+	}
+	st := c.Stats()
+	if st.Entries != 0 || st.Misses != 2 {
+		t.Fatalf("stats = %+v, want 0 entries and 2 misses (errors not cached)", st)
+	}
+}
+
+// A cache hit must evaluate to bitwise-identical output vs a cold
+// compile of the same request.
+func TestHitBitwiseIdenticalToCold(t *testing.T) {
+	params := map[string]int64{"n": 48}
+	c := New(8, 0)
+	if _, hit, err := c.GetOrCompile(wavefrontSrc, params, core.Options{}); err != nil || hit {
+		t.Fatalf("warming: hit=%v err=%v", hit, err)
+	}
+	e, hit, err := c.GetOrCompile(wavefrontSrc, params, core.Options{})
+	if err != nil || !hit {
+		t.Fatalf("warm fetch: hit=%v err=%v", hit, err)
+	}
+	warm, err := e.Program.Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coldProg, err := core.Compile(wavefrontSrc, params, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := coldProg.Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(warm.Data) != len(cold.Data) {
+		t.Fatalf("size mismatch: %d vs %d", len(warm.Data), len(cold.Data))
+	}
+	for i := range warm.Data {
+		if math.Float64bits(warm.Data[i]) != math.Float64bits(cold.Data[i]) {
+			t.Fatalf("element %d differs bitwise: %x vs %x", i,
+				math.Float64bits(warm.Data[i]), math.Float64bits(cold.Data[i]))
+		}
+	}
+	// The cached entry carries the original compile report; a hit adds
+	// no compile-phase time anywhere.
+	if e.Report == nil || e.Report.Total() <= 0 {
+		t.Fatalf("cached entry lost its compile report: %+v", e.Report)
+	}
+}
+
+// Concurrent mixed traffic (hits, misses, evictions) under -race.
+func TestConcurrentMixedTraffic(t *testing.T) {
+	c := New(4, 0)
+	params := map[string]int64{"n": 16}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 40; i++ {
+				e, _, err := c.GetOrCompile(src((g+i)%6), params, core.Options{})
+				if err != nil {
+					t.Errorf("goroutine %d: %v", g, err)
+					return
+				}
+				if _, err := e.Program.Run(nil); err != nil {
+					t.Errorf("goroutine %d run: %v", g, err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if st := c.Stats(); st.Entries > 4 {
+		t.Fatalf("entry cap violated: %+v", st)
+	}
+}

@@ -2,6 +2,7 @@ package codegen
 
 import (
 	"fmt"
+	"time"
 
 	"arraycomp/internal/analysis"
 	"arraycomp/internal/lang"
@@ -30,6 +31,11 @@ type Plan struct {
 	// InPlace reports that the plan updates its input array in place
 	// (bigupd with single-threaded scheduling).
 	InPlace bool
+	// Opt reports what the loop-IR optimizer did (nil under NoOptimize).
+	Opt *loopir.OptStats
+	// OptTime is the time spent in the loop-IR optimizer, so callers
+	// can split "lower" from "optimize" in per-phase compile reports.
+	OptTime time.Duration
 }
 
 // Run executes the plan.
@@ -233,7 +239,11 @@ func Lower(res *analysis.Result, sched *schedule.Result, external map[string]ana
 	}
 
 	if !o.NoOptimize {
-		if st := loopir.Optimize(lw.prog); st.Changed() {
+		t0 := time.Now()
+		st := loopir.Optimize(lw.prog)
+		lw.plan.OptTime = time.Since(t0)
+		lw.plan.Opt = st
+		if st.Changed() {
 			lw.note("optimizer: %s", st)
 		}
 	}

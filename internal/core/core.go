@@ -13,11 +13,14 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 
 	"arraycomp/internal/analysis"
 	"arraycomp/internal/codegen"
 	"arraycomp/internal/depgraph"
 	"arraycomp/internal/lang"
+	"arraycomp/internal/loopir"
+	"arraycomp/internal/metrics"
 	"arraycomp/internal/parser"
 	"arraycomp/internal/runtime"
 	"arraycomp/internal/schedule"
@@ -105,19 +108,31 @@ type Program struct {
 	Groups [][]*analysis.Result
 	Result string
 	Notes  []string
+	// Stats is the instrumentation record of this compilation: where
+	// the time went (per phase) and which optimizations fired. It is
+	// written single-threaded during Compile and read-only afterwards,
+	// so cached programs may share it across concurrent readers.
+	Stats *metrics.CompileReport
 }
 
 // Compile parses and compiles source under the given parameter binding.
 func Compile(src string, params map[string]int64, opts Options) (*Program, error) {
+	rep := metrics.NewCompileReport()
+	t0 := time.Now()
 	prog, err := parser.ParseProgram(src)
+	rep.AddPhase(metrics.PhaseParse, time.Since(t0))
 	if err != nil {
 		return nil, err
 	}
-	return CompileProgram(prog, params, opts)
+	return compileProgram(prog, params, opts, rep)
 }
 
 // CompileProgram compiles an already parsed program.
 func CompileProgram(source *lang.Program, params map[string]int64, opts Options) (*Program, error) {
+	return compileProgram(source, params, opts, metrics.NewCompileReport())
+}
+
+func compileProgram(source *lang.Program, params map[string]int64, opts Options, rep *metrics.CompileReport) (*Program, error) {
 	env := map[string]int64{}
 	for k, v := range params {
 		env[k] = v
@@ -132,6 +147,7 @@ func CompileProgram(source *lang.Program, params map[string]int64, opts Options)
 		Env:    env,
 		Defs:   map[string]*CompiledDef{},
 		Result: source.Result,
+		Stats:  rep,
 	}
 	if source.Def(source.Result) == nil {
 		return nil, fmt.Errorf("core: result array %q is not defined", source.Result)
@@ -175,6 +191,7 @@ func CompileProgram(source *lang.Program, params map[string]int64, opts Options)
 	}
 
 	// Analyze every definition.
+	tAnalyze := time.Now()
 	results := map[string]*analysis.Result{}
 	aOpts := analysis.Options{ExactBudget: opts.ExactBudget, NoLinearize: opts.NoLinearize}
 	for _, def := range source.Defs {
@@ -190,6 +207,7 @@ func CompileProgram(source *lang.Program, params map[string]int64, opts Options)
 		}
 		results[def.Name] = res
 	}
+	rep.AddPhase(metrics.PhaseAnalyze, time.Since(tAnalyze))
 
 	// Definition-level dependence graph and evaluation order.
 	order, groups, err := orderDefs(source, results)
@@ -245,6 +263,7 @@ func CompileProgram(source *lang.Program, params map[string]int64, opts Options)
 		p.Defs[name] = cd
 		if gi, ok := grouped[name]; ok {
 			cd.GroupIdx = gi
+			rep.Counters.ThunkedDefs++
 			p.note("%s: mutually recursive with its group; thunked group evaluation", name)
 			continue
 		}
@@ -255,7 +274,7 @@ func CompileProgram(source *lang.Program, params map[string]int64, opts Options)
 			}
 		}
 		if opts.ForceThunked {
-			cd.Thunked = codegen.NewThunkedPlan(res)
+			cd.Thunked = newThunked(res, rep)
 			p.note("%s: thunked (forced)", name)
 			continue
 		}
@@ -265,10 +284,11 @@ func CompileProgram(source *lang.Program, params map[string]int64, opts Options)
 			// (the paper's `letrec a = g (f a)` example), so thunkless
 			// compilation is unsafe. This is exactly why the paper
 			// introduces letrec*.
-			cd.Thunked = codegen.NewThunkedPlan(res)
+			cd.Thunked = newThunked(res, rep)
 			p.note("%s: non-strict binding (plain letrec): thunked; use letrec* for thunkless compilation", name)
 			continue
 		}
+		tPlan := time.Now()
 		sched, err := schedule.Build(res, nil)
 		if err != nil {
 			return nil, fmt.Errorf("core: %s: %w", name, err)
@@ -285,16 +305,23 @@ func CompileProgram(source *lang.Program, params map[string]int64, opts Options)
 				sched = relaxed
 			}
 		}
+		rep.AddPhase(metrics.PhasePlan, time.Since(tPlan))
 		cd.Schedule = sched
 		if sched.Thunked {
-			cd.Thunked = codegen.NewThunkedPlan(res)
+			cd.Thunked = newThunked(res, rep)
 			p.note("%s: thunked fallback: %s", name, sched.Reason)
 			continue
 		}
+		tLower := time.Now()
 		plan, err := codegen.Lower(res, sched, external, codegen.LowerOptions{Parallel: opts.Parallel, ForceChecks: opts.ForceChecks, NoOptimize: opts.NoOptimize, Workers: opts.Workers})
 		if err != nil {
 			return nil, fmt.Errorf("core: %s: %w", name, err)
 		}
+		// Lower times the optimizer internally; split it out so the
+		// report's "lower" phase is pure codegen.
+		rep.AddPhase(metrics.PhaseLower, time.Since(tLower)-plan.OptTime)
+		rep.AddPhase(metrics.PhaseOptimize, plan.OptTime)
+		recordPlanStats(rep, res, plan)
 		cd.Plan = plan
 		if plan.InPlace {
 			// The in-place plan destroys its source; clone when the
@@ -319,6 +346,40 @@ func CompileProgram(source *lang.Program, params map[string]int64, opts Options)
 
 func (p *Program) note(format string, args ...any) {
 	p.Notes = append(p.Notes, fmt.Sprintf(format, args...))
+}
+
+// newThunked builds a thunked fallback plan, charging its construction
+// to the lower phase and counting the thunked definition.
+func newThunked(res *analysis.Result, rep *metrics.CompileReport) *codegen.ThunkedPlan {
+	t0 := time.Now()
+	tp := codegen.NewThunkedPlan(res)
+	rep.AddPhase(metrics.PhaseLower, time.Since(t0))
+	rep.Counters.ThunkedDefs++
+	return tp
+}
+
+// recordPlanStats accumulates one thunkless/in-place plan's
+// optimization counters into the compile report: the checks the
+// analysis discharged, the loops the optimizer fused, and the
+// execution shape of every compiled loop.
+func recordPlanStats(rep *metrics.CompileReport, res *analysis.Result, plan *codegen.Plan) {
+	rep.Counters.ThunksAvoided++
+	if res.Def.Kind == lang.Monolithic {
+		// One collision check per clause write would be required
+		// without the §7 proofs; the plan emitted plan.Checks many.
+		if elided := len(res.Clauses) - plan.Checks.CollisionChecks; elided > 0 {
+			rep.Counters.CollisionChecksElided += elided
+		}
+		if plan.Checks.EmptiesSweeps == 0 {
+			rep.Counters.EmptiesChecksElided++
+		}
+	}
+	if plan.Opt != nil {
+		rep.Counters.LoopsFused += plan.Opt.FusedLoops
+	}
+	loopir.WalkLoops(plan.Program.Stmts, func(l *loopir.Loop) {
+		rep.Counters.AddSchedule(loopir.ScheduleKind(l))
+	})
 }
 
 // orderDefs topologically orders definitions by array-level reads;

@@ -106,7 +106,7 @@ type vrange struct {
 	min, max int64
 }
 
-func (g *gen) intn(n int) int        { return g.rng.Intn(n) }
+func (g *gen) intn(n int) int { return g.rng.Intn(n) }
 func (g *gen) chance(permille int) bool {
 	return g.rng.Intn(1000) < permille
 }

@@ -477,7 +477,7 @@ func TestStrengthReductionStrides(t *testing.T) {
 		build := func() *Program {
 			return &Program{
 				Name:   "p",
-				Arrays: []ArrayDecl{{Name: "a", B: runtime.NewBounds1(1, 3 * n), Role: RoleOut}},
+				Arrays: []ArrayDecl{{Name: "a", B: runtime.NewBounds1(1, 3*n), Role: RoleOut}},
 				Stmts: []Stmt{
 					&Fill{Array: "a", Value: 0},
 					&Loop{Var: "i", From: 1, To: n, Step: 1, Body: []Stmt{

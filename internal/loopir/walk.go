@@ -1,0 +1,34 @@
+package loopir
+
+// WalkLoops calls fn for every Loop in the statement tree, outermost
+// first. Instrumentation (the compile report's schedules-by-kind
+// counters) and tests use it to inspect what the optimizer attached
+// without duplicating the traversal.
+func WalkLoops(stmts []Stmt, fn func(*Loop)) {
+	for _, s := range stmts {
+		switch st := s.(type) {
+		case *Loop:
+			fn(st)
+			WalkLoops(st.Body, fn)
+		case *If:
+			WalkLoops(st.Then, fn)
+			WalkLoops(st.Else, fn)
+		}
+	}
+}
+
+// ScheduleKind names a loop's execution shape for reporting:
+// "sequential" when no parallel schedule applies, the Par schedule's
+// kind ("shard", "tile", "wavefront", "chains") when the optimizer
+// attached one, or "shard" for loops carrying the legacy lowering-time
+// parallel mark without a planned schedule.
+func ScheduleKind(l *Loop) string {
+	switch {
+	case l.Par != nil:
+		return l.Par.Kind.String()
+	case l.Parallel:
+		return "shard"
+	default:
+		return "sequential"
+	}
+}

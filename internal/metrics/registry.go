@@ -1,0 +1,299 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// The registry is a deliberately small subset of the Prometheus data
+// model — counters, gauges, label-indexed counters/histograms, and
+// callback gauges — with text-format exposition. It exists so haccd
+// can serve GET /metrics without pulling a client library into the
+// module (the container has no network for new dependencies, and the
+// text format is a stable, trivially-writable contract).
+
+// Counter is a monotonically increasing uint64.
+type Counter struct{ v atomic.Uint64 }
+
+// Add increments the counter by n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value reads the counter.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a settable float64.
+type Gauge struct {
+	mu sync.Mutex
+	v  float64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) { g.mu.Lock(); g.v = v; g.mu.Unlock() }
+
+// Value reads the gauge.
+func (g *Gauge) Value() float64 { g.mu.Lock(); defer g.mu.Unlock(); return g.v }
+
+// Histogram is a fixed-bucket cumulative histogram.
+type Histogram struct {
+	mu     sync.Mutex
+	bounds []float64 // upper bounds, ascending; +Inf implicit
+	counts []uint64  // len(bounds)+1, non-cumulative per bucket
+	sum    float64
+	total  uint64
+}
+
+// DefBuckets suit compile/request latencies in seconds: 50µs … 10s.
+var DefBuckets = []float64{
+	50e-6, 100e-6, 250e-6, 500e-6,
+	1e-3, 2.5e-3, 5e-3, 10e-3, 25e-3, 50e-3, 100e-3,
+	250e-3, 500e-3, 1, 2.5, 5, 10,
+}
+
+// NewHistogram builds a histogram over the given ascending upper
+// bounds (nil = DefBuckets).
+func NewHistogram(bounds []float64) *Histogram {
+	if bounds == nil {
+		bounds = DefBuckets
+	}
+	return &Histogram{
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]uint64, len(bounds)+1),
+	}
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	h.mu.Lock()
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i]++
+	h.sum += v
+	h.total++
+	h.mu.Unlock()
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.total
+}
+
+// Sum returns the sum of observations.
+func (h *Histogram) Sum() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sum
+}
+
+func (h *Histogram) snapshot() (bounds []float64, cum []uint64, sum float64, total uint64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	bounds = h.bounds
+	cum = make([]uint64, len(h.counts))
+	var acc uint64
+	for i, c := range h.counts {
+		acc += c
+		cum[i] = acc
+	}
+	return bounds, cum, h.sum, h.total
+}
+
+// metric is one registered family.
+type metric struct {
+	name, help, typ string
+	// collect appends exposition lines (without HELP/TYPE headers).
+	collect func(w io.Writer)
+}
+
+// Registry holds registered metric families and renders them in
+// Prometheus text format. Registration happens at service start;
+// collection is safe concurrently with updates.
+type Registry struct {
+	mu      sync.Mutex
+	metrics []*metric
+	byName  map[string]bool
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{byName: map[string]bool{}} }
+
+func (r *Registry) register(name, help, typ string, collect func(io.Writer)) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.byName[name] {
+		panic(fmt.Sprintf("metrics: duplicate registration of %q", name))
+	}
+	r.byName[name] = true
+	r.metrics = append(r.metrics, &metric{name: name, help: help, typ: typ, collect: collect})
+}
+
+// NewCounter registers and returns a counter.
+func (r *Registry) NewCounter(name, help string) *Counter {
+	c := &Counter{}
+	r.register(name, help, "counter", func(w io.Writer) {
+		fmt.Fprintf(w, "%s %d\n", name, c.Value())
+	})
+	return c
+}
+
+// NewGauge registers and returns a gauge.
+func (r *Registry) NewGauge(name, help string) *Gauge {
+	g := &Gauge{}
+	r.register(name, help, "gauge", func(w io.Writer) {
+		fmt.Fprintf(w, "%s %s\n", name, formatFloat(g.Value()))
+	})
+	return g
+}
+
+// NewGaugeFunc registers a gauge whose value is read from fn at
+// collection time (cache sizes, pool occupancy).
+func (r *Registry) NewGaugeFunc(name, help string, fn func() float64) {
+	r.register(name, help, "gauge", func(w io.Writer) {
+		fmt.Fprintf(w, "%s %s\n", name, formatFloat(fn()))
+	})
+}
+
+// NewCounterFunc registers a counter whose value is read from fn at
+// collection time — for monotonic counts owned by another subsystem
+// (the plan cache's hit/miss/eviction tallies).
+func (r *Registry) NewCounterFunc(name, help string, fn func() uint64) {
+	r.register(name, help, "counter", func(w io.Writer) {
+		fmt.Fprintf(w, "%s %d\n", name, fn())
+	})
+}
+
+// NewHistogramM registers and returns an unlabeled histogram (nil
+// bounds = DefBuckets).
+func (r *Registry) NewHistogramM(name, help string, bounds []float64) *Histogram {
+	h := NewHistogram(bounds)
+	r.register(name, help, "histogram", func(w io.Writer) {
+		bs, cum, sum, total := h.snapshot()
+		for bi, ub := range bs {
+			fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, formatFloat(ub), cum[bi])
+		}
+		fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum[len(cum)-1])
+		fmt.Fprintf(w, "%s_sum %s\n", name, formatFloat(sum))
+		fmt.Fprintf(w, "%s_count %d\n", name, total)
+	})
+	return h
+}
+
+// CounterVec is a counter family indexed by one label.
+type CounterVec struct {
+	mu    sync.Mutex
+	label string
+	m     map[string]*Counter
+}
+
+// With returns (creating if needed) the counter for a label value.
+func (v *CounterVec) With(value string) *Counter {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	c, ok := v.m[value]
+	if !ok {
+		c = &Counter{}
+		v.m[value] = c
+	}
+	return c
+}
+
+// NewCounterVec registers and returns a one-label counter family.
+func (r *Registry) NewCounterVec(name, help, label string) *CounterVec {
+	v := &CounterVec{label: label, m: map[string]*Counter{}}
+	r.register(name, help, "counter", func(w io.Writer) {
+		v.mu.Lock()
+		keys := make([]string, 0, len(v.m))
+		for k := range v.m {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Fprintf(w, "%s{%s=%q} %d\n", name, v.label, k, v.m[k].Value())
+		}
+		v.mu.Unlock()
+	})
+	return v
+}
+
+// HistogramVec is a histogram family indexed by one label (e.g. the
+// compile phase), all members sharing one bucket layout.
+type HistogramVec struct {
+	mu     sync.Mutex
+	label  string
+	bounds []float64
+	m      map[string]*Histogram
+}
+
+// With returns (creating if needed) the histogram for a label value.
+func (v *HistogramVec) With(value string) *Histogram {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	h, ok := v.m[value]
+	if !ok {
+		h = NewHistogram(v.bounds)
+		v.m[value] = h
+	}
+	return h
+}
+
+// NewHistogramVec registers and returns a one-label histogram family
+// (nil bounds = DefBuckets).
+func (r *Registry) NewHistogramVec(name, help, label string, bounds []float64) *HistogramVec {
+	v := &HistogramVec{label: label, bounds: bounds, m: map[string]*Histogram{}}
+	r.register(name, help, "histogram", func(w io.Writer) {
+		v.mu.Lock()
+		keys := make([]string, 0, len(v.m))
+		for k := range v.m {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		hists := make([]*Histogram, len(keys))
+		for i, k := range keys {
+			hists[i] = v.m[k]
+		}
+		v.mu.Unlock()
+		for i, k := range keys {
+			bounds, cum, sum, total := hists[i].snapshot()
+			for bi, ub := range bounds {
+				fmt.Fprintf(w, "%s_bucket{%s=%q,le=%q} %d\n", name, v.label, k, formatFloat(ub), cum[bi])
+			}
+			fmt.Fprintf(w, "%s_bucket{%s=%q,le=\"+Inf\"} %d\n", name, v.label, k, cum[len(cum)-1])
+			fmt.Fprintf(w, "%s_sum{%s=%q} %s\n", name, v.label, k, formatFloat(sum))
+			fmt.Fprintf(w, "%s_count{%s=%q} %d\n", name, v.label, k, total)
+		}
+	})
+	return v
+}
+
+// WritePrometheus renders every registered family in Prometheus text
+// exposition format (version 0.0.4).
+func (r *Registry) WritePrometheus(w io.Writer) {
+	r.mu.Lock()
+	families := append([]*metric(nil), r.metrics...)
+	r.mu.Unlock()
+	for _, m := range families {
+		fmt.Fprintf(w, "# HELP %s %s\n", m.name, m.help)
+		fmt.Fprintf(w, "# TYPE %s %s\n", m.name, m.typ)
+		m.collect(w)
+	}
+}
+
+// formatFloat renders a float the way Prometheus expects (no
+// exponent for typical magnitudes, +Inf spelled out).
+func formatFloat(f float64) string {
+	if math.IsInf(f, 1) {
+		return "+Inf"
+	}
+	s := strconv.FormatFloat(f, 'g', -1, 64)
+	// Guard against "+Inf"-like forms sneaking into label values.
+	return strings.TrimPrefix(s, "+")
+}
