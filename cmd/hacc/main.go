@@ -4,8 +4,8 @@
 //
 // Usage:
 //
-//	hacc report [-p n=100,m=20] [-in a=1:8,1:8] [-O] [-explain] file.hac
-//	hacc run     [-p n=100] [-in a=1:8,1:8] [-seed 1] [-show k] [-parallel] [-workers k] [-explain] file.hac
+//	hacc report [-p n=100,m=20] [-in a=1:8,1:8] [-O] [-explain] [-certify] file.hac
+//	hacc run     [-p n=100] [-in a=1:8,1:8] [-seed 1] [-show k] [-parallel] [-workers k] [-explain] [-certify] file.hac
 //	hacc ir      [-p n=100] [-in …] [-O] file.hac
 //	hacc dot     [-p n=100] [-in …] file.hac
 //	hacc emit-go [-p n=100] [-in …] [-O] file.hac   # standalone Go source
@@ -19,6 +19,10 @@
 // strength-reduced nest). `run` always executes the optimized plan.
 // `fuzz` generates random programs and cross-checks every backend
 // against the thunked reference, shrink-reporting any divergence.
+// -certify re-proves every dependence verdict the compiler acted on
+// (concrete witnesses for "dependent", shadow-domain enumeration for
+// "independent", schedule-order simulation, parallel-plan conflict
+// checks); a falsified claim is a compiler bug and aborts the compile.
 package main
 
 import (
@@ -60,6 +64,7 @@ func run(args []string, w io.Writer) error {
 	optimize := fs.Bool("O", false, "run the loop-IR optimizer before report/ir/emit-go output")
 	explain := fs.Bool("explain", false, "print the compile report (per-phase timings, optimization counters) before the command output")
 	parallel := fs.Bool("parallel", false, "enable parallel scheduling (shard/doacross/wavefront/tiling)")
+	certifyFlag := fs.Bool("certify", false, "audit every dependence verdict (witness re-checks + shadow-domain enumeration); falsified claims abort the compile naming the lying layer")
 	workers := fs.Int("workers", 0, "parallel worker count; 0 = GOMAXPROCS at run time (needs -parallel)")
 	fuzzN := fs.Int("n", 100, "number of programs to generate (fuzz)")
 	noGogen := fs.Bool("nogogen", false, "skip the emitted-Go backend (fuzz)")
@@ -87,7 +92,7 @@ func run(args []string, w io.Writer) error {
 	if err != nil {
 		return err
 	}
-	opts := core.Options{ForceThunked: *thunked, Parallel: *parallel, Workers: *workers, InputBounds: inputBounds}
+	opts := core.Options{ForceThunked: *thunked, Parallel: *parallel, Workers: *workers, InputBounds: inputBounds, Certify: *certifyFlag}
 	// Inspection commands show the raw lowering unless -O; execution
 	// always optimizes.
 	if cmd != "run" {
@@ -101,6 +106,11 @@ func run(args []string, w io.Writer) error {
 		// The same instrumentation layer the haccd service exposes via
 		// GET /metrics: phase timings plus optimization counters.
 		fmt.Fprint(w, prog.Stats.String())
+	}
+	if *certifyFlag && prog.Certs != nil {
+		// A compile that got here has zero falsifications (they abort
+		// with an error); print the audit trail.
+		fmt.Fprint(w, prog.Certs.String())
 	}
 	switch cmd {
 	case "report":

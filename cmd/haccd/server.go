@@ -151,6 +151,7 @@ type optionsJSON struct {
 	ForceThunked bool                  `json:"force_thunked,omitempty"`
 	NoOptimize   bool                  `json:"no_optimize,omitempty"`
 	NoLinearize  bool                  `json:"no_linearize,omitempty"`
+	Certify      bool                  `json:"certify,omitempty"`
 	InputBounds  map[string]boundsJSON `json:"input_bounds,omitempty"`
 }
 
@@ -161,6 +162,7 @@ func (o optionsJSON) coreOptions() core.Options {
 		ForceThunked: o.ForceThunked,
 		NoOptimize:   o.NoOptimize,
 		NoLinearize:  o.NoLinearize,
+		Certify:      o.Certify,
 	}
 	if len(o.InputBounds) > 0 {
 		opts.InputBounds = map[string]analysis.ArrayBounds{}

@@ -115,6 +115,65 @@ func (r NormalizedRef) Eval(pos []int64) int64 {
 	return out
 }
 
+// evalSatBound is the saturation range for EvalSat, matching the
+// dependence tests' ±2^62 working range.
+const evalSatBound = int64(1) << 62
+
+// EvalSat evaluates the normalized form with saturating arithmetic,
+// clamping into [−2^62, 2^62−1]. The boolean reports whether the
+// result is exact; certification layers that re-evaluate subscripts
+// at witness points must discard (not trust) inexact evaluations.
+func (r NormalizedRef) EvalSat(pos []int64) (int64, bool) {
+	clamp := func(v int64) (int64, bool) {
+		if v >= evalSatBound {
+			return evalSatBound - 1, false
+		}
+		if v < -evalSatBound {
+			return -evalSatBound, false
+		}
+		return v, true
+	}
+	out, exact := clamp(r.Const)
+	for k, c := range r.Coeff {
+		if c == 0 {
+			continue
+		}
+		p := pos[k]
+		// |c|, |p| ≤ 2^62 after clamping, so test the product bound
+		// before multiplying.
+		cc, ok := clamp(c)
+		pp, ok2 := clamp(p)
+		exact = exact && ok && ok2
+		var term int64
+		if cc != 0 && pp != 0 {
+			aa, bb := cc, pp
+			if aa < 0 {
+				aa = -aa
+			}
+			if bb < 0 {
+				bb = -bb
+			}
+			if aa > (evalSatBound-1)/bb {
+				exact = false
+				if (cc > 0) == (pp > 0) {
+					term = evalSatBound - 1
+				} else {
+					term = -evalSatBound
+				}
+			} else {
+				term = aa * bb
+				if (cc > 0) != (pp > 0) {
+					term = -term
+				}
+			}
+		}
+		var ok3 bool
+		out, ok3 = clamp(out + term) // |out|+|term| ≤ 2^63−2: no wrap
+		exact = exact && ok3
+	}
+	return out, exact
+}
+
 // Normalize rewrites a source-variable affine form over the nest's
 // normalized indices: substituting v = first + (p−1)·stride for each
 // loop variable v. Variables in f that are not bound by the nest are

@@ -140,6 +140,13 @@ type Result struct {
 
 	// linearize enables the §6 linearization refinement.
 	linearize bool
+	// budget is the exact-test budget the analysis ran with, kept so
+	// certification can replay the pair walk with identical options.
+	budget int
+	// external keeps the caller's external-bounds map for the same
+	// reason (read in-bounds certification needs the read arrays'
+	// bounds).
+	external map[string]ArrayBounds
 
 	// SelfBottom warns that some element provably depends on itself
 	// (an all-'=' definite self flow edge): the element is ⊥.
@@ -196,6 +203,8 @@ func Analyze(def *lang.ArrayDef, env map[string]int64, selfBounds ArrayBounds, e
 
 	budget := opts.budget()
 	res.linearize = !opts.NoLinearize
+	res.budget = budget
+	res.external = external
 
 	// In-bounds proofs first: they gate the linearization refinement.
 	res.proveBounds(external)

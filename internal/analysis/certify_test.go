@@ -1,0 +1,126 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+
+	"arraycomp/internal/certify"
+)
+
+// certifySrc analyzes a source program and certifies the result.
+func certifySrc(t *testing.T, src string, env map[string]int64) (*Result, *certify.Report) {
+	t.Helper()
+	res := analyzeSrc(t, src, env)
+	return res, Certify(res)
+}
+
+func TestCertifyPaperExample1(t *testing.T) {
+	src := `a = array (1,300)
+	  [* [3*i := 1.0] ++
+	     [3*i-1 := 0.5 * a!(3*(i-1))] ++
+	     [3*i-2 := 0.5 * a!(3*i)]
+	   | i <- [1..100] *]`
+	_, rep := certifySrc(t, src, nil)
+	if rep.FalsifiedCount != 0 {
+		t.Fatalf("sound analysis falsified:\n%s", rep)
+	}
+	if rep.CertifiedCount == 0 {
+		t.Fatalf("no claims certified: %s", rep.Summary())
+	}
+}
+
+func TestCertifyIndependentClauses(t *testing.T) {
+	// Disjoint strides: 2i vs 2i+1 never collide; the collision 'no'
+	// verdict and the refuted directions must all certify (shadow
+	// clamp engages at n=100: trips 50 ≤ 64, so exhaustively).
+	src := `a = array (1,100)
+	  [* [2*i := 1.0] ++ [2*i-1 := 2.0] | i <- [1..50] *]`
+	res, rep := certifySrc(t, src, nil)
+	if res.Collision != No {
+		t.Fatalf("collision = %v (%s)", res.Collision, res.CollisionDetail)
+	}
+	if rep.FalsifiedCount != 0 {
+		t.Fatalf("falsified:\n%s", rep)
+	}
+	// Certification is deterministic: a second pass agrees.
+	sum := Certify(res)
+	if sum.FalsifiedCount != rep.FalsifiedCount || sum.CertifiedCount != rep.CertifiedCount {
+		t.Fatalf("second pass differs: %s vs %s", sum.Summary(), rep.Summary())
+	}
+}
+
+func TestCertifyInBoundsClaims(t *testing.T) {
+	// Writes 1..n of an array with bounds (1,n): in-bounds claims hold
+	// and certify exhaustively at small n.
+	src := `a = array (1,10) [* [i := 1.0] | i <- [1..10] *]`
+	res, rep := certifySrc(t, src, nil)
+	if !res.WriteInBounds[0] {
+		t.Fatal("writes must be provably in bounds")
+	}
+	if !res.NoEmpties {
+		t.Fatalf("empties: %s", res.EmptiesDetail)
+	}
+	if rep.FalsifiedCount != 0 {
+		t.Fatalf("falsified:\n%s", rep)
+	}
+}
+
+func TestCertifyCatchesForgedIndependence(t *testing.T) {
+	// Forge an unsound analysis: claim the writes of a definition that
+	// definitely collides are in bounds of a *smaller* array. The
+	// pointwise re-evaluation must falsify the in-bounds claim.
+	src := `a = array (1,10) [* [i := 1.0] | i <- [1..10] *]`
+	res := analyzeSrc(t, src, nil)
+	res.Bounds = ArrayBounds{Lo: []int64{1}, Hi: []int64{5}} // shrink after the fact
+	rep := Certify(res)
+	if rep.FalsifiedCount == 0 {
+		t.Fatalf("forged in-bounds claim survived:\n%s", rep)
+	}
+	var hit bool
+	for _, c := range rep.Failures {
+		if strings.Contains(c.Claim, "in bounds") && len(c.Witness) > 0 {
+			hit = true
+		}
+	}
+	if !hit {
+		t.Fatalf("no witness-carrying in-bounds falsification:\n%s", rep)
+	}
+}
+
+func TestCertifyCatchesForgedInstanceCount(t *testing.T) {
+	src := `a = array (1,10) [* [i := 1.0] | i <- [1..10] *]`
+	res := analyzeSrc(t, src, nil)
+	if !res.NoEmpties {
+		t.Fatal("precondition: NoEmpties")
+	}
+	res.Clauses[0].Instances = 7 // forge the count the elision rests on
+	rep := Certify(res)
+	if rep.FalsifiedCount == 0 {
+		t.Fatalf("forged instance count survived:\n%s", rep)
+	}
+}
+
+func TestCertifyBigUpd(t *testing.T) {
+	// The paper's relaxation step: anti deps on the source reads.
+	src := `param n;
+	a2 = bigupd a
+	  [ i := 0.5*(a!(i-1) + a!(i+1)) | i <- [2..n-1] ]`
+	env := map[string]int64{"n": 20}
+	_, rep := certifySrc(t, src, env)
+	if rep.FalsifiedCount != 0 {
+		t.Fatalf("falsified:\n%s", rep)
+	}
+	if rep.CertifiedCount == 0 {
+		t.Fatalf("nothing certified: %s", rep.Summary())
+	}
+}
+
+func TestCertifyLargeBoundsShadowClamped(t *testing.T) {
+	// Trips beyond the clamp: certification must stay bounded and not
+	// falsify anything, but some certificates lose exhaustiveness.
+	src := `a = array (1,100000) [* [i := 1.0] | i <- [1..100000] *]`
+	_, rep := certifySrc(t, src, nil)
+	if rep.FalsifiedCount != 0 {
+		t.Fatalf("falsified:\n%s", rep)
+	}
+}

@@ -125,6 +125,7 @@ func Key(src string, params map[string]int64, opts core.Options) string {
 	writeInt(boolInt(opts.NoLinearize))
 	writeInt(boolInt(opts.ForceChecks))
 	writeInt(boolInt(opts.NoOptimize))
+	writeInt(boolInt(opts.Certify))
 	arrays := make([]string, 0, len(opts.InputBounds))
 	for k := range opts.InputBounds {
 		arrays = append(arrays, k)

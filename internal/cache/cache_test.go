@@ -31,6 +31,7 @@ func TestKeyDistinguishesRequests(t *testing.T) {
 		"bounds": Key(wavefrontSrc, map[string]int64{"n": 8}, core.Options{
 			InputBounds: map[string]analysis.ArrayBounds{"b": {Lo: []int64{1}, Hi: []int64{8}}},
 		}),
+		"certify": Key(wavefrontSrc, map[string]int64{"n": 8}, core.Options{Certify: true}),
 	}
 	for what, k := range cases {
 		if k == base {
@@ -168,6 +169,46 @@ func TestErrorNotCached(t *testing.T) {
 	st := c.Stats()
 	if st.Entries != 0 || st.Misses != 2 {
 		t.Fatalf("stats = %+v, want 0 entries and 2 misses (errors not cached)", st)
+	}
+}
+
+// A compile whose certification fails must never be cached: every
+// retry (and every singleflight waiter) sees the error, and no entry
+// with falsified soundness claims can ever serve a request. The
+// certification failure is simulated through the swappable compile
+// hook — the real compiler has no known falsifiable claims.
+func TestCertifyFailureNotCached(t *testing.T) {
+	c := New(8, 0)
+	inner := c.compile
+	var compiles atomic.Int64
+	certErr := fmt.Errorf("core: a: certification falsified 1 claim(s); first: [analysis] forged: falsified")
+	c.compile = func(s string, p map[string]int64, o core.Options) (*core.Program, error) {
+		compiles.Add(1)
+		if o.Certify {
+			return nil, certErr
+		}
+		return inner(s, p, o)
+	}
+	params := map[string]int64{"n": 8}
+	for i := 0; i < 3; i++ {
+		_, hit, err := c.GetOrCompile(wavefrontSrc, params, core.Options{Certify: true})
+		if err == nil || hit {
+			t.Fatalf("attempt %d: hit=%v err=%v, want certification error on a cold miss", i, hit, err)
+		}
+	}
+	if got := compiles.Load(); got != 3 {
+		t.Fatalf("compiled %d times, want 3 (failures must not be cached)", got)
+	}
+	if st := c.Stats(); st.Entries != 0 || st.Misses != 3 {
+		t.Fatalf("stats = %+v, want 0 entries and 3 misses", st)
+	}
+	// The same source without certification compiles and caches fine —
+	// under a different key, so the failed certify key stays cold.
+	if _, hit, err := c.GetOrCompile(wavefrontSrc, params, core.Options{}); err != nil || hit {
+		t.Fatalf("plain compile after certify failures: hit=%v err=%v", hit, err)
+	}
+	if st := c.Stats(); st.Entries != 1 {
+		t.Fatalf("stats = %+v, want exactly the plain entry cached", st)
 	}
 }
 

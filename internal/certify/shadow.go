@@ -1,0 +1,331 @@
+package certify
+
+import (
+	"arraycomp/internal/deptest"
+)
+
+// The shadow-domain witness search. A battery of per-dimension
+// Problems over one combined loop list describes a reference pair
+// completely: the pair touches the same element iff every dimension's
+// equation holds simultaneously at one (x, y) point. The search
+// enumerates the real iteration domain with every loop clamped to
+// ShadowClamp, entirely independently of the closed-form tests it is
+// auditing — a deliberately dumb, obviously-correct enumeration, with
+// only interval pruning (computed here by direct enumeration, not by
+// the Banerjee formulas under test) for speed.
+
+// searcher carries the recursion state of one witness search.
+type searcher struct {
+	probs  []deptest.Problem
+	v      deptest.Vector
+	clamp  []int64
+	x, y   []int64
+	delta  []int64
+	target []int64
+	// suffix[k][d] bounds the achievable Σ_{j≥k} term_j for problem d
+	// over the clamped admitted domain.
+	suffix [][]deptest.Interval
+	budget int
+	sat    bool // some branch skipped due to saturating arithmetic
+	out    bool // budget exhausted
+}
+
+// SearchWitness looks for a simultaneous integer solution of all
+// problems under direction vector v inside the shadow domain. It
+// returns the witness (if any), whether one was found, and whether
+// the search exhaustively covered the full (unclamped) domain — only
+// then does "not found" certify impossibility outright.
+//
+// All problems must share one loop structure (bounds, sharing); this
+// holds by construction for the per-dimension batteries the analysis
+// layer builds. Mismatched batteries return (no witness, not
+// exhaustive).
+func SearchWitness(probs []deptest.Problem, v deptest.Vector) (Witness, bool, bool) {
+	if len(probs) == 0 {
+		return Witness{}, false, false
+	}
+	n := probs[0].NumLoops()
+	if len(v) != n {
+		return Witness{}, false, false
+	}
+	for _, p := range probs {
+		if p.NumLoops() != n {
+			return Witness{}, false, false
+		}
+	}
+	// Empty domain: exhaustively no solution.
+	for k := 0; k < n; k++ {
+		if probs[0].Bound[k] < 1 {
+			return Witness{}, false, true
+		}
+	}
+	s := &searcher{
+		probs:  probs,
+		v:      v,
+		clamp:  make([]int64, n),
+		x:      make([]int64, n),
+		y:      make([]int64, n),
+		delta:  make([]int64, len(probs)),
+		target: make([]int64, len(probs)),
+		budget: shadowBudget,
+	}
+	covered := true
+	for k := 0; k < n; k++ {
+		s.clamp[k] = probs[0].Bound[k]
+		if s.clamp[k] > ShadowClamp {
+			s.clamp[k] = ShadowClamp
+			covered = false
+		}
+	}
+	// Pre-shrink until the estimated point count fits the budget,
+	// halving the largest clamp first.
+	for s.estimate() > shadowBudget {
+		maxK := 0
+		for k := 1; k < n; k++ {
+			if s.clamp[k] > s.clamp[maxK] {
+				maxK = k
+			}
+		}
+		if s.clamp[maxK] <= 1 {
+			break
+		}
+		s.clamp[maxK] /= 2
+		covered = false
+	}
+	for d, p := range probs {
+		delta, exact := p.DeltaSat()
+		if !exact {
+			// The equation's constant is unrepresentable; no exact
+			// witness can balance it and absence proves nothing.
+			return Witness{}, false, false
+		}
+		s.delta[d] = delta
+		s.target[d] = delta
+	}
+	s.buildSuffix()
+	found := s.solve(0)
+	exhaustive := covered && !s.sat && !s.out
+	if !found {
+		return Witness{}, false, exhaustive
+	}
+	w := Witness{X: append([]int64(nil), s.x...), Y: append([]int64(nil), s.y...)}
+	return w, true, exhaustive
+}
+
+// pairs enumerates the admitted (x, y) values of loop k over the
+// clamped domain, calling fn for each until it returns true.
+func (s *searcher) pairs(k int, fn func(x, y int64) bool) bool {
+	p0 := s.probs[0]
+	m := s.clamp[k]
+	if !p0.Shared[k] {
+		// Only the side with a nonzero coefficient matters; the other
+		// reference is not surrounded by this loop at all and its
+		// position is fixed arbitrarily at 1.
+		varyX := false
+		for _, p := range s.probs {
+			if p.A[k] != 0 {
+				varyX = true
+			}
+		}
+		for t := int64(1); t <= m; t++ {
+			if varyX {
+				if fn(t, 1) {
+					return true
+				}
+			} else {
+				if fn(1, t) {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	d := s.v[k]
+	for x := int64(1); x <= m; x++ {
+		for y := int64(1); y <= m; y++ {
+			if !d.Admits(x, y) {
+				continue
+			}
+			if fn(x, y) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// term computes problem d's loop-k contribution at (x, y); ok=false
+// when the arithmetic saturated.
+func (s *searcher) term(d, k int, x, y int64) (int64, bool) {
+	var so deptest.SatOps
+	p := s.probs[d]
+	t := so.Sub(so.Mul(p.A[k], x), so.Mul(p.B[k], y))
+	return t, !so.Overflowed
+}
+
+// estimate approximates the number of enumeration points (product of
+// per-loop pair counts, saturating far above the budget).
+func (s *searcher) estimate() int64 {
+	total := int64(1)
+	p0 := s.probs[0]
+	for k := range s.clamp {
+		m := s.clamp[k]
+		var c int64
+		switch {
+		case !p0.Shared[k]:
+			c = m
+		case s.v[k] == deptest.DirEqual:
+			c = m
+		case s.v[k] == deptest.DirAny:
+			c = m * m
+		default: // < or >
+			c = m * (m - 1) / 2
+			if c < 1 {
+				c = 1
+			}
+		}
+		if total > (int64(shadowBudget)*4)/c {
+			return int64(shadowBudget) * 4
+		}
+		total *= c
+	}
+	return total
+}
+
+// buildSuffix computes the pruning intervals by direct enumeration of
+// each loop's admitted clamped domain.
+func (s *searcher) buildSuffix() {
+	n := s.probs[0].NumLoops()
+	s.suffix = make([][]deptest.Interval, n+1)
+	s.suffix[n] = make([]deptest.Interval, len(s.probs))
+	for k := n - 1; k >= 0; k-- {
+		ivs := make([]deptest.Interval, len(s.probs))
+		for d := range s.probs {
+			first := true
+			var iv deptest.Interval
+			whole := false
+			s.pairs(k, func(x, y int64) bool {
+				t, ok := s.term(d, k, x, y)
+				if !ok {
+					whole = true
+					return true // stop: interval degrades to the whole line
+				}
+				if first {
+					iv = deptest.Interval{Lo: t, Hi: t}
+					first = false
+				} else {
+					if t < iv.Lo {
+						iv.Lo = t
+					}
+					if t > iv.Hi {
+						iv.Hi = t
+					}
+				}
+				return false
+			})
+			if whole || first {
+				iv = deptest.WholeInterval
+			}
+			ivs[d] = iv.Add(s.suffix[k+1][d])
+		}
+		s.suffix[k] = ivs
+	}
+}
+
+// solve recursively assigns loops k.. and reports whether a full
+// simultaneous solution was found (positions left in s.x, s.y).
+func (s *searcher) solve(k int) bool {
+	if s.out {
+		return false
+	}
+	n := s.probs[0].NumLoops()
+	if k == n {
+		for d := range s.probs {
+			if s.target[d] != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	return s.pairs(k, func(x, y int64) bool {
+		if s.budget--; s.budget < 0 {
+			s.out = true
+			return true // abort enumeration; caller sees found=false via s.out
+		}
+		saved := make([]int64, len(s.target))
+		copy(saved, s.target)
+		for d := range s.probs {
+			t, ok := s.term(d, k, x, y)
+			if !ok {
+				s.sat = true
+				copy(s.target, saved)
+				return false
+			}
+			var so deptest.SatOps
+			need := so.Sub(s.target[d], t)
+			if so.Overflowed {
+				s.sat = true
+				copy(s.target, saved)
+				return false
+			}
+			if !s.suffix[k+1][d].Contains(need) {
+				copy(s.target, saved)
+				return false
+			}
+			s.target[d] = need
+		}
+		s.x[k], s.y[k] = x, y
+		if s.solve(k + 1) {
+			return !s.out
+		}
+		copy(s.target, saved)
+		return false
+	}) && !s.out
+}
+
+// CertifyIndependence checks the claim "no dependence satisfying v
+// exists between this reference pair": a witness found in the shadow
+// domain (and confirmed by re-evaluating the affine equations)
+// falsifies it; otherwise the claim is certified, exhaustively when
+// the search covered the whole domain.
+func CertifyIndependence(layer, claim string, probs []deptest.Problem, v deptest.Vector) Certificate {
+	w, found, exhaustive := SearchWitness(probs, v)
+	if found {
+		if CheckWitness(probs, v, w) {
+			return Certificate{
+				Layer: layer, Claim: claim, Status: Falsified,
+				Witness: w.flatten(), Detail: "dependence witness found in shadow domain",
+			}
+		}
+		return Certificate{
+			Layer: layer, Claim: claim, Status: Skipped,
+			Witness: w.flatten(), Detail: "internal: enumerated witness failed re-evaluation",
+		}
+	}
+	return Certificate{Layer: layer, Claim: claim, Status: Certified, Exhaustive: exhaustive}
+}
+
+// CertifyDependence checks a Definite ("dependence certainly
+// exists") claim by producing a concrete witness. Absence of one is a
+// falsification only when the search was exhaustive; a clamped search
+// that comes up empty is inconclusive (the definite point may lie
+// outside the shadow domain).
+func CertifyDependence(layer, claim string, probs []deptest.Problem, v deptest.Vector) Certificate {
+	w, found, exhaustive := SearchWitness(probs, v)
+	if found && CheckWitness(probs, v, w) {
+		return Certificate{
+			Layer: layer, Claim: claim, Status: Certified,
+			Witness: w.flatten(), Exhaustive: exhaustive,
+		}
+	}
+	if exhaustive {
+		return Certificate{
+			Layer: layer, Claim: claim, Status: Falsified,
+			Detail: "no solution exists in the exhaustively covered domain",
+		}
+	}
+	return Certificate{
+		Layer: layer, Claim: claim, Status: Skipped,
+		Detail: "no witness within shadow bounds",
+	}
+}

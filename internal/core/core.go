@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"arraycomp/internal/analysis"
+	"arraycomp/internal/certify"
 	"arraycomp/internal/codegen"
 	"arraycomp/internal/depgraph"
 	"arraycomp/internal/lang"
@@ -62,6 +63,14 @@ type Options struct {
 	// but not defined by the program), required to compile reads of
 	// them.
 	InputBounds map[string]analysis.ArrayBounds
+	// Certify audits every dependence verdict the compiler acted on:
+	// dependent claims must produce a re-checked witness, independent
+	// claims are cross-validated by exhaustive enumeration over a
+	// bounded shadow domain, emitted schedules are simulated against
+	// raw accesses, and parallel plans are checked against brute-force
+	// conflict sets. Any falsified claim aborts the compile with an
+	// error naming the lying layer.
+	Certify bool
 }
 
 // CompiledDef is the compilation artifact of one definition.
@@ -113,6 +122,10 @@ type Program struct {
 	// written single-threaded during Compile and read-only afterwards,
 	// so cached programs may share it across concurrent readers.
 	Stats *metrics.CompileReport
+	// Certs aggregates the soundness certificates when Options.Certify
+	// was set (nil otherwise). A compile that returns succeeds only
+	// with zero falsifications.
+	Certs *certify.Report
 }
 
 // Compile parses and compiles source under the given parameter binding.
@@ -151,6 +164,22 @@ func compileProgram(source *lang.Program, params map[string]int64, opts Options,
 	}
 	if source.Def(source.Result) == nil {
 		return nil, fmt.Errorf("core: result array %q is not defined", source.Result)
+	}
+	if opts.Certify {
+		p.Certs = certify.NewReport()
+	}
+	// certifyMerge folds one layer's certificates into the program
+	// report and aborts the compile on any falsification.
+	certifyMerge := func(name string, crep *certify.Report, t0 time.Time) error {
+		rep.AddPhase(metrics.PhaseCertify, time.Since(t0))
+		p.Certs.Merge(crep)
+		rep.Counters.ClaimsCertified += crep.CertifiedCount
+		rep.Counters.ClaimsFalsified += crep.FalsifiedCount
+		rep.Counters.ClaimsSkipped += crep.SkippedCount
+		if err := crep.Err(); err != nil {
+			return fmt.Errorf("core: %s: %w", name, err)
+		}
+		return nil
 	}
 
 	// Resolve bounds for every definition (bigupd inherits its
@@ -206,6 +235,12 @@ func compileProgram(source *lang.Program, params map[string]int64, opts Options,
 			return nil, fmt.Errorf("core: %s: %w", def.Name, err)
 		}
 		results[def.Name] = res
+		if opts.Certify {
+			t0 := time.Now()
+			if err := certifyMerge(def.Name, analysis.Certify(res), t0); err != nil {
+				return nil, err
+			}
+		}
 	}
 	rep.AddPhase(metrics.PhaseAnalyze, time.Since(tAnalyze))
 
@@ -293,6 +328,7 @@ func compileProgram(source *lang.Program, params map[string]int64, opts Options,
 		if err != nil {
 			return nil, fmt.Errorf("core: %s: %w", name, err)
 		}
+		antiRelaxed := false
 		if sched.Thunked && def.Kind == lang.BigUpd {
 			// Relax the anti edges; node splitting repairs the
 			// violated ones during lowering.
@@ -303,6 +339,7 @@ func compileProgram(source *lang.Program, params map[string]int64, opts Options,
 			if !relaxed.Thunked {
 				p.note("%s: anti-dependence cycle broken by node splitting (%s)", name, sched.Reason)
 				sched = relaxed
+				antiRelaxed = true
 			}
 		}
 		rep.AddPhase(metrics.PhasePlan, time.Since(tPlan))
@@ -311,6 +348,12 @@ func compileProgram(source *lang.Program, params map[string]int64, opts Options,
 			cd.Thunked = newThunked(res, rep)
 			p.note("%s: thunked fallback: %s", name, sched.Reason)
 			continue
+		}
+		if opts.Certify {
+			t0 := time.Now()
+			if err := certifyMerge(name, schedule.Certify(res, sched, antiRelaxed), t0); err != nil {
+				return nil, err
+			}
 		}
 		tLower := time.Now()
 		plan, err := codegen.Lower(res, sched, external, codegen.LowerOptions{Parallel: opts.Parallel, ForceChecks: opts.ForceChecks, NoOptimize: opts.NoOptimize, Workers: opts.Workers})
@@ -323,6 +366,12 @@ func compileProgram(source *lang.Program, params map[string]int64, opts Options,
 		rep.AddPhase(metrics.PhaseOptimize, plan.OptTime)
 		recordPlanStats(rep, res, plan)
 		cd.Plan = plan
+		if opts.Certify {
+			t0 := time.Now()
+			if err := certifyMerge(name, loopir.CertifyPlans(plan.Program), t0); err != nil {
+				return nil, err
+			}
+		}
 		if plan.InPlace {
 			// The in-place plan destroys its source; clone when the
 			// source is still live afterwards (or is the program

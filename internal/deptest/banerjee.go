@@ -26,85 +26,130 @@ package deptest
 // contained in) the classical ones, a relationship checked by the
 // property tests.
 
-// Interval is an inclusive integer interval [Lo, Hi].
+// Interval is an inclusive integer interval [Lo, Hi]. An endpoint at
+// a saturation bound (Lo ≤ SatMin or Hi ≥ SatMax) means the true
+// endpoint overflowed and is treated as unbounded in that direction:
+// once saturation occurs the interval can only widen, never flip, so
+// the Banerjee refutation stays merely conservative instead of
+// unsound.
 type Interval struct {
 	Lo, Hi int64
 }
 
-// Contains reports whether t lies in the interval.
-func (iv Interval) Contains(t int64) bool { return iv.Lo <= t && t <= iv.Hi }
+// WholeInterval is the fully saturated interval: both endpoints
+// unknown, so every value is (conservatively) contained.
+var WholeInterval = Interval{SatMin, SatMax}
 
-// Add sums two intervals elementwise (Minkowski sum).
+// Contains reports whether t lies in the interval, treating saturated
+// endpoints as ±∞.
+func (iv Interval) Contains(t int64) bool {
+	lowOK := iv.Lo <= t || iv.Lo <= SatMin
+	highOK := t <= iv.Hi || iv.Hi >= SatMax
+	return lowOK && highOK
+}
+
+// Add sums two intervals elementwise (Minkowski sum), saturating.
+// Saturated endpoints are sticky: ±∞ plus anything stays ±∞, so a
+// later finite term cannot "wash out" an earlier overflow and shrink
+// the interval below its true extent.
 func (iv Interval) Add(o Interval) Interval {
-	return Interval{iv.Lo + o.Lo, iv.Hi + o.Hi}
+	var s SatOps
+	lo := s.Add(iv.Lo, o.Lo)
+	if iv.Lo <= SatMin || o.Lo <= SatMin {
+		lo = SatMin
+	}
+	hi := s.Add(iv.Hi, o.Hi)
+	if iv.Hi >= SatMax || o.Hi >= SatMax {
+		hi = SatMax
+	}
+	return Interval{lo, hi}
 }
 
 // TermBoundsClassical bounds a·x − b·y for x, y ∈ [1..m] under
 // direction constraint d using the closed-form positive/negative-part
 // formulas. m must be ≥ 1, and ≥ 2 for the strict directions (callers
-// handle the empty-region case separately).
+// handle the empty-region case separately). If the bound arithmetic
+// leaves the saturation range the whole line is returned — an
+// overflowed bound carries no refutation power.
 func TermBoundsClassical(a, b, m int64, d Direction) Interval {
+	var s SatOps
+	var iv Interval
 	switch d {
 	case DirAny:
 		// Paper's lemma for k ∈ Q*:
 		//   (a−b) − (a⁻+b⁺)(M−1) ≤ a·x − b·y ≤ (a−b) + (a⁺+b⁻)(M−1)
-		return Interval{
-			Lo: (a - b) - (NegPart(a)+PosPart(b))*(m-1),
-			Hi: (a - b) + (PosPart(a)+NegPart(b))*(m-1),
+		iv = Interval{
+			Lo: s.Sub(s.Sub(a, b), s.Mul(s.Add(NegPart(a), PosPart(b)), m-1)),
+			Hi: s.Add(s.Sub(a, b), s.Mul(s.Add(PosPart(a), NegPart(b)), m-1)),
 		}
 	case DirEqual:
 		// x = y: term is (a−b)·x over x ∈ [1..M].
-		t := a - b
-		return Interval{
-			Lo: t - NegPart(t)*(m-1),
-			Hi: t + PosPart(t)*(m-1),
+		t := s.Sub(a, b)
+		iv = Interval{
+			Lo: s.Sub(t, s.Mul(NegPart(t), m-1)),
+			Hi: s.Add(t, s.Mul(PosPart(t), m-1)),
 		}
 	case DirLess:
 		// x < y: substitute y = x + δ with x ∈ [1..M−1], δ ∈ [1..M−1]
 		// (rectangular relaxation of the triangle x + δ ≤ M):
 		//   a·x − b·y = (a−b)·x − b·δ.
-		t := a - b
-		return Interval{
-			Lo: t - NegPart(t)*(m-2) - b - PosPart(b)*(m-2),
-			Hi: t + PosPart(t)*(m-2) - b + NegPart(b)*(m-2),
+		t := s.Sub(a, b)
+		iv = Interval{
+			Lo: s.Sub(s.Sub(s.Sub(t, s.Mul(NegPart(t), m-2)), b), s.Mul(PosPart(b), m-2)),
+			Hi: s.Add(s.Sub(s.Add(t, s.Mul(PosPart(t), m-2)), b), s.Mul(NegPart(b), m-2)),
 		}
 	case DirGreater:
 		// x > y: substitute x = y + δ with y ∈ [1..M−1], δ ∈ [1..M−1]:
 		//   a·x − b·y = (a−b)·y + a·δ.
-		t := a - b
-		return Interval{
-			Lo: t - NegPart(t)*(m-2) + a - NegPart(a)*(m-2),
-			Hi: t + PosPart(t)*(m-2) + a + PosPart(a)*(m-2),
+		t := s.Sub(a, b)
+		iv = Interval{
+			Lo: s.Sub(s.Add(s.Sub(t, s.Mul(NegPart(t), m-2)), a), s.Mul(NegPart(a), m-2)),
+			Hi: s.Add(s.Add(s.Add(t, s.Mul(PosPart(t), m-2)), a), s.Mul(PosPart(a), m-2)),
 		}
+	default:
+		panic("deptest: unknown direction")
 	}
-	panic("deptest: unknown direction")
+	if s.Overflowed {
+		return WholeInterval
+	}
+	return iv
 }
 
 // TermBoundsExact bounds a·x − b·y for x, y ∈ [1..m] under direction
 // constraint d exactly, by evaluating the linear form at the vertices
 // of the constrained region. m must be ≥ 1, and ≥ 2 for the strict
 // directions.
+// The vertex evaluations saturate; any overflow yields the whole
+// line, since a wrapped vertex value could otherwise shrink (or flip)
+// the interval and refute a real dependence.
 func TermBoundsExact(a, b, m int64, d Direction) Interval {
-	eval := func(x, y int64) int64 { return a*x - b*y }
+	var s SatOps
+	eval := func(x, y int64) int64 { return s.Sub(s.Mul(a, x), s.Mul(b, y)) }
+	var iv Interval
 	switch d {
 	case DirAny:
 		// Rectangle [1..m]×[1..m]; vertices (1,1),(1,m),(m,1),(m,m).
 		vals := []int64{eval(1, 1), eval(1, m), eval(m, 1), eval(m, m)}
-		return Interval{minAll(vals...), maxAll(vals...)}
+		iv = Interval{minAll(vals...), maxAll(vals...)}
 	case DirEqual:
 		// Segment x=y ∈ [1..m]; vertices at x=1 and x=m.
 		vals := []int64{eval(1, 1), eval(m, m)}
-		return Interval{minAll(vals...), maxAll(vals...)}
+		iv = Interval{minAll(vals...), maxAll(vals...)}
 	case DirLess:
 		// Triangle 1 ≤ x, x+1 ≤ y ≤ m; vertices (1,2),(1,m),(m−1,m).
 		vals := []int64{eval(1, 2), eval(1, m), eval(m-1, m)}
-		return Interval{minAll(vals...), maxAll(vals...)}
+		iv = Interval{minAll(vals...), maxAll(vals...)}
 	case DirGreater:
 		// Triangle 1 ≤ y, y+1 ≤ x ≤ m; vertices (2,1),(m,1),(m,m−1).
 		vals := []int64{eval(2, 1), eval(m, 1), eval(m, m-1)}
-		return Interval{minAll(vals...), maxAll(vals...)}
+		iv = Interval{minAll(vals...), maxAll(vals...)}
+	default:
+		panic("deptest: unknown direction")
 	}
-	panic("deptest: unknown direction")
+	if s.Overflowed {
+		return WholeInterval
+	}
+	return iv
 }
 
 // TermBoundsUnshared bounds the contribution of a loop that surrounds
@@ -128,6 +173,12 @@ func BanerjeeBounds(p Problem, v Vector, exact bool) (Interval, error) {
 	}
 	if err := p.checkVector(v); err != nil {
 		return Interval{}, err
+	}
+	if p.EmptyDomain() {
+		// No iteration points at all: there is no achievable value to
+		// bound. Callers (BanerjeeTest, ExactTest) report independence
+		// before asking for bounds.
+		return Interval{}, errEmptyDomain
 	}
 	var total Interval
 	for k := range p.A {
@@ -159,7 +210,7 @@ func BanerjeeTest(p Problem, v Vector, exact bool) (possible bool, err error) {
 	if err := p.checkVector(v); err != nil {
 		return false, err
 	}
-	if p.regionEmpty(v) {
+	if p.EmptyDomain() || p.regionEmpty(v) {
 		return false, nil
 	}
 	iv, err := BanerjeeBounds(p, v, exact)

@@ -59,12 +59,9 @@ type tRange struct {
 	empty  bool
 }
 
-func fullRange() tRange { return tRange{lo: minInt64, hi: maxInt64} }
-
-const (
-	minInt64 = -1 << 62 // headroom to avoid overflow in interval math
-	maxInt64 = 1<<62 - 1
-)
+// The solver's working range is exactly the saturation range of the
+// shared intmath helpers.
+func fullRange() tRange { return tRange{lo: SatMin, hi: SatMax} }
 
 func (r tRange) isEmpty() bool { return r.empty || r.lo > r.hi }
 
@@ -94,59 +91,70 @@ func (r tRange) constrainGE(coeff, rhs int64) tRange {
 }
 
 // solveSingleLoop decides exactly whether a·x − b·y = c has an integer
-// solution with x, y ∈ [1..m] under direction d. O(1).
-func solveSingleLoop(a, b, c, m int64, d Direction) bool {
+// solution with x, y ∈ [1..m] under direction d. O(1). The second
+// result reports whether the arithmetic stayed exact; when false the
+// answer is unreliable and the caller must treat the branch as
+// undecided.
+func solveSingleLoop(a, b, c, m int64, d Direction) (found, ok bool) {
+	var s SatOps
 	if (d == DirLess || d == DirGreater) && m < 2 {
-		return false
+		return false, true
 	}
 	if d == DirEqual {
 		// (a−b)·x = c, x ∈ [1..m].
-		t := a - b
+		t := s.Sub(a, b)
+		if s.Overflowed {
+			return false, false
+		}
 		if t == 0 {
-			return c == 0
+			return c == 0, true
 		}
 		if c%t != 0 {
-			return false
+			return false, true
 		}
 		x := c / t
-		return 1 <= x && x <= m
+		return 1 <= x && x <= m, true
 	}
-	g, u, v := ExtGCD(a, -b) // a·u + (−b)·v = g
+	g, u, v := ExtGCD(a, s.Neg(b)) // a·u + (−b)·v = g
 	if g == 0 {
 		// a = b = 0: equation is 0 = c for any x, y in the region.
-		return c == 0
+		return c == 0, !s.Overflowed
 	}
 	if c%g != 0 {
-		return false
+		return false, !s.Overflowed
 	}
 	// Particular solution: x0 = u·(c/g), y0 = v·(c/g).
 	// General: x = x0 + (b/g)·t, y = y0 + (a/g)·t   (since a·(b/g) − b·(a/g) = 0).
 	q := c / g
-	x0, y0 := u*q, v*q
+	x0, y0 := s.Mul(u, q), s.Mul(v, q)
 	sx, sy := b/g, a/g
 	r := fullRange()
 	// 1 ≤ x0 + sx·t ≤ m
-	r = r.constrainGE(sx, 1-x0)
-	r = r.constrainLE(sx, m-x0)
+	r = r.constrainGE(sx, s.Sub(1, x0))
+	r = r.constrainLE(sx, s.Sub(m, x0))
 	// 1 ≤ y0 + sy·t ≤ m
-	r = r.constrainGE(sy, 1-y0)
-	r = r.constrainLE(sy, m-y0)
+	r = r.constrainGE(sy, s.Sub(1, y0))
+	r = r.constrainLE(sy, s.Sub(m, y0))
 	switch d {
 	case DirLess: // x ≤ y − 1: (x0−y0) + (sx−sy)·t ≤ −1
-		r = r.constrainLE(sx-sy, -1-(x0-y0))
+		r = r.constrainLE(s.Sub(sx, sy), s.Sub(-1, s.Sub(x0, y0)))
 	case DirGreater: // x ≥ y + 1
-		r = r.constrainGE(sx-sy, 1-(x0-y0))
+		r = r.constrainGE(s.Sub(sx, sy), s.Sub(1, s.Sub(x0, y0)))
 	}
-	return !r.isEmpty()
+	if s.Overflowed {
+		return false, false
+	}
+	return !r.isEmpty(), true
 }
 
 // exactSolver carries the recursion state for ExactTest.
 type exactSolver struct {
-	p       Problem
-	v       Vector
-	budget  int
-	suffix  []Interval // suffix[k] = exact achievable range of terms k.. (inclusive)
-	timeout bool
+	p        Problem
+	v        Vector
+	budget   int
+	suffix   []Interval // suffix[k] = exact achievable range of terms k.. (inclusive)
+	timeout  bool
+	overflow bool // some branch was skipped because its arithmetic saturated
 }
 
 func (s *exactSolver) spend() bool {
@@ -179,19 +187,37 @@ func (s *exactSolver) solve(k int, target int64) bool {
 		if !s.spend() {
 			return false
 		}
-		return solveSingleLoop(a, b, target, m, dir)
+		found, ok := solveSingleLoop(a, b, target, m, dir)
+		if !ok {
+			s.overflow = true
+			return false
+		}
+		return found
 	}
 	rest := s.suffix[k+1]
-	// need(term) = target − term must lie in rest for any hope.
-	termFeasible := func(term int64) bool { return rest.Contains(target - term) }
+	// step(term, exact) prunes on the suffix interval and recurses.
+	// Branches whose term or remaining-target arithmetic saturated are
+	// skipped with the overflow flag set: a "found" answer therefore
+	// only ever rests on exact arithmetic, while "not found" decays to
+	// Unknown when anything was skipped.
+	step := func(term int64, exact bool) bool {
+		var so SatOps
+		need := so.Sub(target, term)
+		if !exact || so.Overflowed {
+			s.overflow = true
+			return false
+		}
+		return rest.Contains(need) && s.solve(k+1, need)
+	}
 	switch dir {
 	case DirEqual:
 		for z := int64(1); z <= m; z++ {
 			if !s.spend() {
 				return false
 			}
-			term := (a - b) * z
-			if termFeasible(term) && s.solve(k+1, target-term) {
+			var so SatOps
+			term := so.Mul(so.Sub(a, b), z)
+			if step(term, !so.Overflowed) {
 				return true
 			}
 		}
@@ -201,8 +227,9 @@ func (s *exactSolver) solve(k int, target int64) bool {
 				if !s.spend() {
 					return false
 				}
-				term := a*x - b*y
-				if termFeasible(term) && s.solve(k+1, target-term) {
+				var so SatOps
+				term := so.Sub(so.Mul(a, x), so.Mul(b, y))
+				if step(term, !so.Overflowed) {
 					return true
 				}
 			}
@@ -213,8 +240,9 @@ func (s *exactSolver) solve(k int, target int64) bool {
 				if !s.spend() {
 					return false
 				}
-				term := a*x - b*y
-				if termFeasible(term) && s.solve(k+1, target-term) {
+				var so SatOps
+				term := so.Sub(so.Mul(a, x), so.Mul(b, y))
+				if step(term, !so.Overflowed) {
 					return true
 				}
 			}
@@ -225,8 +253,9 @@ func (s *exactSolver) solve(k int, target int64) bool {
 				if !s.spend() {
 					return false
 				}
-				term := a*x - b*y
-				if termFeasible(term) && s.solve(k+1, target-term) {
+				var so SatOps
+				term := so.Sub(so.Mul(a, x), so.Mul(b, y))
+				if step(term, !so.Overflowed) {
 					return true
 				}
 			}
@@ -245,7 +274,7 @@ func ExactTest(p Problem, v Vector, budget int) (Result, error) {
 	if err := p.checkVector(v); err != nil {
 		return Unknown, err
 	}
-	if p.regionEmpty(v) {
+	if p.EmptyDomain() || p.regionEmpty(v) {
 		return Impossible, nil
 	}
 	// Cheap refutations first, exactly as the paper prescribes.
@@ -255,9 +284,15 @@ func ExactTest(p Problem, v Vector, budget int) (Result, error) {
 	if ok, _ := BanerjeeTest(p, v, true); !ok {
 		return Impossible, nil
 	}
+	delta, exact := p.DeltaSat()
+	if !exact {
+		// The dependence equation's constant cannot be represented; no
+		// enumeration over it can be trusted.
+		return Unknown, nil
+	}
 	d := p.NumLoops()
 	if d == 0 {
-		if p.Delta() == 0 {
+		if delta == 0 {
 			return Definite, nil
 		}
 		return Impossible, nil
@@ -271,12 +306,12 @@ func ExactTest(p Problem, v Vector, budget int) (Result, error) {
 		tb := TermBoundsExact(p.A[k], p.B[k], p.Bound[k], dir)
 		s.suffix[k] = tb.Add(s.suffix[k+1])
 	}
-	found := s.solve(0, p.Delta())
-	if s.timeout {
-		return Unknown, nil
-	}
+	found := s.solve(0, delta)
 	if found {
 		return Definite, nil
+	}
+	if s.timeout || s.overflow {
+		return Unknown, nil
 	}
 	return Impossible, nil
 }

@@ -20,7 +20,11 @@ func TestSolveSingleLoopClosedForm(t *testing.T) {
 								}
 							}
 						}
-						if got := solveSingleLoop(a, b, c, m, d); got != want {
+						got, ok := solveSingleLoop(a, b, c, m, d)
+						if !ok {
+							t.Fatalf("solveSingleLoop(a=%d b=%d c=%d m=%d %v) saturated on tiny inputs", a, b, c, m, d)
+						}
+						if got != want {
 							t.Fatalf("solveSingleLoop(a=%d b=%d c=%d m=%d %v) = %v, want %v", a, b, c, m, d, got, want)
 						}
 					}

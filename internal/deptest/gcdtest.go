@@ -22,16 +22,28 @@ func GCDTest(p Problem, v Vector) (possible bool, err error) {
 	if err := p.checkVector(v); err != nil {
 		return false, err
 	}
+	if p.EmptyDomain() {
+		// Zero iteration points: trivially independent. (The other
+		// tests agree; see Problem.EmptyDomain.)
+		return false, nil
+	}
+	var s SatOps
 	var g int64
 	for k := range p.A {
 		if v[k] == DirEqual {
-			g = GCD(g, p.A[k]-p.B[k])
+			g = GCD(g, s.Sub(p.A[k], p.B[k]))
 		} else {
 			g = GCD(g, p.A[k])
 			g = GCD(g, p.B[k])
 		}
 	}
-	return Divides(g, p.Delta()), nil
+	delta, exact := p.DeltaSat()
+	if s.Overflowed || !exact {
+		// A clamped coefficient or constant would make the divisibility
+		// check meaningless; the test simply cannot refute.
+		return true, nil
+	}
+	return Divides(g, delta), nil
 }
 
 // GCDTestAny runs the GCD test with no direction constraints, the

@@ -94,6 +94,106 @@ func CeilDiv(a, b int64) int64 {
 	return q
 }
 
+// Saturating arithmetic. The dependence tests manipulate products of
+// coefficients and trip counts; with user-visible parameters both can
+// approach 2^62, so the intermediate bound arithmetic can wrap int64
+// and silently flip an interval — turning a real dependence into a
+// certified "independent" and breaking every downstream optimization.
+// Instead of big integers, all bound computation clamps into
+// [SatMin, SatMax]. Clamping is monotone (x ≤ y ⟹ sat(x) ≤ sat(y)),
+// and SatOps additionally records whether any step left the exact
+// range, so callers can either treat a saturated bound as ±∞ or
+// discard the computation as "unknown" — both conservative.
+const (
+	// SatMax is the upper saturation bound, 2^62 − 1. Keeping a factor
+	// of two of headroom below MaxInt64 means a single post-clamp
+	// addition of two in-range values cannot wrap before being clamped.
+	SatMax = int64(1)<<62 - 1
+	// SatMin is the lower saturation bound, −2^62.
+	SatMin = -(int64(1) << 62)
+)
+
+// SatOps is a saturating evaluator that records overflow. The zero
+// value is ready to use; after a sequence of operations, Overflowed
+// reports whether any intermediate left [SatMin, SatMax] (in which
+// case the results are clamped and no longer exact).
+type SatOps struct {
+	Overflowed bool
+}
+
+func (s *SatOps) clamp(v int64) int64 {
+	if v > SatMax {
+		s.Overflowed = true
+		return SatMax
+	}
+	if v < SatMin {
+		s.Overflowed = true
+		return SatMin
+	}
+	return v
+}
+
+// Add returns a + b clamped into [SatMin, SatMax].
+func (s *SatOps) Add(a, b int64) int64 {
+	a, b = s.clamp(a), s.clamp(b)
+	// Inputs are in range, so |a + b| ≤ 2^63 − 2: the raw sum cannot
+	// wrap and a single clamp is exact.
+	return s.clamp(a + b)
+}
+
+// Sub returns a − b clamped into [SatMin, SatMax].
+func (s *SatOps) Sub(a, b int64) int64 {
+	a, b = s.clamp(a), s.clamp(b)
+	return s.clamp(a - b)
+}
+
+// Neg returns −a clamped into [SatMin, SatMax].
+func (s *SatOps) Neg(a int64) int64 {
+	return s.clamp(-s.clamp(a))
+}
+
+// Mul returns a·b clamped into [SatMin, SatMax].
+func (s *SatOps) Mul(a, b int64) int64 {
+	a, b = s.clamp(a), s.clamp(b)
+	if a == 0 || b == 0 {
+		return 0
+	}
+	pos := (a > 0) == (b > 0)
+	aa, bb := a, b
+	if aa < 0 {
+		aa = -aa // in range: |a| ≤ 2^62
+	}
+	if bb < 0 {
+		bb = -bb
+	}
+	if aa > SatMax/bb {
+		// The only in-range product whose magnitude exceeds SatMax is
+		// exactly −2^62 = SatMin; keep that case exact.
+		if !pos && aa <= (int64(1)<<62)/bb && aa*bb == int64(1)<<62 {
+			return SatMin
+		}
+		s.Overflowed = true
+		if pos {
+			return SatMax
+		}
+		return SatMin
+	}
+	p := aa * bb
+	if !pos {
+		p = -p
+	}
+	return p
+}
+
+// SatAdd is a convenience wrapper for a single saturating addition.
+func SatAdd(a, b int64) int64 { var s SatOps; return s.Add(a, b) }
+
+// SatSub is a convenience wrapper for a single saturating subtraction.
+func SatSub(a, b int64) int64 { var s SatOps; return s.Sub(a, b) }
+
+// SatMul is a convenience wrapper for a single saturating product.
+func SatMul(a, b int64) int64 { var s SatOps; return s.Mul(a, b) }
+
 func minI64(a, b int64) int64 {
 	if a < b {
 		return a

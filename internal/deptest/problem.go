@@ -46,11 +46,6 @@ func (p Problem) Validate() error {
 		return fmt.Errorf("deptest: inconsistent problem arity: |A|=%d |B|=%d |Bound|=%d |Shared|=%d",
 			len(p.A), len(p.B), len(p.Bound), len(p.Shared))
 	}
-	for k, m := range p.Bound {
-		if m < 1 {
-			return fmt.Errorf("deptest: loop %d has bound %d < 1 (loops must be normalized and non-empty)", k, m)
-		}
-	}
 	for k := range p.A {
 		if !p.Shared[k] && p.A[k] != 0 && p.B[k] != 0 {
 			return fmt.Errorf("deptest: loop %d marked unshared but has coefficients on both sides", k)
@@ -79,8 +74,38 @@ func (p Problem) checkVector(v Vector) error {
 }
 
 // Delta returns the constant term B0 − A0 of the dependence equation
-// Σ A[k]x[k] − Σ B[k]y[k] = B0 − A0.
-func (p Problem) Delta() int64 { return p.B0 - p.A0 }
+// Σ A[k]x[k] − Σ B[k]y[k] = B0 − A0, saturated into [SatMin, SatMax].
+// A saturated delta (|B0 − A0| > 2^62) compares correctly against
+// saturating interval bounds because clamping is monotone; callers
+// that need to know whether the value is exact use DeltaSat.
+func (p Problem) Delta() int64 { d, _ := p.DeltaSat(); return d }
+
+// DeltaSat returns the saturated constant term and whether it is
+// exact (no overflow).
+func (p Problem) DeltaSat() (int64, bool) {
+	var s SatOps
+	d := s.Sub(p.B0, p.A0)
+	return d, !s.Overflowed
+}
+
+// errEmptyDomain flags a dependence question over zero iteration
+// points; the tests report "independent" rather than an error.
+var errEmptyDomain = errors.New("deptest: empty iteration domain")
+
+// EmptyDomain reports whether some loop has a non-positive bound. A
+// normalized loop with Bound < 1 runs zero iterations, so the whole
+// iteration domain is empty and no dependence can exist. Historically
+// Validate rejected such problems outright, which made degenerate
+// (empty or negative) ranges an error path; they are a legitimate
+// "independent" answer.
+func (p Problem) EmptyDomain() bool {
+	for _, m := range p.Bound {
+		if m < 1 {
+			return true
+		}
+	}
+	return false
+}
 
 // regionEmpty reports whether the constrained region is empty for some
 // loop — e.g. constraint x<y over a loop with a single iteration.

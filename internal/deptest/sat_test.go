@@ -1,0 +1,294 @@
+package deptest
+
+import (
+	"math/big"
+	"testing"
+)
+
+// bigTerm computes a·x − b·y in arbitrary precision (ground truth for
+// the saturating implementations under test).
+func bigTerm(a, b, x, y int64) *big.Int {
+	ax := new(big.Int).Mul(big.NewInt(a), big.NewInt(x))
+	by := new(big.Int).Mul(big.NewInt(b), big.NewInt(y))
+	return ax.Sub(ax, by)
+}
+
+// bigClamp clamps a big value into the saturation range.
+func bigClamp(v *big.Int) int64 {
+	if v.Cmp(big.NewInt(SatMax)) > 0 {
+		return SatMax
+	}
+	if v.Cmp(big.NewInt(SatMin)) < 0 {
+		return SatMin
+	}
+	return v.Int64()
+}
+
+// Regression tests for the int64-overflow and degenerate-range bugs in
+// the dependence tests: term bounds at ±2^62-scale coefficients used
+// to wrap and flip an interval (refuting real dependences), and empty
+// iteration ranges used to be a Validate error rather than a clean
+// "independent" verdict.
+
+func TestSatOps(t *testing.T) {
+	cases := []struct {
+		name string
+		got  int64
+		want int64
+		ovf  bool
+	}{
+		{"add small", SatAdd(3, 4), 7, false},
+		{"add clamp hi", SatAdd(SatMax, 1), SatMax, true},
+		{"add clamp lo", SatAdd(SatMin, -1), SatMin, true},
+		{"sub small", SatSub(3, 4), -1, false},
+		{"sub clamp hi", SatSub(SatMax, SatMin), SatMax, true},
+		{"sub clamp lo", SatSub(SatMin, SatMax), SatMin, true},
+		{"mul small", SatMul(-6, 7), -42, false},
+		{"mul zero", SatMul(0, SatMax), 0, false},
+		{"mul clamp hi", SatMul(1<<40, 1<<40), SatMax, true},
+		{"mul clamp lo", SatMul(1<<40, -(1 << 40)), SatMin, true},
+		{"mul neg neg", SatMul(-(1 << 40), -(1 << 40)), SatMax, true},
+	}
+	for _, c := range cases {
+		if c.got != c.want {
+			t.Errorf("%s: got %d, want %d", c.name, c.got, c.want)
+		}
+	}
+	var s SatOps
+	s.Add(1, 2)
+	s.Mul(10, 10)
+	if s.Overflowed {
+		t.Error("in-range ops must not set Overflowed")
+	}
+	s.Mul(1<<62-1, 2)
+	if !s.Overflowed {
+		t.Error("saturating op must set Overflowed")
+	}
+	// Inputs outside the saturation range are clamped (and flagged) too.
+	var s2 SatOps
+	if got := s2.Add(int64(1)<<62, 0); got != SatMax || !s2.Overflowed {
+		t.Errorf("out-of-range input: got %d ovf=%v", got, s2.Overflowed)
+	}
+}
+
+func TestIntervalSaturationSemantics(t *testing.T) {
+	// Saturated endpoints behave as ±∞ for containment.
+	if !WholeInterval.Contains(SatMax) || !WholeInterval.Contains(SatMin) || !WholeInterval.Contains(0) {
+		t.Error("WholeInterval must contain everything")
+	}
+	if (Interval{Lo: -5, Hi: SatMax}).Contains(-6) {
+		t.Error("finite Lo must still exclude")
+	}
+	if !(Interval{Lo: -5, Hi: SatMax}).Contains(1 << 62) {
+		t.Error("saturated Hi must act as +inf")
+	}
+	// Stickiness: ±∞ plus a finite interval stays ±∞; a later finite
+	// term must not wash the overflow out and shrink the interval.
+	got := Interval{Lo: SatMin, Hi: SatMax}.Add(Interval{Lo: 100, Hi: 200})
+	if got != WholeInterval {
+		t.Errorf("sticky saturation violated: %+v", got)
+	}
+	// Finite + finite that overflows saturates rather than wrapping.
+	got = Interval{Lo: 1, Hi: SatMax - 1}.Add(Interval{Lo: 1, Hi: SatMax - 1})
+	if got.Hi != SatMax {
+		t.Errorf("overflowing Add must saturate, got %+v", got)
+	}
+}
+
+// TestBanerjeeOverflowRegression pins the satellite-1 bug: with a
+// 2^61-scale coefficient the classical Hi bound (a−b) + a⁺·(m−1)
+// wrapped int64 negative, flipping the interval and refuting the very
+// real dependence a·1 − 0·1 = delta.
+func TestBanerjeeOverflowRegression(t *testing.T) {
+	big := int64(1) << 61
+	p := NewProblem(0, []int64{big}, big, []int64{0}, []int64{16})
+	v := mustVector(t, "(*)")
+	// Witness x=1, y=1: big·1 − 0·1 = big = delta. The test must not
+	// refute it.
+	for _, exact := range []bool{false, true} {
+		ok, err := BanerjeeTest(p, v, exact)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Errorf("BanerjeeTest(exact=%v) refuted a dependence with witness x=1,y=1 at 2^61 coefficients", exact)
+		}
+	}
+	if ok, _ := GCDTest(p, v); !ok {
+		t.Error("GCD test refuted a real dependence at 2^61 scale")
+	}
+	res, err := ExactTest(p, v, DefaultExactBudget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res == Impossible {
+		t.Errorf("ExactTest = impossible, but x=1,y=1 is a solution")
+	}
+}
+
+// TestTermBoundsLargeCoefficients sweeps ±2^62-scale coefficients
+// through both bound computations and checks the returned intervals
+// against a saturating brute-force evaluation: every achievable value
+// must be contained (the interval may only be wider, never flipped).
+func TestTermBoundsLargeCoefficients(t *testing.T) {
+	huge := []int64{SatMin, -(int64(1) << 61), -1, 0, 1, int64(1) << 61, SatMax}
+	dirs := []Direction{DirAny, DirLess, DirEqual, DirGreater}
+	for _, a := range huge {
+		for _, b := range huge {
+			for _, m := range []int64{2, 5, 64} {
+				for _, d := range dirs {
+					cl := TermBoundsClassical(a, b, m, d)
+					ex := TermBoundsExact(a, b, m, d)
+					if cl.Lo > cl.Hi {
+						t.Fatalf("classical interval flipped: a=%d b=%d m=%d %v: %+v", a, b, m, d, cl)
+					}
+					if ex.Lo > ex.Hi {
+						t.Fatalf("exact interval flipped: a=%d b=%d m=%d %v: %+v", a, b, m, d, ex)
+					}
+					for x := int64(1); x <= m; x++ {
+						for y := int64(1); y <= m; y++ {
+							if !d.Admits(x, y) {
+								continue
+							}
+							// Ground truth in big arithmetic, clamped
+							// monotonically: the computed interval (with
+							// saturated endpoints read as ±∞) must contain
+							// the clamp of every achievable value.
+							val := bigClamp(bigTerm(a, b, x, y))
+							if !cl.Contains(val) {
+								t.Fatalf("classical bound drops achievable value: a=%d b=%d m=%d %v x=%d y=%d val=%d iv=%+v",
+									a, b, m, d, x, y, val, cl)
+							}
+							if !ex.Contains(val) {
+								t.Fatalf("exact bound drops achievable value: a=%d b=%d m=%d %v x=%d y=%d val=%d iv=%+v",
+									a, b, m, d, x, y, val, ex)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestEmptyRangeIndependent pins the satellite-2 edge cases: loops
+// with zero or negative bounds have an empty iteration domain, which
+// every test must report as "independent" — previously Validate
+// rejected them as errors.
+func TestEmptyRangeIndependent(t *testing.T) {
+	cases := []struct {
+		name string
+		p    Problem
+		v    string
+	}{
+		{"zero bound", NewProblem(0, []int64{1}, 0, []int64{1}, []int64{0}), "(*)"},
+		{"negative bound", NewProblem(0, []int64{2}, 1, []int64{2}, []int64{-3}), "(*)"},
+		{"one empty loop of two", NewProblem(0, []int64{1, 1}, 0, []int64{1, 1}, []int64{5, 0}), "(*,*)"},
+		{"empty with equal dir", NewProblem(0, []int64{1}, 0, []int64{1}, []int64{0}), "(=)"},
+		{"empty zero coefficients", NewProblem(3, []int64{0}, 3, []int64{0}, []int64{-1}), "(*)"},
+	}
+	for _, c := range cases {
+		v := mustVector(t, c.v)
+		if err := c.p.Validate(); err != nil {
+			t.Fatalf("%s: Validate must accept empty ranges, got %v", c.name, err)
+		}
+		if !c.p.EmptyDomain() {
+			t.Fatalf("%s: EmptyDomain = false", c.name)
+		}
+		if ok, err := GCDTest(c.p, v); err != nil || ok {
+			t.Errorf("%s: GCDTest = (%v, %v), want independent", c.name, ok, err)
+		}
+		for _, exact := range []bool{false, true} {
+			if ok, err := BanerjeeTest(c.p, v, exact); err != nil || ok {
+				t.Errorf("%s: BanerjeeTest(exact=%v) = (%v, %v), want independent", c.name, exact, ok, err)
+			}
+		}
+		if res, err := ExactTest(c.p, v, DefaultExactBudget); err != nil || res != Impossible {
+			t.Errorf("%s: ExactTest = (%v, %v), want impossible", c.name, res, err)
+		}
+		if deps, _, err := RefineDirectionsExact(c.p, DefaultExactBudget); err != nil || len(deps) != 0 {
+			t.Errorf("%s: RefineDirectionsExact = (%v, %v), want no directions", c.name, deps, err)
+		}
+	}
+}
+
+// TestZeroCoefficientGCD pins the gcd(0,0) normalization: with all
+// coefficients zero the GCD test degenerates to "delta == 0" exactly.
+func TestZeroCoefficientGCD(t *testing.T) {
+	type tc struct {
+		name     string
+		p        Problem
+		v        string
+		possible bool
+	}
+	cases := []tc{
+		{"all zero, delta zero", NewProblem(7, []int64{0, 0}, 7, []int64{0, 0}, []int64{4, 4}), "(*,*)", true},
+		{"all zero, delta nonzero", NewProblem(7, []int64{0, 0}, 8, []int64{0, 0}, []int64{4, 4}), "(*,*)", false},
+		{"equal dir cancels to zero, delta zero", NewProblem(0, []int64{3}, 0, []int64{3}, []int64{4}), "(=)", true},
+		{"equal dir cancels to zero, delta nonzero", NewProblem(0, []int64{3}, 1, []int64{3}, []int64{4}), "(=)", false},
+		{"zero against nonzero", NewProblem(0, []int64{0}, 5, []int64{2}, []int64{10}), "(*)", false},
+	}
+	for _, c := range cases {
+		v := mustVector(t, c.v)
+		got, err := GCDTest(c.p, v)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if got != c.possible {
+			t.Errorf("%s: GCDTest = %v, want %v", c.name, got, c.possible)
+		}
+		// The exact test must agree with brute force on these tiny
+		// domains (mirroring the exhaustive banerjee_test loops).
+		want := bruteForceDependence(c.p, v)
+		res, err := ExactTest(c.p, v, DefaultExactBudget)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if (res == Definite) != want || res == Unknown {
+			t.Errorf("%s: ExactTest = %v, brute force = %v", c.name, res, want)
+		}
+	}
+}
+
+// TestExactTestLargeCoefficientSoundness: at coefficient scales where
+// the solver's arithmetic saturates, the exact test may answer
+// Unknown but must never answer Impossible when a witness exists, and
+// never Definite when brute force finds none.
+func TestExactTestLargeCoefficientSoundness(t *testing.T) {
+	// Ground truth in big arithmetic: does a·x − b·y = B0 − A0 have a
+	// solution in the region?
+	bruteBig := func(p Problem, v Vector) bool {
+		delta := new(big.Int).Sub(big.NewInt(p.B0), big.NewInt(p.A0))
+		for x := int64(1); x <= p.Bound[0]; x++ {
+			for y := int64(1); y <= p.Bound[0]; y++ {
+				if !v[0].Admits(x, y) {
+					continue
+				}
+				if bigTerm(p.A[0], p.B[0], x, y).Cmp(delta) == 0 {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	huge := []int64{-(int64(1) << 61), -(int64(1) << 40), int64(1) << 40, int64(1) << 61, SatMax}
+	for _, a := range huge {
+		for _, b := range huge {
+			for _, delta := range []int64{0, a - b, a, -b} {
+				p := NewProblem(0, []int64{a}, delta, []int64{b}, []int64{8})
+				v := mustVector(t, "(*)")
+				want := bruteBig(p, v)
+				res, err := ExactTest(p, v, DefaultExactBudget)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if want && res == Impossible {
+					t.Errorf("a=%d b=%d delta=%d: ExactTest refuted a dependence brute force found", a, b, delta)
+				}
+				if !want && res == Definite {
+					t.Errorf("a=%d b=%d delta=%d: ExactTest claims definite, brute force finds none", a, b, delta)
+				}
+			}
+		}
+	}
+}

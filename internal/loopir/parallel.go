@@ -98,17 +98,36 @@ func vexprWork(e VExpr) int64 {
 	return 1
 }
 
+// tripSaturated is the trip-count cap: spans too wide for int64
+// arithmetic clamp here instead of wrapping negative. A negative
+// "trip" used to reach the cost model for loops like [−2^62 .. 2^62],
+// where chooseTile would hand the tiled executors a zero (or negative)
+// tile extent.
+const tripSaturated = int64(1) << 62
+
 func tripCount(from, to, step int64) int64 {
+	if step == 0 {
+		return 0
+	}
+	var span, mag uint64
 	if step > 0 {
 		if to < from {
 			return 0
 		}
-		return (to-from)/step + 1
+		span = uint64(to) - uint64(from)
+		mag = uint64(step)
+	} else {
+		if to > from {
+			return 0
+		}
+		span = uint64(from) - uint64(to)
+		mag = -uint64(step)
 	}
-	if to > from {
-		return 0
+	trips := span/mag + 1
+	if trips >= uint64(tripSaturated) {
+		return tripSaturated
 	}
-	return (from-to)/(-step) + 1
+	return int64(trips)
 }
 
 // cInd is a compiled induction register: an entry-time base value and

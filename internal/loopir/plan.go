@@ -50,11 +50,15 @@ func parWorthwhile(trip, bodyWork int64) bool {
 }
 
 // tileWorthwhile decides tiled schedules; wavefronts additionally pay
-// one barrier per tile anti-diagonal.
+// one barrier per tile anti-diagonal. Degenerate shapes (non-positive
+// extents or tiles, e.g. from a saturated trip count) never pay.
 func tileWorthwhile(ni, nj, bodyWork, tI, tJ int64, wavefront bool) bool {
-	nti := (ni + tI - 1) / tI
-	ntj := (nj + tJ - 1) / tJ
-	if nti*ntj < 2 {
+	if ni < 1 || nj < 1 || tI < 1 || tJ < 1 {
+		return false
+	}
+	nti := (ni-1)/tI + 1
+	ntj := (nj-1)/tJ + 1
+	if satMul(nti, ntj) < 2 {
 		return false
 	}
 	overhead := int64(parCohortEst) * parDispatchWork
@@ -62,7 +66,7 @@ func tileWorthwhile(ni, nj, bodyWork, tI, tJ int64, wavefront bool) bool {
 		if nti < 2 && ntj < 2 {
 			return false
 		}
-		overhead = satAdd(overhead, satMul(nti+ntj-1, parCohortEst*parBarrierWork))
+		overhead = satAdd(overhead, satMul(satAdd(nti, ntj)-1, parCohortEst*parBarrierWork))
 	}
 	total := satMul(satMul(ni, nj), bodyWork)
 	return total >= satMul(parPayoff, overhead)
@@ -87,6 +91,11 @@ func chooseTile(ni, nj int64) (tI, tJ int64) {
 		}
 		if t > n {
 			t = n
+		}
+		if t < 1 {
+			// A non-positive extent (empty or saturated-degenerate nest)
+			// must never produce a zero-diagonal tile.
+			t = 1
 		}
 		return t
 	}
@@ -120,7 +129,10 @@ func (o *optimizer) planLoop(l *Loop) {
 // worthwhile schedule. Returns false to fall through to inner loops.
 func (o *optimizer) assignPar(l *Loop) bool {
 	trip := tripCount(l.From, l.To, l.Step)
-	if trip < 2 {
+	if trip < 2 || trip >= tripSaturated {
+		// A saturated trip count means the span defeated int64
+		// arithmetic; the distance and cost models are meaningless
+		// there, so the nest stays sequential.
 		return false
 	}
 	if inner := nest2D(l); inner != nil {
@@ -171,7 +183,7 @@ func hasLoop(stmts []Stmt) bool {
 func (o *optimizer) assignPar2D(l, inner *Loop) bool {
 	ni := tripCount(l.From, l.To, l.Step)
 	nj := tripCount(inner.From, inner.To, inner.Step)
-	if ni < 1 || nj < 2 {
+	if ni < 1 || nj < 2 || ni >= tripSaturated || nj >= tripSaturated {
 		return false
 	}
 	pre, okPre := o.collectParAccesses(l.Body[:len(l.Body)-1])

@@ -27,10 +27,13 @@ const (
 	PhasePlan     = "plan"
 	PhaseLower    = "lower"
 	PhaseOptimize = "optimize"
+	// PhaseCertify times the -certify soundness audit (witness checks
+	// and shadow-domain enumeration across all three layers).
+	PhaseCertify = "certify"
 )
 
 // Phases lists every compile phase in pipeline order.
-var Phases = []string{PhaseParse, PhaseAnalyze, PhasePlan, PhaseLower, PhaseOptimize}
+var Phases = []string{PhaseParse, PhaseAnalyze, PhasePlan, PhaseLower, PhaseOptimize, PhaseCertify}
 
 // Counters tallies the optimizations a compilation performed — the
 // quantities the paper's analyses exist to maximize.
@@ -53,6 +56,12 @@ type Counters struct {
 	// SchedulesByKind counts compiled loops by execution shape:
 	// "sequential", "shard", "tile", "wavefront", "chains".
 	SchedulesByKind map[string]int `json:"schedules_by_kind,omitempty"`
+	// ClaimsCertified/ClaimsFalsified/ClaimsSkipped tally the -certify
+	// audit outcomes across the analysis, schedule, and plan layers
+	// (all zero unless certification ran).
+	ClaimsCertified int `json:"claims_certified,omitempty"`
+	ClaimsFalsified int `json:"claims_falsified,omitempty"`
+	ClaimsSkipped   int `json:"claims_skipped,omitempty"`
 }
 
 // AddSchedule bumps the counter for one loop's schedule kind.
@@ -109,6 +118,10 @@ func (r *CompileReport) String() string {
 	fmt.Fprintf(&b, "  empties checks elided    %d\n", c.EmptiesChecksElided)
 	fmt.Fprintf(&b, "  thunks avoided           %d (thunked: %d)\n", c.ThunksAvoided, c.ThunkedDefs)
 	fmt.Fprintf(&b, "  loops fused              %d\n", c.LoopsFused)
+	if c.ClaimsCertified+c.ClaimsFalsified+c.ClaimsSkipped > 0 {
+		fmt.Fprintf(&b, "  claims certified         %d (falsified: %d, skipped: %d)\n",
+			c.ClaimsCertified, c.ClaimsFalsified, c.ClaimsSkipped)
+	}
 	if len(c.SchedulesByKind) > 0 {
 		kinds := make([]string, 0, len(c.SchedulesByKind))
 		for k := range c.SchedulesByKind {

@@ -81,6 +81,12 @@ func Ablations() []Ablation {
 		// forced multi-worker pool; results (and error messages) must be
 		// indistinguishable from sequential execution.
 		{"parallel", core.Options{Parallel: true, Workers: 4}},
+		// certify audits every dependence verdict (witness re-checks and
+		// shadow-domain enumeration) and turns any falsified claim into
+		// a compile error — which then diverges from the reference here,
+		// surfacing the lying layer by name. It also cross-checks that
+		// the audit itself never changes observable behavior.
+		{"certify", core.Options{Certify: true, Parallel: true, Workers: 4}},
 	}
 }
 

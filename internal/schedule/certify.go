@@ -1,0 +1,395 @@
+package schedule
+
+import (
+	"fmt"
+
+	"arraycomp/internal/affine"
+	"arraycomp/internal/analysis"
+	"arraycomp/internal/certify"
+	"arraycomp/internal/lang"
+)
+
+// Certification of a static schedule: thunkless legality means every
+// dependence source precedes its sink under the emitted order. Rather
+// than trusting the dependence edges the schedule was built from (they
+// are certified separately by the analysis layer), the check here
+// replays the emitted order over a clamped shadow domain and compares
+// raw memory accesses:
+//
+//   - flow: every write of an element of the defined array executes
+//     strictly before every read of that element (a read in the same
+//     instance means the element depends on itself);
+//   - anti (bigupd): every read of a source-array element executes no
+//     later than the write that kills it (the same instance is fine —
+//     a clause reads its operands before writing);
+//   - output: when the definition's semantics are order-sensitive
+//     (bigupd, or accumArray with a non-commutative combiner), writes
+//     to one element execute in their source list order.
+//
+// Guards are ignored: they only shrink the instance sets the analysis
+// and scheduler reasoned over, so a violation on the unguarded domain
+// is a violation of the compiler's actual claim.
+
+// certifyEventBudget caps the simulated instances per schedule.
+const certifyEventBudget = 1 << 16
+
+// instEvent is one simulated clause instance.
+type instEvent struct {
+	cl  *analysis.FlatClause
+	pos []int64 // normalized positions, aligned with cl.NestNodes
+	t   int     // execution timestamp
+}
+
+// Certify cross-validates a built schedule against the analysis it was
+// derived from. antiRelaxed reports that the schedule was built with
+// anti edges dropped (KeepFlowOutput) and the code generator preloads
+// the affected reads (node splitting), so emitted-order anti legality
+// is intentionally not claimed.
+func Certify(res *analysis.Result, sched *Result, antiRelaxed bool) *certify.Report {
+	rep := certify.NewReport()
+	if sched == nil || sched.Thunked {
+		return rep // the thunk fallback makes no static-order claims
+	}
+	c := &schedCertifier{res: res, rep: rep}
+	c.prepare()
+	c.simulate(sched)
+	c.check(antiRelaxed)
+	return rep
+}
+
+type schedCertifier struct {
+	res *analysis.Result
+	rep *certify.Report
+
+	clamp   map[*analysis.TreeNode]int64
+	clamped bool // some loop ran short of its real trip count
+	sat     bool // some subscript evaluation saturated
+	over    bool // the event budget aborted the simulation
+
+	refs   map[*analysis.FlatClause][]affine.NormalizedRef // write subscripts
+	rdRefs map[*analysis.FlatClause]map[*analysis.ReadRef][]affine.NormalizedRef
+
+	events []instEvent
+	cur    map[*analysis.TreeNode]int64
+	time   int
+
+	// listTime maps an instance key to its source list order.
+	listTime map[string]int
+}
+
+// prepare clamps every loop of the comprehension tree and normalizes
+// the subscript forms once per clause.
+func (c *schedCertifier) prepare() {
+	c.clamp = map[*analysis.TreeNode]int64{}
+	c.cur = map[*analysis.TreeNode]int64{}
+	c.refs = map[*analysis.FlatClause][]affine.NormalizedRef{}
+	c.rdRefs = map[*analysis.FlatClause]map[*analysis.ReadRef][]affine.NormalizedRef{}
+	var walk func(nodes []*analysis.TreeNode)
+	walk = func(nodes []*analysis.TreeNode) {
+		for _, n := range nodes {
+			if n.IsLoop() {
+				m := n.Loop.Trip()
+				if m > certify.ShadowClamp {
+					m = certify.ShadowClamp
+					c.clamped = true
+				}
+				c.clamp[n] = m
+				walk(n.Children)
+			}
+		}
+	}
+	walk(c.res.Roots)
+	// Shrink further until the estimated instance count fits.
+	for c.estimate() > certifyEventBudget {
+		var maxN *analysis.TreeNode
+		for n, m := range c.clamp {
+			if maxN == nil || m > c.clamp[maxN] {
+				maxN = n
+			}
+		}
+		if maxN == nil || c.clamp[maxN] <= 1 {
+			break
+		}
+		c.clamp[maxN] /= 2
+		c.clamped = true
+	}
+	for _, cl := range c.res.Clauses {
+		if cl.WriteAffine {
+			c.refs[cl] = c.normalize(cl, cl.WriteForms)
+		}
+		for _, rd := range cl.Reads {
+			if !rd.Affine {
+				continue
+			}
+			if c.rdRefs[cl] == nil {
+				c.rdRefs[cl] = map[*analysis.ReadRef][]affine.NormalizedRef{}
+			}
+			c.rdRefs[cl][rd] = c.normalize(cl, rd.Forms)
+		}
+	}
+	// Canonical source order: all loops forward, clauses in tree order.
+	c.listTime = map[string]int{}
+	t := 0
+	var src func(nodes []*analysis.TreeNode)
+	src = func(nodes []*analysis.TreeNode) {
+		for _, n := range nodes {
+			if n.Clause != nil {
+				c.listTime[c.instKey(n.Clause)] = t
+				t++
+				continue
+			}
+			for p := int64(1); p <= c.clamp[n]; p++ {
+				c.cur[n] = p
+				src(n.Children)
+			}
+			delete(c.cur, n)
+		}
+	}
+	src(c.res.Roots)
+}
+
+func (c *schedCertifier) normalize(cl *analysis.FlatClause, forms []affine.Form) []affine.NormalizedRef {
+	out := make([]affine.NormalizedRef, len(forms))
+	for d, f := range forms {
+		ref, err := cl.Nest.Normalize(f)
+		if err != nil {
+			return nil
+		}
+		out[d] = ref
+	}
+	return out
+}
+
+// estimate sums the clamped instance counts over all clauses.
+func (c *schedCertifier) estimate() int64 {
+	total := int64(0)
+	for _, cl := range c.res.Clauses {
+		n := int64(1)
+		for _, tn := range cl.NestNodes {
+			m := c.clamp[tn]
+			if m < 1 {
+				n = 0
+				break
+			}
+			if n > certifyEventBudget/m {
+				return certifyEventBudget + 1
+			}
+			n *= m
+		}
+		total += n
+		if total > certifyEventBudget {
+			return total
+		}
+	}
+	return total
+}
+
+func (c *schedCertifier) instKey(cl *analysis.FlatClause) string {
+	key := fmt.Sprintf("c%d", cl.ID)
+	for _, tn := range cl.NestNodes {
+		key += fmt.Sprintf("/%d", c.cur[tn])
+	}
+	return key
+}
+
+// simulate replays the schedule's emitted order, appending one event
+// per clause instance.
+func (c *schedCertifier) simulate(sched *Result) {
+	c.runNodes(sched.Nodes)
+}
+
+func (c *schedCertifier) runNodes(nodes []*Node) {
+	if c.over {
+		return
+	}
+	for _, n := range nodes {
+		if n.Clause != nil {
+			if len(c.events) >= certifyEventBudget {
+				c.over = true
+				return
+			}
+			pos := make([]int64, len(n.Clause.NestNodes))
+			for i, tn := range n.Clause.NestNodes {
+				pos[i] = c.cur[tn]
+			}
+			c.events = append(c.events, instEvent{cl: n.Clause, pos: pos, t: c.time})
+			c.time++
+			continue
+		}
+		loopNode := n.Loop
+		m := c.clamp[loopNode]
+		if n.Dir == Backward {
+			for p := m; p >= 1; p-- {
+				c.cur[loopNode] = p
+				c.runNodes(n.Body)
+			}
+		} else {
+			for p := int64(1); p <= m; p++ {
+				c.cur[loopNode] = p
+				c.runNodes(n.Body)
+			}
+		}
+		delete(c.cur, loopNode)
+	}
+}
+
+// access is one element access with its timestamps.
+type access struct {
+	ev       instEvent
+	listTime int
+}
+
+// check indexes the simulated accesses by element and validates the
+// three order claims.
+func (c *schedCertifier) check(antiRelaxed bool) {
+	def := c.res.Def
+	bigupd := def.Kind == lang.BigUpd
+	orderMatters := bigupd || (def.Kind == lang.Accumulated && !def.Accum.Commutative())
+
+	writes := map[string][]access{}
+	flowReads := map[string][]access{}
+	antiReads := map[string][]access{}
+	elem := func(refs []affine.NormalizedRef, pos []int64) (string, bool) {
+		if refs == nil {
+			return "", false
+		}
+		key := ""
+		for _, r := range refs {
+			v, exact := r.EvalSat(pos)
+			if !exact {
+				c.sat = true
+				return "", false
+			}
+			key += fmt.Sprintf("%d,", v)
+		}
+		return key, true
+	}
+	for _, ev := range c.events {
+		lt := c.listTimeOf(ev)
+		if refs, ok := c.refs[ev.cl]; ok {
+			if key, ok := elem(refs, ev.pos); ok {
+				writes[key] = append(writes[key], access{ev, lt})
+			}
+		}
+		for rd, refs := range c.rdRefs[ev.cl] {
+			var bucket map[string][]access
+			switch {
+			case !bigupd && rd.Ix.Array == def.Name:
+				bucket = flowReads
+			case bigupd && rd.Ix.Array == def.Name:
+				bucket = flowReads
+			case bigupd && rd.Ix.Array == def.Source:
+				bucket = antiReads
+			default:
+				continue
+			}
+			if key, ok := elem(refs, ev.pos); ok {
+				bucket[key] = append(bucket[key], access{ev, lt})
+			}
+		}
+	}
+
+	exhaustive := !c.clamped && !c.sat && !c.over
+	name := def.Name
+	record := func(claim string, bad *[2]access, detail string) {
+		cert := certify.Certificate{Layer: "schedule", Claim: claim}
+		if bad != nil {
+			cert.Status = certify.Falsified
+			cert.Witness = append(append([]int64(nil), bad[0].ev.pos...), bad[1].ev.pos...)
+			cert.Detail = detail
+		} else {
+			cert.Status = certify.Certified
+			cert.Exhaustive = exhaustive
+		}
+		c.rep.Record(cert)
+	}
+
+	// Flow: all writes of an element strictly precede all its reads.
+	var flowBad *[2]access
+	var flowDetail string
+	for key, rds := range flowReads {
+		for _, r := range rds {
+			for _, w := range writes[key] {
+				if w.ev.t >= r.ev.t && flowBad == nil {
+					b := [2]access{w, r}
+					flowBad = &b
+					what := "write does not precede read"
+					if w.ev.t == r.ev.t {
+						what = "instance reads the element it writes"
+					}
+					flowDetail = fmt.Sprintf("%s: %s vs %s at element (%s)", what, w.ev.cl.Label(), r.ev.cl.Label(), key)
+				}
+			}
+		}
+	}
+	if len(flowReads) > 0 || flowBad != nil {
+		record(fmt.Sprintf("%s: emitted order preserves flow dependences", name), flowBad, flowDetail)
+	}
+
+	// Anti: reads of the old contents happen no later than the kill.
+	if bigupd {
+		if antiRelaxed {
+			c.rep.Record(certify.Certificate{
+				Layer:  "schedule",
+				Claim:  fmt.Sprintf("%s: emitted order preserves anti dependences", name),
+				Status: certify.Skipped,
+				Detail: "anti edges relaxed; node splitting preloads the reads",
+			})
+		} else {
+			var antiBad *[2]access
+			var antiDetail string
+			for key, rds := range antiReads {
+				for _, r := range rds {
+					for _, w := range writes[key] {
+						if w.ev.t < r.ev.t && antiBad == nil {
+							b := [2]access{r, w}
+							antiBad = &b
+							antiDetail = fmt.Sprintf("read of old value in %s after kill in %s at element (%s)", r.ev.cl.Label(), w.ev.cl.Label(), key)
+						}
+					}
+				}
+			}
+			if len(antiReads) > 0 || antiBad != nil {
+				record(fmt.Sprintf("%s: emitted order preserves anti dependences", name), antiBad, antiDetail)
+			}
+		}
+	}
+
+	// Output: order-sensitive colliding writes keep their list order.
+	if orderMatters {
+		var outBad *[2]access
+		var outDetail string
+		collides := false
+		for _, ws := range writes {
+			if len(ws) < 2 {
+				continue
+			}
+			collides = true
+			for i, a := range ws {
+				for _, b := range ws[i+1:] {
+					x, y := a, b
+					if y.listTime < x.listTime {
+						x, y = y, x
+					}
+					if x.ev.t >= y.ev.t && outBad == nil {
+						bad := [2]access{x, y}
+						outBad = &bad
+						outDetail = fmt.Sprintf("writes of %s and %s out of list order", x.ev.cl.Label(), y.ev.cl.Label())
+					}
+				}
+			}
+		}
+		if collides || outBad != nil {
+			record(fmt.Sprintf("%s: emitted order preserves write order", name), outBad, outDetail)
+		}
+	}
+}
+
+// listTimeOf recovers the canonical list timestamp of an event.
+func (c *schedCertifier) listTimeOf(ev instEvent) int {
+	key := fmt.Sprintf("c%d", ev.cl.ID)
+	for _, p := range ev.pos {
+		key += fmt.Sprintf("/%d", p)
+	}
+	return c.listTime[key]
+}

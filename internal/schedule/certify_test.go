@@ -1,0 +1,135 @@
+package schedule
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCertifyForwardSchedule(t *testing.T) {
+	// Paper example 1: the forward schedule is legal; every order
+	// claim must certify with no falsifications.
+	src := `a = array (1,300)
+	  [* [3*i := 1.0] ++
+	     [3*i-1 := 0.5 * a!(3*(i-1))] ++
+	     [3*i-2 := 0.5 * a!(3*i)]
+	   | i <- [1..100] *]`
+	res := analyzeSrc(t, src, nil)
+	sched, err := Build(res, nil)
+	if err != nil || sched.Thunked {
+		t.Fatalf("schedule: err=%v thunked=%v", err, sched.Thunked)
+	}
+	rep := Certify(res, sched, false)
+	if rep.FalsifiedCount != 0 {
+		t.Fatalf("legal schedule falsified:\n%s", rep)
+	}
+	if rep.CertifiedCount == 0 {
+		t.Fatalf("no order claims certified: %s", rep.Summary())
+	}
+}
+
+func TestCertifyCatchesFlippedDirection(t *testing.T) {
+	// Forge an illegal schedule by flipping every loop direction: the
+	// (<)-carried flow dependence now runs backward and the write no
+	// longer precedes its read.
+	src := `a = array (1,300)
+	  [* [3*i := 1.0] ++
+	     [3*i-1 := 0.5 * a!(3*(i-1))]
+	   | i <- [1..100] *]`
+	res := analyzeSrc(t, src, nil)
+	sched, err := Build(res, nil)
+	if err != nil || sched.Thunked {
+		t.Fatalf("schedule: err=%v thunked=%v", err, sched.Thunked)
+	}
+	var flip func(ns []*Node)
+	flip = func(ns []*Node) {
+		for _, n := range ns {
+			if n.IsLoop() {
+				n.Dir = -n.Dir
+				flip(n.Body)
+			}
+		}
+	}
+	flip(sched.Nodes)
+	rep := Certify(res, sched, false)
+	if rep.FalsifiedCount == 0 {
+		t.Fatalf("flipped schedule survived certification:\n%s", rep)
+	}
+	found := false
+	for _, c := range rep.Failures {
+		if strings.Contains(c.Claim, "flow") && len(c.Witness) > 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no witness-carrying flow falsification:\n%s", rep)
+	}
+}
+
+func TestCertifyThunkedMakesNoClaims(t *testing.T) {
+	// The Gauss-Seidel relaxation has an anti cycle under KeepAll; the
+	// thunk fallback claims nothing.
+	src := `param n;
+	a2 = bigupd a
+	  [ i := 0.5*(a!(i-1) + a!(i+1)) | i <- [2..n-1] ]`
+	env := map[string]int64{"n": 30}
+	res := analyzeSrc(t, src, env)
+	sched, err := Build(res, KeepAll)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sched.Thunked {
+		t.Skip("schedule unexpectedly static; relaxed-path test covers it")
+	}
+	rep := Certify(res, sched, false)
+	if rep.CertifiedCount+rep.FalsifiedCount+rep.SkippedCount != 0 {
+		t.Fatalf("thunked schedule produced certificates: %s", rep.Summary())
+	}
+}
+
+func TestCertifyRelaxedAnti(t *testing.T) {
+	// Same relaxation built with anti edges dropped (the node-splitting
+	// path): certification with antiRelaxed must skip the anti claim,
+	// and without it must falsify — the emitted order really does kill
+	// a!(i-1) before the read, which is exactly what node splitting
+	// compensates for.
+	src := `param n;
+	a2 = bigupd a
+	  [ i := 0.5*(a!(i-1) + a!(i+1)) | i <- [2..n-1] ]`
+	env := map[string]int64{"n": 30}
+	res := analyzeSrc(t, src, env)
+	sched, err := Build(res, KeepFlowOutput)
+	if err != nil || sched.Thunked {
+		t.Fatalf("relaxed schedule: err=%v thunked=%v", err, sched.Thunked)
+	}
+	rep := Certify(res, sched, true)
+	if rep.FalsifiedCount != 0 {
+		t.Fatalf("relaxed certification falsified:\n%s", rep)
+	}
+	skippedAnti := false
+	for _, c := range rep.Skips {
+		if strings.Contains(c.Claim, "anti") {
+			skippedAnti = true
+		}
+	}
+	if !skippedAnti {
+		t.Fatalf("anti claim not skipped under relaxation: %s", rep.Summary())
+	}
+
+	strict := Certify(res, sched, false)
+	if strict.FalsifiedCount == 0 {
+		t.Fatalf("relaxed order passed strict anti certification:\n%s", strict)
+	}
+}
+
+func TestCertifyLargeBoundsClamped(t *testing.T) {
+	src := `a = array (1,100000) [* [i := 1.0] | i <- [1..100000] *]`
+	res := analyzeSrc(t, src, nil)
+	sched, err := Build(res, nil)
+	if err != nil || sched.Thunked {
+		t.Fatalf("schedule: err=%v thunked=%v", err, sched.Thunked)
+	}
+	rep := Certify(res, sched, false)
+	if rep.FalsifiedCount != 0 {
+		t.Fatalf("falsified:\n%s", rep)
+	}
+}
