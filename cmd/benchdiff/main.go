@@ -10,6 +10,10 @@
 // machine-readable summary line — BENCH-OK on success, BENCH-FAIL
 // after one BENCH-REGRESS / BENCH-MISSING line per offender — so CI
 // logs can be grepped without parsing tables.
+//
+// Result files record the measuring host (CPU count, GOMAXPROCS, Go
+// version); when the two files disagree a BENCH-HOST-MISMATCH line is
+// printed, and -require-same-host turns that warning into a failure.
 package main
 
 import (
@@ -28,8 +32,9 @@ func main() {
 		maxRegress = flag.Float64("max-regress", 25, "max allowed ns/op regression, percent")
 		skipList   = flag.String("skip", strings.Join(benchcmp.DefaultSkip, ","),
 			"comma-separated label substrings excluded from gating")
-		all   = flag.Bool("all", false, "gate every label, including baseline arms")
-		quiet = flag.Bool("quiet", false, "suppress the per-label table")
+		all      = flag.Bool("all", false, "gate every label, including baseline arms")
+		quiet    = flag.Bool("quiet", false, "suppress the per-label table")
+		sameHost = flag.Bool("require-same-host", false, "fail (exit 1) when the two files were measured on different hosts; default is a BENCH-HOST-MISMATCH warning")
 	)
 	flag.Parse()
 	if *newPath == "" {
@@ -48,6 +53,14 @@ func main() {
 	var skip func(string) bool
 	if !*all {
 		skip = benchcmp.Skipper(strings.Split(*skipList, ","))
+	}
+	if mismatch := benchcmp.HostMismatch(base, fresh); mismatch != "" {
+		// ns/op from different machines are not comparable; say so in a
+		// grep-able form, and refuse outright under -require-same-host.
+		fmt.Printf("BENCH-HOST-MISMATCH %s\n", mismatch)
+		if *sameHost {
+			os.Exit(1)
+		}
 	}
 	rep := benchcmp.Compare(base, fresh, *maxRegress, skip)
 	if !*quiet {

@@ -33,6 +33,7 @@ import (
 	"sort"
 	"strings"
 	"testing"
+	"time"
 
 	"arraycomp/internal/analysis"
 	"arraycomp/internal/benchcmp"
@@ -141,7 +142,11 @@ func benchW(label string, workers int, f func()) float64 {
 		if *noopt {
 			prefix = "noopt/"
 		}
-		jsonResults[prefix+label] = benchcmp.Result{NsPerOp: ns, AllocsPerOp: r.AllocsPerOp(), Workers: workers}
+		res := benchcmp.Result{NsPerOp: ns, AllocsPerOp: r.AllocsPerOp(), Workers: workers}
+		// Every entry carries the measuring host so benchdiff can
+		// refuse (or flag) cross-host comparisons.
+		benchcmp.CurrentHost().Stamp(&res)
+		jsonResults[prefix+label] = res
 	}
 	return ns
 }
@@ -542,7 +547,65 @@ var experiments = []experiment{
 				ratio(cold, warm), ratio(warm, runOnly), 100*compileOnly/cold)
 			fmt.Printf("  cache stats: %s\n", c.Stats())
 		},
+	}, {
+		id: "e19", title: "tiered native execution: interpreted vs promoted native vs hand",
+		expect: "promoted native within 1.5x of hand-written loops under the same calling contract " +
+			"(fresh defensive copy of mutated inputs per evaluation)",
+		run: func() {
+			type kernel struct {
+				name, src string
+				n         int64
+				inputs    map[string]*runtime.Strict
+				hand      func() // same contract: clones what it mutates, every call
+			}
+			sorN := size(256, 48)
+			sorIn := workloads.Mesh(sorN, 9)
+			l23N := size(128, 32)
+			l23In := workloads.Livermore23Inputs(l23N)
+			wfN := size(256, 64)
+			kernels := []kernel{
+				{"wavefront", workloads.WavefrontSrc, wfN, nil,
+					func() { workloads.HandWavefront(wfN) }},
+				{"SOR", workloads.SORSrc, sorN,
+					map[string]*runtime.Strict{"a": sorIn},
+					func() { workloads.HandSOR(sorIn.Clone()) }},
+				{"Livermore23", workloads.Livermore23Src, l23N, l23In,
+					func() {
+						workloads.HandLivermore23(l23In["za"].Clone(),
+							l23In["zr"], l23In["zb"], l23In["zu"], l23In["zv"])
+					}},
+			}
+			for _, k := range kernels {
+				params := map[string]int64{"n": k.n}
+				mkOpts := func(tier core.TierMode) core.Options {
+					opts := core.Options{NoOptimize: *noopt, Tier: tier, TierSync: true,
+						InputBounds: map[string]analysis.ArrayBounds{}}
+					for name, a := range k.inputs {
+						opts.InputBounds[name] = analysis.ArrayBounds{Lo: a.B.Lo, Hi: a.B.Hi}
+					}
+					return opts
+				}
+				pi := compileProg(k.src, params, mkOpts(core.TierOff))
+				pn := compileProg(k.src, params, mkOpts(core.TierForced))
+				if got := pn.CurrentTier(); got != core.TierNative {
+					// Without a working toolchain the tier degrades; the
+					// numbers below would silently measure the interpreter.
+					die(fmt.Errorf("%s did not reach the native tier: %s", k.name, pn.TierReport()))
+				}
+				i := bench(k.name+" interpreted", func() { runP(pi, k.inputs) })
+				nv := bench(k.name+" native", func() { runP(pn, k.inputs) })
+				h := bench(k.name+" hand-written", k.hand)
+				fmt.Printf("  interp/native = %s, native/hand = %s  (build %v)\n",
+					ratio(i, nv), ratio(nv, h), pn.TierBuildTime().Round(time.Millisecond))
+			}
+		},
 	},
+}
+
+func compileProg(src string, params map[string]int64, opts core.Options) *core.Program {
+	p, err := core.Compile(src, params, opts)
+	die(err)
+	return p
 }
 
 func mkDepthProblem(d int) deptest.Problem {

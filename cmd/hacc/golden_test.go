@@ -40,6 +40,14 @@ func TestGolden(t *testing.T) {
 		{"example1-ir-opt", []string{"ir", "-O", "-p", "n=4", e1}},
 		{"example2-ir-opt", []string{"ir", "-O", "-p", "n=3,m=4", e2}},
 		{"wavefront-ir-opt", []string{"ir", "-O", "-p", "n=4", wf}},
+		// Tiered execution: the wavefront has no free inputs, so both
+		// the values and the one-line tier decision are deterministic.
+		// -tier auto with -repeat 3 crosses the default threshold and
+		// promotes mid-run; -tier native compiles up front. Either way
+		// the printed values must match the plain interpreted run —
+		// that's the cross-tier equivalence contract at CLI granularity.
+		{"run-tier-auto", []string{"run", "-p", "n=4", "-tier", "auto", "-repeat", "3", wf}},
+		{"run-tier-native", []string{"run", "-p", "n=4", "-tier", "native", wf}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -70,7 +78,7 @@ func TestGolden(t *testing.T) {
 // backends only; the gogen leg is covered by the oracle tests).
 func TestFuzzSmoke(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run([]string{"fuzz", "-n", "10", "-seed", "1", "-nogogen"}, &buf); err != nil {
+	if err := run([]string{"fuzz", "-n", "10", "-seed", "1", "-nogogen", "-nonative"}, &buf); err != nil {
 		t.Fatalf("hacc fuzz: %v\n%s", err, buf.String())
 	}
 	out := buf.String()

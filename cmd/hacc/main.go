@@ -5,11 +5,11 @@
 // Usage:
 //
 //	hacc report [-p n=100,m=20] [-in a=1:8,1:8] [-O] [-explain] [-certify] file.hac
-//	hacc run     [-p n=100] [-in a=1:8,1:8] [-seed 1] [-show k] [-parallel] [-workers k] [-explain] [-certify] file.hac
+//	hacc run     [-p n=100] [-in a=1:8,1:8] [-seed 1] [-show k] [-parallel] [-workers k] [-explain] [-certify] [-tier off|auto|native] [-tier-threshold n] [-repeat n] file.hac
 //	hacc ir      [-p n=100] [-in …] [-O] file.hac
 //	hacc dot     [-p n=100] [-in …] file.hac
 //	hacc emit-go [-p n=100] [-in …] [-O] file.hac   # standalone Go source
-//	hacc fuzz    [-n 100] [-seed 1] [-nogogen]  # differential fuzzing
+//	hacc fuzz    [-n 100] [-seed 1] [-nogogen] [-nonative]  # differential fuzzing
 //
 // -p binds scalar parameters; -in declares the bounds of free input
 // arrays (filled with deterministic pseudo-random data for `run`).
@@ -66,8 +66,12 @@ func run(args []string, w io.Writer) error {
 	parallel := fs.Bool("parallel", false, "enable parallel scheduling (shard/doacross/wavefront/tiling)")
 	certifyFlag := fs.Bool("certify", false, "audit every dependence verdict (witness re-checks + shadow-domain enumeration); falsified claims abort the compile naming the lying layer")
 	workers := fs.Int("workers", 0, "parallel worker count; 0 = GOMAXPROCS at run time (needs -parallel)")
+	tierFlag := fs.String("tier", "off", "execution tier policy for run: off, auto (promote to compiled native code after -tier-threshold calls), or native (compile natively up front); implies -certify")
+	tierThreshold := fs.Int("tier-threshold", 0, "interpreted calls before auto promotion; 0 = default (run)")
+	repeat := fs.Int("repeat", 1, "evaluate the program n times (run; >1 exercises tier promotion)")
 	fuzzN := fs.Int("n", 100, "number of programs to generate (fuzz)")
 	noGogen := fs.Bool("nogogen", false, "skip the emitted-Go backend (fuzz)")
+	noNative := fs.Bool("nonative", false, "skip the native execution tier (fuzz)")
 	if err := fs.Parse(args[1:]); err != nil {
 		return err
 	}
@@ -75,7 +79,7 @@ func run(args []string, w io.Writer) error {
 		if fs.NArg() != 0 {
 			return fmt.Errorf("fuzz takes no source file")
 		}
-		return runFuzz(*fuzzN, *seed, !*noGogen, w)
+		return runFuzz(*fuzzN, *seed, !*noGogen, !*noNative, w)
 	}
 	if fs.NArg() != 1 {
 		return fmt.Errorf("expected exactly one source file")
@@ -92,7 +96,17 @@ func run(args []string, w io.Writer) error {
 	if err != nil {
 		return err
 	}
-	opts := core.Options{ForceThunked: *thunked, Parallel: *parallel, Workers: *workers, InputBounds: inputBounds, Certify: *certifyFlag}
+	tierMode, err := core.ParseTierMode(*tierFlag)
+	if err != nil {
+		return err
+	}
+	if tierMode != core.TierOff && cmd != "run" {
+		return fmt.Errorf("-tier only applies to run")
+	}
+	opts := core.Options{ForceThunked: *thunked, Parallel: *parallel, Workers: *workers, InputBounds: inputBounds, Certify: *certifyFlag,
+		// TierSync keeps the CLI deterministic: promotion happens inline
+		// at the threshold call, never racing the process exit.
+		Tier: tierMode, TierThreshold: *tierThreshold, TierSync: true}
 	// Inspection commands show the raw lowering unless -O; execution
 	// always optimizes.
 	if cmd != "run" {
@@ -154,9 +168,18 @@ func run(args []string, w io.Writer) error {
 			}
 			inputs[name] = a
 		}
-		out, err := prog.Run(inputs)
-		if err != nil {
-			return err
+		if *repeat < 1 {
+			return fmt.Errorf("run: -repeat must be at least 1")
+		}
+		var out *runtime.Strict
+		for i := 0; i < *repeat; i++ {
+			out, _, err = prog.RunTiered(inputs)
+			if err != nil {
+				return err
+			}
+		}
+		if tierMode != core.TierOff {
+			fmt.Fprintf(w, "%s\n", prog.TierReport())
 		}
 		fmt.Fprintf(w, "result %s %s\n", prog.Result, out.B)
 		n := out.B.Size()
@@ -174,10 +197,11 @@ func run(args []string, w io.Writer) error {
 // runFuzz is the differential-fuzzing entry point: n generated
 // programs, every Options ablation cross-checked against the thunked
 // reference (and, unless -nogogen, against emitted Go run out of
-// process). Failures are minimized by the structural shrinker and
-// printed in the corpus file format, ready to be checked into
+// process; unless -nonative, against the native execution tier).
+// Failures are minimized by the structural shrinker and printed in
+// the corpus file format, ready to be checked into
 // internal/oracle/testdata/.
-func runFuzz(n int, seed int64, withGogen bool, w io.Writer) error {
+func runFuzz(n int, seed int64, withGogen, withNative bool, w io.Writer) error {
 	if n <= 0 {
 		return fmt.Errorf("fuzz: -n must be positive")
 	}
@@ -185,7 +209,7 @@ func runFuzz(n int, seed int64, withGogen bool, w io.Writer) error {
 	for i := range seeds {
 		seeds[i] = uint64(seed) + uint64(i)
 	}
-	s := oracle.RunSeeds(seeds, gencomp.Config{}, withGogen)
+	s := oracle.RunSeeds(seeds, gencomp.Config{}, withGogen, withNative)
 	fmt.Fprint(w, s)
 	if len(s.Failures) == 0 {
 		fmt.Fprintf(w, "FUZZ-OK programs=%d\n", s.Programs)

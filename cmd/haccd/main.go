@@ -30,6 +30,8 @@ import (
 	"os/signal"
 	"syscall"
 	"time"
+
+	"arraycomp/internal/core"
 )
 
 func main() {
@@ -41,6 +43,8 @@ func main() {
 		maxBodyMB    = flag.Int64("max-body-mb", 16, "request body cap, in MiB")
 		concurrency  = flag.Int("concurrency", 256, "max concurrently served requests")
 		drain        = flag.Duration("drain", 30*time.Second, "graceful shutdown budget after SIGTERM")
+		tier         = flag.String("tier", "off", "default execution-tier policy for requests that do not set options.tier: off, auto (promote hot plans to compiled native code in the background), or native")
+		tierThresh   = flag.Int("tier-threshold", 0, "interpreted evaluations before auto promotion (0 = built-in default)")
 	)
 	flag.Parse()
 
@@ -50,6 +54,12 @@ func main() {
 	cfg.timeout = *timeout
 	cfg.maxBody = *maxBodyMB << 20
 	cfg.concurrency = *concurrency
+	tierMode, err := core.ParseTierMode(*tier)
+	if err != nil {
+		log.Fatalf("haccd: %v", err)
+	}
+	cfg.tier = tierMode
+	cfg.tierThreshold = *tierThresh
 
 	s := newServer(cfg)
 	httpSrv := &http.Server{

@@ -23,6 +23,10 @@ type config struct {
 	maxBody      int64
 	concurrency  int
 	timeout      time.Duration
+	// tier is the default execution-tier policy applied to requests
+	// that do not set options.tier themselves; tierThreshold likewise.
+	tier          core.TierMode
+	tierThreshold int
 }
 
 func defaultConfig() config {
@@ -51,6 +55,7 @@ type server struct {
 	evalSeconds  *metrics.Histogram    // pure plan execution time
 	optTotal     *metrics.CounterVec   // optimization counters, by kind
 	schedTotal   *metrics.CounterVec   // compiled loop schedules, by kind
+	tierStats    *metrics.TierStats    // process-wide tiered-execution tallies
 }
 
 func newServer(cfg config) *server {
@@ -75,7 +80,25 @@ func newServer(cfg config) *server {
 	s.reg.NewCounterFunc("haccd_cache_evictions_total", "Plan cache LRU evictions.", func() uint64 { return s.cache.Stats().Evictions })
 	s.reg.NewGaugeFunc("haccd_cache_entries", "Plans currently cached.", func() float64 { return float64(s.cache.Stats().Entries) })
 	s.reg.NewGaugeFunc("haccd_cache_bytes", "Charged bytes currently cached.", func() float64 { return float64(s.cache.Stats().Bytes) })
+	s.reg.NewGaugeFunc("haccd_cache_native_entries", "Cached plans currently served by the native tier.",
+		func() float64 { return float64(s.cache.Stats().NativeEntries) })
 	s.reg.NewGaugeFunc("haccd_inflight_requests", "Requests currently holding a concurrency slot.", func() float64 { return float64(len(s.sem)) })
+	s.tierStats = &metrics.TierStats{}
+	s.reg.NewCounterFuncVec("haccd_tier_runs_total",
+		"Evaluations of tier-enabled plans, by the tier that served them (plans compiled with tier off are not tallied).", "tier",
+		func() map[string]uint64 {
+			return map[string]uint64{
+				string(core.TierThunked):     uint64(s.tierStats.ThunkedRuns.Load()),
+				string(core.TierInterpreted): uint64(s.tierStats.InterpRuns.Load()),
+				string(core.TierNative):      uint64(s.tierStats.NativeRuns.Load()),
+			}
+		})
+	s.reg.NewCounterFunc("haccd_tier_promotions_total", "Successful interpreted-to-native tier promotions.",
+		func() uint64 { return uint64(s.tierStats.Promotions.Load()) })
+	s.reg.NewCounterFunc("haccd_tier_promote_failures_total", "Native builds that failed; the plan keeps serving interpreted.",
+		func() uint64 { return uint64(s.tierStats.PromoteFailures.Load()) })
+	s.reg.NewGaugeFunc("haccd_tier_promote_seconds_total", "Wall time spent in background native builds.",
+		func() float64 { return float64(s.tierStats.PromoteNs.Load()) / 1e9 })
 	return s
 }
 
@@ -153,9 +176,18 @@ type optionsJSON struct {
 	NoLinearize  bool                  `json:"no_linearize,omitempty"`
 	Certify      bool                  `json:"certify,omitempty"`
 	InputBounds  map[string]boundsJSON `json:"input_bounds,omitempty"`
+	// Tier is the execution-tier policy: "off", "auto", or "native".
+	// Empty means "use the server default" (the -tier flag), which is
+	// how a fleet operator turns tiering on without touching clients.
+	Tier          string `json:"tier,omitempty"`
+	TierThreshold int    `json:"tier_threshold,omitempty"`
+	// TierSync makes auto promotion happen inline at the threshold
+	// call instead of in the background — slower for that one request,
+	// but deterministic; meant for tests and batch clients.
+	TierSync bool `json:"tier_sync,omitempty"`
 }
 
-func (o optionsJSON) coreOptions() core.Options {
+func (o optionsJSON) coreOptions() (core.Options, error) {
 	opts := core.Options{
 		Parallel:     o.Parallel,
 		Workers:      o.Workers,
@@ -164,13 +196,20 @@ func (o optionsJSON) coreOptions() core.Options {
 		NoLinearize:  o.NoLinearize,
 		Certify:      o.Certify,
 	}
+	tier, err := core.ParseTierMode(o.Tier)
+	if err != nil {
+		return opts, err
+	}
+	opts.Tier = tier
+	opts.TierThreshold = o.TierThreshold
+	opts.TierSync = o.TierSync
 	if len(o.InputBounds) > 0 {
 		opts.InputBounds = map[string]analysis.ArrayBounds{}
 		for name, b := range o.InputBounds {
 			opts.InputBounds[name] = cache.InputBoundsOf(b.Lo, b.Hi)
 		}
 	}
-	return opts
+	return opts, nil
 }
 
 // compileRequest is the body of POST /compile (and the compile part
@@ -217,11 +256,15 @@ type compileResponse struct {
 	Report    reportJSON       `json:"report"`
 }
 
-// evalResponse answers POST /eval.
+// evalResponse answers POST /eval. Tier reports which execution tier
+// served THIS evaluation ("thunked", "interpreted", or "native") —
+// under an auto policy it flips to native once the background build
+// lands, so clients can watch a hot plan tier up across calls.
 type evalResponse struct {
 	compileResponse
 	Result arrayJSON `json:"result"`
 	EvalNs int64     `json:"eval_ns"`
+	Tier   string    `json:"tier"`
 }
 
 // --- handlers ---
@@ -233,7 +276,21 @@ func (s *server) compileThrough(req compileRequest) (*cache.Entry, compileRespon
 	if req.Source == "" {
 		return nil, compileResponse{}, http.StatusBadRequest, fmt.Errorf("missing source")
 	}
-	entry, hit, err := s.cache.GetOrCompile(req.Source, req.Params, req.Options.coreOptions())
+	opts, err := req.Options.coreOptions()
+	if err != nil {
+		return nil, compileResponse{}, http.StatusBadRequest, err
+	}
+	if req.Options.Tier == "" {
+		// No per-request policy: apply the server default. This happens
+		// before the cache key is computed, so a default-tier server
+		// and an explicit-tier client share entries.
+		opts.Tier = s.cfg.tier
+		opts.TierThreshold = s.cfg.tierThreshold
+	}
+	// The stats sink is process-wide and deliberately not part of the
+	// cache key.
+	opts.TierStats = s.tierStats
+	entry, hit, err := s.cache.GetOrCompile(req.Source, req.Params, opts)
 	if err != nil {
 		return nil, compileResponse{}, http.StatusUnprocessableEntity, err
 	}
@@ -309,7 +366,7 @@ func (s *server) handleEval(w http.ResponseWriter, r *http.Request) (int, error)
 		return http.StatusBadRequest, err
 	}
 	t0 := time.Now()
-	out, err := entry.Program.Run(inputs)
+	out, tier, err := entry.Program.RunTiered(inputs)
 	evalNs := time.Since(t0)
 	if err != nil {
 		return http.StatusUnprocessableEntity, err
@@ -319,6 +376,7 @@ func (s *server) handleEval(w http.ResponseWriter, r *http.Request) (int, error)
 		compileResponse: cresp,
 		Result:          arrayJSON{Lo: out.B.Lo, Hi: out.B.Hi, Data: out.Data},
 		EvalNs:          evalNs.Nanoseconds(),
+		Tier:            string(tier),
 	})
 }
 

@@ -392,3 +392,103 @@ func TestEvalParallelOptions(t *testing.T) {
 		}
 	}
 }
+
+// TestEvalTiered drives one plan across the promotion boundary:
+// tier=auto with a threshold of 2 and synchronous promotion serves the
+// first eval interpreted, promotes inline on the second, and serves
+// natively from then on — with every response bitwise identical to an
+// untiered eval, and the tier counters/gauges visible in /metrics.
+func TestEvalTiered(t *testing.T) {
+	_, ts := newTestServer(t, nil)
+	params := map[string]int64{"n": 16}
+	req := evalRequest{compileRequest: compileRequest{
+		Source:  wavefrontSrc,
+		Params:  params,
+		Options: optionsJSON{Tier: "auto", TierThreshold: 2, TierSync: true},
+	}}
+	plain := evalRequest{compileRequest: compileRequest{Source: wavefrontSrc, Params: params}}
+	_, pbody := postJSON(t, ts.URL+"/eval", plain)
+	var want evalResponse
+	if err := json.Unmarshal(pbody, &want); err != nil {
+		t.Fatal(err)
+	}
+	wantTiers := []string{"interpreted", "native", "native"}
+	for i, wantTier := range wantTiers {
+		resp, body := postJSON(t, ts.URL+"/eval", req)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("tiered eval %d: status %d: %s", i, resp.StatusCode, body)
+		}
+		var er evalResponse
+		if err := json.Unmarshal(body, &er); err != nil {
+			t.Fatal(err)
+		}
+		if er.Tier != wantTier {
+			t.Fatalf("eval %d served by tier %q, want %q", i, er.Tier, wantTier)
+		}
+		for j := range want.Result.Data {
+			if math.Float64bits(er.Result.Data[j]) != math.Float64bits(want.Result.Data[j]) {
+				t.Fatalf("eval %d (tier %s): element %d differs bitwise from untiered eval", i, er.Tier, j)
+			}
+		}
+	}
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	out := string(body)
+	for _, wantLine := range []string{
+		`haccd_tier_runs_total{tier="interpreted"} 1`, // the pre-promotion eval; untiered plans don't tally
+		`haccd_tier_runs_total{tier="native"} 2`,
+		"haccd_tier_promotions_total 1",
+		"haccd_tier_promote_failures_total 0",
+		"haccd_cache_native_entries 1",
+	} {
+		if !strings.Contains(out, wantLine) {
+			t.Errorf("metrics exposition missing %q", wantLine)
+		}
+	}
+	if t.Failed() {
+		t.Logf("exposition:\n%s", out)
+	}
+}
+
+// TestEvalTierServerDefault: a server started with -tier native applies
+// the policy to requests that don't mention tiering, and a request that
+// says tier:"off" opts out of the default.
+func TestEvalTierServerDefault(t *testing.T) {
+	_, ts := newTestServer(t, func(c *config) { c.tier = core.TierForced })
+	req := evalRequest{compileRequest: compileRequest{Source: wavefrontSrc, Params: map[string]int64{"n": 8}}}
+	resp, body := postJSON(t, ts.URL+"/eval", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("eval status = %d: %s", resp.StatusCode, body)
+	}
+	var er evalResponse
+	if err := json.Unmarshal(body, &er); err != nil {
+		t.Fatal(err)
+	}
+	if er.Tier != "native" {
+		t.Fatalf("server-default forced tier served %q, want native", er.Tier)
+	}
+	off := req
+	off.Options = optionsJSON{Tier: "off"}
+	_, body = postJSON(t, ts.URL+"/eval", off)
+	var offResp evalResponse
+	if err := json.Unmarshal(body, &offResp); err != nil {
+		t.Fatal(err)
+	}
+	if offResp.Tier == "native" {
+		t.Fatalf("explicit tier:off still served natively")
+	}
+	if offResp.Key == er.Key {
+		t.Fatal("tiered and untiered requests share a cache key")
+	}
+	// An unknown tier policy is a 400, not a compile attempt.
+	bad := req
+	bad.Options = optionsJSON{Tier: "warp"}
+	resp, _ = postJSON(t, ts.URL+"/eval", bad)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad tier mode: status = %d, want 400", resp.StatusCode)
+	}
+}

@@ -10,16 +10,76 @@ import (
 	"fmt"
 	"io"
 	"os"
+	goruntime "runtime"
 	"sort"
 	"strings"
 )
 
 // Result is one benchmark entry: the machine-readable form hacbench
-// writes under each label. Workers is 0 for sequential arms.
+// writes under each label. Workers is 0 for sequential arms. The host
+// fields record where the number was measured — ns/op from different
+// machines are not comparable, so the regression wall refuses (or at
+// least flags) cross-host diffs rather than producing phantom
+// regressions. They are omitempty so result files from before the
+// fields existed still load.
 type Result struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
 	Workers     int     `json:"workers,omitempty"`
+	NCPU        int     `json:"ncpu,omitempty"`
+	GoMaxProcs  int     `json:"gomaxprocs,omitempty"`
+	GoVersion   string  `json:"go_version,omitempty"`
+}
+
+// Host identifies the measuring machine well enough to veto a
+// cross-host comparison.
+type Host struct {
+	NCPU       int
+	GoMaxProcs int
+	GoVersion  string
+}
+
+// CurrentHost snapshots this process's host identity.
+func CurrentHost() Host {
+	return Host{NCPU: goruntime.NumCPU(), GoMaxProcs: goruntime.GOMAXPROCS(0), GoVersion: goruntime.Version()}
+}
+
+// Stamp copies the host identity into a result entry.
+func (h Host) Stamp(r *Result) {
+	r.NCPU = h.NCPU
+	r.GoMaxProcs = h.GoMaxProcs
+	r.GoVersion = h.GoVersion
+}
+
+func (h Host) String() string {
+	return fmt.Sprintf("ncpu=%d gomaxprocs=%d go=%s", h.NCPU, h.GoMaxProcs, h.GoVersion)
+}
+
+// Known reports whether the host was recorded at all (files written
+// before the fields existed load as zero hosts).
+func (h Host) Known() bool { return h != Host{} }
+
+// HostOf extracts the recorded host of a result file: the first entry
+// carrying host fields wins (hacbench stamps every entry identically).
+func HostOf(m map[string]Result) Host {
+	for _, r := range m {
+		if h := (Host{NCPU: r.NCPU, GoMaxProcs: r.GoMaxProcs, GoVersion: r.GoVersion}); h.Known() {
+			return h
+		}
+	}
+	return Host{}
+}
+
+// HostMismatch compares the recorded hosts of two result files.
+// It returns "" when they match or when either file predates host
+// stamping (nothing to compare); otherwise a human-readable
+// description of the difference.
+func HostMismatch(base, newRun map[string]Result) string {
+	bh, nh := HostOf(base), HostOf(newRun)
+	if !bh.Known() || !nh.Known() || bh == nh {
+		return ""
+	}
+	return fmt.Sprintf("base host (%s) differs from new host (%s)", bh, nh)
 }
 
 // Load reads a hacbench -json result file.

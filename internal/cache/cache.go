@@ -50,6 +50,11 @@ type Stats struct {
 	Evictions uint64
 	Entries   int
 	Bytes     int64
+	// NativeEntries counts cached programs currently being served by
+	// the native tier. It is computed at snapshot time (promotion
+	// happens in the background, after insertion), so it can grow
+	// between snapshots with no cache traffic at all.
+	NativeEntries int
 }
 
 // flight is one in-progress compile other callers wait on.
@@ -126,6 +131,13 @@ func Key(src string, params map[string]int64, opts core.Options) string {
 	writeInt(boolInt(opts.ForceChecks))
 	writeInt(boolInt(opts.NoOptimize))
 	writeInt(boolInt(opts.Certify))
+	// Tiering changes what the entry serves with (and TierMode != off
+	// forces certification on), so two requests differing only in tier
+	// policy must not share a cached Program: the shared tierState would
+	// let one caller's promotion leak into the other's policy.
+	writeInt(int64(opts.Tier))
+	writeInt(int64(opts.TierThreshold))
+	writeInt(boolInt(opts.TierSync))
 	arrays := make([]string, 0, len(opts.InputBounds))
 	for k := range opts.InputBounds {
 		arrays = append(arrays, k)
@@ -250,12 +262,19 @@ func (c *Cache) evictLocked() {
 func (c *Cache) Stats() Stats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	native := 0
+	for el := c.ll.Front(); el != nil; el = el.Next() {
+		if el.Value.(*Entry).Program.CurrentTier() == core.TierNative {
+			native++
+		}
+	}
 	return Stats{
-		Hits:      c.hits,
-		Misses:    c.misses,
-		Evictions: c.evictions,
-		Entries:   c.ll.Len(),
-		Bytes:     c.bytes,
+		Hits:          c.hits,
+		Misses:        c.misses,
+		Evictions:     c.evictions,
+		Entries:       c.ll.Len(),
+		Bytes:         c.bytes,
+		NativeEntries: native,
 	}
 }
 
@@ -273,8 +292,8 @@ func (c *Cache) Keys() []string {
 
 // String renders the stats for logs.
 func (s Stats) String() string {
-	return fmt.Sprintf("hits=%d misses=%d evictions=%d entries=%d bytes=%d",
-		s.Hits, s.Misses, s.Evictions, s.Entries, s.Bytes)
+	return fmt.Sprintf("hits=%d misses=%d evictions=%d entries=%d native=%d bytes=%d",
+		s.Hits, s.Misses, s.Evictions, s.Entries, s.NativeEntries, s.Bytes)
 }
 
 // InputBoundsOf is a convenience for callers building Options from

@@ -31,7 +31,10 @@ func TestKeyDistinguishesRequests(t *testing.T) {
 		"bounds": Key(wavefrontSrc, map[string]int64{"n": 8}, core.Options{
 			InputBounds: map[string]analysis.ArrayBounds{"b": {Lo: []int64{1}, Hi: []int64{8}}},
 		}),
-		"certify": Key(wavefrontSrc, map[string]int64{"n": 8}, core.Options{Certify: true}),
+		"certify":        Key(wavefrontSrc, map[string]int64{"n": 8}, core.Options{Certify: true}),
+		"tier mode":      Key(wavefrontSrc, map[string]int64{"n": 8}, core.Options{Certify: true, Tier: core.TierAuto}),
+		"tier threshold": Key(wavefrontSrc, map[string]int64{"n": 8}, core.Options{Certify: true, Tier: core.TierAuto, TierThreshold: 7}),
+		"tier sync":      Key(wavefrontSrc, map[string]int64{"n": 8}, core.Options{Certify: true, Tier: core.TierAuto, TierSync: true}),
 	}
 	for what, k := range cases {
 		if k == base {
@@ -277,5 +280,43 @@ func TestConcurrentMixedTraffic(t *testing.T) {
 	wg.Wait()
 	if st := c.Stats(); st.Entries > 4 {
 		t.Fatalf("entry cap violated: %+v", st)
+	}
+}
+
+// TestNativeEntriesStat: a cached entry compiled with tiering promotes
+// in place (the cache stores the Program, not a snapshot), and the
+// stats snapshot counts it — the serving layer's visibility into how
+// much of the cache has tiered up.
+func TestNativeEntriesStat(t *testing.T) {
+	c := New(4, 0)
+	params := map[string]int64{"n": 16}
+	opts := core.Options{Tier: core.TierAuto, TierThreshold: 2, TierSync: true}
+	e, hit, err := c.GetOrCompile(src(0), params, opts)
+	if err != nil || hit {
+		t.Fatalf("cold compile: hit=%v err=%v", hit, err)
+	}
+	if st := c.Stats(); st.NativeEntries != 0 {
+		t.Fatalf("entry counted native before promotion: %+v", st)
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := e.Program.Run(nil); err != nil {
+			t.Fatalf("run %d: %v", i, err)
+		}
+	}
+	if tier := e.Program.CurrentTier(); tier != core.TierNative {
+		t.Skipf("program did not tier up (plugin support unavailable?): %s — %s",
+			tier, e.Program.TierReport())
+	}
+	st := c.Stats()
+	if st.NativeEntries != 1 || st.Entries != 1 {
+		t.Fatalf("stats = %+v, want 1 native of 1 entries", st)
+	}
+	// A hit serves the already-promoted program.
+	e2, hit, err := c.GetOrCompile(src(0), params, opts)
+	if err != nil || !hit {
+		t.Fatalf("warm fetch: hit=%v err=%v", hit, err)
+	}
+	if e2.Program.CurrentTier() != core.TierNative {
+		t.Fatal("cache hit lost the promotion")
 	}
 }

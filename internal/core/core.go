@@ -71,6 +71,21 @@ type Options struct {
 	// conflict sets. Any falsified claim aborts the compile with an
 	// error naming the lying layer.
 	Certify bool
+	// Tier selects the tiered-execution policy (see TierMode). Any
+	// mode other than TierOff implies Certify: uncertified programs
+	// never tier up, so compilation runs the audit up front.
+	Tier TierMode
+	// TierThreshold is the number of interpreted calls before TierAuto
+	// promotes (0 = DefaultTierThreshold).
+	TierThreshold int
+	// TierSync makes TierAuto promote synchronously at the threshold
+	// call instead of in the background — deterministic tier traces
+	// for CLI goldens and tests.
+	TierSync bool
+	// TierStats, when non-nil, receives this program's per-tier run
+	// and promotion counters (shared process-wide by haccd). Not part
+	// of the compilation key: it is a sink, not an input.
+	TierStats *metrics.TierStats
 }
 
 // CompiledDef is the compilation artifact of one definition.
@@ -126,6 +141,13 @@ type Program struct {
 	// was set (nil otherwise). A compile that returns succeeds only
 	// with zero falsifications.
 	Certs *certify.Report
+	// tier is the tiered-execution state (nil when Options.Tier was
+	// TierOff and no native plan was adopted).
+	tier *tierState
+	// allThunked records that every live definition compiled to the
+	// thunked reference representation, making the interpreter tier
+	// the semantics baseline rather than the scheduler's loop nests.
+	allThunked bool
 }
 
 // Compile parses and compiles source under the given parameter binding.
@@ -146,6 +168,13 @@ func CompileProgram(source *lang.Program, params map[string]int64, opts Options)
 }
 
 func compileProgram(source *lang.Program, params map[string]int64, opts Options, rep *metrics.CompileReport) (*Program, error) {
+	certifyForcedByTier := false
+	if opts.Tier != TierOff && !opts.Certify {
+		// Uncertified programs never tier up; run the audit now so a
+		// later promotion has a certificate to check.
+		opts.Certify = true
+		certifyForcedByTier = true
+	}
 	env := map[string]int64{}
 	for k, v := range params {
 		env[k] = v
@@ -390,6 +419,12 @@ func compileProgram(source *lang.Program, params map[string]int64, opts Options,
 			p.note("%s: %s", name, n)
 		}
 	}
+	if certifyForcedByTier {
+		p.note("tier: -certify enabled automatically (uncertified programs never tier up)")
+	}
+	if err := p.initTier(opts, rep); err != nil {
+		return nil, err
+	}
 	return p, nil
 }
 
@@ -516,8 +551,19 @@ func selfLoop(g *depgraph.Graph, v int) bool {
 
 // Run executes the program over the given input arrays and returns the
 // result array. Inputs are never mutated (in-place plans run on clones
-// when their source is caller-owned or still live).
+// when their source is caller-owned or still live), whichever tier
+// serves the call. Under a tiering policy (Options.Tier) this call
+// counts toward promotion and may be served natively; RunTiered
+// additionally reports which tier ran.
 func (p *Program) Run(inputs map[string]*runtime.Strict) (*runtime.Strict, error) {
+	out, _, err := p.RunTiered(inputs)
+	return out, err
+}
+
+// runInterp is the interpreted evaluation pipeline: walk the
+// evaluation order dispatching each definition to its compiled plan,
+// thunked fallback, or recursive group.
+func (p *Program) runInterp(inputs map[string]*runtime.Strict) (*runtime.Strict, error) {
 	store := map[string]*runtime.Strict{}
 	for k, v := range inputs {
 		store[k] = v

@@ -1,0 +1,48 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"arraycomp/internal/workloads"
+)
+
+// TestTierCertifyGateRefusal proves the negative half of the certify
+// gate: a program carrying tiering state but no certificate (only
+// constructible by reaching into the state — every public compile
+// path forces -certify on when tiering is requested) must refuse to
+// tier up.
+func TestTierCertifyGateRefusal(t *testing.T) {
+	p, err := Compile(workloads.SquaresSrc, workloads.ParamsFor("squares", 8), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Certs != nil {
+		t.Fatal("plain compile unexpectedly certified")
+	}
+	p.tier = &tierState{mode: TierAuto, threshold: 1, done: make(chan struct{})}
+	err = p.PromoteNative()
+	if err == nil || !strings.Contains(err.Error(), "certify") {
+		t.Fatalf("PromoteNative on an uncertified program: want certify refusal, got %v", err)
+	}
+	if p.CurrentTier() == TierNative {
+		t.Fatal("uncertified program tiered up anyway")
+	}
+}
+
+// TestTierForcedFallsBackWhenIneligible: TierForced on a program with
+// a thunked schedule must degrade to interpreted with a note, not
+// fail the compile.
+func TestTierForcedFallsBackWhenIneligible(t *testing.T) {
+	p, err := Compile(workloads.CyclicSrc, workloads.ParamsFor("cyclic", 8), Options{Tier: TierForced})
+	if err != nil {
+		t.Fatalf("forced tier on ineligible program failed the compile: %v", err)
+	}
+	if p.CurrentTier() == TierNative {
+		t.Fatal("thunked-schedule program reached the native tier")
+	}
+	rep := p.TierReport()
+	if !strings.Contains(rep, "native-ineligible") {
+		t.Fatalf("TierReport does not explain ineligibility: %q", rep)
+	}
+}

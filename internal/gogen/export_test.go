@@ -1,0 +1,6 @@
+package gogen
+
+// HasErrorPathsForTest exposes the error-path scan to the external
+// test package (the tests moved out of package gogen when core began
+// importing gogen for the native tier's emission probe).
+var HasErrorPathsForTest = hasErrorPaths

@@ -1,4 +1,4 @@
-package gogen
+package gogen_test
 
 import (
 	"fmt"
@@ -11,6 +11,7 @@ import (
 
 	"arraycomp/internal/analysis"
 	"arraycomp/internal/core"
+	"arraycomp/internal/gogen"
 	"arraycomp/internal/loopir"
 	"arraycomp/internal/runtime"
 	"arraycomp/internal/workloads"
@@ -27,7 +28,7 @@ func compileWorkload(t *testing.T, src string, params map[string]int64, inputBou
 
 func TestEmitSquaresStructure(t *testing.T) {
 	p := compileWorkload(t, workloads.SquaresSrc, map[string]int64{"n": 8}, nil)
-	src, err := EmitFile(p.Defs["sq"].Plan.Program, "gen", "Squares")
+	src, err := gogen.EmitFile(p.Defs["sq"].Plan.Program, "gen", "Squares")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -52,7 +53,7 @@ func TestEmitConditionalIsLazy(t *testing.T) {
 	// the generated code would panic. The conditional must lower to
 	// if/else statements.
 	p := compileWorkload(t, workloads.Example1Src, map[string]int64{"n": 4}, nil)
-	src, err := EmitFile(p.Defs["a"].Plan.Program, "gen", "Ex1")
+	src, err := gogen.EmitFile(p.Defs["a"].Plan.Program, "gen", "Ex1")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -67,11 +68,11 @@ func TestEmitUnsupportedStatements(t *testing.T) {
 	prog := p.Defs["h"].Plan.Program
 	saved := prog.AccumOp
 	prog.AccumOp = ""
-	if _, err := EmitFile(prog, "gen", "H"); err == nil {
+	if _, err := gogen.EmitFile(prog, "gen", "H"); err == nil {
 		t.Error("missing AccumOp must be an error")
 	}
 	prog.AccumOp = saved
-	if _, err := EmitFile(prog, "gen", "H"); err != nil {
+	if _, err := gogen.EmitFile(prog, "gen", "H"); err != nil {
 		t.Errorf("histogram emission failed: %v", err)
 	}
 }
@@ -99,7 +100,7 @@ func checksum(data []float64) float64 {
 func emitHarness(t *testing.T, dir string, prog *core.Program, def string) (params, results []string) {
 	t.Helper()
 	plan := prog.Defs[def].Plan
-	fn, params, results, err := EmitFunc(plan.Program, "Compiled")
+	fn, params, results, err := gogen.EmitFunc(plan.Program, "Compiled")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -277,7 +278,7 @@ func TestGeneratedGuardedChecksMatchInterpreter(t *testing.T) {
 func TestGeneratedGofmtClean(t *testing.T) {
 	// The emitted source must parse (gofmt -e reports syntax errors).
 	p := compileWorkload(t, workloads.WavefrontSrc, map[string]int64{"n": 8}, nil)
-	src, err := EmitFile(p.Defs["a"].Plan.Program, "gen", "Wavefront")
+	src, err := gogen.EmitFile(p.Defs["a"].Plan.Program, "gen", "Wavefront")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -339,7 +340,7 @@ func TestNativeSpeed(t *testing.T) {
 	}
 	for _, c := range cases {
 		prog := compileWorkload(t, c.src, c.params, nil)
-		harness, err := EmitBenchHarness(prog.Defs[c.def].Plan.Program, c.iters)
+		harness, err := gogen.EmitBenchHarness(prog.Defs[c.def].Plan.Program, c.iters)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -384,7 +385,7 @@ func TestGeneratedParallelLoop(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	fn, _, _, err := EmitFunc(prog.Defs["a"].Plan.Program, "Compiled")
+	fn, _, _, err := gogen.EmitFunc(prog.Defs["a"].Plan.Program, "Compiled")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -467,7 +468,7 @@ func TestEmitBooleanGuards(t *testing.T) {
 	  ([ i := 1.0 | i <- [1..n], (i mod 3 == 0 || i mod 3 == 1) && not (i == 5) ] ++
 	   [ i := 2.0 | i <- [1..n], i mod 3 == 2 || i == 5 ])`
 	prog := compileWorkload(t, src, map[string]int64{"n": 20}, nil)
-	fn, _, _, err := EmitFunc(prog.Defs["a"].Plan.Program, "G")
+	fn, _, _, err := gogen.EmitFunc(prog.Defs["a"].Plan.Program, "G")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -493,25 +494,25 @@ func TestHasErrorPathsClassification(t *testing.T) {
 	clean := []loopir.Stmt{
 		&loopir.Assign{Array: "a", Subs: []loopir.IntExpr{&loopir.IConst{Value: 1}}, Rhs: &loopir.VConst{}},
 	}
-	if hasErrorPaths(clean) {
+	if gogen.HasErrorPathsForTest(clean) {
 		t.Error("unchecked assign must be clean")
 	}
 	checked := []loopir.Stmt{
 		&loopir.Assign{Array: "a", Subs: []loopir.IntExpr{&loopir.IConst{Value: 1}}, Rhs: &loopir.VConst{}, CheckBounds: true},
 	}
-	if !hasErrorPaths(checked) {
+	if !gogen.HasErrorPathsForTest(checked) {
 		t.Error("bounds-checked assign must be an error path")
 	}
 	readChecked := []loopir.Stmt{
 		&loopir.SetScalar{Name: "s", Rhs: &loopir.ARef{Array: "a", Subs: []loopir.IntExpr{&loopir.IConst{Value: 1}}, CheckBounds: true}},
 	}
-	if !hasErrorPaths(readChecked) {
+	if !gogen.HasErrorPathsForTest(readChecked) {
 		t.Error("checked read must be an error path")
 	}
 	condChecked := []loopir.Stmt{
 		&loopir.If{Cond: &loopir.BConst{Value: true}, Then: []loopir.Stmt{&loopir.Fail{Msg: "x"}}},
 	}
-	if !hasErrorPaths(condChecked) {
+	if !gogen.HasErrorPathsForTest(condChecked) {
 		t.Error("Fail inside If must be an error path")
 	}
 	nestedBool := []loopir.Stmt{
@@ -522,7 +523,7 @@ func TestHasErrorPathsClassification(t *testing.T) {
 			T: &loopir.VConst{}, E: &loopir.VConst{},
 		}},
 	}
-	if !hasErrorPaths(nestedBool) {
+	if !gogen.HasErrorPathsForTest(nestedBool) {
 		t.Error("checked read inside a boolean condition must be an error path")
 	}
 }

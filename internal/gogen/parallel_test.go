@@ -1,4 +1,4 @@
-package gogen
+package gogen_test
 
 import (
 	"os"
@@ -9,6 +9,7 @@ import (
 
 	"arraycomp/internal/analysis"
 	"arraycomp/internal/core"
+	"arraycomp/internal/gogen"
 	"arraycomp/internal/runtime"
 	"arraycomp/internal/workloads"
 )
@@ -51,7 +52,7 @@ func parDifferential(t *testing.T, src string, params map[string]int64, inputDim
 	if err != nil {
 		t.Fatal(err)
 	}
-	fn, fnParams, results, err := EmitFunc(prog.Defs[def].Plan.Program, "Compiled")
+	fn, fnParams, results, err := gogen.EmitFunc(prog.Defs[def].Plan.Program, "Compiled")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -132,7 +133,7 @@ func TestForcedChecksSuppressParallelEmission(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	fn, _, _, err := EmitFunc(checked.Defs["a"].Plan.Program, "Compiled")
+	fn, _, _, err := gogen.EmitFunc(checked.Defs["a"].Plan.Program, "Compiled")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -145,7 +146,7 @@ func TestForcedChecksSuppressParallelEmission(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	fn, _, _, err = EmitFunc(clean.Defs["a"].Plan.Program, "Compiled")
+	fn, _, _, err = gogen.EmitFunc(clean.Defs["a"].Plan.Program, "Compiled")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -173,7 +174,7 @@ func TestGeneratedParallelGofmtClean(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%s: %v", c.name, err)
 		}
-		src, err := EmitFile(prog.Defs[c.def].Plan.Program, "gen", "F")
+		src, err := gogen.EmitFile(prog.Defs[c.def].Plan.Program, "gen", "F")
 		if err != nil {
 			t.Fatalf("%s: %v", c.name, err)
 		}

@@ -171,6 +171,24 @@ func (r *Registry) NewCounterFunc(name, help string, fn func() uint64) {
 	})
 }
 
+// NewCounterFuncVec registers a one-label counter family whose values
+// are read from fn at collection time — for monotonic per-label counts
+// owned by another subsystem (the execution tiers' run tallies).
+// Labels are rendered in sorted order, so the exposition is stable.
+func (r *Registry) NewCounterFuncVec(name, help, label string, fn func() map[string]uint64) {
+	r.register(name, help, "counter", func(w io.Writer) {
+		vals := fn()
+		keys := make([]string, 0, len(vals))
+		for k := range vals {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Fprintf(w, "%s{%s=%q} %d\n", name, label, k, vals[k])
+		}
+	})
+}
+
 // NewHistogramM registers and returns an unlabeled histogram (nil
 // bounds = DefBuckets).
 func (r *Registry) NewHistogramM(name, help string, bounds []float64) *Histogram {

@@ -30,10 +30,16 @@ const (
 	// PhaseCertify times the -certify soundness audit (witness checks
 	// and shadow-domain enumeration across all three layers).
 	PhaseCertify = "certify"
+	// PhasePromote times native tier-up: gogen emission plus the
+	// toolchain build and load. Charged at compile time only when the
+	// native tier is forced; background promotions account into
+	// TierStats.PromoteNs instead (a CompileReport is read-only once
+	// compilation returns).
+	PhasePromote = "promote"
 )
 
 // Phases lists every compile phase in pipeline order.
-var Phases = []string{PhaseParse, PhaseAnalyze, PhasePlan, PhaseLower, PhaseOptimize, PhaseCertify}
+var Phases = []string{PhaseParse, PhaseAnalyze, PhasePlan, PhaseLower, PhaseOptimize, PhaseCertify, PhasePromote}
 
 // Counters tallies the optimizations a compilation performed — the
 // quantities the paper's analyses exist to maximize.
@@ -109,6 +115,11 @@ func (r *CompileReport) String() string {
 	var b strings.Builder
 	b.WriteString("compile phases:\n")
 	for _, p := range Phases {
+		if p == PhasePromote && r.Phases[p] == 0 {
+			// Only forced-tier compiles charge a promote phase; keep
+			// the report stable for everyone else.
+			continue
+		}
 		fmt.Fprintf(&b, "  %-9s %12v\n", p, r.Phases[p].Round(time.Microsecond))
 	}
 	fmt.Fprintf(&b, "  %-9s %12v\n", "total", r.Total().Round(time.Microsecond))

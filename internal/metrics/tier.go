@@ -1,0 +1,27 @@
+package metrics
+
+import "sync/atomic"
+
+// TierStats is the runtime-side companion of the CompileReport: where
+// the CompileReport is written once during compilation and read-only
+// afterwards, TierStats is written concurrently by every Run of a
+// tiered program, so all fields are atomics. One TierStats is
+// typically shared by a whole process (haccd wires it to /metrics);
+// passing it via Options.TierStats makes every compiled program
+// account into it.
+type TierStats struct {
+	// ThunkedRuns counts evaluations served by the thunked reference
+	// tier (every live definition fell back to suspensions).
+	ThunkedRuns atomic.Int64
+	// InterpRuns counts evaluations served by the loop-IR interpreter.
+	InterpRuns atomic.Int64
+	// NativeRuns counts evaluations served by compiled Go.
+	NativeRuns atomic.Int64
+	// Promotions counts successful interpreted→native tier-ups.
+	Promotions atomic.Int64
+	// PromoteFailures counts promotions that failed to build or load
+	// (the program keeps running interpreted).
+	PromoteFailures atomic.Int64
+	// PromoteNs accumulates wall time spent in native builds.
+	PromoteNs atomic.Int64
+}

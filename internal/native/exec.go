@@ -1,0 +1,159 @@
+package native
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os/exec"
+	"path/filepath"
+	"sync"
+	"time"
+)
+
+// execProc is a persistent native-plan subprocess speaking the binary
+// evaluation protocol over stdin/stdout. Calls are serialized by a
+// mutex (one request/reply in flight); float64s cross the pipe as raw
+// IEEE bits so exec-mode results are bitwise identical to plugin mode.
+type execProc struct {
+	mu   sync.Mutex
+	cmd  *exec.Cmd
+	in   *bufio.Writer
+	out  *bufio.Reader
+	wc   io.WriteCloser
+	dead error
+}
+
+// buildAndStartExec compiles the emitted package as an ordinary
+// binary and starts it as a persistent evaluation server.
+func buildAndStartExec(dir string, timeout time.Duration) (*execProc, error) {
+	if out, err := runGo(dir, timeout, "build", "-o", "planbin", "."); err != nil {
+		return nil, fmt.Errorf("native: exec build: %v: %s", err, truncate(out, 400))
+	}
+	cmd := exec.Command(filepath.Join(dir, "planbin"))
+	stdin, err := cmd.StdinPipe()
+	if err != nil {
+		return nil, fmt.Errorf("native: %w", err)
+	}
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, fmt.Errorf("native: %w", err)
+	}
+	cmd.Stderr = nil
+	if err := cmd.Start(); err != nil {
+		return nil, fmt.Errorf("native: exec start: %w", err)
+	}
+	// The child exits on stdin EOF, so even a leaked proc collects
+	// when the host process dies and the pipe closes.
+	go cmd.Wait()
+	return &execProc{
+		cmd: cmd,
+		in:  bufio.NewWriter(stdin),
+		out: bufio.NewReader(stdout),
+		wc:  stdin,
+	}, nil
+}
+
+// call runs one evaluation round-trip.
+func (p *execProc) call(key string, order []string, inputs map[string][]float64) ([]float64, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.dead != nil {
+		return nil, p.dead
+	}
+	out, err := p.callLocked(key, order, inputs)
+	if err != nil {
+		if _, ok := err.(*progError); ok {
+			// A program error (runtime check fired in the emitted code)
+			// is an expected outcome; the stream stays framed and usable.
+			return nil, fmt.Errorf("%s", err.Error())
+		}
+		// A protocol-level failure poisons the proc: the stream is no
+		// longer framed and no further call can trust it.
+		p.dead = fmt.Errorf("native: exec subprocess failed: %w", err)
+		p.wc.Close()
+		if p.cmd.Process != nil {
+			p.cmd.Process.Kill()
+		}
+		return nil, p.dead
+	}
+	return out, nil
+}
+
+// progError marks an in-protocol program error (a runtime check in
+// the emitted code fired); it leaves the stream healthy.
+type progError struct{ msg string }
+
+func (e *progError) Error() string { return e.msg }
+
+func (p *execProc) callLocked(key string, order []string, inputs map[string][]float64) ([]float64, error) {
+	w := p.in
+	writeU32 := func(v uint32) { binary.Write(w, binary.LittleEndian, v) }
+	writeU64 := func(v uint64) { binary.Write(w, binary.LittleEndian, v) }
+	writeU32(uint32(len(key)))
+	w.WriteString(key)
+	writeU32(uint32(len(order)))
+	for _, name := range order {
+		data := inputs[name]
+		writeU32(uint32(len(name)))
+		w.WriteString(name)
+		writeU64(uint64(len(data)))
+		for _, v := range data {
+			writeU64(math.Float64bits(v))
+		}
+	}
+	if err := w.Flush(); err != nil {
+		return nil, err
+	}
+
+	var status [1]byte
+	if _, err := io.ReadFull(p.out, status[:]); err != nil {
+		return nil, err
+	}
+	switch status[0] {
+	case 0:
+		var n uint64
+		if err := binary.Read(p.out, binary.LittleEndian, &n); err != nil {
+			return nil, err
+		}
+		if n > 1<<32 {
+			return nil, fmt.Errorf("implausible result length %d", n)
+		}
+		out := make([]float64, n)
+		buf := make([]byte, 8)
+		for i := range out {
+			if _, err := io.ReadFull(p.out, buf); err != nil {
+				return nil, err
+			}
+			out[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf))
+		}
+		return out, nil
+	case 1, 2:
+		var n uint32
+		if err := binary.Read(p.out, binary.LittleEndian, &n); err != nil {
+			return nil, err
+		}
+		msg := make([]byte, n)
+		if _, err := io.ReadFull(p.out, msg); err != nil {
+			return nil, err
+		}
+		if status[0] == 1 {
+			return nil, &progError{msg: string(msg)}
+		}
+		return nil, fmt.Errorf("protocol error: %s", msg)
+	default:
+		return nil, fmt.Errorf("bad status byte %d", status[0])
+	}
+}
+
+// close shuts the subprocess down by closing its stdin.
+func (p *execProc) close() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.dead == nil {
+		p.dead = fmt.Errorf("native: exec subprocess closed")
+	}
+	err := p.wc.Close()
+	return err
+}

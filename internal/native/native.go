@@ -1,0 +1,455 @@
+// Package native is the compiled-Go execution tier: it takes the
+// loop-IR plans of one or more compiled programs, emits them as a
+// standalone Go package through gogen, builds that package with the
+// host toolchain, and loads the result back into the process so a
+// compiled program runs as real machine code instead of interpreter
+// closures — the paper's "comparable to Fortran" claim made the hot
+// path, not just an offline measurement.
+//
+// Two load mechanisms are supported:
+//
+//   - plugin: `go build -buildmode=plugin` + plugin.Open. The emitted
+//     entry points become in-process function values, so a native call
+//     costs exactly one function call plus the program's own loops.
+//     When the host binary is race-instrumented the plugin is built
+//     with -race too (the runtimes must match).
+//   - exec: a portable fallback for platforms (or sandboxes) where
+//     plugins are unsupported. The same emitted source is built as an
+//     ordinary binary whose main() serves evaluations over a binary
+//     stdin/stdout protocol; the host keeps one persistent subprocess
+//     per module and streams float64 bits, so results are bitwise
+//     identical to the in-process path.
+//
+// Mode selection is automatic (plugin, falling back to exec on any
+// build or load failure) and can be forced with HAC_NATIVE_MODE=plugin
+// or HAC_NATIVE_MODE=exec — the latter is how CI tests the
+// plugin-unsupported path on a plugin-capable platform.
+//
+// Builds are batched: one Build call with N program specs produces ONE
+// toolchain invocation and one loaded module serving all N programs,
+// which is what keeps a 200-program differential suite at seconds
+// instead of minutes.
+package native
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"arraycomp/internal/gogen"
+	"arraycomp/internal/loopir"
+	"arraycomp/internal/runtime"
+)
+
+// Unit is one compiled definition inside a program, in evaluation
+// order: the lowered loop-IR plan plus the defensive-clone decision
+// core made for in-place updates whose source stays live.
+type Unit struct {
+	// Name is the definition (result array) name.
+	Name string
+	// Prog is the lowered loop-IR program of this definition.
+	Prog *loopir.Program
+	// CloneSource, when non-empty, names the input array that must be
+	// cloned before this unit runs (in-place plan, live source).
+	CloneSource string
+}
+
+// ProgramSpec describes one program to compile natively: its units in
+// evaluation order and the name of the result definition.
+type ProgramSpec struct {
+	// Key addresses the program inside the module (any non-empty
+	// string, unique within one Build call — callers typically use the
+	// plan-cache content address or a corpus seed).
+	Key string
+	// Units are the compiled definitions in evaluation order.
+	Units []Unit
+	// Result names the unit whose output is the program result.
+	Result string
+}
+
+// Mode selects the load mechanism.
+type Mode string
+
+const (
+	// ModeAuto tries plugin first and falls back to exec.
+	ModeAuto Mode = ""
+	// ModePlugin requires in-process loading via plugin.Open.
+	ModePlugin Mode = "plugin"
+	// ModeExec requires the persistent-subprocess fallback.
+	ModeExec Mode = "exec"
+)
+
+// EnvMode is the environment variable that overrides the build mode
+// ("plugin" or "exec"); it exists so CI can force the
+// plugin-unsupported fallback path on a plugin-capable host.
+const EnvMode = "HAC_NATIVE_MODE"
+
+// Options tunes a Build.
+type Options struct {
+	// Mode forces a load mechanism; ModeAuto (the default) prefers
+	// plugin and falls back to exec. The HAC_NATIVE_MODE environment
+	// variable, when set, wins over this field.
+	Mode Mode
+	// BuildTimeout bounds the toolchain invocation (default 3m).
+	BuildTimeout time.Duration
+}
+
+// Module is one loaded native build serving the programs of a Build
+// call. A module is safe for concurrent use; in exec mode concurrent
+// calls are serialized over the single subprocess pipe.
+type Module struct {
+	mode  Mode
+	plans map[string]*Plan
+	proc  *execProc
+}
+
+// Plan is one program's native execution plan.
+type Plan struct {
+	key    string
+	mode   Mode
+	fn     func(map[string][]float64) ([]float64, error)
+	proc   *execProc
+	inputs []string
+	bounds runtime.Bounds
+}
+
+// Builds counts completed native toolchain invocations in this
+// process — the observable side of promotion singleflight: however
+// many concurrent evaluations race a tier-up, the count rises once.
+var builds atomic.Int64
+
+// Builds returns the number of native builds this process has run.
+func Builds() int64 { return builds.Load() }
+
+// modSeq makes plugin package paths process-unique: the Go plugin
+// runtime refuses to open two distinct plugins sharing a package
+// path, so every build gets a fresh module name.
+var modSeq atomic.Int64
+
+// Build emits, compiles, and loads the given programs as one native
+// module. All specs share a single toolchain invocation.
+func Build(specs []ProgramSpec, opts Options) (*Module, error) {
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("native: no programs to build")
+	}
+	if _, err := exec.LookPath("go"); err != nil {
+		return nil, fmt.Errorf("native: go toolchain unavailable: %w", err)
+	}
+	src, metas, err := emitModuleSource(specs)
+	if err != nil {
+		return nil, err
+	}
+	timeout := opts.BuildTimeout
+	if timeout <= 0 {
+		timeout = 3 * time.Minute
+	}
+	mode := opts.Mode
+	if env := Mode(os.Getenv(EnvMode)); env == ModePlugin || env == ModeExec {
+		mode = env
+	}
+
+	dir, err := os.MkdirTemp("", "hacnative")
+	if err != nil {
+		return nil, fmt.Errorf("native: %w", err)
+	}
+	modName := fmt.Sprintf("hacnative%d_%d", os.Getpid(), modSeq.Add(1))
+	if err := os.WriteFile(filepath.Join(dir, "main.go"), []byte(src), 0o644); err != nil {
+		os.RemoveAll(dir)
+		return nil, fmt.Errorf("native: %w", err)
+	}
+	gomod := fmt.Sprintf("module %s\n\ngo 1.24\n", modName)
+	if err := os.WriteFile(filepath.Join(dir, "go.mod"), []byte(gomod), 0o644); err != nil {
+		os.RemoveAll(dir)
+		return nil, fmt.Errorf("native: %w", err)
+	}
+
+	m := &Module{plans: map[string]*Plan{}}
+	var pluginErr error
+	if mode == ModePlugin || mode == ModeAuto {
+		entries, err := buildAndOpenPlugin(dir, timeout)
+		if err == nil {
+			m.mode = ModePlugin
+			for _, spec := range specs {
+				fn, ok := entries[spec.Key]
+				if !ok {
+					os.RemoveAll(dir)
+					return nil, fmt.Errorf("native: plugin is missing entry %q", spec.Key)
+				}
+				meta := metas[spec.Key]
+				m.plans[spec.Key] = &Plan{key: spec.Key, mode: ModePlugin, fn: fn, inputs: meta.inputs, bounds: meta.bounds}
+			}
+			builds.Add(1)
+			os.RemoveAll(dir)
+			return m, nil
+		}
+		pluginErr = err
+		if mode == ModePlugin {
+			os.RemoveAll(dir)
+			return nil, fmt.Errorf("native: plugin mode forced but unavailable: %w", err)
+		}
+	}
+
+	proc, err := buildAndStartExec(dir, timeout)
+	if err != nil {
+		os.RemoveAll(dir)
+		if pluginErr != nil {
+			return nil, fmt.Errorf("native: plugin failed (%v); exec fallback failed: %w", pluginErr, err)
+		}
+		return nil, err
+	}
+	m.mode = ModeExec
+	m.proc = proc
+	for _, spec := range specs {
+		meta := metas[spec.Key]
+		m.plans[spec.Key] = &Plan{key: spec.Key, mode: ModeExec, proc: proc, inputs: meta.inputs, bounds: meta.bounds}
+	}
+	builds.Add(1)
+	// The running binary keeps its inode alive; the directory can go.
+	os.RemoveAll(dir)
+	return m, nil
+}
+
+// BuildOne is the single-program convenience used by tier promotion.
+func BuildOne(spec ProgramSpec, opts Options) (*Plan, error) {
+	m, err := Build([]ProgramSpec{spec}, opts)
+	if err != nil {
+		return nil, err
+	}
+	return m.Plan(spec.Key), nil
+}
+
+// Mode reports the load mechanism the module ended up with.
+func (m *Module) Mode() Mode { return m.mode }
+
+// Plan returns the plan for a spec key, or nil.
+func (m *Module) Plan(key string) *Plan { return m.plans[key] }
+
+// Close releases the module's subprocess (exec mode). Plugins cannot
+// be unloaded; closing a plugin module is a no-op. A leaked exec
+// module self-collects when the host process exits (the child sees
+// EOF on its stdin pipe).
+func (m *Module) Close() error {
+	if m.proc != nil {
+		return m.proc.close()
+	}
+	return nil
+}
+
+// Mode reports the plan's load mechanism.
+func (p *Plan) Mode() Mode { return p.mode }
+
+// Inputs lists the external input arrays the plan consumes.
+func (p *Plan) Inputs() []string { return append([]string(nil), p.inputs...) }
+
+// Run executes the native program. Semantics match the interpreter
+// tier exactly: inputs are never mutated (the emitted driver clones
+// in-place sources core marked live), runtime checks surface as
+// errors, and the result carries the compiled bounds.
+func (p *Plan) Run(inputs map[string]*runtime.Strict) (*runtime.Strict, error) {
+	flat := make(map[string][]float64, len(p.inputs))
+	for _, name := range p.inputs {
+		a, ok := inputs[name]
+		if !ok {
+			return nil, fmt.Errorf("native: missing input array %q", name)
+		}
+		flat[name] = a.Data
+	}
+	var out []float64
+	var err error
+	if p.mode == ModePlugin {
+		out, err = p.fn(flat)
+	} else {
+		out, err = p.proc.call(p.key, p.inputs, flat)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if int64(len(out)) != p.bounds.Size() {
+		return nil, fmt.Errorf("native: program %q returned %d elements, bounds %s want %d",
+			p.key, len(out), p.bounds, p.bounds.Size())
+	}
+	return &runtime.Strict{B: p.bounds, Data: out}, nil
+}
+
+// planMeta is the host-side metadata captured during emission.
+type planMeta struct {
+	inputs []string
+	bounds runtime.Bounds
+}
+
+// emitModuleSource renders all specs into one self-contained main
+// package: per-unit functions from gogen, a driver per program that
+// chains them the way core.Program.Run does, an Entries registry for
+// the plugin path, and a protocol main() for the exec path.
+func emitModuleSource(specs []ProgramSpec) (string, map[string]*planMeta, error) {
+	metas := map[string]*planMeta{}
+	var funcs strings.Builder
+	var entries strings.Builder
+	entries.WriteString("// Entries maps program keys to their native entry points.\nvar Entries = map[string]func(map[string][]float64) ([]float64, error){\n")
+	seen := map[string]bool{}
+	for i, spec := range specs {
+		if spec.Key == "" || seen[spec.Key] {
+			return "", nil, fmt.Errorf("native: spec %d has empty or duplicate key %q", i, spec.Key)
+		}
+		seen[spec.Key] = true
+		meta, err := emitProgram(&funcs, spec, i)
+		if err != nil {
+			return "", nil, err
+		}
+		metas[spec.Key] = meta
+		fmt.Fprintf(&entries, "\t%q: nrun_%d,\n", spec.Key, i)
+	}
+	entries.WriteString("}\n")
+
+	var b strings.Builder
+	b.WriteString("// Code generated by arraycomp (internal/native). DO NOT EDIT.\npackage main\n\n")
+	imports := []string{`"bufio"`, `"encoding/binary"`, `"fmt"`, `"io"`, `"math"`, `"os"`}
+	if strings.Contains(funcs.String(), "runtime.GOMAXPROCS") {
+		imports = append(imports, `"runtime"`)
+	}
+	if strings.Contains(funcs.String(), "sync.WaitGroup") {
+		imports = append(imports, `"sync"`)
+	}
+	b.WriteString("import (\n")
+	for _, imp := range imports {
+		b.WriteString("\t" + imp + "\n")
+	}
+	b.WriteString(")\n\nvar _ = math.Abs\n\n")
+	b.WriteString(entries.String())
+	b.WriteString("\n")
+	b.WriteString(funcs.String())
+	b.WriteString(protocolMain)
+	return b.String(), metas, nil
+}
+
+// emitProgram renders one spec: its unit functions plus the driver.
+func emitProgram(b *strings.Builder, spec ProgramSpec, idx int) (*planMeta, error) {
+	if len(spec.Units) == 0 {
+		return nil, fmt.Errorf("native: program %q has no units", spec.Key)
+	}
+	// produced maps a definition name to its driver-local variable.
+	produced := map[string]string{}
+	external := map[string]string{}
+	var externalOrder []string
+	var driver strings.Builder
+
+	resolve := func(name string) string {
+		if v, ok := produced[name]; ok {
+			return v
+		}
+		if v, ok := external[name]; ok {
+			return v
+		}
+		v := fmt.Sprintf("e%d", len(externalOrder))
+		external[name] = v
+		externalOrder = append(externalOrder, name)
+		return v
+	}
+
+	var resultVar string
+	var resultBounds runtime.Bounds
+	var calls strings.Builder
+	for j, u := range spec.Units {
+		fnName := fmt.Sprintf("nf_%d_%d", idx, j)
+		src, params, results, err := gogen.EmitFunc(u.Prog, fnName)
+		if err != nil {
+			return nil, fmt.Errorf("native: program %q unit %s: %w", spec.Key, u.Name, err)
+		}
+		if len(results) != 1 {
+			return nil, fmt.Errorf("native: program %q unit %s has %d result arrays, want 1", spec.Key, u.Name, len(results))
+		}
+		b.WriteString(src)
+		b.WriteString("\n")
+
+		args := make([]string, len(params))
+		for k, pn := range params {
+			args[k] = resolve(pn)
+		}
+		if u.CloneSource != "" {
+			// Defensive clone, mirroring core.Program.Run: the in-place
+			// source is caller-owned or still live afterwards.
+			cv := fmt.Sprintf("c%d_%d", idx, j)
+			fmt.Fprintf(&calls, "\t%s := append([]float64(nil), %s...)\n", cv, resolve(u.CloneSource))
+			for k, pn := range params {
+				if pn == u.CloneSource {
+					args[k] = cv
+				}
+			}
+		}
+		out := fmt.Sprintf("d%d", j)
+		produced[u.Name] = out
+		fmt.Fprintf(&calls, "\t%s, err%d := %s(%s)\n", out, j, fnName, strings.Join(args, ", "))
+		fmt.Fprintf(&calls, "\tif err%d != nil {\n\t\treturn nil, err%d\n\t}\n", j, j)
+		fmt.Fprintf(&calls, "\t_ = %s\n", out)
+		if u.Name == spec.Result {
+			resultVar = out
+			d := u.Prog.Decl(results[0])
+			if d == nil {
+				return nil, fmt.Errorf("native: program %q unit %s: result decl %q missing", spec.Key, u.Name, results[0])
+			}
+			resultBounds = d.B
+		}
+	}
+	if resultVar == "" {
+		return nil, fmt.Errorf("native: program %q never defines result %q", spec.Key, spec.Result)
+	}
+
+	fmt.Fprintf(&driver, "func nrun_%d(in map[string][]float64) ([]float64, error) {\n", idx)
+	for _, name := range externalOrder {
+		fmt.Fprintf(&driver, "\t%s, ok%s := in[%q]\n", external[name], external[name], name)
+		fmt.Fprintf(&driver, "\tif !ok%s {\n\t\treturn nil, fmt.Errorf(\"native: missing input array %%q\", %q)\n\t}\n", external[name], name)
+	}
+	driver.WriteString(calls.String())
+	fmt.Fprintf(&driver, "\treturn %s, nil\n}\n\n", resultVar)
+	b.WriteString(driver.String())
+
+	return &planMeta{inputs: externalOrder, bounds: resultBounds}, nil
+}
+
+// buildAndOpenPlugin compiles the emitted package as a Go plugin and
+// loads its entry registry. The plugin is race-instrumented iff this
+// binary is: the Go runtime refuses to mix race and non-race images.
+func buildAndOpenPlugin(dir string, timeout time.Duration) (map[string]func(map[string][]float64) ([]float64, error), error) {
+	args := []string{"build", "-buildmode=plugin"}
+	if raceEnabled {
+		args = append(args, "-race")
+	}
+	args = append(args, "-o", "plan.so", ".")
+	if out, err := runGo(dir, timeout, args...); err != nil {
+		return nil, fmt.Errorf("plugin build: %v: %s", err, truncate(out, 400))
+	}
+	return openPlugin(filepath.Join(dir, "plan.so"))
+}
+
+// runGo invokes the toolchain in dir with CGO enabled (plugins need
+// it) and module mode pinned.
+func runGo(dir string, timeout time.Duration, args ...string) (string, error) {
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	cmd.Env = append(os.Environ(), "GOFLAGS=-mod=mod", "CGO_ENABLED=1")
+	done := make(chan struct{})
+	timer := time.AfterFunc(timeout, func() {
+		select {
+		case <-done:
+		default:
+			if cmd.Process != nil {
+				cmd.Process.Kill()
+			}
+		}
+	})
+	out, err := cmd.CombinedOutput()
+	close(done)
+	timer.Stop()
+	return string(out), err
+}
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n] + "…"
+}

@@ -1,0 +1,26 @@
+package native
+
+import (
+	"fmt"
+	"plugin"
+)
+
+// entryMap is the exported registry type the emitted source declares.
+type entryMap = map[string]func(map[string][]float64) ([]float64, error)
+
+// openPlugin loads a built plugin and extracts its Entries registry.
+func openPlugin(path string) (entryMap, error) {
+	p, err := plugin.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("plugin open: %w", err)
+	}
+	sym, err := p.Lookup("Entries")
+	if err != nil {
+		return nil, fmt.Errorf("plugin lookup: %w", err)
+	}
+	entries, ok := sym.(*entryMap)
+	if !ok {
+		return nil, fmt.Errorf("plugin Entries has type %T, want *map[string]func(map[string][]float64) ([]float64, error)", sym)
+	}
+	return *entries, nil
+}

@@ -1,0 +1,113 @@
+package native
+
+// protocolMain is the exec-mode server appended to every emitted
+// module: main() reads length-prefixed evaluation requests on stdin
+// and writes status-prefixed results on stdout, with float64s framed
+// as raw IEEE bits (bitwise-identical to the in-process plugin path).
+// In plugin mode the same source compiles but main is never invoked.
+//
+// Framing per request:
+//
+//	u32 keyLen, key bytes
+//	u32 nInputs, then per input: u32 nameLen, name, u64 count, count×u64 float bits
+//
+// Reply: u8 status — 0 ok (u64 count + count×u64 bits),
+// 1 program error, 2 protocol error (both: u32 msgLen + msg).
+// EOF while reading a key length is a clean shutdown.
+const protocolMain = `
+func srvReadU32(r *bufio.Reader) (uint32, error) {
+	var b [4]byte
+	if _, err := io.ReadFull(r, b[:]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint32(b[:]), nil
+}
+
+func srvReadU64(r *bufio.Reader) (uint64, error) {
+	var b [8]byte
+	if _, err := io.ReadFull(r, b[:]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint64(b[:]), nil
+}
+
+func srvWriteErr(w *bufio.Writer, status byte, msg string) {
+	w.WriteByte(status)
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], uint32(len(msg)))
+	w.Write(b[:])
+	w.WriteString(msg)
+	w.Flush()
+}
+
+func main() {
+	in := bufio.NewReader(os.Stdin)
+	out := bufio.NewWriter(os.Stdout)
+	for {
+		keyLen, err := srvReadU32(in)
+		if err != nil {
+			return // EOF between requests: clean shutdown
+		}
+		keyBuf := make([]byte, keyLen)
+		if _, err := io.ReadFull(in, keyBuf); err != nil {
+			return
+		}
+		nInputs, err := srvReadU32(in)
+		if err != nil {
+			return
+		}
+		inputs := make(map[string][]float64, nInputs)
+		for i := uint32(0); i < nInputs; i++ {
+			nameLen, err := srvReadU32(in)
+			if err != nil {
+				return
+			}
+			nameBuf := make([]byte, nameLen)
+			if _, err := io.ReadFull(in, nameBuf); err != nil {
+				return
+			}
+			count, err := srvReadU64(in)
+			if err != nil {
+				return
+			}
+			data := make([]float64, count)
+			for j := range data {
+				bits, err := srvReadU64(in)
+				if err != nil {
+					return
+				}
+				data[j] = math.Float64frombits(bits)
+			}
+			inputs[string(nameBuf)] = data
+		}
+		fn, ok := Entries[string(keyBuf)]
+		if !ok {
+			srvWriteErr(out, 2, fmt.Sprintf("unknown program key %q", keyBuf))
+			continue
+		}
+		res, err := func() (r []float64, e error) {
+			defer func() {
+				if p := recover(); p != nil {
+					e = fmt.Errorf("%v", p)
+				}
+			}()
+			return fn(inputs)
+		}()
+		if err != nil {
+			srvWriteErr(out, 1, err.Error())
+			continue
+		}
+		out.WriteByte(0)
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], uint64(len(res)))
+		out.Write(b[:])
+		for _, v := range res {
+			binary.LittleEndian.PutUint64(b[:], math.Float64bits(v))
+			out.Write(b[:])
+		}
+		if err := out.Flush(); err != nil {
+			return
+		}
+	}
+}
+`

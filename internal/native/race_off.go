@@ -1,0 +1,8 @@
+//go:build !race
+
+package native
+
+// raceEnabled reports whether this binary is race-instrumented. A
+// plugin must be built with the same race setting as its host or
+// plugin.Open rejects it for mismatched runtime packages.
+const raceEnabled = false

@@ -113,9 +113,16 @@ type Case struct {
 	// GogenRan/GogenOutcome are filled by RunGogenBatch.
 	GogenRan     bool
 	GogenOutcome Outcome
+	// NativeEligible/NativeRan/NativeOutcome are the native-tier leg,
+	// filled by RunNativeBatch: the full-configuration program with a
+	// batch-built native plan adopted, run through the real tier
+	// dispatch.
+	NativeEligible bool
+	NativeRan      bool
+	NativeOutcome  Outcome
 
 	// fullProg retains the full-configuration compile for gogen
-	// emission.
+	// emission and native adoption.
 	fullProg *core.Program
 }
 
@@ -275,6 +282,11 @@ type Summary struct {
 	GogenEligible int
 	GogenRan      int
 	GogenAgreed   int
+	// NativeEligible / NativeRan / NativeAgreed count the native-tier
+	// leg (RunNativeBatch).
+	NativeEligible int
+	NativeRan      int
+	NativeAgreed   int
 	// Failures lists every case with at least one mismatch.
 	Failures []*Case
 }
@@ -287,8 +299,9 @@ type AblationStats struct {
 // RunSeeds runs the oracle over a seed range. When withGogen is set the
 // gogen-eligible cases are additionally emitted as one Go program and
 // cross-checked via `go run` (a single toolchain invocation for the
-// whole corpus).
-func RunSeeds(seeds []uint64, cfg gencomp.Config, withGogen bool) *Summary {
+// whole corpus). When withNative is set the eligible cases also run
+// through the native execution tier (one batched plugin/exec build).
+func RunSeeds(seeds []uint64, cfg gencomp.Config, withGogen, withNative bool) *Summary {
 	s := &Summary{PerAblation: map[string]*AblationStats{}}
 	for _, ab := range Ablations() {
 		s.PerAblation[ab.Name] = &AblationStats{}
@@ -315,6 +328,9 @@ func RunSeeds(seeds []uint64, cfg gencomp.Config, withGogen bool) *Summary {
 	if withGogen {
 		RunGogenBatch(cases)
 	}
+	if withNative {
+		RunNativeBatch(cases)
+	}
 	for _, c := range cases {
 		if c.GogenEligible {
 			s.GogenEligible++
@@ -329,6 +345,21 @@ func RunSeeds(seeds []uint64, cfg gencomp.Config, withGogen bool) *Summary {
 			}
 			if agreed {
 				s.GogenAgreed++
+			}
+		}
+		if c.NativeEligible {
+			s.NativeEligible++
+		}
+		if c.NativeRan {
+			s.NativeRan++
+			agreed := true
+			for _, m := range c.Mismatches {
+				if m.Backend == "native" {
+					agreed = false
+				}
+			}
+			if agreed {
+				s.NativeAgreed++
 			}
 		}
 		if c.Failed() {
@@ -353,6 +384,8 @@ func (s *Summary) String() string {
 	}
 	fmt.Fprintf(&b, "  %-12s eligible %d  ran %d  agreed %d\n",
 		"gogen", s.GogenEligible, s.GogenRan, s.GogenAgreed)
+	fmt.Fprintf(&b, "  %-12s eligible %d  ran %d  agreed %d\n",
+		"native", s.NativeEligible, s.NativeRan, s.NativeAgreed)
 	fmt.Fprintf(&b, "failures: %d\n", len(s.Failures))
 	return b.String()
 }

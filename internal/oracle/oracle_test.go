@@ -13,8 +13,10 @@ import (
 
 // TestOracleGenerated is the headline differential test: hundreds of
 // generated programs, every Options ablation cross-checked against the
-// thunked reference, and the gogen-eligible subset additionally built
-// and executed as native Go in one batched `go run`.
+// thunked reference, the gogen-eligible subset additionally built and
+// executed as native Go in one batched `go run`, and the same subset
+// run through the native execution tier (batched plugin/exec build,
+// adopted via the tier hot-swap).
 func TestOracleGenerated(t *testing.T) {
 	n := 400
 	if testing.Short() {
@@ -24,7 +26,7 @@ func TestOracleGenerated(t *testing.T) {
 	for i := range seeds {
 		seeds[i] = uint64(i)
 	}
-	s := RunSeeds(seeds, gencomp.Config{}, true)
+	s := RunSeeds(seeds, gencomp.Config{}, true, true)
 	t.Logf("\n%s", s)
 	if s.Programs != n {
 		t.Fatalf("ran %d programs, want %d", s.Programs, n)
@@ -44,6 +46,12 @@ func TestOracleGenerated(t *testing.T) {
 	}
 	if s.GogenRan != s.GogenAgreed {
 		t.Errorf("gogen: %d ran but only %d agreed", s.GogenRan, s.GogenAgreed)
+	}
+	if s.NativeRan < 20 {
+		t.Errorf("only %d cases ran on the native tier", s.NativeRan)
+	}
+	if s.NativeRan != s.NativeAgreed {
+		t.Errorf("native: %d ran but only %d agreed", s.NativeRan, s.NativeAgreed)
 	}
 	full := s.PerAblation["full"]
 	if full.OK == 0 || full.Err == 0 {
@@ -75,9 +83,10 @@ func TestOracleSeedCorpus(t *testing.T) {
 		}
 	}
 	RunGogenBatch(cases)
+	RunNativeBatch(cases)
 	for i, c := range cases {
 		if c.Failed() {
-			t.Errorf("%s (after gogen): %v", files[i], c.Mismatches)
+			t.Errorf("%s (after gogen+native): %v", files[i], c.Mismatches)
 		}
 	}
 }
