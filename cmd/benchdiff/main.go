@@ -14,6 +14,20 @@
 // Result files record the measuring host (CPU count, GOMAXPROCS, Go
 // version); when the two files disagree a BENCH-HOST-MISMATCH line is
 // printed, and -require-same-host turns that warning into a failure.
+//
+// The wall also gates expected orderings WITHIN the new run: a
+// repeatable -minspeedup "SLOW|FAST|RATIO" flag asserts that the FAST
+// label beats the SLOW one by at least RATIO — e.g.
+//
+//	benchdiff -new /tmp/b.json -speedup-only \
+//	  -minspeedup 'sor 256x256 x20 interp|sor 256x256 x20 native|1.0' \
+//	  -minspeedup 'jacobi workers=1|jacobi workers=4|1.5'
+//
+// so an arm that exists to be faster failing to keep its edge fails
+// CI even when neither arm regressed against its own baseline.
+// -speedup-only skips the baseline comparison entirely (no -base file
+// needed), which is how the multicore wall gates a fresh same-host
+// run where no committed cross-host baseline would be comparable.
 package main
 
 import (
@@ -32,43 +46,66 @@ func main() {
 		maxRegress = flag.Float64("max-regress", 25, "max allowed ns/op regression, percent")
 		skipList   = flag.String("skip", strings.Join(benchcmp.DefaultSkip, ","),
 			"comma-separated label substrings excluded from gating")
-		all      = flag.Bool("all", false, "gate every label, including baseline arms")
-		quiet    = flag.Bool("quiet", false, "suppress the per-label table")
-		sameHost = flag.Bool("require-same-host", false, "fail (exit 1) when the two files were measured on different hosts; default is a BENCH-HOST-MISMATCH warning")
+		all         = flag.Bool("all", false, "gate every label, including baseline arms")
+		quiet       = flag.Bool("quiet", false, "suppress the per-label table")
+		sameHost    = flag.Bool("require-same-host", false, "fail (exit 1) when the two files were measured on different hosts; default is a BENCH-HOST-MISMATCH warning")
+		speedupOnly = flag.Bool("speedup-only", false, "skip the baseline comparison; gate only the -minspeedup checks against -new")
 	)
+	var checks []benchcmp.SpeedupCheck
+	flag.Func("minspeedup", "expected ordering 'SLOW|FAST|RATIO' within the new run (repeatable)", func(s string) error {
+		c, err := benchcmp.ParseSpeedupCheck(s)
+		if err != nil {
+			return err
+		}
+		checks = append(checks, c)
+		return nil
+	})
 	flag.Parse()
 	if *newPath == "" {
 		fmt.Fprintln(os.Stderr, "benchdiff: -new is required")
 		flag.Usage()
 		os.Exit(2)
 	}
-	base, err := benchcmp.Load(*basePath)
-	if err != nil {
-		die(err)
+	if *speedupOnly && len(checks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchdiff: -speedup-only without any -minspeedup check gates nothing")
+		os.Exit(2)
 	}
 	fresh, err := benchcmp.Load(*newPath)
 	if err != nil {
 		die(err)
 	}
-	var skip func(string) bool
-	if !*all {
-		skip = benchcmp.Skipper(strings.Split(*skipList, ","))
-	}
-	if mismatch := benchcmp.HostMismatch(base, fresh); mismatch != "" {
-		// ns/op from different machines are not comparable; say so in a
-		// grep-able form, and refuse outright under -require-same-host.
-		fmt.Printf("BENCH-HOST-MISMATCH %s\n", mismatch)
-		if *sameHost {
-			os.Exit(1)
+	failed := false
+	if !*speedupOnly {
+		base, err := benchcmp.Load(*basePath)
+		if err != nil {
+			die(err)
 		}
+		var skip func(string) bool
+		if !*all {
+			skip = benchcmp.Skipper(strings.Split(*skipList, ","))
+		}
+		if mismatch := benchcmp.HostMismatch(base, fresh); mismatch != "" {
+			// ns/op from different machines are not comparable; say so in a
+			// grep-able form, and refuse outright under -require-same-host.
+			fmt.Printf("BENCH-HOST-MISMATCH %s\n", mismatch)
+			if *sameHost {
+				os.Exit(1)
+			}
+		}
+		rep := benchcmp.Compare(base, fresh, *maxRegress, skip)
+		if !*quiet {
+			fmt.Printf("benchdiff: %s vs %s (wall: +%.0f%%)\n", *basePath, *newPath, *maxRegress)
+			rep.WriteTable(os.Stdout)
+		}
+		rep.WriteMachine(os.Stdout)
+		failed = !rep.OK()
 	}
-	rep := benchcmp.Compare(base, fresh, *maxRegress, skip)
-	if !*quiet {
-		fmt.Printf("benchdiff: %s vs %s (wall: +%.0f%%)\n", *basePath, *newPath, *maxRegress)
-		rep.WriteTable(os.Stdout)
+	if len(checks) > 0 {
+		results, ok := benchcmp.CheckSpeedups(fresh, checks)
+		benchcmp.WriteSpeedups(os.Stdout, results)
+		failed = failed || !ok
 	}
-	rep.WriteMachine(os.Stdout)
-	if !rep.OK() {
+	if failed {
 		os.Exit(1)
 	}
 }

@@ -1,5 +1,5 @@
 // Command hacbench regenerates the experiment tables of EXPERIMENTS.md:
-// for every experiment (E1–E17) it runs the relevant workloads through
+// for every experiment (E1–E20) it runs the relevant workloads through
 // the compiled pipeline and the baselines and prints one table row per
 // variant, including the qualitative expectation the paper states.
 //
@@ -597,6 +597,80 @@ var experiments = []experiment{
 				h := bench(k.name+" hand-written", k.hand)
 				fmt.Printf("  interp/native = %s, native/hand = %s  (build %v)\n",
 					ratio(i, nv), ratio(nv, h), pn.TierBuildTime().Round(time.Millisecond))
+			}
+		},
+	}, {
+		id: "e20", title: "stencil specialization: BCE interiors, native tier, multicore scaling",
+		expect: "interior/boundary splitting + slice-based interior loops keep native SOR and " +
+			"wavefront at or under hand-written; sharded stencil interiors scale with workers at GOMAXPROCS>1",
+		run: func() {
+			// Part 1: the two stencil kernels the speedup wall gates,
+			// native (gogen BCE interior) against hand-written loops
+			// under the same calling contract.
+			type kernel struct {
+				name, src string
+				n         int64
+				inputs    map[string]*runtime.Strict
+				hand      func()
+			}
+			sorN := size(256, 48)
+			sorIn := workloads.Mesh(sorN, 9)
+			wfN := size(256, 64)
+			kernels := []kernel{
+				{"wavefront stencil", workloads.WavefrontSrc, wfN, nil,
+					func() { workloads.HandWavefront(wfN) }},
+				{"SOR stencil", workloads.SORSrc, sorN,
+					map[string]*runtime.Strict{"a": sorIn},
+					func() { workloads.HandSOR(sorIn.Clone()) }},
+			}
+			for _, k := range kernels {
+				params := map[string]int64{"n": k.n}
+				mkOpts := func(tier core.TierMode) core.Options {
+					opts := core.Options{NoOptimize: *noopt, Tier: tier, TierSync: true,
+						InputBounds: map[string]analysis.ArrayBounds{}}
+					for name, a := range k.inputs {
+						opts.InputBounds[name] = analysis.ArrayBounds{Lo: a.B.Lo, Hi: a.B.Hi}
+					}
+					return opts
+				}
+				pi := compileProg(k.src, params, mkOpts(core.TierOff))
+				pn := compileProg(k.src, params, mkOpts(core.TierForced))
+				if got := pn.CurrentTier(); got != core.TierNative {
+					die(fmt.Errorf("%s did not reach the native tier: %s", k.name, pn.TierReport()))
+				}
+				i := bench(k.name+" interp", func() { runP(pi, k.inputs) })
+				nv := bench(k.name+" native", func() { runP(pn, k.inputs) })
+				h := bench(k.name+" hand", k.hand)
+				fmt.Printf("  interp/native = %s, native/hand = %s\n", ratio(i, nv), ratio(nv, h))
+			}
+			// Part 2: multicore scaling of a sharded elementwise stencil.
+			// workers=1 is always measured so a -workers N run still
+			// produces the w=1 reference the speedup wall divides by.
+			n := size(768, 128)
+			in := workloads.Mesh(n, 14)
+			inputs := map[string]*runtime.Strict{"b": in}
+			params := map[string]int64{"n": n}
+			counts := []int{1}
+			for _, w := range workerCounts() {
+				if w != 1 {
+					counts = append(counts, w)
+				}
+			}
+			var w1 float64
+			for _, w := range counts {
+				opts := core.Options{
+					Parallel: true, Workers: w, NoOptimize: *noopt,
+					InputBounds: map[string]analysis.ArrayBounds{"b": {Lo: in.B.Lo, Hi: in.B.Hi}},
+				}
+				p, err := core.Compile(workloads.JacobiMonolithicSrc, params, opts)
+				die(err)
+				ns := benchW(fmt.Sprintf("jacobi stencil par w=%d", w), w,
+					func() { runP(p, inputs) })
+				if w == 1 {
+					w1 = ns
+				} else if w1 > 0 {
+					fmt.Printf("    w=1/w=%d = %s (GOMAXPROCS-bound)\n", w, ratio(w1, ns))
+				}
 			}
 		},
 	},

@@ -6,7 +6,7 @@
 //
 //	hacc report [-p n=100,m=20] [-in a=1:8,1:8] [-O] [-explain] [-certify] file.hac
 //	hacc run     [-p n=100] [-in a=1:8,1:8] [-seed 1] [-show k] [-parallel] [-workers k] [-explain] [-certify] [-tier off|auto|native] [-tier-threshold n] [-repeat n] file.hac
-//	hacc ir      [-p n=100] [-in …] [-O] file.hac
+//	hacc ir      [-p n=100] [-in …] [-O] [-nostencil] file.hac
 //	hacc dot     [-p n=100] [-in …] file.hac
 //	hacc emit-go [-p n=100] [-in …] [-O] file.hac   # standalone Go source
 //	hacc fuzz    [-n 100] [-seed 1] [-nogogen] [-nonative]  # differential fuzzing
@@ -65,6 +65,7 @@ func run(args []string, w io.Writer) error {
 	explain := fs.Bool("explain", false, "print the compile report (per-phase timings, optimization counters) before the command output")
 	parallel := fs.Bool("parallel", false, "enable parallel scheduling (shard/doacross/wavefront/tiling)")
 	certifyFlag := fs.Bool("certify", false, "audit every dependence verdict (witness re-checks + shadow-domain enumeration); falsified claims abort the compile naming the lying layer")
+	noStencil := fs.Bool("nostencil", false, "disable the stencil specializer (interior/boundary splitting, halo-fed tiling)")
 	workers := fs.Int("workers", 0, "parallel worker count; 0 = GOMAXPROCS at run time (needs -parallel)")
 	tierFlag := fs.String("tier", "off", "execution tier policy for run: off, auto (promote to compiled native code after -tier-threshold calls), or native (compile natively up front); implies -certify")
 	tierThreshold := fs.Int("tier-threshold", 0, "interpreted calls before auto promotion; 0 = default (run)")
@@ -103,7 +104,7 @@ func run(args []string, w io.Writer) error {
 	if tierMode != core.TierOff && cmd != "run" {
 		return fmt.Errorf("-tier only applies to run")
 	}
-	opts := core.Options{ForceThunked: *thunked, Parallel: *parallel, Workers: *workers, InputBounds: inputBounds, Certify: *certifyFlag,
+	opts := core.Options{ForceThunked: *thunked, Parallel: *parallel, Workers: *workers, InputBounds: inputBounds, Certify: *certifyFlag, NoStencil: *noStencil,
 		// TierSync keeps the CLI deterministic: promotion happens inline
 		// at the threshold call, never racing the process exit.
 		Tier: tierMode, TierThreshold: *tierThreshold, TierSync: true}

@@ -173,6 +173,7 @@ type optionsJSON struct {
 	Workers      int                   `json:"workers,omitempty"`
 	ForceThunked bool                  `json:"force_thunked,omitempty"`
 	NoOptimize   bool                  `json:"no_optimize,omitempty"`
+	NoStencil    bool                  `json:"no_stencil,omitempty"`
 	NoLinearize  bool                  `json:"no_linearize,omitempty"`
 	Certify      bool                  `json:"certify,omitempty"`
 	InputBounds  map[string]boundsJSON `json:"input_bounds,omitempty"`
@@ -193,6 +194,7 @@ func (o optionsJSON) coreOptions() (core.Options, error) {
 		Workers:      o.Workers,
 		ForceThunked: o.ForceThunked,
 		NoOptimize:   o.NoOptimize,
+		NoStencil:    o.NoStencil,
 		NoLinearize:  o.NoLinearize,
 		Certify:      o.Certify,
 	}

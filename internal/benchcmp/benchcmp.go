@@ -195,6 +195,93 @@ func (r *Report) WriteMachine(w io.Writer) {
 	}
 }
 
+// SpeedupCheck asserts an expected performance ordering inside ONE
+// result file: the Fast label must run at least MinRatio times faster
+// (in ns/op) than the Slow label. This is the other half of the bench
+// wall — Compare catches "the compiled path got slower than it was",
+// a speedup check catches "the compiled path lost its edge over the
+// arm it exists to beat" (native vs hand-written, workers=4 vs
+// workers=1) even when both arms drifted together.
+type SpeedupCheck struct {
+	Slow     string  // label expected to be slower
+	Fast     string  // label expected to be faster
+	MinRatio float64 // required Slow/Fast ns ratio, e.g. 1.5
+}
+
+// ParseSpeedupCheck parses the CLI form "SLOW|FAST|RATIO".
+func ParseSpeedupCheck(s string) (SpeedupCheck, error) {
+	parts := strings.Split(s, "|")
+	if len(parts) != 3 {
+		return SpeedupCheck{}, fmt.Errorf("benchcmp: speedup check %q: want SLOW|FAST|RATIO", s)
+	}
+	var ratio float64
+	if _, err := fmt.Sscanf(strings.TrimSpace(parts[2]), "%g", &ratio); err != nil || ratio <= 0 {
+		return SpeedupCheck{}, fmt.Errorf("benchcmp: speedup check %q: bad ratio %q", s, parts[2])
+	}
+	c := SpeedupCheck{Slow: strings.TrimSpace(parts[0]), Fast: strings.TrimSpace(parts[1]), MinRatio: ratio}
+	if c.Slow == "" || c.Fast == "" {
+		return SpeedupCheck{}, fmt.Errorf("benchcmp: speedup check %q: empty label", s)
+	}
+	return c, nil
+}
+
+// SpeedupResult is one evaluated check.
+type SpeedupResult struct {
+	Check          SpeedupCheck
+	SlowNs, FastNs float64
+	Ratio          float64 // SlowNs/FastNs; >= MinRatio passes
+	Missing        string  // non-empty when a label is absent from the file
+}
+
+// OK reports whether the check held.
+func (r SpeedupResult) OK() bool { return r.Missing == "" && r.Ratio >= r.Check.MinRatio }
+
+// CheckSpeedups evaluates every check against one result file and
+// reports whether all held.
+func CheckSpeedups(m map[string]Result, checks []SpeedupCheck) ([]SpeedupResult, bool) {
+	out := make([]SpeedupResult, 0, len(checks))
+	allOK := true
+	for _, c := range checks {
+		r := SpeedupResult{Check: c}
+		slow, okS := m[c.Slow]
+		fast, okF := m[c.Fast]
+		switch {
+		case !okS:
+			r.Missing = c.Slow
+		case !okF:
+			r.Missing = c.Fast
+		case fast.NsPerOp <= 0:
+			r.Missing = c.Fast
+		default:
+			r.SlowNs, r.FastNs = slow.NsPerOp, fast.NsPerOp
+			r.Ratio = slow.NsPerOp / fast.NsPerOp
+		}
+		if !r.OK() {
+			allOK = false
+		}
+		out = append(out, r)
+	}
+	return out, allOK
+}
+
+// WriteSpeedups emits one machine-readable line per check:
+// BENCH-SPEEDUP-OK / BENCH-SPEEDUP-FAIL / BENCH-SPEEDUP-MISSING.
+func WriteSpeedups(w io.Writer, results []SpeedupResult) {
+	for _, r := range results {
+		switch {
+		case r.Missing != "":
+			fmt.Fprintf(w, "BENCH-SPEEDUP-MISSING label=%q slow=%q fast=%q\n",
+				r.Missing, r.Check.Slow, r.Check.Fast)
+		case r.OK():
+			fmt.Fprintf(w, "BENCH-SPEEDUP-OK slow=%q fast=%q ratio=%.2f min=%.2f\n",
+				r.Check.Slow, r.Check.Fast, r.Ratio, r.Check.MinRatio)
+		default:
+			fmt.Fprintf(w, "BENCH-SPEEDUP-FAIL slow=%q fast=%q ratio=%.2f min=%.2f\n",
+				r.Check.Slow, r.Check.Fast, r.Ratio, r.Check.MinRatio)
+		}
+	}
+}
+
 // WriteTable renders a human-oriented comparison of every compared
 // label, flagging the ones over the threshold.
 func (r *Report) WriteTable(w io.Writer) {

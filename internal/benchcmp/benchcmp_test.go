@@ -85,6 +85,66 @@ func TestWriteMachineContract(t *testing.T) {
 	}
 }
 
+func TestParseSpeedupCheck(t *testing.T) {
+	c, err := ParseSpeedupCheck("sor interp|sor native|1.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Slow != "sor interp" || c.Fast != "sor native" || c.MinRatio != 1.5 {
+		t.Fatalf("parsed %+v", c)
+	}
+	for _, bad := range []string{"", "a|b", "a|b|c|d", "a|b|zero", "a|b|-1", "|b|2", "a||2"} {
+		if _, err := ParseSpeedupCheck(bad); err == nil {
+			t.Errorf("ParseSpeedupCheck(%q) accepted junk", bad)
+		}
+	}
+}
+
+func TestCheckSpeedups(t *testing.T) {
+	m := map[string]Result{
+		"sor interp":        {NsPerOp: 3000},
+		"sor native":        {NsPerOp: 1000},
+		"jacobi workers=1":  {NsPerOp: 4000},
+		"jacobi workers=4":  {NsPerOp: 3500}, // only 1.14x, below 1.5
+		"wavefront workers": {NsPerOp: 0},
+	}
+	checks := []SpeedupCheck{
+		{Slow: "sor interp", Fast: "sor native", MinRatio: 2},               // 3.0x: holds
+		{Slow: "jacobi workers=1", Fast: "jacobi workers=4", MinRatio: 1.5}, // lost its edge
+		{Slow: "sor interp", Fast: "absent", MinRatio: 1},                   // missing label
+		{Slow: "sor interp", Fast: "wavefront workers", MinRatio: 1},        // zero ns: unusable
+	}
+	results, ok := CheckSpeedups(m, checks)
+	if ok {
+		t.Fatal("a failing check must fail the set")
+	}
+	if !results[0].OK() || results[0].Ratio != 3 {
+		t.Fatalf("holding check misjudged: %+v", results[0])
+	}
+	if results[1].OK() || results[1].Missing != "" {
+		t.Fatalf("lost-edge check misjudged: %+v", results[1])
+	}
+	if results[2].Missing != "absent" || results[3].Missing != "wavefront workers" {
+		t.Fatalf("missing labels misjudged: %+v %+v", results[2], results[3])
+	}
+	var buf bytes.Buffer
+	WriteSpeedups(&buf, results)
+	out := buf.String()
+	if !strings.Contains(out, `BENCH-SPEEDUP-OK slow="sor interp" fast="sor native" ratio=3.00 min=2.00`) {
+		t.Errorf("missing BENCH-SPEEDUP-OK line:\n%s", out)
+	}
+	if !strings.Contains(out, `BENCH-SPEEDUP-FAIL slow="jacobi workers=1" fast="jacobi workers=4"`) {
+		t.Errorf("missing BENCH-SPEEDUP-FAIL line:\n%s", out)
+	}
+	if !strings.Contains(out, `BENCH-SPEEDUP-MISSING label="absent"`) {
+		t.Errorf("missing BENCH-SPEEDUP-MISSING line:\n%s", out)
+	}
+	// All-holding set reports ok.
+	if _, ok := CheckSpeedups(m, checks[:1]); !ok {
+		t.Fatal("holding set must pass")
+	}
+}
+
 func TestLoadRoundTrip(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "bench.json")

@@ -130,6 +130,7 @@ func Key(src string, params map[string]int64, opts core.Options) string {
 	writeInt(boolInt(opts.NoLinearize))
 	writeInt(boolInt(opts.ForceChecks))
 	writeInt(boolInt(opts.NoOptimize))
+	writeInt(boolInt(opts.NoStencil))
 	writeInt(boolInt(opts.Certify))
 	// Tiering changes what the entry serves with (and TierMode != off
 	// forces certification on), so two requests differing only in tier

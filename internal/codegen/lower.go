@@ -64,6 +64,11 @@ type LowerOptions struct {
 	// executable. 0 means decide per run (GOMAXPROCS); 1 forces
 	// sequential execution even of parallel-scheduled loops.
 	Workers int
+	// NoStencil disables the stencil specializer (guard splitting,
+	// footprint annotation, and the interior kernels keyed on the
+	// annotation) while keeping the rest of the optimizer — the
+	// `stencil` oracle ablation arm.
+	NoStencil bool
 }
 
 // lowerer carries lowering state.
@@ -240,7 +245,7 @@ func Lower(res *analysis.Result, sched *schedule.Result, external map[string]ana
 
 	if !o.NoOptimize {
 		t0 := time.Now()
-		st := loopir.Optimize(lw.prog)
+		st := loopir.OptimizeWith(lw.prog, loopir.OptOptions{NoStencil: o.NoStencil})
 		lw.plan.OptTime = time.Since(t0)
 		lw.plan.Opt = st
 		if st.Changed() {

@@ -59,6 +59,12 @@ type Options struct {
 	// lowered nest exactly as the scheduler built it — the oracle's
 	// ablation arm for cross-checking optimized vs unoptimized runs.
 	NoOptimize bool
+	// NoStencil keeps the optimizer but disables the stencil
+	// specializer: no interior/boundary guard splitting, no footprint
+	// annotation, and therefore none of the specialized interior
+	// kernels in any tier. The `stencil` oracle ablation arm
+	// cross-checks this against the specialized paths bitwise.
+	NoStencil bool
 	// InputBounds declares the bounds of free input arrays (arrays read
 	// but not defined by the program), required to compile reads of
 	// them.
@@ -385,7 +391,7 @@ func compileProgram(source *lang.Program, params map[string]int64, opts Options,
 			}
 		}
 		tLower := time.Now()
-		plan, err := codegen.Lower(res, sched, external, codegen.LowerOptions{Parallel: opts.Parallel, ForceChecks: opts.ForceChecks, NoOptimize: opts.NoOptimize, Workers: opts.Workers})
+		plan, err := codegen.Lower(res, sched, external, codegen.LowerOptions{Parallel: opts.Parallel, ForceChecks: opts.ForceChecks, NoOptimize: opts.NoOptimize, Workers: opts.Workers, NoStencil: opts.NoStencil})
 		if err != nil {
 			return nil, fmt.Errorf("core: %s: %w", name, err)
 		}
@@ -398,6 +404,10 @@ func compileProgram(source *lang.Program, params map[string]int64, opts Options,
 		if opts.Certify {
 			t0 := time.Now()
 			if err := certifyMerge(name, loopir.CertifyPlans(plan.Program), t0); err != nil {
+				return nil, err
+			}
+			t0 = time.Now()
+			if err := certifyMerge(name, loopir.CertifySplits(plan.Program), t0); err != nil {
 				return nil, err
 			}
 		}

@@ -693,7 +693,20 @@ func (g *gen) value(depth int, vars []vrange, reads []readable) lang.Expr {
 	case 5:
 		if len(vars) > 0 {
 			v := vars[g.intn(len(vars))]
-			cond := &lang.BinOp{Op: lang.OpLe, L: lang.Name(v.name), R: lang.Num((v.min + v.max) / 2)}
+			// Three guard flavors, chosen to exercise the stencil
+			// splitter's edge cases: a midpoint split (interior plus
+			// boundary strips), an edge equality (1-wide boundary with a
+			// maximal interior), and a whole-range-true condition (the
+			// guard is constant, resolved in place — no clones at all).
+			var cond lang.Expr
+			switch g.pick(50, 25, 25) {
+			case 0:
+				cond = &lang.BinOp{Op: lang.OpLe, L: lang.Name(v.name), R: lang.Num((v.min + v.max) / 2)}
+			case 1:
+				cond = &lang.BinOp{Op: lang.OpEq, L: lang.Name(v.name), R: lang.Num(v.min)}
+			default:
+				cond = &lang.BinOp{Op: lang.OpLe, L: lang.Name(v.name), R: lang.Num(v.max)}
+			}
 			return &lang.Cond{C: cond,
 				T: g.value(depth-1, vars, reads),
 				E: g.value(depth-1, vars, reads)}

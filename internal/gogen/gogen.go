@@ -177,6 +177,11 @@ func (e *emitter) emitStmt(s loopir.Stmt) {
 			e.emitParallelLoop(x)
 			return
 		}
+		// Recognized stencil rows become constant-width slice loops the
+		// Go compiler can prove in-bounds (see stencil.go).
+		if x.Sten != nil && e.emitStencilLoop(x) {
+			return
+		}
 		v := goName(x.Var)
 		cmp, next := "<=", fmt.Sprintf("%s += %d", v, x.Step)
 		if x.Step < 0 {

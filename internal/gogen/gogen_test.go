@@ -51,8 +51,13 @@ func TestEmitSquaresStructure(t *testing.T) {
 func TestEmitConditionalIsLazy(t *testing.T) {
 	// The else branch reads out of bounds at i=1; eager evaluation in
 	// the generated code would panic. The conditional must lower to
-	// if/else statements.
-	p := compileWorkload(t, workloads.Example1Src, map[string]int64{"n": 4}, nil)
+	// if/else statements. NoStencil keeps the guard in the IR — the
+	// specializer would otherwise resolve it away by splitting the
+	// i=1 boundary off (see TestEmitStencilInterior for that path).
+	p, err := core.Compile(workloads.Example1Src, map[string]int64{"n": 4}, core.Options{NoStencil: true})
+	if err != nil {
+		t.Fatal(err)
+	}
 	src, err := gogen.EmitFile(p.Defs["a"].Plan.Program, "gen", "Ex1")
 	if err != nil {
 		t.Fatal(err)

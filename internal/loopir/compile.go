@@ -256,6 +256,9 @@ func (c *compiler) compileSeqLoop(x *Loop, slot int, inds []cInd) stmtFn {
 	if fn := c.compileFastLoop(x, slot, inds); fn != nil {
 		return fn
 	}
+	if fn := c.compileStencilLoop(x, slot, inds); fn != nil {
+		return fn
+	}
 	body := c.compileStmts(x.Body)
 	if len(inds) > 0 {
 		return func(f *frame) {

@@ -17,6 +17,113 @@ package loopir
 // dispatch overhead made it strictly slower than the closure tree on
 // every workload, so only the copy specialization survives.
 
+// sfn evaluates a stencil body expression at offset o — the current
+// value of the nest's shared unit-stride induction register. Every
+// array access in a recognized stencil row is Data[o+const], so one
+// register add replaces the whole per-access environment traffic of
+// the generic closure path.
+type sfn func(f *frame, o int64) float64
+
+// compileStencilLoop compiles the interior row kernel of a recognized
+// stencil loop (Loop.Sten, see stencil.go): a single unchecked
+// offset-form assignment whose reads all hang off the same unit-stride
+// register. The kernel hoists the register into a local, skips the
+// loop-variable and register slot updates entirely (nothing in the
+// body reads them — all accesses are offset-form and VFromInt is
+// rejected), and evaluates the closure tree in the exact operation
+// order of the generic path, so results are bitwise identical.
+func (c *compiler) compileStencilLoop(x *Loop, slot int, inds []cInd) stmtFn {
+	if x.Sten == nil || x.Step != 1 || len(x.Body) != 1 {
+		return nil
+	}
+	a, ok := x.Body[0].(*Assign)
+	if !ok || a.CheckBounds || a.CheckCollision || a.Accumulate != nil || a.Off == nil {
+		return nil
+	}
+	dstSlot, ok := c.arraySlots[a.Array]
+	if !ok || c.prog.Arrays[dstSlot].TrackDefs {
+		return nil
+	}
+	dInit, dOff, ok := unitStrideOff(x, inds, a.Off)
+	if !ok {
+		return nil
+	}
+	base := a.Off.(*ILin).Terms[0].Var
+	body := c.compileStencilExpr(a.Rhs, base)
+	if body == nil {
+		return nil
+	}
+	trip := tripCount(x.From, x.To, x.Step)
+	if trip <= 0 {
+		return nil
+	}
+	return func(f *frame) {
+		data := f.arrays[dstSlot].Data
+		o := dInit(f)
+		for n := trip; n > 0; n-- {
+			data[o+dOff] = body(f, o)
+			o++
+		}
+	}
+}
+
+// compileStencilExpr compiles a stencil body expression to an sfn, or
+// nil when a subexpression needs the generic path. Every ARef must be
+// offset-form over the single base register; calls, conditionals, and
+// int conversions (which could observe the unmaintained loop variable)
+// are rejected.
+func (c *compiler) compileStencilExpr(e VExpr, base string) sfn {
+	switch x := e.(type) {
+	case *VConst:
+		v := x.Value
+		return func(*frame, int64) float64 { return v }
+	case *VScalar:
+		slot, ok := c.floatSlots[x.Name]
+		if !ok {
+			return nil
+		}
+		return func(f *frame, _ int64) float64 { return f.floats[slot] }
+	case *ARef:
+		if x.CheckBounds || x.CheckDefined || x.Off == nil {
+			return nil
+		}
+		lin, isLin := x.Off.(*ILin)
+		if !isLin || len(lin.Terms) != 1 || lin.Terms[0].Coeff != 1 || lin.Terms[0].Var != base {
+			return nil
+		}
+		slot, ok := c.arraySlots[x.Array]
+		if !ok || c.prog.Arrays[slot].TrackDefs {
+			return nil
+		}
+		d := lin.Const
+		return func(f *frame, o int64) float64 { return f.arrays[slot].Data[o+d] }
+	case *VBin:
+		l := c.compileStencilExpr(x.L, base)
+		r := c.compileStencilExpr(x.R, base)
+		if l == nil || r == nil {
+			return nil
+		}
+		switch x.Op {
+		case '+':
+			return func(f *frame, o int64) float64 { return l(f, o) + r(f, o) }
+		case '-':
+			return func(f *frame, o int64) float64 { return l(f, o) - r(f, o) }
+		case '*':
+			return func(f *frame, o int64) float64 { return l(f, o) * r(f, o) }
+		case '/':
+			return func(f *frame, o int64) float64 { return l(f, o) / r(f, o) }
+		}
+		return nil
+	case *VNeg:
+		fn := c.compileStencilExpr(x.X, base)
+		if fn == nil {
+			return nil
+		}
+		return func(f *frame, o int64) float64 { return -fn(f, o) }
+	}
+	return nil
+}
+
 // compileFastLoop recognizes the unit-stride copy shape and returns a
 // specialized executor, or nil when the loop needs the generic path.
 // inds are the loop's compiled induction registers, in x.Inds order.

@@ -46,12 +46,16 @@ type OptStats struct {
 	ReducedAccesses int // accesses rewritten to offset form
 	IndRegisters    int // induction registers introduced
 	ParSchedules    int // loops given parallel schedules
+	StencilNests    int // nests annotated with a stencil footprint
+	StencilSplits   int // guard splits performed (interior + strips)
+	StencilGuards   int // guards resolved to a constant arm
 }
 
 // Changed reports whether any rewrite fired.
 func (s *OptStats) Changed() bool {
 	return s.DeadLoops+s.FusedLoops+s.Unswitched+s.HoistedScalars+
-		s.HoistedExprs+s.ReducedAccesses+s.IndRegisters+s.ParSchedules > 0
+		s.HoistedExprs+s.ReducedAccesses+s.IndRegisters+s.ParSchedules+
+		s.StencilNests+s.StencilSplits+s.StencilGuards > 0
 }
 
 // String summarizes the non-zero counters.
@@ -70,29 +74,54 @@ func (s *OptStats) String() string {
 	add(s.ReducedAccesses, "accesses strength-reduced")
 	add(s.IndRegisters, "induction registers")
 	add(s.ParSchedules, "parallel schedules")
+	add(s.StencilSplits, "stencil splits")
+	add(s.StencilGuards, "guards resolved")
+	add(s.StencilNests, "stencil nests")
 	if len(parts) == 0 {
 		return "no rewrites applied"
 	}
 	return strings.Join(parts, ", ")
 }
 
+// OptOptions selects optional passes. The zero value runs everything.
+type OptOptions struct {
+	// NoStencil disables stencil guard splitting and footprint
+	// annotation (the `stencil` oracle ablation arm); the generic
+	// rewrite passes and parallel planning still run.
+	NoStencil bool
+}
+
 // Optimize rewrites the program in place and reports what it did.
 func Optimize(p *Program) *OptStats {
+	return OptimizeWith(p, OptOptions{})
+}
+
+// OptimizeWith is Optimize with pass selection.
+func OptimizeWith(p *Program, opts OptOptions) *OptStats {
 	o := &optimizer{prog: p, stats: &OptStats{}, names: map[string]bool{}}
 	for _, s := range p.Scalars {
 		o.names[s] = true
 	}
 	p.Stmts = o.optStmts(p.Stmts, map[string]loopRange{})
+	if !opts.NoStencil {
+		// Guard splitting before annotation so interior clones are
+		// recognized; both before planning so the interior can gain a
+		// schedule the guarded original couldn't, and so halo-fed tile
+		// sizes can be derived from the annotation.
+		p.Stmts = o.splitStencilGuards(p.Stmts, false)
+		o.annotateStencils(p.Stmts)
+	}
 	o.planParallel(p.Stmts)
 	return o.stats
 }
 
 type optimizer struct {
-	prog   *Program
-	stats  *OptStats
-	names  map[string]bool // taken scalar/register names
-	indSeq int
-	hSeq   int
+	prog     *Program
+	stats    *OptStats
+	names    map[string]bool // taken scalar/register names
+	indSeq   int
+	hSeq     int
+	splitSeq int
 }
 
 // loopRange is a concrete iteration range: the loop variable visits

@@ -102,6 +102,42 @@ func chooseTile(ni, nj int64) (tI, tJ int64) {
 	return pick(ni), pick(nj)
 }
 
+// chooseStencilTile picks tile extents for a recognized stencil nest
+// (Loop.Sten): the footprint replaces the generic occupancy guess. A
+// halo of h means each tile edge re-touches h rows/columns of its
+// neighbor, so the tile must be tall enough that the shared frontier
+// is a small fraction of its area — at least 8·haloI rows — while the
+// inner extent is stretched toward the cache-line-friendly maximum
+// (the interior row is unit-stride, so wide tiles cost nothing extra
+// and cut the number of synchronizing diagonals).
+func chooseStencilTile(ni, nj int64, st *StencilInfo) (tI, tJ int64) {
+	gi, gj := chooseTile(ni, nj)
+	tI = 8 * st.HaloI
+	if tI < gi {
+		tI = gi
+	}
+	if tI > 64 {
+		tI = 64
+	}
+	if tI > ni {
+		tI = ni
+	}
+	tJ = 64
+	if tJ < gj {
+		tJ = gj
+	}
+	if tJ > nj {
+		tJ = nj
+	}
+	if tI < 1 {
+		tI = 1
+	}
+	if tJ < 1 {
+		tJ = 1
+	}
+	return tI, tJ
+}
+
 // --- planning walk ---
 
 // planParallel is invoked by Optimize after all other rewrites.
@@ -240,6 +276,12 @@ func (o *optimizer) assignPar2D(l, inner *Loop) bool {
 	}
 	work := estimateWork(inner.Body)
 	tI, tJ := chooseTile(ni, nj)
+	if l.Sten != nil && l.Sten.Dims == 2 {
+		// Halo-fed tiling: the recognized footprint overrides the
+		// generic occupancy heuristic. Legality is untouched — tile
+		// sizes only reshape the schedule's unit of work.
+		tI, tJ = chooseStencilTile(ni, nj, l.Sten)
+	}
 	switch {
 	case !carried:
 		// Dependence-free: cache-tiled, no synchronization.

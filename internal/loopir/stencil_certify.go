@@ -1,0 +1,150 @@
+package loopir
+
+import (
+	"fmt"
+	"sort"
+
+	"arraycomp/internal/certify"
+)
+
+// Certification of stencil guard splits. The splitter (stencil.go)
+// claims two things per split: the clones exactly tile the original
+// iteration range (no point lost, none duplicated), and on each
+// clone's subrange the resolved guard really is constant at the value
+// whose arm was substituted. Both are re-proved here from scratch —
+// the partition by interval arithmetic over the recorded ranges, the
+// constancy by directly re-evaluating the recorded guard expression at
+// each iteration (clamped to certify.ShadowClamp points per clone
+// edge; every affine atom changes truth at most once inside a range,
+// so the edges are where a mis-split hides, but a clamped pass is
+// reported non-exhaustive all the same).
+//
+// A loop may carry several replay records: a clone produced by one
+// split can itself be split again (or have a residual guard resolved
+// in place), and each resolution appends its own record. Grouping is
+// therefore over (loop, record) pairs keyed by the record ID, not over
+// loops.
+
+// splitMember is one loop's participation in one split group.
+type splitMember struct {
+	l   *Loop
+	rec SplitRecord
+}
+
+// CertifySplits audits every stencil split recorded in p and returns
+// the aggregated report.
+func CertifySplits(p *Program) *certify.Report {
+	rep := certify.NewReport()
+	groups := map[int][]splitMember{}
+	var walk func(stmts []Stmt)
+	walk = func(stmts []Stmt) {
+		for _, s := range stmts {
+			switch x := s.(type) {
+			case *Loop:
+				if x.Sten != nil {
+					for _, rec := range x.Sten.Splits {
+						groups[rec.ID] = append(groups[rec.ID], splitMember{l: x, rec: rec})
+					}
+				}
+				walk(x.Body)
+			case *If:
+				walk(x.Then)
+				walk(x.Else)
+			}
+		}
+	}
+	walk(p.Stmts)
+	ids := make([]int, 0, len(groups))
+	for id := range groups {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		rep.Record(certifySplit(id, groups[id]))
+	}
+	return rep
+}
+
+// certifySplit checks one split group.
+func certifySplit(id int, members []splitMember) certify.Certificate {
+	rec0 := members[0].rec
+	claim := fmt.Sprintf("stencil split #%d of %s over [%d..%d]: partition exact, guard constant per part",
+		id, members[0].l.Var, rec0.OrigFrom, rec0.OrigTo)
+	falsify := func(witness []int64, detail string) certify.Certificate {
+		return certify.Certificate{Layer: "stencil", Claim: claim, Status: certify.Falsified,
+			Witness: witness, Detail: detail}
+	}
+	for _, m := range members {
+		if m.rec.OrigFrom != rec0.OrigFrom || m.rec.OrigTo != rec0.OrigTo || m.l.Var != members[0].l.Var {
+			return falsify(nil, "clones disagree on the split source range")
+		}
+		if m.l.Step != 1 {
+			return falsify(nil, fmt.Sprintf("clone [%d..%d] has step %d; splits only cover unit-stride loops", m.l.From, m.l.To, m.l.Step))
+		}
+	}
+	// Partition exactness: sorted clone ranges must tile the original.
+	// A later re-split replaces one clone with several loops all
+	// carrying this group's record, so the tiling is still exact.
+	order := append([]splitMember(nil), members...)
+	sort.Slice(order, func(i, j int) bool { return order[i].l.From < order[j].l.From })
+	next := rec0.OrigFrom
+	for _, m := range order {
+		if m.l.From > next {
+			return falsify([]int64{next}, fmt.Sprintf("iteration %d covered by no clone", next))
+		}
+		if m.l.From < next {
+			return falsify([]int64{m.l.From}, fmt.Sprintf("iteration %d covered twice", m.l.From))
+		}
+		if m.l.To < m.l.From {
+			return falsify(nil, fmt.Sprintf("clone [%d..%d] is empty", m.l.From, m.l.To))
+		}
+		next = m.l.To + 1
+	}
+	if next != rec0.OrigTo+1 {
+		if next > rec0.OrigTo+1 {
+			return falsify([]int64{rec0.OrigTo + 1}, "clones run past the original range")
+		}
+		return falsify([]int64{next}, fmt.Sprintf("iteration %d covered by no clone", next))
+	}
+	// Guard constancy: replay the recorded condition over each clone.
+	exhaustive := true
+	for _, m := range order {
+		if m.rec.Guard == nil {
+			return falsify(nil, fmt.Sprintf("clone [%d..%d] lost its guard record", m.l.From, m.l.To))
+		}
+		pts, all := clampRange(m.l.From, m.l.To, certify.ShadowClamp)
+		exhaustive = exhaustive && all
+		for _, v := range pts {
+			if evalGuard(m.rec.Guard, m.l.Var, v) != m.rec.GuardVal {
+				return falsify([]int64{v}, fmt.Sprintf(
+					"guard is %v at %s=%d inside clone [%d..%d] resolved as %v",
+					!m.rec.GuardVal, m.l.Var, v, m.l.From, m.l.To, m.rec.GuardVal))
+			}
+		}
+	}
+	return certify.Certificate{Layer: "stencil", Claim: claim, Status: certify.Certified, Exhaustive: exhaustive}
+}
+
+// clampRange enumerates [from, to], or its first and last budget/2
+// points when wider than budget. Truth changes of an affine guard
+// cluster at range edges, so the clamp keeps them in view; the bool
+// reports full coverage.
+func clampRange(from, to int64, budget int64) ([]int64, bool) {
+	n := to - from + 1
+	if n <= budget {
+		pts := make([]int64, 0, n)
+		for v := from; v <= to; v++ {
+			pts = append(pts, v)
+		}
+		return pts, true
+	}
+	half := budget / 2
+	pts := make([]int64, 0, 2*half)
+	for v := from; v < from+half; v++ {
+		pts = append(pts, v)
+	}
+	for v := to - half + 1; v <= to; v++ {
+		pts = append(pts, v)
+	}
+	return pts, false
+}

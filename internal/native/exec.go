@@ -23,6 +23,11 @@ type execProc struct {
 	out  *bufio.Reader
 	wc   io.WriteCloser
 	dead error
+	// scratch is the fixed-width framing buffer; calls are serialized
+	// under mu, so one buffer serves every integer/float on the wire
+	// (encoding/binary's reflective Write/Read would allocate per
+	// element, which dominates the per-call cost on large arrays).
+	scratch [8]byte
 }
 
 // buildAndStartExec compiles the emitted package as an ordinary
@@ -89,8 +94,14 @@ func (e *progError) Error() string { return e.msg }
 
 func (p *execProc) callLocked(key string, order []string, inputs map[string][]float64) ([]float64, error) {
 	w := p.in
-	writeU32 := func(v uint32) { binary.Write(w, binary.LittleEndian, v) }
-	writeU64 := func(v uint64) { binary.Write(w, binary.LittleEndian, v) }
+	writeU32 := func(v uint32) {
+		binary.LittleEndian.PutUint32(p.scratch[:4], v)
+		w.Write(p.scratch[:4])
+	}
+	writeU64 := func(v uint64) {
+		binary.LittleEndian.PutUint64(p.scratch[:8], v)
+		w.Write(p.scratch[:8])
+	}
 	writeU32(uint32(len(key)))
 	w.WriteString(key)
 	writeU32(uint32(len(order)))
@@ -107,43 +118,55 @@ func (p *execProc) callLocked(key string, order []string, inputs map[string][]fl
 		return nil, err
 	}
 
-	var status [1]byte
-	if _, err := io.ReadFull(p.out, status[:]); err != nil {
+	readU32 := func() (uint32, error) {
+		if _, err := io.ReadFull(p.out, p.scratch[:4]); err != nil {
+			return 0, err
+		}
+		return binary.LittleEndian.Uint32(p.scratch[:4]), nil
+	}
+	readU64 := func() (uint64, error) {
+		if _, err := io.ReadFull(p.out, p.scratch[:8]); err != nil {
+			return 0, err
+		}
+		return binary.LittleEndian.Uint64(p.scratch[:8]), nil
+	}
+	if _, err := io.ReadFull(p.out, p.scratch[:1]); err != nil {
 		return nil, err
 	}
-	switch status[0] {
+	status := p.scratch[0]
+	switch status {
 	case 0:
-		var n uint64
-		if err := binary.Read(p.out, binary.LittleEndian, &n); err != nil {
+		n, err := readU64()
+		if err != nil {
 			return nil, err
 		}
 		if n > 1<<32 {
 			return nil, fmt.Errorf("implausible result length %d", n)
 		}
 		out := make([]float64, n)
-		buf := make([]byte, 8)
 		for i := range out {
-			if _, err := io.ReadFull(p.out, buf); err != nil {
+			bits, err := readU64()
+			if err != nil {
 				return nil, err
 			}
-			out[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf))
+			out[i] = math.Float64frombits(bits)
 		}
 		return out, nil
 	case 1, 2:
-		var n uint32
-		if err := binary.Read(p.out, binary.LittleEndian, &n); err != nil {
+		n, err := readU32()
+		if err != nil {
 			return nil, err
 		}
 		msg := make([]byte, n)
 		if _, err := io.ReadFull(p.out, msg); err != nil {
 			return nil, err
 		}
-		if status[0] == 1 {
+		if status == 1 {
 			return nil, &progError{msg: string(msg)}
 		}
 		return nil, fmt.Errorf("protocol error: %s", msg)
 	default:
-		return nil, fmt.Errorf("bad status byte %d", status[0])
+		return nil, fmt.Errorf("bad status byte %d", status)
 	}
 }
 

@@ -37,6 +37,7 @@ import (
 	"os/exec"
 	"path/filepath"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -115,6 +116,10 @@ type Plan struct {
 	proc   *execProc
 	inputs []string
 	bounds runtime.Bounds
+	// flatPool recycles the name→data map marshalled on every call, so
+	// the steady-state host overhead per Run is the result slice and
+	// its Strict header only.
+	flatPool sync.Pool
 }
 
 // Builds counts completed native toolchain invocations in this
@@ -250,10 +255,14 @@ func (p *Plan) Inputs() []string { return append([]string(nil), p.inputs...) }
 // in-place sources core marked live), runtime checks surface as
 // errors, and the result carries the compiled bounds.
 func (p *Plan) Run(inputs map[string]*runtime.Strict) (*runtime.Strict, error) {
-	flat := make(map[string][]float64, len(p.inputs))
+	flat, _ := p.flatPool.Get().(map[string][]float64)
+	if flat == nil {
+		flat = make(map[string][]float64, len(p.inputs))
+	}
 	for _, name := range p.inputs {
 		a, ok := inputs[name]
 		if !ok {
+			p.flatPool.Put(flat)
 			return nil, fmt.Errorf("native: missing input array %q", name)
 		}
 		flat[name] = a.Data
@@ -265,6 +274,12 @@ func (p *Plan) Run(inputs map[string]*runtime.Strict) (*runtime.Strict, error) {
 	} else {
 		out, err = p.proc.call(p.key, p.inputs, flat)
 	}
+	// Neither callee retains flat past its return; drop the data
+	// references and recycle the map.
+	for k := range flat {
+		delete(flat, k)
+	}
+	p.flatPool.Put(flat)
 	if err != nil {
 		return nil, err
 	}

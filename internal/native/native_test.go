@@ -231,6 +231,38 @@ func TestModesBitwiseIdentical(t *testing.T) {
 	}
 }
 
+// TestRunAllocs pins the host-side allocation budget of Plan.Run: the
+// flat input map is pooled and the exec protocol frames through a
+// fixed scratch buffer, so a steady-state call allocates only the
+// result slice and its Strict header (≤2 allocations).
+func TestRunAllocs(t *testing.T) {
+	for _, mode := range []native.Mode{native.ModePlugin, native.ModeExec} {
+		t.Run(string(mode), func(t *testing.T) {
+			m, err := native.Build(testSpecs(64), native.Options{Mode: mode})
+			if err != nil {
+				if mode == native.ModePlugin {
+					t.Skipf("plugin mode unavailable here: %v", err)
+				}
+				t.Fatal(err)
+			}
+			defer m.Close()
+			in := inputsFor(64)
+			p := m.Plan("squares")
+			if _, err := p.Run(in); err != nil {
+				t.Fatal(err)
+			}
+			allocs := testing.AllocsPerRun(200, func() {
+				if _, err := p.Run(in); err != nil {
+					t.Fatal(err)
+				}
+			})
+			if allocs > 2 {
+				t.Fatalf("Plan.Run allocates %.0f times per call, budget is 2", allocs)
+			}
+		})
+	}
+}
+
 // TestBuildErrors covers the spec-validation failures.
 func TestBuildErrors(t *testing.T) {
 	if _, err := native.Build(nil, native.Options{}); err == nil {

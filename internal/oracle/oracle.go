@@ -77,6 +77,12 @@ func Ablations() []Ablation {
 		// disabled, so every fuzzed program cross-checks optimized
 		// (full) against unoptimized execution element-wise.
 		{"noopt", core.Options{NoOptimize: true}},
+		// stencil keeps the optimizer but forces the stencil
+		// specializer off (no guard splitting, no interior kernels).
+		// RunCase additionally holds this arm to a bitwise comparison
+		// against full: splitting and the specialized interior
+		// kernels re-order nothing, so even the last ulp must match.
+		{"stencil", core.Options{NoStencil: true}},
 		// parallel runs the doacross/wavefront/tile schedules with a
 		// forced multi-worker pool; results (and error messages) must be
 		// indistinguishable from sequential execution.
@@ -189,7 +195,43 @@ func RunCase(p *gencomp.Program) *Case {
 			})
 		}
 	}
+	// The stencil specializer's contract is stronger than the matrix
+	// default: interior/boundary splitting and the specialized kernels
+	// perform the same float operations in the same order, so the
+	// specialized (full) run must match the forced-off run bitwise,
+	// not merely within tolerance.
+	if ok, detail := BitwiseAgree(c.ByAblation["stencil"], c.ByAblation["full"]); !ok {
+		c.Mismatches = append(c.Mismatches, Mismatch{
+			Backend: "interp:stencil/bitwise",
+			Detail:  detail,
+		})
+	}
 	return c
+}
+
+// BitwiseAgree compares two outcomes element-wise at full precision:
+// success must match success and every element must carry identical
+// bits (NaNs of any payload compare equal). Used for pairs of
+// configurations that are required to perform the same operations in
+// the same order, where tolerance would mask a real divergence.
+func BitwiseAgree(ref, got Outcome) (bool, string) {
+	if ref.OK() != got.OK() {
+		return false, fmt.Sprintf("reference %s, backend %s", ref, got)
+	}
+	if !ref.OK() {
+		return true, ""
+	}
+	a, b := ref.Value, got.Value
+	if !a.B.Equal(b.B) {
+		return false, fmt.Sprintf("bounds differ: %v vs %v", a.B, b.B)
+	}
+	for i := range a.Data {
+		x, y := a.Data[i], b.Data[i]
+		if math.Float64bits(x) != math.Float64bits(y) && !(math.IsNaN(x) && math.IsNaN(y)) {
+			return false, fmt.Sprintf("element %d differs bitwise: %v vs %v", i, x, y)
+		}
+	}
+	return true, ""
 }
 
 // runOnce compiles and runs one configuration, converting panics and
