@@ -28,6 +28,9 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	goruntime "runtime"
 	"sort"
@@ -44,6 +47,7 @@ import (
 	"arraycomp/internal/parser"
 	"arraycomp/internal/runtime"
 	"arraycomp/internal/schedule"
+	"arraycomp/internal/serve"
 	"arraycomp/internal/workloads"
 )
 
@@ -672,6 +676,101 @@ var experiments = []experiment{
 					fmt.Printf("    w=1/w=%d = %s (GOMAXPROCS-bound)\n", w, ratio(w1, ns))
 				}
 			}
+		},
+	}, {
+		id: "e21", title: "fleet serving: batched /eval vs sequential round trips; disk-tier restart",
+		expect: "one /evalbatch round trip amortizes HTTP + decode + cache-lookup overhead: >=3x over " +
+			"64 sequential /eval calls on a cold cache; a disk-restored plan loads much faster than a cold compile",
+		run: func() {
+			// Part 1: the batch argument, measured through the real HTTP
+			// stack. Each iteration uses a fresh program (unique cache
+			// key) so both arms pay one cold compile; the difference is
+			// 64 round trips + 64 request decodes vs 1.
+			const batchN = 64
+			srv, err := serve.New(serve.Config{
+				CacheEntries: 8, CacheBytes: 64 << 20, MaxBody: 16 << 20,
+				Concurrency: 64, Timeout: 60 * time.Second,
+			})
+			die(err)
+			ts := httptest.NewServer(srv.Handler())
+			defer ts.Close()
+			client := &http.Client{Timeout: 60 * time.Second,
+				Transport: &http.Transport{MaxIdleConnsPerHost: 4}}
+			n := size(64, 16)
+			var iter int
+			freshSrc := func() string {
+				iter++
+				return fmt.Sprintf("a = array (1,n) [ j := j*%d.0 + j | j <- [1..n] ]", iter)
+			}
+			post := func(path string, body any) {
+				data, err := json.Marshal(body)
+				die(err)
+				resp, err := client.Post(ts.URL+path, "application/json", strings.NewReader(string(data)))
+				die(err)
+				if resp.StatusCode != http.StatusOK {
+					msg, _ := io.ReadAll(resp.Body)
+					die(fmt.Errorf("%s: status %d: %s", path, resp.StatusCode, msg))
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+			type evalReq struct {
+				Source string           `json:"source"`
+				Params map[string]int64 `json:"params"`
+				Seed   int64            `json:"seed,omitempty"`
+			}
+			type batchReq struct {
+				Source string             `json:"source"`
+				Params map[string]int64   `json:"params"`
+				Evals  []map[string]int64 `json:"evals"`
+			}
+			params := map[string]int64{"n": n}
+			seq := bench(fmt.Sprintf("eval x%d sequential cold", batchN), func() {
+				src := freshSrc()
+				for i := 0; i < batchN; i++ {
+					post("/eval", evalReq{Source: src, Params: params, Seed: int64(i)})
+				}
+			})
+			evals := make([]map[string]int64, batchN)
+			for i := range evals {
+				evals[i] = map[string]int64{"seed": int64(i)}
+			}
+			batch := bench(fmt.Sprintf("evalbatch x%d cold", batchN), func() {
+				post("/evalbatch", batchReq{Source: freshSrc(), Params: params, Evals: evals})
+			})
+			fmt.Printf("  sequential/batch = %s (gate: >= 3.0x)\n", ratio(seq, batch))
+
+			// Part 2: the restart-warmth argument. A certified plan
+			// persisted to the disk tier restores (gob decode + loop-IR
+			// recompile) without parse/analyze/plan/lower/optimize/
+			// certify; cold pays all of them.
+			dir, err := os.MkdirTemp("", "hacbench-disk-")
+			die(err)
+			defer os.RemoveAll(dir)
+			wfN := size(96, 32)
+			wfParams := map[string]int64{"n": wfN}
+			certOpts := core.Options{NoOptimize: *noopt, Certify: true}
+			seedCache := cache.New(4, 0)
+			die(seedCache.EnableDisk(dir))
+			_, _, err = seedCache.GetOrCompile(workloads.WavefrontSrc, wfParams, certOpts)
+			die(err)
+			if st := seedCache.Stats(); st.DiskWrites != 1 {
+				die(fmt.Errorf("plan was not persisted (disk writes = %d)", st.DiskWrites))
+			}
+			cold := bench(fmt.Sprintf("plan cold compile+certify n=%d", wfN), func() {
+				_, err := core.Compile(workloads.WavefrontSrc, wfParams, certOpts)
+				die(err)
+			})
+			restore := bench(fmt.Sprintf("plan disk restore n=%d", wfN), func() {
+				c := cache.New(4, 0)
+				die(c.EnableDisk(dir))
+				_, origin, err := c.GetOrCompile(workloads.WavefrontSrc, wfParams, certOpts)
+				die(err)
+				if origin != cache.OriginDisk {
+					die(fmt.Errorf("restore served from %s, not disk", origin))
+				}
+			})
+			fmt.Printf("  cold/restore = %s\n", ratio(cold, restore))
 		},
 	},
 }

@@ -1,22 +1,28 @@
 // Command haccd is the compile-and-run service: an HTTP daemon that
 // compiles array-comprehension programs through a content-addressed
 // plan cache and executes them on the process-wide warm worker pool,
-// exposing per-phase compile metrics and cache counters.
+// exposing per-phase compile metrics and cache counters. The service
+// itself lives in internal/serve; this command only parses flags.
 //
 // Endpoints:
 //
-//	POST /compile  {"source": "...", "params": {"n": 256}, "options": {...}}
-//	POST /eval     compile request + {"inputs": {...}, "seed": 1}
-//	GET  /metrics  Prometheus text exposition
-//	GET  /healthz  liveness
+//	POST /compile    {"source": "...", "params": {"n": 256}, "options": {...}}
+//	POST /eval       compile request + {"inputs": {...}, "seed": 1}
+//	POST /evalbatch  compile request + {"evals": [{"inputs": ..., "seed": ...}, ...]}
+//	GET  /metrics    Prometheus text exposition
+//	GET  /healthz    liveness
 //
 // The serving argument is the paper's: every proof and schedule is
 // computed at compile time, so the service pays analysis once per
 // distinct (source, params, options) and then serves evaluations from
 // the cached thunkless plan — `POST /eval` on a warm cache runs no
-// parse, analysis, or lowering at all.
+// parse, analysis, or lowering at all. With -cache-dir the cache gains
+// a persistent tier: certified plans survive restarts and reload with
+// zero compile-phase time. With -peers/-self, replicas form a
+// consistent-hash fleet where each plan compiles once fleet-wide.
 //
-// Operational guards: per-request timeout, a concurrency limiter,
+// Operational guards: per-request timeout, a concurrency limiter with
+// bounded-queue admission control (429 + Retry-After when shedding),
 // request body caps, and graceful drain on SIGTERM/SIGINT.
 package main
 
@@ -28,10 +34,12 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"arraycomp/internal/core"
+	"arraycomp/internal/serve"
 )
 
 func main() {
@@ -39,32 +47,58 @@ func main() {
 		addr         = flag.String("addr", ":8347", "listen address")
 		cacheEntries = flag.Int("cache-entries", 1024, "max cached plans (0 = unbounded)")
 		cacheMB      = flag.Int64("cache-mb", 256, "max cached plan bytes, in MiB (0 = unbounded)")
+		cacheDir     = flag.String("cache-dir", "", "persistent disk cache directory; certified plans written here survive restarts and reload with zero compile-phase time (empty = memory only)")
 		timeout      = flag.Duration("timeout", 30*time.Second, "per-request timeout")
 		maxBodyMB    = flag.Int64("max-body-mb", 16, "request body cap, in MiB")
 		concurrency  = flag.Int("concurrency", 256, "max concurrently served requests")
+		queueDepth   = flag.Int("queue", 0, "max requests queued for a concurrency slot before shedding with 429 (0 = 2x concurrency)")
+		maxBatch     = flag.Int("max-batch", serve.DefaultMaxBatch, "max evaluations in one /evalbatch request")
 		drain        = flag.Duration("drain", 30*time.Second, "graceful shutdown budget after SIGTERM")
 		tier         = flag.String("tier", "off", "default execution-tier policy for requests that do not set options.tier: off, auto (promote hot plans to compiled native code in the background), or native")
 		tierThresh   = flag.Int("tier-threshold", 0, "interpreted evaluations before auto promotion (0 = built-in default)")
+		peers        = flag.String("peers", "", "comma-separated replica list (host:port or URLs) forming the consistent-hash fleet; empty = standalone")
+		self         = flag.String("self", "", "this replica's entry in -peers (required when -peers is set)")
 	)
 	flag.Parse()
 
-	cfg := defaultConfig()
-	cfg.cacheEntries = *cacheEntries
-	cfg.cacheBytes = *cacheMB << 20
-	cfg.timeout = *timeout
-	cfg.maxBody = *maxBodyMB << 20
-	cfg.concurrency = *concurrency
+	cfg := serve.DefaultConfig()
+	cfg.CacheEntries = *cacheEntries
+	cfg.CacheBytes = *cacheMB << 20
+	cfg.CacheDir = *cacheDir
+	cfg.Timeout = *timeout
+	cfg.MaxBody = *maxBodyMB << 20
+	cfg.Concurrency = *concurrency
+	cfg.QueueDepth = *queueDepth
+	cfg.MaxBatch = *maxBatch
 	tierMode, err := core.ParseTierMode(*tier)
 	if err != nil {
 		log.Fatalf("haccd: %v", err)
 	}
-	cfg.tier = tierMode
-	cfg.tierThreshold = *tierThresh
+	cfg.Tier = tierMode
+	cfg.TierThreshold = *tierThresh
+	if *peers != "" {
+		for _, p := range strings.Split(*peers, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				cfg.Peers = append(cfg.Peers, p)
+			}
+		}
+		cfg.Self = *self
+		found := false
+		for _, p := range cfg.Peers {
+			found = found || p == cfg.Self
+		}
+		if !found {
+			log.Fatalf("haccd: -self %q must be one of -peers %q", *self, *peers)
+		}
+	}
 
-	s := newServer(cfg)
+	s, err := serve.New(cfg)
+	if err != nil {
+		log.Fatalf("haccd: %v", err)
+	}
 	httpSrv := &http.Server{
 		Addr:              *addr,
-		Handler:           s.handler(),
+		Handler:           s.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
@@ -72,8 +106,8 @@ func main() {
 	defer stop()
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
-	log.Printf("haccd listening on %s (cache: %d entries / %d MiB, concurrency %d)",
-		*addr, cfg.cacheEntries, *cacheMB, cfg.concurrency)
+	log.Printf("haccd listening on %s (cache: %d entries / %d MiB, disk %q, concurrency %d, fleet of %d)",
+		*addr, cfg.CacheEntries, *cacheMB, cfg.CacheDir, cfg.Concurrency, len(cfg.Peers))
 
 	select {
 	case err := <-errc:
@@ -89,7 +123,6 @@ func main() {
 			log.Printf("haccd: drain incomplete: %v", err)
 			httpSrv.Close()
 		}
-		st := s.cache.Stats()
-		fmt.Printf("haccd: final cache stats: %s\n", st)
+		fmt.Printf("haccd: final cache stats: %s\n", s.CacheStats())
 	}
 }

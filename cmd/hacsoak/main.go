@@ -1,0 +1,79 @@
+// Command hacsoak soaks a running haccd replica or fleet with a
+// Zipf-distributed program mix and gates on what comes back. It is
+// the operational probe for the fleet-serving claims: a healthy fleet
+// under heavy-tailed traffic serves almost everything from cache
+// (memory or disk) and sheds with 429 — never 5xx — when saturated.
+//
+//	hacsoak -url http://127.0.0.1:8347 -requests 100000 -min-hit-rate 0.9
+//	hacsoak -url http://h1:8347,http://h2:8347 -requests 100000
+//
+// Output is one machine-readable line (SOAK-OK requests=... hit_rate=...
+// shed=... http5xx=...), and the exit status enforces the gates:
+// nonzero when the hit rate is below -min-hit-rate, when 5xx responses
+// exceed -max-5xx, or when any transport error occurred. CI greps the
+// line and trusts the exit code.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"arraycomp/internal/soak"
+)
+
+func main() {
+	var (
+		urls        = flag.String("url", "http://127.0.0.1:8347", "comma-separated haccd base URLs; with several, requests spread round-robin across the fleet")
+		requests    = flag.Int("requests", 10000, "total requests to send")
+		concurrency = flag.Int("concurrency", 8, "concurrent soak workers")
+		programs    = flag.Int("programs", 64, "distinct programs in the mix")
+		zipfS       = flag.Float64("zipf-s", 1.2, "Zipf exponent (>1); larger = hotter head")
+		seed        = flag.Int64("seed", 1, "RNG seed for the program-pick sequence")
+		n           = flag.Int64("n", 64, "array-size parameter each program compiles with")
+		certify     = flag.Bool("certify", false, "compile with the certification audit on (required for plans to reach the disk tier)")
+		minHitRate  = flag.Float64("min-hit-rate", 0, "fail (exit 1) when the aggregate hit rate is below this")
+		max5xx      = flag.Uint64("max-5xx", 0, "fail (exit 1) when more than this many 5xx responses arrive")
+	)
+	flag.Parse()
+
+	var targets []string
+	for _, u := range strings.Split(*urls, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			targets = append(targets, u)
+		}
+	}
+	res, err := soak.Run(soak.Config{
+		Targets:     targets,
+		Requests:    *requests,
+		Concurrency: *concurrency,
+		Programs:    *programs,
+		ZipfS:       *zipfS,
+		Seed:        *seed,
+		N:           *n,
+		Certify:     *certify,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hacsoak: %v\n", err)
+		os.Exit(2)
+	}
+	fmt.Println(res.String())
+
+	failed := false
+	if res.HitRate() < *minHitRate {
+		fmt.Fprintf(os.Stderr, "hacsoak: hit rate %.4f below gate %.4f\n", res.HitRate(), *minHitRate)
+		failed = true
+	}
+	if res.HTTP5xx > *max5xx {
+		fmt.Fprintf(os.Stderr, "hacsoak: %d 5xx responses exceed gate %d\n", res.HTTP5xx, *max5xx)
+		failed = true
+	}
+	if res.Errors > 0 {
+		fmt.Fprintf(os.Stderr, "hacsoak: %d transport/decode errors\n", res.Errors)
+		failed = true
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

@@ -26,8 +26,37 @@ import (
 
 	"arraycomp/internal/analysis"
 	"arraycomp/internal/core"
+	"arraycomp/internal/loopir"
 	"arraycomp/internal/metrics"
 )
+
+// Origin says where GetOrCompile found the program.
+type Origin int
+
+const (
+	// OriginCompile: a true miss — the compiler ran for this call.
+	OriginCompile Origin = iota
+	// OriginMemory: served by the in-process LRU (or by waiting on
+	// another caller's in-flight compile of the same key).
+	OriginMemory
+	// OriginDisk: restored from the persistent disk tier — no compile
+	// phase ran, only deserialization and closure rebuilding.
+	OriginDisk
+)
+
+// Cached reports whether the call avoided running the compiler.
+func (o Origin) Cached() bool { return o != OriginCompile }
+
+func (o Origin) String() string {
+	switch o {
+	case OriginMemory:
+		return "memory"
+	case OriginDisk:
+		return "disk"
+	default:
+		return "compile"
+	}
+}
 
 // Entry is one cached compilation artifact.
 type Entry struct {
@@ -50,6 +79,16 @@ type Stats struct {
 	Evictions uint64
 	Entries   int
 	Bytes     int64
+	// SingleflightWaits counts callers that blocked on another caller's
+	// in-flight compile of the same key instead of compiling themselves.
+	SingleflightWaits uint64
+	// DiskHits counts misses served by restoring a persisted entry;
+	// DiskWrites counts entries persisted; DiskDiscards counts persisted
+	// entries rejected on load (corrupt, truncated, forged, wrong
+	// version) and deleted. All zero when no disk tier is attached.
+	DiskHits     uint64
+	DiskWrites   uint64
+	DiskDiscards uint64
 	// NativeEntries counts cached programs currently being served by
 	// the native tier. It is computed at snapshot time (promotion
 	// happens in the background, after insertion), so it can grow
@@ -76,7 +115,12 @@ type Cache struct {
 	inflight map[string]*flight
 	bytes    int64
 
-	hits, misses, evictions uint64
+	hits, misses, evictions                    uint64
+	sfWaits, diskHits, diskWrites, diskDiscard uint64
+
+	// disk, when non-nil, is the persistent tier misses fall through to
+	// before compiling and certified thunkless programs persist into.
+	disk *diskTier
 
 	// compile is swappable for tests (singleflight, eviction order).
 	compile func(src string, params map[string]int64, opts core.Options) (*core.Program, error)
@@ -93,6 +137,23 @@ func New(maxEntries int, maxBytes int64) *Cache {
 		inflight:   map[string]*flight{},
 		compile:    core.Compile,
 	}
+}
+
+// EnableDisk attaches a persistent tier rooted at dir (created if
+// missing). Misses check the disk before compiling; compiles whose
+// program snapshots (certified, fully thunkless) persist for the next
+// process. Call before serving traffic; the cache does not lock dir
+// against other processes — entries are content-addressed and written
+// atomically, so concurrent writers converge on identical files.
+func (c *Cache) EnableDisk(dir string) error {
+	d, err := newDiskTier(dir)
+	if err != nil {
+		return err
+	}
+	c.mu.Lock()
+	c.disk = d
+	c.mu.Unlock()
+	return nil
 }
 
 // Key computes the content address of a compilation request: a
@@ -164,24 +225,35 @@ func boolInt(b bool) int64 {
 	return 0
 }
 
-// entryBytes charges an entry for its source text plus a fixed
-// overhead per compiled definition — a deliberately simple,
-// deterministic stand-in for deep plan sizing, so the byte cap is an
-// enforceable contract rather than an estimate that drifts with
-// executor internals.
+// entryBytes charges an entry for its source text plus the deep size
+// of every compiled loop-IR program it retains (loopir.Size walks the
+// statement and expression trees), so the byte cap tracks what a plan
+// actually holds — a stencil-split tiled nest charges far more than a
+// one-loop map of the same source length. Thunked definitions have no
+// IR; they get a flat per-definition charge.
 const (
 	entryBaseBytes = 1 << 10 // fixed per-entry overhead
-	defBytes       = 1 << 9  // per compiled definition
+	defBytes       = 1 << 9  // per thunked (IR-less) definition
 )
 
 func entryBytes(src string, prog *core.Program) int64 {
-	return entryBaseBytes + int64(len(src)) + defBytes*int64(len(prog.Defs))
+	n := entryBaseBytes + int64(len(src))
+	for _, cd := range prog.Defs {
+		if cd.Plan != nil && cd.Plan.Program != nil {
+			n += loopir.Size(cd.Plan.Program)
+		} else {
+			n += defBytes
+		}
+	}
+	return n
 }
 
 // GetOrCompile returns the compiled program for the request,
 // compiling (at most once per key, however many callers race) on a
-// miss. The boolean reports whether the call was served from cache.
-func (c *Cache) GetOrCompile(src string, params map[string]int64, opts core.Options) (*Entry, bool, error) {
+// miss. The Origin reports how the call was served: memory hit, disk
+// restore, or a fresh compile. Compile errors are never cached, in
+// memory or on disk — the next caller retries.
+func (c *Cache) GetOrCompile(src string, params map[string]int64, opts core.Options) (*Entry, Origin, error) {
 	key := Key(src, params, opts)
 	c.mu.Lock()
 	if el, ok := c.byKey[key]; ok {
@@ -189,14 +261,15 @@ func (c *Cache) GetOrCompile(src string, params map[string]int64, opts core.Opti
 		c.hits++
 		e := el.Value.(*Entry)
 		c.mu.Unlock()
-		return e, true, nil
+		return e, OriginMemory, nil
 	}
 	if fl, ok := c.inflight[key]; ok {
 		// Singleflight wait: someone else is compiling this key.
+		c.sfWaits++
 		c.mu.Unlock()
 		<-fl.done
 		if fl.err != nil {
-			return nil, false, fl.err
+			return nil, OriginCompile, fl.err
 		}
 		// Served without compiling: count as a hit. (The entry may
 		// have been evicted already under a tiny byte cap; the
@@ -207,33 +280,68 @@ func (c *Cache) GetOrCompile(src string, params map[string]int64, opts core.Opti
 			c.ll.MoveToFront(el)
 		}
 		c.mu.Unlock()
-		return fl.e, true, nil
+		return fl.e, OriginMemory, nil
 	}
 	fl := &flight{done: make(chan struct{})}
 	c.inflight[key] = fl
 	c.misses++
+	disk := c.disk
 	c.mu.Unlock()
 
-	prog, err := c.compile(src, params, opts)
-	if err != nil {
-		fl.err = err
-		c.finishFlight(key, fl)
-		return nil, false, err
+	origin := OriginCompile
+	var prog *core.Program
+	if disk != nil {
+		// Disk tier first: a persisted entry skips every compile phase.
+		// Load failures (corrupt, truncated, forged, stale version) have
+		// already deleted the file; fall through to the compiler.
+		loaded, discarded, err := disk.load(key, opts)
+		c.mu.Lock()
+		if discarded {
+			c.diskDiscard++
+		}
+		if err == nil && loaded != nil {
+			c.diskHits++
+		}
+		c.mu.Unlock()
+		if err == nil && loaded != nil {
+			prog = loaded
+			origin = OriginDisk
+		}
+	}
+	if prog == nil {
+		var err error
+		prog, err = c.compile(src, params, opts)
+		if err != nil {
+			fl.err = err
+			c.finishFlight(key, fl)
+			return nil, OriginCompile, err
+		}
+		if disk != nil {
+			// Persist best-effort: only certified, fully thunkless
+			// programs snapshot; everything else stays memory-only.
+			if snap, err := prog.Snapshot(); err == nil {
+				if disk.write(key, snap) == nil {
+					c.mu.Lock()
+					c.diskWrites++
+					c.mu.Unlock()
+				}
+			}
+		}
 	}
 	e := &Entry{Key: key, Program: prog, Report: prog.Stats, Bytes: entryBytes(src, prog)}
 	fl.e = e
 	c.finishFlight(key, fl)
-	return e, false, nil
+	return e, origin, nil
 }
 
 // finishFlight publishes a flight's result, inserting successful
-// entries (unless oversized) and evicting LRU victims over budget.
+// entries and evicting LRU victims over budget (an entry alone larger
+// than the whole byte budget is inserted and immediately evicted, so
+// it can never squat in the cache).
 func (c *Cache) finishFlight(key string, fl *flight) {
 	c.mu.Lock()
 	delete(c.inflight, key)
-	if fl.err == nil && (c.maxBytes == 0 || fl.e.Bytes <= c.maxBytes) {
-		// Admission: an entry alone larger than the whole byte budget
-		// is never cached (it would evict everything and thrash).
+	if fl.err == nil {
 		el := c.ll.PushFront(fl.e)
 		c.byKey[key] = el
 		c.bytes += fl.e.Bytes
@@ -244,7 +352,8 @@ func (c *Cache) finishFlight(key string, fl *flight) {
 }
 
 // evictLocked removes least-recently-used entries until both caps
-// hold. Callers hold c.mu.
+// hold — including the most-recently-inserted entry itself when it
+// alone exceeds the byte budget. Callers hold c.mu.
 func (c *Cache) evictLocked() {
 	for (c.maxEntries > 0 && c.ll.Len() > c.maxEntries) ||
 		(c.maxBytes > 0 && c.bytes > c.maxBytes) {
@@ -270,12 +379,16 @@ func (c *Cache) Stats() Stats {
 		}
 	}
 	return Stats{
-		Hits:          c.hits,
-		Misses:        c.misses,
-		Evictions:     c.evictions,
-		Entries:       c.ll.Len(),
-		Bytes:         c.bytes,
-		NativeEntries: native,
+		Hits:              c.hits,
+		Misses:            c.misses,
+		Evictions:         c.evictions,
+		Entries:           c.ll.Len(),
+		Bytes:             c.bytes,
+		NativeEntries:     native,
+		SingleflightWaits: c.sfWaits,
+		DiskHits:          c.diskHits,
+		DiskWrites:        c.diskWrites,
+		DiskDiscards:      c.diskDiscard,
 	}
 }
 
@@ -293,8 +406,9 @@ func (c *Cache) Keys() []string {
 
 // String renders the stats for logs.
 func (s Stats) String() string {
-	return fmt.Sprintf("hits=%d misses=%d evictions=%d entries=%d native=%d bytes=%d",
-		s.Hits, s.Misses, s.Evictions, s.Entries, s.NativeEntries, s.Bytes)
+	return fmt.Sprintf("hits=%d misses=%d evictions=%d entries=%d native=%d bytes=%d sfwaits=%d disk_hits=%d disk_writes=%d disk_discards=%d",
+		s.Hits, s.Misses, s.Evictions, s.Entries, s.NativeEntries, s.Bytes,
+		s.SingleflightWaits, s.DiskHits, s.DiskWrites, s.DiskDiscards)
 }
 
 // InputBoundsOf is a convenience for callers building Options from

@@ -72,9 +72,9 @@ func TestLRUEvictionOrder(t *testing.T) {
 		}
 	}
 	// 1 must now be a miss again.
-	_, hit, err := c.GetOrCompile(src(1), params, core.Options{})
-	if err != nil || hit {
-		t.Fatalf("re-fetch of evicted entry: hit=%v err=%v, want cold miss", hit, err)
+	_, origin, err := c.GetOrCompile(src(1), params, core.Options{})
+	if err != nil || origin.Cached() {
+		t.Fatalf("re-fetch of evicted entry: origin=%v err=%v, want cold miss", origin, err)
 	}
 }
 
@@ -158,6 +158,9 @@ func TestSingleflight(t *testing.T) {
 	if st.Misses != 1 || st.Hits != n-1 {
 		t.Fatalf("stats = %+v, want 1 miss and %d hits", st, n-1)
 	}
+	if st.SingleflightWaits == 0 || st.SingleflightWaits > n-1 {
+		t.Fatalf("singleflight waits = %d, want within [1, %d]", st.SingleflightWaits, n-1)
+	}
 }
 
 // A compile error is returned to every waiter and never cached.
@@ -194,9 +197,9 @@ func TestCertifyFailureNotCached(t *testing.T) {
 	}
 	params := map[string]int64{"n": 8}
 	for i := 0; i < 3; i++ {
-		_, hit, err := c.GetOrCompile(wavefrontSrc, params, core.Options{Certify: true})
-		if err == nil || hit {
-			t.Fatalf("attempt %d: hit=%v err=%v, want certification error on a cold miss", i, hit, err)
+		_, origin, err := c.GetOrCompile(wavefrontSrc, params, core.Options{Certify: true})
+		if err == nil || origin.Cached() {
+			t.Fatalf("attempt %d: origin=%v err=%v, want certification error on a cold miss", i, origin, err)
 		}
 	}
 	if got := compiles.Load(); got != 3 {
@@ -207,8 +210,8 @@ func TestCertifyFailureNotCached(t *testing.T) {
 	}
 	// The same source without certification compiles and caches fine —
 	// under a different key, so the failed certify key stays cold.
-	if _, hit, err := c.GetOrCompile(wavefrontSrc, params, core.Options{}); err != nil || hit {
-		t.Fatalf("plain compile after certify failures: hit=%v err=%v", hit, err)
+	if _, origin, err := c.GetOrCompile(wavefrontSrc, params, core.Options{}); err != nil || origin.Cached() {
+		t.Fatalf("plain compile after certify failures: origin=%v err=%v", origin, err)
 	}
 	if st := c.Stats(); st.Entries != 1 {
 		t.Fatalf("stats = %+v, want exactly the plain entry cached", st)
@@ -220,12 +223,12 @@ func TestCertifyFailureNotCached(t *testing.T) {
 func TestHitBitwiseIdenticalToCold(t *testing.T) {
 	params := map[string]int64{"n": 48}
 	c := New(8, 0)
-	if _, hit, err := c.GetOrCompile(wavefrontSrc, params, core.Options{}); err != nil || hit {
-		t.Fatalf("warming: hit=%v err=%v", hit, err)
+	if _, origin, err := c.GetOrCompile(wavefrontSrc, params, core.Options{}); err != nil || origin.Cached() {
+		t.Fatalf("warming: origin=%v err=%v", origin, err)
 	}
-	e, hit, err := c.GetOrCompile(wavefrontSrc, params, core.Options{})
-	if err != nil || !hit {
-		t.Fatalf("warm fetch: hit=%v err=%v", hit, err)
+	e, origin, err := c.GetOrCompile(wavefrontSrc, params, core.Options{})
+	if err != nil || origin != OriginMemory {
+		t.Fatalf("warm fetch: origin=%v err=%v", origin, err)
 	}
 	warm, err := e.Program.Run(nil)
 	if err != nil {
@@ -291,9 +294,9 @@ func TestNativeEntriesStat(t *testing.T) {
 	c := New(4, 0)
 	params := map[string]int64{"n": 16}
 	opts := core.Options{Tier: core.TierAuto, TierThreshold: 2, TierSync: true}
-	e, hit, err := c.GetOrCompile(src(0), params, opts)
-	if err != nil || hit {
-		t.Fatalf("cold compile: hit=%v err=%v", hit, err)
+	e, origin, err := c.GetOrCompile(src(0), params, opts)
+	if err != nil || origin.Cached() {
+		t.Fatalf("cold compile: origin=%v err=%v", origin, err)
 	}
 	if st := c.Stats(); st.NativeEntries != 0 {
 		t.Fatalf("entry counted native before promotion: %+v", st)
@@ -312,9 +315,9 @@ func TestNativeEntriesStat(t *testing.T) {
 		t.Fatalf("stats = %+v, want 1 native of 1 entries", st)
 	}
 	// A hit serves the already-promoted program.
-	e2, hit, err := c.GetOrCompile(src(0), params, opts)
-	if err != nil || !hit {
-		t.Fatalf("warm fetch: hit=%v err=%v", hit, err)
+	e2, origin, err := c.GetOrCompile(src(0), params, opts)
+	if err != nil || origin != OriginMemory {
+		t.Fatalf("warm fetch: origin=%v err=%v", origin, err)
 	}
 	if e2.Program.CurrentTier() != core.TierNative {
 		t.Fatal("cache hit lost the promotion")

@@ -1,0 +1,158 @@
+package cache
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"arraycomp/internal/core"
+)
+
+// The persistent tier under the memory LRU: compiled programs whose
+// plans are pure data (certified, fully thunkless — see core.Snapshot)
+// are written to disk keyed by the same content address as the memory
+// cache, so a restarted haccd serves its working set warm, paying only
+// deserialization plus closure rebuilding instead of any compile
+// phase.
+//
+// Entry format (all integers little-endian):
+//
+//	magic   8 bytes  "HACDISK1"
+//	version 4 bytes  format version (entries with any other version
+//	                 are discarded and recompiled, never migrated)
+//	length  8 bytes  payload byte count
+//	payload          gob(diskPayload{Key, Snap})
+//	sum    32 bytes  SHA-256 over magic+version+length+payload
+//
+// The checksum makes the whole entry — including the certification
+// claim counts inside the snapshot — tamper-evident: flipping the
+// certify evidence (or any other byte) breaks the sum and the entry is
+// deleted and recompiled. The key rides inside the checksummed payload
+// and must match the filename's key, so a valid entry renamed over
+// another key is rejected too. This is corruption *detection*, not
+// cryptographic authentication: anyone who can write the cache
+// directory can forge a checksum, so the directory must be trusted to
+// the same degree as the binary.
+
+const (
+	diskMagic   = "HACDISK1"
+	diskVersion = uint32(1)
+	diskExt     = ".hacplan"
+)
+
+// diskHeaderLen is magic + version + payload length.
+const diskHeaderLen = 8 + 4 + 8
+
+type diskPayload struct {
+	// Key is the content address the entry was written under;
+	// re-checked against the filename on load.
+	Key  string
+	Snap *core.Snapshot
+}
+
+type diskTier struct {
+	dir string
+}
+
+func newDiskTier(dir string) (*diskTier, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("cache: disk tier: %w", err)
+	}
+	return &diskTier{dir: dir}, nil
+}
+
+func (d *diskTier) path(key string) string {
+	return filepath.Join(d.dir, key+diskExt)
+}
+
+// write persists one snapshot, atomically (temp file + rename), so a
+// concurrent reader or a crash mid-write never observes a torn entry.
+func (d *diskTier) write(key string, snap *core.Snapshot) error {
+	var payload bytes.Buffer
+	if err := gob.NewEncoder(&payload).Encode(&diskPayload{Key: key, Snap: snap}); err != nil {
+		return err
+	}
+	var buf bytes.Buffer
+	buf.WriteString(diskMagic)
+	var hdr [12]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], diskVersion)
+	binary.LittleEndian.PutUint64(hdr[4:12], uint64(payload.Len()))
+	buf.Write(hdr[:])
+	buf.Write(payload.Bytes())
+	sum := sha256.Sum256(buf.Bytes())
+	buf.Write(sum[:])
+
+	tmp, err := os.CreateTemp(d.dir, "."+key+".tmp*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(buf.Bytes()); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), d.path(key))
+}
+
+// load reads, validates, and restores the entry for key. Returns
+// (nil, false, nil) on a clean miss (no file). Any validation failure
+// deletes the file and returns discarded=true with the reason — the
+// caller falls through to the compiler either way.
+func (d *diskTier) load(key string, opts core.Options) (prog *core.Program, discarded bool, err error) {
+	raw, err := os.ReadFile(d.path(key))
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return nil, false, nil
+		}
+		return nil, false, err
+	}
+	prog, err = d.validate(key, raw, opts)
+	if err != nil {
+		os.Remove(d.path(key))
+		return nil, true, err
+	}
+	return prog, false, nil
+}
+
+// validate checks structure, version, checksum, and key binding, then
+// rebuilds the program (which re-checks the certify gate and that the
+// IR still compiles).
+func (d *diskTier) validate(key string, raw []byte, opts core.Options) (*core.Program, error) {
+	if len(raw) < diskHeaderLen+sha256.Size {
+		return nil, fmt.Errorf("cache: disk entry %s truncated (%d bytes)", key, len(raw))
+	}
+	if string(raw[:8]) != diskMagic {
+		return nil, fmt.Errorf("cache: disk entry %s has bad magic", key)
+	}
+	if v := binary.LittleEndian.Uint32(raw[8:12]); v != diskVersion {
+		return nil, fmt.Errorf("cache: disk entry %s has version %d, want %d", key, v, diskVersion)
+	}
+	plen := binary.LittleEndian.Uint64(raw[12:20])
+	if plen != uint64(len(raw)-diskHeaderLen-sha256.Size) {
+		return nil, fmt.Errorf("cache: disk entry %s length mismatch", key)
+	}
+	body := raw[:diskHeaderLen+int(plen)]
+	sum := sha256.Sum256(body)
+	if !bytes.Equal(sum[:], raw[len(body):]) {
+		return nil, fmt.Errorf("cache: disk entry %s checksum mismatch", key)
+	}
+	var pl diskPayload
+	if err := gob.NewDecoder(bytes.NewReader(raw[diskHeaderLen:len(body)])).Decode(&pl); err != nil {
+		return nil, fmt.Errorf("cache: disk entry %s: %w", key, err)
+	}
+	if pl.Key != key {
+		return nil, fmt.Errorf("cache: disk entry %s written for key %s", key, pl.Key)
+	}
+	if pl.Snap == nil {
+		return nil, fmt.Errorf("cache: disk entry %s has no snapshot", key)
+	}
+	return core.RestoreSnapshot(pl.Snap, opts)
+}

@@ -471,6 +471,7 @@ func (lw *lowerer) lowerClause(cl *analysis.FlatClause, x *xlate) ([]loopir.Stmt
 	}
 	if lw.accum != nil {
 		assign.Accumulate = lw.accum
+		assign.HasAccum = true
 	} else if lw.checkCollision {
 		assign.CheckCollision = true
 		lw.plan.Checks.CollisionChecks++

@@ -1,0 +1,169 @@
+package core
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"time"
+
+	"arraycomp/internal/certify"
+	"arraycomp/internal/codegen"
+	"arraycomp/internal/lang"
+	"arraycomp/internal/loopir"
+	"arraycomp/internal/metrics"
+)
+
+// This file is the persistence boundary of the compiler: a compiled
+// Program whose every definition reached a thunkless plan is pure data
+// (loop-IR nests over concrete integers), so it can be serialized,
+// written to a disk cache tier, and restored in a later process with
+// zero compile-phase work — the fleet-scale form of the paper's
+// compile-once/run-many amortization argument.
+//
+// Two deliberate restrictions keep the boundary sound:
+//
+//   - Only CERTIFIED programs snapshot. A disk entry outlives the
+//     process that proved its schedules legal, so the proof has to
+//     ride along: Snapshot refuses programs compiled without -certify
+//     (or whose audit falsified anything), and the restored program
+//     carries the certified-claims count so the tiering gate
+//     ("uncertified programs never tier up") keeps holding.
+//   - Only fully thunkless programs snapshot. Thunked fallbacks and
+//     recursive groups evaluate through the analysis-time suspension
+//     machinery, which is not data; those programs stay memory-only.
+
+// SnapshotDef is one definition's durable compilation artifact.
+type SnapshotDef struct {
+	Name string
+	// SourceArray is the updated array for in-place plans (bigupd).
+	SourceArray string
+	InPlace     bool
+	CloneSource bool
+	Checks      codegen.CheckCounts
+	IR          *loopir.Program
+}
+
+// Snapshot is the durable form of a compiled Program.
+type Snapshot struct {
+	Result string
+	Env    map[string]int64
+	Order  []string
+	Notes  []string
+	// Counters preserves the original compilation's optimization
+	// record (what was elided, fused, scheduled) — the phase timings
+	// deliberately do not survive: a restored program reports only the
+	// load phase it actually paid.
+	Counters metrics.Counters
+	// CertifiedClaims is the original audit's certified-claim count;
+	// Snapshot never produces an uncertified snapshot.
+	CertifiedClaims int
+	Defs            []SnapshotDef
+}
+
+// Snapshot renders the program in durable form. It fails on programs
+// that are not certified or not fully thunkless — the callers (the
+// cache's disk tier) treat that as "memory-only entry", not an error
+// condition worth surfacing to clients.
+func (p *Program) Snapshot() (*Snapshot, error) {
+	if p.Certs == nil {
+		return nil, fmt.Errorf("core: refusing to snapshot an uncertified program (compile with Certify)")
+	}
+	if err := p.Certs.Err(); err != nil {
+		return nil, fmt.Errorf("core: refusing to snapshot: %w", err)
+	}
+	s := &Snapshot{
+		Result:          p.Result,
+		Env:             p.Env,
+		Order:           p.Order,
+		Notes:           p.Notes,
+		Counters:        p.Stats.Counters,
+		CertifiedClaims: p.Certs.CertifiedCount,
+	}
+	for _, name := range p.Order {
+		cd := p.Defs[name]
+		if cd.GroupIdx >= 0 {
+			return nil, fmt.Errorf("core: %s is in a mutually recursive group; snapshots need thunkless plans", name)
+		}
+		if cd.Plan == nil {
+			return nil, fmt.Errorf("core: %s compiled %s; snapshots need thunkless plans", name, cd.Mode())
+		}
+		s.Defs = append(s.Defs, SnapshotDef{
+			Name:        name,
+			SourceArray: cd.Def.Source,
+			InPlace:     cd.Plan.InPlace,
+			CloneSource: cd.CloneSource,
+			Checks:      cd.Plan.Checks,
+			IR:          cd.Plan.Program,
+		})
+	}
+	return s, nil
+}
+
+// Encode writes the snapshot in gob form.
+func (s *Snapshot) Encode(w io.Writer) error {
+	return gob.NewEncoder(w).Encode(s)
+}
+
+// DecodeSnapshot reads a gob-encoded snapshot.
+func DecodeSnapshot(r io.Reader) (*Snapshot, error) {
+	s := &Snapshot{}
+	if err := gob.NewDecoder(r).Decode(s); err != nil {
+		return nil, fmt.Errorf("core: decoding snapshot: %w", err)
+	}
+	return s, nil
+}
+
+// RestoreSnapshot rebuilds a runnable Program from its durable form
+// under the original request options (the caller guarantees the match
+// — in the cache, options are part of the content address). The only
+// work performed is closure compilation of the stored IR; the restored
+// program's Stats charge it all to the "load" phase, with every
+// compile phase at zero — the restart-warmth contract.
+func RestoreSnapshot(s *Snapshot, opts Options) (*Program, error) {
+	t0 := time.Now()
+	rep := metrics.NewCompileReport()
+	rep.Counters = s.Counters
+	p := &Program{
+		Env:    s.Env,
+		Defs:   map[string]*CompiledDef{},
+		Order:  s.Order,
+		Result: s.Result,
+		Notes:  s.Notes,
+		Stats:  rep,
+	}
+	// The restored certificate: the claims were proved by the original
+	// compilation; the count rides along so the tier gate (uncertified
+	// programs never tier up) sees a passing audit.
+	p.Certs = certify.NewReport()
+	p.Certs.CertifiedCount = s.CertifiedClaims
+	for i := range s.Defs {
+		d := &s.Defs[i]
+		if d.IR == nil {
+			return nil, fmt.Errorf("core: snapshot of %s has no IR", d.Name)
+		}
+		if err := loopir.RebindAccum(d.IR); err != nil {
+			return nil, err
+		}
+		ex, err := loopir.Compile(d.IR)
+		if err != nil {
+			return nil, fmt.Errorf("core: restoring %s: %w", d.Name, err)
+		}
+		ex.SetWorkers(opts.Workers)
+		p.Defs[d.Name] = &CompiledDef{
+			Def:         &lang.ArrayDef{Name: d.Name, Source: d.SourceArray, Strict: true},
+			GroupIdx:    -1,
+			Plan:        &codegen.Plan{Program: d.IR, Exec: ex, Checks: d.Checks, InPlace: d.InPlace},
+			CloneSource: d.CloneSource,
+		}
+	}
+	for _, name := range s.Order {
+		if p.Defs[name] == nil {
+			return nil, fmt.Errorf("core: snapshot order names %s but carries no plan for it", name)
+		}
+	}
+	if err := p.initTier(opts, rep); err != nil {
+		return nil, err
+	}
+	rep.AddPhase(metrics.PhaseLoad, time.Since(t0))
+	return p, nil
+}

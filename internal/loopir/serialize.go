@@ -1,0 +1,228 @@
+package loopir
+
+import (
+	"encoding/gob"
+	"fmt"
+
+	"arraycomp/internal/runtime"
+)
+
+// This file makes the loop IR durable: a compiled Program is pure data
+// (every scalar parameter was folded during analysis, so bounds,
+// strides, and subscript coefficients are concrete integers), which is
+// what lets a fleet persist compiled plans to disk and reload them in
+// another process without re-running any compile phase. Two details
+// need care:
+//
+//   - the IR's statement/expression slots are interfaces, so every
+//     concrete node type must be registered with encoding/gob;
+//   - Assign.Accumulate is a Go closure (gob silently drops func-typed
+//     struct fields), so accumulating stores carry a HasAccum marker
+//     and RebindAccum re-derives the closure from Program.AccumOp
+//     after decoding.
+
+func init() {
+	// Statements.
+	gob.Register(&Loop{})
+	gob.Register(&If{})
+	gob.Register(&Assign{})
+	gob.Register(&SetScalar{})
+	gob.Register(&CopyArray{})
+	gob.Register(&CheckFull{})
+	gob.Register(&Fail{})
+	gob.Register(&Fill{})
+	// Integer expressions.
+	gob.Register(&ILin{})
+	gob.Register(&IVar{})
+	gob.Register(&IConst{})
+	gob.Register(&IBin{})
+	// Value expressions.
+	gob.Register(&VConst{})
+	gob.Register(&VFromInt{})
+	gob.Register(&VScalar{})
+	gob.Register(&ARef{})
+	gob.Register(&VBin{})
+	gob.Register(&VNeg{})
+	gob.Register(&VCall{})
+	gob.Register(&VCond{})
+	// Boolean expressions.
+	gob.Register(&BCmpInt{})
+	gob.Register(&BCmpFloat{})
+	gob.Register(&BAnd{})
+	gob.Register(&BOr{})
+	gob.Register(&BNot{})
+	gob.Register(&BConst{})
+}
+
+// RebindAccum restores the combining closures a gob round trip
+// dropped: every Assign marked HasAccum gets the combiner named by
+// Program.AccumOp. It must be called on every decoded Program before
+// Compile; a marked store with no resolvable combiner is an error
+// (running it would silently degrade the accumulation to a plain
+// store).
+func RebindAccum(p *Program) error {
+	var comb runtime.CombineFunc
+	if p.AccumOp != "" {
+		var ok bool
+		comb, ok = runtime.Combiner(p.AccumOp)
+		if !ok {
+			return fmt.Errorf("loopir: unknown combining function %q", p.AccumOp)
+		}
+	}
+	var err error
+	walkStmts(p.Stmts, func(s Stmt) {
+		a, ok := s.(*Assign)
+		if !ok || !a.HasAccum {
+			return
+		}
+		if comb == nil {
+			err = fmt.Errorf("loopir: accumulating store on %q but Program.AccumOp is empty", a.Array)
+			return
+		}
+		a.Accumulate = comb
+	})
+	return err
+}
+
+// walkStmts visits every statement in the tree, pre-order.
+func walkStmts(stmts []Stmt, visit func(Stmt)) {
+	for _, s := range stmts {
+		visit(s)
+		switch x := s.(type) {
+		case *Loop:
+			walkStmts(x.Body, visit)
+		case *If:
+			walkStmts(x.Then, visit)
+			walkStmts(x.Else, visit)
+		}
+	}
+}
+
+// Per-node byte charges for Size. They are deliberately coarse — the
+// point is a deterministic, monotone measure of how much memory a
+// cached plan actually holds (loop nests, schedules, subscript trees),
+// so the cache's byte cap tracks plan complexity instead of source
+// length alone.
+const (
+	sizeStmt  = 96 // statement node incl. slice headers
+	sizeExpr  = 48 // expression node
+	sizeTerm  = 24 // one ILin term
+	sizeDecl  = 112
+	sizeSched = 64 // ParSchedule / StencilInfo / SplitRecord / Ind
+)
+
+// Size estimates the retained bytes of a compiled IR program by
+// walking every statement and expression. Deterministic for a given
+// program, and strictly larger for larger plans.
+func Size(p *Program) int64 {
+	if p == nil {
+		return 0
+	}
+	n := int64(128) + int64(len(p.Name)+len(p.AccumOp))
+	for i := range p.Arrays {
+		n += sizeDecl + int64(len(p.Arrays[i].Name)) + 16*int64(len(p.Arrays[i].B.Lo))
+	}
+	for _, s := range p.Scalars {
+		n += 16 + int64(len(s))
+	}
+	n += sizeStmtList(p.Stmts)
+	return n
+}
+
+func sizeStmtList(stmts []Stmt) int64 {
+	var n int64
+	for _, s := range stmts {
+		n += sizeStmt
+		switch x := s.(type) {
+		case *Loop:
+			for i := range x.Inds {
+				n += sizeSched + sizeExprInt(x.Inds[i].Init)
+			}
+			if x.Par != nil {
+				n += sizeSched
+			}
+			if x.Sten != nil {
+				n += sizeSched
+				for i := range x.Sten.Splits {
+					n += sizeSched + sizeExprBool(x.Sten.Splits[i].Guard)
+				}
+			}
+			n += sizeStmtList(x.Body)
+		case *If:
+			n += sizeExprBool(x.Cond)
+			n += sizeStmtList(x.Then)
+			n += sizeStmtList(x.Else)
+		case *Assign:
+			for _, sub := range x.Subs {
+				n += sizeExprInt(sub)
+			}
+			n += sizeExprVal(x.Rhs) + sizeExprInt(x.Off)
+		case *SetScalar:
+			n += sizeExprVal(x.Rhs)
+		case *Fill, *CopyArray, *CheckFull, *Fail:
+			// flat nodes; the sizeStmt charge covers them
+		}
+	}
+	return n
+}
+
+func sizeExprInt(e IntExpr) int64 {
+	switch x := e.(type) {
+	case nil:
+		return 0
+	case *ILin:
+		return sizeExpr + sizeTerm*int64(len(x.Terms))
+	case *IBin:
+		return sizeExpr + sizeExprInt(x.L) + sizeExprInt(x.R)
+	default:
+		return sizeExpr
+	}
+}
+
+func sizeExprVal(e VExpr) int64 {
+	switch x := e.(type) {
+	case nil:
+		return 0
+	case *VFromInt:
+		return sizeExpr + sizeExprInt(x.X)
+	case *ARef:
+		n := int64(sizeExpr) + sizeExprInt(x.Off)
+		for _, sub := range x.Subs {
+			n += sizeExprInt(sub)
+		}
+		return n
+	case *VBin:
+		return sizeExpr + sizeExprVal(x.L) + sizeExprVal(x.R)
+	case *VNeg:
+		return sizeExpr + sizeExprVal(x.X)
+	case *VCall:
+		n := int64(sizeExpr)
+		for _, a := range x.Args {
+			n += sizeExprVal(a)
+		}
+		return n
+	case *VCond:
+		return sizeExpr + sizeExprBool(x.C) + sizeExprVal(x.T) + sizeExprVal(x.E)
+	default:
+		return sizeExpr
+	}
+}
+
+func sizeExprBool(e BExpr) int64 {
+	switch x := e.(type) {
+	case nil:
+		return 0
+	case *BCmpInt:
+		return sizeExpr + sizeExprInt(x.L) + sizeExprInt(x.R)
+	case *BCmpFloat:
+		return sizeExpr + sizeExprVal(x.L) + sizeExprVal(x.R)
+	case *BAnd:
+		return sizeExpr + sizeExprBool(x.L) + sizeExprBool(x.R)
+	case *BOr:
+		return sizeExpr + sizeExprBool(x.L) + sizeExprBool(x.R)
+	case *BNot:
+		return sizeExpr + sizeExprBool(x.X)
+	default:
+		return sizeExpr
+	}
+}

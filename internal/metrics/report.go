@@ -36,10 +36,21 @@ const (
 	// TierStats.PromoteNs instead (a CompileReport is read-only once
 	// compilation returns).
 	PhasePromote = "promote"
+	// PhaseLoad times restoring a compiled program from the persistent
+	// disk cache tier: deserialization plus IR-to-closure compilation.
+	// It is the ONLY phase a disk-warm program pays — parse, analyze,
+	// plan, lower, optimize, and certify all stay at zero, which is the
+	// restart-warmth contract tests assert through Program.Stats.
+	PhaseLoad = "load"
 )
 
 // Phases lists every compile phase in pipeline order.
-var Phases = []string{PhaseParse, PhaseAnalyze, PhasePlan, PhaseLower, PhaseOptimize, PhaseCertify, PhasePromote}
+var Phases = []string{PhaseParse, PhaseAnalyze, PhasePlan, PhaseLower, PhaseOptimize, PhaseCertify, PhasePromote, PhaseLoad}
+
+// CompilePhases lists the phases that represent actual compilation
+// work (everything but PhaseLoad). A program served from the disk tier
+// must show zero time across all of them.
+var CompilePhases = []string{PhaseParse, PhaseAnalyze, PhasePlan, PhaseLower, PhaseOptimize, PhaseCertify, PhasePromote}
 
 // Counters tallies the optimizations a compilation performed — the
 // quantities the paper's analyses exist to maximize.

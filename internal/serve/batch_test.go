@@ -1,0 +1,266 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// A batch of N evaluations compiles once and returns, per item, the
+// exact result N separate /eval calls would.
+func TestEvalBatchMatchesSequentialEval(t *testing.T) {
+	s, ts := newTestServer(t, nil)
+	const n = 16
+	base := compileRequest{
+		Source: scaleSrc,
+		Params: map[string]int64{"n": 64},
+		Options: optionsJSON{
+			InputBounds: map[string]boundsJSON{"b": {Lo: []int64{1}, Hi: []int64{64}}},
+		},
+	}
+
+	// Sequential reference results, one /eval per seed.
+	want := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		req := evalRequest{compileRequest: base, evalContext: evalContext{Seed: int64(100 + i)}}
+		resp, body := postJSON(t, ts.URL+"/eval", req)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("eval %d: status %d: %s", i, resp.StatusCode, body)
+		}
+		var er evalResponse
+		if err := json.Unmarshal(body, &er); err != nil {
+			t.Fatal(err)
+		}
+		want[i] = er.Result.Data
+	}
+
+	breq := evalBatchRequest{compileRequest: base}
+	for i := 0; i < n; i++ {
+		breq.Evals = append(breq.Evals, evalContext{Seed: int64(100 + i)})
+	}
+	resp, body := postJSON(t, ts.URL+"/evalbatch", breq)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch: status %d: %s", resp.StatusCode, body)
+	}
+	var br evalBatchResponse
+	if err := json.Unmarshal(body, &br); err != nil {
+		t.Fatal(err)
+	}
+	if br.Cache != "hit" {
+		t.Fatalf("batch cache=%s, want hit (the sequential evals warmed it)", br.Cache)
+	}
+	if len(br.Results) != n {
+		t.Fatalf("batch returned %d results, want %d", len(br.Results), n)
+	}
+	for i, item := range br.Results {
+		if item.Error != "" {
+			t.Fatalf("item %d failed: %s", i, item.Error)
+		}
+		if len(item.Result.Data) != len(want[i]) {
+			t.Fatalf("item %d: %d elements, want %d", i, len(item.Result.Data), len(want[i]))
+		}
+		for j := range want[i] {
+			if math.Float64bits(item.Result.Data[j]) != math.Float64bits(want[i][j]) {
+				t.Fatalf("item %d diverges from sequential /eval at element %d", i, j)
+			}
+		}
+	}
+	// Compile-once: n evals + 1 batch over one program = 1 miss total.
+	if st := s.CacheStats(); st.Misses != 1 {
+		t.Fatalf("misses = %d, want 1 (batch must not recompile)", st.Misses)
+	}
+}
+
+// A cold batch compiles exactly once even though all items race for
+// the program.
+func TestEvalBatchColdCompilesOnce(t *testing.T) {
+	s, ts := newTestServer(t, nil)
+	breq := evalBatchRequest{
+		compileRequest: compileRequest{Source: wavefrontSrc, Params: map[string]int64{"n": 24}},
+		Evals:          []evalContext{{Seed: 1}, {Seed: 2}, {Seed: 3}, {Seed: 4}},
+	}
+	resp, body := postJSON(t, ts.URL+"/evalbatch", breq)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var br evalBatchResponse
+	if err := json.Unmarshal(body, &br); err != nil {
+		t.Fatal(err)
+	}
+	if br.Cache != "miss" {
+		t.Fatalf("cold batch cache=%s, want miss", br.Cache)
+	}
+	if br.CompileNs <= 0 {
+		t.Error("cold batch must report its compile cost")
+	}
+	if st := s.CacheStats(); st.Misses != 1 {
+		t.Fatalf("misses = %d, want 1", st.Misses)
+	}
+}
+
+// One bad item fails that slot only; the batch still answers 200 with
+// every other result intact.
+func TestEvalBatchPerItemErrorIsolation(t *testing.T) {
+	_, ts := newTestServer(t, nil)
+	breq := evalBatchRequest{
+		compileRequest: compileRequest{
+			Source: scaleSrc,
+			Params: map[string]int64{"n": 8},
+			Options: optionsJSON{
+				InputBounds: map[string]boundsJSON{"b": {Lo: []int64{1}, Hi: []int64{8}}},
+			},
+		},
+		Evals: []evalContext{
+			{Seed: 1},
+			{Inputs: map[string]arrayJSON{"b": {Lo: []int64{1}, Hi: []int64{8}, Data: []float64{1, 2}}}}, // short data
+			{Seed: 3},
+		},
+	}
+	resp, body := postJSON(t, ts.URL+"/evalbatch", breq)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d, want 200 (per-item failure must not fail the batch): %s", resp.StatusCode, body)
+	}
+	var br evalBatchResponse
+	if err := json.Unmarshal(body, &br); err != nil {
+		t.Fatal(err)
+	}
+	if br.Results[0].Error != "" || br.Results[2].Error != "" {
+		t.Fatalf("healthy items failed: %q / %q", br.Results[0].Error, br.Results[2].Error)
+	}
+	if !strings.Contains(br.Results[1].Error, "data elements") {
+		t.Fatalf("bad item error = %q, want an input-shape complaint", br.Results[1].Error)
+	}
+	if len(br.Results[0].Result.Data) != 8 || len(br.Results[2].Result.Data) != 8 {
+		t.Fatal("healthy items missing results")
+	}
+}
+
+// Batch shape limits: empty and over-limit batches are client errors.
+func TestEvalBatchLimits(t *testing.T) {
+	_, ts := newTestServer(t, func(c *Config) { c.MaxBatch = 4 })
+	base := compileRequest{Source: wavefrontSrc, Params: map[string]int64{"n": 8}}
+
+	resp, body := postJSON(t, ts.URL+"/evalbatch", evalBatchRequest{compileRequest: base})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("empty batch: status %d, want 400: %s", resp.StatusCode, body)
+	}
+
+	over := evalBatchRequest{compileRequest: base}
+	for i := 0; i < 5; i++ {
+		over.Evals = append(over.Evals, evalContext{Seed: int64(i)})
+	}
+	resp, body = postJSON(t, ts.URL+"/evalbatch", over)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("oversized batch: status %d, want 400: %s", resp.StatusCode, body)
+	}
+	if !strings.Contains(string(body), "exceeds limit 4") {
+		t.Fatalf("oversized batch error = %s, want the limit named", body)
+	}
+}
+
+// Admission control: with the concurrency slot held and the queue at
+// its watermark, the next request sheds immediately with 429 +
+// Retry-After; once the slot frees, queued work completes and traffic
+// below the watermark never sheds.
+func TestAdmissionControlSheds(t *testing.T) {
+	s, ts := newTestServer(t, func(c *Config) {
+		c.Concurrency = 1
+		c.QueueDepth = 1
+	})
+	req := compileRequest{Source: wavefrontSrc, Params: map[string]int64{"n": 8}}
+
+	// Occupy the single concurrency slot from outside.
+	s.sem <- struct{}{}
+
+	// First request queues (waiting=1, at the watermark).
+	queued := make(chan *http.Response, 1)
+	go func() {
+		resp, _ := postJSON(t, ts.URL+"/compile", req)
+		queued <- resp
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for s.waiting.Load() != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("first request never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Second request is over the watermark: shed, not queued.
+	resp, body := postJSON(t, ts.URL+"/compile", req)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over watermark: status %d, want 429: %s", resp.StatusCode, body)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 missing Retry-After header")
+	}
+
+	// Release the slot; the queued request must complete normally.
+	<-s.sem
+	qresp := <-queued
+	if qresp.StatusCode != http.StatusOK {
+		t.Fatalf("queued request: status %d, want 200", qresp.StatusCode)
+	}
+
+	// Below the watermark nothing sheds: a burst wider than the queue
+	// but served sequentially never sees 429.
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, _ := postJSON(t, ts.URL+"/compile", req)
+			if resp.StatusCode == http.StatusTooManyRequests {
+				// Allowed: concurrency 1 and queue 1 make bursts shed by
+				// design. Not a failure — the zero-shed assertion below
+				// uses sequential traffic.
+				return
+			}
+		}()
+	}
+	wg.Wait()
+	shedBefore := fetchShedCount(t, ts.URL, "compile")
+	for i := 0; i < 8; i++ {
+		resp, _ := postJSON(t, ts.URL+"/compile", req)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("sequential request %d: status %d", i, resp.StatusCode)
+		}
+	}
+	if after := fetchShedCount(t, ts.URL, "compile"); after != shedBefore {
+		t.Fatalf("sequential traffic below the watermark shed %d requests", after-shedBefore)
+	}
+	if shedBefore < 1 {
+		t.Fatalf("shed counter = %d, want >= 1 (the 429 above must be counted)", shedBefore)
+	}
+}
+
+// fetchShedCount scrapes haccd_shed_total{handler=...} from /metrics.
+func fetchShedCount(t *testing.T, url, handler string) uint64 {
+	t.Helper()
+	resp, err := http.Get(url + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prefix := fmt.Sprintf(`haccd_shed_total{handler="%s"} `, handler)
+	for _, line := range strings.Split(string(body), "\n") {
+		if strings.HasPrefix(line, prefix) {
+			var n uint64
+			if _, err := fmt.Sscan(strings.TrimPrefix(line, prefix), &n); err != nil {
+				t.Fatalf("bad shed counter line %q: %v", line, err)
+			}
+			return n
+		}
+	}
+	return 0
+}

@@ -1,0 +1,325 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"arraycomp/internal/cache"
+	"arraycomp/internal/core"
+)
+
+// fleet is a set of in-process replicas sharing one peer list.
+type fleet struct {
+	servers []*Server
+	ts      []*httptest.Server
+	addrs   []string
+}
+
+// newFleet starts n replicas on real loopback listeners. The
+// addresses must exist before the servers (the ring is built from
+// them), so listeners are bound first and handed to httptest.
+func newFleet(t *testing.T, n int, mut func(i int, c *Config)) *fleet {
+	t.Helper()
+	f := &fleet{}
+	listeners := make([]net.Listener, n)
+	for i := 0; i < n; i++ {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		listeners[i] = l
+		f.addrs = append(f.addrs, l.Addr().String())
+	}
+	for i := 0; i < n; i++ {
+		cfg := DefaultConfig()
+		cfg.CacheEntries = 64
+		cfg.Peers = append([]string(nil), f.addrs...)
+		cfg.Self = f.addrs[i]
+		if mut != nil {
+			mut(i, &cfg)
+		}
+		s, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := httptest.NewUnstartedServer(s.Handler())
+		ts.Listener.Close()
+		ts.Listener = listeners[i]
+		ts.Start()
+		t.Cleanup(ts.Close)
+		f.servers = append(f.servers, s)
+		f.ts = append(f.ts, ts)
+	}
+	return f
+}
+
+func (f *fleet) url(i int) string { return "http://" + f.addrs[i] }
+
+// totalStats sums a counter across replicas.
+func (f *fleet) totalMisses() (total uint64) {
+	for _, s := range f.servers {
+		total += s.CacheStats().Misses
+	}
+	return
+}
+
+func fleetSrc(i int) string {
+	return fmt.Sprintf(`a = array (1,n) [ j := j*%d | j <- [1..n] ]`, i+1)
+}
+
+// One program sent to every replica compiles exactly once fleet-wide:
+// non-owners proxy to the owner, whose cache warms on the first call.
+func TestFleetCompilesOnceFleetwide(t *testing.T) {
+	f := newFleet(t, 3, nil)
+	req := compileRequest{Source: wavefrontSrc, Params: map[string]int64{"n": 16}}
+
+	for round := 0; round < 2; round++ {
+		for i := range f.servers {
+			resp, body := postJSON(t, f.url(i)+"/compile", req)
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("round %d replica %d: status %d: %s", round, i, resp.StatusCode, body)
+			}
+			var cr compileResponse
+			if err := json.Unmarshal(body, &cr); err != nil {
+				t.Fatal(err)
+			}
+			if (round > 0 || i > 0) && cr.Cache != "hit" {
+				t.Fatalf("round %d replica %d: cache=%s, want hit (owner already warm)", round, i, cr.Cache)
+			}
+		}
+	}
+	if got := f.totalMisses(); got != 1 {
+		t.Fatalf("fleet-wide misses = %d, want exactly 1 compile for 6 requests", got)
+	}
+	// Exactly one replica owns the plan.
+	owners := 0
+	for _, s := range f.servers {
+		if s.CacheStats().Entries == 1 {
+			owners++
+		}
+	}
+	if owners != 1 {
+		t.Fatalf("%d replicas hold the plan, want exactly 1", owners)
+	}
+}
+
+// Distinct programs spread across owners, and every replica answers
+// for every program (routing, not redirection).
+func TestFleetRoutesAcrossOwners(t *testing.T) {
+	f := newFleet(t, 3, nil)
+	const programs = 12
+	for p := 0; p < programs; p++ {
+		req := evalRequest{compileRequest: compileRequest{Source: fleetSrc(p), Params: map[string]int64{"n": 8}}}
+		// Ask a different replica each time; results must be identical
+		// regardless of which replica fields the request.
+		var want []float64
+		for i := range f.servers {
+			resp, body := postJSON(t, f.url(i)+"/eval", req)
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("program %d via replica %d: status %d: %s", p, i, resp.StatusCode, body)
+			}
+			var er evalResponse
+			if err := json.Unmarshal(body, &er); err != nil {
+				t.Fatal(err)
+			}
+			if want == nil {
+				want = er.Result.Data
+				continue
+			}
+			for j := range want {
+				if math.Float64bits(want[j]) != math.Float64bits(er.Result.Data[j]) {
+					t.Fatalf("program %d: replica %d result diverges at %d", p, i, j)
+				}
+			}
+		}
+	}
+	if got := f.totalMisses(); got != programs {
+		t.Fatalf("fleet-wide misses = %d, want %d (one per program)", got, programs)
+	}
+	// With 12 keys on a 3-node ring, at least two replicas should own
+	// something (all-on-one would mean the ring is degenerate).
+	owners := 0
+	for _, s := range f.servers {
+		if s.CacheStats().Entries > 0 {
+			owners++
+		}
+	}
+	if owners < 2 {
+		t.Fatalf("only %d replicas own plans across %d programs", owners, programs)
+	}
+}
+
+// A forwarded request is served locally by the receiver even if its
+// ring disagrees — the loop-prevention header in action. Simulated by
+// a replica whose peer list names only the OTHER replica as owner of
+// everything (single-peer ring that is not itself).
+func TestFleetForwardHeaderPreventsLoops(t *testing.T) {
+	// Replica 0's ring says replica 1 owns everything; replica 1's ring
+	// says replica 0 owns everything. Without loop prevention every
+	// request would bounce forever.
+	listeners := make([]net.Listener, 2)
+	addrs := make([]string, 2)
+	for i := range listeners {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		listeners[i] = l
+		addrs[i] = l.Addr().String()
+	}
+	for i := range listeners {
+		cfg := DefaultConfig()
+		cfg.CacheEntries = 16
+		cfg.Self = addrs[i]
+		cfg.Peers = []string{addrs[1-i]} // deliberately excludes self
+		s, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := httptest.NewUnstartedServer(s.Handler())
+		ts.Listener.Close()
+		ts.Listener = listeners[i]
+		ts.Start()
+		t.Cleanup(ts.Close)
+	}
+	req := compileRequest{Source: wavefrontSrc, Params: map[string]int64{"n": 8}}
+	resp, body := postJSON(t, "http://"+addrs[0]+"/compile", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d (a proxy loop would time out): %s", resp.StatusCode, body)
+	}
+	if got := resp.Header.Get("X-Haccd-Served-By"); got != addrs[1] {
+		t.Fatalf("served by %q, want the one-hop peer %s", got, addrs[1])
+	}
+}
+
+// A dead owner degrades to a local compile, not an error.
+func TestFleetLocalFallbackOnDeadPeer(t *testing.T) {
+	f := newFleet(t, 3, nil)
+	// Find a program owned by replica 2, asking replica 0.
+	var req compileRequest
+	for p := 0; ; p++ {
+		if p > 200 {
+			t.Fatal("no program hashed to replica 2")
+		}
+		cand := compileRequest{Source: fleetSrc(p), Params: map[string]int64{"n": 8}}
+		key, err := f.servers[0].requestKey(cand)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f.servers[0].ring.Owner(key) == f.addrs[2] {
+			req = cand
+			break
+		}
+	}
+	f.ts[2].Close() // kill the owner
+	resp, body := postJSON(t, f.url(0)+"/compile", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s, want local fallback to succeed", resp.StatusCode, body)
+	}
+	var cr compileResponse
+	if err := json.Unmarshal(body, &cr); err != nil {
+		t.Fatal(err)
+	}
+	if cr.Cache != "miss" {
+		t.Fatalf("cache=%s, want a local miss (the dead owner could not serve)", cr.Cache)
+	}
+	if f.servers[0].CacheStats().Entries != 1 {
+		t.Fatal("fallback compile did not warm the local cache")
+	}
+	// Metrics record the fallback.
+	resp2, err := http.Get(f.url(0) + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	metricsBody, err := io.ReadAll(resp2.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(metricsBody), `haccd_proxy_total{outcome="fallback"} 1`) {
+		t.Error("metrics missing the proxy fallback count")
+	}
+}
+
+// Warm-replica routing with the disk tier underneath: a restarted
+// owner serves its old working set from disk, and the whole fleet sees
+// "disk" then "hit" — never a recompile.
+func TestFleetDiskWarmRestart(t *testing.T) {
+	dirs := []string{t.TempDir(), t.TempDir(), t.TempDir()}
+	mut := func(i int, c *Config) { c.CacheDir = dirs[i] }
+	f := newFleet(t, 3, mut)
+	req := compileRequest{
+		Source:  wavefrontSrc,
+		Params:  map[string]int64{"n": 16},
+		Options: optionsJSON{Certify: true},
+	}
+	resp, body := postJSON(t, f.url(0)+"/compile", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	// "Restart" the fleet: same addresses cannot be rebound portably,
+	// so restart at the cache level — fresh servers over the same cache
+	// directories — and drive the owner directly.
+	var ownerIdx int
+	key, err := f.servers[0].requestKey(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, a := range f.addrs {
+		if a == f.servers[0].ring.Owner(key) {
+			ownerIdx = i
+		}
+	}
+	cfg := DefaultConfig()
+	cfg.CacheEntries = 64
+	cfg.CacheDir = dirs[ownerIdx]
+	restarted, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(restarted.Handler())
+	t.Cleanup(ts.Close)
+	resp, body = postJSON(t, ts.URL+"/compile", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("restarted owner: status %d: %s", resp.StatusCode, body)
+	}
+	var cr compileResponse
+	if err := json.Unmarshal(body, &cr); err != nil {
+		t.Fatal(err)
+	}
+	if cr.Cache != "disk" {
+		t.Fatalf("restarted owner cache=%s, want disk (plan persisted before restart)", cr.Cache)
+	}
+	for _, ph := range []string{"parse", "analyze", "plan", "lower", "optimize", "certify"} {
+		if ns := cr.PhasesNs[ph]; ns != 0 {
+			t.Errorf("restarted owner paid %dns of %s; disk restore must pay zero compile phases", ns, ph)
+		}
+	}
+	if cr.PhasesNs["load"] <= 0 {
+		t.Error("disk restore must report the load phase")
+	}
+	if _, origin, _ := restarted.cache.GetOrCompile(req.Source, req.Params, mustOpts(t, req, restarted)); origin != cache.OriginMemory {
+		t.Fatalf("second fetch origin=%v, want memory", origin)
+	}
+}
+
+func mustOpts(t *testing.T, req compileRequest, s *Server) core.Options {
+	t.Helper()
+	opts, err := req.Options.coreOptions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if req.Options.Tier == "" {
+		opts.Tier = s.cfg.Tier
+		opts.TierThreshold = s.cfg.TierThreshold
+	}
+	opts.TierStats = s.tierStats
+	return opts
+}

@@ -1,0 +1,97 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+
+	"arraycomp/internal/cache"
+)
+
+// Fleet routing. Every replica computes the same content address a
+// request would cache under and consults the same ring; the replica
+// owning the key serves it (compiling at most once fleet-wide), every
+// other replica proxies. The proxy carries the forward marker so the
+// owner always serves locally — one hop, never a loop, even when two
+// replicas briefly disagree about membership mid-rollout.
+//
+// Failure policy: if the owner is unreachable, answers 5xx, or is
+// itself shedding (429), the request runs locally instead. A dead
+// peer degrades the fleet to extra compiles — never to refused
+// traffic the local replica could have served.
+
+// requestKey resolves the request exactly as compileThrough will
+// (server-default tier applied before keying) and returns its cache
+// key.
+func (s *Server) requestKey(req compileRequest) (string, error) {
+	opts, err := req.Options.coreOptions()
+	if err != nil {
+		return "", err
+	}
+	if req.Options.Tier == "" {
+		opts.Tier = s.cfg.Tier
+		opts.TierThreshold = s.cfg.TierThreshold
+	}
+	return cache.Key(req.Source, req.Params, opts), nil
+}
+
+// maybeProxy routes the request to the replica owning its cache key.
+// done=true means the peer's response (any status < 500 except 429)
+// was already written. done=false means the caller must serve the
+// request locally: this replica owns the key, the request was already
+// forwarded once, the fleet is not configured, or the owner failed.
+// full is the decoded request, re-serialized for the forwarded body.
+func (s *Server) maybeProxy(w http.ResponseWriter, r *http.Request, creq compileRequest, full any) (done bool) {
+	if s.ring == nil || r.Header.Get(forwardHeader) != "" {
+		return false
+	}
+	key, err := s.requestKey(creq)
+	if err != nil {
+		// Malformed options: serve locally so the local handler
+		// produces the proper 400.
+		return false
+	}
+	owner := s.ring.Owner(key)
+	if owner == "" || owner == s.cfg.Self {
+		return false
+	}
+	body, err := json.Marshal(full)
+	if err != nil {
+		return false
+	}
+	preq, err := http.NewRequestWithContext(r.Context(), http.MethodPost, ownerURL(owner)+r.URL.Path, bytes.NewReader(body))
+	if err != nil {
+		return false
+	}
+	preq.Header.Set("Content-Type", "application/json")
+	preq.Header.Set(forwardHeader, s.cfg.Self)
+	resp, err := s.client.Do(preq)
+	if err != nil {
+		s.proxyTotal.With("fallback").Inc()
+		return false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= http.StatusInternalServerError || resp.StatusCode == http.StatusTooManyRequests {
+		// Owner down or shedding: serve locally rather than bounce the
+		// client. The local compile is the price of the peer's outage.
+		s.proxyTotal.With("fallback").Inc()
+		return false
+	}
+	s.proxyTotal.With("forwarded").Inc()
+	w.Header().Set("Content-Type", resp.Header.Get("Content-Type"))
+	w.Header().Set("X-Haccd-Served-By", owner)
+	w.WriteHeader(resp.StatusCode)
+	io.Copy(w, resp.Body)
+	return true
+}
+
+// ownerURL turns a peer list entry into a base URL; bare host:port
+// entries get the http scheme.
+func ownerURL(owner string) string {
+	if strings.Contains(owner, "://") {
+		return owner
+	}
+	return "http://" + owner
+}

@@ -1,4 +1,4 @@
-package main
+package serve
 
 import (
 	"bytes"
@@ -23,15 +23,18 @@ const wavefrontSrc = `a = array ((1,1),(n,n))
 
 const scaleSrc = `a2 = array (1,n) [ i := b!i * 2.0 | i <- [1..n] ]`
 
-func newTestServer(t *testing.T, mut func(*config)) (*server, *httptest.Server) {
+func newTestServer(t *testing.T, mut func(*Config)) (*Server, *httptest.Server) {
 	t.Helper()
-	cfg := defaultConfig()
-	cfg.cacheEntries = 32
+	cfg := DefaultConfig()
+	cfg.CacheEntries = 32
 	if mut != nil {
 		mut(&cfg)
 	}
-	s := newServer(cfg)
-	ts := httptest.NewServer(s.handler())
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(ts.Close)
 	return s, ts
 }
@@ -228,7 +231,7 @@ func TestEvalWithExplicitAndGeneratedInputs(t *testing.T) {
 			Params:  map[string]int64{"n": 4},
 			Options: optionsJSON{InputBounds: bounds},
 		},
-		Inputs: map[string]arrayJSON{"b": {Lo: []int64{1}, Hi: []int64{4}, Data: []float64{1, 2, 3, 4}}},
+		evalContext: evalContext{Inputs: map[string]arrayJSON{"b": {Lo: []int64{1}, Hi: []int64{4}, Data: []float64{1, 2, 3, 4}}}},
 	}
 	resp, body := postJSON(t, ts.URL+"/eval", req)
 	if resp.StatusCode != http.StatusOK {
@@ -242,7 +245,7 @@ func TestEvalWithExplicitAndGeneratedInputs(t *testing.T) {
 		t.Fatalf("result = %v, want [2 4 6 8]", er.Result.Data)
 	}
 	// Generated inputs are deterministic in the seed.
-	gen := evalRequest{compileRequest: req.compileRequest, Seed: 7}
+	gen := evalRequest{compileRequest: req.compileRequest, evalContext: evalContext{Seed: 7}}
 	_, b1 := postJSON(t, ts.URL+"/eval", gen)
 	_, b2 := postJSON(t, ts.URL+"/eval", gen)
 	var er1, er2 evalResponse
@@ -286,6 +289,11 @@ func TestMetricsExposition(t *testing.T) {
 		`haccd_requests_total{handler="compile"} 2`,
 		`haccd_opt_total{kind="collision_checks_elided"} 3`,
 		`haccd_schedules_total{kind="sequential"}`,
+		"haccd_cache_singleflight_waits_total 0",
+		"haccd_cache_disk_hits_total 0",
+		"haccd_cache_disk_writes_total 0",
+		"haccd_cache_disk_discards_total 0",
+		"haccd_queued_requests 0",
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("metrics exposition missing %q", want)
@@ -297,7 +305,7 @@ func TestMetricsExposition(t *testing.T) {
 }
 
 func TestRequestValidation(t *testing.T) {
-	_, ts := newTestServer(t, func(c *config) { c.maxBody = 256 })
+	_, ts := newTestServer(t, func(c *Config) { c.MaxBody = 256 })
 	// Malformed JSON.
 	resp, err := http.Post(ts.URL+"/compile", "application/json", strings.NewReader("{nope"))
 	if err != nil {
@@ -336,7 +344,7 @@ func TestRequestValidation(t *testing.T) {
 
 // The limiter serializes work but never loses requests.
 func TestConcurrencyLimiterReleasesSlots(t *testing.T) {
-	_, ts := newTestServer(t, func(c *config) { c.concurrency = 1 })
+	_, ts := newTestServer(t, func(c *Config) { c.Concurrency = 1 })
 	req := evalRequest{compileRequest: compileRequest{Source: wavefrontSrc, Params: map[string]int64{"n": 16}}}
 	data, _ := json.Marshal(req)
 	var wg sync.WaitGroup
@@ -458,7 +466,7 @@ func TestEvalTiered(t *testing.T) {
 // the policy to requests that don't mention tiering, and a request that
 // says tier:"off" opts out of the default.
 func TestEvalTierServerDefault(t *testing.T) {
-	_, ts := newTestServer(t, func(c *config) { c.tier = core.TierForced })
+	_, ts := newTestServer(t, func(c *Config) { c.Tier = core.TierForced })
 	req := evalRequest{compileRequest: compileRequest{Source: wavefrontSrc, Params: map[string]int64{"n": 8}}}
 	resp, body := postJSON(t, ts.URL+"/eval", req)
 	if resp.StatusCode != http.StatusOK {

@@ -1,0 +1,103 @@
+// Package shard places content-addressed cache keys onto a fleet of
+// haccd replicas with a consistent-hash ring.
+//
+// Why consistent hashing instead of key mod N: the plan cache's value
+// is its warmth. Under mod-N placement, adding or removing one replica
+// remaps nearly every key, so a routine scale-up cold-starts the whole
+// fleet's compile cache at once. On the ring, membership changes move
+// only the keys adjacent to the changed node (~1/N of the space), so
+// the rest of the fleet keeps serving warm hits.
+//
+// Every replica builds the same ring from the same -peers list and
+// routes each request to its owner, so a given (source, params,
+// options) triple compiles on exactly one replica and its plan warms
+// exactly one memory/disk cache — N replicas give N distinct working
+// sets instead of N copies of one.
+package shard
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// DefaultReplicas is the virtual-node count per physical node. 128
+// points per node keeps the max/min load ratio near 1.2 for small
+// fleets while the ring stays a few KB.
+const DefaultReplicas = 128
+
+type point struct {
+	hash uint64
+	node int // index into r.nodes
+}
+
+// Ring is an immutable consistent-hash ring; safe for concurrent use.
+type Ring struct {
+	nodes  []string
+	points []point // sorted by hash
+}
+
+// New builds a ring of the given nodes with `replicas` virtual nodes
+// each (0 means DefaultReplicas). Node order does not matter: two
+// rings built from permutations of the same set place every key
+// identically. Duplicate nodes are collapsed.
+func New(nodes []string, replicas int) *Ring {
+	if replicas <= 0 {
+		replicas = DefaultReplicas
+	}
+	seen := map[string]bool{}
+	r := &Ring{}
+	for _, n := range nodes {
+		if n == "" || seen[n] {
+			continue
+		}
+		seen[n] = true
+		r.nodes = append(r.nodes, n)
+	}
+	sort.Strings(r.nodes)
+	for i, n := range r.nodes {
+		for v := 0; v < replicas; v++ {
+			r.points = append(r.points, point{hash: hash64(fmt.Sprintf("%s#%d", n, v)), node: i})
+		}
+	}
+	sort.Slice(r.points, func(a, b int) bool {
+		if r.points[a].hash != r.points[b].hash {
+			return r.points[a].hash < r.points[b].hash
+		}
+		// Hash ties (astronomically rare) break by node index so
+		// permuted input orders still agree.
+		return r.points[a].node < r.points[b].node
+	})
+	return r
+}
+
+// Len returns the number of distinct nodes.
+func (r *Ring) Len() int { return len(r.nodes) }
+
+// Nodes returns the distinct nodes in sorted order.
+func (r *Ring) Nodes() []string { return append([]string(nil), r.nodes...) }
+
+// Owner maps a cache key to the node owning it: the first virtual
+// node at or clockwise of the key's hash. Empty rings own nothing and
+// return "".
+func (r *Ring) Owner(key string) string {
+	if len(r.points) == 0 {
+		return ""
+	}
+	h := hash64(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0 // wrap around
+	}
+	return r.nodes[r.points[i].node]
+}
+
+// hash64 is SHA-256 truncated to 64 bits. FNV and friends clump badly
+// on the short, near-identical strings virtual nodes are named with
+// ("host:port#17"), skewing ownership several-fold; a cryptographic
+// hash spreads them uniformly and routing is not a hot path.
+func hash64(s string) uint64 {
+	sum := sha256.Sum256([]byte(s))
+	return binary.BigEndian.Uint64(sum[:8])
+}

@@ -1,0 +1,82 @@
+package shard
+
+import (
+	"fmt"
+	"testing"
+)
+
+func keys(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		// Shaped like real cache keys (hex SHA-256), though Owner only
+		// sees opaque strings.
+		out[i] = fmt.Sprintf("%064x", i*2654435761)
+	}
+	return out
+}
+
+func TestOwnerDeterministicAndOrderInsensitive(t *testing.T) {
+	a := New([]string{"h1:1", "h2:1", "h3:1"}, 0)
+	b := New([]string{"h3:1", "h1:1", "h2:1"}, 0)
+	for _, k := range keys(1000) {
+		if a.Owner(k) != b.Owner(k) {
+			t.Fatalf("key %s: owner differs across node orderings: %s vs %s", k, a.Owner(k), b.Owner(k))
+		}
+	}
+}
+
+func TestDistributionRoughlyBalanced(t *testing.T) {
+	r := New([]string{"h1:1", "h2:1", "h3:1"}, 0)
+	counts := map[string]int{}
+	const n = 30000
+	for _, k := range keys(n) {
+		counts[r.Owner(k)]++
+	}
+	if len(counts) != 3 {
+		t.Fatalf("only %d of 3 nodes own keys: %v", len(counts), counts)
+	}
+	for node, c := range counts {
+		frac := float64(c) / n
+		if frac < 0.15 || frac > 0.55 {
+			t.Errorf("node %s owns %.1f%% of keys; want a rough third: %v", node, 100*frac, counts)
+		}
+	}
+}
+
+func TestConsistencyUnderMembershipChange(t *testing.T) {
+	full := New([]string{"h1:1", "h2:1", "h3:1", "h4:1"}, 0)
+	less := New([]string{"h1:1", "h2:1", "h3:1"}, 0)
+	moved, kept := 0, 0
+	for _, k := range keys(10000) {
+		was, is := full.Owner(k), less.Owner(k)
+		if was == "h4:1" {
+			continue // had to move; anywhere is fine
+		}
+		if was == is {
+			kept++
+		} else {
+			moved++
+		}
+	}
+	// Consistent hashing's contract: keys not owned by the removed node
+	// stay put.
+	if moved != 0 {
+		t.Errorf("%d keys moved between surviving nodes (kept %d); removal must only remap the removed node's keys", moved, kept)
+	}
+}
+
+func TestDegenerateRings(t *testing.T) {
+	if got := New(nil, 0).Owner("k"); got != "" {
+		t.Errorf("empty ring owner = %q, want \"\"", got)
+	}
+	one := New([]string{"solo:1"}, 0)
+	for _, k := range keys(100) {
+		if one.Owner(k) != "solo:1" {
+			t.Fatal("single-node ring must own every key")
+		}
+	}
+	dup := New([]string{"h1:1", "h1:1", "h2:1"}, 0)
+	if dup.Len() != 2 {
+		t.Errorf("duplicate nodes not collapsed: %v", dup.Nodes())
+	}
+}

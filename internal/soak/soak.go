@@ -1,0 +1,231 @@
+// Package soak drives a haccd replica or fleet with a Zipf-distributed
+// program mix and reports cache behaviour under sustained load.
+//
+// The workload models the fleet argument quantitatively: real plan
+// traffic is heavy-tailed (a few hot programs dominate, a long tail of
+// rare ones), which is exactly the regime where a content-addressed
+// cache pays off — the hot head hits memory, the warm middle hits
+// disk, and only the cold tail compiles. A uniform mix would understate
+// the cache; a single program would overstate it. Zipf(s) spans both
+// extremes with one knob.
+//
+// The engine is shared by `cmd/hacsoak` (CLI against a running daemon)
+// and the fleet soak tests (in-process replicas), so the numbers a CI
+// gate checks and the numbers an operator measures come from the same
+// code path.
+package soak
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Config describes one soak run.
+type Config struct {
+	// Targets are base URLs (e.g. "http://127.0.0.1:8347"). With more
+	// than one, workers spread requests round-robin across the fleet —
+	// every replica fields traffic for every program, so routing (not
+	// client-side pinning) is what keeps the hit rate up.
+	Targets []string
+	// Requests is the total request count across all workers.
+	Requests int
+	// Concurrency is the worker count (default 8).
+	Concurrency int
+	// Programs is the number of distinct programs in the mix (default 64).
+	Programs int
+	// ZipfS is the Zipf exponent s > 1 (default 1.2); larger = more
+	// skew toward the hot head.
+	ZipfS float64
+	// Seed makes the program-pick sequence reproducible.
+	Seed int64
+	// N is the array-size parameter every program is compiled with
+	// (default 64).
+	N int64
+	// Certify compiles every program with the certification audit on.
+	// Only certified plans are admitted to the disk tier, so a soak
+	// meant to exercise restart warmth must set this.
+	Certify bool
+	// Client overrides the HTTP client (tests); nil builds one with
+	// keep-alive sized to Concurrency.
+	Client *http.Client
+}
+
+// Result is what one soak run observed.
+type Result struct {
+	Requests   int           // completed requests (any status)
+	Hits       uint64        // 200s served from the memory tier
+	Misses     uint64        // 200s that compiled
+	Disk       uint64        // 200s restored from the disk tier
+	Shed       uint64        // 429s
+	HTTP5xx    uint64        // 5xx responses
+	Errors     uint64        // transport/decode failures
+	Duration   time.Duration // wall clock of the whole run
+	P50        time.Duration // latency percentiles over completed requests
+	P99        time.Duration
+	Throughput float64 // completed requests per second
+}
+
+// HitRate is warm serves (memory + disk) over all evaluated requests.
+func (r Result) HitRate() float64 {
+	total := r.Hits + r.Misses + r.Disk
+	if total == 0 {
+		return 0
+	}
+	return float64(r.Hits+r.Disk) / float64(total)
+}
+
+// String renders the machine-readable result line the CI gate greps.
+func (r Result) String() string {
+	return fmt.Sprintf(
+		"SOAK-OK requests=%d hit_rate=%.4f hits=%d misses=%d disk=%d shed=%d http5xx=%d errors=%d throughput_rps=%.1f p50_us=%d p99_us=%d",
+		r.Requests, r.HitRate(), r.Hits, r.Misses, r.Disk, r.Shed, r.HTTP5xx, r.Errors,
+		r.Throughput, r.P50.Microseconds(), r.P99.Microseconds())
+}
+
+// programSource returns the i-th program of the mix. Each differs in a
+// constant, so each has its own cache key but identical compile cost —
+// the mix stresses the cache, not the compiler.
+func programSource(i int) string {
+	return fmt.Sprintf("a = array (1,n) [ j := j * %d.0 + j | j <- [1..n] ]", i+1)
+}
+
+// evalRequestBody matches haccd's POST /eval request shape.
+type evalRequestBody struct {
+	Source  string           `json:"source"`
+	Params  map[string]int64 `json:"params"`
+	Options *optionsBody     `json:"options,omitempty"`
+	Seed    int64            `json:"seed,omitempty"`
+}
+
+type optionsBody struct {
+	Certify bool `json:"certify,omitempty"`
+}
+
+// evalResponseBody is the slice of haccd's /eval response the soak
+// engine cares about.
+type evalResponseBody struct {
+	Cache string `json:"cache"`
+}
+
+// Run executes the configured soak and aggregates what came back.
+// Only transport-level failures abort the run; HTTP-level failures
+// (shed, 5xx) are counted and reported — judging them is the caller's
+// job (CI gates on the counters).
+func Run(cfg Config) (Result, error) {
+	if len(cfg.Targets) == 0 {
+		return Result{}, fmt.Errorf("soak: no targets")
+	}
+	if cfg.Requests <= 0 {
+		return Result{}, fmt.Errorf("soak: requests must be positive")
+	}
+	if cfg.Concurrency <= 0 {
+		cfg.Concurrency = 8
+	}
+	if cfg.Programs <= 0 {
+		cfg.Programs = 64
+	}
+	if cfg.ZipfS <= 1 {
+		cfg.ZipfS = 1.2
+	}
+	if cfg.N <= 0 {
+		cfg.N = 64
+	}
+	client := cfg.Client
+	if client == nil {
+		client = &http.Client{
+			Timeout: 60 * time.Second,
+			Transport: &http.Transport{
+				MaxIdleConns:        cfg.Concurrency * 2,
+				MaxIdleConnsPerHost: cfg.Concurrency,
+			},
+		}
+	}
+	for i, tgt := range cfg.Targets {
+		cfg.Targets[i] = strings.TrimRight(tgt, "/")
+	}
+
+	var (
+		res       Result
+		latencies = make([]int64, cfg.Requests)
+		next      atomic.Int64 // request ordinals, claimed by workers
+		wg        sync.WaitGroup
+	)
+	t0 := time.Now()
+	for w := 0; w < cfg.Concurrency; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// Per-worker RNG: same Seed → same aggregate mix, no lock
+			// contention on a shared source.
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(w)*7919))
+			zipf := rand.NewZipf(rng, cfg.ZipfS, 1, uint64(cfg.Programs-1))
+			for {
+				i := next.Add(1) - 1
+				if i >= int64(cfg.Requests) {
+					return
+				}
+				prog := int(zipf.Uint64())
+				req := evalRequestBody{
+					Source: programSource(prog),
+					Params: map[string]int64{"n": cfg.N},
+					Seed:   i,
+				}
+				if cfg.Certify {
+					req.Options = &optionsBody{Certify: true}
+				}
+				body, _ := json.Marshal(req)
+				target := cfg.Targets[i%int64(len(cfg.Targets))]
+				rt0 := time.Now()
+				resp, err := client.Post(target+"/eval", "application/json", bytes.NewReader(body))
+				latencies[i] = time.Since(rt0).Nanoseconds()
+				if err != nil {
+					atomic.AddUint64(&res.Errors, 1)
+					continue
+				}
+				switch {
+				case resp.StatusCode == http.StatusOK:
+					var er evalResponseBody
+					if decodeErr := json.NewDecoder(resp.Body).Decode(&er); decodeErr != nil {
+						atomic.AddUint64(&res.Errors, 1)
+					} else {
+						switch er.Cache {
+						case "hit":
+							atomic.AddUint64(&res.Hits, 1)
+						case "disk":
+							atomic.AddUint64(&res.Disk, 1)
+						default:
+							atomic.AddUint64(&res.Misses, 1)
+						}
+					}
+				case resp.StatusCode == http.StatusTooManyRequests:
+					atomic.AddUint64(&res.Shed, 1)
+				case resp.StatusCode >= 500:
+					atomic.AddUint64(&res.HTTP5xx, 1)
+				default:
+					atomic.AddUint64(&res.Errors, 1)
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+		}(w)
+	}
+	wg.Wait()
+	res.Duration = time.Since(t0)
+	res.Requests = cfg.Requests
+	sort.Slice(latencies, func(a, b int) bool { return latencies[a] < latencies[b] })
+	res.P50 = time.Duration(latencies[cfg.Requests/2])
+	res.P99 = time.Duration(latencies[cfg.Requests*99/100])
+	if secs := res.Duration.Seconds(); secs > 0 {
+		res.Throughput = float64(cfg.Requests) / secs
+	}
+	return res, nil
+}

@@ -1,0 +1,187 @@
+package soak
+
+import (
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"arraycomp/internal/serve"
+)
+
+// startFleet brings up n in-process haccd replicas on real loopback
+// listeners sharing one consistent-hash peer list, and returns their
+// base URLs plus the servers (for cache-stat assertions).
+func startFleet(t *testing.T, n int, mut func(c *serve.Config)) ([]string, []*serve.Server) {
+	t.Helper()
+	listeners := make([]net.Listener, n)
+	addrs := make([]string, n)
+	for i := range listeners {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		listeners[i] = l
+		addrs[i] = l.Addr().String()
+	}
+	servers := make([]*serve.Server, n)
+	urls := make([]string, n)
+	for i := range listeners {
+		cfg := serve.DefaultConfig()
+		cfg.CacheEntries = 256
+		cfg.Peers = append([]string(nil), addrs...)
+		cfg.Self = addrs[i]
+		if mut != nil {
+			mut(&cfg)
+		}
+		s, err := serve.New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := httptest.NewUnstartedServer(s.Handler())
+		ts.Listener.Close()
+		ts.Listener = listeners[i]
+		ts.Start()
+		t.Cleanup(ts.Close)
+		servers[i] = s
+		urls[i] = "http://" + addrs[i]
+	}
+	return urls, servers
+}
+
+// The headline soak: 100k Zipf-mixed requests sprayed across a
+// 3-replica fleet. Routing concentrates each program on its owner, so
+// the fleet compiles each program at most ~once and the aggregate hit
+// rate clears 90% by a wide margin. Zero shedding, zero 5xx.
+func TestSoakFleetHitRate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("100k-request soak skipped in -short mode")
+	}
+	urls, servers := startFleet(t, 3, nil)
+	res, err := Run(Config{
+		Targets:     urls,
+		Requests:    100_000,
+		Concurrency: 16,
+		Programs:    64,
+		ZipfS:       1.2,
+		Seed:        42,
+		N:           32,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log(res.String())
+	if got := res.HitRate(); got < 0.90 {
+		t.Errorf("aggregate hit rate = %.4f, want >= 0.90", got)
+	}
+	if res.HTTP5xx != 0 {
+		t.Errorf("soak saw %d 5xx responses, want 0", res.HTTP5xx)
+	}
+	if res.Shed != 0 {
+		t.Errorf("soak was shed %d times below the watermark, want 0", res.Shed)
+	}
+	if res.Errors != 0 {
+		t.Errorf("soak saw %d transport/decode errors, want 0", res.Errors)
+	}
+	// Warm-replica routing: fleet-wide misses stay within a small
+	// multiple of the program count (a dead-heat race on a cold key can
+	// double-compile, but nothing worse).
+	var misses uint64
+	for _, s := range servers {
+		misses += s.CacheStats().Misses
+	}
+	if misses > 3*64 {
+		t.Errorf("fleet-wide misses = %d for 64 programs; routing is not concentrating keys", misses)
+	}
+	// The machine-readable line must carry every gated counter.
+	line := res.String()
+	for _, field := range []string{"SOAK-OK", "hit_rate=", "shed=", "http5xx=", "p50_us=", "p99_us=", "throughput_rps="} {
+		if !strings.Contains(line, field) {
+			t.Errorf("result line missing %q: %s", field, line)
+		}
+	}
+}
+
+// Above the watermark the fleet sheds instead of queueing without
+// bound: a starved single-slot replica answers 429s, and the soak
+// counts them. The slot is pinned by a genuinely slow batch (a long
+// reduction holds the concurrency slot for seconds) so the test does
+// not depend on request timing — important on a single-core host,
+// where fast handlers serialize and a queue can never form naturally.
+func TestSoakShedsAboveWatermark(t *testing.T) {
+	urls, servers := startFleet(t, 1, func(c *serve.Config) {
+		c.Concurrency = 1
+		c.QueueDepth = 1
+		// The slot-holding batch burns ~3s of CPU natively but >30s
+		// under the race detector; keep the server's request timeout
+		// out of the picture so it finishes 200 either way.
+		c.Timeout = 3 * time.Minute
+	})
+
+	// Occupy the only slot: 32 O(n) reductions with an O(1) result
+	// keep the /evalbatch handler in flight for seconds of CPU.
+	slowBatch := `{"source": "h = accumArray (+) 0.0 (0,9) [ (3*i) mod 10 := 1.0 | i <- [1..n] ]", "params": {"n": 6000000}, "evals": [` +
+		strings.Repeat(`{"seed": 1},`, 31) + `{"seed": 1}]}`
+	batchDone := make(chan int, 1)
+	go func() {
+		resp, err := http.Post(urls[0]+"/evalbatch", "application/json", strings.NewReader(slowBatch))
+		if err != nil {
+			batchDone <- -1
+			return
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		batchDone <- resp.StatusCode
+	}()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if _, inflight := servers[0].DebugLoad(); inflight == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("slow batch never occupied the concurrency slot")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	res, err := Run(Config{
+		Targets:     urls,
+		Requests:    64,
+		Concurrency: 8, // 8 workers into 1 (held) slot + 1 queue seat
+		Programs:    4,
+		Seed:        7,
+		N:           64,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log(res.String())
+	if res.Shed == 0 {
+		t.Error("8-way traffic into a starved 1-slot 1-queue replica never shed; admission control is not engaging")
+	}
+	if res.HTTP5xx != 0 {
+		t.Errorf("shedding must be 429, not 5xx; saw %d 5xx", res.HTTP5xx)
+	}
+	if code := <-batchDone; code != http.StatusOK {
+		t.Fatalf("slot-holding batch finished with status %d", code)
+	}
+
+	// The same replica below the watermark sheds nothing.
+	res2, err := Run(Config{
+		Targets:     urls,
+		Requests:    200,
+		Concurrency: 1,
+		Programs:    4,
+		Seed:        7,
+		N:           64,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Shed != 0 {
+		t.Errorf("sequential traffic shed %d times, want 0", res2.Shed)
+	}
+}
