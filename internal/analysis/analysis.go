@@ -152,6 +152,12 @@ type Result struct {
 	// (an all-'=' definite self flow edge): the element is ⊥.
 	SelfBottom bool
 
+	// Cond is the claim-assumed re-analysis for subscripted-subscript
+	// definitions (nil when no indirect pattern was recognized): its
+	// verdicts hold conditionally on index-array property claims,
+	// discharged statically or by the runtime verifier.
+	Cond *CondResult
+
 	Diagnostics []string
 }
 
@@ -242,6 +248,9 @@ func Analyze(def *lang.ArrayDef, env map[string]int64, selfBounds ArrayBounds, e
 
 	// Empties.
 	res.decideEmpties()
+
+	// Property-conditional re-analysis of indirect subscripts.
+	res.analyzeCond()
 
 	return res, nil
 }

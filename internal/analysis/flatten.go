@@ -256,7 +256,14 @@ func (f *flattener) extractSubscripts(cl *FlatClause) {
 		}
 		cl.WriteForms = append(cl.WriteForms, form)
 	}
-	for _, ix := range lang.ArrayRefs(cl.Clause.Value) {
+	// Reads appear in the clause value and — for subscripted subscripts
+	// like `out!(idx!(g))` — inside write subscripts; both are genuine
+	// data dependences on the referenced arrays.
+	refs := lang.ArrayRefs(cl.Clause.Value)
+	for _, sub := range cl.Clause.Subs {
+		refs = append(refs, lang.ArrayRefs(sub)...)
+	}
+	for _, ix := range refs {
 		rr := &ReadRef{Clause: cl, Ix: ix, Affine: true}
 		for _, sub := range ix.Subs {
 			form, err := affine.FromExpr(wrapLets(sub, concatBinds(cl.Lets, valueLets)), isIndex, f.env)

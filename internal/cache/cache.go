@@ -21,6 +21,7 @@ import (
 	"encoding/binary"
 	"encoding/hex"
 	"fmt"
+	"log"
 	"sort"
 	"sync"
 
@@ -124,6 +125,10 @@ type Cache struct {
 
 	// compile is swappable for tests (singleflight, eviction order).
 	compile func(src string, params map[string]int64, opts core.Options) (*core.Program, error)
+
+	// Warnf receives operator-facing warnings (corrupt disk entries and
+	// the like). Defaults to log.Printf; replace before serving traffic.
+	Warnf func(format string, args ...any)
 }
 
 // New builds a cache bounded to maxEntries entries and maxBytes total
@@ -136,6 +141,7 @@ func New(maxEntries int, maxBytes int64) *Cache {
 		byKey:      map[string]*list.Element{},
 		inflight:   map[string]*flight{},
 		compile:    core.Compile,
+		Warnf:      log.Printf,
 	}
 }
 
@@ -192,6 +198,7 @@ func Key(src string, params map[string]int64, opts core.Options) string {
 	writeInt(boolInt(opts.ForceChecks))
 	writeInt(boolInt(opts.NoOptimize))
 	writeInt(boolInt(opts.NoStencil))
+	writeInt(boolInt(opts.NoIdxProp))
 	writeInt(boolInt(opts.Certify))
 	// Tiering changes what the entry serves with (and TierMode != off
 	// forces certification on), so two requests differing only in tier
@@ -298,6 +305,10 @@ func (c *Cache) GetOrCompile(src string, params map[string]int64, opts core.Opti
 		c.mu.Lock()
 		if discarded {
 			c.diskDiscard++
+			// The content hash — not just the replica-local path — is
+			// what lets a fleet operator correlate the same corrupt plan
+			// across replicas sharing a cache image.
+			c.Warnf("cache: discarded disk entry %s (content hash %s): %v", disk.path(key), key, err)
 		}
 		if err == nil && loaded != nil {
 			c.diskHits++

@@ -9,6 +9,7 @@ import (
 	"math"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -128,9 +129,20 @@ func TestDiskCorruptEntryDiscardedAndRecompiled(t *testing.T) {
 			}
 
 			c2 := newDiskCache(t, dir)
+			var warned []string
+			c2.Warnf = func(format string, args ...any) {
+				warned = append(warned, fmt.Sprintf(format, args...))
+			}
 			e, origin, err := c2.GetOrCompile(wavefrontSrc, params, certOpts())
 			if err != nil || origin != OriginCompile {
 				t.Fatalf("origin=%v err=%v, want clean recompile after corruption", origin, err)
+			}
+			// The warning must carry the content hash (not just the
+			// replica-local path) so operators can correlate the same
+			// corrupt plan across replicas.
+			key := Key(wavefrontSrc, params, certOpts())
+			if len(warned) != 1 || !strings.Contains(warned[0], key) || !strings.Contains(warned[0], path) {
+				t.Fatalf("discard warning %q must name content hash %s and path %s", warned, key, path)
 			}
 			if _, err := e.Program.Run(nil); err != nil {
 				t.Fatal(err)

@@ -102,6 +102,19 @@ func (ev *evaluator) evalInt(e lang.Expr, s scope) (int64, error) {
 			return ev.evalInt(n.T, s)
 		}
 		return ev.evalInt(n.E, s)
+	case *lang.Index:
+		// Subscripted subscript: an array element used as an index.
+		// The element must hold an exact integer — a fractional
+		// subscript has no sound integer reading, matching the compiled
+		// plans' checked IIdx semantics.
+		v, err := ev.evalFloat(e, s)
+		if err != nil {
+			return 0, err
+		}
+		if v != math.Trunc(v) || math.Abs(v) > 1<<53 {
+			return 0, fmt.Errorf("eval: %s!(...) = %v is not an integral subscript at %s", n.Array, v, n.Pos())
+		}
+		return int64(v), nil
 	}
 	return 0, fmt.Errorf("eval: %T in integer position", e)
 }

@@ -28,6 +28,11 @@ type xlate struct {
 	// readTarget redirects specific reads to a different IR array with
 	// the same subscripts (node-splitting shadow/old arrays).
 	readTarget map[*lang.Index]string
+	// idxTrusted lists index arrays whose range claims are assumed by
+	// this lowering (static proof, or a runtime verifier guarding the
+	// branch): their indirect subscript loads skip the bounds and
+	// integrality checks. nil means every indirect load is checked.
+	idxTrusted map[string]bool
 }
 
 func (x *xlate) withLets(binds []lang.Binding) *xlate {
@@ -118,6 +123,39 @@ func (x *xlate) intTree(e lang.Expr) (loopir.IntExpr, error) {
 		return x.withLets(n.Binds).intTree(n.Body)
 	}
 	return nil, &errNotInt{e}
+}
+
+// subExpr translates an expression in subscript position: like
+// intExpr, except that a bare array read is allowed and becomes an
+// indirect subscript load (IIdx) — the subscripted-subscript form
+// out!(idx!(g)). Indirection must be the whole subscript; arithmetic
+// around an indirect load is not translated.
+func (x *xlate) subExpr(e lang.Expr) (loopir.IntExpr, error) {
+	if ix, ok := e.(*lang.Index); ok {
+		return x.indexSub(ix)
+	}
+	return x.intExpr(e)
+}
+
+// indexSub translates an array read used as a subscript. Checked by
+// default: the load verifies its own subscripts are in bounds and the
+// value is integral. Arrays in idxTrusted skip both checks — a range
+// claim (statically proven or runtime-verified on this branch) already
+// guarantees them.
+func (x *xlate) indexSub(ix *lang.Index) (loopir.IntExpr, error) {
+	name, err := x.arrayName(ix.Array)
+	if err != nil {
+		return nil, fmt.Errorf("%v at %s", err, ix.Pos())
+	}
+	subs := make([]loopir.IntExpr, len(ix.Subs))
+	for i, s := range ix.Subs {
+		se, err := x.intExpr(s) // nested indirection is not supported
+		if err != nil {
+			return nil, err
+		}
+		subs[i] = se
+	}
+	return &loopir.IIdx{Array: name, Subs: subs, CheckBounds: !x.idxTrusted[name]}, nil
 }
 
 func withoutBinding(lets map[string]lang.Expr, name string) map[string]lang.Expr {
@@ -344,7 +382,7 @@ func (x *xlate) indexRead(ix *lang.Index) (loopir.VExpr, error) {
 	}
 	subs := make([]loopir.IntExpr, len(ix.Subs))
 	for i, s := range ix.Subs {
-		se, err := x.intExpr(s)
+		se, err := x.subExpr(s)
 		if err != nil {
 			return nil, err
 		}

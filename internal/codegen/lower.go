@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"arraycomp/internal/analysis"
+	"arraycomp/internal/idxprop"
 	"arraycomp/internal/lang"
 	"arraycomp/internal/loopir"
 	"arraycomp/internal/runtime"
@@ -69,6 +70,11 @@ type LowerOptions struct {
 	// annotation) while keeping the rest of the optimizer — the
 	// `stencil` oracle ablation arm.
 	NoStencil bool
+	// NoIdxProp disables the subscripted-subscript conditional layer:
+	// no claim-assuming plan, no runtime verifier, every indirect
+	// subscript stays on the fully checked sequential path (the
+	// `idxprop` oracle ablation arm).
+	NoIdxProp bool
 }
 
 // lowerer carries lowering state.
@@ -87,6 +93,19 @@ type lowerer struct {
 	trackDefs      bool
 	checkCollision bool
 	accum          runtime.CombineFunc
+	// cond is the claim-assumed re-analysis driving dual lowering
+	// (nil when absent or disabled); condActive marks the pass
+	// currently lowering the claim-assuming variant.
+	cond       *analysis.CondResult
+	condActive bool
+	// declTrack records whether the output declaration carries a
+	// definedness bitmap (either variant may need it; the one that
+	// does not marks its assigns NoTrack).
+	declTrack bool
+	// monoAlign is captured by the accumulation clause during the
+	// claim-assuming pass and attached to its enclosing loop as a
+	// mono-shard schedule.
+	monoAlign *loopir.IIdx
 	// hooks from node splitting.
 	hooks *splitHooks
 	// scalarSeq generates unique scalar names.
@@ -178,10 +197,22 @@ func Lower(res *analysis.Result, sched *schedule.Result, external map[string]ana
 		lw.plan.InPlace = true
 	default:
 		lw.selfIR = res.Def.Name
-		lw.trackDefs = res.Def.Kind == lang.Monolithic && (!res.NoEmpties || res.Collision == analysis.Maybe || o.ForceChecks)
+		lw.cond = res.Cond
+		if o.ForceChecks || o.NoIdxProp {
+			lw.cond = nil
+		}
+		lw.trackDefs = lw.slowTrack()
+		lw.declTrack = lw.trackDefs
+		if lw.cond != nil {
+			if lw.cond.AllStatic() {
+				lw.declTrack = lw.fastTrack()
+			} else {
+				lw.declTrack = lw.trackDefs || lw.fastTrack()
+			}
+		}
 		lw.checkCollision = res.Def.Kind == lang.Monolithic && (res.Collision == analysis.Maybe || o.ForceChecks)
 		lw.prog.Arrays = append(lw.prog.Arrays, loopir.ArrayDecl{
-			Name: lw.selfIR, B: boundsToRuntime(res.Bounds), Role: loopir.RoleOut, TrackDefs: lw.trackDefs,
+			Name: lw.selfIR, B: boundsToRuntime(res.Bounds), Role: loopir.RoleOut, TrackDefs: lw.declTrack,
 		})
 	}
 	for name := range res.ExternalReads {
@@ -221,26 +252,28 @@ func Lower(res *analysis.Result, sched *schedule.Result, external map[string]ana
 		}
 	}
 
-	stmts, err := lw.lowerNodes(lw.sched.Nodes, lw.baseXlate())
-	if err != nil {
-		return nil, err
-	}
-	lw.prog.Stmts = append(lw.prog.Stmts, stmts...)
-
-	if lw.trackDefs && (!lw.res.NoEmpties || o.ForceChecks) {
-		lw.prog.Stmts = append(lw.prog.Stmts, &loopir.CheckFull{Array: lw.selfIR})
-		lw.plan.Checks.EmptiesSweeps++
-		if lw.res.NoEmpties {
-			lw.note("empties excluded statically but checks forced: bitmap + sweep compiled")
-		} else {
-			lw.note("empties not excluded statically: definedness bitmap + final sweep compiled")
+	if lw.cond == nil {
+		stmts, err := lw.lowerVariant(false)
+		if err != nil {
+			return nil, err
 		}
-	}
-	if lw.res.NoEmpties && !o.ForceChecks {
-		lw.note("empties excluded statically: no definedness checks")
-	}
-	if lw.res.Collision == analysis.No && res.Def.Kind == lang.Monolithic && !o.ForceChecks {
-		lw.note("write collisions excluded statically: no collision checks")
+		lw.prog.Stmts = append(lw.prog.Stmts, stmts...)
+
+		if lw.trackDefs && (!lw.res.NoEmpties || o.ForceChecks) {
+			if lw.res.NoEmpties {
+				lw.note("empties excluded statically but checks forced: bitmap + sweep compiled")
+			} else {
+				lw.note("empties not excluded statically: definedness bitmap + final sweep compiled")
+			}
+		}
+		if lw.res.NoEmpties && !o.ForceChecks {
+			lw.note("empties excluded statically: no definedness checks")
+		}
+		if lw.res.Collision == analysis.No && res.Def.Kind == lang.Monolithic && !o.ForceChecks {
+			lw.note("write collisions excluded statically: no collision checks")
+		}
+	} else if err := lw.lowerDual(); err != nil {
+		return nil, err
 	}
 
 	if !o.NoOptimize {
@@ -262,6 +295,161 @@ func Lower(res *analysis.Result, sched *schedule.Result, external map[string]ana
 	return lw.plan, nil
 }
 
+// slowTrack / fastTrack decide whether a variant needs the
+// definedness bitmap: the unconditional verdicts for the checked
+// variant, the claim-assumed verdicts for the claim-assuming one.
+func (lw *lowerer) slowTrack() bool {
+	return lw.res.Def.Kind == lang.Monolithic &&
+		(!lw.res.NoEmpties || lw.res.Collision == analysis.Maybe || lw.opts.ForceChecks)
+}
+
+func (lw *lowerer) fastTrack() bool {
+	return lw.res.Def.Kind == lang.Monolithic &&
+		(!lw.cond.NoEmpties || lw.cond.Collision == analysis.Maybe)
+}
+
+// effCollision / effWriteInBounds / effReadInBounds answer for the
+// variant being lowered: the claim-assuming pass consults the
+// conditional re-analysis first.
+func (lw *lowerer) effCollision() analysis.Verdict {
+	if lw.condActive {
+		return lw.cond.Collision
+	}
+	return lw.res.Collision
+}
+
+func (lw *lowerer) effWriteInBounds(cl int) bool {
+	if lw.condActive && lw.cond.WriteInBounds[cl] {
+		return true
+	}
+	return lw.res.WriteInBounds[cl]
+}
+
+func (lw *lowerer) effReadInBounds(rd *analysis.ReadRef) bool {
+	if lw.condActive && lw.cond.ReadInBounds[rd] {
+		return true
+	}
+	return lw.res.ReadInBounds[rd]
+}
+
+// lowerVariant lowers the scheduled nodes once, under either the
+// unconditional verdicts (condActive false: every indirect subscript
+// checked) or the claim-assumed ones (condActive true: trusted index
+// arrays load unchecked, collision/empties elided per the conditional
+// re-analysis), appending the variant's own empties sweep when its
+// verdicts require one.
+func (lw *lowerer) lowerVariant(condActive bool) ([]loopir.Stmt, error) {
+	lw.condActive = condActive
+	lw.monoAlign = nil
+	if condActive {
+		lw.trackDefs = lw.fastTrack()
+		lw.checkCollision = lw.res.Def.Kind == lang.Monolithic && lw.cond.Collision == analysis.Maybe
+	} else {
+		lw.trackDefs = lw.slowTrack()
+		lw.checkCollision = lw.res.Def.Kind == lang.Monolithic && (lw.res.Collision == analysis.Maybe || lw.opts.ForceChecks)
+	}
+	stmts, err := lw.lowerNodes(lw.sched.Nodes, lw.baseXlate())
+	if err != nil {
+		return nil, err
+	}
+	noEmpties := lw.res.NoEmpties
+	if condActive {
+		noEmpties = lw.cond.NoEmpties
+	}
+	if lw.trackDefs && (!noEmpties || lw.opts.ForceChecks) {
+		stmts = append(stmts, &loopir.CheckFull{Array: lw.selfIR})
+		lw.plan.Checks.EmptiesSweeps++
+	}
+	lw.condActive = false
+	return stmts, nil
+}
+
+// lowerDual lowers the claim-assuming and the fully checked variants
+// and merges them under the runtime verifier guard: `if verify(idx)
+// then fast else slow`. When every claim was discharged statically the
+// checked variant is not built at all. The plan's check counters
+// report the claim-assuming variant — those are the checks the
+// conditional analysis elides.
+func (lw *lowerer) lowerDual() error {
+	checks0 := lw.plan.Checks
+	fast, err := lw.lowerVariant(true)
+	if err != nil {
+		return err
+	}
+	fastChecks := lw.plan.Checks
+	if lw.cond.AllStatic() {
+		lw.prog.Stmts = append(lw.prog.Stmts, fast...)
+		lw.note("idxprop: claims %s proven statically; claim-assuming plan compiled unconditionally", lw.cond.Claims)
+		return nil
+	}
+	slow, err := lw.lowerVariant(false)
+	if err != nil {
+		return err
+	}
+	runtimeClaims := lw.cond.Claims.Runtime()
+	lw.prog.Stmts = append(lw.prog.Stmts, &loopir.If{
+		Cond: verifyGuard(runtimeClaims),
+		Then: fast,
+		Else: slow,
+	})
+	lw.note("idxprop: %s; runtime verifier guards the claim-assuming plan, fallback fully checked", lw.cond.Detail)
+	// Report the claim-assuming variant's checks: the slow variant
+	// exists only as the verifier-failure fallback.
+	slowChecks := diffChecks(lw.plan.Checks, fastChecks)
+	lw.plan.Checks = diffChecks(fastChecks, checks0)
+	lw.note("idxprop: fallback path keeps %d collision, %d bounds, %d definedness checks and %d empties sweeps",
+		slowChecks.CollisionChecks, slowChecks.BoundsChecks, slowChecks.DefinedChecks, slowChecks.EmptiesSweeps)
+	return nil
+}
+
+func diffChecks(a, b CheckCounts) CheckCounts {
+	return CheckCounts{
+		CollisionChecks: a.CollisionChecks - b.CollisionChecks,
+		BoundsChecks:    a.BoundsChecks - b.BoundsChecks,
+		DefinedChecks:   a.DefinedChecks - b.DefinedChecks,
+		EmptiesSweeps:   a.EmptiesSweeps - b.EmptiesSweeps,
+	}
+}
+
+// verifyGuard builds the conjunction of per-array runtime verifier
+// guards over the given (runtime) claims.
+func verifyGuard(claims idxprop.Claims) loopir.BExpr {
+	var cond loopir.BExpr
+	for _, arr := range claims.Arrays() {
+		b := &loopir.BVerify{Array: arr, Claims: claims.ForArray(arr)}
+		if cond == nil {
+			cond = loopir.BExpr(b)
+		} else {
+			cond = &loopir.BAnd{L: cond, R: b}
+		}
+	}
+	return cond
+}
+
+// cloneInt deep-copies the IntExpr shapes the lowerer produces (the
+// mono-shard alignment expression must not share nodes with the loop
+// body the optimizer rewrites).
+func cloneInt(e loopir.IntExpr) loopir.IntExpr {
+	switch x := e.(type) {
+	case *loopir.IConst:
+		return &loopir.IConst{Value: x.Value}
+	case *loopir.IVar:
+		return &loopir.IVar{Name: x.Name}
+	case *loopir.ILin:
+		cp := &loopir.ILin{Const: x.Const, Terms: append([]loopir.ITerm(nil), x.Terms...)}
+		return cp
+	case *loopir.IBin:
+		return &loopir.IBin{Op: x.Op, L: cloneInt(x.L), R: cloneInt(x.R)}
+	case *loopir.IIdx:
+		cp := &loopir.IIdx{Array: x.Array, CheckBounds: x.CheckBounds}
+		for _, s := range x.Subs {
+			cp.Subs = append(cp.Subs, cloneInt(s))
+		}
+		return cp
+	}
+	return nil
+}
+
 func (lw *lowerer) note(format string, args ...any) {
 	lw.plan.Notes = append(lw.plan.Notes, fmt.Sprintf(format, args...))
 }
@@ -274,9 +462,14 @@ func (lw *lowerer) freshScalar(prefix string) string {
 }
 
 func (lw *lowerer) baseXlate() *xlate {
+	var trusted map[string]bool
+	if lw.condActive {
+		trusted = lw.cond.Trusted
+	}
 	return &xlate{
-		env:       lw.res.Env,
-		indexVars: map[string]bool{},
+		env:        lw.res.Env,
+		idxTrusted: trusted,
+		indexVars:  map[string]bool{},
 		arrayName: func(surface string) (string, error) {
 			if surface == lw.res.Def.Name || surface == lw.res.Def.Source {
 				return lw.selfIR, nil
@@ -297,7 +490,7 @@ func (lw *lowerer) baseXlate() *xlate {
 			}
 			cb, cd := true, false
 			if rd != nil {
-				cb = !lw.res.ReadInBounds[rd] || lw.opts.ForceChecks
+				cb = !lw.effReadInBounds(rd) || lw.opts.ForceChecks
 			}
 			if lw.trackDefs && (ix.Array == lw.res.Def.Name && lw.res.Def.Kind != lang.BigUpd) {
 				cd = true
@@ -374,7 +567,16 @@ func (lw *lowerer) lowerLoop(n *schedule.Node, x *xlate) ([]loopir.Stmt, error) 
 	} else if doacross {
 		lw.note("loop %s is doacross-eligible (carried dependences follow the pass direction)", l.Var)
 	}
-	stmt := loopir.Stmt(&loopir.Loop{Var: l.Var, From: from, To: to, Step: step, Parallel: parallel, Doacross: doacross, Body: body})
+	loopStmt := &loopir.Loop{Var: l.Var, From: from, To: to, Step: step, Parallel: parallel, Doacross: doacross, Body: body}
+	if lw.monoAlign != nil && !lw.inParallel {
+		// The accumulation clause below this loop captured its indirect
+		// write subscript: shard on chunks aligned to equal-value runs
+		// (sound under the mono + range claims guarding this variant).
+		loopStmt.Par = &loopir.ParSchedule{Kind: loopir.ParMonoShard, AlignOn: lw.monoAlign}
+		lw.monoAlign = nil
+		lw.note("loop %s mono-shard scheduled (chunks aligned on %s runs)", l.Var, lw.cond.MonoArray)
+	}
+	stmt := loopir.Stmt(loopStmt)
 	// Guards on the loop node condition the whole loop.
 	stmt, err = lw.wrapGuards(n.Loop.Guards, x.withLets(n.Loop.Lets), stmt)
 	if err != nil {
@@ -416,7 +618,7 @@ func (lw *lowerer) parSafeState() bool {
 	if lw.trackDefs {
 		return false
 	}
-	if lw.accum != nil && lw.res.Collision != analysis.No {
+	if lw.accum != nil && lw.effCollision() != analysis.No {
 		return false
 	}
 	if len(lw.hooks.clauseSaves) > 0 || len(lw.hooks.instanceStart) > 0 ||
@@ -447,7 +649,7 @@ func (lw *lowerer) lowerClause(cl *analysis.FlatClause, x *xlate) ([]loopir.Stmt
 	if err != nil {
 		return nil, err
 	}
-	checkBounds := !lw.res.WriteInBounds[cl.ID] || lw.opts.ForceChecks
+	checkBounds := !lw.effWriteInBounds(cl.ID) || lw.opts.ForceChecks
 	if checkBounds {
 		lw.plan.Checks.BoundsChecks++
 	}
@@ -468,6 +670,12 @@ func (lw *lowerer) lowerClause(cl *analysis.FlatClause, x *xlate) ([]loopir.Stmt
 		Subs:        subs,
 		Rhs:         rhs,
 		CheckBounds: checkBounds,
+		NoTrack:     lw.declTrack && !lw.trackDefs,
+	}
+	if lw.condActive && lw.cond.MonoAccum && lw.accum != nil && lw.opts.Parallel {
+		if iidx, ok := subs[0].(*loopir.IIdx); ok && iidx.Array == lw.cond.MonoArray {
+			lw.monoAlign = cloneInt(iidx).(*loopir.IIdx)
+		}
 	}
 	if lw.accum != nil {
 		assign.Accumulate = lw.accum
@@ -513,7 +721,7 @@ func (lw *lowerer) writeSubs(cl *analysis.FlatClause, x *xlate) ([]loopir.IntExp
 	}
 	subs := make([]loopir.IntExpr, len(cl.Clause.Subs))
 	for d, s := range cl.Clause.Subs {
-		se, err := x.intExpr(s)
+		se, err := x.subExpr(s)
 		if err != nil {
 			return nil, err
 		}

@@ -19,6 +19,7 @@ import (
 	"arraycomp/internal/certify"
 	"arraycomp/internal/codegen"
 	"arraycomp/internal/depgraph"
+	"arraycomp/internal/idxprop"
 	"arraycomp/internal/lang"
 	"arraycomp/internal/loopir"
 	"arraycomp/internal/metrics"
@@ -65,6 +66,12 @@ type Options struct {
 	// kernels in any tier. The `stencil` oracle ablation arm
 	// cross-checks this against the specialized paths bitwise.
 	NoStencil bool
+	// NoIdxProp disables the subscripted-subscript conditional layer
+	// (index-array property claims, dual lowering, runtime verifier):
+	// indirect subscripts then compile on the fully checked sequential
+	// path only. The `idxprop` oracle ablation arm cross-checks this
+	// against the claim-conditional plans bitwise.
+	NoIdxProp bool
 	// InputBounds declares the bounds of free input arrays (arrays read
 	// but not defined by the program), required to compile reads of
 	// them.
@@ -92,6 +99,10 @@ type Options struct {
 	// and promotion counters (shared process-wide by haccd). Not part
 	// of the compilation key: it is a sink, not an input.
 	TierStats *metrics.TierStats
+	// VerifyStats, when non-nil, receives runtime index-property
+	// verifier verdicts (shared process-wide by haccd). Like
+	// TierStats, a sink — not part of the compilation key.
+	VerifyStats *metrics.VerifyStats
 }
 
 // CompiledDef is the compilation artifact of one definition.
@@ -147,6 +158,9 @@ type Program struct {
 	// was set (nil otherwise). A compile that returns succeeds only
 	// with zero falsifications.
 	Certs *certify.Report
+	// IdxVerify accumulates runtime index-property verifier verdicts
+	// across this program's runs (atomic: cached programs are shared).
+	IdxVerify metrics.VerifyStats
 	// tier is the tiered-execution state (nil when Options.Tier was
 	// TierOff and no native plan was adopted).
 	tier *tierState
@@ -270,6 +284,34 @@ func compileProgram(source *lang.Program, params map[string]int64, opts Options,
 			return nil, fmt.Errorf("core: %s: %w", def.Name, err)
 		}
 		results[def.Name] = res
+		if res.Cond != nil && !opts.NoIdxProp {
+			// Static discharge: a claim about an index array whose own
+			// defining comprehension is visible in-program is proven by
+			// inference over that definition; the rest stay runtime
+			// claims and compile to a verifier guard.
+			nStatic := 0
+			for i := range res.Cond.Claims {
+				c := &res.Cond.Claims[i]
+				if d := source.Def(c.Array); d != nil {
+					if props, ok := idxprop.Infer(d, env); ok && props.Satisfies(*c) {
+						c.Static = true
+					}
+				}
+				if c.Static {
+					nStatic++
+				}
+			}
+			rep.Counters.IdxClaims += len(res.Cond.Claims)
+			rep.Counters.IdxClaimsStatic += nStatic
+			p.note("%s: idxprop claims %s (%d/%d static)",
+				def.Name, res.Cond.Claims, nStatic, len(res.Cond.Claims))
+			if opts.Certify {
+				t0 := time.Now()
+				if err := certifyMerge(def.Name, certifyStaticClaims(res.Cond.Claims, source, env), t0); err != nil {
+					return nil, err
+				}
+			}
+		}
 		if opts.Certify {
 			t0 := time.Now()
 			if err := certifyMerge(def.Name, analysis.Certify(res), t0); err != nil {
@@ -391,7 +433,7 @@ func compileProgram(source *lang.Program, params map[string]int64, opts Options,
 			}
 		}
 		tLower := time.Now()
-		plan, err := codegen.Lower(res, sched, external, codegen.LowerOptions{Parallel: opts.Parallel, ForceChecks: opts.ForceChecks, NoOptimize: opts.NoOptimize, Workers: opts.Workers, NoStencil: opts.NoStencil})
+		plan, err := codegen.Lower(res, sched, external, codegen.LowerOptions{Parallel: opts.Parallel, ForceChecks: opts.ForceChecks, NoOptimize: opts.NoOptimize, Workers: opts.Workers, NoStencil: opts.NoStencil, NoIdxProp: opts.NoIdxProp})
 		if err != nil {
 			return nil, fmt.Errorf("core: %s: %w", name, err)
 		}
@@ -401,6 +443,7 @@ func compileProgram(source *lang.Program, params map[string]int64, opts Options,
 		rep.AddPhase(metrics.PhaseOptimize, plan.OptTime)
 		recordPlanStats(rep, res, plan)
 		cd.Plan = plan
+		p.installVerifyHook(plan.Exec, opts.VerifyStats)
 		if opts.Certify {
 			t0 := time.Now()
 			if err := certifyMerge(name, loopir.CertifyPlans(plan.Program), t0); err != nil {
@@ -408,6 +451,18 @@ func compileProgram(source *lang.Program, params map[string]int64, opts Options,
 			}
 			t0 = time.Now()
 			if err := certifyMerge(name, loopir.CertifySplits(plan.Program), t0); err != nil {
+				return nil, err
+			}
+			t0 = time.Now()
+			var static idxprop.Claims
+			if res.Cond != nil && !opts.NoIdxProp {
+				for _, c := range res.Cond.Claims {
+					if c.Static {
+						static = append(static, c)
+					}
+				}
+			}
+			if err := certifyMerge(name, loopir.CertifyClaims(plan.Program, static), t0); err != nil {
 				return nil, err
 			}
 		}
@@ -440,6 +495,60 @@ func compileProgram(source *lang.Program, params map[string]int64, opts Options,
 
 func (p *Program) note(format string, args ...any) {
 	p.Notes = append(p.Notes, fmt.Sprintf(format, args...))
+}
+
+// installVerifyHook routes runtime index-property verifier verdicts
+// into the program's own counters and, when set, the process-wide sink.
+func (p *Program) installVerifyHook(ex *loopir.Exec, sink *metrics.VerifyStats) {
+	if ex == nil {
+		return
+	}
+	ex.SetVerifyHook(func(_ idxprop.Claims, res idxprop.VerifyResult) {
+		p.IdxVerify.Record(res.OK)
+		if sink != nil {
+			sink.Record(res.OK)
+		}
+	})
+}
+
+// certifyStaticClaims replays every statically discharged index-array
+// claim: the index array's defining comprehension is materialized
+// (independently of the inference that proved the claim) and the same
+// runtime verifier that guards runtime claims is run over the concrete
+// values — static discharge is never trusted on the inference's
+// say-so alone. A claim marked static without an in-program definition
+// is a forgery and falsifies outright.
+func certifyStaticClaims(claims idxprop.Claims, source *lang.Program, env map[string]int64) *certify.Report {
+	crep := certify.NewReport()
+	for _, c := range claims {
+		if !c.Static {
+			continue
+		}
+		cert := certify.Certificate{Layer: "idxprop", Claim: c.String(), Exhaustive: true}
+		d := source.Def(c.Array)
+		if d == nil {
+			cert.Status = certify.Falsified
+			cert.Detail = "claim marked static but the index array has no in-program definition"
+			crep.Record(cert)
+			continue
+		}
+		data, ok := idxprop.Materialize(d, env)
+		if !ok {
+			cert.Status = certify.Skipped
+			cert.Detail = "definition shape not replayable"
+			crep.Record(cert)
+			continue
+		}
+		if v := idxprop.Verify(data, idxprop.Claims{c}); !v.OK {
+			cert.Status = certify.Falsified
+			cert.Detail = v.Reason
+		} else {
+			cert.Status = certify.Certified
+			cert.Witness = []int64{int64(len(data))}
+		}
+		crep.Record(cert)
+	}
+	return crep
 }
 
 // newThunked builds a thunked fallback plan, charging its construction

@@ -1,0 +1,224 @@
+package core
+
+import (
+	"testing"
+
+	"arraycomp/internal/analysis"
+	"arraycomp/internal/runtime"
+)
+
+func mkIdxStrict(lo, hi int64, vals []float64) *runtime.Strict {
+	a := runtime.NewStrict(runtime.NewBounds1(lo, hi))
+	copy(a.Data, vals)
+	return a
+}
+
+func TestE2EIndirectGather(t *testing.T) {
+	src := `g = array (1,n) [ i := x!(p!(i)) | i <- [1..n] ]`
+	prog, err := Compile(src, map[string]int64{"n": 4}, Options{
+		InputBounds: map[string]analysis.ArrayBounds{
+			"x": {Lo: []int64{1}, Hi: []int64{4}},
+			"p": {Lo: []int64{1}, Hi: []int64{4}},
+		},
+	})
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	t.Log(prog.Report())
+	x := mkIdxStrict(1, 4, []float64{10, 20, 30, 40})
+	p := mkIdxStrict(1, 4, []float64{4, 3, 2, 1})
+	out, err := prog.Run(map[string]*runtime.Strict{"x": x, "p": p})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	want := []float64{40, 30, 20, 10}
+	for i, w := range want {
+		if out.Data[i] != w {
+			t.Fatalf("out[%d] = %v, want %v", i, out.Data[i], w)
+		}
+	}
+}
+
+func TestE2EIndirectScatter(t *testing.T) {
+	src := `s = array (1,n) [ p!(i) := x!(i) | i <- [1..n] ]`
+	prog, err := Compile(src, map[string]int64{"n": 4}, Options{
+		InputBounds: map[string]analysis.ArrayBounds{
+			"x": {Lo: []int64{1}, Hi: []int64{4}},
+			"p": {Lo: []int64{1}, Hi: []int64{4}},
+		},
+	})
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	t.Log(prog.Report())
+	x := mkIdxStrict(1, 4, []float64{10, 20, 30, 40})
+	p := mkIdxStrict(1, 4, []float64{4, 3, 2, 1})
+	out, err := prog.Run(map[string]*runtime.Strict{"x": x, "p": p})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	want := []float64{40, 30, 20, 10}
+	for i, w := range want {
+		if out.Data[i] != w {
+			t.Fatalf("out[%d] = %v, want %v", i, out.Data[i], w)
+		}
+	}
+}
+
+func TestE2EIndirectErrors(t *testing.T) {
+	src := `s = array (1,n) [ p!(i) := x!(i) | i <- [1..n] ]`
+	prog, err := Compile(src, map[string]int64{"n": 4}, Options{
+		Parallel: true, Workers: 4,
+		InputBounds: map[string]analysis.ArrayBounds{
+			"x": {Lo: []int64{1}, Hi: []int64{4}},
+			"p": {Lo: []int64{1}, Hi: []int64{4}},
+		},
+	})
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	x := mkIdxStrict(1, 4, []float64{10, 20, 30, 40})
+	// Out-of-range index value.
+	p := mkIdxStrict(1, 4, []float64{4, 9, 2, 1})
+	if _, err := prog.Run(map[string]*runtime.Strict{"x": x, "p": p}); err == nil {
+		t.Fatalf("out-of-range scatter index must fail")
+	} else {
+		t.Logf("oob: %v", err)
+	}
+	// Colliding writes.
+	p2 := mkIdxStrict(1, 4, []float64{1, 1, 2, 2})
+	if _, err := prog.Run(map[string]*runtime.Strict{"x": x, "p": p2}); err == nil {
+		t.Fatalf("colliding scatter must fail")
+	} else {
+		t.Logf("collision: %v", err)
+	}
+	// Non-integral index value.
+	p3 := mkIdxStrict(1, 4, []float64{1.5, 2, 3, 4})
+	if _, err := prog.Run(map[string]*runtime.Strict{"x": x, "p": p3}); err == nil {
+		t.Fatalf("non-integral scatter index must fail")
+	} else {
+		t.Logf("non-integral: %v", err)
+	}
+}
+
+func TestE2EHistogram(t *testing.T) {
+	// Histogram: commutative accumulation through an index array.
+	src := `h = accumArray (+) 0.0 (1,m) [ b!(k) := 1.0 | k <- [1..n] ]`
+	prog, err := Compile(src, map[string]int64{"m": 4, "n": 8}, Options{
+		Parallel: true, Workers: 4,
+		InputBounds: map[string]analysis.ArrayBounds{
+			"b": {Lo: []int64{1}, Hi: []int64{8}},
+		},
+	})
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	t.Log(prog.Report())
+	// Non-decreasing bucket array: 1 1 2 2 3 3 4 4.
+	b := mkIdxStrict(1, 8, []float64{1, 1, 2, 2, 3, 3, 4, 4})
+	out, err := prog.Run(map[string]*runtime.Strict{"b": b})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for i := 0; i < 4; i++ {
+		if out.Data[i] != 2 {
+			t.Fatalf("h[%d] = %v, want 2", i+1, out.Data[i])
+		}
+	}
+	// Unsorted bucket array: mono claim fails at runtime -> sequential
+	// checked fallback, same result.
+	b2 := mkIdxStrict(1, 8, []float64{4, 1, 2, 3, 2, 1, 4, 3})
+	out2, err := prog.Run(map[string]*runtime.Strict{"b": b2})
+	if err != nil {
+		t.Fatalf("run unsorted: %v", err)
+	}
+	for i := 0; i < 4; i++ {
+		if out2.Data[i] != 2 {
+			t.Fatalf("unsorted h[%d] = %v, want 2", i+1, out2.Data[i])
+		}
+	}
+}
+
+func TestE2ESpMV(t *testing.T) {
+	// CSR sparse matrix-vector product: y[row[k]] += val[k] * x[col[k]].
+	src := `y = accumArray (+) 0.0 (1,m) [ row!(k) := val!(k) * x!(col!(k)) | k <- [1..nnz] ]`
+	prog, err := Compile(src, map[string]int64{"m": 3, "nnz": 5}, Options{
+		Parallel: true, Workers: 4,
+		InputBounds: map[string]analysis.ArrayBounds{
+			"row": {Lo: []int64{1}, Hi: []int64{5}},
+			"col": {Lo: []int64{1}, Hi: []int64{5}},
+			"val": {Lo: []int64{1}, Hi: []int64{5}},
+			"x":   {Lo: []int64{1}, Hi: []int64{3}},
+		},
+	})
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	t.Log(prog.Report())
+	row := mkIdxStrict(1, 5, []float64{1, 1, 2, 3, 3})
+	col := mkIdxStrict(1, 5, []float64{1, 3, 2, 1, 3})
+	val := mkIdxStrict(1, 5, []float64{2, 1, 5, 3, 4})
+	x := mkIdxStrict(1, 3, []float64{1, 2, 3})
+	out, err := prog.Run(map[string]*runtime.Strict{"row": row, "col": col, "val": val, "x": x})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	// y1 = 2*1 + 1*3 = 5; y2 = 5*2 = 10; y3 = 3*1 + 4*3 = 15.
+	want := []float64{5, 10, 15}
+	for i, w := range want {
+		if out.Data[i] != w {
+			t.Fatalf("y[%d] = %v, want %v", i+1, out.Data[i], w)
+		}
+	}
+}
+
+func TestE2ENativeTier(t *testing.T) {
+	// TierForced: certify + native build must succeed and agree with
+	// the interpreter on subscripted-subscript programs.
+	src := `y = accumArray (+) 0.0 (1,m) [ row!(k) := val!(k) * x!(col!(k)) | k <- [1..nnz] ]`
+	bounds := map[string]analysis.ArrayBounds{
+		"row": {Lo: []int64{1}, Hi: []int64{5}},
+		"col": {Lo: []int64{1}, Hi: []int64{5}},
+		"val": {Lo: []int64{1}, Hi: []int64{5}},
+		"x":   {Lo: []int64{1}, Hi: []int64{3}},
+	}
+	prog, err := Compile(src, map[string]int64{"m": 3, "nnz": 5}, Options{
+		Parallel: true, Workers: 4, Tier: TierForced, TierSync: true, InputBounds: bounds,
+	})
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	row := mkIdxStrict(1, 5, []float64{1, 1, 2, 3, 3})
+	col := mkIdxStrict(1, 5, []float64{1, 3, 2, 1, 3})
+	val := mkIdxStrict(1, 5, []float64{2, 1, 5, 3, 4})
+	x := mkIdxStrict(1, 3, []float64{1, 2, 3})
+	in := map[string]*runtime.Strict{"row": row, "col": col, "val": val, "x": x}
+	out, tier, err := prog.RunTiered(in)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	t.Logf("tier: %s", tier)
+	want := []float64{5, 10, 15}
+	for i, w := range want {
+		if out.Data[i] != w {
+			t.Fatalf("y[%d] = %v, want %v", i+1, out.Data[i], w)
+		}
+	}
+	// Unsorted rows: native verifier must fail the mono claim and
+	// fall back to the checked path with identical results.
+	in2 := map[string]*runtime.Strict{
+		"row": mkIdxStrict(1, 5, []float64{3, 1, 2, 1, 3}),
+		"col": col, "val": val, "x": x,
+	}
+	out2, _, err := prog.RunTiered(in2)
+	if err != nil {
+		t.Fatalf("run unsorted: %v", err)
+	}
+	// y1 = 1*3 + 3*1 = 6; y2 = 5*2 = 10; y3 = 2*1 + 4*3 = 14.
+	want2 := []float64{6, 10, 14}
+	for i, w := range want2 {
+		if out2.Data[i] != w {
+			t.Fatalf("unsorted y[%d] = %v, want %v", i+1, out2.Data[i], w)
+		}
+	}
+}

@@ -1,0 +1,132 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"arraycomp/internal/analysis"
+	"arraycomp/internal/idxprop"
+	"arraycomp/internal/parser"
+	"arraycomp/internal/runtime"
+)
+
+// Static discharge: the index array's defining comprehension is
+// visible in-program, so the claims are proven by inference, the plan
+// compiles claim-assuming with no runtime guard, and -certify replays
+// the definition through the verifier.
+func TestIdxPropStaticDischarge(t *testing.T) {
+	src := `letrec*
+	  p = array (1,n) [ i := n+1-i | i <- [1..n] ];
+	  s = array (1,n) [ p!(i) := x!(i) | i <- [1..n] ];
+	in s`
+	prog, err := Compile(src, map[string]int64{"n": 4}, Options{
+		Parallel: true, Workers: 2, Certify: true,
+		InputBounds: map[string]analysis.ArrayBounds{
+			"x": {Lo: []int64{1}, Hi: []int64{4}},
+		},
+	})
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	t.Log(prog.Report())
+	c := prog.Stats.Counters
+	if c.IdxClaims == 0 || c.IdxClaims != c.IdxClaimsStatic {
+		t.Fatalf("claims %d, static %d: want all static", c.IdxClaims, c.IdxClaimsStatic)
+	}
+	found := false
+	for _, n := range prog.Notes {
+		if strings.Contains(n, "proven statically") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("missing static-discharge note; notes: %v", prog.Notes)
+	}
+	x := mkIdxStrict(1, 4, []float64{10, 20, 30, 40})
+	out, err := prog.Run(map[string]*runtime.Strict{"x": x})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	want := []float64{40, 30, 20, 10}
+	for i, w := range want {
+		if out.Data[i] != w {
+			t.Fatalf("s[%d] = %v, want %v", i+1, out.Data[i], w)
+		}
+	}
+	// All claims static: no runtime verification ran.
+	if snap := prog.IdxVerify.Snapshot(); snap.Verified != 0 || snap.Failed != 0 {
+		t.Fatalf("static plan ran the verifier: %+v", snap)
+	}
+}
+
+// Runtime claims bump the program's verifier counters on each run.
+func TestIdxPropVerifyCounters(t *testing.T) {
+	src := `s = array (1,n) [ p!(i) := x!(i) | i <- [1..n] ]`
+	prog, err := Compile(src, map[string]int64{"n": 4}, Options{
+		Parallel: true, Workers: 2,
+		InputBounds: map[string]analysis.ArrayBounds{
+			"x": {Lo: []int64{1}, Hi: []int64{4}},
+			"p": {Lo: []int64{1}, Hi: []int64{4}},
+		},
+	})
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	x := mkIdxStrict(1, 4, []float64{10, 20, 30, 40})
+	good := mkIdxStrict(1, 4, []float64{4, 3, 2, 1})
+	if _, err := prog.Run(map[string]*runtime.Strict{"x": x, "p": good}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if snap := prog.IdxVerify.Snapshot(); snap.Verified != 1 || snap.Failed != 0 {
+		t.Fatalf("after passing run: %+v", snap)
+	}
+	// Non-injective index array: verification fails, checked fallback
+	// reports the collision as an error.
+	bad := mkIdxStrict(1, 4, []float64{1, 1, 2, 2})
+	if _, err := prog.Run(map[string]*runtime.Strict{"x": x, "p": bad}); err == nil {
+		t.Fatalf("colliding scatter must fail")
+	}
+	if snap := prog.IdxVerify.Snapshot(); snap.Failed != 1 {
+		t.Fatalf("after failing run: %+v", snap)
+	}
+}
+
+// Forged static claims must falsify: the certifier replays the index
+// array's definition and runs the verifier over the concrete values,
+// independently of the inference.
+func TestIdxPropForgedStaticClaimsFalsify(t *testing.T) {
+	srcProg := `letrec*
+	  p = array (1,4) [ i := 5 - i | i <- [1..4] ];
+	  q = array (1,4) [ i := 2 | i <- [1..4] ];
+	  s = array (1,4) [ i := p!(i) + q!(i) | i <- [1..4] ];
+	in s`
+	prog, err := parser.ParseProgram(srcProg)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	env := map[string]int64{}
+	cases := []struct {
+		name  string
+		claim idxprop.Claim
+	}{
+		{"injectivity of a constant array", idxprop.Claim{Array: "q", Kind: idxprop.KInjective, Static: true}},
+		{"monotonicity of a decreasing array", idxprop.Claim{Array: "p", Kind: idxprop.KMonoNonDec, Static: true}},
+		{"range excluding actual values", idxprop.Claim{Array: "p", Kind: idxprop.KRange, Lo: 1, Hi: 2, Static: true}},
+		{"claim on an undefined array", idxprop.Claim{Array: "ghost", Kind: idxprop.KInjective, Static: true}},
+	}
+	for _, tc := range cases {
+		crep := certifyStaticClaims(idxprop.Claims{tc.claim}, prog, env)
+		if crep.Err() == nil {
+			t.Fatalf("forged claim (%s) must falsify: %s", tc.name, crep.Summary())
+		}
+	}
+	// Honest claims certify.
+	honest := idxprop.Claims{
+		{Array: "p", Kind: idxprop.KInjective, Static: true},
+		{Array: "p", Kind: idxprop.KRange, Lo: 1, Hi: 4, Static: true},
+		{Array: "q", Kind: idxprop.KMonoNonDec, Static: true},
+	}
+	if crep := certifyStaticClaims(honest, prog, env); crep.Err() != nil {
+		t.Fatalf("honest claims falsified: %v", crep.Err())
+	}
+}

@@ -149,6 +149,7 @@ func RestoreSnapshot(s *Snapshot, opts Options) (*Program, error) {
 			return nil, fmt.Errorf("core: restoring %s: %w", d.Name, err)
 		}
 		ex.SetWorkers(opts.Workers)
+		p.installVerifyHook(ex, opts.VerifyStats)
 		p.Defs[d.Name] = &CompiledDef{
 			Def:         &lang.ArrayDef{Name: d.Name, Source: d.SourceArray, Strict: true},
 			GroupIdx:    -1,

@@ -1,0 +1,86 @@
+package deptest
+
+import (
+	"fmt"
+
+	"arraycomp/internal/idxprop"
+)
+
+// Property-conditional dependence verdicts (Bhosale & Eigenmann's
+// subscripted-subscript extension). The static tests in this package
+// cannot decide questions whose subscripts load another array —
+// `out!(idx!(i))` is not affine in the loop variables — but they become
+// decidable *conditionally*: independence holds provided the index
+// array satisfies named properties (injectivity, monotonicity, value
+// range). The conditions are discharged either statically, when the
+// index array's defining comprehension is visible in-program
+// (idxprop.Infer), or by a one-pass runtime verifier executed before
+// the plan that relies on the verdict (idxprop.Verify, lowered as the
+// loop IR's BVerify guard).
+
+// CondVerdict is one property-conditional verdict: Outcome holds
+// provided every claim in Claims does.
+type CondVerdict struct {
+	// Outcome names what is being claimed conditionally:
+	// "independent", "in-bounds", or "order-aligned".
+	Outcome string
+	// Claims are the index-array properties the outcome depends on.
+	Claims idxprop.Claims
+	// Detail says which reference pair or pattern produced the verdict.
+	Detail string
+}
+
+// String renders the paper-style notation, e.g.
+// "independent-if {inj(p), range(p,1..8)}".
+func (v CondVerdict) String() string {
+	return fmt.Sprintf("%s-if %s", v.Outcome, v.Claims.Normalize())
+}
+
+// ScatterIndependent is the output-dependence rule for a monolithic
+// scatter `out!(idx!(g))` over distinct positions g: two distinct
+// instances write distinct elements — no collision — iff idx is
+// injective, and every write is in bounds iff idx's values lie within
+// out's index range [lo..hi]. (Injectivity of the whole index array
+// implies injectivity on any traversed window.)
+func ScatterIndependent(idxArr string, lo, hi int64) CondVerdict {
+	return CondVerdict{
+		Outcome: "independent",
+		Claims: idxprop.Claims{
+			{Array: idxArr, Kind: idxprop.KInjective},
+			{Array: idxArr, Kind: idxprop.KRange, Lo: lo, Hi: hi},
+		}.Normalize(),
+		Detail: fmt.Sprintf("scatter through %s", idxArr),
+	}
+}
+
+// GatherInBounds is the bounds rule for an indirect read
+// `x!(idx!(g))`: the outer selection is in bounds iff idx's values lie
+// within x's index range [lo..hi]. No ordering property is needed —
+// reads cannot collide.
+func GatherInBounds(idxArr string, lo, hi int64) CondVerdict {
+	return CondVerdict{
+		Outcome: "in-bounds",
+		Claims: idxprop.Claims{
+			{Array: idxArr, Kind: idxprop.KRange, Lo: lo, Hi: hi},
+		}.Normalize(),
+		Detail: fmt.Sprintf("gather through %s", idxArr),
+	}
+}
+
+// AccumAligned is the reduction rule for a commutative accumArray
+// writing `out!(idx!(g))` with g traversing idx positions in
+// increasing order: chunk boundaries aligned to the next change of
+// idx's value partition the iterations so that all writes to one
+// element stay inside one chunk — bitwise equal to sequential
+// left-to-right accumulation — iff idx is non-decreasing; writes are
+// in bounds iff its values lie within out's range [lo..hi].
+func AccumAligned(idxArr string, lo, hi int64) CondVerdict {
+	return CondVerdict{
+		Outcome: "order-aligned",
+		Claims: idxprop.Claims{
+			{Array: idxArr, Kind: idxprop.KMonoNonDec},
+			{Array: idxArr, Kind: idxprop.KRange, Lo: lo, Hi: hi},
+		}.Normalize(),
+		Detail: fmt.Sprintf("aligned accumulation through %s", idxArr),
+	}
+}

@@ -48,6 +48,13 @@ type Config struct {
 	// error-shaped definition (collision, partial cover, out-of-bounds
 	// read, self-⊥). Default 80 (8%). Set 0 for clean programs only.
 	ErrorWeight int
+	// IdxWeight is the per-program permille chance of appending a
+	// subscripted-subscript pair: an index-array definition plus a
+	// consumer (gather/scatter/histogram) subscripting through it, with
+	// value shapes spanning statically provable, runtime-verifiable,
+	// and claim-violating index arrays. Default 0 (off); the idxprop
+	// fuzz arm sets it high.
+	IdxWeight int
 }
 
 func (c Config) withDefaults() Config {
@@ -158,6 +165,17 @@ func (g *gen) program() *lang.Program {
 		g.defs = append(g.defs, def)
 		b := g.boundsOf(def)
 		g.arrs = append(g.arrs, arr{name: name, bounds: b})
+	}
+	if g.cfg.IdxWeight > 0 && g.chance(g.cfg.IdxWeight) {
+		k := len(g.defs)
+		idxName := fmt.Sprintf("%c", 'a'+k)
+		consName := fmt.Sprintf("%c", 'a'+k+1)
+		// Appended last so the consumer is the program result: the
+		// indirect pair is always live.
+		for _, def := range g.indirectDefs(idxName, consName) {
+			g.defs = append(g.defs, def)
+			g.arrs = append(g.arrs, arr{name: def.Name, bounds: g.boundsOf(def)})
+		}
 	}
 	prog := &lang.Program{
 		Params: []lang.Param{{Name: "n"}},

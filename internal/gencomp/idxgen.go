@@ -1,0 +1,154 @@
+package gencomp
+
+import (
+	"arraycomp/internal/lang"
+)
+
+// Subscripted-subscript generation: an index-array definition plus a
+// consumer that subscripts through it (gather, scatter, or histogram
+// accumulation). The index array's value shape is drawn from both
+// satisfying distributions (identity, reversal, constant — in range,
+// injective and/or monotone as the consumer requires) and violating
+// ones (out-of-range values, collisions under a scatter), and each
+// shape is rendered either as the recognizable affine builder — the
+// claims are then discharged statically — or as a guard-split builder
+// computing the same values, which defeats the static recognizer so
+// the claims stay runtime and exercise the one-pass verifier on every
+// execution. Violating arrays route the claim-assuming plan to its
+// checked fallback; the fuzz oracle proves the routing is silent
+// (bitwise parity with the NoIdxProp ablation) and that genuine
+// errors — collisions, out-of-range subscripts — are reported
+// identically with and without the conditional layer.
+
+// idxShape is one index-array value distribution.
+type idxShape struct {
+	// value renders the element value at generator variable v.
+	value func(v string) lang.Expr
+	// runtime renders the builder as a guard-split (non-recognizable)
+	// comprehension so the claims must be verified at runtime.
+	runtime bool
+}
+
+// indirectDefs appends an index-array definition and one consumer
+// subscripting through it. The consumer is generated last so it is the
+// program result and the pair is never dead-code eliminated.
+func (g *gen) indirectDefs(idxName, consName string) []*lang.ArrayDef {
+	n := g.env["n"]
+	// Extent of the index array and its consumer; clamped so gathers
+	// into the input vector u (bounds 0..n+2) stay in range for the
+	// satisfying shapes.
+	m := 2 + g.rng.Int63n(g.cfg.MaxExtent-1)
+	if m > n+2 {
+		m = n + 2
+	}
+
+	shape := g.idxShape(m)
+	idxDef := g.indexArrayDef(idxName, m, shape)
+	consDef := g.indirectConsumer(consName, idxName, m)
+	return []*lang.ArrayDef{idxDef, consDef}
+}
+
+// idxShape draws the value distribution.
+func (g *gen) idxShape(m int64) idxShape {
+	identity := func(v string) lang.Expr { return lang.Name(v) }
+	reversal := func(v string) lang.Expr { return lang.Sub(lang.Num(m+1), lang.Name(v)) }
+	c := 1 + g.rng.Int63n(m)
+	constant := func(string) lang.Expr { return lang.Num(c) }
+	oob := func(v string) lang.Expr { return lang.Add(lang.Name(v), lang.Num(m)) }
+	switch g.pick(20, 20, 8, 16, 16, 10, 10) {
+	case 0: // identity, statically discharged (mono + inj + range)
+		return idxShape{value: identity}
+	case 1: // reversal, statically discharged (inj + range, not mono)
+		return idxShape{value: reversal}
+	case 2: // constant, statically discharged (mono + range, not inj)
+		return idxShape{value: constant}
+	case 3: // identity behind a guard split: runtime verifier passes
+		return idxShape{value: identity, runtime: true}
+	case 4: // reversal, runtime: mono claims fail -> checked fallback
+		return idxShape{value: reversal, runtime: true}
+	case 5: // out of range, runtime: range claims fail, errors must agree
+		return idxShape{value: oob, runtime: true}
+	default: // constant, runtime: collisions under a scatter must agree
+		return idxShape{value: constant, runtime: true}
+	}
+}
+
+// indexArrayDef builds `idx = array (1,m) [ i := value(i) | ... ]`,
+// either as the plain recognizable cover or as an even/odd guard split
+// over the same values.
+func (g *gen) indexArrayDef(name string, m int64, shape idxShape) *lang.ArrayDef {
+	def := &lang.ArrayDef{
+		Name:   name,
+		Kind:   lang.Monolithic,
+		Bounds: []lang.Bound{{Lo: lang.Num(1), Hi: g.boundExpr(m)}},
+		Strict: true,
+	}
+	if !shape.runtime {
+		v := g.freshVar()
+		def.Comp = g.genNode(v, 1, m, 1, &lang.Clause{
+			Subs:  []lang.Expr{lang.Name(v)},
+			Value: shape.value(v),
+		})
+		return def
+	}
+	// Guard split: same values, but the Append + guards defeat the
+	// static recognizer, so every claim stays runtime.
+	part := func(even bool) lang.CompNode {
+		v := g.freshVar()
+		cond := lang.Expr(&lang.BinOp{Op: lang.OpEq,
+			L: &lang.BinOp{Op: lang.OpMod, L: lang.Name(v), R: lang.Num(2)}, R: lang.Num(0)})
+		if !even {
+			cond = &lang.UnOp{Op: lang.OpNot, X: cond}
+		}
+		return g.genNode(v, 1, m, 1, &lang.Guard{Cond: cond, Body: &lang.Clause{
+			Subs:  []lang.Expr{lang.Name(v)},
+			Value: shape.value(v),
+		}})
+	}
+	def.Comp = &lang.Append{Parts: []lang.CompNode{part(true), part(false)}}
+	return def
+}
+
+// indirectConsumer builds the definition subscripting through idxName:
+// a scatter, a gather from the input vector u, or a histogram-style
+// commutative accumulation.
+func (g *gen) indirectConsumer(name, idxName string, m int64) *lang.ArrayDef {
+	v := g.freshVar()
+	load := lang.At(idxName, lang.Name(v))
+	switch g.pick(35, 30, 35) {
+	case 0: // scatter: cons!(idx!(v)) := value
+		return &lang.ArrayDef{
+			Name:   name,
+			Kind:   lang.Monolithic,
+			Bounds: []lang.Bound{{Lo: lang.Num(1), Hi: g.boundExpr(m)}},
+			Strict: true,
+			Comp: g.genNode(v, 1, m, 1, &lang.Clause{
+				Subs:  []lang.Expr{load},
+				Value: lang.Add(lang.Name(v), lang.Num(int64(g.intn(4)))),
+			}),
+		}
+	case 1: // gather: cons!(v) := u!(idx!(v))
+		return &lang.ArrayDef{
+			Name:   name,
+			Kind:   lang.Monolithic,
+			Bounds: []lang.Bound{{Lo: lang.Num(1), Hi: g.boundExpr(m)}},
+			Strict: true,
+			Comp: g.genNode(v, 1, m, 1, &lang.Clause{
+				Subs:  []lang.Expr{lang.Name(v)},
+				Value: &lang.Index{Array: "u", Subs: []lang.Expr{load}},
+			}),
+		}
+	default: // histogram: cons = accumArray (+) 0 (1,m) [ idx!(v) := w ]
+		return &lang.ArrayDef{
+			Name:   name,
+			Kind:   lang.Accumulated,
+			Bounds: []lang.Bound{{Lo: lang.Num(1), Hi: g.boundExpr(m)}},
+			Accum:  &lang.AccumSpec{Combine: "+", Init: lang.Num(0)},
+			Strict: true,
+			Comp: g.genNode(v, 1, m, 1, &lang.Clause{
+				Subs:  []lang.Expr{load},
+				Value: lang.Num(1 + int64(g.intn(3))),
+			}),
+		}
+	}
+}

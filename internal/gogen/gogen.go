@@ -16,6 +16,7 @@ import (
 	"sort"
 	"strings"
 
+	"arraycomp/internal/idxprop"
 	"arraycomp/internal/loopir"
 )
 
@@ -379,6 +380,21 @@ func (e *emitter) intExpr(x loopir.IntExpr) string {
 			}
 		}
 		return "(" + strings.Join(parts, " + ") + ")"
+	case *loopir.IIdx:
+		off := e.offsetExpr(n.Array, n.Subs, nil, n.CheckBounds)
+		if !n.CheckBounds {
+			// A verified range claim already proved every element
+			// integral and in bounds.
+			return fmt.Sprintf("int64(%s[%s])", e.ident[n.Array], off)
+		}
+		tmp := e.fresh("ix")
+		e.line("%s := %s[%s]", tmp, e.ident[n.Array], off)
+		e.line("if float64(int64(%s)) != %s {", tmp, tmp)
+		e.depth++
+		e.line(`return %s`, e.errReturn(fmt.Sprintf(`fmt.Errorf("array %s holds non-integral subscript value %%v", %s)`, n.Array, tmp)))
+		e.depth--
+		e.line("}")
+		return fmt.Sprintf("int64(%s)", tmp)
 	case *loopir.IBin:
 		l, r := e.intExpr(n.L), e.intExpr(n.R)
 		switch n.Op {
@@ -478,10 +494,104 @@ func (e *emitter) boolExpr(x loopir.BExpr) string {
 		return fmt.Sprintf("(%s || %s)", e.boolExpr(n.L), e.boolExpr(n.R))
 	case *loopir.BNot:
 		return fmt.Sprintf("!(%s)", e.boolExpr(n.X))
+	case *loopir.BVerify:
+		return e.emitVerify(n)
 	}
 	e.fail("unknown boolean expression %T", x)
 	return "false"
 }
+
+// emitVerify renders the one-pass runtime index-property verifier for a
+// BVerify guard inline (generated files stay self-contained), mirroring
+// idxprop.Verify: integrality and magnitude on every element, then the
+// claimed range, monotonicity, and injectivity checks. Returns the name
+// of the bool temporary holding the verdict.
+func (e *emitter) emitVerify(n *loopir.BVerify) string {
+	id := e.ident[n.Array]
+	ok := e.fresh("vok")
+	var needRange, needMono, needInj bool
+	var lo, hi int64
+	for _, c := range n.Claims {
+		switch c.Kind {
+		case idxprop.KRange:
+			if needRange {
+				if c.Lo > lo {
+					lo = c.Lo
+				}
+				if c.Hi < hi {
+					hi = c.Hi
+				}
+			} else {
+				needRange, lo, hi = true, c.Lo, c.Hi
+			}
+		case idxprop.KMonoNonDec:
+			needMono = true
+		case idxprop.KInjective:
+			needInj = true
+		}
+	}
+	e.line("%s := true", ok)
+	if !needRange && !needMono && !needInj {
+		return ok
+	}
+	e.line("{ // verify %s", n.Claims)
+	e.depth++
+	if needMono {
+		e.line("prev := int64(0)")
+	}
+	if needInj {
+		e.line("seen := make(map[int64]bool, len(%s))", id)
+	}
+	rangeVar := "_"
+	if needMono {
+		rangeVar = "pos"
+	}
+	e.line("for %s, v := range %s {", rangeVar, id)
+	e.depth++
+	e.line("if v != math.Trunc(v) || v > %d || v < -%d {", magLimit, magLimit)
+	e.depth++
+	e.line("%s = false", ok)
+	e.line("break")
+	e.depth--
+	e.line("}")
+	e.line("iv := int64(v)")
+	if needRange {
+		e.line("if iv < %d || iv > %d {", lo, hi)
+		e.depth++
+		e.line("%s = false", ok)
+		e.line("break")
+		e.depth--
+		e.line("}")
+	}
+	if needMono {
+		e.line("if pos > 0 && iv < prev {")
+		e.depth++
+		e.line("%s = false", ok)
+		e.line("break")
+		e.depth--
+		e.line("}")
+		e.line("prev = iv")
+	}
+	if needInj {
+		e.line("if seen[iv] {")
+		e.depth++
+		e.line("%s = false", ok)
+		e.line("break")
+		e.depth--
+		e.line("}")
+		e.line("seen[iv] = true")
+	}
+	e.depth--
+	e.line("}")
+	e.depth--
+	e.line("}")
+	return ok
+}
+
+// magLimit mirrors idxprop's magnitude bound on integral subscript
+// values (1<<40): the generated verifier must accept and reject exactly
+// the same inputs as the interpreter's.
+const magLimit = int64(1) << 40
 
 func floatLit(v float64) string {
 	s := fmt.Sprintf("%g", v)
@@ -615,11 +725,19 @@ func hasErrorPaths(stmts []loopir.Stmt) bool {
 				return true
 			}
 		case *loopir.If:
-			if hasErrorPaths(x.Then) || hasErrorPaths(x.Else) {
+			if boolHasChecks(x.Cond) || hasErrorPaths(x.Then) || hasErrorPaths(x.Else) {
 				return true
 			}
 		case *loopir.Assign:
 			if x.CheckBounds || x.CheckCollision || exprHasChecks(x.Rhs) {
+				return true
+			}
+			for _, sub := range x.Subs {
+				if intHasChecks(sub) {
+					return true
+				}
+			}
+			if intHasChecks(x.Off) {
 				return true
 			}
 		case *loopir.SetScalar:
@@ -633,19 +751,43 @@ func hasErrorPaths(stmts []loopir.Stmt) bool {
 	return false
 }
 
+// intHasChecks reports whether an integer expression contains a
+// bounds-checked indirect subscript read (which emits a `return err`).
+func intHasChecks(x loopir.IntExpr) bool {
+	switch n := x.(type) {
+	case *loopir.IBin:
+		return intHasChecks(n.L) || intHasChecks(n.R)
+	case *loopir.IIdx:
+		if n.CheckBounds {
+			return true
+		}
+		for _, s := range n.Subs {
+			if intHasChecks(s) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
 func exprHasChecks(v loopir.VExpr) bool {
 	switch x := v.(type) {
 	case *loopir.ARef:
 		if x.CheckBounds || x.CheckDefined {
 			return true
 		}
-		return false
+		for _, s := range x.Subs {
+			if intHasChecks(s) {
+				return true
+			}
+		}
+		return intHasChecks(x.Off)
 	case *loopir.VBin:
 		return exprHasChecks(x.L) || exprHasChecks(x.R)
 	case *loopir.VNeg:
 		return exprHasChecks(x.X)
 	case *loopir.VFromInt:
-		return false
+		return intHasChecks(x.X)
 	case *loopir.VCall:
 		for _, a := range x.Args {
 			if exprHasChecks(a) {
@@ -661,6 +803,8 @@ func exprHasChecks(v loopir.VExpr) bool {
 
 func boolHasChecks(b loopir.BExpr) bool {
 	switch x := b.(type) {
+	case *loopir.BCmpInt:
+		return intHasChecks(x.L) || intHasChecks(x.R)
 	case *loopir.BCmpFloat:
 		return exprHasChecks(x.L) || exprHasChecks(x.R)
 	case *loopir.BAnd:

@@ -30,6 +30,8 @@ func (e *emitter) emitScheduledLoop(x *loopir.Loop) bool {
 	case loopir.ParShard:
 		e.emitParallelLoop(x)
 		return true
+	case loopir.ParMonoShard:
+		return e.emitMonoShardLoop(x)
 	case loopir.ParChains:
 		if x.Par.Chains < 2 {
 			return false
@@ -40,6 +42,95 @@ func (e *emitter) emitScheduledLoop(x *loopir.Loop) bool {
 		return e.emitTiledNest(x)
 	}
 	return false
+}
+
+// emitMonoShardLoop shards a loop whose write subscript (Par.AlignOn)
+// was verified non-decreasing: naive chunk boundaries advance to the
+// next change of the subscript value, so a run of equal subscripts
+// never straddles two goroutines and the result is bitwise identical
+// to sequential left-to-right accumulation. Mirrors the interpreter's
+// compileMonoShardLoop.
+func (e *emitter) emitMonoShardLoop(x *loopir.Loop) bool {
+	if x.Par.AlignOn == nil || intHasChecks(x.Par.AlignOn) {
+		return false
+	}
+	v := goName(x.Var)
+	var tripVal int64
+	if x.Step > 0 {
+		tripVal = (x.To-x.From)/x.Step + 1
+	} else {
+		tripVal = (x.From-x.To)/(-x.Step) + 1
+	}
+	if tripVal < 1 {
+		return true // empty loop: nothing to emit
+	}
+	trip := e.fresh("trip")
+	e.line("{ // mono-shard loop over %s: equal-subscript runs stay in one chunk", v)
+	e.depth++
+	e.line("%s := int64(%d)", trip, tripVal)
+	e.line("workers := int64(runtime.GOMAXPROCS(0))")
+	e.line("if workers > %s {", trip)
+	e.depth++
+	e.line("workers = %s", trip)
+	e.depth--
+	e.line("}")
+	e.line("chunk := (%s + workers - 1) / workers", trip)
+	e.line("alignAt := func(t int64) int64 {")
+	e.depth++
+	e.line("%s := int64(%d) + t*int64(%d)", v, x.From, x.Step)
+	e.line("_ = %s", v)
+	e.line("return %s", e.intExpr(x.Par.AlignOn))
+	e.depth--
+	e.line("}")
+	e.line("advance := func(t int64) int64 {")
+	e.depth++
+	e.line("for t > 0 && t < %s && alignAt(t) == alignAt(t-1) {", trip)
+	e.depth++
+	e.line("t++")
+	e.depth--
+	e.line("}")
+	e.line("return t")
+	e.depth--
+	e.line("}")
+	e.line("var wg sync.WaitGroup")
+	e.line("for w := int64(0); w < workers; w++ {")
+	e.depth++
+	e.line("wg.Add(1)")
+	e.line("go func(w int64) {")
+	e.depth++
+	e.line("defer wg.Done()")
+	e.line("lo := advance(w * chunk)")
+	e.line("hi := (w + 1) * chunk")
+	e.line("if hi > %s {", trip)
+	e.depth++
+	e.line("hi = %s", trip)
+	e.depth--
+	e.line("}")
+	e.line("hi = advance(hi)")
+	e.line("for t := lo; t < hi; t++ {")
+	e.depth++
+	e.line("%s := int64(%d) + t*int64(%d)", v, x.From, x.Step)
+	e.line("_ = %s // may be fully strength-reduced away", v)
+	for _, ind := range x.Inds {
+		// Chunks start mid-space: rebase the register from the
+		// iteration ordinal instead of carrying it.
+		if ind.Step != 0 {
+			e.line("%s := %s + t*int64(%d)", goName(ind.Name), e.intExpr(ind.Init), ind.Step)
+		} else {
+			e.line("%s := %s", goName(ind.Name), e.intExpr(ind.Init))
+		}
+	}
+	e.emitStmts(x.Body)
+	e.depth--
+	e.line("}")
+	e.depth--
+	e.line("}(w)")
+	e.depth--
+	e.line("}")
+	e.line("wg.Wait()")
+	e.depth--
+	e.line("}")
+	return true
 }
 
 // emitChainsLoop runs the residue classes i ≡ r (mod g) of a

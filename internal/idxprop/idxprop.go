@@ -1,0 +1,217 @@
+// Package idxprop is the index-array property layer of the
+// subscripted-subscript extension (Bhosale & Eigenmann, "Compile-Time
+// Parallelization of Subscripted Subscript Patterns"): it infers and
+// verifies the three properties that make `a!(idx!(i))` gathers and
+// scatters parallelizable —
+//
+//   - value range   (every element integral and within [Lo..Hi]),
+//   - monotonicity  (non-decreasing in position order),
+//   - injectivity   (pairwise distinct values),
+//
+// The properties form a small lattice per array: strictly monotone
+// implies both monotone and injective; each property is independent
+// otherwise. A fact is established one of two ways:
+//
+//   - statically, when the index array is built by an affine
+//     comprehension visible in the same program (Infer): the
+//     value-at-position map is affine, so slope and endpoints decide
+//     everything at compile time;
+//   - at runtime, as a conditional Claim discharged by a one-pass O(n)
+//     verifier (Verify) executed before the parallel region; on failure
+//     the program falls back to the fully checked sequential path.
+//
+// Higher layers consume claims through deptest's property-conditional
+// verdicts and the loop IR's BVerify guard.
+package idxprop
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Kind is one index-array property.
+type Kind uint8
+
+const (
+	// KRange: every element is integral and lies within [Lo..Hi].
+	KRange Kind = iota + 1
+	// KMonoNonDec: elements are non-decreasing in position order.
+	KMonoNonDec
+	// KInjective: elements are pairwise distinct.
+	KInjective
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case KRange:
+		return "range"
+	case KMonoNonDec:
+		return "mono"
+	case KInjective:
+		return "inj"
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// Claim is one property claimed of one array. Static claims were proven
+// at compile time from the array's defining comprehension and need no
+// runtime verification (the certifier re-proves them instead); runtime
+// claims must be discharged by Verify before any plan that relies on
+// them may run.
+type Claim struct {
+	Array  string
+	Kind   Kind
+	Lo, Hi int64 // KRange only
+	Static bool
+}
+
+// String renders e.g. "inj(idx)" or "range(idx,1..100)".
+func (c Claim) String() string {
+	if c.Kind == KRange {
+		return fmt.Sprintf("range(%s,%d..%d)", c.Array, c.Lo, c.Hi)
+	}
+	return fmt.Sprintf("%s(%s)", c.Kind, c.Array)
+}
+
+// Claims is a canonical (sorted, deduplicated) claim set.
+type Claims []Claim
+
+// Normalize sorts and deduplicates in place and returns the receiver.
+func (cs Claims) Normalize() Claims {
+	sort.Slice(cs, func(i, j int) bool {
+		if cs[i].Array != cs[j].Array {
+			return cs[i].Array < cs[j].Array
+		}
+		if cs[i].Kind != cs[j].Kind {
+			return cs[i].Kind < cs[j].Kind
+		}
+		if cs[i].Lo != cs[j].Lo {
+			return cs[i].Lo < cs[j].Lo
+		}
+		return cs[i].Hi < cs[j].Hi
+	})
+	out := cs[:0]
+	for _, c := range cs {
+		if len(out) > 0 && out[len(out)-1] == c {
+			continue
+		}
+		out = append(out, c)
+	}
+	return out
+}
+
+// String renders the conditional-verdict notation "{inj(idx), range(idx,1..9)}".
+func (cs Claims) String() string {
+	parts := make([]string, len(cs))
+	for i, c := range cs {
+		parts[i] = c.String()
+	}
+	return "{" + strings.Join(parts, ", ") + "}"
+}
+
+// Key is a stable fingerprint of the claim set for cache keys.
+func (cs Claims) Key() string {
+	parts := make([]string, len(cs))
+	for i, c := range cs {
+		s := c.String()
+		if c.Static {
+			s += "/s"
+		}
+		parts[i] = s
+	}
+	return strings.Join(parts, ";")
+}
+
+// ForArray returns the claims about the named array.
+func (cs Claims) ForArray(name string) Claims {
+	var out Claims
+	for _, c := range cs {
+		if c.Array == name {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Runtime returns the claims that require runtime verification.
+func (cs Claims) Runtime() Claims {
+	var out Claims
+	for _, c := range cs {
+		if !c.Static {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Arrays returns the distinct array names claimed about, sorted.
+func (cs Claims) Arrays() []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, c := range cs {
+		if !seen[c.Array] {
+			seen[c.Array] = true
+			out = append(out, c.Array)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Has reports whether the set contains a claim of the given kind about
+// the array (any range for KRange).
+func (cs Claims) Has(array string, kind Kind) bool {
+	for _, c := range cs {
+		if c.Array == array && c.Kind == kind {
+			return true
+		}
+	}
+	return false
+}
+
+// Props are the statically inferred properties of one index array.
+type Props struct {
+	// Slope is the affine value-at-position slope; its sign decides the
+	// ordering facts below (kept for diagnostics).
+	Slope int64
+	// MonoNonDec: values never decrease with position.
+	MonoNonDec bool
+	// Injective: values are pairwise distinct.
+	Injective bool
+	// HasRange with [Lo..Hi]: every value integral and in range.
+	HasRange bool
+	Lo, Hi   int64
+}
+
+// Satisfies reports whether the inferred properties prove the claim.
+func (p Props) Satisfies(c Claim) bool {
+	switch c.Kind {
+	case KRange:
+		return p.HasRange && p.Lo >= c.Lo && p.Hi <= c.Hi
+	case KMonoNonDec:
+		return p.MonoNonDec
+	case KInjective:
+		return p.Injective
+	}
+	return false
+}
+
+// String renders the property set.
+func (p Props) String() string {
+	var parts []string
+	if p.MonoNonDec {
+		parts = append(parts, "mono")
+	}
+	if p.Injective {
+		parts = append(parts, "inj")
+	}
+	if p.HasRange {
+		parts = append(parts, fmt.Sprintf("range %d..%d", p.Lo, p.Hi))
+	}
+	if len(parts) == 0 {
+		return "none"
+	}
+	return strings.Join(parts, ", ")
+}

@@ -1,0 +1,181 @@
+package idxprop
+
+import (
+	"testing"
+
+	"arraycomp/internal/parser"
+)
+
+func TestInferIncreasing(t *testing.T) {
+	d, err := parser.ParseDef(`p = array (1,n) [ i := i | i <- [1..n] ]`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, ok := Infer(d, map[string]int64{"n": 10})
+	if !ok {
+		t.Fatal("expected static inference to succeed")
+	}
+	if !p.MonoNonDec || !p.Injective || !p.HasRange || p.Lo != 1 || p.Hi != 10 {
+		t.Fatalf("wrong props: %+v", p)
+	}
+}
+
+func TestInferDecreasing(t *testing.T) {
+	d, err := parser.ParseDef(`p = array (1,n) [ i := n + 1 - i | i <- [1..n] ]`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, ok := Infer(d, map[string]int64{"n": 8})
+	if !ok {
+		t.Fatal("expected static inference to succeed")
+	}
+	if p.MonoNonDec {
+		t.Fatalf("decreasing map must not be mono non-decreasing: %+v", p)
+	}
+	if !p.Injective || !p.HasRange || p.Lo != 1 || p.Hi != 8 {
+		t.Fatalf("wrong props: %+v", p)
+	}
+}
+
+func TestInferConstant(t *testing.T) {
+	d, err := parser.ParseDef(`p = array (1,n) [ i := 3 | i <- [1..n] ]`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, ok := Infer(d, map[string]int64{"n": 5})
+	if !ok {
+		t.Fatal("expected static inference to succeed")
+	}
+	if !p.MonoNonDec || p.Injective || p.Lo != 3 || p.Hi != 3 {
+		t.Fatalf("wrong props: %+v", p)
+	}
+}
+
+func TestInferReversedWrite(t *testing.T) {
+	// Write positions run backward (coeff -1); value at position p is
+	// n+1-p: strictly decreasing, injective.
+	d, err := parser.ParseDef(`p = array (1,n) [ n + 1 - i := i | i <- [1..n] ]`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, ok := Infer(d, map[string]int64{"n": 6})
+	if !ok {
+		t.Fatal("expected static inference to succeed")
+	}
+	if p.MonoNonDec || !p.Injective || p.Lo != 1 || p.Hi != 6 {
+		t.Fatalf("wrong props: %+v", p)
+	}
+	if p.Slope != -1 {
+		t.Fatalf("slope = %d, want -1", p.Slope)
+	}
+}
+
+func TestInferRejectsNonAffine(t *testing.T) {
+	cases := []string{
+		`p = array (1,n) [ i := i * i | i <- [1..n] ]`,          // non-affine value
+		`p = array (1,n) [ i := q!(i) | i <- [1..n] ]`,          // indirect value
+		`p = accumArray (+) 0.0 (1,n) [ i := i | i <- [1..n] ]`, // accumulated
+		`p = array (1,n) [ 2*i := i | i <- [1..n] ]`,            // coeff 2: gaps
+		`p = array (1,n) [ i := i | i <- [1..n-1] ]`,            // partial cover
+		`p = array ((1,1),(n,n)) [ (i,i) := i | i <- [1..n] ]`,  // rank 2
+	}
+	for _, src := range cases {
+		d, err := parser.ParseDef(src)
+		if err != nil {
+			t.Fatalf("parse %q: %v", src, err)
+		}
+		if _, ok := Infer(d, map[string]int64{"n": 10}); ok {
+			t.Errorf("Infer accepted %q; want rejection", src)
+		}
+	}
+}
+
+func TestInferGuardedRejected(t *testing.T) {
+	d, err := parser.ParseDef(`p = array (1,n) [* [ i := i ] | i <- [1..n], i >= 1 *]`)
+	if err != nil {
+		t.Skipf("guarded form does not parse: %v", err)
+	}
+	if _, ok := Infer(d, map[string]int64{"n": 10}); ok {
+		t.Error("Infer accepted a guarded builder")
+	}
+}
+
+func TestVerifyClaims(t *testing.T) {
+	rng := func(lo, hi int64) Claim { return Claim{Array: "p", Kind: KRange, Lo: lo, Hi: hi} }
+	mono := Claim{Array: "p", Kind: KMonoNonDec}
+	inj := Claim{Array: "p", Kind: KInjective}
+
+	cases := []struct {
+		name   string
+		data   []float64
+		claims Claims
+		ok     bool
+	}{
+		{"empty", nil, Claims{mono, inj, rng(1, 5)}, true},
+		{"mono ok", []float64{1, 1, 2, 5}, Claims{mono}, true},
+		{"mono bad", []float64{1, 3, 2}, Claims{mono}, false},
+		{"inj ok", []float64{3, 1, 2}, Claims{inj}, true},
+		{"inj dup", []float64{3, 1, 3}, Claims{inj}, false},
+		{"range ok", []float64{1, 5, 3}, Claims{rng(1, 5)}, true},
+		{"range low", []float64{0, 5}, Claims{rng(1, 5)}, false},
+		{"range high", []float64{1, 6}, Claims{rng(1, 5)}, false},
+		{"fractional", []float64{1.5}, Claims{rng(1, 5)}, false},
+		{"fractional mono", []float64{0.5, 1}, Claims{mono}, false},
+		{"inj+range bitmap", []float64{2, 4, 1, 3}, Claims{inj, rng(1, 4)}, true},
+		{"inj+range dup", []float64{2, 4, 2}, Claims{inj, rng(1, 4)}, false},
+		{"all", []float64{1, 2, 3, 4}, Claims{mono, inj, rng(1, 4)}, true},
+		{"no claims", []float64{7.5}, nil, true},
+	}
+	for _, tc := range cases {
+		got := Verify(tc.data, tc.claims)
+		if got.OK != tc.ok {
+			t.Errorf("%s: Verify = %+v, want ok=%v", tc.name, got, tc.ok)
+		}
+		if !got.OK && got.Reason == "" {
+			t.Errorf("%s: failure must carry a reason", tc.name)
+		}
+	}
+}
+
+func TestVerifyInjNoRangeUsesSet(t *testing.T) {
+	// Without a range claim the verifier must still reject duplicates
+	// (hash-set path) and huge values must not allocate a bitmap.
+	data := []float64{1 << 30, 2, -5, 2}
+	r := Verify(data, Claims{{Array: "p", Kind: KInjective}})
+	if r.OK {
+		t.Fatal("duplicate survived the set path")
+	}
+}
+
+func TestClaimsNormalizeAndKey(t *testing.T) {
+	cs := Claims{
+		{Array: "b", Kind: KInjective},
+		{Array: "a", Kind: KRange, Lo: 1, Hi: 9},
+		{Array: "b", Kind: KInjective},
+	}.Normalize()
+	if len(cs) != 2 {
+		t.Fatalf("dedup failed: %v", cs)
+	}
+	if cs[0].Array != "a" {
+		t.Fatalf("sort failed: %v", cs)
+	}
+	if cs.Key() == "" || cs.String() == "" {
+		t.Fatal("empty renderings")
+	}
+	if !cs.Has("b", KInjective) || cs.Has("a", KInjective) {
+		t.Fatal("Has is wrong")
+	}
+}
+
+func TestPropsSatisfies(t *testing.T) {
+	p := Props{MonoNonDec: true, Injective: true, HasRange: true, Lo: 2, Hi: 8}
+	if !p.Satisfies(Claim{Kind: KRange, Lo: 1, Hi: 10}) {
+		t.Error("wider range claim should be satisfied")
+	}
+	if p.Satisfies(Claim{Kind: KRange, Lo: 3, Hi: 10}) {
+		t.Error("narrower range claim must not be satisfied")
+	}
+	if !p.Satisfies(Claim{Kind: KMonoNonDec}) || !p.Satisfies(Claim{Kind: KInjective}) {
+		t.Error("ordering claims should be satisfied")
+	}
+}

@@ -1,0 +1,170 @@
+package idxprop
+
+import (
+	"arraycomp/internal/affine"
+	"arraycomp/internal/lang"
+)
+
+// inferMagLimit bounds every intermediate magnitude of static
+// inference: inferred values must stay exactly representable as
+// float64 (the runtime element type) and far from int64 overflow.
+const inferMagLimit = int64(1) << 40
+
+// Infer derives index-array properties statically from a defining
+// comprehension. It recognizes the affine builder shape
+//
+//	idx = array (lo,hi) [ a*i + b := s*i + t | i <- [first..last] ]
+//
+// with a = ±1 (a bijection between iterations and positions) and an
+// integral affine value: the value-at-position map is then itself
+// affine with slope m = s·a, so
+//
+//	m > 0 → strictly increasing  → monotone and injective
+//	m = 0 → constant             → monotone, injective only if |idx| ≤ 1
+//	m < 0 → strictly decreasing  → injective
+//
+// and the endpoint values give the exact range. The writes must cover
+// the declared bounds exactly (the definition's own emptiness analysis
+// covers the rest). Any other shape returns ok = false; such arrays can
+// still carry runtime-verified claims.
+func Infer(def *lang.ArrayDef, env map[string]int64) (Props, bool) {
+	if def == nil || def.Kind != lang.Monolithic || def.Rank() != 1 {
+		return Props{}, false
+	}
+	noIndex := func(string) bool { return false }
+	loF, err := affine.FromExpr(def.Bounds[0].Lo, noIndex, env)
+	if err != nil || !loF.IsConstant() {
+		return Props{}, false
+	}
+	hiF, err := affine.FromExpr(def.Bounds[0].Hi, noIndex, env)
+	if err != nil || !hiF.IsConstant() {
+		return Props{}, false
+	}
+	lo, hi := loF.Const, hiF.Const
+	if lo > hi || !magOK(lo) || !magOK(hi) {
+		return Props{}, false
+	}
+
+	gen, cl := builderShape(def.Comp)
+	if gen == nil || cl == nil || len(cl.Subs) != 1 {
+		return Props{}, false
+	}
+	isIndex := func(v string) bool { return v == gen.Var }
+	firstF, err := affine.FromExpr(gen.First, noIndex, env)
+	if err != nil || !firstF.IsConstant() {
+		return Props{}, false
+	}
+	lastF, err := affine.FromExpr(gen.Last, noIndex, env)
+	if err != nil || !lastF.IsConstant() {
+		return Props{}, false
+	}
+	step := int64(1)
+	if gen.Second != nil {
+		secondF, err := affine.FromExpr(gen.Second, noIndex, env)
+		if err != nil || !secondF.IsConstant() {
+			return Props{}, false
+		}
+		step = secondF.Const - firstF.Const
+	}
+	if step != 1 && step != -1 {
+		return Props{}, false
+	}
+	first, last := firstF.Const, lastF.Const
+	if !magOK(first) || !magOK(last) {
+		return Props{}, false
+	}
+	if (step > 0 && first > last) || (step < 0 && first < last) {
+		return Props{}, false // empty builder defines nothing
+	}
+
+	sub, err := affine.FromExpr(cl.Subs[0], isIndex, env)
+	if err != nil {
+		return Props{}, false
+	}
+	a := sub.CoeffOf(gen.Var)
+	if (a != 1 && a != -1) || len(sub.Coeff) != 1 || !magOK(sub.Const) {
+		return Props{}, false
+	}
+	// Positions are a·i + b over a contiguous i range: contiguous. They
+	// must cover [lo..hi] exactly.
+	p1, p2 := a*first+sub.Const, a*last+sub.Const
+	if min64(p1, p2) != lo || max64(p1, p2) != hi {
+		return Props{}, false
+	}
+
+	val, err := affine.FromExpr(cl.Value, isIndex, env)
+	if err != nil {
+		return Props{}, false
+	}
+	s := val.CoeffOf(gen.Var)
+	if len(val.Coeff) > 1 {
+		return Props{}, false
+	}
+	if !magOK(s) || !magOK(val.Const) {
+		return Props{}, false
+	}
+	v1 := s*first + val.Const
+	v2 := s*last + val.Const
+	if !magOK(v1) || !magOK(v2) {
+		return Props{}, false
+	}
+
+	m := s * a // value-at-position slope
+	p := Props{
+		Slope:    m,
+		HasRange: true,
+		Lo:       min64(v1, v2),
+		Hi:       max64(v1, v2),
+	}
+	switch {
+	case m > 0:
+		p.MonoNonDec = true
+		p.Injective = true
+	case m == 0:
+		p.MonoNonDec = true
+		p.Injective = hi == lo
+	default:
+		p.Injective = true
+	}
+	return p, true
+}
+
+// builderShape unwraps the comprehension down to a single generator
+// over a single unguarded clause, tolerating CompLet wrappers (their
+// bindings are resolved lazily by the affine extractor only when the
+// subscript references them, which the recognized shape never does).
+func builderShape(c lang.CompNode) (*lang.Generator, *lang.Clause) {
+	for {
+		switch x := c.(type) {
+		case *lang.Generator:
+			cl, ok := x.Body.(*lang.Clause)
+			if !ok {
+				return nil, nil
+			}
+			return x, cl
+		case *lang.Append:
+			if len(x.Parts) != 1 {
+				return nil, nil
+			}
+			c = x.Parts[0]
+		default:
+			return nil, nil
+		}
+	}
+}
+
+func magOK(v int64) bool { return v > -inferMagLimit && v < inferMagLimit }
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

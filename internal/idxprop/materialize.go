@@ -1,0 +1,102 @@
+package idxprop
+
+import (
+	"arraycomp/internal/affine"
+	"arraycomp/internal/lang"
+)
+
+// materializeLimit caps the number of elements Materialize will
+// produce; certification of a statically discharged claim should never
+// force an enormous allocation.
+const materializeLimit = int64(1) << 22
+
+// Materialize evaluates the affine builder shape Infer recognizes —
+//
+//	idx = array (lo,hi) [ a*i + b := s*i + t | i <- [first..last] ]
+//
+// — to the concrete element values of the index array, for use as an
+// independent witness: the certifier replays the definition and runs
+// the same runtime verifier (Verify) over the result, so a statically
+// discharged claim is never trusted on the inference's say-so alone.
+// Returns ok = false when the definition does not match the shape or
+// is too large to replay.
+func Materialize(def *lang.ArrayDef, env map[string]int64) ([]float64, bool) {
+	if def == nil || def.Kind != lang.Monolithic || def.Rank() != 1 {
+		return nil, false
+	}
+	noIndex := func(string) bool { return false }
+	loF, err := affine.FromExpr(def.Bounds[0].Lo, noIndex, env)
+	if err != nil || !loF.IsConstant() {
+		return nil, false
+	}
+	hiF, err := affine.FromExpr(def.Bounds[0].Hi, noIndex, env)
+	if err != nil || !hiF.IsConstant() {
+		return nil, false
+	}
+	lo, hi := loF.Const, hiF.Const
+	if lo > hi || !magOK(lo) || !magOK(hi) || hi-lo+1 > materializeLimit {
+		return nil, false
+	}
+
+	gen, cl := builderShape(def.Comp)
+	if gen == nil || cl == nil || len(cl.Subs) != 1 {
+		return nil, false
+	}
+	firstF, err := affine.FromExpr(gen.First, noIndex, env)
+	if err != nil || !firstF.IsConstant() {
+		return nil, false
+	}
+	lastF, err := affine.FromExpr(gen.Last, noIndex, env)
+	if err != nil || !lastF.IsConstant() {
+		return nil, false
+	}
+	step := int64(1)
+	if gen.Second != nil {
+		secondF, err := affine.FromExpr(gen.Second, noIndex, env)
+		if err != nil || !secondF.IsConstant() {
+			return nil, false
+		}
+		step = secondF.Const - firstF.Const
+	}
+	if step != 1 && step != -1 {
+		return nil, false
+	}
+	first, last := firstF.Const, lastF.Const
+	if !magOK(first) || !magOK(last) {
+		return nil, false
+	}
+	if (step > 0 && first > last) || (step < 0 && first < last) {
+		return nil, false
+	}
+
+	isIndex := func(v string) bool { return v == gen.Var }
+	sub, err := affine.FromExpr(cl.Subs[0], isIndex, env)
+	if err != nil {
+		return nil, false
+	}
+	a := sub.CoeffOf(gen.Var)
+	if (a != 1 && a != -1) || len(sub.Coeff) != 1 || !magOK(sub.Const) {
+		return nil, false
+	}
+	p1, p2 := a*first+sub.Const, a*last+sub.Const
+	if min64(p1, p2) != lo || max64(p1, p2) != hi {
+		return nil, false
+	}
+	val, err := affine.FromExpr(cl.Value, isIndex, env)
+	if err != nil || len(val.Coeff) > 1 {
+		return nil, false
+	}
+	s := val.CoeffOf(gen.Var)
+	if !magOK(s) || !magOK(val.Const) || !magOK(s*first+val.Const) || !magOK(s*last+val.Const) {
+		return nil, false
+	}
+
+	data := make([]float64, hi-lo+1)
+	for i := first; ; i += step {
+		data[a*i+sub.Const-lo] = float64(s*i + val.Const)
+		if i == last {
+			break
+		}
+	}
+	return data, true
+}

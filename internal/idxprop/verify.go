@@ -1,0 +1,99 @@
+package idxprop
+
+import (
+	"fmt"
+	"math"
+)
+
+// bitmapLimit caps the injectivity bitmap: ranges wider than this fall
+// back to a hash set so an adversarial range claim cannot force a huge
+// allocation.
+const bitmapLimit = int64(1) << 26
+
+// VerifyResult is the verdict of one runtime verification pass.
+type VerifyResult struct {
+	OK     bool
+	Reason string // first violated claim, for diagnostics
+}
+
+// Verify discharges the runtime claims about one index array in a
+// single O(n) pass over its elements: integrality and range bounds,
+// the non-decreasing adjacent comparison, and injectivity via a seen
+// bitmap over the claimed range (hash set when no range is claimed or
+// the range is too wide). A sound verifier is the security boundary of
+// the whole conditional-parallelization scheme — any failure routes
+// execution to the fully checked sequential path, never to undefined
+// behavior.
+func Verify(data []float64, claims Claims) VerifyResult {
+	var (
+		needRange bool
+		lo, hi    int64
+		needMono  bool
+		needInj   bool
+	)
+	for _, c := range claims {
+		switch c.Kind {
+		case KRange:
+			if needRange {
+				// Intersect multiple range claims.
+				lo, hi = max64(lo, c.Lo), min64(hi, c.Hi)
+			} else {
+				needRange, lo, hi = true, c.Lo, c.Hi
+			}
+		case KMonoNonDec:
+			needMono = true
+		case KInjective:
+			needInj = true
+		}
+	}
+	if !needRange && !needMono && !needInj {
+		return VerifyResult{OK: true}
+	}
+	if len(data) == 0 {
+		return VerifyResult{OK: true}
+	}
+
+	var seenBits []uint64
+	var seenSet map[int64]struct{}
+	if needInj {
+		if needRange && hi >= lo && hi-lo+1 <= bitmapLimit {
+			seenBits = make([]uint64, (hi-lo)/64+1)
+		} else {
+			seenSet = make(map[int64]struct{}, len(data))
+		}
+	}
+
+	prev := int64(0)
+	for pos, v := range data {
+		// Every claim requires integral values: a fractional subscript
+		// has no sound integer reading.
+		if v != math.Trunc(v) || v < -float64(inferMagLimit) || v > float64(inferMagLimit) {
+			return VerifyResult{Reason: fmt.Sprintf("element %d is not an integral subscript (%v)", pos, v)}
+		}
+		iv := int64(v)
+		if needRange && (iv < lo || iv > hi) {
+			return VerifyResult{Reason: fmt.Sprintf("range(%d..%d) violated at position %d (value %d)", lo, hi, pos, iv)}
+		}
+		if needMono && pos > 0 && iv < prev {
+			return VerifyResult{Reason: fmt.Sprintf("mono violated at position %d (%d < %d)", pos, iv, prev)}
+		}
+		if needInj {
+			if seenBits != nil {
+				// iv is in [lo..hi] here: the range check above rejected
+				// everything else before we index the bitmap.
+				b := iv - lo
+				if seenBits[b/64]&(1<<(b%64)) != 0 {
+					return VerifyResult{Reason: fmt.Sprintf("inj violated at position %d (value %d repeats)", pos, iv)}
+				}
+				seenBits[b/64] |= 1 << (b % 64)
+			} else {
+				if _, dup := seenSet[iv]; dup {
+					return VerifyResult{Reason: fmt.Sprintf("inj violated at position %d (value %d repeats)", pos, iv)}
+				}
+				seenSet[iv] = struct{}{}
+			}
+		}
+		prev = iv
+	}
+	return VerifyResult{OK: true}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"arraycomp/internal/idxprop"
 	"arraycomp/internal/runtime"
 )
 
@@ -45,6 +46,16 @@ type compiler struct {
 	// fp recycles per-worker frames across this program's parallel loop
 	// executions; its New is bound once slot counts are final.
 	fp *framePool
+	// hook is shared between the compiled BVerify closures and the Exec
+	// so SetVerifyHook (called after Compile) still reaches them.
+	hook *verifyHookBox
+}
+
+// verifyHookBox lets an observer record runtime verification verdicts.
+// It is a box (not a plain field) because closures capture it at
+// compile time while the hook itself is installed afterwards.
+type verifyHookBox struct {
+	fn func(claims idxprop.Claims, res idxprop.VerifyResult)
 }
 
 func (c *compiler) fail(format string, args ...any) {
@@ -64,6 +75,14 @@ type Exec struct {
 	floatSlots map[string]int
 	arraySlots map[string]int
 	workers    int
+	hook       *verifyHookBox
+}
+
+// SetVerifyHook installs an observer called once per runtime
+// index-property verification with the claims checked and the verdict.
+// Pass nil to remove it. Not safe to change concurrently with Run.
+func (ex *Exec) SetVerifyHook(fn func(claims idxprop.Claims, res idxprop.VerifyResult)) {
+	ex.hook.fn = fn
 }
 
 // Compile translates the program to closures. It validates names and
@@ -84,6 +103,7 @@ func Compile(p *Program) (ex *Exec, err error) {
 		floatSlots: map[string]int{},
 		arraySlots: map[string]int{},
 		fp:         &framePool{},
+		hook:       &verifyHookBox{},
 	}
 	for i, d := range p.Arrays {
 		if _, dup := c.arraySlots[d.Name]; dup {
@@ -109,6 +129,7 @@ func Compile(p *Program) (ex *Exec, err error) {
 		intSlots:   c.intSlots,
 		floatSlots: c.floatSlots,
 		arraySlots: c.arraySlots,
+		hook:       c.hook,
 	}, nil
 }
 
@@ -165,6 +186,8 @@ func (c *compiler) compileStmt(s Stmt) stmtFn {
 			switch x.Par.Kind {
 			case ParShard:
 				par = c.compileShardLoop(x, slot, x.From, x.Step, trip, inds, seq)
+			case ParMonoShard:
+				par = c.compileMonoShardLoop(x, slot, x.From, x.Step, trip, inds, seq)
 			case ParTile, ParWavefront:
 				par = c.compileTiledNest(x, slot, x.From, trip, inds, seq)
 			case ParChains:
@@ -363,7 +386,7 @@ func (c *compiler) compileAssign(x *Assign) stmtFn {
 	prog := c.prog.Name
 	name := x.Array
 	b := decl.B
-	track := decl.TrackDefs
+	track := decl.TrackDefs && !x.NoTrack
 	switch {
 	case x.Accumulate != nil:
 		comb := x.Accumulate
@@ -442,6 +465,24 @@ func (c *compiler) compileInt(e IntExpr) intFn {
 				}
 				return v
 			}
+		}
+	case *IIdx:
+		slot, offFn := c.compileOffset(x.Array, x.Subs, nil, x.CheckBounds)
+		prog, name := c.prog.Name, x.Array
+		if x.CheckBounds {
+			return func(f *frame) int64 {
+				v := f.arrays[slot].Data[offFn(f)]
+				iv := int64(v)
+				if float64(iv) != v {
+					execFail(prog, "array %s holds non-integral subscript value %v", name, v)
+				}
+				return iv
+			}
+		}
+		// Unchecked: a verified range claim already proved every element
+		// integral and in range.
+		return func(f *frame) int64 {
+			return int64(f.arrays[slot].Data[offFn(f)])
 		}
 	case *IBin:
 		l := c.compileInt(x.L)
@@ -654,6 +695,17 @@ func (c *compiler) compileBool(e BExpr) boolFn {
 	case *BNot:
 		fn := c.compileBool(x.X)
 		return func(f *frame) bool { return !fn(f) }
+	case *BVerify:
+		slot := c.arraySlot(x.Array)
+		claims := x.Claims
+		box := c.hook
+		return func(f *frame) bool {
+			r := idxprop.Verify(f.arrays[slot].Data, claims)
+			if box.fn != nil {
+				box.fn(claims, r)
+			}
+			return r.OK
+		}
 	}
 	c.fail("unknown boolean expression %T", e)
 	return nil

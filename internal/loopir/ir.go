@@ -15,6 +15,7 @@ package loopir
 import (
 	"fmt"
 
+	"arraycomp/internal/idxprop"
 	"arraycomp/internal/runtime"
 )
 
@@ -214,6 +215,15 @@ const (
 	// ParChains splits a 1-D loop whose carried distances share a gcd
 	// g ≥ 2 into g independent residue-class chains.
 	ParChains
+	// ParMonoShard shards a 1-D commutative-accumulation loop whose
+	// write subscript routes through a runtime-verified monotone
+	// non-decreasing index array: chunk boundaries are aligned so that
+	// equal subscript values never straddle workers (each worker
+	// advances its start past any run continuing the previous chunk's
+	// last value). Workers then own disjoint element sets and each
+	// element's contributions keep their sequential order, so the
+	// result is bitwise identical to sequential execution.
+	ParMonoShard
 )
 
 // String names the schedule kind.
@@ -227,6 +237,8 @@ func (k ParKind) String() string {
 		return "wavefront"
 	case ParChains:
 		return "chains"
+	case ParMonoShard:
+		return "mono-shard"
 	}
 	return fmt.Sprintf("ParKind(%d)", uint8(k))
 }
@@ -242,6 +254,11 @@ type ParSchedule struct {
 	TileI, TileJ int64
 	// Chains is the residue-class count g (ParChains).
 	Chains int64
+	// AlignOn is the write-subscript expression of a ParMonoShard loop,
+	// evaluated at a candidate boundary iteration to decide whether the
+	// boundary splits a run of equal subscript values. It references
+	// the loop variable only.
+	AlignOn IntExpr
 }
 
 // String renders the schedule for dumps.
@@ -251,6 +268,8 @@ func (s *ParSchedule) String() string {
 		return fmt.Sprintf("%s %dx%d", s.Kind, s.TileI, s.TileJ)
 	case ParChains:
 		return fmt.Sprintf("%s %d", s.Kind, s.Chains)
+	case ParMonoShard:
+		return fmt.Sprintf("%s(%s)", s.Kind, IntExprString(s.AlignOn))
 	}
 	return s.Kind.String()
 }
@@ -297,6 +316,12 @@ type Assign struct {
 	// the optimizer on accesses with CheckBounds == false; Subs are
 	// retained for diagnostics and dependence reasoning.
 	Off IntExpr
+	// NoTrack suppresses the definedness-bitmap update for a store to a
+	// TrackDefs array. Set only on the claim-verified fast branch of a
+	// dual lowering, whose claims prove the writes collision-free and
+	// complete; the sibling checked branch keeps tracking and owns the
+	// CheckFull sweep.
+	NoTrack bool
 }
 
 // SetScalar assigns a float scalar temporary.
@@ -368,10 +393,22 @@ type IBin struct {
 	L, R IntExpr
 }
 
+// IIdx reads an element of an index array in integer position — the
+// subscripted-subscript form `a!(idx!(i))`. The element must hold an
+// integral value; a fractional element is a runtime error. CheckBounds
+// range-checks the inner subscripts (elided on the claim-verified fast
+// path, where a range claim on the array already covers them).
+type IIdx struct {
+	Array       string
+	Subs        []IntExpr
+	CheckBounds bool
+}
+
 func (*ILin) intExprNode()   {}
 func (*IVar) intExprNode()   {}
 func (*IConst) intExprNode() {}
 func (*IBin) intExprNode()   {}
+func (*IIdx) intExprNode()   {}
 
 // --- float value expressions ---
 
@@ -461,9 +498,23 @@ type BNot struct{ X BExpr }
 // BConst is a boolean literal (folded guards).
 type BConst struct{ Value bool }
 
+// BVerify is the runtime index-array property verifier: it runs one
+// O(n) pass over the named input array checking every claim
+// (integrality, range, monotonicity, injectivity) and yields true only
+// when all hold. It guards the claim-conditional fast branch of a dual
+// lowering — `If{Cond: BVerify, Then: parallel unchecked, Else:
+// sequential checked}` — so a violating index array can only ever
+// route execution to the safe path. The executor reports each verdict
+// through the exec's verify hook for metrics.
+type BVerify struct {
+	Array  string
+	Claims idxprop.Claims
+}
+
 func (*BCmpInt) bexprNode()   {}
 func (*BCmpFloat) bexprNode() {}
 func (*BAnd) bexprNode()      {}
 func (*BOr) bexprNode()       {}
 func (*BNot) bexprNode()      {}
 func (*BConst) bexprNode()    {}
+func (*BVerify) bexprNode()   {}

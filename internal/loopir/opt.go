@@ -334,17 +334,32 @@ func intVars(e IntExpr, out map[string]bool) {
 	case *IBin:
 		intVars(x.L, out)
 		intVars(x.R, out)
+	case *IIdx:
+		for _, s := range x.Subs {
+			intVars(s, out)
+		}
 	}
 }
 
 // intHasDiv reports whether evaluating the expression can fail
-// (integer division or modulus by zero).
+// (integer division or modulus by zero, or a bounds-checked indirect
+// subscript read).
 func intHasDiv(e IntExpr) bool {
-	if x, ok := e.(*IBin); ok {
+	switch x := e.(type) {
+	case *IBin:
 		if x.Op == '/' || x.Op == '%' {
 			return true
 		}
 		return intHasDiv(x.L) || intHasDiv(x.R)
+	case *IIdx:
+		if x.CheckBounds {
+			return true
+		}
+		for _, s := range x.Subs {
+			if intHasDiv(s) {
+				return true
+			}
+		}
 	}
 	return false
 }
@@ -361,11 +376,37 @@ func newExprInfo() *exprInfo {
 	return &exprInfo{vars: map[string]bool{}, scalars: map[string]bool{}, arrays: map[string]bool{}}
 }
 
+// walkI records what an integer expression touches: the variables it
+// reads and, for indirect IIdx subscripts, the array whose contents it
+// depends on (a write to that array changes the expression's value, so
+// invariance analyses must see the read).
+func (in *exprInfo) walkI(e IntExpr) {
+	switch x := e.(type) {
+	case *IVar:
+		in.vars[x.Name] = true
+	case *ILin:
+		for _, t := range x.Terms {
+			in.vars[t.Var] = true
+		}
+	case *IBin:
+		in.walkI(x.L)
+		in.walkI(x.R)
+	case *IIdx:
+		in.arrays[x.Array] = true
+		if x.CheckBounds {
+			in.anyChecked = true
+		}
+		for _, s := range x.Subs {
+			in.walkI(s)
+		}
+	}
+}
+
 func (in *exprInfo) walkV(e VExpr) {
 	switch x := e.(type) {
 	case *VConst:
 	case *VFromInt:
-		intVars(x.X, in.vars)
+		in.walkI(x.X)
 	case *VScalar:
 		in.scalars[x.Name] = true
 	case *ARef:
@@ -374,10 +415,10 @@ func (in *exprInfo) walkV(e VExpr) {
 			in.anyChecked = true
 		}
 		for _, s := range x.Subs {
-			intVars(s, in.vars)
+			in.walkI(s)
 		}
 		if x.Off != nil {
-			intVars(x.Off, in.vars)
+			in.walkI(x.Off)
 		}
 	case *VBin:
 		in.walkV(x.L)
@@ -397,9 +438,11 @@ func (in *exprInfo) walkV(e VExpr) {
 
 func (in *exprInfo) walkB(e BExpr) {
 	switch x := e.(type) {
+	case *BVerify:
+		in.arrays[x.Array] = true
 	case *BCmpInt:
-		intVars(x.L, in.vars)
-		intVars(x.R, in.vars)
+		in.walkI(x.L)
+		in.walkI(x.R)
 	case *BCmpFloat:
 		in.walkV(x.L)
 		in.walkV(x.R)
@@ -633,11 +676,16 @@ func (o *optimizer) boolInvariant(e BExpr, eff *stmtEffects) bool {
 	case *BConst:
 		return true
 	case *BCmpInt:
-		vars := map[string]bool{}
-		intVars(x.L, vars)
-		intVars(x.R, vars)
-		for v := range vars {
+		info := newExprInfo()
+		info.walkI(x.L)
+		info.walkI(x.R)
+		for v := range info.vars {
 			if eff.boundVars[v] {
+				return false
+			}
+		}
+		for a := range info.arrays {
+			if eff.arraysWritten[a] {
 				return false
 			}
 		}
@@ -907,6 +955,10 @@ func collectAccStmts(stmts []Stmt, bound map[string]loopRange, out *accessSet) {
 			collectAccStmts(x.Else, bound, out)
 		case *Assign:
 			out.arr = append(out.arr, makeAccess(x.Array, x.Subs, true, bound))
+			for _, sub := range x.Subs {
+				collectAccInt(sub, out)
+			}
+			collectAccInt(x.Off, out)
 			addExpr(x.Rhs)
 		case *SetScalar:
 			out.scalarW[x.Name] = true
@@ -929,6 +981,12 @@ func collectAccExpr(e VExpr, bound map[string]loopRange, out *accessSet) {
 		out.scalarR[x.Name] = true
 	case *ARef:
 		out.arr = append(out.arr, makeAccess(x.Array, x.Subs, false, bound))
+		for _, sub := range x.Subs {
+			collectAccInt(sub, out)
+		}
+		collectAccInt(x.Off, out)
+	case *VFromInt:
+		collectAccInt(x.X, out)
 	case *VBin:
 		collectAccExpr(x.L, bound, out)
 		collectAccExpr(x.R, bound, out)
@@ -945,8 +1003,29 @@ func collectAccExpr(e VExpr, bound map[string]loopRange, out *accessSet) {
 	}
 }
 
+// collectAccInt records the indirect (IIdx) reads inside an integer
+// expression as whole-array reads: their element positions are
+// data-dependent, so overlap analysis must assume any element.
+func collectAccInt(e IntExpr, out *accessSet) {
+	switch x := e.(type) {
+	case *IBin:
+		collectAccInt(x.L, out)
+		collectAccInt(x.R, out)
+	case *IIdx:
+		out.arr = append(out.arr, access{array: x.Array, whole: true})
+		for _, s := range x.Subs {
+			collectAccInt(s, out)
+		}
+	}
+}
+
 func collectAccBool(e BExpr, bound map[string]loopRange, out *accessSet) {
 	switch x := e.(type) {
+	case *BVerify:
+		out.arr = append(out.arr, access{array: x.Array, whole: true})
+	case *BCmpInt:
+		collectAccInt(x.L, out)
+		collectAccInt(x.R, out)
 	case *BCmpFloat:
 		collectAccExpr(x.L, bound, out)
 		collectAccExpr(x.R, bound, out)
@@ -1232,6 +1311,12 @@ func renameInt(e IntExpr, from, to string) IntExpr {
 		return cp
 	case *IBin:
 		return &IBin{Op: x.Op, L: renameInt(x.L, from, to), R: renameInt(x.R, from, to)}
+	case *IIdx:
+		cp := &IIdx{Array: x.Array, Subs: make([]IntExpr, len(x.Subs)), CheckBounds: x.CheckBounds}
+		for i, s := range x.Subs {
+			cp.Subs[i] = renameInt(s, from, to)
+		}
+		return cp
 	default:
 		return e
 	}

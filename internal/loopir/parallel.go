@@ -208,6 +208,80 @@ func (c *compiler) compileShardLoop(x *Loop, slot int, from, step, trip int64, i
 	}
 }
 
+// compileMonoShardLoop shards a loop whose write subscript
+// (Par.AlignOn, typically an indirect idx!(i) read) has been verified
+// non-decreasing over the iteration space. Naive per-worker chunk
+// boundaries are advanced to the next change of the subscript value, so
+// a run of equal subscripts never straddles two chunks: each output
+// element is written by exactly one worker, in sequential iteration
+// order, and the parallel result is bitwise identical to the
+// sequential left-to-right accumulation. Every worker computes the
+// boundary adjustment with the same pure function, so adjacent workers
+// agree on their shared boundary without communicating.
+func (c *compiler) compileMonoShardLoop(x *Loop, slot int, from, step, trip int64, inds []cInd, seq stmtFn) stmtFn {
+	if x.Par.AlignOn == nil {
+		return nil
+	}
+	align := c.compileInt(x.Par.AlignOn)
+	body := c.compileStmts(x.Body)
+	fp := c.fp
+	return func(f *frame) {
+		w := workersFor(f, trip)
+		if w <= 1 {
+			seq(f)
+			return
+		}
+		bases := make([]int64, len(inds))
+		for i := range inds {
+			bases[i] = inds[i].init(f)
+		}
+		chunk := (trip + int64(w) - 1) / int64(w)
+		errs := make([]parError, w)
+		runParallel(w, func(wi int) {
+			wf := fp.get(f)
+			defer fp.put(wf)
+			var t int64
+			bind := func(p int64) {
+				wf.ints[slot] = from + p*step
+				for i := range inds {
+					wf.ints[inds[i].slot] = bases[i] + p*inds[i].step
+				}
+			}
+			alignAt := func(p int64) int64 {
+				t = p // failures during probing report the probe point
+				bind(p)
+				return align(wf)
+			}
+			advance := func(p int64) int64 {
+				for p > 0 && p < trip && alignAt(p) == alignAt(p-1) {
+					p++
+				}
+				return p
+			}
+			defer func() {
+				if r := recover(); r != nil {
+					ee, ok := r.(*ExecError)
+					if !ok {
+						panic(r)
+					}
+					errs[wi].record(t, ee)
+				}
+			}()
+			lo := advance(int64(wi) * chunk)
+			hi := int64(wi+1) * chunk
+			if hi > trip {
+				hi = trip
+			}
+			hi = advance(hi)
+			for t = lo; t < hi; t++ {
+				bind(t)
+				runAll(body, wf)
+			}
+		})
+		raiseMin(errs)
+	}
+}
+
 // compileChainsLoop runs the g residue-class chains of a 1-D
 // constant-distance recurrence concurrently: all carried distances are
 // multiples of g, so iterations t and t' only depend on each other when

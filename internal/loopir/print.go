@@ -155,6 +155,12 @@ func IntExprString(e IntExpr) string {
 			wrote = true
 		}
 		return b.String()
+	case *IIdx:
+		s := fmt.Sprintf("%s[%s]", x.Array, subsString(x.Subs))
+		if x.CheckBounds {
+			s += "!"
+		}
+		return s
 	case *IBin:
 		return fmt.Sprintf("(%s %c %s)", IntExprString(x.L), x.Op, IntExprString(x.R))
 	}
@@ -207,6 +213,8 @@ func BExprString(e BExpr) string {
 		return fmt.Sprintf("(%s || %s)", BExprString(x.L), BExprString(x.R))
 	case *BNot:
 		return fmt.Sprintf("not (%s)", BExprString(x.X))
+	case *BVerify:
+		return fmt.Sprintf("verify %s %s", x.Array, x.Claims)
 	}
 	return fmt.Sprintf("?bool %T", e)
 }

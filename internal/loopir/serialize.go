@@ -36,6 +36,7 @@ func init() {
 	gob.Register(&IVar{})
 	gob.Register(&IConst{})
 	gob.Register(&IBin{})
+	gob.Register(&IIdx{})
 	// Value expressions.
 	gob.Register(&VConst{})
 	gob.Register(&VFromInt{})
@@ -52,6 +53,7 @@ func init() {
 	gob.Register(&BOr{})
 	gob.Register(&BNot{})
 	gob.Register(&BConst{})
+	gob.Register(&BVerify{})
 }
 
 // RebindAccum restores the combining closures a gob round trip
@@ -139,7 +141,7 @@ func sizeStmtList(stmts []Stmt) int64 {
 				n += sizeSched + sizeExprInt(x.Inds[i].Init)
 			}
 			if x.Par != nil {
-				n += sizeSched
+				n += sizeSched + sizeExprInt(x.Par.AlignOn)
 			}
 			if x.Sten != nil {
 				n += sizeSched
@@ -174,6 +176,12 @@ func sizeExprInt(e IntExpr) int64 {
 		return sizeExpr + sizeTerm*int64(len(x.Terms))
 	case *IBin:
 		return sizeExpr + sizeExprInt(x.L) + sizeExprInt(x.R)
+	case *IIdx:
+		n := int64(sizeExpr) + int64(len(x.Array))
+		for _, sub := range x.Subs {
+			n += sizeExprInt(sub)
+		}
+		return n
 	default:
 		return sizeExpr
 	}

@@ -79,6 +79,12 @@ type Counters struct {
 	ClaimsCertified int `json:"claims_certified,omitempty"`
 	ClaimsFalsified int `json:"claims_falsified,omitempty"`
 	ClaimsSkipped   int `json:"claims_skipped,omitempty"`
+	// IdxClaims counts the index-array property claims the conditional
+	// subscripted-subscript analysis assumed; IdxClaimsStatic counts how
+	// many of them were discharged statically from the index array's own
+	// defining comprehension (the rest carry a runtime verifier guard).
+	IdxClaims       int `json:"idx_claims,omitempty"`
+	IdxClaimsStatic int `json:"idx_claims_static,omitempty"`
 }
 
 // AddSchedule bumps the counter for one loop's schedule kind.

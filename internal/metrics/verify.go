@@ -1,0 +1,36 @@
+package metrics
+
+import "sync/atomic"
+
+// VerifyStats counts runtime index-array property verifications — the
+// one-pass O(n) checks (idxprop.Verify) that guard claim-conditional
+// parallel plans. A verification that passes routes execution to the
+// claim-assuming fast branch; a failure routes it to the fully checked
+// sequential branch. The counters are atomic: compiled programs are
+// shared across concurrent callers.
+type VerifyStats struct {
+	// Verified counts passes (fast branch taken).
+	Verified atomic.Int64
+	// Failed counts failures (checked fallback taken).
+	Failed atomic.Int64
+}
+
+// Record tallies one verdict.
+func (s *VerifyStats) Record(ok bool) {
+	if ok {
+		s.Verified.Add(1)
+	} else {
+		s.Failed.Add(1)
+	}
+}
+
+// VerifySnapshot is a point-in-time copy for reports.
+type VerifySnapshot struct {
+	Verified int64 `json:"verified"`
+	Failed   int64 `json:"failed"`
+}
+
+// Snapshot reads the counters.
+func (s *VerifyStats) Snapshot() VerifySnapshot {
+	return VerifySnapshot{Verified: s.Verified.Load(), Failed: s.Failed.Load()}
+}

@@ -1,0 +1,81 @@
+package oracle
+
+import (
+	"testing"
+
+	"arraycomp/internal/gencomp"
+	"arraycomp/internal/parser"
+)
+
+// TestOracleIdxProp is the subscripted-subscript ablation arm: every
+// program carries an index-array definition plus an indirect consumer
+// (gather, scatter, or histogram), with value shapes spanning
+// statically provable, runtime-verifiable, and claim-violating index
+// arrays. The corpus asserts three things at once:
+//
+//   - zero divergence: the claim-conditional parallel plans agree with
+//     the thunked reference AND match the NoIdxProp arm bitwise —
+//     claim verification either admits the identical-arithmetic fast
+//     path or falls back to exactly the checked execution;
+//   - zero honest falsifications: the certify arm (which replays every
+//     static claim through the materializer and audits every
+//     claim-assuming plan relaxation) never rejects an honestly
+//     inferred program — a falsification would surface here as a
+//     certify-vs-reference mismatch;
+//   - verifier coverage: the runtime verifier both passes and fails
+//     across the corpus, i.e. the generated shapes genuinely reach
+//     both sides of the conditional.
+func TestOracleIdxProp(t *testing.T) {
+	n := 1000
+	if testing.Short() {
+		n = 300
+	}
+	seeds := make([]uint64, n)
+	for i := range seeds {
+		seeds[i] = 0x1D0000 + uint64(i)
+	}
+	cfg := gencomp.Config{IdxWeight: 1000}
+	s := RunSeeds(seeds, cfg, false, false)
+	t.Logf("\n%s", s)
+	if s.Programs != n {
+		t.Fatalf("ran %d programs, want %d", s.Programs, n)
+	}
+	for _, c := range s.Failures {
+		min := ShrinkFailure(c)
+		t.Errorf("seed %d disagrees: %v\nminimized:\n%s", c.Seed, c.Mismatches, min.Program.Source)
+		if len(s.Failures) > 5 {
+			break
+		}
+	}
+	// Corpus-coverage assertions: the fuzz arm is vacuous unless the
+	// runtime verifier actually ran and returned both verdicts, and
+	// unless outcomes include both successes and agreed-upon errors.
+	if s.IdxVerified == 0 {
+		t.Errorf("no program passed runtime claim verification")
+	}
+	if s.IdxFailed == 0 {
+		t.Errorf("no program failed runtime claim verification (violating shapes never reached the verifier)")
+	}
+	par := s.PerAblation["parallel"]
+	if par.OK == 0 || par.Err == 0 {
+		t.Errorf("corpus lacks outcome variety under parallel: ok=%d err=%d", par.OK, par.Err)
+	}
+	if st := s.PerAblation["idxprop"]; st.Mismatch != 0 {
+		t.Errorf("idxprop ablation mismatched %d times", st.Mismatch)
+	}
+	if st := s.PerAblation["certify"]; st.Mismatch != 0 {
+		t.Errorf("certify arm mismatched %d times (honest falsification or audit-visible behavior change)", st.Mismatch)
+	}
+}
+
+// TestIdxGenRoundTrip pins that the subscripted-subscript shapes print
+// and re-parse like every other generated program.
+func TestIdxGenRoundTrip(t *testing.T) {
+	cfg := gencomp.Config{IdxWeight: 1000}
+	for seed := uint64(0); seed < 200; seed++ {
+		p := gencomp.Generate(seed, cfg)
+		if _, err := parser.ParseProgram(p.Source); err != nil {
+			t.Fatalf("seed %d: generated source does not parse: %v\n%s", seed, err, p.Source)
+		}
+	}
+}

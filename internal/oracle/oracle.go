@@ -87,6 +87,14 @@ func Ablations() []Ablation {
 		// forced multi-worker pool; results (and error messages) must be
 		// indistinguishable from sequential execution.
 		{"parallel", core.Options{Parallel: true, Workers: 4}},
+		// idxprop disables the index-array property layer (no static
+		// discharge, no claim-conditional dual plans, no runtime
+		// verifier) under the same parallel pool. RunCase holds this arm
+		// to a bitwise comparison against parallel: claim-assuming fast
+		// paths elide checks but must perform the identical arithmetic,
+		// and a failed runtime verification must fall back to exactly
+		// the execution this arm always takes.
+		{"idxprop", core.Options{NoIdxProp: true, Parallel: true, Workers: 4}},
 		// certify audits every dependence verdict (witness re-checks and
 		// shadow-domain enumeration) and turns any falsified claim into
 		// a compile error — which then diverges from the reference here,
@@ -126,6 +134,11 @@ type Case struct {
 	NativeEligible bool
 	NativeRan      bool
 	NativeOutcome  Outcome
+	// IdxVerified/IdxFailed are the parallel arm's runtime index-claim
+	// verifier verdict counters (zero when every claim discharged
+	// statically or the program has no subscripted subscripts).
+	IdxVerified int64
+	IdxFailed   int64
 
 	// fullProg retains the full-configuration compile for gogen
 	// emission and native adoption.
@@ -181,7 +194,7 @@ func RunCase(p *gencomp.Program) *Case {
 	for _, ab := range Ablations() {
 		opts := ab.Opts
 		opts.InputBounds = p.Inputs
-		c.ByAblation[ab.Name] = runOnce(p, opts, inputs, ab.Name == "full", c)
+		c.ByAblation[ab.Name] = runOnce(p, opts, inputs, ab.Name, c)
 	}
 	c.Ref = c.ByAblation[RefAblation]
 	for _, ab := range Ablations() {
@@ -203,6 +216,17 @@ func RunCase(p *gencomp.Program) *Case {
 	if ok, detail := BitwiseAgree(c.ByAblation["stencil"], c.ByAblation["full"]); !ok {
 		c.Mismatches = append(c.Mismatches, Mismatch{
 			Backend: "interp:stencil/bitwise",
+			Detail:  detail,
+		})
+	}
+	// The index-property layer's contract is bitwise too: a
+	// claim-conditional plan either verifies its claims and runs the
+	// unchecked fast path — same arithmetic, same order, no tracking —
+	// or falls back to precisely the checked execution that the
+	// NoIdxProp arm always performs.
+	if ok, detail := BitwiseAgree(c.ByAblation["idxprop"], c.ByAblation["parallel"]); !ok {
+		c.Mismatches = append(c.Mismatches, Mismatch{
+			Backend: "interp:idxprop/bitwise",
 			Detail:  detail,
 		})
 	}
@@ -235,9 +259,10 @@ func BitwiseAgree(ref, got Outcome) (bool, string) {
 }
 
 // runOnce compiles and runs one configuration, converting panics and
-// errors into Outcomes. keepFull retains the compiled program on c for
-// later gogen emission.
-func runOnce(p *gencomp.Program, opts core.Options, inputs map[string]*runtime.Strict, keepFull bool, c *Case) (out Outcome) {
+// errors into Outcomes. The "full" arm's compiled program is retained
+// on c for later gogen emission; the "parallel" arm's runtime claim
+// verdicts are captured for corpus-coverage assertions.
+func runOnce(p *gencomp.Program, opts core.Options, inputs map[string]*runtime.Strict, abName string, c *Case) (out Outcome) {
 	defer func() {
 		if r := recover(); r != nil {
 			out = Outcome{Err: fmt.Sprintf("panic: %v", r)}
@@ -247,10 +272,16 @@ func runOnce(p *gencomp.Program, opts core.Options, inputs map[string]*runtime.S
 	if err != nil {
 		return Outcome{Err: err.Error(), CompileTime: true}
 	}
-	if keepFull {
+	if abName == "full" {
 		c.fullProg = prog
 		c.GogenEligible = gogenEligible(prog)
 	}
+	defer func() {
+		if abName == "parallel" {
+			snap := prog.IdxVerify.Snapshot()
+			c.IdxVerified, c.IdxFailed = snap.Verified, snap.Failed
+		}
+	}()
 	// Run on private clones: in-place plans may legitimately write
 	// into arrays the harness reuses for the next configuration.
 	run := map[string]*runtime.Strict{}
@@ -329,6 +360,10 @@ type Summary struct {
 	NativeEligible int
 	NativeRan      int
 	NativeAgreed   int
+	// IdxVerified / IdxFailed total the parallel arm's runtime
+	// index-claim verifier verdicts across the corpus.
+	IdxVerified int64
+	IdxFailed   int64
 	// Failures lists every case with at least one mismatch.
 	Failures []*Case
 }
@@ -366,6 +401,8 @@ func RunSeeds(seeds []uint64, cfg gencomp.Config, withGogen, withNative bool) *S
 				st.Mismatch++
 			}
 		}
+		s.IdxVerified += c.IdxVerified
+		s.IdxFailed += c.IdxFailed
 	}
 	if withGogen {
 		RunGogenBatch(cases)
@@ -428,6 +465,9 @@ func (s *Summary) String() string {
 		"gogen", s.GogenEligible, s.GogenRan, s.GogenAgreed)
 	fmt.Fprintf(&b, "  %-12s eligible %d  ran %d  agreed %d\n",
 		"native", s.NativeEligible, s.NativeRan, s.NativeAgreed)
+	if s.IdxVerified+s.IdxFailed > 0 {
+		fmt.Fprintf(&b, "  %-12s verified %d  failed %d\n", "idx-verify", s.IdxVerified, s.IdxFailed)
+	}
 	fmt.Fprintf(&b, "failures: %d\n", len(s.Failures))
 	return b.String()
 }

@@ -100,6 +100,7 @@ type Server struct {
 	optTotal     *metrics.CounterVec   // optimization counters, by kind
 	schedTotal   *metrics.CounterVec   // compiled loop schedules, by kind
 	tierStats    *metrics.TierStats    // process-wide tiered-execution tallies
+	verifyStats  *metrics.VerifyStats  // process-wide index-claim verification tallies
 }
 
 // New assembles a server. The only failure mode is an unusable
@@ -183,6 +184,13 @@ func New(cfg Config) (*Server, error) {
 		func() uint64 { return uint64(s.tierStats.PromoteFailures.Load()) })
 	s.reg.NewGaugeFunc("haccd_tier_promote_seconds_total", "Wall time spent in background native builds.",
 		func() float64 { return float64(s.tierStats.PromoteNs.Load()) / 1e9 })
+	s.verifyStats = &metrics.VerifyStats{}
+	s.reg.NewCounterFunc("haccd_idxprop_verified_total",
+		"Runtime index-claim verifications that passed, admitting the unchecked parallel fast path.",
+		func() uint64 { return uint64(s.verifyStats.Verified.Load()) })
+	s.reg.NewCounterFunc("haccd_idxprop_verify_failures_total",
+		"Runtime index-claim verifications that failed, routing execution to the checked sequential fallback.",
+		func() uint64 { return uint64(s.verifyStats.Failed.Load()) })
 	return s, nil
 }
 
@@ -430,9 +438,10 @@ func (s *Server) compileThrough(req compileRequest) (*cache.Entry, compileRespon
 		opts.Tier = s.cfg.Tier
 		opts.TierThreshold = s.cfg.TierThreshold
 	}
-	// The stats sink is process-wide and deliberately not part of the
+	// The stats sinks are process-wide and deliberately not part of the
 	// cache key.
 	opts.TierStats = s.tierStats
+	opts.VerifyStats = s.verifyStats
 	entry, origin, err := s.cache.GetOrCompile(req.Source, req.Params, opts)
 	if err != nil {
 		return nil, compileResponse{}, http.StatusUnprocessableEntity, err

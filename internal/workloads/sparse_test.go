@@ -1,0 +1,157 @@
+package workloads
+
+import (
+	"testing"
+
+	"arraycomp/internal/analysis"
+	"arraycomp/internal/core"
+	"arraycomp/internal/runtime"
+)
+
+func compileSparse(t *testing.T, src string, c SparseCase, opts core.Options) *core.Program {
+	t.Helper()
+	opts.InputBounds = map[string]analysis.ArrayBounds{}
+	for name, a := range c.Inputs {
+		opts.InputBounds[name] = analysis.ArrayBounds{Lo: a.B.Lo, Hi: a.B.Hi}
+	}
+	p, err := core.Compile(src, c.Params, opts)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	return p
+}
+
+func parOpts() core.Options {
+	return core.Options{Parallel: true, Workers: 4, Certify: true}
+}
+
+// TestSparseWorkloadsMatchHand cross-validates every irregular
+// workload, compiled claim-conditional and run with a worker pool,
+// against its hand-written baseline — on satisfying index arrays (the
+// verifier admits the fast path) AND on violating ones (the verifier
+// rejects, the checked fallback runs, the result is identical).
+func TestSparseWorkloadsMatchHand(t *testing.T) {
+	t.Run("spmv", func(t *testing.T) {
+		c := CSRInputs(64, 4, 1)
+		p := compileSparse(t, SpMVSrc, c, parOpts())
+		got, err := p.Run(c.Inputs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := CheckClose(got, HandSpMV(c), 1e-12); err != nil {
+			t.Fatal(err)
+		}
+		snap := p.IdxVerify.Snapshot()
+		if snap.Verified == 0 {
+			t.Errorf("CSR run never passed runtime verification: %+v", snap)
+		}
+		if snap.Failed != 0 {
+			t.Errorf("CSR-ordered input failed verification: %+v", snap)
+		}
+	})
+
+	t.Run("spmv-shuffled", func(t *testing.T) {
+		c := ShuffleRows(CSRInputs(64, 4, 1), 2)
+		p := compileSparse(t, SpMVSrc, c, parOpts())
+		got, err := p.Run(c.Inputs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := CheckClose(got, HandSpMV(c), 1e-12); err != nil {
+			t.Fatal(err)
+		}
+		if snap := p.IdxVerify.Snapshot(); snap.Failed == 0 {
+			t.Errorf("shuffled rows never failed verification: %+v", snap)
+		}
+	})
+
+	t.Run("histogram-sorted", func(t *testing.T) {
+		c := HistogramIdxInputs(200, 16, 3, true)
+		p := compileSparse(t, HistogramIdxSrc, c, parOpts())
+		got, err := p.Run(c.Inputs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := CheckClose(got, HandHistogramIdx(c), 0); err != nil {
+			t.Fatal(err)
+		}
+	})
+
+	t.Run("histogram-unsorted", func(t *testing.T) {
+		c := HistogramIdxInputs(200, 16, 3, false)
+		p := compileSparse(t, HistogramIdxSrc, c, parOpts())
+		got, err := p.Run(c.Inputs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := CheckClose(got, HandHistogramIdx(c), 0); err != nil {
+			t.Fatal(err)
+		}
+	})
+
+	t.Run("adjgather", func(t *testing.T) {
+		c := AdjInputs(50, 300, 4)
+		p := compileSparse(t, AdjGatherSrc, c, parOpts())
+		got, err := p.Run(c.Inputs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := CheckClose(got, HandAdjGather(c), 0); err != nil {
+			t.Fatal(err)
+		}
+	})
+
+	t.Run("permute", func(t *testing.T) {
+		c := PermuteInputs(128, 5)
+		p := compileSparse(t, PermuteSrc, c, parOpts())
+		got, err := p.Run(c.Inputs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := CheckClose(got, HandPermute(c), 0); err != nil {
+			t.Fatal(err)
+		}
+		if snap := p.IdxVerify.Snapshot(); snap.Verified == 0 {
+			t.Errorf("permutation never passed verification: %+v", snap)
+		}
+	})
+}
+
+// TestSparseParallelMatchesSequential pins that the worker pool does
+// not change any irregular workload's observable result (bitwise).
+func TestSparseParallelMatchesSequential(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		c    SparseCase
+	}{
+		{"spmv", SpMVSrc, CSRInputs(48, 3, 11)},
+		{"histogram", HistogramIdxSrc, HistogramIdxInputs(150, 12, 12, true)},
+		{"adjgather", AdjGatherSrc, AdjInputs(40, 200, 13)},
+		{"permute", PermuteSrc, PermuteInputs(96, 14)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			seqP := compileSparse(t, tc.src, tc.c, core.Options{})
+			parP := compileSparse(t, tc.src, tc.c, core.Options{Parallel: true, Workers: 4})
+			clone := func() map[string]*runtime.Strict {
+				m := map[string]*runtime.Strict{}
+				for k, v := range tc.c.Inputs {
+					m[k] = v.Clone()
+				}
+				return m
+			}
+			seq, err := seqP.Run(clone())
+			if err != nil {
+				t.Fatal(err)
+			}
+			par, err := parP.Run(clone())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := CheckClose(seq, par, 0); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
