@@ -5,7 +5,7 @@
 // Usage:
 //
 //	hacc report [-p n=100,m=20] [-in a=1:8,1:8] [-O] [-explain] [-certify] file.hac
-//	hacc run     [-p n=100] [-in a=1:8,1:8] [-seed 1] [-show k] [-parallel] [-workers k] [-explain] [-certify] [-tier off|auto|native] [-tier-threshold n] [-repeat n] file.hac
+//	hacc run     [-p n=100] [-in a=1:8,1:8] [-seed 1] [-show k] [-parallel] [-workers k] [-explain] [-certify] [-stream] [-tier off|auto|native] [-tier-threshold n] [-repeat n] file.hac
 //	hacc ir      [-p n=100] [-in …] [-O] [-nostencil] file.hac
 //	hacc dot     [-p n=100] [-in …] file.hac
 //	hacc emit-go [-p n=100] [-in …] [-O] file.hac   # standalone Go source
@@ -67,6 +67,7 @@ func run(args []string, w io.Writer) error {
 	certifyFlag := fs.Bool("certify", false, "audit every dependence verdict (witness re-checks + shadow-domain enumeration); falsified claims abort the compile naming the lying layer")
 	noStencil := fs.Bool("nostencil", false, "disable the stencil specializer (interior/boundary splitting, halo-fed tiling)")
 	workers := fs.Int("workers", 0, "parallel worker count; 0 = GOMAXPROCS at run time (needs -parallel)")
+	streamFlag := fs.Bool("stream", false, "execute through the bounded-memory streaming pipeline when the window-legality analysis allows it (run; materialized fallback otherwise)")
 	tierFlag := fs.String("tier", "off", "execution tier policy for run: off, auto (promote to compiled native code after -tier-threshold calls), or native (compile natively up front); implies -certify")
 	tierThreshold := fs.Int("tier-threshold", 0, "interpreted calls before auto promotion; 0 = default (run)")
 	repeat := fs.Int("repeat", 1, "evaluate the program n times (run; >1 exercises tier promotion)")
@@ -104,7 +105,10 @@ func run(args []string, w io.Writer) error {
 	if tierMode != core.TierOff && cmd != "run" {
 		return fmt.Errorf("-tier only applies to run")
 	}
-	opts := core.Options{ForceThunked: *thunked, Parallel: *parallel, Workers: *workers, InputBounds: inputBounds, Certify: *certifyFlag, NoStencil: *noStencil,
+	if *streamFlag && cmd != "run" {
+		return fmt.Errorf("-stream only applies to run")
+	}
+	opts := core.Options{ForceThunked: *thunked, Parallel: *parallel, Workers: *workers, InputBounds: inputBounds, Certify: *certifyFlag, NoStencil: *noStencil, Stream: *streamFlag,
 		// TierSync keeps the CLI deterministic: promotion happens inline
 		// at the threshold call, never racing the process exit.
 		Tier: tierMode, TierThreshold: *tierThreshold, TierSync: true}
@@ -181,6 +185,14 @@ func run(args []string, w io.Writer) error {
 		}
 		if tierMode != core.TierOff {
 			fmt.Fprintf(w, "%s\n", prog.TierReport())
+		}
+		if *streamFlag {
+			if rep := prog.StreamReport(); prog.StreamActive() && rep != nil {
+				fmt.Fprintf(w, "stream: stages=%d chunk=%d chunks=%d window_d=%d peak_bytes=%d materialized_bytes=%d\n",
+					rep.Stages, rep.ChunkSize, rep.Chunks, rep.MaxDist, rep.PeakBytes, rep.MaterializedBytes)
+			} else {
+				fmt.Fprintf(w, "stream: materialized fallback: %s\n", prog.StreamFallback())
+			}
 		}
 		fmt.Fprintf(w, "result %s %s\n", prog.Result, out.B)
 		n := out.B.Size()

@@ -4,6 +4,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -84,6 +85,36 @@ func TestRunErrors(t *testing.T) {
 		if err := run(args, io.Discard); err == nil {
 			t.Errorf("run(%v) succeeded, want error", args)
 		}
+	}
+}
+
+func TestRunStreamFlag(t *testing.T) {
+	// A d=1 recurrence pipeline: streamable, so the run must report the
+	// pipeline's accounting.
+	path := writeTemp(t, `letrec* a = array (1,n) [ i := x!i + 1.0 | i <- [1..n] ];
+  b = array (1,n) ([ 1 := a!1 ] ++ [ i := b!(i-1) * 0.5 + a!i | i <- [2..n] ])
+in b`)
+	var buf strings.Builder
+	if err := run([]string{"run", "-stream", "-p", "n=9000", "-in", "x=1:9000", path}, &buf); err != nil {
+		t.Fatalf("hacc run -stream: %v", err)
+	}
+	if !strings.Contains(buf.String(), "stream: stages=") {
+		t.Errorf("missing streaming report:\n%s", buf.String())
+	}
+
+	// An accumArray reduction cannot stream: same flag, fallback note.
+	path = writeTemp(t, `h = accumArray (+) 0.0 (0,9) [ (3*i) mod 10 := 1.0 | i <- [1..n] ]`)
+	buf.Reset()
+	if err := run([]string{"run", "-stream", "-p", "n=100", path}, &buf); err != nil {
+		t.Fatalf("hacc run -stream fallback: %v", err)
+	}
+	if !strings.Contains(buf.String(), "stream: materialized fallback:") {
+		t.Errorf("missing fallback note:\n%s", buf.String())
+	}
+
+	// -stream outside run is a usage error.
+	if err := run([]string{"report", "-stream", "-p", "n=4", path}, io.Discard); err == nil {
+		t.Error("hacc report -stream succeeded, want error")
 	}
 }
 

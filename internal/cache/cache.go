@@ -207,6 +207,10 @@ func Key(src string, params map[string]int64, opts core.Options) string {
 	writeInt(int64(opts.Tier))
 	writeInt(int64(opts.TierThreshold))
 	writeInt(boolInt(opts.TierSync))
+	// Streaming swaps the whole execution engine (windowed pipeline vs
+	// materialized store), so a streaming request never shares an
+	// entry with a materialized one.
+	writeInt(boolInt(opts.Stream))
 	arrays := make([]string, 0, len(opts.InputBounds))
 	for k := range opts.InputBounds {
 		arrays = append(arrays, k)

@@ -103,6 +103,14 @@ type Options struct {
 	// verifier verdicts (shared process-wide by haccd). Like
 	// TierStats, a sink — not part of the compilation key.
 	VerifyStats *metrics.VerifyStats
+	// Stream requests bounded-memory streaming execution: when every
+	// definition passes the window-legality analysis
+	// (loopir.BuildStreamPlan), Run executes the pipeline as chunked
+	// producer/consumer stages over O(d)-sized windows instead of
+	// materialized arrays, bit-identical to the materialized path.
+	// Programs the analysis rejects fall back to materialized
+	// execution with a note. Part of the compilation key.
+	Stream bool
 }
 
 // CompiledDef is the compilation artifact of one definition.
@@ -161,9 +169,17 @@ type Program struct {
 	// IdxVerify accumulates runtime index-property verifier verdicts
 	// across this program's runs (atomic: cached programs are shared).
 	IdxVerify metrics.VerifyStats
+	// verifySink is the optional process-wide verdict sink
+	// (Options.VerifyStats), kept so the native tier can report its
+	// batched verdict deltas to the same place the interpreter hook
+	// feeds.
+	verifySink *metrics.VerifyStats
 	// tier is the tiered-execution state (nil when Options.Tier was
 	// TierOff and no native plan was adopted).
 	tier *tierState
+	// streamSt is the streaming-mode state (nil when Options.Stream
+	// was off).
+	streamSt *streamState
 	// allThunked records that every live definition compiled to the
 	// thunked reference representation, making the interpreter tier
 	// the semantics baseline rather than the scheduler's loop nests.
@@ -490,6 +506,15 @@ func compileProgram(source *lang.Program, params map[string]int64, opts Options,
 	if err := p.initTier(opts, rep); err != nil {
 		return nil, err
 	}
+	if opts.Stream {
+		var cm func(string, *certify.Report, time.Time) error
+		if opts.Certify {
+			cm = certifyMerge
+		}
+		if err := p.initStream(rep, cm); err != nil {
+			return nil, err
+		}
+	}
 	return p, nil
 }
 
@@ -500,6 +525,7 @@ func (p *Program) note(format string, args ...any) {
 // installVerifyHook routes runtime index-property verifier verdicts
 // into the program's own counters and, when set, the process-wide sink.
 func (p *Program) installVerifyHook(ex *loopir.Exec, sink *metrics.VerifyStats) {
+	p.verifySink = sink
 	if ex == nil {
 		return
 	}

@@ -165,6 +165,16 @@ func RestoreSnapshot(s *Snapshot, opts Options) (*Program, error) {
 	if err := p.initTier(opts, rep); err != nil {
 		return nil, err
 	}
+	if opts.Stream {
+		// The stream pipeline is closures, not data: rebuild it from
+		// the restored IR. A forged snapshot cannot smuggle an illegal
+		// window geometry in — the legality analysis re-derives it
+		// here from scratch (and rejection just means materialized
+		// fallback, same as at compile time).
+		if err := p.initStream(rep, nil); err != nil {
+			return nil, err
+		}
+	}
 	rep.AddPhase(metrics.PhaseLoad, time.Since(t0))
 	return p, nil
 }

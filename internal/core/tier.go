@@ -38,6 +38,11 @@ const (
 	// TierNative is gogen-emitted Go compiled by the host toolchain
 	// and loaded as a plugin (or exec fallback).
 	TierNative Tier = "native"
+	// TierStream is the bounded-memory streaming pipeline
+	// (Options.Stream with every definition window-legal). Streaming
+	// replaces the tier ladder: a streaming program neither counts
+	// toward promotion nor tiers up to native.
+	TierStream Tier = "stream"
 )
 
 // TierMode is the tiering policy of a compiled program.
@@ -166,7 +171,19 @@ func (e nativePlan) Run(in map[string]*runtime.Strict) (*runtime.Strict, error) 
 	if ts := e.p.tier; ts != nil && ts.stats != nil {
 		ts.stats.NativeRuns.Add(1)
 	}
-	return e.np.Run(in)
+	out, err := e.np.Run(in)
+	// Fold the emitted verifier's verdicts into the same counters the
+	// interpreter hook feeds; without this the native tier runs every
+	// BVerify check but the tallies silently undercount.
+	if pass, fail := e.np.TakeVerifyDelta(); pass > 0 || fail > 0 {
+		e.p.IdxVerify.AddN(true, pass)
+		e.p.IdxVerify.AddN(false, fail)
+		if sink := e.p.verifySink; sink != nil {
+			sink.AddN(true, pass)
+			sink.AddN(false, fail)
+		}
+	}
+	return out, err
 }
 func (e nativePlan) Tier() Tier { return TierNative }
 
@@ -237,6 +254,10 @@ func (p *Program) tierEligible() bool {
 // call. Run delegates here; callers that need the tier (haccd's eval
 // response, hacc -repeat traces) use it directly.
 func (p *Program) RunTiered(inputs map[string]*runtime.Strict) (*runtime.Strict, Tier, error) {
+	if p.StreamActive() {
+		out, err := p.runStream(inputs)
+		return out, TierStream, err
+	}
 	ep := p.selectPlan()
 	out, err := ep.Run(inputs)
 	return out, ep.Tier(), err

@@ -23,6 +23,7 @@ import (
 	"arraycomp/internal/analysis"
 	"arraycomp/internal/core"
 	"arraycomp/internal/gencomp"
+	"arraycomp/internal/metrics"
 	"arraycomp/internal/native"
 	"arraycomp/internal/oracle"
 	"arraycomp/internal/runtime"
@@ -428,5 +429,82 @@ func TestTierCertifiedPromotion(t *testing.T) {
 	}
 	if c.CurrentTier() != core.TierNative {
 		t.Fatalf("tier = %q after promotion, want native", c.CurrentTier())
+	}
+}
+
+// TestTierNativeVerifyParity: the native tier's fast/checked dual
+// lowering must report runtime-verifier verdicts identically to the
+// interpreter — one verified tally per passing run, one failed tally
+// per failing run, in both the program's own counters and the
+// process-wide sink. (Regression: the emitted verifier used to run
+// the check and silently drop the verdict, so the server's
+// haccd_idxprop_verify_failures_total undercounted whenever a program
+// ran native.)
+func TestTierNativeVerifyParity(t *testing.T) {
+	src := `s = array (1,n) [ p!(i) := x!(i) | i <- [1..n] ]`
+	bounds := map[string]analysis.ArrayBounds{
+		"x": {Lo: []int64{1}, Hi: []int64{4}},
+		"p": {Lo: []int64{1}, Hi: []int64{4}},
+	}
+	strict4 := func(data ...float64) *runtime.Strict {
+		return &runtime.Strict{B: runtime.Bounds{Lo: []int64{1}, Hi: []int64{4}}, Data: data}
+	}
+	x := strict4(10, 20, 30, 40)
+	good := map[string]*runtime.Strict{"x": x, "p": strict4(4, 3, 2, 1)}
+	bad := map[string]*runtime.Strict{"x": x, "p": strict4(1, 1, 2, 2)}
+
+	run := func(p *core.Program, in map[string]*runtime.Strict, wantErr bool) *runtime.Strict {
+		t.Helper()
+		out, _, err := p.RunTiered(in)
+		if wantErr != (err != nil) {
+			t.Fatalf("run: err = %v, wantErr %v", err, wantErr)
+		}
+		return out
+	}
+
+	// Interpreter leg: one pass, one fail.
+	var interpSink metrics.VerifyStats
+	interp, err := core.Compile(src, map[string]int64{"n": 4}, core.Options{
+		Parallel: true, Workers: 2, InputBounds: bounds, VerifyStats: &interpSink,
+	})
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	ref := run(interp, good, false)
+	run(interp, bad, true)
+	want := interp.IdxVerify.Snapshot()
+	if want.Verified != 1 || want.Failed != 1 {
+		t.Fatalf("interpreter tallies = %+v, want {1 1}", want)
+	}
+
+	// Native leg: identical traffic, identical tallies.
+	var natSink metrics.VerifyStats
+	nat, err := core.Compile(src, map[string]int64{"n": 4}, core.Options{
+		Parallel: true, Workers: 2, InputBounds: bounds, VerifyStats: &natSink,
+	})
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	spec, err := nat.NativeSpec("vparity")
+	if err != nil {
+		t.Fatalf("NativeSpec: %v", err)
+	}
+	plan, err := native.BuildOne(spec, native.Options{})
+	if err != nil {
+		t.Fatalf("native build: %v", err)
+	}
+	nat.AdoptNative(plan)
+	if nat.CurrentTier() != core.TierNative {
+		t.Fatalf("tier = %q, want native", nat.CurrentTier())
+	}
+	got := run(nat, good, false)
+	bitwiseEqual(t, "native vs interpreted", ref, got)
+	run(nat, bad, true)
+
+	if snap := nat.IdxVerify.Snapshot(); snap != want {
+		t.Fatalf("native tallies = %+v, interpreter recorded %+v (tier-inconsistent counters)", snap, want)
+	}
+	if snap := natSink.Snapshot(); snap != interpSink.Snapshot() {
+		t.Fatalf("native sink = %+v, interpreter sink %+v", snap, interpSink.Snapshot())
 	}
 }

@@ -32,6 +32,10 @@ type emitter struct {
 	failed error
 	// errReturn renders the "return nil, …, err" prefix for error paths.
 	errReturn func(msg string) string
+	// verifyPass/verifyFail, when non-empty, name package-level uint64
+	// counters every emitted BVerify verdict bumps atomically — the
+	// native tier's replacement for the interpreter's verify hook.
+	verifyPass, verifyFail string
 }
 
 func (e *emitter) fail(format string, args ...any) {
@@ -73,10 +77,31 @@ func goName(s string) string {
 // are local. Returns the function source plus the parameter and result
 // array names in order.
 func EmitFunc(p *loopir.Program, name string) (src string, params, results []string, err error) {
+	return emitFunc(p, name, "", "")
+}
+
+// EmitFuncCounted is EmitFunc with runtime-verifier accounting: every
+// BVerify verdict in the emitted function atomically increments
+// passVar (verified) or failVar (failed), two package-level uint64
+// counters the caller must declare. It exists so the native tier can
+// report the same verify tallies the interpreter's hook records —
+// without it the compiled fast/checked dual lowering runs the verifier
+// but silently drops the verdict, and the process-wide failure counter
+// undercounts whenever a program runs native.
+func EmitFuncCounted(p *loopir.Program, name, passVar, failVar string) (src string, params, results []string, err error) {
+	if passVar == "" || failVar == "" {
+		return "", nil, nil, fmt.Errorf("gogen: EmitFuncCounted needs both counter names")
+	}
+	return emitFunc(p, name, passVar, failVar)
+}
+
+func emitFunc(p *loopir.Program, name, passVar, failVar string) (src string, params, results []string, err error) {
 	e := &emitter{
-		prog:  p,
-		ident: map[string]string{},
-		decl:  map[string]*loopir.ArrayDecl{},
+		prog:       p,
+		ident:      map[string]string{},
+		decl:       map[string]*loopir.ArrayDecl{},
+		verifyPass: passVar,
+		verifyFail: failVar,
 	}
 	for i := range p.Arrays {
 		d := &p.Arrays[i]
@@ -532,6 +557,7 @@ func (e *emitter) emitVerify(n *loopir.BVerify) string {
 	}
 	e.line("%s := true", ok)
 	if !needRange && !needMono && !needInj {
+		e.countVerify(ok)
 		return ok
 	}
 	e.line("{ // verify %s", n.Claims)
@@ -585,7 +611,18 @@ func (e *emitter) emitVerify(n *loopir.BVerify) string {
 	e.line("}")
 	e.depth--
 	e.line("}")
+	e.countVerify(ok)
 	return ok
+}
+
+// countVerify bumps the caller-declared verdict counters when counted
+// emission is on; one verdict per BVerify evaluation, matching the
+// interpreter hook's cadence exactly.
+func (e *emitter) countVerify(ok string) {
+	if e.verifyPass == "" {
+		return
+	}
+	e.line("if %s { atomic.AddUint64(&%s, 1) } else { atomic.AddUint64(&%s, 1) }", ok, e.verifyPass, e.verifyFail)
 }
 
 // magLimit mirrors idxprop's magnitude bound on integral subscript

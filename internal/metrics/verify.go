@@ -24,6 +24,20 @@ func (s *VerifyStats) Record(ok bool) {
 	}
 }
 
+// AddN tallies n verdicts of one kind at once — the bulk entry point
+// for tiers that batch their verdict reporting (the native tier reads
+// counter deltas after each run instead of hooking every check).
+func (s *VerifyStats) AddN(ok bool, n int64) {
+	if n <= 0 {
+		return
+	}
+	if ok {
+		s.Verified.Add(n)
+	} else {
+		s.Failed.Add(n)
+	}
+}
+
 // VerifySnapshot is a point-in-time copy for reports.
 type VerifySnapshot struct {
 	Verified int64 `json:"verified"`

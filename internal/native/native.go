@@ -33,6 +33,7 @@ package native
 
 import (
 	"fmt"
+	"math"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -120,6 +121,12 @@ type Plan struct {
 	// the steady-state host overhead per Run is the result slice and
 	// its Strict header only.
 	flatPool sync.Pool
+	// verifyFn reads the module's cumulative verify verdicts (plugin
+	// mode; exec mode queries over the protocol instead).
+	verifyFn func() (uint64, uint64)
+	// vmu guards the last-seen counters behind TakeVerifyDelta.
+	vmu                sync.Mutex
+	lastPass, lastFail uint64
 }
 
 // Builds counts completed native toolchain invocations in this
@@ -175,7 +182,7 @@ func Build(specs []ProgramSpec, opts Options) (*Module, error) {
 	m := &Module{plans: map[string]*Plan{}}
 	var pluginErr error
 	if mode == ModePlugin || mode == ModeAuto {
-		entries, err := buildAndOpenPlugin(dir, timeout)
+		entries, verifies, err := buildAndOpenPlugin(dir, timeout)
 		if err == nil {
 			m.mode = ModePlugin
 			for _, spec := range specs {
@@ -185,7 +192,7 @@ func Build(specs []ProgramSpec, opts Options) (*Module, error) {
 					return nil, fmt.Errorf("native: plugin is missing entry %q", spec.Key)
 				}
 				meta := metas[spec.Key]
-				m.plans[spec.Key] = &Plan{key: spec.Key, mode: ModePlugin, fn: fn, inputs: meta.inputs, bounds: meta.bounds}
+				m.plans[spec.Key] = &Plan{key: spec.Key, mode: ModePlugin, fn: fn, verifyFn: verifies[spec.Key], inputs: meta.inputs, bounds: meta.bounds}
 			}
 			builds.Add(1)
 			os.RemoveAll(dir)
@@ -290,6 +297,44 @@ func (p *Plan) Run(inputs map[string]*runtime.Strict) (*runtime.Strict, error) {
 	return &runtime.Strict{B: p.bounds, Data: out}, nil
 }
 
+// verifyCounts reads the module's cumulative (verified, failed)
+// runtime-verifier verdicts for this program. In exec mode the query
+// crosses the protocol as an "nvq:"-prefixed key; a dead subprocess
+// reads as zero (the counters died with it).
+func (p *Plan) verifyCounts() (pass, fail uint64) {
+	if p.mode == ModePlugin {
+		if p.verifyFn == nil {
+			return 0, 0
+		}
+		return p.verifyFn()
+	}
+	out, err := p.proc.call("nvq:"+p.key, nil, nil)
+	if err != nil || len(out) != 2 {
+		return 0, 0
+	}
+	return math.Float64bits(out[0]), math.Float64bits(out[1])
+}
+
+// TakeVerifyDelta returns the runtime-verifier verdicts recorded since
+// the previous call (or since load), so the host can fold native-tier
+// verifications into the same counters the interpreter hook feeds.
+// Deltas are consumed exactly once; concurrent callers split them.
+func (p *Plan) TakeVerifyDelta() (pass, fail int64) {
+	curPass, curFail := p.verifyCounts()
+	p.vmu.Lock()
+	defer p.vmu.Unlock()
+	if curPass < p.lastPass || curFail < p.lastFail {
+		// Counter regression (exec subprocess restarted or died):
+		// resynchronize without inventing negative deltas.
+		p.lastPass, p.lastFail = curPass, curFail
+		return 0, 0
+	}
+	pass = int64(curPass - p.lastPass)
+	fail = int64(curFail - p.lastFail)
+	p.lastPass, p.lastFail = curPass, curFail
+	return pass, fail
+}
+
 // planMeta is the host-side metadata captured during emission.
 type planMeta struct {
 	inputs []string
@@ -304,25 +349,30 @@ func emitModuleSource(specs []ProgramSpec) (string, map[string]*planMeta, error)
 	metas := map[string]*planMeta{}
 	var funcs strings.Builder
 	var entries strings.Builder
+	var verifies strings.Builder
 	entries.WriteString("// Entries maps program keys to their native entry points.\nvar Entries = map[string]func(map[string][]float64) ([]float64, error){\n")
+	verifies.WriteString("// VerifyCounts reads a program's cumulative runtime-verifier\n// verdicts (verified, failed) — the native mirror of the host's\n// VerifyStats, queried after runs so no verdict is dropped.\nvar VerifyCounts = map[string]func() (uint64, uint64){\n")
 	seen := map[string]bool{}
 	for i, spec := range specs {
 		if spec.Key == "" || seen[spec.Key] {
 			return "", nil, fmt.Errorf("native: spec %d has empty or duplicate key %q", i, spec.Key)
 		}
 		seen[spec.Key] = true
+		fmt.Fprintf(&funcs, "var nvPass_%d, nvFail_%d uint64\n\n", i, i)
 		meta, err := emitProgram(&funcs, spec, i)
 		if err != nil {
 			return "", nil, err
 		}
 		metas[spec.Key] = meta
 		fmt.Fprintf(&entries, "\t%q: nrun_%d,\n", spec.Key, i)
+		fmt.Fprintf(&verifies, "\t%q: func() (uint64, uint64) { return atomic.LoadUint64(&nvPass_%d), atomic.LoadUint64(&nvFail_%d) },\n", spec.Key, i, i)
 	}
 	entries.WriteString("}\n")
+	verifies.WriteString("}\n")
 
 	var b strings.Builder
 	b.WriteString("// Code generated by arraycomp (internal/native). DO NOT EDIT.\npackage main\n\n")
-	imports := []string{`"bufio"`, `"encoding/binary"`, `"fmt"`, `"io"`, `"math"`, `"os"`}
+	imports := []string{`"bufio"`, `"encoding/binary"`, `"fmt"`, `"io"`, `"math"`, `"os"`, `"sync/atomic"`}
 	if strings.Contains(funcs.String(), "runtime.GOMAXPROCS") {
 		imports = append(imports, `"runtime"`)
 	}
@@ -335,6 +385,8 @@ func emitModuleSource(specs []ProgramSpec) (string, map[string]*planMeta, error)
 	}
 	b.WriteString(")\n\nvar _ = math.Abs\n\n")
 	b.WriteString(entries.String())
+	b.WriteString("\n")
+	b.WriteString(verifies.String())
 	b.WriteString("\n")
 	b.WriteString(funcs.String())
 	b.WriteString(protocolMain)
@@ -370,7 +422,8 @@ func emitProgram(b *strings.Builder, spec ProgramSpec, idx int) (*planMeta, erro
 	var calls strings.Builder
 	for j, u := range spec.Units {
 		fnName := fmt.Sprintf("nf_%d_%d", idx, j)
-		src, params, results, err := gogen.EmitFunc(u.Prog, fnName)
+		src, params, results, err := gogen.EmitFuncCounted(u.Prog, fnName,
+			fmt.Sprintf("nvPass_%d", idx), fmt.Sprintf("nvFail_%d", idx))
 		if err != nil {
 			return nil, fmt.Errorf("native: program %q unit %s: %w", spec.Key, u.Name, err)
 		}
@@ -426,16 +479,17 @@ func emitProgram(b *strings.Builder, spec ProgramSpec, idx int) (*planMeta, erro
 }
 
 // buildAndOpenPlugin compiles the emitted package as a Go plugin and
-// loads its entry registry. The plugin is race-instrumented iff this
-// binary is: the Go runtime refuses to mix race and non-race images.
-func buildAndOpenPlugin(dir string, timeout time.Duration) (map[string]func(map[string][]float64) ([]float64, error), error) {
+// loads its entry and verify-counter registries. The plugin is
+// race-instrumented iff this binary is: the Go runtime refuses to mix
+// race and non-race images.
+func buildAndOpenPlugin(dir string, timeout time.Duration) (entryMap, verifyMap, error) {
 	args := []string{"build", "-buildmode=plugin"}
 	if raceEnabled {
 		args = append(args, "-race")
 	}
 	args = append(args, "-o", "plan.so", ".")
 	if out, err := runGo(dir, timeout, args...); err != nil {
-		return nil, fmt.Errorf("plugin build: %v: %s", err, truncate(out, 400))
+		return nil, nil, fmt.Errorf("plugin build: %v: %s", err, truncate(out, 400))
 	}
 	return openPlugin(filepath.Join(dir, "plan.so"))
 }

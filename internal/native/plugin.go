@@ -8,19 +8,32 @@ import (
 // entryMap is the exported registry type the emitted source declares.
 type entryMap = map[string]func(map[string][]float64) ([]float64, error)
 
-// openPlugin loads a built plugin and extracts its Entries registry.
-func openPlugin(path string) (entryMap, error) {
+// verifyMap is the exported verify-counter registry: per program key,
+// a reader of the cumulative (verified, failed) verdict counters.
+type verifyMap = map[string]func() (uint64, uint64)
+
+// openPlugin loads a built plugin and extracts its Entries and
+// VerifyCounts registries.
+func openPlugin(path string) (entryMap, verifyMap, error) {
 	p, err := plugin.Open(path)
 	if err != nil {
-		return nil, fmt.Errorf("plugin open: %w", err)
+		return nil, nil, fmt.Errorf("plugin open: %w", err)
 	}
 	sym, err := p.Lookup("Entries")
 	if err != nil {
-		return nil, fmt.Errorf("plugin lookup: %w", err)
+		return nil, nil, fmt.Errorf("plugin lookup: %w", err)
 	}
 	entries, ok := sym.(*entryMap)
 	if !ok {
-		return nil, fmt.Errorf("plugin Entries has type %T, want *map[string]func(map[string][]float64) ([]float64, error)", sym)
+		return nil, nil, fmt.Errorf("plugin Entries has type %T, want *map[string]func(map[string][]float64) ([]float64, error)", sym)
 	}
-	return *entries, nil
+	vsym, err := p.Lookup("VerifyCounts")
+	if err != nil {
+		return nil, nil, fmt.Errorf("plugin lookup: %w", err)
+	}
+	verifies, ok := vsym.(*verifyMap)
+	if !ok {
+		return nil, nil, fmt.Errorf("plugin VerifyCounts has type %T, want *map[string]func() (uint64, uint64)", vsym)
+	}
+	return *entries, *verifies, nil
 }

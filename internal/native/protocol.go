@@ -14,6 +14,12 @@ package native
 // Reply: u8 status — 0 ok (u64 count + count×u64 bits),
 // 1 program error, 2 protocol error (both: u32 msgLen + msg).
 // EOF while reading a key length is a clean shutdown.
+//
+// A key of the form "nvq:<program key>" is a verify-counter query: the
+// reply is an ok frame of exactly two u64 slots carrying the program's
+// cumulative (verified, failed) runtime-verifier verdicts as raw bit
+// patterns — framed like float64s so the reply path is shared, decoded
+// back to integers host-side.
 const protocolMain = `
 func srvReadU32(r *bufio.Reader) (uint32, error) {
 	var b [4]byte
@@ -79,6 +85,26 @@ func main() {
 				data[j] = math.Float64frombits(bits)
 			}
 			inputs[string(nameBuf)] = data
+		}
+		if len(keyBuf) > 4 && string(keyBuf[:4]) == "nvq:" {
+			vf, ok := VerifyCounts[string(keyBuf[4:])]
+			if !ok {
+				srvWriteErr(out, 2, fmt.Sprintf("unknown verify-query key %q", keyBuf))
+				continue
+			}
+			pass, fail := vf()
+			out.WriteByte(0)
+			var b [8]byte
+			binary.LittleEndian.PutUint64(b[:], 2)
+			out.Write(b[:])
+			binary.LittleEndian.PutUint64(b[:], pass)
+			out.Write(b[:])
+			binary.LittleEndian.PutUint64(b[:], fail)
+			out.Write(b[:])
+			if err := out.Flush(); err != nil {
+				return
+			}
+			continue
 		}
 		fn, ok := Entries[string(keyBuf)]
 		if !ok {

@@ -95,6 +95,14 @@ func Ablations() []Ablation {
 		// and a failed runtime verification must fall back to exactly
 		// the execution this arm always takes.
 		{"idxprop", core.Options{NoIdxProp: true, Parallel: true, Workers: 4}},
+		// stream requests the bounded-memory chunked engine; programs the
+		// window-legality analysis rejects fall back to materialized
+		// execution, so every generated program runs under this arm
+		// either way. RunCase holds it to a bitwise comparison against
+		// full: an engaged pipeline computes each element exactly once
+		// with the interpreter's float semantics, so even the last ulp
+		// must match.
+		{"stream", core.Options{Stream: true}},
 		// certify audits every dependence verdict (witness re-checks and
 		// shadow-domain enumeration) and turns any falsified claim into
 		// a compile error — which then diverges from the reference here,
@@ -139,6 +147,11 @@ type Case struct {
 	// statically or the program has no subscripted subscripts).
 	IdxVerified int64
 	IdxFailed   int64
+	// StreamEngaged reports that the stream arm actually ran the
+	// chunked pipeline (as opposed to the materialized fallback), so
+	// sweeps can count how often the window analysis admits generated
+	// programs.
+	StreamEngaged bool
 
 	// fullProg retains the full-configuration compile for gogen
 	// emission and native adoption.
@@ -230,6 +243,18 @@ func RunCase(p *gencomp.Program) *Case {
 			Detail:  detail,
 		})
 	}
+	// The streaming engine's contract is the strongest of all: a
+	// chunked pipeline stores exactly the values the materialized walk
+	// stores (each element computed once, same closure semantics, and
+	// the window invariants prove the operands identical), so the
+	// stream arm must match full bitwise whether or not the pipeline
+	// engaged.
+	if ok, detail := BitwiseAgree(c.ByAblation["stream"], c.ByAblation["full"]); !ok {
+		c.Mismatches = append(c.Mismatches, Mismatch{
+			Backend: "interp:stream/bitwise",
+			Detail:  detail,
+		})
+	}
 	return c
 }
 
@@ -275,6 +300,9 @@ func runOnce(p *gencomp.Program, opts core.Options, inputs map[string]*runtime.S
 	if abName == "full" {
 		c.fullProg = prog
 		c.GogenEligible = gogenEligible(prog)
+	}
+	if abName == "stream" {
+		c.StreamEngaged = prog.StreamActive()
 	}
 	defer func() {
 		if abName == "parallel" {
@@ -364,6 +392,9 @@ type Summary struct {
 	// index-claim verifier verdicts across the corpus.
 	IdxVerified int64
 	IdxFailed   int64
+	// StreamEngaged counts cases where the stream arm ran the chunked
+	// pipeline rather than the materialized fallback.
+	StreamEngaged int
 	// Failures lists every case with at least one mismatch.
 	Failures []*Case
 }
@@ -403,6 +434,9 @@ func RunSeeds(seeds []uint64, cfg gencomp.Config, withGogen, withNative bool) *S
 		}
 		s.IdxVerified += c.IdxVerified
 		s.IdxFailed += c.IdxFailed
+		if c.StreamEngaged {
+			s.StreamEngaged++
+		}
 	}
 	if withGogen {
 		RunGogenBatch(cases)
@@ -468,6 +502,7 @@ func (s *Summary) String() string {
 	if s.IdxVerified+s.IdxFailed > 0 {
 		fmt.Fprintf(&b, "  %-12s verified %d  failed %d\n", "idx-verify", s.IdxVerified, s.IdxFailed)
 	}
+	fmt.Fprintf(&b, "  %-12s engaged %d\n", "stream", s.StreamEngaged)
 	fmt.Fprintf(&b, "failures: %d\n", len(s.Failures))
 	return b.String()
 }

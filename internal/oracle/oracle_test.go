@@ -50,6 +50,9 @@ func TestOracleGenerated(t *testing.T) {
 	if s.NativeRan < 20 {
 		t.Errorf("only %d cases ran on the native tier", s.NativeRan)
 	}
+	if s.StreamEngaged < 20 {
+		t.Errorf("only %d cases engaged the streaming pipeline", s.StreamEngaged)
+	}
 	if s.NativeRan != s.NativeAgreed {
 		t.Errorf("native: %d ran but only %d agreed", s.NativeRan, s.NativeAgreed)
 	}

@@ -9,7 +9,8 @@ import (
 	"strings"
 	"sync"
 	"testing"
-	"time"
+
+	"arraycomp/internal/testutil"
 )
 
 // A batch of N evaluations compiles once and returns, per item, the
@@ -184,13 +185,7 @@ func TestAdmissionControlSheds(t *testing.T) {
 		resp, _ := postJSON(t, ts.URL+"/compile", req)
 		queued <- resp
 	}()
-	deadline := time.Now().Add(5 * time.Second)
-	for s.waiting.Load() != 1 {
-		if time.Now().After(deadline) {
-			t.Fatal("first request never queued")
-		}
-		time.Sleep(time.Millisecond)
-	}
+	testutil.WaitFor(t, "first request to queue", func() bool { return s.waiting.Load() == 1 })
 
 	// Second request is over the watermark: shed, not queued.
 	resp, body := postJSON(t, ts.URL+"/compile", req)
@@ -237,6 +232,88 @@ func TestAdmissionControlSheds(t *testing.T) {
 	}
 	if shedBefore < 1 {
 		t.Fatalf("shed counter = %d, want >= 1 (the 429 above must be counted)", shedBefore)
+	}
+}
+
+// A batch of exactly MaxBatch items is legal: the limit check is a
+// strict >, and the boundary must not regress to >=.
+func TestEvalBatchExactlyMaxBatch(t *testing.T) {
+	_, ts := newTestServer(t, func(c *Config) { c.MaxBatch = 4 })
+	breq := evalBatchRequest{
+		compileRequest: compileRequest{Source: wavefrontSrc, Params: map[string]int64{"n": 8}},
+	}
+	for i := 0; i < 4; i++ {
+		breq.Evals = append(breq.Evals, evalContext{Seed: int64(i)})
+	}
+	resp, body := postJSON(t, ts.URL+"/evalbatch", breq)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch of exactly MaxBatch: status %d, want 200: %s", resp.StatusCode, body)
+	}
+	var br evalBatchResponse
+	if err := json.Unmarshal(body, &br); err != nil {
+		t.Fatal(err)
+	}
+	if len(br.Results) != 4 {
+		t.Fatalf("got %d results, want 4", len(br.Results))
+	}
+	for i, item := range br.Results {
+		if item.Error != "" {
+			t.Fatalf("item %d failed: %s", i, item.Error)
+		}
+	}
+}
+
+// An oversized item inside an otherwise-valid batch fails that item
+// only — and, crucially, the admission-queue slot is released: after
+// the batch returns, the server's load gauges read idle and the next
+// request is admitted normally.
+func TestEvalBatchBadItemReleasesSlot(t *testing.T) {
+	s, ts := newTestServer(t, func(c *Config) {
+		c.Concurrency = 1
+		c.QueueDepth = 1
+	})
+	breq := evalBatchRequest{
+		compileRequest: compileRequest{
+			Source: scaleSrc,
+			Params: map[string]int64{"n": 8},
+			Options: optionsJSON{
+				InputBounds: map[string]boundsJSON{"b": {Lo: []int64{1}, Hi: []int64{8}}},
+			},
+		},
+		Evals: []evalContext{
+			{Seed: 1},
+			// Oversized: 64 elements shipped for 8-element bounds.
+			{Inputs: map[string]arrayJSON{"b": {Lo: []int64{1}, Hi: []int64{64}, Data: make([]float64, 64)}}},
+			{Seed: 3},
+		},
+	}
+	resp, body := postJSON(t, ts.URL+"/evalbatch", breq)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d, want 200: %s", resp.StatusCode, body)
+	}
+	var br evalBatchResponse
+	if err := json.Unmarshal(body, &br); err != nil {
+		t.Fatal(err)
+	}
+	if br.Results[1].Error == "" {
+		t.Fatal("oversized item must fail")
+	}
+	if br.Results[0].Error != "" || br.Results[2].Error != "" {
+		t.Fatalf("oversized item poisoned siblings: %q / %q", br.Results[0].Error, br.Results[2].Error)
+	}
+	if len(br.Results[0].Result.Data) != 8 || len(br.Results[2].Result.Data) != 8 {
+		t.Fatal("healthy siblings missing results")
+	}
+
+	// The admission slot must be back: load gauges at zero, and with
+	// concurrency 1 + queue 1, a leaked slot would shed this request.
+	testutil.WaitFor(t, "load gauges to return to idle", func() bool {
+		waiting, inflight := s.DebugLoad()
+		return waiting == 0 && inflight == 0
+	})
+	resp, body = postJSON(t, ts.URL+"/evalbatch", breq)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("follow-up batch: status %d (admission slot leaked?): %s", resp.StatusCode, body)
 	}
 }
 

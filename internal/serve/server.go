@@ -18,6 +18,7 @@ import (
 	"hash/fnv"
 	"math/rand"
 	"net/http"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -88,19 +89,23 @@ type Server struct {
 	client *http.Client // peer proxy transport
 
 	waiting atomic.Int64 // requests queued for a slot (admission control)
+	drain   drainMeter   // completion-rate estimator for Retry-After
 
-	reqTotal     *metrics.CounterVec   // by handler
-	reqErrors    *metrics.CounterVec   // by handler
-	reqSeconds   *metrics.HistogramVec // by handler
-	shedTotal    *metrics.CounterVec   // 429s sent above the queue watermark, by handler
-	proxyTotal   *metrics.CounterVec   // peer-routed requests, by outcome
-	phaseSeconds *metrics.HistogramVec // compile phases, observed on misses only
-	evalSeconds  *metrics.Histogram    // pure plan execution time
-	batchSize    *metrics.Histogram    // evaluations per /evalbatch request
-	optTotal     *metrics.CounterVec   // optimization counters, by kind
-	schedTotal   *metrics.CounterVec   // compiled loop schedules, by kind
-	tierStats    *metrics.TierStats    // process-wide tiered-execution tallies
-	verifyStats  *metrics.VerifyStats  // process-wide index-claim verification tallies
+	reqTotal        *metrics.CounterVec   // by handler
+	reqErrors       *metrics.CounterVec   // by handler
+	reqSeconds      *metrics.HistogramVec // by handler
+	shedTotal       *metrics.CounterVec   // 429s sent above the queue watermark, by handler
+	proxyTotal      *metrics.CounterVec   // peer-routed requests, by outcome
+	phaseSeconds    *metrics.HistogramVec // compile phases, observed on misses only
+	evalSeconds     *metrics.Histogram    // pure plan execution time
+	batchSize       *metrics.Histogram    // evaluations per /evalbatch request
+	optTotal        *metrics.CounterVec   // optimization counters, by kind
+	schedTotal      *metrics.CounterVec   // compiled loop schedules, by kind
+	tierStats       *metrics.TierStats    // process-wide tiered-execution tallies
+	verifyStats     *metrics.VerifyStats  // process-wide index-claim verification tallies
+	streamRequests  *metrics.CounterVec   // /evalstream requests, by mode (streamed/fallback)
+	streamChunks    *metrics.Counter      // result chunks shipped by /evalstream
+	streamPeakBytes *metrics.Histogram    // peak resident bytes per streamed evaluation
 }
 
 // New assembles a server. The only failure mode is an unusable
@@ -184,6 +189,13 @@ func New(cfg Config) (*Server, error) {
 		func() uint64 { return uint64(s.tierStats.PromoteFailures.Load()) })
 	s.reg.NewGaugeFunc("haccd_tier_promote_seconds_total", "Wall time spent in background native builds.",
 		func() float64 { return float64(s.tierStats.PromoteNs.Load()) / 1e9 })
+	s.streamRequests = s.reg.NewCounterVec("haccd_stream_requests_total",
+		"/evalstream evaluations, by mode (streamed = chunked pipeline, fallback = materialized single chunk).", "mode")
+	s.streamChunks = s.reg.NewCounter("haccd_stream_chunks_total",
+		"Result chunks shipped by /evalstream responses.")
+	s.streamPeakBytes = s.reg.NewHistogramM("haccd_stream_peak_bytes",
+		"Peak resident bytes (inputs + windows + in-flight chunks) per streamed evaluation.",
+		[]float64{1 << 12, 1 << 14, 1 << 16, 1 << 18, 1 << 20, 1 << 22, 1 << 24, 1 << 26, 1 << 28, 1 << 30})
 	s.verifyStats = &metrics.VerifyStats{}
 	s.reg.NewCounterFunc("haccd_idxprop_verified_total",
 		"Runtime index-claim verifications that passed, admitting the unchecked parallel fast path.",
@@ -207,7 +219,15 @@ func (s *Server) Handler() http.Handler {
 	mux.Handle("/evalbatch", s.instrument("evalbatch", s.handleEvalBatch))
 	// The timeout wrapper bounds every response, including queueing
 	// time spent waiting for a concurrency slot.
-	return http.TimeoutHandler(mux, s.cfg.Timeout, `{"error":"request timed out"}`)
+	wrapped := http.TimeoutHandler(mux, s.cfg.Timeout, `{"error":"request timed out"}`)
+	// /evalstream bypasses the timeout wrapper: TimeoutHandler buffers
+	// the whole response body, which would re-materialize exactly the
+	// O(n) the chunked protocol exists to avoid. The admission limiter
+	// and body cap still apply via instrument.
+	outer := http.NewServeMux()
+	outer.Handle("/evalstream", s.instrument("evalstream", s.handleEvalStream))
+	outer.Handle("/", wrapped)
+	return outer
 }
 
 // instrument wraps a JSON handler with admission control, the
@@ -230,14 +250,19 @@ func (s *Server) instrument(name string, fn func(w http.ResponseWriter, r *http.
 			s.waiting.Add(-1)
 			s.shedTotal.With(name).Inc()
 			s.reqErrors.With(name).Inc()
-			w.Header().Set("Retry-After", "1")
+			// Tell the client how long the backlog actually takes to
+			// drain at the observed completion rate, not a flat guess: a
+			// lightly-backed-up server invites a quick retry, a stalled
+			// one backs clients off toward the request timeout.
+			backlog := s.waiting.Load() + int64(len(s.sem))
+			w.Header().Set("Retry-After", strconv.Itoa(retryAfterSecs(backlog, s.drain.perSec(), s.cfg.Timeout)))
 			httpError(w, http.StatusTooManyRequests, fmt.Errorf("server overloaded; retry later"))
 			return
 		}
 		select {
 		case s.sem <- struct{}{}:
 			s.waiting.Add(-1)
-			defer func() { <-s.sem }()
+			defer func() { <-s.sem; s.drain.complete() }()
 		case <-r.Context().Done():
 			s.waiting.Add(-1)
 			s.reqErrors.With(name).Inc()
@@ -299,6 +324,10 @@ type optionsJSON struct {
 	// call instead of in the background — slower for that one request,
 	// but deterministic; meant for tests and batch clients.
 	TierSync bool `json:"tier_sync,omitempty"`
+	// Stream requests the bounded-memory chunked execution engine;
+	// /evalstream forces it on. Programs the window-legality analysis
+	// rejects run materialized (the response says which happened).
+	Stream bool `json:"stream,omitempty"`
 }
 
 func (o optionsJSON) coreOptions() (core.Options, error) {
@@ -310,6 +339,7 @@ func (o optionsJSON) coreOptions() (core.Options, error) {
 		NoStencil:    o.NoStencil,
 		NoLinearize:  o.NoLinearize,
 		Certify:      o.Certify,
+		Stream:       o.Stream,
 	}
 	tier, err := core.ParseTierMode(o.Tier)
 	if err != nil {
@@ -564,6 +594,15 @@ func (s *Server) handleEvalBatch(w http.ResponseWriter, r *http.Request) (int, e
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
+			// A panicking evaluation fails its own slot, never the
+			// batch (and never the process: an unrecovered panic in a
+			// goroutine would take down the server with the admission
+			// slot still held).
+			defer func() {
+				if r := recover(); r != nil {
+					results[i].Error = fmt.Sprintf("panic: %v", r)
+				}
+			}()
 			res, _, err := s.runOne(entry, req.Options, req.Evals[i])
 			if err != nil {
 				results[i].Error = err.Error()

@@ -1,0 +1,285 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"math"
+	"net/http"
+	"strconv"
+	"testing"
+	"time"
+
+	"arraycomp/internal/testutil"
+)
+
+// streamSrc is a three-stage bounded-distance pipeline: elementwise,
+// d=1 recurrence, elementwise. Every stage passes the window-legality
+// analysis, so /evalstream serves it chunked.
+const streamSrc = `letrec* a = array (1,n) [ i := x!i + 1.0 | i <- [1..n] ];
+  b = array (1,n) ([ 1 := a!1 ] ++ [ i := b!(i-1) * 0.5 + a!i | i <- [2..n] ]);
+  res = array (1,n) [ i := b!i * 2.0 | i <- [1..n] ]
+in res`
+
+// decodeStream splits an /evalstream NDJSON body into its header,
+// chunks, and trailer, failing on any in-band error line.
+func decodeStream(t *testing.T, body []byte) (streamHeaderJSON, []streamChunkJSON, streamTrailerJSON) {
+	t.Helper()
+	var (
+		hdr     streamHeaderJSON
+		chunks  []streamChunkJSON
+		trailer streamTrailerJSON
+		gotHdr  bool
+		gotTrl  bool
+	)
+	sc := bufio.NewScanner(bytes.NewReader(body))
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<26)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		if !gotHdr {
+			if err := json.Unmarshal(line, &hdr); err != nil {
+				t.Fatalf("bad header line %q: %v", line, err)
+			}
+			gotHdr = true
+			continue
+		}
+		var probe struct {
+			Error string `json:"error"`
+			Done  bool   `json:"done"`
+		}
+		if err := json.Unmarshal(line, &probe); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", line, err)
+		}
+		if probe.Error != "" {
+			t.Fatalf("in-band stream error: %s", probe.Error)
+		}
+		if probe.Done {
+			if err := json.Unmarshal(line, &trailer); err != nil {
+				t.Fatal(err)
+			}
+			gotTrl = true
+			continue
+		}
+		var ch streamChunkJSON
+		if err := json.Unmarshal(line, &ch); err != nil {
+			t.Fatal(err)
+		}
+		chunks = append(chunks, ch)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if !gotHdr || !gotTrl {
+		t.Fatalf("incomplete stream: header=%v trailer=%v", gotHdr, gotTrl)
+	}
+	return hdr, chunks, trailer
+}
+
+// /evalstream on a streamable pipeline: chunks arrive in position
+// order and concatenate bitwise-equal to the materialized /eval
+// result, and the trailer's accounting shows the bounded footprint.
+func TestEvalStreamMatchesEval(t *testing.T) {
+	_, ts := newTestServer(t, nil)
+	const n = 20000
+	req := evalRequest{
+		compileRequest: compileRequest{
+			Source: streamSrc,
+			Params: map[string]int64{"n": n},
+			Options: optionsJSON{
+				InputBounds: map[string]boundsJSON{"x": {Lo: []int64{1}, Hi: []int64{n}}},
+			},
+		},
+		evalContext: evalContext{Seed: 5},
+	}
+
+	// Materialized reference via /eval (no stream option: distinct
+	// cache key, classic path).
+	resp, body := postJSON(t, ts.URL+"/eval", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("eval: status %d: %s", resp.StatusCode, body)
+	}
+	var er evalResponse
+	if err := json.Unmarshal(body, &er); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, body = postJSON(t, ts.URL+"/evalstream", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("evalstream: status %d: %s", resp.StatusCode, body)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("Content-Type = %q, want application/x-ndjson", ct)
+	}
+	hdr, chunks, trailer := decodeStream(t, body)
+
+	if !hdr.Streamed || hdr.Fallback != "" {
+		t.Fatalf("pipeline did not stream: %+v", hdr)
+	}
+	if hdr.Lo != 1 || hdr.Hi != n {
+		t.Fatalf("header bounds [%d,%d], want [1,%d]", hdr.Lo, hdr.Hi, n)
+	}
+	if len(chunks) < 2 {
+		t.Fatalf("got %d chunks; n=%d over the default grid must split", len(chunks), n)
+	}
+	// Position order, gap-free, bitwise equal to the reference.
+	var got []float64
+	next := hdr.Lo
+	for _, ch := range chunks {
+		if ch.Lo != next {
+			t.Fatalf("chunk at lo=%d, want %d (order/gap)", ch.Lo, next)
+		}
+		next += int64(len(ch.Data))
+		got = append(got, ch.Data...)
+	}
+	if len(got) != len(er.Result.Data) {
+		t.Fatalf("streamed %d elements, materialized %d", len(got), len(er.Result.Data))
+	}
+	for i := range got {
+		if math.Float64bits(got[i]) != math.Float64bits(er.Result.Data[i]) {
+			t.Fatalf("streamed result diverges from /eval at element %d", i)
+		}
+	}
+	if !trailer.Done || trailer.Tier != "stream" {
+		t.Fatalf("trailer = %+v, want done tier=stream", trailer)
+	}
+	if trailer.Chunks != int64(len(chunks)) {
+		t.Fatalf("trailer counts %d chunks, saw %d", trailer.Chunks, len(chunks))
+	}
+	if trailer.PeakBytes <= 0 || trailer.MaterializedBytes <= trailer.PeakBytes {
+		t.Fatalf("accounting unconvincing: peak=%d materialized=%d", trailer.PeakBytes, trailer.MaterializedBytes)
+	}
+}
+
+// A program the window analysis rejects still answers on /evalstream:
+// one materialized chunk, with the fallback reason in the header.
+func TestEvalStreamFallback(t *testing.T) {
+	_, ts := newTestServer(t, nil)
+	req := evalRequest{
+		compileRequest: compileRequest{Source: wavefrontSrc, Params: map[string]int64{"n": 12}},
+	}
+
+	resp, body := postJSON(t, ts.URL+"/eval", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("eval: status %d: %s", resp.StatusCode, body)
+	}
+	var er evalResponse
+	if err := json.Unmarshal(body, &er); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, body = postJSON(t, ts.URL+"/evalstream", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("evalstream: status %d: %s", resp.StatusCode, body)
+	}
+	hdr, chunks, trailer := decodeStream(t, body)
+	if hdr.Streamed {
+		t.Fatal("rank-2 wavefront cannot stream, yet streamed=true")
+	}
+	if hdr.Fallback == "" {
+		t.Fatal("fallback response must carry the rejection reason")
+	}
+	if len(chunks) != 1 {
+		t.Fatalf("fallback must be a single chunk, got %d", len(chunks))
+	}
+	if len(chunks[0].Data) != len(er.Result.Data) {
+		t.Fatalf("fallback chunk has %d elements, /eval %d", len(chunks[0].Data), len(er.Result.Data))
+	}
+	for i := range er.Result.Data {
+		if math.Float64bits(chunks[0].Data[i]) != math.Float64bits(er.Result.Data[i]) {
+			t.Fatalf("fallback diverges from /eval at element %d", i)
+		}
+	}
+	if trailer.Tier == "stream" {
+		t.Fatalf("fallback trailer claims tier=stream")
+	}
+	if trailer.PeakBytes != 0 {
+		t.Fatalf("fallback must not report stream accounting, peak=%d", trailer.PeakBytes)
+	}
+}
+
+// retryAfterSecs: scales with the backlog, clamps to [1, ceil(timeout)],
+// and returns the full timeout when the server cannot promise progress.
+func TestRetryAfterSecs(t *testing.T) {
+	cases := []struct {
+		backlog int64
+		perSec  float64
+		timeout time.Duration
+		want    int
+	}{
+		{backlog: 4, perSec: 2, timeout: 30 * time.Second, want: 2},
+		{backlog: 100, perSec: 2, timeout: 30 * time.Second, want: 30}, // clamp high
+		{backlog: 1, perSec: 1000, timeout: 30 * time.Second, want: 1}, // clamp low
+		{backlog: 3, perSec: 2, timeout: 30 * time.Second, want: 2},    // ceil(1.5)
+		{backlog: 5, perSec: 0, timeout: 30 * time.Second, want: 30},   // no rate: full timeout
+		{backlog: 5, perSec: -1, timeout: 30 * time.Second, want: 30},
+		{backlog: 5, perSec: 0, timeout: 0, want: 1}, // degenerate timeout still >= 1
+	}
+	for _, c := range cases {
+		if got := retryAfterSecs(c.backlog, c.perSec, c.timeout); got != c.want {
+			t.Errorf("retryAfterSecs(%d, %v, %v) = %d, want %d", c.backlog, c.perSec, c.timeout, got, c.want)
+		}
+	}
+}
+
+// drainMeter feeds retryAfterSecs a real rate: after a burst of
+// completions the estimate is positive and the derived Retry-After
+// lands between the clamps instead of pinning to either end.
+func TestDrainMeterRate(t *testing.T) {
+	var m drainMeter
+	for i := 0; i < 50; i++ {
+		m.complete()
+	}
+	time.Sleep(drainWindow + 50*time.Millisecond)
+	m.complete() // rolls the window, locking in the burst's rate
+	rate := m.perSec()
+	if rate <= 0 {
+		t.Fatalf("rate = %v after 51 completions, want > 0", rate)
+	}
+	secs := retryAfterSecs(10*int64(rate), rate, time.Hour)
+	if secs < 1 || secs > 11 {
+		t.Fatalf("Retry-After %d for a 10-second backlog at %v/s", secs, rate)
+	}
+}
+
+// Sustained overload with nothing draining: the shed response's
+// Retry-After must reflect the stall (the full request timeout), not
+// the old hardcoded 1 second.
+func TestRetryAfterUnderSustainedOverload(t *testing.T) {
+	const stallTimeout = 7 * time.Second
+	s, ts := newTestServer(t, func(c *Config) {
+		c.Concurrency = 1
+		c.QueueDepth = 1
+		c.Timeout = stallTimeout
+	})
+	req := compileRequest{Source: wavefrontSrc, Params: map[string]int64{"n": 8}}
+
+	// Pin the slot from outside; nothing ever completes, so the drain
+	// rate stays zero for the whole test.
+	s.sem <- struct{}{}
+	queued := make(chan struct{})
+	go func() {
+		postJSON(t, ts.URL+"/compile", req)
+		close(queued)
+	}()
+	testutil.WaitFor(t, "first request to queue", func() bool { return s.waiting.Load() == 1 })
+
+	for i := 0; i < 3; i++ {
+		resp, _ := postJSON(t, ts.URL+"/compile", req)
+		if resp.StatusCode != http.StatusTooManyRequests {
+			t.Fatalf("request %d: status %d, want 429", i, resp.StatusCode)
+		}
+		ra, err := strconv.Atoi(resp.Header.Get("Retry-After"))
+		if err != nil {
+			t.Fatalf("request %d: bad Retry-After %q: %v", i, resp.Header.Get("Retry-After"), err)
+		}
+		if want := int(math.Ceil(stallTimeout.Seconds())); ra != want {
+			t.Fatalf("request %d: Retry-After = %d under a total stall, want %d (the request timeout)", i, ra, want)
+		}
+	}
+
+	<-s.sem
+	<-queued
+}

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"arraycomp/internal/serve"
+	"arraycomp/internal/testutil"
 )
 
 // startFleet brings up n in-process haccd replicas on real loopback
@@ -136,16 +137,10 @@ func TestSoakShedsAboveWatermark(t *testing.T) {
 		resp.Body.Close()
 		batchDone <- resp.StatusCode
 	}()
-	deadline := time.Now().Add(10 * time.Second)
-	for {
-		if _, inflight := servers[0].DebugLoad(); inflight == 1 {
-			break
-		}
-		if time.Now().After(deadline) {
-			t.Fatal("slow batch never occupied the concurrency slot")
-		}
-		time.Sleep(time.Millisecond)
-	}
+	testutil.WaitFor(t, "slow batch to occupy the concurrency slot", func() bool {
+		_, inflight := servers[0].DebugLoad()
+		return inflight == 1
+	})
 
 	res, err := Run(Config{
 		Targets:     urls,

@@ -1,0 +1,496 @@
+// Closure compilation of one streaming stage. This mirrors
+// loopir/compile.go's value semantics exactly — plain Go float64
+// arithmetic, the same math.* builtins, short-circuit booleans — so a
+// chunked execution stores bit-identical values to the materialized
+// interpreter. It compiles only the shapes BuildStreamPlan admits
+// (affine subscripts, check-free reads, rank-1 unit-step loops);
+// anything else is a build error, never a silent approximation.
+//
+// Compilation happens once at Pipeline.Build; the closures take an
+// explicit *frame so concurrent runs of a shared pipeline never touch
+// shared mutable state.
+package stream
+
+import (
+	"fmt"
+	"math"
+
+	"arraycomp/internal/loopir"
+)
+
+// frame is the per-run, per-stage evaluation state.
+type frame struct {
+	vars    []int64
+	scalars []float64
+	// readFn resolves an array slot to a positional reader (resident
+	// slice, upstream window, or the stage's own window).
+	readFn []func(int64) float64
+	// write stores into the stage's own window.
+	write func(int64, float64)
+}
+
+type (
+	intFn   func(*frame) int64
+	floatFn func(*frame) float64
+	boolFn  func(*frame) bool
+	stmtFn  func(*frame)
+)
+
+// topStmt is one top-level statement: a scalar set (run is nil) or a
+// loop, whose run executes iterations lo..hi of the variable range
+// (the stage clamps to the chunk via the write offset cw).
+type topStmt struct {
+	scalar int
+	setFn  floatFn
+	run    func(f *frame, lo, hi int64)
+	from   int64
+	to     int64
+	cw     int64
+}
+
+// compiledDef is the immutable compiled form of one stage.
+type compiledDef struct {
+	nVars    int
+	nScalars int
+	nArrays  int
+	// selfSlot is the own-output array slot, -1 when the stage never
+	// reads itself.
+	selfSlot  int
+	arraySlot map[string]int
+	tops      []topStmt
+}
+
+type defCompiler struct {
+	out        string
+	varSlot    map[string]int
+	scalarSlot map[string]int
+	arraySlot  map[string]int
+	err        error
+}
+
+func (c *defCompiler) fail(format string, args ...any) {
+	if c.err == nil {
+		c.err = fmt.Errorf(format, args...)
+	}
+}
+
+func (c *defCompiler) varOf(name string) int {
+	if s, ok := c.varSlot[name]; ok {
+		return s
+	}
+	s := len(c.varSlot)
+	c.varSlot[name] = s
+	return s
+}
+
+func (c *defCompiler) scalarOf(name string) int {
+	if s, ok := c.scalarSlot[name]; ok {
+		return s
+	}
+	s := len(c.scalarSlot)
+	c.scalarSlot[name] = s
+	return s
+}
+
+func (c *defCompiler) arrayOf(name string) int {
+	if s, ok := c.arraySlot[name]; ok {
+		return s
+	}
+	s := len(c.arraySlot)
+	c.arraySlot[name] = s
+	return s
+}
+
+// compileDef compiles one stream-legal program into its stage form.
+func compileDef(d Def) (*compiledDef, error) {
+	c := &defCompiler{
+		out:        d.Plan.Out,
+		varSlot:    map[string]int{},
+		scalarSlot: map[string]int{},
+		arraySlot:  map[string]int{},
+	}
+	var tops []topStmt
+	for _, s := range d.Prog.Stmts {
+		switch x := s.(type) {
+		case *loopir.SetScalar:
+			tops = append(tops, topStmt{scalar: c.scalarOf(x.Name), setFn: c.float(x.Rhs)})
+		case *loopir.Loop:
+			cw, ok := writeOffsetOf(x.Body, x.Var, c.out)
+			if !ok {
+				c.fail("loop over %s: write subscript is not %s+c", x.Var, x.Var)
+				break
+			}
+			vs := c.varOf(x.Var)
+			body := c.stmts(x.Body)
+			tops = append(tops, topStmt{
+				scalar: -1,
+				from:   x.From,
+				to:     x.To,
+				cw:     cw,
+				run: func(f *frame, lo, hi int64) {
+					for i := lo; i <= hi; i++ {
+						f.vars[vs] = i
+						for _, st := range body {
+							st(f)
+						}
+					}
+				},
+			})
+		case *loopir.Assign:
+			// A constant-subscript point assign (lowered base case):
+			// subscripts are interpreted positionally, so it compiles
+			// like a loop body and runs in the one chunk containing its
+			// write position.
+			w, ok := constIntOf(x.Subs)
+			if !ok {
+				c.fail("top-level assign to %s has a non-constant subscript", x.Array)
+				break
+			}
+			body := c.stmts([]loopir.Stmt{x})
+			tops = append(tops, topStmt{
+				scalar: -1,
+				from:   w,
+				to:     w,
+				run: func(f *frame, lo, hi int64) {
+					for _, st := range body {
+						st(f)
+					}
+				},
+			})
+		default:
+			c.fail("top-level %T is not streamable", s)
+		}
+	}
+	if c.err != nil {
+		return nil, c.err
+	}
+	cd := &compiledDef{
+		nVars:     len(c.varSlot),
+		nScalars:  len(c.scalarSlot),
+		nArrays:   len(c.arraySlot),
+		selfSlot:  -1,
+		arraySlot: map[string]int{},
+		tops:      tops,
+	}
+	for n, s := range c.arraySlot {
+		if n == c.out {
+			cd.selfSlot = s
+		} else {
+			cd.arraySlot[n] = s
+		}
+	}
+	return cd, nil
+}
+
+// writeOffsetOf finds the loop's write offset: every Assign targets
+// out at var+cw. Mirrors loopir's stream legality matcher.
+func writeOffsetOf(body []loopir.Stmt, v, out string) (int64, bool) {
+	cw, n := int64(0), 0
+	var walk func(stmts []loopir.Stmt) bool
+	walk = func(stmts []loopir.Stmt) bool {
+		for _, s := range stmts {
+			switch x := s.(type) {
+			case *loopir.Assign:
+				if x.Array != out || len(x.Subs) != 1 {
+					return false
+				}
+				off, ok := constOffset(x.Subs[0], v)
+				if !ok {
+					return false
+				}
+				if n == 0 {
+					cw = off
+				} else if off != cw {
+					return false
+				}
+				n++
+			case *loopir.If:
+				if !walk(x.Then) || !walk(x.Else) {
+					return false
+				}
+			case *loopir.Loop:
+				return false
+			}
+		}
+		return true
+	}
+	if !walk(body) || n == 0 {
+		return 0, false
+	}
+	return cw, true
+}
+
+// constIntOf matches a single constant subscript.
+func constIntOf(subs []loopir.IntExpr) (int64, bool) {
+	if len(subs) != 1 {
+		return 0, false
+	}
+	switch x := subs[0].(type) {
+	case *loopir.IConst:
+		return x.Value, true
+	case *loopir.ILin:
+		if len(x.Terms) == 0 {
+			return x.Const, true
+		}
+	}
+	return 0, false
+}
+
+// constOffset matches var+c with coefficient 1.
+func constOffset(e loopir.IntExpr, v string) (int64, bool) {
+	switch x := e.(type) {
+	case *loopir.IVar:
+		if x.Name == v {
+			return 0, true
+		}
+	case *loopir.ILin:
+		if len(x.Terms) == 1 && x.Terms[0].Var == v && x.Terms[0].Coeff == 1 {
+			return x.Const, true
+		}
+	}
+	return 0, false
+}
+
+func (c *defCompiler) stmts(body []loopir.Stmt) []stmtFn {
+	var out []stmtFn
+	for _, s := range body {
+		switch x := s.(type) {
+		case *loopir.Assign:
+			pos := c.integer(x.Subs[0])
+			val := c.float(x.Rhs)
+			out = append(out, func(f *frame) { f.write(pos(f), val(f)) })
+		case *loopir.SetScalar:
+			slot := c.scalarOf(x.Name)
+			val := c.float(x.Rhs)
+			out = append(out, func(f *frame) { f.scalars[slot] = val(f) })
+		case *loopir.If:
+			cond := c.boolean(x.Cond)
+			th := c.stmts(x.Then)
+			el := c.stmts(x.Else)
+			out = append(out, func(f *frame) {
+				branch := el
+				if cond(f) {
+					branch = th
+				}
+				for _, st := range branch {
+					st(f)
+				}
+			})
+		default:
+			c.fail("loop body %T is not streamable", s)
+			return nil
+		}
+	}
+	return out
+}
+
+func (c *defCompiler) integer(e loopir.IntExpr) intFn {
+	switch x := e.(type) {
+	case *loopir.IConst:
+		v := x.Value
+		return func(*frame) int64 { return v }
+	case *loopir.IVar:
+		slot := c.varOf(x.Name)
+		return func(f *frame) int64 { return f.vars[slot] }
+	case *loopir.ILin:
+		k := x.Const
+		if len(x.Terms) == 0 {
+			return func(*frame) int64 { return k }
+		}
+		if len(x.Terms) == 1 {
+			slot := c.varOf(x.Terms[0].Var)
+			coeff := x.Terms[0].Coeff
+			if coeff == 1 {
+				return func(f *frame) int64 { return k + f.vars[slot] }
+			}
+			return func(f *frame) int64 { return k + coeff*f.vars[slot] }
+		}
+		type term struct {
+			slot  int
+			coeff int64
+		}
+		terms := make([]term, len(x.Terms))
+		for i, t := range x.Terms {
+			terms[i] = term{c.varOf(t.Var), t.Coeff}
+		}
+		return func(f *frame) int64 {
+			v := k
+			for _, t := range terms {
+				v += t.coeff * f.vars[t.slot]
+			}
+			return v
+		}
+	}
+	c.fail("integer expression %T is not streamable", e)
+	return func(*frame) int64 { return 0 }
+}
+
+func (c *defCompiler) float(e loopir.VExpr) floatFn {
+	switch x := e.(type) {
+	case *loopir.VConst:
+		v := x.Value
+		return func(*frame) float64 { return v }
+	case *loopir.VFromInt:
+		fn := c.integer(x.X)
+		return func(f *frame) float64 { return float64(fn(f)) }
+	case *loopir.VScalar:
+		slot := c.scalarOf(x.Name)
+		return func(f *frame) float64 { return f.scalars[slot] }
+	case *loopir.ARef:
+		if len(x.Subs) != 1 || x.CheckBounds || x.CheckDefined {
+			c.fail("read of %s is not streamable", x.Array)
+			return func(*frame) float64 { return 0 }
+		}
+		slot := c.arrayOf(x.Array)
+		pos := c.integer(x.Subs[0])
+		return func(f *frame) float64 { return f.readFn[slot](pos(f)) }
+	case *loopir.VBin:
+		l, r := c.float(x.L), c.float(x.R)
+		switch x.Op {
+		case '+':
+			return func(f *frame) float64 { return l(f) + r(f) }
+		case '-':
+			return func(f *frame) float64 { return l(f) - r(f) }
+		case '*':
+			return func(f *frame) float64 { return l(f) * r(f) }
+		case '/':
+			return func(f *frame) float64 { return l(f) / r(f) }
+		}
+		c.fail("unknown float operator %q", string(x.Op))
+	case *loopir.VNeg:
+		fn := c.float(x.X)
+		return func(f *frame) float64 { return -fn(f) }
+	case *loopir.VCall:
+		return c.call(x)
+	case *loopir.VCond:
+		cond := c.boolean(x.C)
+		th, el := c.float(x.T), c.float(x.E)
+		return func(f *frame) float64 {
+			if cond(f) {
+				return th(f)
+			}
+			return el(f)
+		}
+	default:
+		c.fail("value expression %T is not streamable", e)
+	}
+	return func(*frame) float64 { return 0 }
+}
+
+func (c *defCompiler) call(x *loopir.VCall) floatFn {
+	args := make([]floatFn, len(x.Args))
+	for i, a := range x.Args {
+		args[i] = c.float(a)
+	}
+	need := func(n int) bool {
+		if len(args) != n {
+			c.fail("builtin %s expects %d arguments, got %d", x.Fn, n, len(args))
+			return false
+		}
+		return true
+	}
+	switch x.Fn {
+	case "abs":
+		if need(1) {
+			a := args[0]
+			return func(f *frame) float64 { return math.Abs(a(f)) }
+		}
+	case "sqrt":
+		if need(1) {
+			a := args[0]
+			return func(f *frame) float64 { return math.Sqrt(a(f)) }
+		}
+	case "exp":
+		if need(1) {
+			a := args[0]
+			return func(f *frame) float64 { return math.Exp(a(f)) }
+		}
+	case "log":
+		if need(1) {
+			a := args[0]
+			return func(f *frame) float64 { return math.Log(a(f)) }
+		}
+	case "sin":
+		if need(1) {
+			a := args[0]
+			return func(f *frame) float64 { return math.Sin(a(f)) }
+		}
+	case "cos":
+		if need(1) {
+			a := args[0]
+			return func(f *frame) float64 { return math.Cos(a(f)) }
+		}
+	case "min":
+		if need(2) {
+			a, b := args[0], args[1]
+			return func(f *frame) float64 { return math.Min(a(f), b(f)) }
+		}
+	case "max":
+		if need(2) {
+			a, b := args[0], args[1]
+			return func(f *frame) float64 { return math.Max(a(f), b(f)) }
+		}
+	case "pow":
+		if need(2) {
+			a, b := args[0], args[1]
+			return func(f *frame) float64 { return math.Pow(a(f), b(f)) }
+		}
+	default:
+		c.fail("unknown builtin %q", x.Fn)
+	}
+	return func(*frame) float64 { return 0 }
+}
+
+func (c *defCompiler) boolean(b loopir.BExpr) boolFn {
+	switch x := b.(type) {
+	case *loopir.BConst:
+		v := x.Value
+		return func(*frame) bool { return v }
+	case *loopir.BCmpInt:
+		l, r := c.integer(x.L), c.integer(x.R)
+		switch x.Op {
+		case "==":
+			return func(f *frame) bool { return l(f) == r(f) }
+		case "/=":
+			return func(f *frame) bool { return l(f) != r(f) }
+		case "<":
+			return func(f *frame) bool { return l(f) < r(f) }
+		case "<=":
+			return func(f *frame) bool { return l(f) <= r(f) }
+		case ">":
+			return func(f *frame) bool { return l(f) > r(f) }
+		case ">=":
+			return func(f *frame) bool { return l(f) >= r(f) }
+		}
+		c.fail("unknown comparison %q", x.Op)
+	case *loopir.BCmpFloat:
+		l, r := c.float(x.L), c.float(x.R)
+		switch x.Op {
+		case "==":
+			return func(f *frame) bool { return l(f) == r(f) }
+		case "/=":
+			return func(f *frame) bool { return l(f) != r(f) }
+		case "<":
+			return func(f *frame) bool { return l(f) < r(f) }
+		case "<=":
+			return func(f *frame) bool { return l(f) <= r(f) }
+		case ">":
+			return func(f *frame) bool { return l(f) > r(f) }
+		case ">=":
+			return func(f *frame) bool { return l(f) >= r(f) }
+		}
+		c.fail("unknown comparison %q", x.Op)
+	case *loopir.BAnd:
+		l, r := c.boolean(x.L), c.boolean(x.R)
+		return func(f *frame) bool { return l(f) && r(f) }
+	case *loopir.BOr:
+		l, r := c.boolean(x.L), c.boolean(x.R)
+		return func(f *frame) bool { return l(f) || r(f) }
+	case *loopir.BNot:
+		fn := c.boolean(x.X)
+		return func(f *frame) bool { return !fn(f) }
+	default:
+		c.fail("boolean expression %T is not streamable", b)
+	}
+	return func(*frame) bool { return false }
+}

@@ -1,0 +1,40 @@
+// Package testutil holds small helpers shared by this repo's test
+// suites.
+package testutil
+
+import (
+	"testing"
+	"time"
+)
+
+// WaitTimeout is WaitFor's deadline. It is deliberately generous — a
+// loaded CI machine can stall a goroutine for whole seconds — because
+// the helper returns the moment the condition holds: a passing test
+// pays only the actual latency, and only a genuinely broken one pays
+// the full deadline.
+const WaitTimeout = 30 * time.Second
+
+// WaitFor polls cond with exponential backoff until it returns true,
+// failing the test after WaitTimeout. It replaces hand-rolled
+// wall-clock deadline loops, whose short fixed deadlines flake under
+// scheduler pressure.
+func WaitFor(t testing.TB, what string, cond func() bool) {
+	t.Helper()
+	if cond() {
+		return
+	}
+	deadline := time.Now().Add(WaitTimeout)
+	backoff := 500 * time.Microsecond
+	for {
+		time.Sleep(backoff)
+		if cond() {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out after %v waiting for %s", WaitTimeout, what)
+		}
+		if backoff < 50*time.Millisecond {
+			backoff *= 2
+		}
+	}
+}
